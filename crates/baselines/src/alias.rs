@@ -1,0 +1,136 @@
+//! Alias-method sampler for O(1) draws from a fixed discrete distribution.
+//!
+//! Used by the random-walk engines (node2vec transition probabilities,
+//! degree-weighted negative sampling in SGNS, edge sampling in LINE).
+
+use rand::Rng;
+
+/// Precomputed alias table over `0..n`.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative (not necessarily normalized) weights.
+    ///
+    /// Returns `None` if the weights are empty or sum to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if !(total > 0.0) || weights.iter().any(|w| *w < 0.0 || !w.is_finite()) {
+            return None;
+        }
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically 1.
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Some(Self { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table is empty (never the case for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index according to the weight distribution.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn rejects_degenerate_weights() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -0.5]).is_none());
+        assert!(AliasTable::new(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let table = AliasTable::new(&[1.0; 4]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_respected() {
+        let table = AliasTable::new(&[8.0, 1.0, 1.0]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut counts = [0usize; 3];
+        for _ in 0..50_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let p0 = counts[0] as f64 / 50_000.0;
+        assert!((p0 - 0.8).abs() < 0.02, "p0 = {p0}");
+    }
+
+    #[test]
+    fn single_category_always_sampled() {
+        let table = AliasTable::new(&[3.0]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn zero_weight_category_never_sampled() {
+        let table = AliasTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert_ne!(table.sample(&mut rng), 1);
+        }
+    }
+}

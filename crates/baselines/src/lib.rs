@@ -1,0 +1,91 @@
+//! # nrp-baselines
+//!
+//! Re-implementations of the competitor families the paper evaluates NRP
+//! against (Section 5.1).  One faithful representative is provided per
+//! family; all of them implement [`nrp_core::Embedder`], so they plug into
+//! the same evaluation and benchmark pipelines as NRP:
+//!
+//! | Family | Methods here |
+//! |---|---|
+//! | Factorization-based | [`arope::Arope`], [`randne::RandNe`], [`spectral::SpectralEmbedding`] |
+//! | PPR-factorization | [`strap::Strap`] (plus `ApproxPpr` in `nrp-core`) |
+//! | Random-walk learning | [`deepwalk::DeepWalk`], [`node2vec::Node2Vec`], [`line::Line`] |
+//! | PPR-based walk learning | [`verse::Verse`], [`app::App`] |
+//!
+//! The neural-network family (DNGR, GAE, GraphGAN, …) is intentionally not
+//! reproduced: the paper's own evaluation shows those methods do not scale to
+//! the graphs of interest, and they would require a deep-learning substrate
+//! orthogonal to this reproduction (see DESIGN.md).
+//!
+//! Shared machinery lives in [`alias`] (O(1) weighted sampling), [`walks`]
+//! (uniform and node2vec-biased random walks, α-decay PPR walks) and
+//! [`sgns`] (skip-gram with negative sampling).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod app;
+pub mod arope;
+pub mod deepwalk;
+pub mod line;
+pub mod node2vec;
+pub mod randne;
+pub mod sgns;
+pub mod spectral;
+pub mod strap;
+pub mod verse;
+pub mod walks;
+
+pub use app::App;
+pub use arope::Arope;
+pub use deepwalk::DeepWalk;
+pub use line::Line;
+pub use node2vec::Node2Vec;
+pub use randne::RandNe;
+pub use spectral::SpectralEmbedding;
+pub use strap::Strap;
+pub use verse::Verse;
+
+use nrp_core::Embedder;
+
+/// Returns one boxed instance of every baseline with mostly-default
+/// parameters at the given embedding dimension and seed — convenient for the
+/// benchmark harnesses that sweep "all methods".
+pub fn all_baselines(dimension: usize, seed: u64) -> Vec<Box<dyn Embedder>> {
+    vec![
+        Box::new(Arope::new(arope::AropeParams { dimension, seed, ..Default::default() })),
+        Box::new(RandNe::new(randne::RandNeParams { dimension, seed, ..Default::default() })),
+        Box::new(SpectralEmbedding::new(spectral::SpectralParams { dimension, seed, ..Default::default() })),
+        Box::new(Strap::new(strap::StrapParams { dimension, seed, ..Default::default() })),
+        Box::new(DeepWalk::new(deepwalk::DeepWalkParams { dimension, seed, ..Default::default() })),
+        Box::new(Node2Vec::new(node2vec::Node2VecParams { dimension, seed, ..Default::default() })),
+        Box::new(Line::new(line::LineParams { dimension, seed, ..Default::default() })),
+        Box::new(Verse::new(verse::VerseParams { dimension, seed, ..Default::default() })),
+        Box::new(App::new(app::AppParams { dimension, seed, ..Default::default() })),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrp_graph::generators::stochastic_block_model;
+    use nrp_graph::GraphKind;
+
+    #[test]
+    fn all_baselines_produce_finite_embeddings() {
+        let (g, _) = stochastic_block_model(&[20, 20], 0.25, 0.03, GraphKind::Undirected, 1).unwrap();
+        for embedder in all_baselines(8, 7) {
+            let e = embedder.embed(&g).expect(embedder.name());
+            assert_eq!(e.num_nodes(), 40, "{}", embedder.name());
+            assert!(e.is_finite(), "{} produced non-finite values", embedder.name());
+        }
+    }
+
+    #[test]
+    fn baseline_names_are_unique() {
+        let names: Vec<&str> = all_baselines(8, 0).iter().map(|b| b.name()).collect();
+        let unique: std::collections::HashSet<&&str> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+}

@@ -1,0 +1,206 @@
+//! LINE (Tang et al., WWW 2015): large-scale information network embedding
+//! with first-order and second-order proximity, trained by edge sampling with
+//! negative sampling.
+//!
+//! Following the original paper, half of the dimension budget is trained on
+//! the first-order objective (symmetric endpoint similarity) and half on the
+//! second-order objective (center/context factorization); the two halves are
+//! concatenated.
+
+use nrp_core::{Embedder, Embedding, NrpError, Result};
+use nrp_graph::Graph;
+use nrp_linalg::DenseMatrix;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::alias::AliasTable;
+
+/// LINE hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct LineParams {
+    /// Total per-node embedding budget `k` (split between 1st and 2nd order).
+    pub dimension: usize,
+    /// Total number of edge samples (SGD steps) per order.
+    pub samples: usize,
+    /// Negative samples per positive edge.
+    pub negatives: usize,
+    /// Initial SGD learning rate.
+    pub learning_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LineParams {
+    fn default() -> Self {
+        Self { dimension: 128, samples: 200_000, negatives: 5, learning_rate: 0.05, seed: 0 }
+    }
+}
+
+/// The LINE embedder.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    params: LineParams,
+}
+
+impl Line {
+    /// Creates a LINE embedder.
+    pub fn new(params: LineParams) -> Self {
+        Self { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &LineParams {
+        &self.params
+    }
+
+    fn train_order(
+        &self,
+        graph: &Graph,
+        dim: usize,
+        second_order: bool,
+        seed: u64,
+    ) -> Result<DenseMatrix> {
+        let n = graph.num_nodes();
+        let arcs: Vec<(u32, u32)> = graph.arcs().collect();
+        if arcs.is_empty() {
+            return Err(NrpError::InvalidParameter("LINE requires at least one edge".into()));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let edge_table = AliasTable::new(&vec![1.0; arcs.len()])
+            .ok_or_else(|| NrpError::InvalidParameter("failed to build edge table".into()))?;
+        let degree_weights: Vec<f64> =
+            (0..n).map(|u| (graph.out_degree(u as u32) as f64 + 1.0).powf(0.75)).collect();
+        let node_table = AliasTable::new(&degree_weights)
+            .ok_or_else(|| NrpError::InvalidParameter("failed to build node table".into()))?;
+
+        let scale = 0.5 / dim as f64;
+        let mut vertex = DenseMatrix::from_fn(n, dim, |_, _| (rng.gen::<f64>() - 0.5) * scale);
+        let mut context = if second_order {
+            DenseMatrix::zeros(n, dim)
+        } else {
+            DenseMatrix::from_fn(n, dim, |_, _| (rng.gen::<f64>() - 0.5) * scale)
+        };
+
+        let mut grad = vec![0.0_f64; dim];
+        for step in 0..self.params.samples {
+            let lr = self.params.learning_rate
+                * (1.0 - 0.9 * step as f64 / self.params.samples.max(1) as f64);
+            let (u, v) = arcs[edge_table.sample(&mut rng)];
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            update(&mut vertex, &mut context, u as usize, v as usize, 1.0, lr, &mut grad);
+            for _ in 0..self.params.negatives {
+                let neg = node_table.sample(&mut rng);
+                if neg == v as usize {
+                    continue;
+                }
+                update(&mut vertex, &mut context, u as usize, neg, 0.0, lr, &mut grad);
+            }
+            let row = vertex.row_mut(u as usize);
+            for (x, g) in row.iter_mut().zip(&grad) {
+                *x += g;
+            }
+        }
+        Ok(vertex)
+    }
+}
+
+fn update(
+    vertex: &mut DenseMatrix,
+    context: &mut DenseMatrix,
+    u: usize,
+    v: usize,
+    label: f64,
+    lr: f64,
+    grad: &mut [f64],
+) {
+    let dim = grad.len();
+    let mut dot = 0.0;
+    for i in 0..dim {
+        dot += vertex.get(u, i) * context.get(v, i);
+    }
+    let pred = 1.0 / (1.0 + (-dot.clamp(-30.0, 30.0)).exp());
+    let g = (label - pred) * lr;
+    for i in 0..dim {
+        grad[i] += g * context.get(v, i);
+    }
+    for i in 0..dim {
+        context.add_to(v, i, g * vertex.get(u, i));
+    }
+}
+
+impl Embedder for Line {
+    fn embed(&self, graph: &Graph) -> Result<Embedding> {
+        let p = &self.params;
+        if p.dimension < 2 {
+            return Err(NrpError::InvalidParameter("LINE needs dimension >= 2".into()));
+        }
+        let half = (p.dimension / 2).max(1);
+        let first = self.train_order(graph, half, false, p.seed)?;
+        let second = self.train_order(graph, p.dimension - half, true, p.seed ^ 0x114e)?;
+        let combined = first.hstack(&second).map_err(NrpError::Linalg)?;
+        Ok(Embedding::symmetric(combined, self.name()))
+    }
+
+    fn name(&self) -> &'static str {
+        "LINE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrp_graph::generators::stochastic_block_model;
+    use nrp_graph::GraphKind;
+
+    fn small_params(seed: u64) -> LineParams {
+        LineParams { dimension: 16, samples: 30_000, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn produces_finite_embedding_with_full_dimension() {
+        let (g, _) = stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Undirected, 1).unwrap();
+        let e = Line::new(small_params(1)).embed(&g).unwrap();
+        assert_eq!(e.num_nodes(), 40);
+        assert_eq!(e.half_dimension(), 16);
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn captures_community_structure() {
+        let (g, community) =
+            stochastic_block_model(&[25, 25], 0.3, 0.01, GraphKind::Undirected, 2).unwrap();
+        let e = Line::new(small_params(2)).embed(&g).unwrap();
+        let mut within = 0.0;
+        let mut across = 0.0;
+        let (mut cw, mut ca) = (0, 0);
+        for u in 0..50u32 {
+            for v in 0..50u32 {
+                if u == v {
+                    continue;
+                }
+                if community[u as usize] == community[v as usize] {
+                    within += e.score(u, v);
+                    cw += 1;
+                } else {
+                    across += e.score(u, v);
+                    ca += 1;
+                }
+            }
+        }
+        assert!(within / cw as f64 > across / ca as f64);
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let g = Graph::from_edges(3, &[], GraphKind::Undirected).unwrap();
+        assert!(Line::new(small_params(3)).embed(&g).is_err());
+    }
+
+    #[test]
+    fn tiny_dimension_rejected() {
+        let (g, _) = stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 4).unwrap();
+        let params = LineParams { dimension: 1, ..small_params(4) };
+        assert!(Line::new(params).embed(&g).is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Skip-gram with negative sampling (SGNS), the training loop behind
+//! DeepWalk, node2vec and (with different pair sources) LINE, VERSE and APP.
+//!
+//! Center vectors and context vectors are trained with SGD on the standard
+//! objective `log σ(c·x) + Σ_neg log σ(-c_neg·x)`; negatives are drawn from
+//! the unigram distribution raised to the 3/4 power, as in word2vec.
+
+use nrp_linalg::DenseMatrix;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::alias::AliasTable;
+
+/// Hyper-parameters of the SGNS trainer.
+#[derive(Debug, Clone)]
+pub struct SgnsConfig {
+    /// Embedding dimensionality of both the center and context tables.
+    pub dimension: usize,
+    /// Number of passes over the training pairs.
+    pub epochs: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Initial SGD learning rate (linearly decayed to 1/10th).
+    pub learning_rate: f64,
+    /// RNG seed for initialization and negative sampling.
+    pub seed: u64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        Self { dimension: 64, epochs: 2, negatives: 5, learning_rate: 0.05, seed: 0 }
+    }
+}
+
+/// The two lookup tables produced by SGNS training.
+#[derive(Debug, Clone)]
+pub struct SgnsModel {
+    /// Center ("input") vectors, one row per node.
+    pub center: DenseMatrix,
+    /// Context ("output") vectors, one row per node.
+    pub context: DenseMatrix,
+}
+
+/// Trains SGNS over `(center, context)` pairs for `num_nodes` nodes.
+///
+/// `frequency` gives the negative-sampling weight of each node (usually its
+/// occurrence count in the walks); if empty, uniform weights are used.
+pub fn train_sgns(
+    num_nodes: usize,
+    pairs: &[(u32, u32)],
+    frequency: &[f64],
+    config: &SgnsConfig,
+) -> SgnsModel {
+    let dim = config.dimension.max(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let scale = 0.5 / dim as f64;
+    let mut center = DenseMatrix::from_fn(num_nodes, dim, |_, _| (rng.gen::<f64>() - 0.5) * scale);
+    let mut context = DenseMatrix::zeros(num_nodes, dim);
+
+    let weights: Vec<f64> = if frequency.len() == num_nodes {
+        frequency.iter().map(|f| f.max(0.0).powf(0.75)).collect()
+    } else {
+        vec![1.0; num_nodes]
+    };
+    let negative_table = AliasTable::new(&weights)
+        .unwrap_or_else(|| AliasTable::new(&vec![1.0; num_nodes]).expect("uniform table is valid"));
+
+    if pairs.is_empty() {
+        return SgnsModel { center, context };
+    }
+    let total_steps = (config.epochs * pairs.len()).max(1);
+    let mut step = 0usize;
+    let mut grad = vec![0.0_f64; dim];
+    for _ in 0..config.epochs {
+        for &(u, v) in pairs {
+            let progress = step as f64 / total_steps as f64;
+            let lr = config.learning_rate * (1.0 - 0.9 * progress);
+            step += 1;
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            // Positive update.
+            sgns_update(&mut center, &mut context, u as usize, v as usize, 1.0, lr, &mut grad);
+            // Negative updates.
+            for _ in 0..config.negatives {
+                let neg = negative_table.sample(&mut rng);
+                if neg == v as usize {
+                    continue;
+                }
+                sgns_update(&mut center, &mut context, u as usize, neg, 0.0, lr, &mut grad);
+            }
+            // Apply the accumulated center gradient once (word2vec trick).
+            let row = center.row_mut(u as usize);
+            for (x, g) in row.iter_mut().zip(&grad) {
+                *x += g;
+            }
+        }
+    }
+    SgnsModel { center, context }
+}
+
+/// One (positive or negative) SGNS update: adjusts the context vector
+/// immediately and accumulates the center-vector gradient in `grad`.
+fn sgns_update(
+    center: &mut DenseMatrix,
+    context: &mut DenseMatrix,
+    u: usize,
+    v: usize,
+    label: f64,
+    lr: f64,
+    grad: &mut [f64],
+) {
+    let dim = grad.len();
+    let mut dot = 0.0;
+    {
+        let cu = center.row(u);
+        let cv = context.row(v);
+        for i in 0..dim {
+            dot += cu[i] * cv[i];
+        }
+    }
+    let pred = sigmoid(dot);
+    let g = (label - pred) * lr;
+    // grad += g * context[v]; context[v] += g * center[u]
+    for i in 0..dim {
+        let cv_i = context.get(v, i);
+        grad[i] += g * cv_i;
+    }
+    for i in 0..dim {
+        let cu_i = center.get(u, i);
+        context.add_to(v, i, g * cu_i);
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Counts node occurrences in a set of walks (negative-sampling frequencies).
+pub fn walk_frequencies(num_nodes: usize, walks: &[Vec<u32>]) -> Vec<f64> {
+    let mut freq = vec![0.0; num_nodes];
+    for walk in walks {
+        for &node in walk {
+            freq[node as usize] += 1.0;
+        }
+    }
+    freq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two clusters: pairs only connect nodes within the same cluster, so
+    /// trained embeddings should place same-cluster nodes closer.
+    fn cluster_pairs(cluster_size: usize, pairs_per_node: usize) -> (usize, Vec<(u32, u32)>) {
+        let n = cluster_size * 2;
+        let mut pairs = Vec::new();
+        let mut state = 12345u64;
+        let mut next = |bound: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % bound
+        };
+        for u in 0..n {
+            let base = if u < cluster_size { 0 } else { cluster_size };
+            for _ in 0..pairs_per_node {
+                let v = base + next(cluster_size);
+                if v != u {
+                    pairs.push((u as u32, v as u32));
+                }
+            }
+        }
+        (n, pairs)
+    }
+
+    fn dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn sgns_separates_two_clusters() {
+        let (n, pairs) = cluster_pairs(15, 60);
+        let config = SgnsConfig { dimension: 16, epochs: 3, negatives: 5, learning_rate: 0.08, seed: 1 };
+        let model = train_sgns(n, &pairs, &[], &config);
+        // Average within-cluster similarity should exceed cross-cluster similarity.
+        let mut within = 0.0;
+        let mut across = 0.0;
+        let mut count_w = 0;
+        let mut count_a = 0;
+        for u in 0..n {
+            for v in 0..n {
+                if u == v {
+                    continue;
+                }
+                let s = dot(model.center.row(u), model.context.row(v));
+                if (u < 15) == (v < 15) {
+                    within += s;
+                    count_w += 1;
+                } else {
+                    across += s;
+                    count_a += 1;
+                }
+            }
+        }
+        let within = within / count_w as f64;
+        let across = across / count_a as f64;
+        assert!(within > across, "within {within} should exceed across {across}");
+    }
+
+    #[test]
+    fn empty_pairs_return_initialized_tables() {
+        let config = SgnsConfig { dimension: 4, ..Default::default() };
+        let model = train_sgns(5, &[], &[], &config);
+        assert_eq!(model.center.shape(), (5, 4));
+        assert_eq!(model.context.shape(), (5, 4));
+        assert!(model.center.is_finite());
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let (n, pairs) = cluster_pairs(8, 20);
+        let config = SgnsConfig { dimension: 8, seed: 9, ..Default::default() };
+        let a = train_sgns(n, &pairs, &[], &config);
+        let b = train_sgns(n, &pairs, &[], &config);
+        assert_eq!(a.center, b.center);
+        assert_eq!(a.context, b.context);
+    }
+
+    #[test]
+    fn frequencies_bias_negative_sampling_without_breaking_training() {
+        let (n, pairs) = cluster_pairs(10, 30);
+        let mut freq = vec![1.0; n];
+        freq[0] = 100.0;
+        let config = SgnsConfig { dimension: 8, epochs: 2, ..Default::default() };
+        let model = train_sgns(n, &pairs, &freq, &config);
+        assert!(model.center.is_finite());
+        assert!(model.context.is_finite());
+    }
+
+    #[test]
+    fn walk_frequencies_count_occurrences() {
+        let walks = vec![vec![0u32, 1, 1], vec![2]];
+        let freq = walk_frequencies(4, &walks);
+        assert_eq!(freq, vec![1.0, 2.0, 1.0, 0.0]);
+    }
+}

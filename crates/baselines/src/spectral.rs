@@ -1,0 +1,220 @@
+//! Laplacian spectral embedding (Tang & Liu, DMKD 2011): the classic
+//! factorization baseline that uses the leading eigenvectors of the
+//! normalized adjacency `D^{-1/2} A D^{-1/2}` (equivalently the smallest
+//! eigenvectors of the normalized Laplacian) as node features.  One-hop
+//! information only — the weakness relative to multi-hop methods the NRP
+//! paper points out.
+
+use nrp_core::{Embedder, Embedding, NrpError, Result};
+use nrp_graph::Graph;
+use nrp_linalg::eig::symmetric_eigen;
+use nrp_linalg::{DenseMatrix, LinearOperator, RandomizedSvd, RandomizedSvdMethod};
+
+/// Spectral-embedding hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SpectralParams {
+    /// Per-node embedding dimension (single vector per node).
+    pub dimension: usize,
+    /// Oversampling for the randomized eigen-solver.
+    pub oversample: usize,
+    /// Power iterations for the randomized eigen-solver.
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpectralParams {
+    fn default() -> Self {
+        Self { dimension: 128, oversample: 8, iterations: 8, seed: 0 }
+    }
+}
+
+/// The spectral embedder.
+#[derive(Debug, Clone, Default)]
+pub struct SpectralEmbedding {
+    params: SpectralParams,
+}
+
+impl SpectralEmbedding {
+    /// Creates a spectral embedder.
+    pub fn new(params: SpectralParams) -> Self {
+        Self { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &SpectralParams {
+        &self.params
+    }
+}
+
+/// The symmetric normalized adjacency `D^{-1/2} (A + Aᵀ)/…`-style operator.
+/// Direction is ignored (spectral embedding is undirected-only, as in the
+/// paper's evaluation protocol).
+struct NormalizedAdjacency<'g> {
+    graph: &'g Graph,
+    inv_sqrt_degree: Vec<f64>,
+}
+
+impl<'g> NormalizedAdjacency<'g> {
+    fn new(graph: &'g Graph) -> Self {
+        let inv_sqrt_degree = (0..graph.num_nodes())
+            .map(|u| {
+                // Use total degree (in + out) so directed inputs are handled
+                // as their undirected projection.
+                let d = graph.out_degree(u as u32) + graph.in_degree(u as u32);
+                if d == 0 {
+                    0.0
+                } else {
+                    1.0 / (d as f64 / if graph.kind().is_directed() { 1.0 } else { 2.0 }).sqrt()
+                }
+            })
+            .collect();
+        Self { graph, inv_sqrt_degree }
+    }
+}
+
+impl LinearOperator for NormalizedAdjacency<'_> {
+    fn nrows(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn ncols(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn apply(&self, x: &DenseMatrix) -> nrp_linalg::Result<DenseMatrix> {
+        let n = self.graph.num_nodes();
+        let mut out = DenseMatrix::zeros(n, x.cols());
+        for u in 0..n {
+            let du = self.inv_sqrt_degree[u];
+            if du == 0.0 {
+                continue;
+            }
+            let out_row = out.row_mut(u);
+            // Symmetrized neighbours: union of out- and in-neighbours.
+            for &v in self.graph.out_neighbors(u as u32) {
+                let dv = self.inv_sqrt_degree[v as usize];
+                let x_row = x.row(v as usize);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += du * dv * xv;
+                }
+            }
+            if self.graph.kind().is_directed() {
+                for &v in self.graph.in_neighbors(u as u32) {
+                    if self.graph.has_arc(u as u32, v) {
+                        continue; // already counted
+                    }
+                    let dv = self.inv_sqrt_degree[v as usize];
+                    let x_row = x.row(v as usize);
+                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                        *o += du * dv * xv;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn apply_transpose(&self, x: &DenseMatrix) -> nrp_linalg::Result<DenseMatrix> {
+        // The operator is symmetric by construction.
+        self.apply(x)
+    }
+}
+
+impl Embedder for SpectralEmbedding {
+    fn embed(&self, graph: &Graph) -> Result<Embedding> {
+        let p = &self.params;
+        if p.dimension == 0 {
+            return Err(NrpError::InvalidParameter("dimension must be positive".into()));
+        }
+        let op = NormalizedAdjacency::new(graph);
+        let rank = p.dimension.min(graph.num_nodes());
+        let svd = RandomizedSvd::new(rank)
+            .oversample(p.oversample)
+            .iterations(p.iterations)
+            .method(RandomizedSvdMethod::BlockKrylov)
+            .seed(p.seed)
+            .compute(&op)?;
+        // Rayleigh–Ritz rotation to obtain proper (signed) eigenvectors.
+        let au = op.apply(&svd.u)?;
+        let projected = svd.u.transpose_matmul(&au)?;
+        let eig = symmetric_eigen(&projected)?;
+        let vectors = svd.u.matmul(&eig.vectors.truncate_cols(rank))?;
+        Ok(Embedding::symmetric(vectors, self.name()))
+    }
+
+    fn name(&self) -> &'static str {
+        "Spectral"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrp_graph::generators::stochastic_block_model;
+    use nrp_graph::GraphKind;
+
+    fn small_params(seed: u64) -> SpectralParams {
+        SpectralParams { dimension: 8, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn produces_finite_embedding() {
+        let (g, _) = stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Undirected, 1).unwrap();
+        let e = SpectralEmbedding::new(small_params(1)).embed(&g).unwrap();
+        assert_eq!(e.num_nodes(), 40);
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn separates_two_communities() {
+        let (g, community) =
+            stochastic_block_model(&[30, 30], 0.3, 0.01, GraphKind::Undirected, 2).unwrap();
+        let e = SpectralEmbedding::new(small_params(2)).embed(&g).unwrap();
+        let cos = |u: u32, v: u32| {
+            let a = e.forward_vector(u);
+            let b = e.forward_vector(v);
+            let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if na > 0.0 && nb > 0.0 {
+                dot / (na * nb)
+            } else {
+                0.0
+            }
+        };
+        let mut within = 0.0;
+        let mut across = 0.0;
+        let (mut cw, mut ca) = (0, 0);
+        for u in (0..60u32).step_by(2) {
+            for v in (1..60u32).step_by(2) {
+                if u == v {
+                    continue;
+                }
+                if community[u as usize] == community[v as usize] {
+                    within += cos(u, v);
+                    cw += 1;
+                } else {
+                    across += cos(u, v);
+                    ca += 1;
+                }
+            }
+        }
+        assert!(within / cw as f64 > across / ca as f64);
+    }
+
+    #[test]
+    fn handles_directed_graphs_via_symmetrization() {
+        let (g, _) = stochastic_block_model(&[15, 15], 0.25, 0.03, GraphKind::Directed, 3).unwrap();
+        let e = SpectralEmbedding::new(small_params(3)).embed(&g).unwrap();
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn invalid_dimension_rejected() {
+        let (g, _) = stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 4).unwrap();
+        assert!(SpectralEmbedding::new(SpectralParams { dimension: 0, ..small_params(4) })
+            .embed(&g)
+            .is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Wall-clock comparison of every embedding method on a fixed SBM graph —
+//! the micro-benchmark counterpart of the Fig. 7 harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nrp_bench::methods::roster;
+use nrp_graph::generators::stochastic_block_model;
+use nrp_graph::GraphKind;
+
+fn bench_embedders(c: &mut Criterion) {
+    let (graph, _) = stochastic_block_model(&[250, 250, 250], 0.03, 0.002, GraphKind::Directed, 11)
+        .expect("valid SBM parameters");
+    let mut group = c.benchmark_group("embedders");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for method in roster(32, 1) {
+        group.bench_with_input(BenchmarkId::from_parameter(method.name()), &graph, |b, g| {
+            b.iter(|| method.embed(g).expect("embedding succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedders);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the NRP pipeline stages, backing the
+//! complexity claims of Section 4.4: ApproxPPR factorization, one
+//! reweighting epoch, and the end-to-end pipeline at two graph sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nrp_core::approx_ppr::{ApproxPpr, ApproxPprParams};
+use nrp_core::reweight::{update_backward_weights, NodeWeights, ReweightConfig};
+use nrp_core::{Embedder, Nrp, NrpParams};
+use nrp_graph::generators::erdos_renyi_nm;
+use nrp_graph::{Graph, GraphKind};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn graph(nodes: usize, edges: usize) -> Graph {
+    erdos_renyi_nm(nodes, edges, GraphKind::Directed, 7).expect("valid ER parameters")
+}
+
+fn bench_approx_ppr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_ppr_factorize");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (nodes, edges) in [(2_000usize, 10_000usize), (4_000, 20_000)] {
+        let g = graph(nodes, edges);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{nodes}_m{edges}")), &g, |b, g| {
+            let embedder = ApproxPpr::new(ApproxPprParams { half_dimension: 16, ..Default::default() });
+            b.iter(|| embedder.factorize(g).expect("factorization succeeds"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reweight_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reweight_epoch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (nodes, edges) in [(2_000usize, 10_000usize), (4_000, 20_000)] {
+        let g = graph(nodes, edges);
+        let (x, y) = ApproxPpr::new(ApproxPprParams { half_dimension: 16, ..Default::default() })
+            .factorize(&g)
+            .expect("factorization succeeds");
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{nodes}_m{edges}")), &g, |b, g| {
+            b.iter(|| {
+                let mut weights = NodeWeights::initialize(g);
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                update_backward_weights(g, &x, &y, &mut weights, &ReweightConfig::default(), &mut rng)
+                    .expect("epoch succeeds");
+                weights
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_nrp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nrp_end_to_end");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (nodes, edges) in [(2_000usize, 10_000usize), (4_000, 20_000)] {
+        let g = graph(nodes, edges);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{nodes}_m{edges}")), &g, |b, g| {
+            let embedder = Nrp::new(
+                NrpParams::builder().dimension(32).reweight_epochs(5).build().expect("valid params"),
+            );
+            b.iter(|| embedder.embed(g).expect("embedding succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_approx_ppr, bench_reweight_epoch, bench_full_nrp);
+criterion_main!(benches);

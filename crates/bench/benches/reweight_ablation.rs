@@ -1,0 +1,37 @@
+//! Ablation: the paper's approximate `b₁` term (Eq. 14) vs the exact `b₁`
+//! inside the coordinate-descent reweighting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nrp_core::approx_ppr::{ApproxPpr, ApproxPprParams};
+use nrp_core::reweight::{learn_weights, ReweightConfig};
+use nrp_graph::generators::erdos_renyi_nm;
+use nrp_graph::GraphKind;
+
+fn bench_b1_variants(c: &mut Criterion) {
+    let graph = erdos_renyi_nm(3_000, 15_000, GraphKind::Directed, 5).expect("valid ER parameters");
+    let (x, y) = ApproxPpr::new(ApproxPprParams { half_dimension: 16, ..Default::default() })
+        .factorize(&graph)
+        .expect("factorization succeeds");
+    let mut group = c.benchmark_group("reweighting_b1");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (label, exact) in [("approximate_b1", false), ("exact_b1", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &exact, |b, &exact| {
+            b.iter(|| {
+                learn_weights(
+                    &graph,
+                    &x,
+                    &y,
+                    &ReweightConfig { epochs: 3, exact_b1: exact, ..Default::default() },
+                )
+                .expect("reweighting succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_b1_variants);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation: block-Krylov SVD (the paper's BKSVD) vs plain subspace
+//! iteration as the range finder inside ApproxPPR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nrp_graph::generators::erdos_renyi_nm;
+use nrp_graph::GraphKind;
+use nrp_linalg::{AdjacencyOperator, RandomizedSvd, RandomizedSvdMethod};
+
+fn bench_svd_methods(c: &mut Criterion) {
+    let graph = erdos_renyi_nm(3_000, 15_000, GraphKind::Undirected, 3).expect("valid ER parameters");
+    let op = AdjacencyOperator::new(&graph);
+    let mut group = c.benchmark_group("randomized_svd");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (label, method) in [
+        ("block_krylov", RandomizedSvdMethod::BlockKrylov),
+        ("subspace_iteration", RandomizedSvdMethod::SubspaceIteration),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &method, |b, &method| {
+            b.iter(|| {
+                RandomizedSvd::new(32)
+                    .iterations(6)
+                    .method(method)
+                    .seed(1)
+                    .compute(&op)
+                    .expect("svd succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svd_methods);
+criterion_main!(benches);

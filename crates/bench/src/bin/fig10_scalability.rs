@@ -1,0 +1,70 @@
+//! Regenerates the paper's Fig. 10: NRP construction time on Erdős–Rényi
+//! graphs as the number of nodes (with edges fixed) and the number of edges
+//! (with nodes fixed) are varied — the paper's own scalability protocol,
+//! scaled down by `--scale`.
+//!
+//! The printed ratio column makes the near-linear growth visible: time
+//! roughly doubles when the varied quantity doubles.
+
+use std::time::Instant;
+
+use nrp_bench::methods::nrp;
+use nrp_bench::report::fmt_secs;
+use nrp_bench::{HarnessArgs, Scale, Table};
+use nrp_core::Embedder;
+use nrp_graph::generators::erdos_renyi_nm;
+use nrp_graph::GraphKind;
+
+fn factor(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 1,
+        Scale::Small => 4,
+        Scale::Medium => 16,
+        Scale::Large => 64,
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let f = factor(args.scale);
+    // Paper: n ∈ {2e5..1e6} with m = 1e7; m ∈ {2e7..1e8} with n = 1e6.
+    // Scaled down: base n = 5k·f, base m = 25k·f.
+    let base_nodes = 5_000 * f;
+    let base_edges = 25_000 * f;
+
+    let mut by_nodes = Table::new(
+        format!("Fig. 10(a) — NRP time vs number of nodes (m = {base_edges} edges fixed)"),
+        &["nodes", "edges", "seconds", "ratio vs previous"],
+    );
+    let mut previous: Option<f64> = None;
+    for step in 1..=5usize {
+        let n = base_nodes * step;
+        let graph = erdos_renyi_nm(n, base_edges, GraphKind::Directed, args.seed)
+            .expect("valid ER parameters");
+        let start = Instant::now();
+        nrp(args.dimension, args.seed).embed(&graph).expect("NRP on ER graph");
+        let secs = start.elapsed().as_secs_f64();
+        let ratio = previous.map(|p| format!("{:.2}", secs / p)).unwrap_or_else(|| "-".into());
+        by_nodes.add_row(vec![n.to_string(), base_edges.to_string(), fmt_secs(start.elapsed()), ratio]);
+        previous = Some(secs);
+    }
+    by_nodes.print();
+
+    let mut by_edges = Table::new(
+        format!("Fig. 10(b) — NRP time vs number of edges (n = {base_nodes} nodes fixed)"),
+        &["nodes", "edges", "seconds", "ratio vs previous"],
+    );
+    let mut previous: Option<f64> = None;
+    for step in 1..=5usize {
+        let m = base_edges * step;
+        let graph = erdos_renyi_nm(base_nodes, m, GraphKind::Directed, args.seed)
+            .expect("valid ER parameters");
+        let start = Instant::now();
+        nrp(args.dimension, args.seed).embed(&graph).expect("NRP on ER graph");
+        let secs = start.elapsed().as_secs_f64();
+        let ratio = previous.map(|p| format!("{:.2}", secs / p)).unwrap_or_else(|| "-".into());
+        by_edges.add_row(vec![base_nodes.to_string(), m.to_string(), fmt_secs(start.elapsed()), ratio]);
+        previous = Some(secs);
+    }
+    by_edges.print();
+}

@@ -1,0 +1,65 @@
+//! Regenerates the paper's Fig. 11: NRP construction time as each parameter
+//! (ℓ1, ℓ2, α, ε) is varied, on every dataset of the synthetic suite.
+
+use std::time::Instant;
+
+use nrp_bench::datasets::suite;
+use nrp_bench::report::fmt_secs;
+use nrp_bench::{HarnessArgs, Table};
+use nrp_core::{Embedder, Nrp, NrpParams};
+
+fn time_with(graph: &nrp_graph::Graph, params: NrpParams) -> String {
+    let start = Instant::now();
+    match Nrp::new(params).embed(graph) {
+        Ok(_) => fmt_secs(start.elapsed()),
+        Err(err) => format!("err:{err}"),
+    }
+}
+
+fn base(dimension: usize, seed: u64) -> NrpParams {
+    NrpParams::builder().dimension(dimension).seed(seed).build().expect("valid parameters")
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let l1_values = [1usize, 5, 10, 20, 40];
+    let l2_values = [0usize, 2, 5, 10, 20, 30];
+    let alphas = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let epsilons = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+    for dataset in suite(args.scale, args.seed) {
+        let graph = &dataset.graph;
+
+        let mut t = Table::new(format!("Fig. 11(a) — time vs l1 on {}", dataset.name), &["l1", "seconds"]);
+        for &l1 in &l1_values {
+            let mut params = base(args.dimension, args.seed);
+            params.num_hops = l1;
+            t.add_row(vec![l1.to_string(), time_with(graph, params)]);
+        }
+        t.print();
+
+        let mut t = Table::new(format!("Fig. 11(b) — time vs l2 on {}", dataset.name), &["l2", "seconds"]);
+        for &l2 in &l2_values {
+            let mut params = base(args.dimension, args.seed);
+            params.reweight_epochs = l2;
+            t.add_row(vec![l2.to_string(), time_with(graph, params)]);
+        }
+        t.print();
+
+        let mut t = Table::new(format!("Fig. 11(c) — time vs alpha on {}", dataset.name), &["alpha", "seconds"]);
+        for &alpha in &alphas {
+            let mut params = base(args.dimension, args.seed);
+            params.alpha = alpha;
+            t.add_row(vec![alpha.to_string(), time_with(graph, params)]);
+        }
+        t.print();
+
+        let mut t = Table::new(format!("Fig. 11(d) — time vs epsilon on {}", dataset.name), &["epsilon", "seconds"]);
+        for &eps in &epsilons {
+            let mut params = base(args.dimension, args.seed);
+            params.epsilon = eps;
+            t.add_row(vec![eps.to_string(), time_with(graph, params)]);
+        }
+        t.print();
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates the paper's Fig. 2 / Example 1: the ApproxPPR factors on the
+//! Fig. 1 example graph with k' = 2, and the quality of the `X·Yᵀ ≈ π`
+//! approximation on the two highlighted node pairs.
+
+use nrp_bench::report::fmt4;
+use nrp_bench::Table;
+use nrp_core::ppr::PprMatrix;
+use nrp_core::{ApproxPpr, ApproxPprParams, Embedder};
+use nrp_graph::generators::example::{example_graph, V2, V4, V7, V9};
+
+fn main() {
+    let graph = example_graph();
+    let params = ApproxPprParams { half_dimension: 2, alpha: 0.15, num_hops: 20, ..Default::default() };
+    let embedding = ApproxPpr::new(params).embed(&graph).expect("ApproxPPR on the example graph");
+
+    let mut factors = Table::new(
+        "Fig. 2 — ApproxPPR factors with k' = 2 (X forward, Y backward)",
+        &["node", "X[0]", "X[1]", "Y[0]", "Y[1]"],
+    );
+    for v in 0..9u32 {
+        factors.add_row(vec![
+            format!("v{}", v + 1),
+            fmt4(embedding.forward_vector(v)[0]),
+            fmt4(embedding.forward_vector(v)[1]),
+            fmt4(embedding.backward_vector(v)[0]),
+            fmt4(embedding.backward_vector(v)[1]),
+        ]);
+    }
+    factors.print();
+
+    let ppr = PprMatrix::exact(&graph, 0.15, 1e-12).expect("exact PPR");
+    let mut check = Table::new(
+        "Example 1 — X·Yᵀ vs exact PPR on the highlighted pairs",
+        &["pair", "X_u · Y_v", "pi(u, v)", "abs error"],
+    );
+    for (label, u, v) in [("(v2, v4)", V2, V4), ("(v9, v7)", V9, V7)] {
+        let approx = embedding.score(u, v);
+        let exact = ppr.get(u, v);
+        check.add_row(vec![label.into(), fmt4(approx), fmt4(exact), fmt4((approx - exact).abs())]);
+    }
+    check.print();
+}

@@ -1,0 +1,46 @@
+//! Regenerates the paper's Fig. 5: graph-reconstruction precision@K curves
+//! for every method on the labelled datasets of the synthetic suite.
+
+use nrp_bench::datasets::suite;
+use nrp_bench::methods::roster;
+use nrp_bench::report::fmt4;
+use nrp_bench::{HarnessArgs, Table};
+use nrp_eval::{GraphReconstruction, ReconstructionConfig};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    for dataset in suite(args.scale, args.seed) {
+        let max_pairs = dataset.graph.num_nodes() * (dataset.graph.num_nodes() - 1) / 2;
+        // Follow the paper: all pairs on small graphs, a sample on larger ones.
+        let sample = if max_pairs > 2_000_000 { Some(1_000_000) } else { None };
+        let k_values: Vec<usize> = vec![10, 100, 1_000, 10_000]
+            .into_iter()
+            .filter(|&k| k <= max_pairs)
+            .collect();
+        let header: Vec<String> =
+            std::iter::once("method".to_string()).chain(k_values.iter().map(|k| format!("K={k}"))).collect();
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(
+            format!("Fig. 5 — graph reconstruction precision@K on {}", dataset.name),
+            &header_refs,
+        );
+        for method in roster(args.dimension, args.seed) {
+            let task = GraphReconstruction::new(ReconstructionConfig {
+                sample_pairs: sample,
+                k_values: k_values.clone(),
+                seed: args.seed,
+            });
+            let mut row = vec![method.name().to_string()];
+            match task.evaluate(&dataset.graph, method.as_ref()) {
+                Ok(outcome) => {
+                    for (_, precision) in outcome.precision {
+                        row.push(fmt4(precision));
+                    }
+                }
+                Err(err) => row.push(format!("err:{err}")),
+            }
+            table.add_row(row);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates the paper's Fig. 6: node-classification micro-F1 as a
+//! function of the training ratio, for every method on the labelled datasets.
+
+use nrp_bench::datasets::suite;
+use nrp_bench::methods::roster;
+use nrp_bench::report::fmt4;
+use nrp_bench::{HarnessArgs, Table};
+use nrp_eval::{ClassificationConfig, NodeClassification};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let ratios = [0.1, 0.3, 0.5, 0.7, 0.9];
+    for dataset in suite(args.scale, args.seed) {
+        let Some(labels) = &dataset.labels else { continue };
+        let header: Vec<String> = std::iter::once("method".to_string())
+            .chain(ratios.iter().map(|r| format!("train={r}")))
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(
+            format!("Fig. 6 — node classification micro-F1 on {}", dataset.name),
+            &header_refs,
+        );
+        for method in roster(args.dimension, args.seed) {
+            let mut row = vec![method.name().to_string()];
+            // Embed once, evaluate at every ratio (as the paper does).
+            match method.embed(&dataset.graph) {
+                Ok(embedding) => {
+                    for &ratio in &ratios {
+                        let task = NodeClassification::new(ClassificationConfig {
+                            train_ratio: ratio,
+                            seed: args.seed,
+                            ..Default::default()
+                        });
+                        match task.evaluate_embedding(&embedding, labels) {
+                            Ok(report) => row.push(fmt4(report.micro_f1)),
+                            Err(err) => row.push(format!("err:{err}")),
+                        }
+                    }
+                }
+                Err(err) => row.push(format!("err:{err}")),
+            }
+            table.add_row(row);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates the paper's Fig. 7: embedding-construction wall-clock time as
+//! a function of the dimensionality `k`, for every method on every dataset.
+
+use std::time::Instant;
+
+use nrp_bench::datasets::suite;
+use nrp_bench::methods::roster;
+use nrp_bench::report::fmt_secs;
+use nrp_bench::{HarnessArgs, Table};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let dimensions = [16usize, 32, 64];
+    for dataset in suite(args.scale, args.seed) {
+        let mut table = Table::new(
+            format!(
+                "Fig. 7 — embedding construction time (seconds) on {} ({} nodes, {} arcs)",
+                dataset.name,
+                dataset.graph.num_nodes(),
+                dataset.graph.num_arcs()
+            ),
+            &["method", "k=16", "k=32", "k=64"],
+        );
+        let method_names: Vec<&'static str> = roster(16, args.seed).iter().map(|m| m.name()).collect();
+        for name in method_names {
+            let mut row = vec![name.to_string()];
+            for &k in &dimensions {
+                let method = roster(k, args.seed)
+                    .into_iter()
+                    .find(|m| m.name() == name)
+                    .expect("method present at every dimension");
+                let start = Instant::now();
+                match method.embed(&dataset.graph) {
+                    Ok(_) => row.push(fmt_secs(start.elapsed())),
+                    Err(err) => row.push(format!("err:{err}")),
+                }
+            }
+            table.add_row(row);
+        }
+        table.print();
+    }
+}

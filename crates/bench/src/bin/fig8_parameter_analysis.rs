@@ -1,0 +1,78 @@
+//! Regenerates the paper's Fig. 8: link-prediction AUC of NRP as each of its
+//! parameters (α, ε, ℓ1, ℓ2) is varied while the others stay at the paper's
+//! defaults.  The ℓ2 sweep doubles as the reweighting ablation: ℓ2 = 0 is
+//! pure ApproxPPR.
+
+use nrp_bench::datasets::suite;
+use nrp_bench::report::fmt4;
+use nrp_bench::{HarnessArgs, Table};
+use nrp_core::{Nrp, NrpParams};
+use nrp_eval::LinkPrediction;
+
+fn evaluate(graph: &nrp_graph::Graph, params: NrpParams, seed: u64) -> String {
+    let task = LinkPrediction::new(nrp_eval::LinkPredictionConfig { seed, ..Default::default() });
+    match task.evaluate(graph, &Nrp::new(params)) {
+        Ok(outcome) => fmt4(outcome.auc),
+        Err(err) => format!("err:{err}"),
+    }
+}
+
+fn base(dimension: usize, seed: u64) -> NrpParams {
+    NrpParams::builder().dimension(dimension).seed(seed).build().expect("valid parameters")
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let alphas = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let epsilons = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let l1_values = [1usize, 2, 5, 10, 20, 40];
+    let l2_values = [0usize, 1, 2, 5, 10, 20];
+
+    for dataset in suite(args.scale, args.seed) {
+        let graph = &dataset.graph;
+
+        let mut t_alpha = Table::new(
+            format!("Fig. 8(a) — AUC vs alpha on {}", dataset.name),
+            &["alpha", "auc"],
+        );
+        for &alpha in &alphas {
+            let mut params = base(args.dimension, args.seed);
+            params.alpha = alpha;
+            t_alpha.add_row(vec![format!("{alpha}"), evaluate(graph, params, args.seed)]);
+        }
+        t_alpha.print();
+
+        let mut t_eps = Table::new(
+            format!("Fig. 8(b) — AUC vs epsilon on {}", dataset.name),
+            &["epsilon", "auc"],
+        );
+        for &eps in &epsilons {
+            let mut params = base(args.dimension, args.seed);
+            params.epsilon = eps;
+            t_eps.add_row(vec![format!("{eps}"), evaluate(graph, params, args.seed)]);
+        }
+        t_eps.print();
+
+        let mut t_l1 = Table::new(
+            format!("Fig. 8(c) — AUC vs l1 (PPR hops) on {}", dataset.name),
+            &["l1", "auc"],
+        );
+        for &l1 in &l1_values {
+            let mut params = base(args.dimension, args.seed);
+            params.num_hops = l1;
+            t_l1.add_row(vec![l1.to_string(), evaluate(graph, params, args.seed)]);
+        }
+        t_l1.print();
+
+        let mut t_l2 = Table::new(
+            format!("Fig. 8(d) — AUC vs l2 (reweighting epochs; 0 = ApproxPPR) on {}", dataset.name),
+            &["l2", "auc"],
+        );
+        for &l2 in &l2_values {
+            let mut params = base(args.dimension, args.seed);
+            params.reweight_epochs = l2;
+            t_l2.add_row(vec![l2.to_string(), evaluate(graph, params, args.seed)]);
+        }
+        t_l2.print();
+    }
+}

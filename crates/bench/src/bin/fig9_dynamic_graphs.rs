@@ -1,0 +1,40 @@
+//! Regenerates the paper's Fig. 9 (and Table 4): predicting genuinely *new*
+//! edges of an evolving graph from embeddings built on the old snapshot.
+
+use nrp_bench::datasets::evolving_dataset;
+use nrp_bench::methods::roster;
+use nrp_bench::report::fmt4;
+use nrp_bench::{HarnessArgs, Table};
+use nrp_eval::{LinkPrediction, LinkPredictionConfig, ScoringStrategy};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let instance = evolving_dataset(args.scale, args.seed);
+    let mut table = Table::new(
+        format!(
+            "Fig. 9 — new-edge prediction AUC on the evolving graph ({} nodes, {} old edges, {} new edges)",
+            instance.old_graph.num_nodes(),
+            instance.old_graph.num_edges(),
+            instance.new_edges.len()
+        ),
+        &["method", "auc"],
+    );
+    let single_vector = ["DeepWalk", "node2vec", "LINE", "VERSE", "RandNE", "Spectral"];
+    for method in roster(args.dimension, args.seed) {
+        let scoring = if instance.old_graph.kind().is_directed() && single_vector.contains(&method.name()) {
+            ScoringStrategy::EdgeFeatures
+        } else {
+            ScoringStrategy::InnerProduct
+        };
+        let task = LinkPrediction::new(LinkPredictionConfig { scoring, seed: args.seed, ..Default::default() });
+        let cell = match method.embed(&instance.old_graph) {
+            Ok(embedding) => match task.evaluate_new_edges(&instance.old_graph, &embedding, &instance.new_edges) {
+                Ok(outcome) => fmt4(outcome.auc),
+                Err(err) => format!("err:{err}"),
+            },
+            Err(err) => format!("err:{err}"),
+        };
+        table.add_row(vec![method.name().to_string(), cell]);
+    }
+    table.print();
+}

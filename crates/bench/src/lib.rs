@@ -1,0 +1,93 @@
+//! # nrp-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (Section 5 and Appendix C) on the synthetic dataset suite.
+//!
+//! Each `src/bin/*.rs` binary corresponds to one table or figure and prints a
+//! CSV-style table with the same rows/series the paper plots; see
+//! `EXPERIMENTS.md` at the repository root for the full index and for the
+//! paper-vs-measured comparison.
+//!
+//! Binaries accept `--scale tiny|small|medium|large` (default `small`) so CI
+//! can run quickly while users can push towards the paper's regimes, and
+//! `--dim <k>` to override the embedding dimensionality.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod methods;
+pub mod report;
+
+pub use datasets::{BenchDataset, Scale};
+pub use report::Table;
+
+/// Parses `--scale`, `--dim` and `--seed` from command-line arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessArgs {
+    /// Dataset scale.
+    pub scale: Scale,
+    /// Embedding dimensionality `k`.
+    pub dimension: usize,
+    /// RNG seed shared by generators and methods.
+    pub seed: u64,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self { scale: Scale::Small, dimension: 32, seed: 7 }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses the process arguments, falling back to defaults on anything
+    /// missing and panicking with a usage message on malformed values.
+    pub fn from_env() -> Self {
+        let mut args = HarnessArgs::default();
+        let mut iter = std::env::args().skip(1);
+        while let Some(flag) = iter.next() {
+            match flag.as_str() {
+                "--scale" => {
+                    let value = iter.next().unwrap_or_default();
+                    args.scale = match value.as_str() {
+                        "tiny" => Scale::Tiny,
+                        "small" => Scale::Small,
+                        "medium" => Scale::Medium,
+                        "large" => Scale::Large,
+                        other => panic!("unknown scale '{other}' (expected tiny|small|medium|large)"),
+                    };
+                }
+                "--dim" => {
+                    args.dimension = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--dim expects an integer"));
+                }
+                "--seed" => {
+                    args.seed = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed expects an integer"));
+                }
+                "--help" | "-h" => {
+                    println!("usage: <bin> [--scale tiny|small|medium|large] [--dim K] [--seed S]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag '{other}'"),
+            }
+        }
+        args
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let args = HarnessArgs::default();
+        assert_eq!(args.dimension, 32);
+        assert!(matches!(args.scale, Scale::Small));
+    }
+}

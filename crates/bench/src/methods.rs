@@ -1,0 +1,79 @@
+//! The method roster shared by the figure harnesses.
+
+use nrp_baselines::{app, arope, deepwalk, line, node2vec, randne, spectral, strap, verse};
+use nrp_baselines::{App, Arope, DeepWalk, Line, Node2Vec, RandNe, SpectralEmbedding, Strap, Verse};
+use nrp_core::{ApproxPpr, ApproxPprParams, Embedder, Nrp, NrpParams};
+
+/// Builds NRP with the paper's default hyper-parameters at dimension `k`.
+pub fn nrp(dimension: usize, seed: u64) -> Nrp {
+    Nrp::new(
+        NrpParams::builder()
+            .dimension(dimension)
+            .seed(seed)
+            .build()
+            .expect("paper defaults are valid"),
+    )
+}
+
+/// Builds the ApproxPPR baseline at dimension `k`.
+pub fn approx_ppr(dimension: usize, seed: u64) -> ApproxPpr {
+    ApproxPpr::new(ApproxPprParams { half_dimension: (dimension / 2).max(1), seed, ..Default::default() })
+}
+
+/// The full roster evaluated by the figure harnesses: NRP, ApproxPPR and one
+/// representative per competitor family.  Walk-based methods get reduced
+/// sampling budgets compared with their library defaults so the harness
+/// completes in reasonable time; the relative ordering is unaffected.
+pub fn roster(dimension: usize, seed: u64) -> Vec<Box<dyn Embedder>> {
+    vec![
+        Box::new(nrp(dimension, seed)),
+        Box::new(approx_ppr(dimension, seed)),
+        Box::new(Strap::new(strap::StrapParams { dimension, seed, ..Default::default() })),
+        Box::new(Arope::new(arope::AropeParams { dimension, seed, ..Default::default() })),
+        Box::new(RandNe::new(randne::RandNeParams { dimension, seed, ..Default::default() })),
+        Box::new(SpectralEmbedding::new(spectral::SpectralParams { dimension, seed, ..Default::default() })),
+        Box::new(DeepWalk::new(deepwalk::DeepWalkParams {
+            dimension,
+            walks_per_node: 5,
+            walk_length: 30,
+            seed,
+            ..Default::default()
+        })),
+        Box::new(Node2Vec::new(node2vec::Node2VecParams {
+            dimension,
+            walks_per_node: 5,
+            walk_length: 30,
+            p: 0.5,
+            q: 2.0,
+            seed,
+            ..Default::default()
+        })),
+        Box::new(Line::new(line::LineParams { dimension, samples: 100_000, seed, ..Default::default() })),
+        Box::new(Verse::new(verse::VerseParams {
+            dimension,
+            samples_per_node: 20,
+            seed,
+            ..Default::default()
+        })),
+        Box::new(App::new(app::AppParams {
+            dimension,
+            samples_per_node: 20,
+            seed,
+            ..Default::default()
+        })),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_contains_nrp_and_all_families() {
+        let names: Vec<&str> = roster(16, 1).iter().map(|m| m.name()).collect();
+        for expected in ["NRP", "ApproxPPR", "STRAP", "AROPE", "RandNE", "Spectral", "DeepWalk", "node2vec", "LINE", "VERSE", "APP"] {
+            assert!(names.contains(&expected), "roster missing {expected}");
+        }
+        assert_eq!(names.len(), 11);
+    }
+}

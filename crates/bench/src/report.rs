@@ -1,0 +1,118 @@
+//! Minimal table formatting for the harness binaries.
+//!
+//! Output is printed both as an aligned human-readable table and as CSV (one
+//! line per row prefixed with `csv,`) so results can be scraped into plots.
+
+/// A simple column-aligned table that also emits CSV rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column header.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are displayed as-is).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned table plus CSV lines.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&render_row(&self.header, &widths));
+        out.push_str(&render_row(
+            &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+            &widths,
+        ));
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+        }
+        out.push('\n');
+        out.push_str(&format!("csv,{}\n", self.header.join(",")));
+        for row in &self.rows {
+            out.push_str(&format!("csv,{}\n", row.join(",")));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+fn render_row<S: AsRef<str>>(cells: &[S], widths: &[usize]) -> String {
+    let mut line = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let width = widths.get(i).copied().unwrap_or(0);
+        line.push_str(&format!("{:width$}  ", cell.as_ref(), width = width));
+    }
+    line.push('\n');
+    line
+}
+
+/// Formats a float with 4 decimal places.
+pub fn fmt4(value: f64) -> String {
+    format!("{value:.4}")
+}
+
+/// Formats a duration in seconds with 3 decimal places.
+pub fn fmt_secs(duration: std::time::Duration) -> String {
+    format!("{:.3}", duration.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_header_rows_and_csv() {
+        let mut t = Table::new("demo", &["method", "auc"]);
+        t.add_row(vec!["NRP".into(), fmt4(0.91234)]);
+        t.add_row(vec!["DeepWalk".into(), fmt4(0.875)]);
+        let rendered = t.render();
+        assert!(rendered.contains("== demo =="));
+        assert!(rendered.contains("csv,method,auc"));
+        assert!(rendered.contains("csv,NRP,0.9123"));
+        assert!(rendered.contains("DeepWalk"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt4(0.5), "0.5000");
+        assert_eq!(fmt_secs(std::time::Duration::from_millis(1500)), "1.500");
+    }
+}

@@ -1,0 +1,285 @@
+//! The [`Embedding`] container and the [`Embedder`] trait implemented by
+//! every embedding method in the workspace (NRP, ApproxPPR and all
+//! baselines).
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use nrp_graph::{Graph, NodeId};
+use nrp_linalg::DenseMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::{NrpError, Result};
+
+/// A set of node embeddings.
+///
+/// Following the paper (Section 3.1), every node `v` owns a **forward**
+/// vector `X_v` and a **backward** vector `Y_v`, each of length `k/2`, so
+/// that the directed proximity from `u` to `v` is scored as `X_u · Y_v`.
+/// Methods that natively produce a single vector per node (DeepWalk, VERSE,
+/// …) store it as both the forward and backward block, which reduces the
+/// inner-product score to the usual symmetric similarity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding {
+    forward: DenseMatrix,
+    backward: DenseMatrix,
+    method: String,
+}
+
+impl Embedding {
+    /// Wraps forward/backward matrices produced by an embedder.
+    ///
+    /// Both must have the same shape (`n x k/2`).
+    pub fn new(forward: DenseMatrix, backward: DenseMatrix, method: impl Into<String>) -> Result<Self> {
+        if forward.shape() != backward.shape() {
+            return Err(NrpError::InvalidParameter(format!(
+                "forward shape {:?} != backward shape {:?}",
+                forward.shape(),
+                backward.shape()
+            )));
+        }
+        Ok(Self { forward, backward, method: method.into() })
+    }
+
+    /// Builds a "symmetric" embedding where forward and backward blocks are
+    /// the same single vector per node.
+    pub fn symmetric(vectors: DenseMatrix, method: impl Into<String>) -> Self {
+        Self { backward: vectors.clone(), forward: vectors, method: method.into() }
+    }
+
+    /// Number of embedded nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.forward.rows()
+    }
+
+    /// The per-side dimensionality `k/2`.
+    pub fn half_dimension(&self) -> usize {
+        self.forward.cols()
+    }
+
+    /// The total per-node space budget `k` (forward + backward).
+    pub fn dimension(&self) -> usize {
+        2 * self.forward.cols()
+    }
+
+    /// Name of the method that produced this embedding.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// The forward embedding matrix `X` (`n x k/2`).
+    pub fn forward(&self) -> &DenseMatrix {
+        &self.forward
+    }
+
+    /// The backward embedding matrix `Y` (`n x k/2`).
+    pub fn backward(&self) -> &DenseMatrix {
+        &self.backward
+    }
+
+    /// Forward vector of node `u`.
+    pub fn forward_vector(&self, u: NodeId) -> &[f64] {
+        self.forward.row(u as usize)
+    }
+
+    /// Backward vector of node `v`.
+    pub fn backward_vector(&self, v: NodeId) -> &[f64] {
+        self.backward.row(v as usize)
+    }
+
+    /// Directed proximity score `X_u · Y_v` — the quantity that approximates
+    /// `π(u, v)` (ApproxPPR) or `w⃗_u π(u, v) w⃖_v` (NRP).
+    pub fn score(&self, u: NodeId, v: NodeId) -> f64 {
+        nrp_linalg::matrix::dot(self.forward_vector(u), self.backward_vector(v))
+    }
+
+    /// Symmetric score `X_u·Y_v + X_v·Y_u`, useful on undirected graphs.
+    pub fn symmetric_score(&self, u: NodeId, v: NodeId) -> f64 {
+        self.score(u, v) + self.score(v, u)
+    }
+
+    /// Per-node feature vector for node classification: the L2-normalized
+    /// forward vector concatenated with the L2-normalized backward vector,
+    /// exactly the representation the paper feeds to the one-vs-rest
+    /// classifier (Section 5.4).
+    pub fn classification_features(&self, u: NodeId) -> Vec<f64> {
+        let mut features = Vec::with_capacity(self.dimension());
+        features.extend_from_slice(&normalized(self.forward_vector(u)));
+        features.extend_from_slice(&normalized(self.backward_vector(u)));
+        features
+    }
+
+    /// True if every stored value is finite.
+    pub fn is_finite(&self) -> bool {
+        self.forward.is_finite() && self.backward.is_finite()
+    }
+
+    /// Serializes the embedding to JSON.
+    pub fn to_json(&self) -> Result<String> {
+        let serializable = SerializableEmbedding {
+            method: self.method.clone(),
+            num_nodes: self.num_nodes(),
+            half_dimension: self.half_dimension(),
+            forward: self.forward.data().to_vec(),
+            backward: self.backward.data().to_vec(),
+        };
+        serde_json::to_string(&serializable).map_err(|e| NrpError::Serialization(e.to_string()))
+    }
+
+    /// Deserializes an embedding from JSON.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let raw: SerializableEmbedding =
+            serde_json::from_str(json).map_err(|e| NrpError::Serialization(e.to_string()))?;
+        let forward = DenseMatrix::from_vec(raw.num_nodes, raw.half_dimension, raw.forward)
+            .map_err(NrpError::Linalg)?;
+        let backward = DenseMatrix::from_vec(raw.num_nodes, raw.half_dimension, raw.backward)
+            .map_err(NrpError::Linalg)?;
+        Embedding::new(forward, backward, raw.method)
+    }
+
+    /// Writes the embedding to a file as JSON.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut writer = BufWriter::new(file);
+        writer.write_all(self.to_json()?.as_bytes())?;
+        writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads an embedding previously written by [`Embedding::save`].
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let mut reader = BufReader::new(file);
+        let mut json = String::new();
+        reader.read_to_string(&mut json)?;
+        Self::from_json(&json)
+    }
+}
+
+fn normalized(v: &[f64]) -> Vec<f64> {
+    let norm = nrp_linalg::matrix::norm2(v);
+    if norm > 0.0 {
+        v.iter().map(|x| x / norm).collect()
+    } else {
+        v.to_vec()
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct SerializableEmbedding {
+    method: String,
+    num_nodes: usize,
+    half_dimension: usize,
+    forward: Vec<f64>,
+    backward: Vec<f64>,
+}
+
+/// A method that maps a graph to node embeddings.
+pub trait Embedder {
+    /// Computes embeddings for every node of `graph`.
+    fn embed(&self, graph: &Graph) -> Result<Embedding>;
+
+    /// Human-readable method name (used in benchmark tables).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Embedding {
+        let forward = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]).unwrap();
+        let backward = DenseMatrix::from_rows(&[&[0.5, 0.5], &[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        Embedding::new(forward, backward, "test").unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let e = sample();
+        assert_eq!(e.num_nodes(), 3);
+        assert_eq!(e.half_dimension(), 2);
+        assert_eq!(e.dimension(), 4);
+        assert_eq!(e.method(), "test");
+    }
+
+    #[test]
+    fn score_is_forward_backward_inner_product() {
+        let e = sample();
+        assert_eq!(e.score(0, 1), 1.0);
+        assert_eq!(e.score(1, 0), 1.0);
+        assert_eq!(e.score(0, 2), 0.0);
+        assert_eq!(e.symmetric_score(0, 2), e.score(0, 2) + e.score(2, 0));
+    }
+
+    #[test]
+    fn directed_scores_are_asymmetric() {
+        let e = sample();
+        assert_ne!(e.score(1, 2), e.score(2, 1));
+    }
+
+    #[test]
+    fn mismatched_shapes_rejected() {
+        let forward = DenseMatrix::zeros(3, 2);
+        let backward = DenseMatrix::zeros(3, 3);
+        assert!(Embedding::new(forward, backward, "bad").is_err());
+    }
+
+    #[test]
+    fn symmetric_embedding_scores_symmetrically() {
+        let vectors = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let e = Embedding::symmetric(vectors, "sym");
+        assert_eq!(e.score(0, 1), e.score(1, 0));
+    }
+
+    #[test]
+    fn classification_features_are_normalized_concatenation() {
+        let e = sample();
+        let f = e.classification_features(1);
+        assert_eq!(f.len(), 4);
+        let forward_norm: f64 = f[..2].iter().map(|x| x * x).sum::<f64>().sqrt();
+        let backward_norm: f64 = f[2..].iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((forward_norm - 1.0).abs() < 1e-12);
+        assert!((backward_norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_features_stay_zero() {
+        let forward = DenseMatrix::zeros(2, 2);
+        let backward = DenseMatrix::zeros(2, 2);
+        let e = Embedding::new(forward, backward, "zero").unwrap();
+        assert_eq!(e.classification_features(0), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let e = sample();
+        let json = e.to_json().unwrap();
+        let back = Embedding::from_json(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("embedding.json");
+        let e = sample();
+        e.save(&path).unwrap();
+        let back = Embedding::load(&path).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn corrupted_json_is_rejected() {
+        assert!(Embedding::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn finiteness_check() {
+        let e = sample();
+        assert!(e.is_finite());
+        let mut forward = DenseMatrix::zeros(1, 1);
+        forward.set(0, 0, f64::NAN);
+        let bad = Embedding::new(forward, DenseMatrix::zeros(1, 1), "nan").unwrap();
+        assert!(!bad.is_finite());
+    }
+}

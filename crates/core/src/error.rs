@@ -1,0 +1,85 @@
+//! Error type for embedding construction.
+
+use std::fmt;
+
+use nrp_graph::GraphError;
+use nrp_linalg::LinalgError;
+
+/// Errors produced while constructing embeddings.
+#[derive(Debug)]
+pub enum NrpError {
+    /// A parameter was outside its valid range.
+    InvalidParameter(String),
+    /// The underlying graph operation failed.
+    Graph(GraphError),
+    /// The underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+    /// Serialization or file I/O failed.
+    Io(std::io::Error),
+    /// Embedding (de)serialization failed.
+    Serialization(String),
+}
+
+impl fmt::Display for NrpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NrpError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            NrpError::Graph(err) => write!(f, "graph error: {err}"),
+            NrpError::Linalg(err) => write!(f, "linear algebra error: {err}"),
+            NrpError::Io(err) => write!(f, "i/o error: {err}"),
+            NrpError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NrpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NrpError::Graph(err) => Some(err),
+            NrpError::Linalg(err) => Some(err),
+            NrpError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for NrpError {
+    fn from(err: GraphError) -> Self {
+        NrpError::Graph(err)
+    }
+}
+
+impl From<LinalgError> for NrpError {
+    fn from(err: LinalgError) -> Self {
+        NrpError::Linalg(err)
+    }
+}
+
+impl From<std::io::Error> for NrpError {
+    fn from(err: std::io::Error) -> Self {
+        NrpError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let err = NrpError::InvalidParameter("alpha out of range".into());
+        assert!(err.to_string().contains("alpha"));
+        let err: NrpError = GraphError::EmptyGraph.into();
+        assert!(err.to_string().contains("graph"));
+        let err: NrpError = LinalgError::InvalidParameter("rank".into()).into();
+        assert!(err.to_string().contains("linear algebra"));
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        let err: NrpError = GraphError::EmptyGraph.into();
+        assert!(std::error::Error::source(&err).is_some());
+        let err = NrpError::InvalidParameter("x".into());
+        assert!(std::error::Error::source(&err).is_none());
+    }
+}

@@ -1,0 +1,46 @@
+//! # nrp-core
+//!
+//! The paper's contribution: **NRP (Node-Reweighted PageRank)** homogeneous
+//! network embeddings, together with the **ApproxPPR** baseline it builds on
+//! (Yang et al., *Homogeneous Network Embedding for Massive Graphs via
+//! Reweighted Personalized PageRank*, PVLDB 13(5), 2020).
+//!
+//! The pipeline has two stages:
+//!
+//! 1. [`approx_ppr::ApproxPpr`] (paper Algorithm 1) factorizes the truncated
+//!    personalized-PageRank series `Π' = Σ_{i=1..ℓ1} α(1-α)^i P^i` into
+//!    forward embeddings `X` and backward embeddings `Y` such that
+//!    `X_u · Y_v ≈ π(u, v)`, without ever materializing the `n × n` PPR
+//!    matrix: a randomized block-Krylov SVD of the adjacency matrix provides
+//!    the initial factors and `ℓ1 - 1` sparse propagations fold in the
+//!    higher-order terms.
+//! 2. [`reweight`] (paper Algorithms 2–4) learns per-node forward and
+//!    backward weights by coordinate descent so that the total embedded
+//!    proximity out of (into) each node matches its out- (in-) degree, fixing
+//!    the "PPR is a relative measure" deficiency illustrated by the paper's
+//!    Fig. 1.  [`nrp::Nrp`] (Algorithm 3) glues the stages together.
+//!
+//! Supporting modules: [`ppr`] computes exact PPR matrices for small graphs
+//! (ground truth in tests and the Table 1 harness), [`push`] implements
+//! forward-push approximate single-source PPR (used by the STRAP baseline),
+//! and [`embedding`] defines the [`embedding::Embedding`] container plus the
+//! [`embedding::Embedder`] trait shared by every method in the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx_ppr;
+pub mod embedding;
+pub mod error;
+pub mod nrp;
+pub mod ppr;
+pub mod push;
+pub mod reweight;
+
+pub use approx_ppr::{ApproxPpr, ApproxPprParams};
+pub use embedding::{Embedder, Embedding};
+pub use error::NrpError;
+pub use nrp::{Nrp, NrpParams};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, NrpError>;

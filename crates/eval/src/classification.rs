@@ -1,0 +1,240 @@
+//! Node classification (paper Section 5.4).
+//!
+//! Protocol: embed the full graph, take the normalized forward‖backward
+//! feature vector of every node, train a one-vs-rest logistic-regression
+//! classifier on a random fraction of the labelled nodes, and report
+//! micro-F1 and macro-F1 on the remaining nodes.  For each test node the
+//! classifier predicts as many labels as the node truly has (the standard
+//! multi-label evaluation protocol used by DeepWalk and its successors).
+
+use nrp_core::{Embedder, Embedding};
+use nrp_graph::Graph;
+
+use crate::logreg::{LogRegConfig, OneVsRest};
+use crate::metrics::{label_counts, macro_f1, micro_f1};
+use crate::split::train_test_nodes;
+use crate::{EvalError, Result};
+
+/// Configuration of the node-classification experiment.
+#[derive(Debug, Clone)]
+pub struct ClassificationConfig {
+    /// Fraction of labelled nodes used for training (paper sweeps 0.1–0.9).
+    pub train_ratio: f64,
+    /// Logistic-regression hyper-parameters.
+    pub logreg: LogRegConfig,
+    /// RNG seed for the node split.
+    pub seed: u64,
+}
+
+impl Default for ClassificationConfig {
+    fn default() -> Self {
+        Self { train_ratio: 0.5, logreg: LogRegConfig::default(), seed: 0 }
+    }
+}
+
+/// Micro-/macro-F1 of one classification run.
+#[derive(Debug, Clone)]
+pub struct ClassificationReport {
+    /// Micro-averaged F1 over all test predictions.
+    pub micro_f1: f64,
+    /// Macro-averaged F1 over labels.
+    pub macro_f1: f64,
+    /// Number of training nodes.
+    pub num_train: usize,
+    /// Number of test nodes.
+    pub num_test: usize,
+}
+
+/// The node-classification task runner.
+#[derive(Debug, Clone, Default)]
+pub struct NodeClassification {
+    config: ClassificationConfig,
+}
+
+impl NodeClassification {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: ClassificationConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &ClassificationConfig {
+        &self.config
+    }
+
+    /// Embeds `graph` and evaluates label prediction for `labels`
+    /// (`labels[v]` is the, possibly empty, label set of node `v`).
+    pub fn evaluate<E: Embedder + ?Sized>(
+        &self,
+        graph: &Graph,
+        labels: &[Vec<u32>],
+        embedder: &E,
+    ) -> Result<ClassificationReport> {
+        let embedding = embedder.embed(graph)?;
+        self.evaluate_embedding(&embedding, labels)
+    }
+
+    /// Evaluates label prediction for an existing embedding.
+    pub fn evaluate_embedding(
+        &self,
+        embedding: &Embedding,
+        labels: &[Vec<u32>],
+    ) -> Result<ClassificationReport> {
+        if labels.len() != embedding.num_nodes() {
+            return Err(EvalError::InvalidParameter(format!(
+                "labels cover {} nodes but the embedding has {}",
+                labels.len(),
+                embedding.num_nodes()
+            )));
+        }
+        // Only labelled nodes participate (the paper's datasets label every node,
+        // but the SBM generator may leave nodes unlabelled when noise is high).
+        let labelled: Vec<usize> = (0..labels.len()).filter(|&v| !labels[v].is_empty()).collect();
+        if labelled.len() < 4 {
+            return Err(EvalError::Degenerate("need at least four labelled nodes".into()));
+        }
+        let num_labels = labels
+            .iter()
+            .flat_map(|ls| ls.iter())
+            .max()
+            .map(|&m| m as usize + 1)
+            .ok_or_else(|| EvalError::Degenerate("no labels present".into()))?;
+
+        let (train_idx, test_idx) = train_test_nodes(labelled.len(), self.config.train_ratio, self.config.seed)?;
+        let train_nodes: Vec<usize> = train_idx.iter().map(|&i| labelled[i]).collect();
+        let test_nodes: Vec<usize> = test_idx.iter().map(|&i| labelled[i]).collect();
+        if train_nodes.is_empty() || test_nodes.is_empty() {
+            return Err(EvalError::Degenerate("train/test split produced an empty side".into()));
+        }
+
+        let train_features: Vec<Vec<f64>> =
+            train_nodes.iter().map(|&v| embedding.classification_features(v as u32)).collect();
+        let train_labels: Vec<Vec<u32>> = train_nodes.iter().map(|&v| labels[v].clone()).collect();
+        let model = OneVsRest::train(&train_features, &train_labels, num_labels, &self.config.logreg)?;
+
+        let mut truth = Vec::with_capacity(test_nodes.len());
+        let mut predicted = Vec::with_capacity(test_nodes.len());
+        for &v in &test_nodes {
+            let features = embedding.classification_features(v as u32);
+            let count = labels[v].len();
+            predicted.push(model.predict_top(&features, count));
+            truth.push(labels[v].clone());
+        }
+        let counts = label_counts(&truth, &predicted, num_labels)?;
+        Ok(ClassificationReport {
+            micro_f1: micro_f1(&counts),
+            macro_f1: macro_f1(&counts),
+            num_train: train_nodes.len(),
+            num_test: test_nodes.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrp_core::{Nrp, NrpParams};
+    use nrp_graph::generators::{planted_labels, stochastic_block_model};
+    use nrp_graph::GraphKind;
+
+    fn nrp(seed: u64) -> Nrp {
+        Nrp::new(
+            NrpParams::builder()
+                .dimension(16)
+                .reweight_epochs(6)
+                .lambda(1.0)
+                .seed(seed)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn labelled_sbm(seed: u64) -> (Graph, Vec<Vec<u32>>) {
+        let (g, community) =
+            stochastic_block_model(&[40, 40, 40], 0.15, 0.01, GraphKind::Undirected, seed).unwrap();
+        let labels = planted_labels(&community, 3, 0.05, 0.0, seed);
+        (g, labels)
+    }
+
+    #[test]
+    fn recovers_planted_communities() {
+        let (g, labels) = labelled_sbm(1);
+        let report = NodeClassification::default().evaluate(&g, &labels, &nrp(1)).unwrap();
+        assert!(report.micro_f1 > 0.7, "micro-F1 {}", report.micro_f1);
+        assert!(report.macro_f1 > 0.6, "macro-F1 {}", report.macro_f1);
+        assert!(report.num_train > 0 && report.num_test > 0);
+    }
+
+    #[test]
+    fn more_training_data_does_not_hurt_much() {
+        let (g, labels) = labelled_sbm(2);
+        let embedding = nrp(2).embed(&g).unwrap();
+        let low = NodeClassification::new(ClassificationConfig { train_ratio: 0.2, seed: 3, ..Default::default() })
+            .evaluate_embedding(&embedding, &labels)
+            .unwrap();
+        let high = NodeClassification::new(ClassificationConfig { train_ratio: 0.8, seed: 3, ..Default::default() })
+            .evaluate_embedding(&embedding, &labels)
+            .unwrap();
+        assert!(high.micro_f1 >= low.micro_f1 - 0.1);
+    }
+
+    #[test]
+    fn random_features_score_worse_than_embeddings() {
+        let (g, labels) = labelled_sbm(3);
+        let n = g.num_nodes();
+        let random = nrp_core::Embedding::new(
+            nrp_linalg::random::gaussian_matrix(n, 8, 31),
+            nrp_linalg::random::gaussian_matrix(n, 8, 32),
+            "random",
+        )
+        .unwrap();
+        let task = NodeClassification::default();
+        let trained = task.evaluate_embedding(&nrp(3).embed(&g).unwrap(), &labels).unwrap();
+        let baseline = task.evaluate_embedding(&random, &labels).unwrap();
+        assert!(
+            trained.micro_f1 > baseline.micro_f1,
+            "trained {} should beat random {}",
+            trained.micro_f1,
+            baseline.micro_f1
+        );
+    }
+
+    #[test]
+    fn multilabel_nodes_are_handled() {
+        let (g, community) =
+            stochastic_block_model(&[30, 30], 0.2, 0.02, GraphKind::Undirected, 4).unwrap();
+        let labels = planted_labels(&community, 4, 0.05, 0.4, 4);
+        assert!(labels.iter().any(|ls| ls.len() > 1));
+        let report = NodeClassification::default().evaluate(&g, &labels, &nrp(4)).unwrap();
+        assert!(report.micro_f1 > 0.3);
+    }
+
+    #[test]
+    fn unlabelled_nodes_are_excluded() {
+        let (g, community) =
+            stochastic_block_model(&[30, 30], 0.2, 0.02, GraphKind::Undirected, 5).unwrap();
+        let mut labels = planted_labels(&community, 2, 0.0, 0.0, 5);
+        // Strip labels from a third of the nodes.
+        for ls in labels.iter_mut().take(20) {
+            ls.clear();
+        }
+        let report = NodeClassification::default().evaluate(&g, &labels, &nrp(5)).unwrap();
+        assert_eq!(report.num_train + report.num_test, 40);
+    }
+
+    #[test]
+    fn mismatched_label_length_rejected() {
+        let (g, labels) = labelled_sbm(6);
+        let embedding = nrp(6).embed(&g).unwrap();
+        let short = &labels[..10].to_vec();
+        assert!(NodeClassification::default().evaluate_embedding(&embedding, short).is_err());
+    }
+
+    #[test]
+    fn all_unlabelled_rejected() {
+        let (g, _) = stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 7).unwrap();
+        let labels = vec![Vec::new(); g.num_nodes()];
+        let embedding = nrp(7).embed(&g).unwrap();
+        assert!(NodeClassification::default().evaluate_embedding(&embedding, &labels).is_err());
+    }
+}

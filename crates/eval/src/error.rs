@@ -1,0 +1,67 @@
+//! Error type for evaluation tasks.
+
+use std::fmt;
+
+use nrp_core::NrpError;
+use nrp_graph::GraphError;
+
+/// Errors produced while running an evaluation task.
+#[derive(Debug)]
+pub enum EvalError {
+    /// A parameter was outside its valid range.
+    InvalidParameter(String),
+    /// The task's input data was unusable (e.g. no positive examples).
+    Degenerate(String),
+    /// Graph manipulation failed.
+    Graph(GraphError),
+    /// The embedding method failed.
+    Embedding(NrpError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            EvalError::Degenerate(msg) => write!(f, "degenerate task input: {msg}"),
+            EvalError::Graph(err) => write!(f, "graph error: {err}"),
+            EvalError::Embedding(err) => write!(f, "embedding error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Graph(err) => Some(err),
+            EvalError::Embedding(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for EvalError {
+    fn from(err: GraphError) -> Self {
+        EvalError::Graph(err)
+    }
+}
+
+impl From<NrpError> for EvalError {
+    fn from(err: NrpError) -> Self {
+        EvalError::Embedding(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = EvalError::InvalidParameter("ratio".into());
+        assert!(err.to_string().contains("ratio"));
+        let err: EvalError = GraphError::EmptyGraph.into();
+        assert!(std::error::Error::source(&err).is_some());
+        let err = EvalError::Degenerate("no positives".into());
+        assert!(err.to_string().contains("no positives"));
+    }
+}

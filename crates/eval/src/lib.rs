@@ -1,0 +1,37 @@
+//! # nrp-eval
+//!
+//! The three evaluation tasks of the paper's Section 5, re-implemented so
+//! that every embedding method in the workspace is scored through exactly the
+//! same pipeline:
+//!
+//! * [`link_prediction`] — remove 30 % of the edges, embed the residual
+//!   graph, and rank held-out edges against an equal number of non-edges by
+//!   AUC (Fig. 4), plus the dynamic variant that predicts genuinely *new*
+//!   edges of a later snapshot (Fig. 9).
+//! * [`reconstruction`] — score candidate node pairs of the *original* graph
+//!   and measure `precision@K` of the top-K pairs (Fig. 5).
+//! * [`classification`] — one-vs-rest logistic regression on the normalized
+//!   forward‖backward features with micro-/macro-F1 (Fig. 6).
+//!
+//! Supporting modules: [`metrics`] (AUC, precision, F1), [`split`]
+//! (edge-removal splits, negative sampling, candidate-pair sampling) and
+//! [`logreg`] (the from-scratch logistic-regression classifier).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classification;
+pub mod error;
+pub mod link_prediction;
+pub mod logreg;
+pub mod metrics;
+pub mod reconstruction;
+pub mod split;
+
+pub use classification::{ClassificationConfig, ClassificationReport, NodeClassification};
+pub use error::EvalError;
+pub use link_prediction::{LinkPrediction, LinkPredictionConfig, ScoringStrategy};
+pub use reconstruction::{GraphReconstruction, ReconstructionConfig};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, EvalError>;

@@ -1,0 +1,300 @@
+//! Link prediction (paper Section 5.2 and Appendix C).
+//!
+//! Protocol: remove 30 % of the edges, construct embeddings on the residual
+//! graph, then rank the removed edges against an equal number of non-edges by
+//! a per-pair score and report AUC.  Two scoring strategies are supported,
+//! matching the paper's setup:
+//!
+//! * [`ScoringStrategy::InnerProduct`] — `X_u · Y_v` (used by NRP, ApproxPPR,
+//!   STRAP, APP and by symmetric methods on undirected graphs);
+//! * [`ScoringStrategy::EdgeFeatures`] — train a logistic-regression
+//!   classifier on concatenated endpoint embeddings over a *separate* sample
+//!   of training pairs (the fallback for single-vector methods on directed
+//!   graphs, where the inner product cannot distinguish `(u, v)` from
+//!   `(v, u)`).
+
+use nrp_core::{Embedder, Embedding};
+use nrp_graph::{Graph, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::logreg::{LogRegConfig, LogisticRegression};
+use crate::metrics::auc;
+use crate::split::{link_prediction_split, sample_non_edges};
+use crate::{EvalError, Result};
+
+/// How node-pair scores are derived from embeddings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoringStrategy {
+    /// Directed inner product `X_u · Y_v`.
+    InnerProduct,
+    /// Logistic regression over concatenated endpoint embeddings, trained on
+    /// edges of the training graph vs. sampled non-edges.
+    EdgeFeatures,
+}
+
+/// Configuration of the link-prediction experiment.
+#[derive(Debug, Clone)]
+pub struct LinkPredictionConfig {
+    /// Fraction of edges to hold out (paper: 0.3).
+    pub remove_ratio: f64,
+    /// Scoring strategy.
+    pub scoring: ScoringStrategy,
+    /// RNG seed for the split and negative sampling.
+    pub seed: u64,
+}
+
+impl Default for LinkPredictionConfig {
+    fn default() -> Self {
+        Self { remove_ratio: 0.3, scoring: ScoringStrategy::InnerProduct, seed: 0 }
+    }
+}
+
+/// Result of one link-prediction run.
+#[derive(Debug, Clone)]
+pub struct LinkPredictionOutcome {
+    /// Area under the ROC curve on the held-out pairs.
+    pub auc: f64,
+    /// Number of positive test pairs.
+    pub num_positives: usize,
+    /// Number of negative test pairs.
+    pub num_negatives: usize,
+}
+
+/// The link-prediction task runner.
+#[derive(Debug, Clone, Default)]
+pub struct LinkPrediction {
+    config: LinkPredictionConfig,
+}
+
+impl LinkPrediction {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: LinkPredictionConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &LinkPredictionConfig {
+        &self.config
+    }
+
+    /// Runs the full protocol: split, embed the training graph with
+    /// `embedder`, and score the held-out pairs.
+    pub fn evaluate<E: Embedder + ?Sized>(&self, graph: &Graph, embedder: &E) -> Result<LinkPredictionOutcome> {
+        let split = link_prediction_split(graph, self.config.remove_ratio, self.config.seed)?;
+        let embedding = embedder.embed(&split.train_graph)?;
+        self.evaluate_pairs(&split.train_graph, &embedding, &split.positive_pairs, &split.negative_pairs)
+    }
+
+    /// Dynamic-graph variant (paper Fig. 9): the embedding is built on the
+    /// old snapshot and evaluated on genuinely new edges; negatives are
+    /// sampled among pairs not connected in either snapshot.
+    pub fn evaluate_new_edges(
+        &self,
+        old_graph: &Graph,
+        embedding: &Embedding,
+        new_edges: &[(NodeId, NodeId)],
+    ) -> Result<LinkPredictionOutcome> {
+        if new_edges.is_empty() {
+            return Err(EvalError::Degenerate("no new edges to predict".into()));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0xdead_beef);
+        let negatives = sample_non_edges(old_graph, new_edges.len(), &mut rng)?;
+        self.evaluate_pairs(old_graph, embedding, new_edges, &negatives)
+    }
+
+    /// Scores explicit positive/negative pairs with the configured strategy.
+    pub fn evaluate_pairs(
+        &self,
+        train_graph: &Graph,
+        embedding: &Embedding,
+        positives: &[(NodeId, NodeId)],
+        negatives: &[(NodeId, NodeId)],
+    ) -> Result<LinkPredictionOutcome> {
+        if embedding.num_nodes() != train_graph.num_nodes() {
+            return Err(EvalError::InvalidParameter(format!(
+                "embedding covers {} nodes but the graph has {}",
+                embedding.num_nodes(),
+                train_graph.num_nodes()
+            )));
+        }
+        let scorer = self.build_scorer(train_graph, embedding)?;
+        let positive_scores: Vec<f64> = positives.iter().map(|&(u, v)| scorer.score(u, v)).collect();
+        let negative_scores: Vec<f64> = negatives.iter().map(|&(u, v)| scorer.score(u, v)).collect();
+        let auc = auc(&positive_scores, &negative_scores)?;
+        Ok(LinkPredictionOutcome {
+            auc,
+            num_positives: positives.len(),
+            num_negatives: negatives.len(),
+        })
+    }
+
+    fn build_scorer<'a>(&self, train_graph: &Graph, embedding: &'a Embedding) -> Result<PairScorer<'a>> {
+        match self.config.scoring {
+            ScoringStrategy::InnerProduct => Ok(PairScorer::InnerProduct(embedding)),
+            ScoringStrategy::EdgeFeatures => {
+                // Training pairs: edges of the training graph as positives and
+                // an equal number of non-edges as negatives (paper: E'_train).
+                let train_edges = train_graph.edges();
+                if train_edges.is_empty() {
+                    return Err(EvalError::Degenerate("training graph has no edges".into()));
+                }
+                let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0xed6e);
+                let train_negatives = sample_non_edges(train_graph, train_edges.len(), &mut rng)?;
+                let mut features = Vec::with_capacity(train_edges.len() * 2);
+                let mut labels = Vec::with_capacity(train_edges.len() * 2);
+                for &(u, v) in &train_edges {
+                    features.push(edge_features(embedding, u, v));
+                    labels.push(true);
+                }
+                for &(u, v) in &train_negatives {
+                    features.push(edge_features(embedding, u, v));
+                    labels.push(false);
+                }
+                let model = LogisticRegression::train(
+                    &features,
+                    &labels,
+                    &LogRegConfig { epochs: 150, ..Default::default() },
+                )?;
+                Ok(PairScorer::EdgeFeatures { embedding, model })
+            }
+        }
+    }
+}
+
+enum PairScorer<'a> {
+    InnerProduct(&'a Embedding),
+    EdgeFeatures { embedding: &'a Embedding, model: LogisticRegression },
+}
+
+impl PairScorer<'_> {
+    fn score(&self, u: NodeId, v: NodeId) -> f64 {
+        match self {
+            PairScorer::InnerProduct(e) => e.score(u, v),
+            PairScorer::EdgeFeatures { embedding, model } => {
+                model.decision(&edge_features(embedding, u, v))
+            }
+        }
+    }
+}
+
+fn edge_features(embedding: &Embedding, u: NodeId, v: NodeId) -> Vec<f64> {
+    let mut f = embedding.classification_features(u);
+    f.extend(embedding.classification_features(v));
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrp_core::{ApproxPpr, ApproxPprParams, Nrp, NrpParams};
+    use nrp_graph::generators::evolving::{evolving_sbm, EvolvingSbmParams};
+    use nrp_graph::generators::stochastic_block_model;
+    use nrp_graph::GraphKind;
+    use nrp_linalg::DenseMatrix;
+
+    fn sbm(kind: GraphKind, seed: u64) -> Graph {
+        stochastic_block_model(&[40, 40, 40], 0.25, 0.01, kind, seed).unwrap().0
+    }
+
+    fn nrp(k: usize, seed: u64) -> Nrp {
+        Nrp::new(
+            NrpParams::builder()
+                .dimension(k)
+                .reweight_epochs(6)
+                .lambda(1.0)
+                .seed(seed)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn nrp_beats_random_on_sbm() {
+        let g = sbm(GraphKind::Undirected, 1);
+        let outcome = LinkPrediction::default().evaluate(&g, &nrp(16, 1)).unwrap();
+        assert!(outcome.auc > 0.75, "AUC {}", outcome.auc);
+        assert_eq!(outcome.num_positives, outcome.num_negatives);
+    }
+
+    #[test]
+    fn nrp_at_least_matches_approx_ppr() {
+        // The headline claim of the paper: reweighting does not hurt and
+        // typically helps link prediction.
+        let g = sbm(GraphKind::Undirected, 2);
+        let task = LinkPrediction::default();
+        let nrp_auc = task.evaluate(&g, &nrp(16, 2)).unwrap().auc;
+        let approx = ApproxPpr::new(ApproxPprParams { half_dimension: 8, seed: 2, ..Default::default() });
+        let approx_auc = task.evaluate(&g, &approx).unwrap().auc;
+        assert!(
+            nrp_auc >= approx_auc - 0.03,
+            "NRP ({nrp_auc}) should not trail ApproxPPR ({approx_auc}) by a wide margin"
+        );
+    }
+
+    #[test]
+    fn works_on_directed_graphs() {
+        let g = sbm(GraphKind::Directed, 3);
+        let outcome = LinkPrediction::default().evaluate(&g, &nrp(16, 3)).unwrap();
+        assert!(outcome.auc > 0.7, "AUC {}", outcome.auc);
+    }
+
+    #[test]
+    fn edge_features_strategy_runs_and_discriminates() {
+        let g = sbm(GraphKind::Undirected, 4);
+        let config = LinkPredictionConfig {
+            scoring: ScoringStrategy::EdgeFeatures,
+            ..Default::default()
+        };
+        let outcome = LinkPrediction::new(config).evaluate(&g, &nrp(8, 4)).unwrap();
+        assert!(outcome.auc > 0.6, "AUC {}", outcome.auc);
+    }
+
+    #[test]
+    fn dynamic_new_edge_prediction() {
+        let instance = evolving_sbm(&EvolvingSbmParams::default()).unwrap();
+        let embedding = nrp(16, 5).embed(&instance.old_graph).unwrap();
+        let outcome = LinkPrediction::default()
+            .evaluate_new_edges(&instance.old_graph, &embedding, &instance.new_edges)
+            .unwrap();
+        assert!(outcome.auc > 0.6, "AUC {}", outcome.auc);
+    }
+
+    #[test]
+    fn random_embedding_is_near_chance() {
+        let g = sbm(GraphKind::Undirected, 6);
+        let n = g.num_nodes();
+        let random = Embedding::new(
+            nrp_linalg::random::gaussian_matrix(n, 8, 1),
+            nrp_linalg::random::gaussian_matrix(n, 8, 2),
+            "random",
+        )
+        .unwrap();
+        let split = crate::split::link_prediction_split(&g, 0.3, 6).unwrap();
+        let outcome = LinkPrediction::default()
+            .evaluate_pairs(&split.train_graph, &random, &split.positive_pairs, &split.negative_pairs)
+            .unwrap();
+        assert!((outcome.auc - 0.5).abs() < 0.15, "random AUC {}", outcome.auc);
+    }
+
+    #[test]
+    fn mismatched_embedding_rejected() {
+        let g = sbm(GraphKind::Undirected, 7);
+        let tiny = Embedding::new(DenseMatrix::zeros(3, 2), DenseMatrix::zeros(3, 2), "tiny").unwrap();
+        let split = crate::split::link_prediction_split(&g, 0.3, 7).unwrap();
+        let result = LinkPrediction::default().evaluate_pairs(
+            &split.train_graph,
+            &tiny,
+            &split.positive_pairs,
+            &split.negative_pairs,
+        );
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_new_edges_rejected() {
+        let g = sbm(GraphKind::Undirected, 8);
+        let embedding = nrp(8, 8).embed(&g).unwrap();
+        assert!(LinkPrediction::default().evaluate_new_edges(&g, &embedding, &[]).is_err());
+    }
+}

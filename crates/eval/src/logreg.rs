@@ -1,0 +1,243 @@
+//! From-scratch logistic regression.
+//!
+//! Two users inside this crate:
+//!
+//! * the **edge-features** scoring strategy for link prediction (the paper's
+//!   fallback for methods with a single embedding per node on directed
+//!   graphs): a binary classifier over concatenated endpoint embeddings;
+//! * the **one-vs-rest** multi-label classifier used by the node
+//!   classification task (Section 5.4).
+//!
+//! Training is plain mini-batch-free gradient descent with L2 regularization
+//! — the feature dimensionality (`2k ≤ 512`) and training-set sizes here are
+//! small enough that full-batch updates converge in a few hundred epochs.
+
+use crate::{EvalError, Result};
+
+/// A binary logistic-regression classifier.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct LogRegConfig {
+    /// Gradient-descent step size.
+    pub learning_rate: f64,
+    /// Number of full-batch epochs.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        Self { learning_rate: 0.5, epochs: 300, l2: 1e-4 }
+    }
+}
+
+impl LogisticRegression {
+    /// Trains a classifier on `features` (one row per example) and binary
+    /// `labels`.
+    pub fn train(features: &[Vec<f64>], labels: &[bool], config: &LogRegConfig) -> Result<Self> {
+        if features.is_empty() || features.len() != labels.len() {
+            return Err(EvalError::InvalidParameter(format!(
+                "features ({}) and labels ({}) must be non-empty and aligned",
+                features.len(),
+                labels.len()
+            )));
+        }
+        let dim = features[0].len();
+        if dim == 0 || features.iter().any(|f| f.len() != dim) {
+            return Err(EvalError::InvalidParameter("inconsistent feature dimensions".into()));
+        }
+        let n = features.len() as f64;
+        let mut weights = vec![0.0_f64; dim];
+        let mut bias = 0.0_f64;
+        for _ in 0..config.epochs {
+            let mut grad_w = vec![0.0_f64; dim];
+            let mut grad_b = 0.0_f64;
+            for (x, &y) in features.iter().zip(labels) {
+                let target = if y { 1.0 } else { 0.0 };
+                let z: f64 = bias + x.iter().zip(&weights).map(|(xi, wi)| xi * wi).sum::<f64>();
+                let err = sigmoid(z) - target;
+                for (g, xi) in grad_w.iter_mut().zip(x) {
+                    *g += err * xi;
+                }
+                grad_b += err;
+            }
+            for (w, g) in weights.iter_mut().zip(&grad_w) {
+                *w -= config.learning_rate * (g / n + config.l2 * *w);
+            }
+            bias -= config.learning_rate * grad_b / n;
+        }
+        Ok(Self { weights, bias })
+    }
+
+    /// Predicted probability of the positive class.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        let z: f64 =
+            self.bias + features.iter().zip(&self.weights).map(|(x, w)| x * w).sum::<f64>();
+        sigmoid(z)
+    }
+
+    /// Decision score (log-odds), monotone in the probability.
+    pub fn decision(&self, features: &[f64]) -> f64 {
+        self.bias + features.iter().zip(&self.weights).map(|(x, w)| x * w).sum::<f64>()
+    }
+}
+
+/// One-vs-rest multi-label classifier.
+#[derive(Debug, Clone)]
+pub struct OneVsRest {
+    classifiers: Vec<LogisticRegression>,
+}
+
+impl OneVsRest {
+    /// Trains one binary classifier per label in `0..num_labels`.
+    pub fn train(
+        features: &[Vec<f64>],
+        labels: &[Vec<u32>],
+        num_labels: usize,
+        config: &LogRegConfig,
+    ) -> Result<Self> {
+        if num_labels == 0 {
+            return Err(EvalError::InvalidParameter("num_labels must be positive".into()));
+        }
+        if features.len() != labels.len() {
+            return Err(EvalError::InvalidParameter("features/labels length mismatch".into()));
+        }
+        let mut classifiers = Vec::with_capacity(num_labels);
+        for label in 0..num_labels as u32 {
+            let binary: Vec<bool> = labels.iter().map(|ls| ls.contains(&label)).collect();
+            classifiers.push(LogisticRegression::train(features, &binary, config)?);
+        }
+        Ok(Self { classifiers })
+    }
+
+    /// Per-label decision scores for one example.
+    pub fn scores(&self, features: &[f64]) -> Vec<f64> {
+        self.classifiers.iter().map(|c| c.decision(features)).collect()
+    }
+
+    /// Predicts the `count` highest-scoring labels (the standard multi-label
+    /// evaluation protocol: the number of true labels is assumed known).
+    pub fn predict_top(&self, features: &[f64], count: usize) -> Vec<u32> {
+        let scores = self.scores(features);
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores are finite"));
+        order.into_iter().take(count).map(|l| l as u32).collect()
+    }
+
+    /// Number of labels.
+    pub fn num_labels(&self) -> usize {
+        self.classifiers.len()
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable_data() -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Positives cluster around (2, 2), negatives around (-2, -2).
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let jitter = (i % 7) as f64 * 0.05;
+            features.push(vec![2.0 + jitter, 2.0 - jitter]);
+            labels.push(true);
+            features.push(vec![-2.0 - jitter, -2.0 + jitter]);
+            labels.push(false);
+        }
+        (features, labels)
+    }
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        let (features, labels) = separable_data();
+        let model = LogisticRegression::train(&features, &labels, &LogRegConfig::default()).unwrap();
+        let correct = features
+            .iter()
+            .zip(&labels)
+            .filter(|(x, &y)| (model.predict_proba(x) > 0.5) == y)
+            .count();
+        assert_eq!(correct, features.len());
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_directionally() {
+        let (features, labels) = separable_data();
+        let model = LogisticRegression::train(&features, &labels, &LogRegConfig::default()).unwrap();
+        assert!(model.predict_proba(&[3.0, 3.0]) > 0.9);
+        assert!(model.predict_proba(&[-3.0, -3.0]) < 0.1);
+        assert!(model.decision(&[3.0, 3.0]) > model.decision(&[-3.0, -3.0]));
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(LogisticRegression::train(&[], &[], &LogRegConfig::default()).is_err());
+        assert!(LogisticRegression::train(&[vec![1.0]], &[true, false], &LogRegConfig::default()).is_err());
+        assert!(LogisticRegression::train(
+            &[vec![1.0], vec![1.0, 2.0]],
+            &[true, false],
+            &LogRegConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn one_vs_rest_recovers_cluster_labels() {
+        // Three clusters on a line -> three labels.
+        let mut features = Vec::new();
+        let mut labels: Vec<Vec<u32>> = Vec::new();
+        for i in 0..30 {
+            let jitter = (i % 5) as f64 * 0.1;
+            features.push(vec![-4.0 + jitter]);
+            labels.push(vec![0]);
+            features.push(vec![0.0 + jitter]);
+            labels.push(vec![1]);
+            features.push(vec![4.0 + jitter]);
+            labels.push(vec![2]);
+        }
+        let model = OneVsRest::train(&features, &labels, 3, &LogRegConfig::default()).unwrap();
+        assert_eq!(model.num_labels(), 3);
+        assert_eq!(model.predict_top(&[-4.0], 1), vec![0]);
+        assert_eq!(model.predict_top(&[0.1], 1), vec![1]);
+        assert_eq!(model.predict_top(&[4.2], 1), vec![2]);
+    }
+
+    #[test]
+    fn predict_top_returns_requested_count() {
+        let features = vec![vec![1.0], vec![-1.0]];
+        let labels = vec![vec![0], vec![1]];
+        let model = OneVsRest::train(&features, &labels, 2, &LogRegConfig::default()).unwrap();
+        assert_eq!(model.predict_top(&[1.0], 2).len(), 2);
+        assert_eq!(model.predict_top(&[1.0], 0).len(), 0);
+    }
+
+    #[test]
+    fn one_vs_rest_rejects_bad_inputs() {
+        assert!(OneVsRest::train(&[vec![1.0]], &[vec![0]], 0, &LogRegConfig::default()).is_err());
+        assert!(OneVsRest::train(&[vec![1.0]], &[], 2, &LogRegConfig::default()).is_err());
+    }
+}

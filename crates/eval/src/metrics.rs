@@ -1,0 +1,240 @@
+//! Evaluation metrics: AUC, precision@K, micro-/macro-F1.
+
+use crate::{EvalError, Result};
+
+/// Area under the ROC curve computed from scored positives and negatives via
+/// the Mann–Whitney U statistic (ties contribute half).
+pub fn auc(positive_scores: &[f64], negative_scores: &[f64]) -> Result<f64> {
+    if positive_scores.is_empty() || negative_scores.is_empty() {
+        return Err(EvalError::Degenerate("AUC needs both positive and negative examples".into()));
+    }
+    // Sort all scores once and use rank sums: O((p+n) log(p+n)).
+    let mut labeled: Vec<(f64, bool)> = positive_scores
+        .iter()
+        .map(|&s| (s, true))
+        .chain(negative_scores.iter().map(|&s| (s, false)))
+        .collect();
+    if labeled.iter().any(|(s, _)| !s.is_finite()) {
+        return Err(EvalError::InvalidParameter("scores must be finite".into()));
+    }
+    labeled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores are finite"));
+    // Assign average ranks to tied groups.
+    let mut rank_sum_pos = 0.0_f64;
+    let mut i = 0usize;
+    let total = labeled.len();
+    while i < total {
+        let mut j = i;
+        while j + 1 < total && labeled[j + 1].0 == labeled[i].0 {
+            j += 1;
+        }
+        // Ranks are 1-based; positions i..=j share the average rank.
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for item in &labeled[i..=j] {
+            if item.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let p = positive_scores.len() as f64;
+    let n = negative_scores.len() as f64;
+    let u = rank_sum_pos - p * (p + 1.0) / 2.0;
+    Ok(u / (p * n))
+}
+
+/// Fraction of the top-`k` highest-scoring items that are relevant.
+///
+/// `scored` is a list of `(score, is_relevant)` pairs; `k` is clamped to the
+/// list length.
+pub fn precision_at_k(scored: &[(f64, bool)], k: usize) -> Result<f64> {
+    if scored.is_empty() || k == 0 {
+        return Err(EvalError::Degenerate("precision@K needs items and K >= 1".into()));
+    }
+    let k = k.min(scored.len());
+    let mut sorted: Vec<&(f64, bool)> = scored.iter().collect();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
+    let hits = sorted[..k].iter().filter(|(_, relevant)| *relevant).count();
+    Ok(hits as f64 / k as f64)
+}
+
+/// Per-label confusion counts used by the F1 computations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabelCounts {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+/// Builds per-label confusion counts from multi-label ground truth and
+/// predictions. `num_labels` is the label-space size.
+pub fn label_counts(truth: &[Vec<u32>], predicted: &[Vec<u32>], num_labels: usize) -> Result<Vec<LabelCounts>> {
+    if truth.len() != predicted.len() {
+        return Err(EvalError::InvalidParameter(format!(
+            "truth has {} rows but predictions have {}",
+            truth.len(),
+            predicted.len()
+        )));
+    }
+    let mut counts = vec![LabelCounts::default(); num_labels];
+    for (t, p) in truth.iter().zip(predicted) {
+        for &label in p {
+            let label = label as usize;
+            if label >= num_labels {
+                return Err(EvalError::InvalidParameter(format!("label {label} out of range")));
+            }
+            if t.contains(&(label as u32)) {
+                counts[label].tp += 1;
+            } else {
+                counts[label].fp += 1;
+            }
+        }
+        for &label in t {
+            let label = label as usize;
+            if label >= num_labels {
+                return Err(EvalError::InvalidParameter(format!("label {label} out of range")));
+            }
+            if !p.contains(&(label as u32)) {
+                counts[label].fn_ += 1;
+            }
+        }
+    }
+    Ok(counts)
+}
+
+/// Micro-averaged F1: compute global TP/FP/FN then one F1.
+pub fn micro_f1(counts: &[LabelCounts]) -> f64 {
+    let tp: usize = counts.iter().map(|c| c.tp).sum();
+    let fp: usize = counts.iter().map(|c| c.fp).sum();
+    let fn_: usize = counts.iter().map(|c| c.fn_).sum();
+    f1(tp, fp, fn_)
+}
+
+/// Macro-averaged F1: average the per-label F1 over labels that appear.
+pub fn macro_f1(counts: &[LabelCounts]) -> f64 {
+    let active: Vec<&LabelCounts> =
+        counts.iter().filter(|c| c.tp + c.fp + c.fn_ > 0).collect();
+    if active.is_empty() {
+        return 0.0;
+    }
+    active.iter().map(|c| f1(c.tp, c.fp, c.fn_)).sum::<f64>() / active.len() as f64
+}
+
+fn f1(tp: usize, fp: usize, fn_: usize) -> f64 {
+    let denom = 2 * tp + fp + fn_;
+    if denom == 0 {
+        0.0
+    } else {
+        2.0 * tp as f64 / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_separation() {
+        let auc = auc(&[0.9, 0.8, 0.7], &[0.3, 0.2, 0.1]).unwrap();
+        assert!((auc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_reversed_separation_is_zero() {
+        let auc = auc(&[0.1, 0.2], &[0.8, 0.9]).unwrap();
+        assert!(auc.abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_scores_near_half() {
+        let auc = auc(&[0.5, 0.4, 0.6, 0.3], &[0.45, 0.55, 0.35, 0.65]).unwrap();
+        assert!((auc - 0.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn auc_handles_ties() {
+        // All scores identical -> AUC exactly 0.5.
+        let auc = auc(&[1.0, 1.0, 1.0], &[1.0, 1.0]).unwrap();
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_known_value() {
+        // positives: 0.8, 0.4; negatives: 0.6, 0.2
+        // pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6), (0.4>0.2) -> 3/4
+        let auc = auc(&[0.8, 0.4], &[0.6, 0.2]).unwrap();
+        assert!((auc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_rejects_empty_or_nonfinite() {
+        assert!(auc(&[], &[0.1]).is_err());
+        assert!(auc(&[0.1], &[]).is_err());
+        assert!(auc(&[f64::NAN], &[0.1]).is_err());
+    }
+
+    #[test]
+    fn precision_at_k_basic() {
+        let scored = vec![(0.9, true), (0.8, false), (0.7, true), (0.1, false)];
+        assert!((precision_at_k(&scored, 1).unwrap() - 1.0).abs() < 1e-12);
+        assert!((precision_at_k(&scored, 2).unwrap() - 0.5).abs() < 1e-12);
+        assert!((precision_at_k(&scored, 4).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_at_k_clamps_k() {
+        let scored = vec![(0.9, true), (0.1, true)];
+        assert!((precision_at_k(&scored, 100).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_at_k_rejects_degenerate() {
+        assert!(precision_at_k(&[], 3).is_err());
+        assert!(precision_at_k(&[(0.5, true)], 0).is_err());
+    }
+
+    #[test]
+    fn f1_perfect_predictions() {
+        let truth = vec![vec![0], vec![1], vec![0, 1]];
+        let counts = label_counts(&truth, &truth, 2).unwrap();
+        assert!((micro_f1(&counts) - 1.0).abs() < 1e-12);
+        assert!((macro_f1(&counts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_all_wrong_predictions() {
+        let truth = vec![vec![0], vec![0]];
+        let predicted = vec![vec![1], vec![1]];
+        let counts = label_counts(&truth, &predicted, 2).unwrap();
+        assert_eq!(micro_f1(&counts), 0.0);
+        assert_eq!(macro_f1(&counts), 0.0);
+    }
+
+    #[test]
+    fn micro_f1_known_value() {
+        // truth: node0 {0}, node1 {1}; predictions: node0 {0}, node1 {0}
+        // tp=1 (label0 node0), fp=1 (label0 node1), fn=1 (label1 node1)
+        let truth = vec![vec![0], vec![1]];
+        let predicted = vec![vec![0], vec![0]];
+        let counts = label_counts(&truth, &predicted, 2).unwrap();
+        assert!((micro_f1(&counts) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_differs_from_micro_under_imbalance() {
+        // Label 0 dominates and is predicted well; label 1 is rare and always missed.
+        let truth = vec![vec![0], vec![0], vec![0], vec![1]];
+        let predicted = vec![vec![0], vec![0], vec![0], vec![0]];
+        let counts = label_counts(&truth, &predicted, 2).unwrap();
+        assert!(micro_f1(&counts) > macro_f1(&counts));
+    }
+
+    #[test]
+    fn label_counts_validates_input() {
+        assert!(label_counts(&[vec![0]], &[], 1).is_err());
+        assert!(label_counts(&[vec![5]], &[vec![0]], 2).is_err());
+        assert!(label_counts(&[vec![0]], &[vec![5]], 2).is_err());
+    }
+}

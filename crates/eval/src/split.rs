@@ -1,0 +1,271 @@
+//! Train/test splitting and negative sampling for the evaluation tasks.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use nrp_graph::{Graph, NodeId};
+
+use crate::{EvalError, Result};
+
+/// A link-prediction split: the residual training graph plus positive and
+/// negative test pairs.
+#[derive(Debug, Clone)]
+pub struct LinkSplit {
+    /// The input graph with the test edges removed.
+    pub train_graph: Graph,
+    /// Held-out edges (the positives).
+    pub positive_pairs: Vec<(NodeId, NodeId)>,
+    /// Sampled non-edges (the negatives), same cardinality as the positives.
+    pub negative_pairs: Vec<(NodeId, NodeId)>,
+}
+
+/// Removes `remove_ratio` of the edges (the paper uses 30 %) and samples an
+/// equal number of node pairs not connected in the *original* graph.
+///
+/// On directed graphs pairs are ordered; on undirected graphs the reverse
+/// arc is removed together with the sampled edge.
+pub fn link_prediction_split(graph: &Graph, remove_ratio: f64, seed: u64) -> Result<LinkSplit> {
+    if !(0.0 < remove_ratio && remove_ratio < 1.0) {
+        return Err(EvalError::InvalidParameter(format!(
+            "remove_ratio must be in (0,1), got {remove_ratio}"
+        )));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = graph.edges();
+    if edges.is_empty() {
+        return Err(EvalError::Degenerate("graph has no edges to split".into()));
+    }
+    edges.shuffle(&mut rng);
+    let num_removed = ((edges.len() as f64) * remove_ratio).round() as usize;
+    let num_removed = num_removed.clamp(1, edges.len().saturating_sub(1).max(1));
+    let positive_pairs: Vec<(NodeId, NodeId)> = edges[..num_removed].to_vec();
+    let train_graph = graph.remove_edges(&positive_pairs)?;
+    let negative_pairs = sample_non_edges(graph, positive_pairs.len(), &mut rng)?;
+    Ok(LinkSplit { train_graph, positive_pairs, negative_pairs })
+}
+
+/// Samples `count` node pairs that are not connected by an arc in `graph`
+/// (ordered pairs for directed graphs, unordered for undirected).
+pub fn sample_non_edges(graph: &Graph, count: usize, rng: &mut ChaCha8Rng) -> Result<Vec<(NodeId, NodeId)>> {
+    let n = graph.num_nodes();
+    if n < 2 {
+        return Err(EvalError::Degenerate("need at least two nodes to sample non-edges".into()));
+    }
+    let directed = graph.kind().is_directed();
+    let max_pairs = if directed { n * (n - 1) } else { n * (n - 1) / 2 };
+    if count + graph.num_edges() > max_pairs {
+        return Err(EvalError::Degenerate(format!(
+            "cannot sample {count} non-edges: graph too dense ({} edges, {max_pairs} pairs)",
+            graph.num_edges()
+        )));
+    }
+    let mut seen = std::collections::HashSet::with_capacity(count);
+    let mut result = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    let max_attempts = count.saturating_mul(200) + 1000;
+    while result.len() < count {
+        attempts += 1;
+        if attempts > max_attempts {
+            return Err(EvalError::Degenerate(
+                "negative sampling failed to find enough non-edges".into(),
+            ));
+        }
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u == v {
+            continue;
+        }
+        let (u, v) = if directed { (u, v) } else { (u.min(v), u.max(v)) };
+        if graph.has_arc(u, v) || (!directed && graph.has_arc(v, u)) {
+            continue;
+        }
+        if seen.insert((u, v)) {
+            result.push((u, v));
+        }
+    }
+    Ok(result)
+}
+
+/// Candidate node pairs for graph reconstruction: either all pairs (small
+/// graphs) or a uniform sample of `sample_size` pairs, each labelled by
+/// whether it is an edge of `graph` (the paper samples 1 % of all pairs on
+/// the larger datasets).
+pub fn reconstruction_candidates(
+    graph: &Graph,
+    sample_size: Option<usize>,
+    seed: u64,
+) -> Result<Vec<(NodeId, NodeId, bool)>> {
+    let n = graph.num_nodes();
+    if n < 2 {
+        return Err(EvalError::Degenerate("need at least two nodes".into()));
+    }
+    let directed = graph.kind().is_directed();
+    match sample_size {
+        None => {
+            let mut pairs = Vec::new();
+            for u in 0..n as NodeId {
+                let start = if directed { 0 } else { u + 1 };
+                for v in start..n as NodeId {
+                    if u == v {
+                        continue;
+                    }
+                    pairs.push((u, v, graph.has_arc(u, v)));
+                }
+            }
+            Ok(pairs)
+        }
+        Some(size) => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut pairs = Vec::with_capacity(size);
+            let mut seen = std::collections::HashSet::with_capacity(size);
+            let mut attempts = 0usize;
+            let max_attempts = size.saturating_mul(50) + 1000;
+            while pairs.len() < size && attempts < max_attempts {
+                attempts += 1;
+                let u = rng.gen_range(0..n) as NodeId;
+                let v = rng.gen_range(0..n) as NodeId;
+                if u == v {
+                    continue;
+                }
+                let (u, v) = if directed { (u, v) } else { (u.min(v), u.max(v)) };
+                if seen.insert((u, v)) {
+                    pairs.push((u, v, graph.has_arc(u, v)));
+                }
+            }
+            if pairs.is_empty() {
+                return Err(EvalError::Degenerate("failed to sample candidate pairs".into()));
+            }
+            Ok(pairs)
+        }
+    }
+}
+
+/// Splits node indices into a train and test set by ratio (classification).
+pub fn train_test_nodes(num_nodes: usize, train_ratio: f64, seed: u64) -> Result<(Vec<usize>, Vec<usize>)> {
+    if !(0.0 < train_ratio && train_ratio < 1.0) {
+        return Err(EvalError::InvalidParameter(format!(
+            "train_ratio must be in (0,1), got {train_ratio}"
+        )));
+    }
+    if num_nodes < 2 {
+        return Err(EvalError::Degenerate("need at least two nodes to split".into()));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut nodes: Vec<usize> = (0..num_nodes).collect();
+    nodes.shuffle(&mut rng);
+    let cut = ((num_nodes as f64) * train_ratio).round() as usize;
+    let cut = cut.clamp(1, num_nodes - 1);
+    Ok((nodes[..cut].to_vec(), nodes[cut..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrp_graph::generators::stochastic_block_model;
+    use nrp_graph::GraphKind;
+
+    fn sbm(kind: GraphKind) -> Graph {
+        stochastic_block_model(&[40, 40], 0.15, 0.02, kind, 7).unwrap().0
+    }
+
+    #[test]
+    fn split_removes_requested_fraction() {
+        let g = sbm(GraphKind::Undirected);
+        let split = link_prediction_split(&g, 0.3, 1).unwrap();
+        let expected = (g.num_edges() as f64 * 0.3).round() as usize;
+        assert_eq!(split.positive_pairs.len(), expected);
+        assert_eq!(split.negative_pairs.len(), expected);
+        assert_eq!(split.train_graph.num_edges(), g.num_edges() - expected);
+    }
+
+    #[test]
+    fn removed_edges_absent_from_train_graph() {
+        let g = sbm(GraphKind::Undirected);
+        let split = link_prediction_split(&g, 0.3, 2).unwrap();
+        for &(u, v) in &split.positive_pairs {
+            assert!(!split.train_graph.has_arc(u, v));
+            assert!(!split.train_graph.has_arc(v, u));
+            assert!(g.has_arc(u, v), "positive pair must be a real edge");
+        }
+    }
+
+    #[test]
+    fn negatives_are_non_edges_of_original_graph() {
+        let g = sbm(GraphKind::Directed);
+        let split = link_prediction_split(&g, 0.3, 3).unwrap();
+        for &(u, v) in &split.negative_pairs {
+            assert!(!g.has_arc(u, v), "negative ({u},{v}) is an edge");
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let g = sbm(GraphKind::Undirected);
+        let a = link_prediction_split(&g, 0.3, 9).unwrap();
+        let b = link_prediction_split(&g, 0.3, 9).unwrap();
+        assert_eq!(a.positive_pairs, b.positive_pairs);
+        assert_eq!(a.negative_pairs, b.negative_pairs);
+    }
+
+    #[test]
+    fn invalid_ratio_rejected() {
+        let g = sbm(GraphKind::Undirected);
+        assert!(link_prediction_split(&g, 0.0, 1).is_err());
+        assert!(link_prediction_split(&g, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn reconstruction_all_pairs_covers_everything() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)], GraphKind::Undirected).unwrap();
+        let pairs = reconstruction_candidates(&g, None, 0).unwrap();
+        assert_eq!(pairs.len(), 6); // C(4,2)
+        let edges = pairs.iter().filter(|(_, _, is_edge)| *is_edge).count();
+        assert_eq!(edges, 2);
+    }
+
+    #[test]
+    fn reconstruction_directed_all_pairs() {
+        let g = Graph::from_edges(3, &[(0, 1)], GraphKind::Directed).unwrap();
+        let pairs = reconstruction_candidates(&g, None, 0).unwrap();
+        assert_eq!(pairs.len(), 6); // ordered pairs
+        assert!(pairs.contains(&(0, 1, true)));
+        assert!(pairs.contains(&(1, 0, false)));
+    }
+
+    #[test]
+    fn reconstruction_sampling_respects_size() {
+        let g = sbm(GraphKind::Undirected);
+        let pairs = reconstruction_candidates(&g, Some(500), 11).unwrap();
+        assert_eq!(pairs.len(), 500);
+        // Pairs must be unique.
+        let set: std::collections::HashSet<_> = pairs.iter().map(|&(u, v, _)| (u, v)).collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn train_test_nodes_partition() {
+        let (train, test) = train_test_nodes(100, 0.7, 5).unwrap();
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn train_test_rejects_bad_ratio() {
+        assert!(train_test_nodes(10, 0.0, 1).is_err());
+        assert!(train_test_nodes(10, 1.0, 1).is_err());
+        assert!(train_test_nodes(1, 0.5, 1).is_err());
+    }
+
+    #[test]
+    fn dense_graph_negative_sampling_fails_gracefully() {
+        let g = nrp_graph::generators::simple::complete(5).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(sample_non_edges(&g, 10, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::{Graph, GraphError, GraphKind, NodeId, Result};
+
+/// A mutable accumulator of edges, finalized into an immutable [`Graph`].
+///
+/// The builder grows the node count automatically when
+/// [`GraphBuilder::add_edge_growing`] is used, which is convenient for
+/// edge-list parsing where the node count is not known up front.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    kind: GraphKind,
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    allow_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph of the given kind with `num_nodes` nodes.
+    pub fn new(num_nodes: usize, kind: GraphKind) -> Self {
+        Self { kind, num_nodes, edges: Vec::new(), allow_self_loops: false }
+    }
+
+    /// Creates a builder whose node count grows with the inserted edges.
+    pub fn growing(kind: GraphKind) -> Self {
+        Self::new(0, kind)
+    }
+
+    /// Whether self-loops should be kept at build time.  They are dropped by
+    /// default because the NRP objective only concerns `u != v` pairs.
+    pub fn allow_self_loops(mut self, allow: bool) -> Self {
+        self.allow_self_loops = allow;
+        self
+    }
+
+    /// Number of edges added so far (before de-duplication).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no edges were added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Current node count.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Adds an edge; endpoints must be `< num_nodes`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<()> {
+        if (u as usize) >= self.num_nodes {
+            return Err(GraphError::NodeOutOfBounds { node: u as u64, num_nodes: self.num_nodes });
+        }
+        if (v as usize) >= self.num_nodes {
+            return Err(GraphError::NodeOutOfBounds { node: v as u64, num_nodes: self.num_nodes });
+        }
+        self.edges.push((u, v));
+        Ok(())
+    }
+
+    /// Adds an edge, growing the node count to cover both endpoints.
+    pub fn add_edge_growing(&mut self, u: NodeId, v: NodeId) {
+        let needed = (u.max(v) as usize) + 1;
+        if needed > self.num_nodes {
+            self.num_nodes = needed;
+        }
+        self.edges.push((u, v));
+    }
+
+    /// Adds many edges at once (growing the node count).
+    pub fn extend_growing<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.add_edge_growing(u, v);
+        }
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    pub fn build(self) -> Result<Graph> {
+        let edges: Vec<(NodeId, NodeId)> = if self.allow_self_loops {
+            self.edges
+        } else {
+            self.edges.into_iter().filter(|(u, v)| u != v).collect()
+        };
+        Graph::from_edges(self.num_nodes, &edges, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_size_builder_rejects_out_of_range() {
+        let mut b = GraphBuilder::new(3, GraphKind::Directed);
+        b.add_edge(0, 1).unwrap();
+        assert!(b.add_edge(0, 3).is_err());
+    }
+
+    #[test]
+    fn growing_builder_expands() {
+        let mut b = GraphBuilder::growing(GraphKind::Undirected);
+        b.add_edge_growing(0, 5);
+        b.add_edge_growing(2, 3);
+        assert_eq!(b.num_nodes(), 6);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let mut b = GraphBuilder::growing(GraphKind::Directed);
+        b.extend_growing([(0, 0), (0, 1), (1, 1)]);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_arcs(), 1);
+    }
+
+    #[test]
+    fn empty_builder_reports_empty() {
+        let b = GraphBuilder::new(2, GraphKind::Directed);
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_arcs(), 0);
+    }
+
+    #[test]
+    fn extend_growing_counts_edges() {
+        let mut b = GraphBuilder::growing(GraphKind::Directed);
+        b.extend_growing([(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(b.len(), 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_arcs(), 3);
+    }
+}

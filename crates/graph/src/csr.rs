@@ -1,0 +1,233 @@
+//! Compressed sparse row adjacency structure.
+//!
+//! [`CsrAdjacency`] stores one direction of a graph's adjacency: for every
+//! node `u` the (sorted, de-duplicated) list of its successors.  It is the
+//! storage behind both the out-adjacency and in-adjacency of [`crate::Graph`]
+//! and the sparse operand of the `P · X` propagation kernels in
+//! `nrp-linalg`.
+
+use crate::{GraphError, NodeId, Result};
+
+/// Immutable CSR adjacency: `indptr` has `n + 1` entries, the neighbours of
+/// node `u` are `indices[indptr[u]..indptr[u + 1]]`, sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrAdjacency {
+    num_nodes: usize,
+    indptr: Vec<usize>,
+    indices: Vec<NodeId>,
+}
+
+impl CsrAdjacency {
+    /// Builds a CSR adjacency from a list of directed arcs `(src, dst)`.
+    ///
+    /// Arcs are sorted and de-duplicated; duplicate arcs collapse to one.
+    /// Returns an error if any endpoint is `>= num_nodes` or if
+    /// `num_nodes == 0`.
+    pub fn from_arcs(num_nodes: usize, arcs: &[(NodeId, NodeId)]) -> Result<Self> {
+        if num_nodes == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        for &(u, v) in arcs {
+            if (u as usize) >= num_nodes {
+                return Err(GraphError::NodeOutOfBounds { node: u as u64, num_nodes });
+            }
+            if (v as usize) >= num_nodes {
+                return Err(GraphError::NodeOutOfBounds { node: v as u64, num_nodes });
+            }
+        }
+        // Counting sort by source, then sort each row and dedup.
+        let mut counts = vec![0usize; num_nodes + 1];
+        for &(u, _) in arcs {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            counts[i + 1] += counts[i];
+        }
+        let mut indices = vec![0 as NodeId; arcs.len()];
+        let mut cursor = counts.clone();
+        for &(u, v) in arcs {
+            let pos = cursor[u as usize];
+            indices[pos] = v;
+            cursor[u as usize] += 1;
+        }
+        let mut indptr = Vec::with_capacity(num_nodes + 1);
+        indptr.push(0);
+        let mut write = 0usize;
+        let mut dedup_indices = Vec::with_capacity(indices.len());
+        for u in 0..num_nodes {
+            let row = &mut indices[counts[u]..counts[u + 1]];
+            row.sort_unstable();
+            let mut prev: Option<NodeId> = None;
+            for &v in row.iter() {
+                if prev != Some(v) {
+                    dedup_indices.push(v);
+                    write += 1;
+                    prev = Some(v);
+                }
+            }
+            indptr.push(write);
+        }
+        Ok(Self { num_nodes, indptr, indices: dedup_indices })
+    }
+
+    /// Builds an empty adjacency (no arcs) over `num_nodes` nodes.
+    pub fn empty(num_nodes: usize) -> Result<Self> {
+        Self::from_arcs(num_nodes, &[])
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of stored arcs (after de-duplication).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The neighbours of `u`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.indices[self.indptr[u]..self.indptr[u + 1]]
+    }
+
+    /// Out-degree of `u` in this direction.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        self.indptr[u + 1] - self.indptr[u]
+    }
+
+    /// Whether the arc `(u, v)` is present (binary search).
+    #[inline]
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The raw row-pointer array (`n + 1` entries).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// The raw column-index array.
+    #[inline]
+    pub fn indices(&self) -> &[NodeId] {
+        &self.indices
+    }
+
+    /// Iterates over all arcs `(src, dst)` in row order.
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes).flat_map(move |u| {
+            self.neighbors(u as NodeId).iter().map(move |&v| (u as NodeId, v))
+        })
+    }
+
+    /// Returns the transposed adjacency (every arc reversed).
+    pub fn transpose(&self) -> Self {
+        let arcs: Vec<(NodeId, NodeId)> = self.arcs().map(|(u, v)| (v, u)).collect();
+        // Arcs are within bounds by construction, so this cannot fail.
+        Self::from_arcs(self.num_nodes, &arcs).expect("transpose of a valid CSR is valid")
+    }
+
+    /// Degree vector for all nodes.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.num_nodes).map(|u| self.degree(u as NodeId)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrAdjacency {
+        CsrAdjacency::from_arcs(4, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 0)]).unwrap()
+    }
+
+    #[test]
+    fn neighbors_sorted_and_complete() {
+        let csr = small();
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[2]);
+        assert_eq!(csr.neighbors(2), &[3]);
+        assert_eq!(csr.neighbors(3), &[0]);
+        assert_eq!(csr.num_arcs(), 5);
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let csr = CsrAdjacency::from_arcs(3, &[(0, 1), (0, 1), (0, 2), (0, 2), (0, 2)]).unwrap();
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.num_arcs(), 2);
+    }
+
+    #[test]
+    fn degree_matches_neighbor_len() {
+        let csr = small();
+        for u in 0..4 {
+            assert_eq!(csr.degree(u), csr.neighbors(u).len());
+        }
+    }
+
+    #[test]
+    fn contains_is_exact() {
+        let csr = small();
+        assert!(csr.contains(0, 2));
+        assert!(!csr.contains(2, 0));
+        assert!(!csr.contains(1, 1));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let err = CsrAdjacency::from_arcs(3, &[(0, 5)]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { node: 5, num_nodes: 3 }));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert!(matches!(CsrAdjacency::from_arcs(0, &[]), Err(GraphError::EmptyGraph)));
+    }
+
+    #[test]
+    fn transpose_reverses_arcs() {
+        let csr = small();
+        let t = csr.transpose();
+        for (u, v) in csr.arcs() {
+            assert!(t.contains(v, u));
+        }
+        assert_eq!(t.num_arcs(), csr.num_arcs());
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let csr = small();
+        assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn arcs_iterator_round_trips() {
+        let csr = small();
+        let arcs: Vec<_> = csr.arcs().collect();
+        let rebuilt = CsrAdjacency::from_arcs(4, &arcs).unwrap();
+        assert_eq!(rebuilt, csr);
+    }
+
+    #[test]
+    fn empty_adjacency_has_no_arcs() {
+        let csr = CsrAdjacency::empty(7).unwrap();
+        assert_eq!(csr.num_nodes(), 7);
+        assert_eq!(csr.num_arcs(), 0);
+        for u in 0..7 {
+            assert!(csr.neighbors(u).is_empty());
+        }
+    }
+
+    #[test]
+    fn degrees_vector() {
+        let csr = small();
+        assert_eq!(csr.degrees(), vec![2, 1, 1, 1]);
+    }
+}

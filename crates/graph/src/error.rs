@@ -1,0 +1,89 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building, generating or reading graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node id `>= n`.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: u64,
+        /// The number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// The requested graph has no nodes.
+    EmptyGraph,
+    /// A generator was asked for an impossible configuration
+    /// (e.g. more edges than node pairs).
+    InvalidParameter(String),
+    /// A line of an edge-list or label file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node id {node} out of bounds for graph with {num_nodes} nodes")
+            }
+            GraphError::EmptyGraph => write!(f, "graph must contain at least one node"),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_bounds() {
+        let err = GraphError::NodeOutOfBounds { node: 12, num_nodes: 10 };
+        assert!(err.to_string().contains("12"));
+        assert!(err.to_string().contains("10"));
+    }
+
+    #[test]
+    fn display_parse() {
+        let err = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: GraphError = io.into();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn invalid_parameter_message() {
+        let err = GraphError::InvalidParameter("p must be in [0,1]".into());
+        assert!(err.to_string().contains("p must be in [0,1]"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Evolving-graph workloads for the dynamic link-prediction experiment
+//! (paper Fig. 9 / Table 4).
+//!
+//! The paper embeds an *old* snapshot of a social network and predicts the
+//! *new* links that appear in a later snapshot.  We reproduce the setup with
+//! a two-phase stochastic block model: the old snapshot is an SBM sample, and
+//! the new links are an independent SBM sample over the same communities
+//! restricted to pairs that were not already connected.  Community structure
+//! persisting across snapshots is exactly what makes the prediction task
+//! solvable, mirroring the real datasets (VK friendships, Digg follows).
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::{Graph, GraphError, GraphKind, NodeId, Result};
+
+/// An evolving-graph instance: the old snapshot plus the new edges appearing
+/// in the second snapshot.
+#[derive(Debug, Clone)]
+pub struct EvolvingGraph {
+    /// The old snapshot, used to learn embeddings.
+    pub old_graph: Graph,
+    /// Edges present only in the new snapshot — the positives to predict.
+    pub new_edges: Vec<(NodeId, NodeId)>,
+    /// Community assignment shared by both snapshots.
+    pub community: Vec<u32>,
+}
+
+/// Parameters of the evolving SBM generator.
+#[derive(Debug, Clone)]
+pub struct EvolvingSbmParams {
+    /// Community sizes.
+    pub block_sizes: Vec<usize>,
+    /// Within-community edge probability of the old snapshot.
+    pub p_in_old: f64,
+    /// Cross-community edge probability of the old snapshot.
+    pub p_out_old: f64,
+    /// Within-community probability of a *new* edge appearing.
+    pub p_in_new: f64,
+    /// Cross-community probability of a *new* edge appearing.
+    pub p_out_new: f64,
+    /// Directed or undirected snapshots.
+    pub kind: GraphKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EvolvingSbmParams {
+    fn default() -> Self {
+        Self {
+            block_sizes: vec![150, 150, 150],
+            p_in_old: 0.06,
+            p_out_old: 0.004,
+            p_in_new: 0.02,
+            p_out_new: 0.001,
+            kind: GraphKind::Undirected,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates an evolving SBM instance.
+pub fn evolving_sbm(params: &EvolvingSbmParams) -> Result<EvolvingGraph> {
+    if params.block_sizes.is_empty() || params.block_sizes.iter().any(|&s| s == 0) {
+        return Err(GraphError::InvalidParameter("block sizes must be non-empty and positive".into()));
+    }
+    for &p in &[params.p_in_old, params.p_out_old, params.p_in_new, params.p_out_new] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::InvalidParameter(format!("probabilities must be in [0,1], got {p}")));
+        }
+    }
+    let num_nodes: usize = params.block_sizes.iter().sum();
+    let mut community = vec![0u32; num_nodes];
+    let mut start = 0usize;
+    for (c, &size) in params.block_sizes.iter().enumerate() {
+        for node in start..start + size {
+            community[node] = c as u32;
+        }
+        start += size;
+    }
+    let mut rng = rng_from_seed(params.seed);
+    let mut old_edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut new_edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for u in 0..num_nodes {
+        let range_start = if params.kind.is_directed() { 0 } else { u + 1 };
+        for v in range_start..num_nodes {
+            if u == v {
+                continue;
+            }
+            let same = community[u] == community[v];
+            let p_old = if same { params.p_in_old } else { params.p_out_old };
+            let p_new = if same { params.p_in_new } else { params.p_out_new };
+            if rng.gen::<f64>() < p_old {
+                old_edges.push((u as NodeId, v as NodeId));
+            } else if rng.gen::<f64>() < p_new {
+                new_edges.push((u as NodeId, v as NodeId));
+            }
+        }
+    }
+    let old_graph = Graph::from_edges(num_nodes, &old_edges, params.kind)?;
+    Ok(EvolvingGraph { old_graph, new_edges, community })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_edges_absent_from_old_snapshot() {
+        let inst = evolving_sbm(&EvolvingSbmParams::default()).unwrap();
+        for &(u, v) in &inst.new_edges {
+            assert!(!inst.old_graph.has_arc(u, v), "new edge ({u},{v}) already in old graph");
+        }
+        assert!(!inst.new_edges.is_empty());
+    }
+
+    #[test]
+    fn communities_cover_all_nodes() {
+        let inst = evolving_sbm(&EvolvingSbmParams::default()).unwrap();
+        assert_eq!(inst.community.len(), inst.old_graph.num_nodes());
+        assert_eq!(inst.community.iter().copied().max().unwrap(), 2);
+    }
+
+    #[test]
+    fn new_edges_are_mostly_within_communities() {
+        let inst = evolving_sbm(&EvolvingSbmParams::default()).unwrap();
+        let within = inst
+            .new_edges
+            .iter()
+            .filter(|&&(u, v)| inst.community[u as usize] == inst.community[v as usize])
+            .count();
+        assert!(within * 2 > inst.new_edges.len(), "expected mostly intra-community new edges");
+    }
+
+    #[test]
+    fn directed_variant_generates_one_way_edges() {
+        let params = EvolvingSbmParams { kind: GraphKind::Directed, seed: 5, ..Default::default() };
+        let inst = evolving_sbm(&params).unwrap();
+        assert!(inst.old_graph.kind().is_directed());
+        assert!(!inst.new_edges.is_empty());
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        let params = EvolvingSbmParams { p_in_new: 1.5, ..Default::default() };
+        assert!(evolving_sbm(&params).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = evolving_sbm(&EvolvingSbmParams::default()).unwrap();
+        let b = evolving_sbm(&EvolvingSbmParams::default()).unwrap();
+        assert_eq!(a.new_edges, b.new_edges);
+        assert_eq!(a.old_graph, b.old_graph);
+    }
+}

@@ -1,0 +1,94 @@
+//! The 9-node example graph of the paper's Fig. 1.
+//!
+//! The paper does not list the edge set explicitly, but the text and Table 1
+//! pin down its key structural properties, which this reconstruction
+//! satisfies:
+//!
+//! * nodes `v1..v5` form a dense cluster, `v6..v9` a sparse tail;
+//! * `v2` and `v4` are *not* adjacent but share exactly three common
+//!   neighbours (`v1`, `v3`, `v5`);
+//! * `v7` and `v9` are *not* adjacent and share exactly one common neighbour
+//!   (`v8`);
+//! * despite that, the PPR value `π(v9, v7)` exceeds `π(v2, v4)` — the
+//!   motivating deficiency of vanilla PPR that node reweighting fixes.
+//!
+//! Nodes are 0-indexed here: `v1 ↦ 0`, …, `v9 ↦ 8`.
+
+use crate::{Graph, GraphKind};
+
+/// Index of `v1` in the example graph (nodes are `v1 ↦ 0` … `v9 ↦ 8`).
+pub const V1: u32 = 0;
+/// Index of `v2`.
+pub const V2: u32 = 1;
+/// Index of `v3`.
+pub const V3: u32 = 2;
+/// Index of `v4`.
+pub const V4: u32 = 3;
+/// Index of `v5`.
+pub const V5: u32 = 4;
+/// Index of `v6`.
+pub const V6: u32 = 5;
+/// Index of `v7`.
+pub const V7: u32 = 6;
+/// Index of `v8`.
+pub const V8: u32 = 7;
+/// Index of `v9`.
+pub const V9: u32 = 8;
+
+/// The undirected edge list of the Fig. 1 reconstruction.
+pub fn example_edges() -> Vec<(u32, u32)> {
+    vec![
+        (V1, V2),
+        (V1, V4),
+        (V1, V5),
+        (V2, V3),
+        (V2, V5),
+        (V3, V4),
+        (V4, V5),
+        (V5, V6),
+        (V6, V7),
+        (V7, V8),
+        (V8, V9),
+    ]
+}
+
+/// Builds the 9-node example graph of the paper's Fig. 1 (undirected).
+pub fn example_graph() -> Graph {
+    Graph::from_edges(9, &example_edges(), GraphKind::Undirected)
+        .expect("example graph edge list is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_graph_shape() {
+        let g = example_graph();
+        assert_eq!(g.num_nodes(), 9);
+        assert_eq!(g.num_edges(), 11);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn v2_v4_share_three_common_neighbors_and_are_not_adjacent() {
+        let g = example_graph();
+        assert!(!g.has_arc(V2, V4));
+        assert_eq!(g.common_out_neighbors(V2, V4), 3);
+    }
+
+    #[test]
+    fn v7_v9_share_one_common_neighbor_and_are_not_adjacent() {
+        let g = example_graph();
+        assert!(!g.has_arc(V7, V9));
+        assert_eq!(g.common_out_neighbors(V7, V9), 1);
+    }
+
+    #[test]
+    fn cluster_nodes_have_higher_degree_than_tail() {
+        let g = example_graph();
+        assert!(g.out_degree(V2) > g.out_degree(V9));
+        assert!(g.out_degree(V5) >= 4);
+        assert_eq!(g.out_degree(V9), 1);
+    }
+}

@@ -1,0 +1,475 @@
+//! Synthetic graph generators.
+//!
+//! These stand in for the paper's real datasets (Wiki, BlogCatalog, Youtube,
+//! TWeibo, Orkut, Twitter, Friendster, VK, Digg), which are not redistributed
+//! here.  Each generator is deterministic given a seed, so the benchmark
+//! harnesses produce reproducible tables.
+//!
+//! * [`erdos_renyi`] / [`erdos_renyi_nm`] — the random-graph family the paper
+//!   itself uses for its scalability study (Fig. 10).
+//! * [`barabasi_albert`] — heavy-tailed degree distributions, the regime in
+//!   which degree reweighting matters most.
+//! * [`stochastic_block_model`] — community structure with planted labels,
+//!   driving the link-prediction / classification / reconstruction tasks.
+//! * [`watts_strogatz`] — small-world graphs for additional coverage.
+//! * [`example`] — the 9-node graph of the paper's Fig. 1.
+//! * [`evolving`] — old/new edge splits for the dynamic link-prediction
+//!   experiment (Fig. 9).
+//! * [`simple`] — deterministic toy graphs (paths, cycles, stars, grids)
+//!   used heavily by unit tests.
+
+pub mod evolving;
+pub mod example;
+pub mod simple;
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Graph, GraphError, GraphKind, NodeId, Result};
+
+/// Deterministic RNG used by every generator in this crate.
+pub(crate) fn rng_from_seed(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// G(n, p) Erdős–Rényi graph: every ordered (directed) or unordered
+/// (undirected) pair is an edge independently with probability `p`.
+///
+/// Uses geometric skipping so the cost is proportional to the number of
+/// generated edges rather than to `n²`, which keeps the Fig. 10 scalability
+/// sweeps fast.
+pub fn erdos_renyi(num_nodes: usize, p: f64, kind: GraphKind, seed: u64) -> Result<Graph> {
+    if num_nodes == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter(format!("p must be in [0,1], got {p}")));
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    if p > 0.0 {
+        let n = num_nodes as u64;
+        let total_pairs: u64 = match kind {
+            GraphKind::Directed => n * (n - 1),
+            GraphKind::Undirected => n * (n - 1) / 2,
+        };
+        let log_q = (1.0 - p).ln();
+        let mut idx: i64 = -1;
+        loop {
+            // Geometric skip: number of non-edges until the next edge.
+            let r: f64 = rng.gen::<f64>();
+            let skip = if p >= 1.0 { 1.0 } else { ((1.0 - r).ln() / log_q).floor() + 1.0 };
+            idx += skip as i64;
+            if idx as u64 >= total_pairs {
+                break;
+            }
+            let (u, v) = match kind {
+                GraphKind::Directed => decode_directed_pair(idx as u64, n),
+                GraphKind::Undirected => decode_undirected_pair(idx as u64, n),
+            };
+            edges.push((u as NodeId, v as NodeId));
+        }
+    }
+    Graph::from_edges(num_nodes, &edges, kind)
+}
+
+/// G(n, m) Erdős–Rényi graph with exactly (approximately, after removing
+/// duplicates) `num_edges` edges, the variant used by the paper's
+/// scalability experiment where `n` and `m` are varied independently.
+pub fn erdos_renyi_nm(num_nodes: usize, num_edges: usize, kind: GraphKind, seed: u64) -> Result<Graph> {
+    if num_nodes < 2 {
+        return Err(GraphError::InvalidParameter("need at least 2 nodes".into()));
+    }
+    let max_pairs = match kind {
+        GraphKind::Directed => num_nodes * (num_nodes - 1),
+        GraphKind::Undirected => num_nodes * (num_nodes - 1) / 2,
+    };
+    if num_edges > max_pairs {
+        return Err(GraphError::InvalidParameter(format!(
+            "requested {num_edges} edges but only {max_pairs} pairs exist"
+        )));
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(num_edges);
+    // Sample with replacement and rely on Graph's de-duplication; for the
+    // sparse regimes we target (m << n^2) the duplicate rate is negligible,
+    // and we oversample slightly to compensate.
+    let oversample = num_edges + num_edges / 50 + 8;
+    while edges.len() < oversample {
+        let u = rng.gen_range(0..num_nodes) as NodeId;
+        let v = rng.gen_range(0..num_nodes) as NodeId;
+        if u == v {
+            continue;
+        }
+        let (u, v) = match kind {
+            GraphKind::Directed => (u, v),
+            GraphKind::Undirected => (u.min(v), u.max(v)),
+        };
+        edges.push((u, v));
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let mut rng2 = rng_from_seed(seed ^ 0x9e37_79b9_7f4a_7c15);
+    edges.shuffle(&mut rng2);
+    edges.truncate(num_edges);
+    Graph::from_edges(num_nodes, &edges, kind)
+}
+
+/// Barabási–Albert preferential-attachment graph: starts from a small clique
+/// and attaches each new node to `m_attach` existing nodes with probability
+/// proportional to their current degree.
+pub fn barabasi_albert(num_nodes: usize, m_attach: usize, kind: GraphKind, seed: u64) -> Result<Graph> {
+    if m_attach == 0 {
+        return Err(GraphError::InvalidParameter("m_attach must be >= 1".into()));
+    }
+    if num_nodes <= m_attach {
+        return Err(GraphError::InvalidParameter(format!(
+            "num_nodes ({num_nodes}) must exceed m_attach ({m_attach})"
+        )));
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(num_nodes * m_attach);
+    // Repeated-endpoint list implements preferential attachment: a node
+    // appears once per incident edge, so sampling uniformly from the list is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * num_nodes * m_attach);
+    // Seed clique over the first m_attach + 1 nodes.
+    for u in 0..=(m_attach as NodeId) {
+        for v in 0..u {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for u in (m_attach + 1)..num_nodes {
+        let u = u as NodeId;
+        let mut targets = std::collections::HashSet::with_capacity(m_attach);
+        while targets.len() < m_attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != u {
+                targets.insert(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((u, t));
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    Graph::from_edges(num_nodes, &edges, kind)
+}
+
+/// Stochastic block model with `block_sizes.len()` communities.
+///
+/// Within-community pairs are edges with probability `p_in`, cross-community
+/// pairs with probability `p_out`.  Returns the graph and the community
+/// assignment of every node; [`planted_labels`] turns the assignment into a
+/// (possibly noisy, possibly multi-label) label set for node classification.
+pub fn stochastic_block_model(
+    block_sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    kind: GraphKind,
+    seed: u64,
+) -> Result<(Graph, Vec<u32>)> {
+    if block_sizes.is_empty() || block_sizes.iter().any(|&s| s == 0) {
+        return Err(GraphError::InvalidParameter("block sizes must be non-empty and positive".into()));
+    }
+    for &p in &[p_in, p_out] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::InvalidParameter(format!("probabilities must be in [0,1], got {p}")));
+        }
+    }
+    let num_nodes: usize = block_sizes.iter().sum();
+    let mut community = vec![0u32; num_nodes];
+    let mut start = 0usize;
+    for (c, &size) in block_sizes.iter().enumerate() {
+        for node in start..start + size {
+            community[node] = c as u32;
+        }
+        start += size;
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for u in 0..num_nodes {
+        let range_start = if kind.is_directed() { 0 } else { u + 1 };
+        for v in range_start..num_nodes {
+            if u == v {
+                continue;
+            }
+            let p = if community[u] == community[v] { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                edges.push((u as NodeId, v as NodeId));
+            }
+        }
+    }
+    let graph = Graph::from_edges(num_nodes, &edges, kind)?;
+    Ok((graph, community))
+}
+
+/// Turns a community assignment into per-node label sets for the node
+/// classification task.  With probability `noise` a node receives a uniformly
+/// random label instead of its community label; with probability
+/// `extra_label_prob` it additionally receives a second random label,
+/// exercising the multi-label code path (the paper's datasets are
+/// multi-label).
+pub fn planted_labels(
+    community: &[u32],
+    num_labels: u32,
+    noise: f64,
+    extra_label_prob: f64,
+    seed: u64,
+) -> Vec<Vec<u32>> {
+    let mut rng = rng_from_seed(seed);
+    community
+        .iter()
+        .map(|&c| {
+            let primary = if rng.gen::<f64>() < noise {
+                rng.gen_range(0..num_labels)
+            } else {
+                c % num_labels
+            };
+            let mut labels = vec![primary];
+            if rng.gen::<f64>() < extra_label_prob {
+                let extra = rng.gen_range(0..num_labels);
+                if extra != primary {
+                    labels.push(extra);
+                }
+            }
+            labels
+        })
+        .collect()
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where each node connects
+/// to its `k_ring` nearest neighbours, with each edge rewired with
+/// probability `beta`.
+pub fn watts_strogatz(num_nodes: usize, k_ring: usize, beta: f64, seed: u64) -> Result<Graph> {
+    if k_ring % 2 != 0 || k_ring == 0 {
+        return Err(GraphError::InvalidParameter("k_ring must be a positive even number".into()));
+    }
+    if num_nodes <= k_ring {
+        return Err(GraphError::InvalidParameter("num_nodes must exceed k_ring".into()));
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidParameter(format!("beta must be in [0,1], got {beta}")));
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(num_nodes * k_ring / 2);
+    for u in 0..num_nodes {
+        for offset in 1..=(k_ring / 2) {
+            let v = (u + offset) % num_nodes;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniformly random non-self target.
+                let mut w = rng.gen_range(0..num_nodes);
+                while w == u {
+                    w = rng.gen_range(0..num_nodes);
+                }
+                edges.push((u as NodeId, w as NodeId));
+            } else {
+                edges.push((u as NodeId, v as NodeId));
+            }
+        }
+    }
+    Graph::from_edges(num_nodes, &edges, GraphKind::Undirected)
+}
+
+fn decode_directed_pair(idx: u64, n: u64) -> (u64, u64) {
+    // Ordered pairs without self loops: row u has n-1 entries.
+    let u = idx / (n - 1);
+    let mut v = idx % (n - 1);
+    if v >= u {
+        v += 1;
+    }
+    (u, v)
+}
+
+fn decode_undirected_pair(idx: u64, n: u64) -> (u64, u64) {
+    // Unordered pairs (u < v), lexicographic by u.  Solve for u such that
+    // offset(u) <= idx < offset(u + 1) where offset(u) = u*n - u*(u+1)/2.
+    let mut lo = 0u64;
+    let mut hi = n - 1;
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        let offset = mid * n - mid * (mid + 1) / 2;
+        if offset <= idx {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let u = lo;
+    let offset = u * n - u * (u + 1) / 2;
+    let v = u + 1 + (idx - offset);
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_p_zero_has_no_edges() {
+        let g = erdos_renyi(50, 0.0, GraphKind::Undirected, 1).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_matches_expectation() {
+        let n = 200;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, GraphKind::Undirected, 42).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let actual = g.num_edges() as f64;
+        // within 25% of expectation for this size
+        assert!((actual - expected).abs() < 0.25 * expected, "expected ~{expected}, got {actual}");
+    }
+
+    #[test]
+    fn erdos_renyi_directed_edge_count() {
+        let n = 150;
+        let p = 0.03;
+        let g = erdos_renyi(n, p, GraphKind::Directed, 7).unwrap();
+        let expected = p * (n * (n - 1)) as f64;
+        let actual = g.num_arcs() as f64;
+        assert!((actual - expected).abs() < 0.3 * expected);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic() {
+        let a = erdos_renyi(100, 0.05, GraphKind::Undirected, 9).unwrap();
+        let b = erdos_renyi(100, 0.05, GraphKind::Undirected, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn erdos_renyi_rejects_bad_p() {
+        assert!(erdos_renyi(10, 1.5, GraphKind::Directed, 0).is_err());
+        assert!(erdos_renyi(10, -0.1, GraphKind::Directed, 0).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_nm_produces_requested_edges() {
+        let g = erdos_renyi_nm(500, 2000, GraphKind::Directed, 3).unwrap();
+        assert_eq!(g.num_arcs(), 2000);
+        let g = erdos_renyi_nm(500, 1500, GraphKind::Undirected, 3).unwrap();
+        assert_eq!(g.num_edges(), 1500);
+    }
+
+    #[test]
+    fn erdos_renyi_nm_rejects_too_many_edges() {
+        assert!(erdos_renyi_nm(5, 100, GraphKind::Undirected, 0).is_err());
+    }
+
+    #[test]
+    fn barabasi_albert_has_heavy_tail() {
+        let g = barabasi_albert(2000, 3, GraphKind::Undirected, 5).unwrap();
+        let max_deg = g.out_degrees().into_iter().max().unwrap();
+        let mean = g.num_arcs() as f64 / g.num_nodes() as f64;
+        assert!(max_deg as f64 > 5.0 * mean, "max degree {max_deg} should dominate mean {mean}");
+        assert!(crate::stats::degree_gini(&g) > 0.2);
+    }
+
+    #[test]
+    fn barabasi_albert_edge_count() {
+        let n = 500;
+        let m = 4;
+        let g = barabasi_albert(n, m, GraphKind::Undirected, 11).unwrap();
+        // Roughly m edges per added node plus the seed clique.
+        let expected = (n - m - 1) * m + m * (m + 1) / 2;
+        assert!((g.num_edges() as i64 - expected as i64).abs() <= (expected / 10) as i64);
+    }
+
+    #[test]
+    fn barabasi_albert_rejects_bad_params() {
+        assert!(barabasi_albert(5, 0, GraphKind::Undirected, 0).is_err());
+        assert!(barabasi_albert(3, 5, GraphKind::Undirected, 0).is_err());
+    }
+
+    #[test]
+    fn sbm_is_assortative() {
+        let (g, community) =
+            stochastic_block_model(&[100, 100], 0.08, 0.005, GraphKind::Undirected, 13).unwrap();
+        let mut within = 0usize;
+        let mut across = 0usize;
+        for (u, v) in g.edges() {
+            if community[u as usize] == community[v as usize] {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(within > 3 * across, "within={within}, across={across}");
+        assert_eq!(community.len(), 200);
+    }
+
+    #[test]
+    fn sbm_directed_has_asymmetric_arcs() {
+        let (g, _) = stochastic_block_model(&[60, 60], 0.1, 0.01, GraphKind::Directed, 21).unwrap();
+        let asym = g.arcs().filter(|&(u, v)| !g.has_arc(v, u)).count();
+        assert!(asym > 0, "directed SBM should contain one-way arcs");
+    }
+
+    #[test]
+    fn sbm_rejects_empty_blocks() {
+        assert!(stochastic_block_model(&[], 0.1, 0.1, GraphKind::Directed, 0).is_err());
+        assert!(stochastic_block_model(&[3, 0], 0.1, 0.1, GraphKind::Directed, 0).is_err());
+    }
+
+    #[test]
+    fn planted_labels_mostly_match_communities() {
+        let community: Vec<u32> = (0..1000).map(|i| (i % 4) as u32).collect();
+        let labels = planted_labels(&community, 4, 0.1, 0.0, 77);
+        let matches = labels
+            .iter()
+            .zip(&community)
+            .filter(|(ls, &c)| ls.contains(&(c % 4)))
+            .count();
+        assert!(matches > 850, "only {matches} of 1000 labels match their community");
+    }
+
+    #[test]
+    fn planted_labels_can_be_multilabel() {
+        let community: Vec<u32> = (0..500).map(|i| (i % 3) as u32).collect();
+        let labels = planted_labels(&community, 6, 0.0, 0.5, 3);
+        assert!(labels.iter().any(|ls| ls.len() > 1));
+        assert!(labels.iter().all(|ls| !ls.is_empty()));
+    }
+
+    #[test]
+    fn watts_strogatz_degree_is_k_when_beta_zero() {
+        let g = watts_strogatz(60, 4, 0.0, 1).unwrap();
+        for u in 0..60 {
+            assert_eq!(g.out_degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rejects_odd_k() {
+        assert!(watts_strogatz(10, 3, 0.1, 0).is_err());
+    }
+
+    #[test]
+    fn decode_undirected_pair_is_bijective_prefix() {
+        let n = 7u64;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..(n * (n - 1) / 2) {
+            let (u, v) = decode_undirected_pair(idx, n);
+            assert!(u < v && v < n, "idx {idx} -> ({u},{v})");
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len() as u64, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn decode_directed_pair_is_bijective_prefix() {
+        let n = 6u64;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..(n * (n - 1)) {
+            let (u, v) = decode_directed_pair(idx, n);
+            assert!(u != v && u < n && v < n);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len() as u64, n * (n - 1));
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic toy graphs used by unit tests and documentation examples.
+
+use crate::{Graph, GraphError, GraphKind, NodeId, Result};
+
+/// A directed path `0 -> 1 -> … -> n-1`.
+pub fn directed_path(num_nodes: usize) -> Result<Graph> {
+    let edges: Vec<(NodeId, NodeId)> =
+        (0..num_nodes.saturating_sub(1)).map(|u| (u as NodeId, (u + 1) as NodeId)).collect();
+    Graph::from_edges(num_nodes, &edges, GraphKind::Directed)
+}
+
+/// An undirected cycle over `num_nodes` nodes.
+pub fn cycle(num_nodes: usize) -> Result<Graph> {
+    if num_nodes < 3 {
+        return Err(GraphError::InvalidParameter("cycle needs at least 3 nodes".into()));
+    }
+    let edges: Vec<(NodeId, NodeId)> =
+        (0..num_nodes).map(|u| (u as NodeId, ((u + 1) % num_nodes) as NodeId)).collect();
+    Graph::from_edges(num_nodes, &edges, GraphKind::Undirected)
+}
+
+/// An undirected star: node 0 is connected to every other node.
+pub fn star(num_nodes: usize) -> Result<Graph> {
+    if num_nodes < 2 {
+        return Err(GraphError::InvalidParameter("star needs at least 2 nodes".into()));
+    }
+    let edges: Vec<(NodeId, NodeId)> = (1..num_nodes).map(|v| (0, v as NodeId)).collect();
+    Graph::from_edges(num_nodes, &edges, GraphKind::Undirected)
+}
+
+/// A complete undirected graph.
+pub fn complete(num_nodes: usize) -> Result<Graph> {
+    if num_nodes < 2 {
+        return Err(GraphError::InvalidParameter("complete graph needs at least 2 nodes".into()));
+    }
+    let mut edges = Vec::with_capacity(num_nodes * (num_nodes - 1) / 2);
+    for u in 0..num_nodes {
+        for v in (u + 1)..num_nodes {
+            edges.push((u as NodeId, v as NodeId));
+        }
+    }
+    Graph::from_edges(num_nodes, &edges, GraphKind::Undirected)
+}
+
+/// An undirected `rows x cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Result<Graph> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::InvalidParameter("grid dimensions must be positive".into()));
+    }
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges, GraphKind::Undirected)
+}
+
+/// Two cliques of size `clique_size` joined by a single bridge edge — a handy
+/// worst case for community-sensitive methods.
+pub fn barbell(clique_size: usize) -> Result<Graph> {
+    if clique_size < 2 {
+        return Err(GraphError::InvalidParameter("cliques need at least 2 nodes".into()));
+    }
+    let n = 2 * clique_size;
+    let mut edges = Vec::new();
+    for offset in [0, clique_size] {
+        for u in 0..clique_size {
+            for v in (u + 1)..clique_size {
+                edges.push(((offset + u) as NodeId, (offset + v) as NodeId));
+            }
+        }
+    }
+    edges.push(((clique_size - 1) as NodeId, clique_size as NodeId));
+    Graph::from_edges(n, &edges, GraphKind::Undirected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_degrees() {
+        let g = directed_path(5).unwrap();
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.out_degree(4), 0);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn cycle_is_2_regular() {
+        let g = cycle(6).unwrap();
+        for u in 0..6 {
+            assert_eq!(g.out_degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn star_center_degree() {
+        let g = star(8).unwrap();
+        assert_eq!(g.out_degree(0), 7);
+        for u in 1..8 {
+            assert_eq!(g.out_degree(u), 1);
+        }
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.num_edges(), 15);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let g = grid(3, 4).unwrap();
+        // horizontal: 3*3 = 9, vertical: 2*4 = 8
+        assert_eq!(g.num_edges(), 17);
+        assert_eq!(g.num_nodes(), 12);
+    }
+
+    #[test]
+    fn barbell_has_bridge() {
+        let g = barbell(4).unwrap();
+        assert!(g.has_arc(3, 4));
+        assert_eq!(g.num_edges(), 2 * 6 + 1);
+    }
+
+    #[test]
+    fn degenerate_sizes_rejected() {
+        assert!(cycle(2).is_err());
+        assert!(star(1).is_err());
+        assert!(complete(1).is_err());
+        assert!(grid(0, 3).is_err());
+        assert!(barbell(1).is_err());
+    }
+}

@@ -1,0 +1,367 @@
+//! The immutable [`Graph`] type used throughout the workspace.
+
+use crate::csr::CsrAdjacency;
+use crate::{GraphError, NodeId, Result};
+
+/// Whether the input edges are interpreted as directed arcs or undirected
+/// edges.
+///
+/// The paper handles undirected graphs by replacing each undirected edge
+/// `(u, v)` with the two arcs `(u, v)` and `(v, u)` (Section 3.1); this type
+/// records which interpretation a [`Graph`] was built with so that the
+/// evaluation tasks can report per-kind behaviour (e.g. the edge-features
+/// scoring fallback for single-vector methods on directed graphs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphKind {
+    /// Edges are one-way arcs.
+    Directed,
+    /// Edges connect both endpoints; internally stored as two arcs.
+    Undirected,
+}
+
+impl GraphKind {
+    /// True if this is [`GraphKind::Directed`].
+    pub fn is_directed(self) -> bool {
+        matches!(self, GraphKind::Directed)
+    }
+}
+
+/// An immutable graph with CSR out-adjacency and in-adjacency.
+///
+/// `num_arcs` counts *directed* arcs: for an undirected graph each input edge
+/// contributes two arcs, matching the `m` used in the paper's complexity
+/// analysis for undirected inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    kind: GraphKind,
+    out_adj: CsrAdjacency,
+    in_adj: CsrAdjacency,
+    num_input_edges: usize,
+}
+
+impl Graph {
+    /// Builds a graph over `num_nodes` nodes from an edge list.
+    ///
+    /// For [`GraphKind::Undirected`], every edge `(u, v)` also inserts the
+    /// reverse arc. Self-loops are dropped (the PPR random walk definition
+    /// never benefits from them and the paper's proximity objective only
+    /// concerns `u != v`). Duplicate edges are collapsed.
+    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)], kind: GraphKind) -> Result<Self> {
+        let mut arcs: Vec<(NodeId, NodeId)> = Vec::with_capacity(match kind {
+            GraphKind::Directed => edges.len(),
+            GraphKind::Undirected => edges.len() * 2,
+        });
+        for &(u, v) in edges {
+            if u == v {
+                continue;
+            }
+            arcs.push((u, v));
+            if !kind.is_directed() {
+                arcs.push((v, u));
+            }
+        }
+        let out_adj = CsrAdjacency::from_arcs(num_nodes, &arcs)?;
+        let in_adj = out_adj.transpose();
+        let num_input_edges = match kind {
+            GraphKind::Directed => out_adj.num_arcs(),
+            GraphKind::Undirected => out_adj.num_arcs() / 2,
+        };
+        Ok(Self { kind, out_adj, in_adj, num_input_edges })
+    }
+
+    /// The interpretation (directed / undirected) this graph was built with.
+    #[inline]
+    pub fn kind(&self) -> GraphKind {
+        self.kind
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.out_adj.num_nodes()
+    }
+
+    /// Number of directed arcs `m` (undirected edges count twice).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.out_adj.num_arcs()
+    }
+
+    /// Number of edges as given in the input interpretation
+    /// (undirected edges count once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_input_edges
+    }
+
+    /// Out-neighbours of `u`, sorted ascending.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.out_adj.neighbors(u)
+    }
+
+    /// In-neighbours of `u`, sorted ascending.
+    #[inline]
+    pub fn in_neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.in_adj.neighbors(u)
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_adj.degree(u)
+    }
+
+    /// In-degree of `u`.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.in_adj.degree(u)
+    }
+
+    /// Whether the arc `(u, v)` exists.
+    #[inline]
+    pub fn has_arc(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_adj.contains(u, v)
+    }
+
+    /// Whether `u` and `v` are connected in either direction.
+    #[inline]
+    pub fn has_edge_any_direction(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_adj.contains(u, v) || self.out_adj.contains(v, u)
+    }
+
+    /// Iterates over all directed arcs.
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.out_adj.arcs()
+    }
+
+    /// Iterates over the edges in the input interpretation: for undirected
+    /// graphs, each unordered pair is yielded once with `u <= v`.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        match self.kind {
+            GraphKind::Directed => self.arcs().collect(),
+            GraphKind::Undirected => self.arcs().filter(|&(u, v)| u < v).collect(),
+        }
+    }
+
+    /// The out-adjacency CSR structure.
+    #[inline]
+    pub fn out_adjacency(&self) -> &CsrAdjacency {
+        &self.out_adj
+    }
+
+    /// The in-adjacency CSR structure (transpose of the out-adjacency).
+    #[inline]
+    pub fn in_adjacency(&self) -> &CsrAdjacency {
+        &self.in_adj
+    }
+
+    /// Out-degree vector.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        self.out_adj.degrees()
+    }
+
+    /// In-degree vector.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        self.in_adj.degrees()
+    }
+
+    /// Returns the graph with every arc reversed (the "transpose graph" used
+    /// by STRAP's backward PPR). For undirected graphs this is a clone.
+    pub fn reverse(&self) -> Self {
+        Self {
+            kind: self.kind,
+            out_adj: self.in_adj.clone(),
+            in_adj: self.out_adj.clone(),
+            num_input_edges: self.num_input_edges,
+        }
+    }
+
+    /// Number of common out-neighbours of `u` and `v` (used by the Fig. 1
+    /// motivation test and by simple heuristics in the evaluation crate).
+    pub fn common_out_neighbors(&self, u: NodeId, v: NodeId) -> usize {
+        let (mut a, mut b) = (self.out_neighbors(u).iter().peekable(), self.out_neighbors(v).iter().peekable());
+        let mut count = 0;
+        while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => {
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        count
+    }
+
+    /// Returns a new graph with the given subset of arcs removed.
+    ///
+    /// `removed` is interpreted in the graph's input semantics: for an
+    /// undirected graph, removing `(u, v)` removes both arcs. Used by the
+    /// link-prediction split.
+    pub fn remove_edges(&self, removed: &[(NodeId, NodeId)]) -> Result<Self> {
+        use std::collections::HashSet;
+        let mut kill: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(removed.len() * 2);
+        for &(u, v) in removed {
+            kill.insert((u, v));
+            if !self.kind.is_directed() {
+                kill.insert((v, u));
+            }
+        }
+        let arcs: Vec<(NodeId, NodeId)> = self.arcs().filter(|a| !kill.contains(a)).collect();
+        // Arcs are already symmetric for undirected graphs, so rebuild as directed arcs
+        // and restore the kind manually.
+        let out_adj = CsrAdjacency::from_arcs(self.num_nodes(), &arcs)?;
+        let in_adj = out_adj.transpose();
+        let num_input_edges = match self.kind {
+            GraphKind::Directed => out_adj.num_arcs(),
+            GraphKind::Undirected => out_adj.num_arcs() / 2,
+        };
+        Ok(Self { kind: self.kind, out_adj, in_adj, num_input_edges })
+    }
+
+    /// Checks structural invariants; used by tests and debug assertions.
+    pub fn validate(&self) -> Result<()> {
+        if self.out_adj.num_nodes() != self.in_adj.num_nodes() {
+            return Err(GraphError::InvalidParameter("out/in adjacency node count mismatch".into()));
+        }
+        if self.out_adj.num_arcs() != self.in_adj.num_arcs() {
+            return Err(GraphError::InvalidParameter("out/in adjacency arc count mismatch".into()));
+        }
+        if !self.kind.is_directed() {
+            for (u, v) in self.arcs() {
+                if !self.has_arc(v, u) {
+                    return Err(GraphError::InvalidParameter(format!(
+                        "undirected graph missing reciprocal arc ({v}, {u})"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_directed() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], GraphKind::Directed).unwrap()
+    }
+
+    fn triangle_undirected() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)], GraphKind::Undirected).unwrap()
+    }
+
+    #[test]
+    fn directed_counts() {
+        let g = path_directed();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_arcs(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degree(3), 1);
+    }
+
+    #[test]
+    fn undirected_counts_double_arcs() {
+        let g = triangle_undirected();
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.num_edges(), 3);
+        for u in 0..3 {
+            assert_eq!(g.out_degree(u), 2);
+            assert_eq!(g.in_degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = Graph::from_edges(3, &[(0, 0), (0, 1), (1, 1)], GraphKind::Directed).unwrap();
+        assert_eq!(g.num_arcs(), 1);
+        assert!(!g.has_arc(0, 0));
+    }
+
+    #[test]
+    fn in_adjacency_is_transpose() {
+        let g = path_directed();
+        assert_eq!(g.in_neighbors(1), &[0]);
+        assert_eq!(g.in_neighbors(2), &[1]);
+        assert!(g.in_neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn edges_undirected_yields_each_pair_once() {
+        let g = triangle_undirected();
+        let mut e = g.edges();
+        e.sort();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn reverse_swaps_directions() {
+        let g = path_directed();
+        let r = g.reverse();
+        assert!(r.has_arc(1, 0));
+        assert!(!r.has_arc(0, 1));
+        assert_eq!(r.num_arcs(), g.num_arcs());
+    }
+
+    #[test]
+    fn common_out_neighbors_counts_intersection() {
+        let g = Graph::from_edges(
+            5,
+            &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3)],
+            GraphKind::Directed,
+        )
+        .unwrap();
+        assert_eq!(g.common_out_neighbors(0, 1), 2);
+        assert_eq!(g.common_out_neighbors(2, 3), 0);
+    }
+
+    #[test]
+    fn remove_edges_directed() {
+        let g = path_directed();
+        let g2 = g.remove_edges(&[(1, 2)]).unwrap();
+        assert!(!g2.has_arc(1, 2));
+        assert!(g2.has_arc(0, 1));
+        assert_eq!(g2.num_arcs(), 2);
+    }
+
+    #[test]
+    fn remove_edges_undirected_removes_both_arcs() {
+        let g = triangle_undirected();
+        let g2 = g.remove_edges(&[(0, 1)]).unwrap();
+        assert!(!g2.has_arc(0, 1));
+        assert!(!g2.has_arc(1, 0));
+        assert_eq!(g2.num_edges(), 2);
+        g2.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        path_directed().validate().unwrap();
+        triangle_undirected().validate().unwrap();
+    }
+
+    #[test]
+    fn has_edge_any_direction() {
+        let g = path_directed();
+        assert!(g.has_edge_any_direction(1, 0));
+        assert!(g.has_edge_any_direction(0, 1));
+        assert!(!g.has_edge_any_direction(0, 3));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 1), (1, 0)], GraphKind::Undirected).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.num_arcs(), 2);
+    }
+}

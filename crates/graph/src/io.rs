@@ -1,0 +1,208 @@
+//! Plain-text edge-list and label-file I/O.
+//!
+//! The formats mirror those used by the public releases of the datasets the
+//! paper evaluates on (SNAP-style edge lists, one `src dst` pair per line,
+//! `#`-prefixed comments; label files with `node label [label ...]` lines).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::{Graph, GraphError, GraphKind, NodeId, Result};
+
+/// Reads an edge list from a reader.  Lines starting with `#` or `%` are
+/// treated as comments; fields may be separated by spaces, tabs or commas.
+pub fn read_edge_list_from<R: Read>(reader: R, kind: GraphKind) -> Result<Graph> {
+    let reader = BufReader::new(reader);
+    let mut builder = GraphBuilder::growing(kind);
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split(|c: char| c.is_whitespace() || c == ',').filter(|s| !s.is_empty());
+        let u = parse_node(parts.next(), idx + 1)?;
+        let v = parse_node(parts.next(), idx + 1)?;
+        builder.add_edge_growing(u, v);
+    }
+    if builder.is_empty() && builder.num_nodes() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    builder.build()
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list<P: AsRef<Path>>(path: P, kind: GraphKind) -> Result<Graph> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list_from(file, kind)
+}
+
+/// Writes a graph as an edge list (`src<TAB>dst` per line, input semantics:
+/// undirected edges are written once).
+pub fn write_edge_list_to<W: Write>(graph: &Graph, writer: W) -> Result<()> {
+    let mut writer = BufWriter::new(writer);
+    writeln!(writer, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    for (u, v) in graph.edges() {
+        writeln!(writer, "{u}\t{v}")?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes a graph as an edge list to a file path.
+pub fn write_edge_list<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list_to(graph, file)
+}
+
+/// Reads a multi-label file: each line is `node label [label ...]`.
+/// Returns one (possibly empty) label vector per node id in `0..num_nodes`.
+pub fn read_labels_from<R: Read>(reader: R, num_nodes: usize) -> Result<Vec<Vec<u32>>> {
+    let reader = BufReader::new(reader);
+    let mut labels = vec![Vec::new(); num_nodes];
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let node = parse_node(parts.next(), idx + 1)? as usize;
+        if node >= num_nodes {
+            return Err(GraphError::NodeOutOfBounds { node: node as u64, num_nodes });
+        }
+        for tok in parts {
+            let label: u32 = tok.parse().map_err(|_| GraphError::Parse {
+                line: idx + 1,
+                message: format!("invalid label '{tok}'"),
+            })?;
+            labels[node].push(label);
+        }
+    }
+    Ok(labels)
+}
+
+/// Reads a label file from a path.
+pub fn read_labels<P: AsRef<Path>>(path: P, num_nodes: usize) -> Result<Vec<Vec<u32>>> {
+    let file = std::fs::File::open(path)?;
+    read_labels_from(file, num_nodes)
+}
+
+/// Writes labels as `node label [label ...]` lines (nodes without labels are
+/// skipped).
+pub fn write_labels_to<W: Write>(labels: &[Vec<u32>], writer: W) -> Result<()> {
+    let mut writer = BufWriter::new(writer);
+    for (node, ls) in labels.iter().enumerate() {
+        if ls.is_empty() {
+            continue;
+        }
+        write!(writer, "{node}")?;
+        for l in ls {
+            write!(writer, " {l}")?;
+        }
+        writeln!(writer)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes labels to a file path.
+pub fn write_labels<P: AsRef<Path>>(labels: &[Vec<u32>], path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_labels_to(labels, file)
+}
+
+fn parse_node(token: Option<&str>, line: usize) -> Result<NodeId> {
+    let token = token.ok_or(GraphError::Parse { line, message: "missing node id".into() })?;
+    token.parse::<NodeId>().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid node id '{token}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_edge_list() {
+        let text = "# comment\n0 1\n1\t2\n2,3\n";
+        let g = read_edge_list_from(text.as_bytes(), GraphKind::Directed).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_arcs(), 3);
+        assert!(g.has_arc(2, 3));
+    }
+
+    #[test]
+    fn undirected_parse_adds_reverse_arcs() {
+        let text = "0 1\n";
+        let g = read_edge_list_from(text.as_bytes(), GraphKind::Undirected).unwrap();
+        assert!(g.has_arc(1, 0));
+    }
+
+    #[test]
+    fn rejects_garbage_tokens() {
+        let text = "0 foo\n";
+        let err = read_edge_list_from(text.as_bytes(), GraphKind::Directed).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_missing_endpoint() {
+        let text = "0\n";
+        let err = read_edge_list_from(text.as_bytes(), GraphKind::Directed).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        let err = read_edge_list_from("# only comments\n".as_bytes(), GraphKind::Directed).unwrap_err();
+        assert!(matches!(err, GraphError::EmptyGraph));
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)], GraphKind::Undirected).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list_to(&g, &mut buf).unwrap();
+        let g2 = read_edge_list_from(buf.as_slice(), GraphKind::Undirected).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(g2.has_arc(u, v));
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("graph.txt");
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)], GraphKind::Directed).unwrap();
+        write_edge_list(&g, &path).unwrap();
+        let g2 = read_edge_list(&path, GraphKind::Directed).unwrap();
+        assert_eq!(g2.num_arcs(), 2);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let labels = vec![vec![1, 2], vec![], vec![3]];
+        let mut buf = Vec::new();
+        write_labels_to(&labels, &mut buf).unwrap();
+        let parsed = read_labels_from(buf.as_slice(), 3).unwrap();
+        assert_eq!(parsed, labels);
+    }
+
+    #[test]
+    fn labels_reject_out_of_range_node() {
+        let text = "5 1\n";
+        let err = read_labels_from(text.as_bytes(), 3).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn labels_reject_bad_label() {
+        let text = "0 abc\n";
+        let err = read_labels_from(text.as_bytes(), 3).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+}

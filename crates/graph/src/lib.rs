@@ -1,0 +1,43 @@
+//! # nrp-graph
+//!
+//! Sparse graph substrate used by the NRP reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`Graph`] — an immutable, compressed sparse row (CSR) representation of a
+//!   directed or undirected graph with O(1) access to out-neighbours and
+//!   in-neighbours, exactly the access pattern the NRP propagation
+//!   (`X_i = (1-α) P X_{i-1} + X_1`) and the evaluation tasks need.
+//! * [`GraphBuilder`] — a mutable edge accumulator with de-duplication and
+//!   self-loop handling.
+//! * [`generators`] — synthetic workloads standing in for the paper's
+//!   datasets: Erdős–Rényi, Barabási–Albert, stochastic block models with
+//!   planted labels, Watts–Strogatz, the 9-node example graph of Fig. 1 and
+//!   an evolving-graph generator for the dynamic link-prediction experiment.
+//! * [`io`] — plain-text edge-list and label-file readers/writers.
+//!
+//! Node identifiers are dense `u32` indices in `0..n`; this keeps the CSR
+//! index arrays at 4 bytes per edge endpoint, which matters for the
+//! million-edge synthetic graphs exercised by the scalability benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrAdjacency;
+pub use error::GraphError;
+pub use graph::{Graph, GraphKind};
+
+/// Dense node identifier in `0..n`.
+pub type NodeId = u32;
+
+/// Convenience result alias for graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,130 @@
+//! Descriptive statistics over graphs (degree distribution, density, …).
+//!
+//! Used by the `table3_datasets` harness to print the analogue of the
+//! paper's dataset-statistics table and by tests that assert generator
+//! behaviour (e.g. the Barabási–Albert generator produces a heavy-tailed
+//! degree distribution).
+
+use crate::Graph;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of edges in the input interpretation.
+    pub num_edges: usize,
+    /// Number of directed arcs.
+    pub num_arcs: usize,
+    /// Minimum out-degree.
+    pub min_out_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Mean out-degree.
+    pub mean_out_degree: f64,
+    /// Fraction of nodes with out-degree zero (dangling nodes).
+    pub dangling_fraction: f64,
+    /// Arc density `m / (n * (n - 1))`.
+    pub density: f64,
+}
+
+/// Computes summary statistics for `graph`.
+pub fn graph_stats(graph: &Graph) -> GraphStats {
+    let n = graph.num_nodes();
+    let degrees = graph.out_degrees();
+    let min = degrees.iter().copied().min().unwrap_or(0);
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let total: usize = degrees.iter().sum();
+    let dangling = degrees.iter().filter(|&&d| d == 0).count();
+    let pairs = (n as f64) * ((n.saturating_sub(1)) as f64);
+    GraphStats {
+        num_nodes: n,
+        num_edges: graph.num_edges(),
+        num_arcs: graph.num_arcs(),
+        min_out_degree: min,
+        max_out_degree: max,
+        mean_out_degree: total as f64 / n as f64,
+        dangling_fraction: dangling as f64 / n as f64,
+        density: if pairs > 0.0 { graph.num_arcs() as f64 / pairs } else { 0.0 },
+    }
+}
+
+/// Histogram of out-degrees: `hist[d]` is the number of nodes with
+/// out-degree `d` (truncated at `max_degree`, larger degrees are folded into
+/// the last bucket).
+pub fn degree_histogram(graph: &Graph, max_degree: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max_degree + 1];
+    for d in graph.out_degrees() {
+        let bucket = d.min(max_degree);
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+/// Gini coefficient of the out-degree distribution — a scalar measure of
+/// degree skew used to sanity-check the power-law generators (values near 0
+/// mean uniform degrees, values near 1 mean extremely skewed).
+pub fn degree_gini(graph: &Graph) -> f64 {
+    let mut degrees: Vec<f64> = graph.out_degrees().iter().map(|&d| d as f64).collect();
+    degrees.sort_by(|a, b| a.partial_cmp(b).expect("degrees are finite"));
+    let n = degrees.len() as f64;
+    let sum: f64 = degrees.iter().sum();
+    if sum == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = degrees.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d).sum();
+    (2.0 * weighted) / (n * sum) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphKind;
+
+    #[test]
+    fn stats_of_directed_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], GraphKind::Directed).unwrap();
+        let s = graph_stats(&g);
+        assert_eq!(s.num_nodes, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.max_out_degree, 1);
+        assert_eq!(s.min_out_degree, 0);
+        assert!((s.mean_out_degree - 0.75).abs() < 1e-12);
+        assert!((s.dangling_fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)], GraphKind::Directed).unwrap();
+        let hist = degree_histogram(&g, 2);
+        // degrees: 3, 1, 0, 0 -> buckets (0:2, 1:1, >=2:1)
+        assert_eq!(hist, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn gini_zero_for_regular_graph() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], GraphKind::Undirected).unwrap();
+        assert!(degree_gini(&g).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_positive_for_star() {
+        let edges: Vec<(u32, u32)> = (1..10u32).map(|v| (0, v)).collect();
+        let g = Graph::from_edges(10, &edges, GraphKind::Directed).unwrap();
+        assert!(degree_gini(&g) > 0.5);
+    }
+
+    #[test]
+    fn density_of_complete_directed_graph_is_one() {
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(4, &edges, GraphKind::Directed).unwrap();
+        assert!((graph_stats(&g).density - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,211 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi method.
+//!
+//! The matrices we decompose are small: the `k' x k'` (or `(q+1)·l x (q+1)·l`
+//! for block Krylov) projections produced by the randomized SVD, where
+//! `k' = k/2 <= 128` in all of the paper's configurations.  Cyclic Jacobi is
+//! simple, unconditionally stable, and fast enough at these sizes.
+
+use crate::{DenseMatrix, LinalgError, Result};
+
+/// Eigendecomposition of a symmetric matrix: `a = V diag(λ) Vᵀ` with
+/// eigenvalues sorted in descending order and eigenvectors stored as the
+/// columns of `vectors`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Matrix whose `j`-th column is the eigenvector for `values[j]`.
+    pub vectors: DenseMatrix,
+}
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// The input is symmetrized (`(A + Aᵀ)/2`) to absorb round-off asymmetry from
+/// upstream Gram-matrix computations.
+pub fn symmetric_eigen(a: &DenseMatrix) -> Result<SymmetricEigen> {
+    let (n, m) = a.shape();
+    if n != m {
+        return Err(LinalgError::ShapeMismatch {
+            operation: "symmetric_eigen".into(),
+            left: (n, m),
+            right: (n, n),
+        });
+    }
+    if n == 0 {
+        return Err(LinalgError::InvalidParameter("eigen of empty matrix".into()));
+    }
+    // Work on a symmetrized copy.
+    let mut s = DenseMatrix::from_fn(n, n, |i, j| 0.5 * (a.get(i, j) + a.get(j, i)));
+    let mut v = DenseMatrix::identity(n);
+    let scale = s.max_abs().max(1.0);
+    let tol = 1e-14 * scale;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off_diag = 0.0_f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off_diag = off_diag.max(s.get(p, q).abs());
+            }
+        }
+        if off_diag <= tol {
+            return Ok(finish(s, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = s.get(p, q);
+                if apq.abs() <= tol * 1e-2 {
+                    continue;
+                }
+                let app = s.get(p, p);
+                let aqq = s.get(q, q);
+                // Classic Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let sn = t * c;
+                // Apply rotation to S on both sides.
+                for k in 0..n {
+                    let skp = s.get(k, p);
+                    let skq = s.get(k, q);
+                    s.set(k, p, c * skp - sn * skq);
+                    s.set(k, q, sn * skp + c * skq);
+                }
+                for k in 0..n {
+                    let spk = s.get(p, k);
+                    let sqk = s.get(q, k);
+                    s.set(p, k, c * spk - sn * sqk);
+                    s.set(q, k, sn * spk + c * sqk);
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - sn * vkq);
+                    v.set(k, q, sn * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence { routine: "jacobi eigen", iterations: MAX_SWEEPS })
+}
+
+fn finish(s: DenseMatrix, v: DenseMatrix) -> SymmetricEigen {
+    let n = s.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| s.get(i, i)).collect();
+    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("eigenvalues are finite"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = DenseMatrix::from_fn(n, n, |i, j| v.get(i, order[j]));
+    SymmetricEigen { values, vectors }
+}
+
+/// Computes only the top-`k` eigenpairs (convenience wrapper; the full
+/// decomposition is computed internally since the matrices are small).
+pub fn top_k_eigen(a: &DenseMatrix, k: usize) -> Result<SymmetricEigen> {
+    let full = symmetric_eigen(a)?;
+    let k = k.min(full.values.len());
+    Ok(SymmetricEigen {
+        values: full.values[..k].to_vec(),
+        vectors: full.vectors.truncate_cols(k),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gaussian_matrix;
+
+    fn reconstruct(e: &SymmetricEigen) -> DenseMatrix {
+        let n = e.vectors.rows();
+        let k = e.values.len();
+        let mut scaled = e.vectors.clone();
+        for j in 0..k {
+            for i in 0..n {
+                scaled.set(i, j, scaled.get(i, j) * e.values[j]);
+            }
+        }
+        scaled.matmul_transpose(&e.vectors).unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, -1.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let g = gaussian_matrix(12, 12, 5);
+        let a = g.add(&g.transpose()).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let err = reconstruct(&e).sub(&a).unwrap().frobenius_norm() / a.frobenius_norm();
+        assert!(err < 1e-10, "relative reconstruction error {err}");
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let g = gaussian_matrix(10, 10, 8);
+        let a = g.add(&g.transpose()).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!(crate::qr::orthogonality_defect(&e.vectors) < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let g = gaussian_matrix(15, 15, 21);
+        let a = g.add(&g.transpose()).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let g = gaussian_matrix(9, 9, 33);
+        let a = g.add(&g.transpose()).unwrap();
+        let trace: f64 = (0..9).map(|i| a.get(i, i)).sum();
+        let e = symmetric_eigen(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let g = gaussian_matrix(8, 8, 13);
+        let a = g.add(&g.transpose()).unwrap();
+        let e = top_k_eigen(&a, 3).unwrap();
+        assert_eq!(e.values.len(), 3);
+        assert_eq!(e.vectors.shape(), (8, 3));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DenseMatrix::zeros(3, 4);
+        assert!(symmetric_eigen(&a).is_err());
+    }
+
+    #[test]
+    fn psd_gram_matrix_has_nonnegative_eigenvalues() {
+        let g = gaussian_matrix(20, 6, 4);
+        let gram = g.gram();
+        let e = symmetric_eigen(&gram).unwrap();
+        for &v in &e.values {
+            assert!(v > -1e-9);
+        }
+    }
+}

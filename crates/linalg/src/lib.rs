@@ -1,0 +1,46 @@
+//! # nrp-linalg
+//!
+//! Dense and randomized linear-algebra kernels required by the NRP
+//! reproduction. Everything is implemented from scratch on top of `Vec<f64>`
+//! so the workspace has no dependency on external BLAS/LAPACK or sparse
+//! linear-algebra crates:
+//!
+//! * [`DenseMatrix`] — row-major dense matrices with the handful of
+//!   operations the algorithms need (products, transposes, norms).
+//! * [`qr`] — thin QR factorization by modified Gram–Schmidt with
+//!   re-orthogonalization ("twice is enough"), used to orthonormalize
+//!   randomized range bases.
+//! * [`eig`] — a cyclic Jacobi symmetric eigensolver for the small
+//!   `k' × k'` projected matrices.
+//! * [`svd`] — exact SVD of small or tall-thin matrices via the
+//!   eigendecomposition of the Gram matrix.
+//! * [`randomized`] — randomized truncated SVD of large sparse operators:
+//!   both plain subspace iteration (Halko et al.) and the block-Krylov
+//!   variant (BKSVD, Musco & Musco 2015) the paper's Algorithm 1 calls for.
+//! * [`sparse`] — CSR sparse matrices with `f64` values and sparse × dense
+//!   products, plus the [`LinearOperator`] abstraction that lets the
+//!   randomized SVD run directly on graph adjacency structures without
+//!   materializing them as matrices.
+//! * [`random`] — seeded Gaussian matrix generation (Box–Muller).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eig;
+pub mod error;
+pub mod matrix;
+pub mod operator;
+pub mod qr;
+pub mod random;
+pub mod randomized;
+pub mod sparse;
+pub mod svd;
+
+pub use error::LinalgError;
+pub use matrix::DenseMatrix;
+pub use operator::{AdjacencyOperator, LinearOperator, TransitionOperator};
+pub use randomized::{RandomizedSvd, RandomizedSvdMethod, SvdResult};
+pub use sparse::SparseMatrix;
+
+/// Convenience result alias for linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,311 @@
+//! Linear-operator abstraction over matrices that are never materialized.
+//!
+//! The randomized SVD and the PPR propagation only ever touch the adjacency
+//! matrix `A` and the transition matrix `P = D⁻¹A` through products with
+//! tall-skinny dense matrices.  [`LinearOperator`] captures exactly that
+//! interface, and [`AdjacencyOperator`] / [`TransitionOperator`] implement it
+//! directly on top of the graph's CSR structure — `O(m·k)` per product and no
+//! `n × n` storage, the property that lets NRP scale to large graphs.
+
+use nrp_graph::Graph;
+
+use crate::{DenseMatrix, LinalgError, Result, SparseMatrix};
+
+/// A real linear operator `A : R^{ncols} -> R^{nrows}` accessed only through
+/// matrix products.
+pub trait LinearOperator {
+    /// Number of rows of the represented matrix.
+    fn nrows(&self) -> usize;
+    /// Number of columns of the represented matrix.
+    fn ncols(&self) -> usize;
+    /// Computes `A * x` for a dense `x` with `ncols()` rows.
+    fn apply(&self, x: &DenseMatrix) -> Result<DenseMatrix>;
+    /// Computes `Aᵀ * x` for a dense `x` with `nrows()` rows.
+    fn apply_transpose(&self, x: &DenseMatrix) -> Result<DenseMatrix>;
+}
+
+fn check_rows(expected: usize, x: &DenseMatrix, operation: &str) -> Result<()> {
+    if x.rows() != expected {
+        return Err(LinalgError::ShapeMismatch {
+            operation: operation.into(),
+            left: (expected, expected),
+            right: x.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// The (unweighted) adjacency matrix `A` of a graph: `A[u, v] = 1` iff the
+/// arc `(u, v)` exists.
+#[derive(Debug, Clone, Copy)]
+pub struct AdjacencyOperator<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> AdjacencyOperator<'g> {
+    /// Wraps a graph's adjacency structure.
+    pub fn new(graph: &'g Graph) -> Self {
+        Self { graph }
+    }
+}
+
+impl LinearOperator for AdjacencyOperator<'_> {
+    fn nrows(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn ncols(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn apply(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        check_rows(self.ncols(), x, "adjacency * dense")?;
+        let n = self.graph.num_nodes();
+        let mut out = DenseMatrix::zeros(n, x.cols());
+        for u in 0..n {
+            let out_row = out.row_mut(u);
+            for &v in self.graph.out_neighbors(u as u32) {
+                let x_row = x.row(v as usize);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += xv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn apply_transpose(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        check_rows(self.nrows(), x, "adjacencyᵀ * dense")?;
+        let n = self.graph.num_nodes();
+        let mut out = DenseMatrix::zeros(n, x.cols());
+        for u in 0..n {
+            // Row u of Aᵀ has ones at the in-neighbours of u.
+            let out_row = out.row_mut(u);
+            for &v in self.graph.in_neighbors(u as u32) {
+                let x_row = x.row(v as usize);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += xv;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The random-walk transition matrix `P = D⁻¹A` of a graph
+/// (`P[u, v] = 1/dout(u)` for each out-neighbour `v` of `u`).
+///
+/// Rows of dangling nodes (out-degree zero) are all-zero, matching the
+/// "terminate the walk" semantics the paper's PPR definition implies for
+/// nodes without out-neighbours.
+#[derive(Debug, Clone)]
+pub struct TransitionOperator<'g> {
+    graph: &'g Graph,
+    inv_out_degree: Vec<f64>,
+}
+
+impl<'g> TransitionOperator<'g> {
+    /// Wraps a graph as its transition matrix.
+    pub fn new(graph: &'g Graph) -> Self {
+        let inv_out_degree = (0..graph.num_nodes())
+            .map(|u| {
+                let d = graph.out_degree(u as u32);
+                if d == 0 {
+                    0.0
+                } else {
+                    1.0 / d as f64
+                }
+            })
+            .collect();
+        Self { graph, inv_out_degree }
+    }
+
+    /// The vector of `1/dout(u)` values (0 for dangling nodes).
+    pub fn inverse_out_degrees(&self) -> &[f64] {
+        &self.inv_out_degree
+    }
+}
+
+impl LinearOperator for TransitionOperator<'_> {
+    fn nrows(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn ncols(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn apply(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        check_rows(self.ncols(), x, "transition * dense")?;
+        let n = self.graph.num_nodes();
+        let mut out = DenseMatrix::zeros(n, x.cols());
+        for u in 0..n {
+            let w = self.inv_out_degree[u];
+            if w == 0.0 {
+                continue;
+            }
+            let out_row = out.row_mut(u);
+            for &v in self.graph.out_neighbors(u as u32) {
+                let x_row = x.row(v as usize);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += w * xv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn apply_transpose(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        check_rows(self.nrows(), x, "transitionᵀ * dense")?;
+        let n = self.graph.num_nodes();
+        let mut out = DenseMatrix::zeros(n, x.cols());
+        for u in 0..n {
+            let w = self.inv_out_degree[u];
+            if w == 0.0 {
+                continue;
+            }
+            let x_row = x.row(u);
+            for &v in self.graph.out_neighbors(u as u32) {
+                let out_row = out.row_mut(v as usize);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += w * xv;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl LinearOperator for DenseMatrix {
+    fn nrows(&self) -> usize {
+        self.rows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.cols()
+    }
+
+    fn apply(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        self.matmul(x)
+    }
+
+    fn apply_transpose(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        self.transpose_matmul(x)
+    }
+}
+
+impl LinearOperator for SparseMatrix {
+    fn nrows(&self) -> usize {
+        self.rows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.cols()
+    }
+
+    fn apply(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        self.matmul_dense(x)
+    }
+
+    fn apply_transpose(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        self.transpose_matmul_dense(x)
+    }
+}
+
+/// Densifies an operator by applying it to the identity (tests only).
+pub fn to_dense<O: LinearOperator>(op: &O) -> Result<DenseMatrix> {
+    op.apply(&DenseMatrix::identity(op.ncols()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrp_graph::{Graph, GraphKind};
+
+    fn toy() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 0)], GraphKind::Directed).unwrap()
+    }
+
+    #[test]
+    fn adjacency_apply_matches_dense() {
+        let g = toy();
+        let op = AdjacencyOperator::new(&g);
+        let dense = to_dense(&op).unwrap();
+        assert_eq!(dense.get(0, 1), 1.0);
+        assert_eq!(dense.get(0, 2), 1.0);
+        assert_eq!(dense.get(1, 0), 0.0);
+        let x = DenseMatrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let fast = op.apply(&x).unwrap();
+        let slow = dense.matmul(&x).unwrap();
+        assert!(fast.sub(&slow).unwrap().frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_transpose_matches_dense_transpose() {
+        let g = toy();
+        let op = AdjacencyOperator::new(&g);
+        let dense = to_dense(&op).unwrap();
+        let x = DenseMatrix::from_fn(4, 2, |i, j| (i + j) as f64 + 0.5);
+        let fast = op.apply_transpose(&x).unwrap();
+        let slow = dense.transpose().matmul(&x).unwrap();
+        assert!(fast.sub(&slow).unwrap().frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn transition_rows_sum_to_one_or_zero() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2)], GraphKind::Directed).unwrap();
+        let op = TransitionOperator::new(&g);
+        let dense = to_dense(&op).unwrap();
+        let row0: f64 = dense.row(0).iter().sum();
+        let row1: f64 = dense.row(1).iter().sum();
+        assert!((row0 - 1.0).abs() < 1e-12);
+        assert_eq!(row1, 0.0); // dangling node
+        assert_eq!(dense.get(0, 1), 0.5);
+    }
+
+    #[test]
+    fn transition_transpose_matches_dense() {
+        let g = toy();
+        let op = TransitionOperator::new(&g);
+        let dense = to_dense(&op).unwrap();
+        let x = DenseMatrix::from_fn(4, 2, |i, j| ((i + 1) * (j + 2)) as f64);
+        let fast = op.apply_transpose(&x).unwrap();
+        let slow = dense.transpose().matmul(&x).unwrap();
+        assert!(fast.sub(&slow).unwrap().frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn dense_matrix_as_operator() {
+        let a = DenseMatrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let x = DenseMatrix::from_fn(4, 2, |i, j| (i + j) as f64);
+        assert_eq!(a.apply(&x).unwrap(), a.matmul(&x).unwrap());
+        let y = DenseMatrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        assert_eq!(a.apply_transpose(&y).unwrap(), a.transpose().matmul(&y).unwrap());
+    }
+
+    #[test]
+    fn sparse_matrix_as_operator() {
+        let m = SparseMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (2, 0, 1.0)]).unwrap();
+        let x = DenseMatrix::identity(3);
+        let applied = m.apply(&x).unwrap();
+        assert_eq!(applied.get(0, 1), 2.0);
+        assert_eq!(applied.get(2, 0), 1.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let g = toy();
+        let op = AdjacencyOperator::new(&g);
+        let x = DenseMatrix::zeros(5, 2);
+        assert!(op.apply(&x).is_err());
+        assert!(op.apply_transpose(&x).is_err());
+    }
+
+    #[test]
+    fn undirected_adjacency_operator_is_symmetric() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)], GraphKind::Undirected).unwrap();
+        let op = AdjacencyOperator::new(&g);
+        let dense = to_dense(&op).unwrap();
+        assert!(dense.sub(&dense.transpose()).unwrap().frobenius_norm() < 1e-12);
+    }
+}

@@ -1,0 +1,118 @@
+//! Seeded random matrix generation.
+//!
+//! The randomized SVD needs standard-normal test matrices; rather than pull
+//! in `rand_distr` we sample Gaussians with the Box–Muller transform, which
+//! is plenty for sketching purposes and keeps the dependency set minimal.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::DenseMatrix;
+
+/// A seeded source of standard-normal samples.
+#[derive(Debug, Clone)]
+pub struct GaussianSampler {
+    rng: ChaCha8Rng,
+    cached: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: ChaCha8Rng::seed_from_u64(seed), cached: None }
+    }
+
+    /// Draws one standard-normal sample.
+    pub fn sample(&mut self) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms -> two independent normals.
+        let u1: f64 = loop {
+            let u = self.rng.gen::<f64>();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = self.rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws a uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen()
+    }
+}
+
+/// A `rows x cols` matrix with i.i.d. standard-normal entries.
+pub fn gaussian_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut sampler = GaussianSampler::new(seed);
+    DenseMatrix::from_fn(rows, cols, |_, _| sampler.sample())
+}
+
+/// A `rows x cols` matrix with i.i.d. normal entries scaled by `1/sqrt(cols)`
+/// (the scaling used by RandNE-style random projections so that projected
+/// norms are preserved in expectation).
+pub fn scaled_gaussian_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut m = gaussian_matrix(rows, cols, seed);
+    m.scale(1.0 / (cols as f64).sqrt());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_moments_are_roughly_standard() {
+        let m = gaussian_matrix(200, 50, 7);
+        let n = (m.rows() * m.cols()) as f64;
+        let mean: f64 = m.data().iter().sum::<f64>() / n;
+        let var: f64 = m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let a = gaussian_matrix(10, 10, 3);
+        let b = gaussian_matrix(10, 10, 3);
+        assert_eq!(a, b);
+        let c = gaussian_matrix(10, 10, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scaled_projection_preserves_norms_in_expectation() {
+        let x = vec![1.0; 400];
+        let proj = scaled_gaussian_matrix(400, 64, 11);
+        // y = x^T * proj; ||y||^2 should be close to ||x||^2 = 400.
+        let mut y = vec![0.0; 64];
+        for (i, &xi) in x.iter().enumerate() {
+            for (j, yj) in y.iter_mut().enumerate() {
+                *yj += xi * proj.get(i, j);
+            }
+        }
+        let norm_sq: f64 = y.iter().map(|v| v * v).sum();
+        assert!((norm_sq - 400.0).abs() < 120.0, "projected norm {norm_sq} too far from 400");
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut s = GaussianSampler::new(1);
+        for _ in 0..100 {
+            let u = s.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn all_samples_finite() {
+        let m = gaussian_matrix(100, 10, 999);
+        assert!(m.is_finite());
+    }
+}

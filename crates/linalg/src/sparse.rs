@@ -1,0 +1,270 @@
+//! CSR sparse matrices with `f64` values.
+//!
+//! [`SparseMatrix`] is used where a *weighted* sparse matrix must be built
+//! explicitly — most prominently the truncated PPR proximity matrix assembled
+//! by the STRAP baseline — while plain graph adjacency structures are wrapped
+//! by the operators in [`crate::operator`] without copying.
+
+use crate::{DenseMatrix, LinalgError, Result};
+
+/// A CSR sparse matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds a sparse matrix from `(row, col, value)` triplets; duplicate
+    /// coordinates are summed.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Result<Self> {
+        for &(r, c, _) in triplets {
+            if r >= rows || c >= cols {
+                return Err(LinalgError::InvalidParameter(format!(
+                    "triplet ({r}, {c}) out of bounds for {rows}x{cols} matrix"
+                )));
+            }
+        }
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        indptr.push(0);
+        let mut current_row = 0usize;
+        for (r, c, v) in sorted {
+            while current_row < r {
+                indptr.push(indices.len());
+                current_row += 1;
+            }
+            if let (Some(&last_c), true) = (indices.last(), indptr.len() == current_row + 1) {
+                if last_c == c && !values.is_empty() && indices.len() > *indptr.last().unwrap() {
+                    // Duplicate coordinate within the current row: accumulate.
+                    *values.last_mut().expect("non-empty") += v;
+                    continue;
+                }
+            }
+            indices.push(c);
+            values.push(v);
+        }
+        while current_row < rows {
+            indptr.push(indices.len());
+            current_row += 1;
+        }
+        // The loop above pushes one boundary per row advance plus the initial 0;
+        // ensure the final boundary is present.
+        if indptr.len() == rows {
+            indptr.push(indices.len());
+        }
+        debug_assert_eq!(indptr.len(), rows + 1);
+        Ok(Self { rows, cols, indptr, indices, values })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (possibly zero-valued) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The non-zero entries of row `i` as parallel `(column, value)` slices.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let range = self.indptr[i]..self.indptr[i + 1];
+        (&self.indices[range.clone()], &self.values[range])
+    }
+
+    /// Retrieves an entry (O(row nnz)).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> SparseMatrix {
+        let triplets: Vec<(usize, usize, f64)> = self
+            .iter()
+            .map(|(r, c, v)| (c, r, v))
+            .collect();
+        SparseMatrix::from_triplets(self.cols, self.rows, &triplets)
+            .expect("transpose of a valid matrix is valid")
+    }
+
+    /// Iterates over `(row, col, value)` of all stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Sparse × dense product `self * x`.
+    pub fn matmul_dense(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != x.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "sparse * dense".into(),
+                left: (self.rows, self.cols),
+                right: x.shape(),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, x.cols());
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let out_row = out.row_mut(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let x_row = x.row(c);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sparse-transpose × dense product `selfᵀ * x`.
+    pub fn transpose_matmul_dense(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.rows != x.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "sparseᵀ * dense".into(),
+                left: (self.cols, self.rows),
+                right: x.shape(),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.cols, x.cols());
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let x_row = x.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let out_row = out.row_mut(c);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Densifies (tests / tiny matrices only).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            out.add_to(r, c, v);
+        }
+        out
+    }
+
+    /// Frobenius norm of the stored entries.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseMatrix {
+        SparseMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 1, 2.0), (0, 3, 1.0), (1, 0, -1.0), (2, 2, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn get_and_nnz() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5)]).unwrap();
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        assert!(SparseMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(SparseMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let m = SparseMatrix::from_triplets(4, 4, &[(3, 3, 1.0)]).unwrap();
+        assert_eq!(m.row(0).0.len(), 0);
+        assert_eq!(m.row(3).0, &[3]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.get(1, 0), 2.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_dense_matches_dense_matmul() {
+        let m = sample();
+        let x = DenseMatrix::from_fn(4, 3, |i, j| (i + j) as f64 * 0.5);
+        let sparse_result = m.matmul_dense(&x).unwrap();
+        let dense_result = m.to_dense().matmul(&x).unwrap();
+        assert!(sparse_result.sub(&dense_result).unwrap().frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_matmul_dense_matches() {
+        let m = sample();
+        let x = DenseMatrix::from_fn(3, 2, |i, j| (2 * i + j) as f64);
+        let fast = m.transpose_matmul_dense(&x).unwrap();
+        let slow = m.to_dense().transpose().matmul(&x).unwrap();
+        assert!(fast.sub(&slow).unwrap().frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let m = sample();
+        let x = DenseMatrix::zeros(3, 3);
+        assert!(m.matmul_dense(&x).is_err());
+        let y = DenseMatrix::zeros(4, 2);
+        assert!(m.transpose_matmul_dense(&y).is_err());
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let m = sample();
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(entries.len(), 4);
+        assert!(entries.contains(&(1, 0, -1.0)));
+    }
+
+    #[test]
+    fn frobenius_norm_value() {
+        let m = SparseMatrix::from_triplets(2, 2, &[(0, 0, 3.0), (1, 1, 4.0)]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Exact SVD of small or tall-thin dense matrices.
+//!
+//! We only ever need the SVD of matrices with one small dimension (the
+//! projected sketch `B = Qᵀ A` has at most a few hundred rows), so the SVD is
+//! computed from the eigendecomposition of the smaller Gram matrix:
+//! `A = U Σ Vᵀ` with `AᵀA = V Σ² Vᵀ` (when `cols <= rows`) or
+//! `AAᵀ = U Σ² Uᵀ` (when `rows < cols`).
+
+use crate::eig::symmetric_eigen;
+use crate::{DenseMatrix, LinalgError, Result};
+
+/// A (possibly truncated) singular value decomposition `A ≈ U Σ Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `rows x k`.
+    pub u: DenseMatrix,
+    /// Singular values, descending, length `k`.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, `cols x k`.
+    pub v: DenseMatrix,
+}
+
+impl Svd {
+    /// Reconstructs `U Σ Vᵀ`.
+    pub fn reconstruct(&self) -> DenseMatrix {
+        let mut us = self.u.clone();
+        us.scale_cols(&self.singular_values).expect("dimension agrees by construction");
+        us.matmul_transpose(&self.v).expect("dimension agrees by construction")
+    }
+
+    /// Truncates to the top `k` singular triplets.
+    pub fn truncate(&self, k: usize) -> Svd {
+        let k = k.min(self.singular_values.len());
+        Svd {
+            u: self.u.truncate_cols(k),
+            singular_values: self.singular_values[..k].to_vec(),
+            v: self.v.truncate_cols(k),
+        }
+    }
+}
+
+/// Computes the SVD of `a` via the Gram-matrix eigendecomposition.
+///
+/// Singular values below `rel_tol * max_singular_value` are dropped (the
+/// corresponding directions are numerically rank-deficient).
+pub fn gram_svd(a: &DenseMatrix, rel_tol: f64) -> Result<Svd> {
+    let (rows, cols) = a.shape();
+    if rows == 0 || cols == 0 {
+        return Err(LinalgError::InvalidParameter("svd of empty matrix".into()));
+    }
+    if cols <= rows {
+        // AᵀA = V Σ² Vᵀ, U = A V Σ⁻¹.
+        let gram = a.gram();
+        let eig = symmetric_eigen(&gram)?;
+        let (values, v) = clip(eig.values, eig.vectors, rel_tol);
+        let sigma: Vec<f64> = values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let mut u = a.matmul(&v)?;
+        let inv: Vec<f64> = sigma.iter().map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 }).collect();
+        u.scale_cols(&inv)?;
+        Ok(Svd { u, singular_values: sigma, v })
+    } else {
+        // AAᵀ = U Σ² Uᵀ, V = Aᵀ U Σ⁻¹.
+        let gram = a.matmul_transpose(a)?;
+        let eig = symmetric_eigen(&gram)?;
+        let (values, u) = clip(eig.values, eig.vectors, rel_tol);
+        let sigma: Vec<f64> = values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let mut v = a.transpose_matmul(&u)?;
+        let inv: Vec<f64> = sigma.iter().map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 }).collect();
+        v.scale_cols(&inv)?;
+        Ok(Svd { u, singular_values: sigma, v })
+    }
+}
+
+/// Convenience wrapper: top-`k` truncated SVD of a dense matrix.
+pub fn truncated_svd(a: &DenseMatrix, k: usize) -> Result<Svd> {
+    Ok(gram_svd(a, 1e-12)?.truncate(k))
+}
+
+fn clip(values: Vec<f64>, vectors: DenseMatrix, rel_tol: f64) -> (Vec<f64>, DenseMatrix) {
+    let max = values.first().copied().unwrap_or(0.0).max(0.0);
+    let cutoff = rel_tol * rel_tol * max; // eigenvalues are squared singular values
+    let keep = values.iter().filter(|&&l| l > cutoff && l > 0.0).count().max(1);
+    (values[..keep].to_vec(), vectors.truncate_cols(keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::orthogonality_defect;
+    use crate::random::gaussian_matrix;
+
+    #[test]
+    fn reconstruction_of_full_rank_matrix() {
+        let a = gaussian_matrix(12, 5, 3);
+        let svd = gram_svd(&a, 1e-12).unwrap();
+        let err = svd.reconstruct().sub(&a).unwrap().frobenius_norm() / a.frobenius_norm();
+        assert!(err < 1e-9, "relative error {err}");
+    }
+
+    #[test]
+    fn wide_matrix_uses_left_gram() {
+        let a = gaussian_matrix(4, 20, 5);
+        let svd = gram_svd(&a, 1e-12).unwrap();
+        let err = svd.reconstruct().sub(&a).unwrap().frobenius_norm() / a.frobenius_norm();
+        assert!(err < 1e-9);
+        assert_eq!(svd.u.rows(), 4);
+        assert_eq!(svd.v.rows(), 20);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let a = gaussian_matrix(10, 7, 9);
+        let svd = gram_svd(&a, 1e-12).unwrap();
+        for w in svd.singular_values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(svd.singular_values.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn factors_are_orthonormal() {
+        let a = gaussian_matrix(15, 6, 17);
+        let svd = gram_svd(&a, 1e-12).unwrap();
+        assert!(orthogonality_defect(&svd.u) < 1e-8);
+        assert!(orthogonality_defect(&svd.v) < 1e-8);
+    }
+
+    #[test]
+    fn known_diagonal_singular_values() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0], &[0.0, 0.0]]).unwrap();
+        let svd = gram_svd(&a, 1e-12).unwrap();
+        assert!((svd.singular_values[0] - 4.0).abs() < 1e-10);
+        assert!((svd.singular_values[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn truncated_svd_is_best_low_rank_in_frobenius() {
+        // Rank-1 truncation of a matrix with a dominant direction.
+        let u = gaussian_matrix(20, 1, 1);
+        let v = gaussian_matrix(8, 1, 2);
+        let mut low_rank = u.matmul_transpose(&v).unwrap();
+        low_rank.scale(10.0);
+        let noise = {
+            let mut n = gaussian_matrix(20, 8, 3);
+            n.scale(0.01);
+            n
+        };
+        let a = low_rank.add(&noise).unwrap();
+        let svd = truncated_svd(&a, 1).unwrap();
+        let err = svd.reconstruct().sub(&a).unwrap().frobenius_norm() / a.frobenius_norm();
+        assert!(err < 0.05, "rank-1 approximation should capture the dominant direction, err={err}");
+    }
+
+    #[test]
+    fn rank_deficient_matrix_clips_singular_values() {
+        // Two identical columns -> rank 1.
+        let a = DenseMatrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        let svd = gram_svd(&a, 1e-9).unwrap();
+        assert_eq!(svd.singular_values.len(), 1);
+    }
+
+    #[test]
+    fn truncate_keeps_top_k() {
+        let a = gaussian_matrix(9, 6, 23);
+        let svd = gram_svd(&a, 1e-12).unwrap();
+        let t = svd.truncate(2);
+        assert_eq!(t.singular_values.len(), 2);
+        assert_eq!(t.u.cols(), 2);
+        assert_eq!(t.v.cols(), 2);
+        assert_eq!(t.singular_values[0], svd.singular_values[0]);
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        assert!(gram_svd(&DenseMatrix::zeros(0, 3), 1e-12).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Dynamic link prediction: embed an old snapshot of an evolving network and
+//! predict which *new* edges appear in the next snapshot (the paper's Fig. 9
+//! protocol on the VK / Digg datasets, here on an evolving SBM).
+//!
+//! Run with: `cargo run --release --example evolving_graph`
+
+use nrp::prelude::*;
+use nrp_graph::generators::evolving::{evolving_sbm, EvolvingSbmParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let instance = evolving_sbm(&EvolvingSbmParams {
+        block_sizes: vec![200, 200, 200],
+        p_in_old: 0.05,
+        p_out_old: 0.003,
+        p_in_new: 0.02,
+        p_out_new: 0.001,
+        kind: GraphKind::Directed,
+        seed: 21,
+    })?;
+    println!(
+        "old snapshot: {} nodes, {} edges; new edges to predict: {}",
+        instance.old_graph.num_nodes(),
+        instance.old_graph.num_edges(),
+        instance.new_edges.len()
+    );
+
+    let task = LinkPrediction::new(LinkPredictionConfig { seed: 21, ..Default::default() });
+
+    let nrp = Nrp::new(NrpParams::builder().dimension(32).seed(21).build()?);
+    let nrp_embedding = nrp.embed(&instance.old_graph)?;
+    let nrp_auc = task
+        .evaluate_new_edges(&instance.old_graph, &nrp_embedding, &instance.new_edges)?
+        .auc;
+
+    let app = App::new(nrp_baselines::app::AppParams { dimension: 32, seed: 21, ..Default::default() });
+    let app_embedding = app.embed(&instance.old_graph)?;
+    let app_auc = task
+        .evaluate_new_edges(&instance.old_graph, &app_embedding, &instance.new_edges)?
+        .auc;
+
+    println!("{:<8} {:>8}", "method", "AUC");
+    println!("{:<8} {:>8.4}", "NRP", nrp_auc);
+    println!("{:<8} {:>8.4}", "APP", app_auc);
+    Ok(())
+}

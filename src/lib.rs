@@ -1,0 +1,45 @@
+//! # nrp — Reweighted Personalized PageRank network embedding
+//!
+//! Umbrella crate re-exporting the workspace's public API.  This is the crate
+//! downstream users depend on; the individual `nrp-*` crates can also be used
+//! directly for finer-grained dependencies.
+//!
+//! See the [`quickstart`](../examples/quickstart.rs) example for a tour.
+//!
+//! ```
+//! use nrp::prelude::*;
+//!
+//! // Build a tiny graph and embed it with NRP.
+//! let graph = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], GraphKind::Undirected).unwrap();
+//! let params = NrpParams::builder().dimension(8).seed(7).build().unwrap();
+//! let embedding = Nrp::new(params).embed(&graph).unwrap();
+//! assert_eq!(embedding.num_nodes(), 5);
+//! ```
+
+pub use nrp_baselines as baselines;
+pub use nrp_core as core;
+pub use nrp_eval as eval;
+pub use nrp_graph as graph;
+pub use nrp_linalg as linalg;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use nrp_baselines::{
+        app::App, arope::Arope, deepwalk::DeepWalk, line::Line, node2vec::Node2Vec,
+        randne::RandNe, spectral::SpectralEmbedding, strap::Strap, verse::Verse,
+    };
+    pub use nrp_core::{
+        approx_ppr::{ApproxPpr, ApproxPprParams},
+        embedding::{Embedder, Embedding},
+        nrp::{Nrp, NrpParams},
+        ppr::PprMatrix,
+    };
+    pub use nrp_eval::{
+        classification::{ClassificationConfig, NodeClassification},
+        link_prediction::{LinkPrediction, LinkPredictionConfig},
+        reconstruction::{GraphReconstruction, ReconstructionConfig},
+    };
+    pub use nrp_graph::{
+        generators, Graph, GraphError, GraphKind, NodeId,
+    };
+}
