@@ -3,7 +3,9 @@
 //! samples, but it keeps separate source (forward) and target (backward)
 //! vectors per node, so it can represent edge direction.
 
-use nrp_core::{Embedder, Embedding, NrpError, Result};
+use nrp_core::{
+    EmbedContext, EmbedOutput, Embedder, Embedding, MethodConfig, NrpError, Result, StageClock,
+};
 use nrp_graph::Graph;
 use nrp_linalg::DenseMatrix;
 use rand::Rng;
@@ -68,23 +70,50 @@ impl App {
 }
 
 impl Embedder for App {
-    fn embed(&self, graph: &Graph) -> Result<Embedding> {
+    fn name(&self) -> &'static str {
+        "APP"
+    }
+
+    fn config(&self) -> MethodConfig {
+        let p = &self.params;
+        MethodConfig::App {
+            dimension: p.dimension,
+            alpha: p.alpha,
+            samples_per_node: p.samples_per_node,
+            epochs: p.epochs,
+            negatives: p.negatives,
+            learning_rate: p.learning_rate,
+            seed: p.seed,
+        }
+    }
+
+    fn embed(&self, graph: &Graph, ctx: &EmbedContext) -> Result<EmbedOutput> {
         let p = &self.params;
         if !(p.alpha > 0.0 && p.alpha < 1.0) {
-            return Err(NrpError::InvalidParameter(format!("alpha must be in (0,1), got {}", p.alpha)));
+            return Err(NrpError::InvalidParameter(format!(
+                "alpha must be in (0,1), got {}",
+                p.alpha
+            )));
         }
         if p.dimension < 2 {
-            return Err(NrpError::InvalidParameter("dimension must be at least 2".into()));
+            return Err(NrpError::InvalidParameter(
+                "dimension must be at least 2".into(),
+            ));
         }
+        ctx.ensure_active()?;
+        let seed = ctx.seed_or(p.seed);
+        let mut clock = StageClock::start();
         let n = graph.num_nodes();
         let dim = (p.dimension / 2).max(1);
-        let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let scale = 0.5 / dim as f64;
         let mut forward = DenseMatrix::from_fn(n, dim, |_, _| (rng.gen::<f64>() - 0.5) * scale);
         let mut backward = DenseMatrix::from_fn(n, dim, |_, _| (rng.gen::<f64>() - 0.5) * scale);
+        clock.lap("init");
         let total_steps = (p.epochs * n * p.samples_per_node).max(1);
         let mut step = 0usize;
         for _ in 0..p.epochs {
+            ctx.ensure_active()?;
             for u in 0..n {
                 for _ in 0..p.samples_per_node {
                     let lr = p.learning_rate * (1.0 - 0.9 * step as f64 / total_steps as f64);
@@ -100,11 +129,9 @@ impl Embedder for App {
                 }
             }
         }
-        Embedding::new(forward, backward, self.name())
-    }
-
-    fn name(&self) -> &'static str {
-        "APP"
+        clock.lap("nce_training");
+        let embedding = Embedding::new(forward, backward, self.name())?;
+        Ok(EmbedOutput::new(embedding, self.config(), seed, ctx, clock))
     }
 }
 
@@ -138,13 +165,19 @@ mod tests {
     use nrp_graph::GraphKind;
 
     fn small_params(seed: u64) -> AppParams {
-        AppParams { dimension: 16, samples_per_node: 25, epochs: 2, seed, ..Default::default() }
+        AppParams {
+            dimension: 16,
+            samples_per_node: 25,
+            epochs: 2,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn produces_forward_backward_embedding() {
         let (g, _) = stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Directed, 1).unwrap();
-        let e = App::new(small_params(1)).embed(&g).unwrap();
+        let e = App::new(small_params(1)).embed_default(&g).unwrap();
         assert_eq!(e.num_nodes(), 40);
         assert_eq!(e.half_dimension(), 8);
         assert!(e.is_finite());
@@ -153,7 +186,7 @@ mod tests {
     #[test]
     fn scores_are_asymmetric_on_directed_graphs() {
         let (g, _) = stochastic_block_model(&[20, 20], 0.2, 0.02, GraphKind::Directed, 2).unwrap();
-        let e = App::new(small_params(2)).embed(&g).unwrap();
+        let e = App::new(small_params(2)).embed_default(&g).unwrap();
         let mut differs = false;
         'outer: for u in 0..40u32 {
             for v in 0..40u32 {
@@ -168,8 +201,9 @@ mod tests {
 
     #[test]
     fn edges_score_above_non_edges_on_average() {
-        let (g, _) = stochastic_block_model(&[25, 25], 0.3, 0.01, GraphKind::Undirected, 3).unwrap();
-        let e = App::new(small_params(3)).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[25, 25], 0.3, 0.01, GraphKind::Undirected, 3).unwrap();
+        let e = App::new(small_params(3)).embed_default(&g).unwrap();
         let mut edge_mean = 0.0;
         let mut count = 0usize;
         for (u, v) in g.edges() {
@@ -194,7 +228,17 @@ mod tests {
     #[test]
     fn invalid_params_rejected() {
         let (g, _) = stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Directed, 4).unwrap();
-        assert!(App::new(AppParams { alpha: 1.0, ..small_params(4) }).embed(&g).is_err());
-        assert!(App::new(AppParams { dimension: 1, ..small_params(4) }).embed(&g).is_err());
+        assert!(App::new(AppParams {
+            alpha: 1.0,
+            ..small_params(4)
+        })
+        .embed_default(&g)
+        .is_err());
+        assert!(App::new(AppParams {
+            dimension: 1,
+            ..small_params(4)
+        })
+        .embed_default(&g)
+        .is_err());
     }
 }

@@ -8,10 +8,12 @@
 //! Like the original method it is designed for undirected graphs; on directed
 //! inputs the direction is ignored (exactly how the NRP paper evaluates it).
 
-use nrp_core::{Embedder, Embedding, NrpError, Result};
+use nrp_core::{
+    EmbedContext, EmbedOutput, Embedder, Embedding, MethodConfig, NrpError, Result, StageClock,
+};
 use nrp_graph::Graph;
 use nrp_linalg::eig::symmetric_eigen;
-use nrp_linalg::{AdjacencyOperator, DenseMatrix, LinearOperator, RandomizedSvd, RandomizedSvdMethod};
+use nrp_linalg::{AdjacencyOperator, LinearOperator, RandomizedSvd, RandomizedSvdMethod};
 
 /// AROPE hyper-parameters.
 #[derive(Debug, Clone)]
@@ -59,18 +61,41 @@ impl Arope {
 }
 
 impl Embedder for Arope {
-    fn embed(&self, graph: &Graph) -> Result<Embedding> {
+    fn name(&self) -> &'static str {
+        "AROPE"
+    }
+
+    fn config(&self) -> MethodConfig {
+        let p = &self.params;
+        MethodConfig::Arope {
+            dimension: p.dimension,
+            order_weights: p.order_weights.clone(),
+            oversample: p.oversample,
+            iterations: p.iterations,
+            seed: p.seed,
+        }
+    }
+
+    fn embed(&self, graph: &Graph, ctx: &EmbedContext) -> Result<EmbedOutput> {
         let p = &self.params;
         if p.dimension < 2 {
-            return Err(NrpError::InvalidParameter("dimension must be at least 2".into()));
+            return Err(NrpError::InvalidParameter(
+                "dimension must be at least 2".into(),
+            ));
         }
         if p.order_weights.is_empty() {
-            return Err(NrpError::InvalidParameter("order_weights must not be empty".into()));
+            return Err(NrpError::InvalidParameter(
+                "order_weights must not be empty".into(),
+            ));
         }
+        ctx.ensure_active()?;
+        let seed = ctx.seed_or(p.seed);
+        let mut clock = StageClock::start();
         let half = (p.dimension / 2).max(1);
         // Symmetrize: work on the undirected version of the graph (AROPE is
         // undirected-only; the NRP paper feeds it the undirected projection).
         let undirected = symmetrize(graph)?;
+        clock.lap("symmetrize");
         let op = AdjacencyOperator::new(&undirected);
         // Top eigenpairs of the symmetric adjacency via a randomized range
         // basis followed by a small projected eigenproblem (Rayleigh–Ritz).
@@ -79,41 +104,27 @@ impl Embedder for Arope {
             .oversample(p.oversample)
             .iterations(p.iterations)
             .method(RandomizedSvdMethod::BlockKrylov)
-            .seed(p.seed)
+            .seed(seed)
             .compute(&op)?;
+        clock.lap("eigensolve");
+        ctx.ensure_active()?;
         // Rayleigh–Ritz on the orthonormal basis U: T = Uᵀ A U (small), then
         // eigenvectors of T rotated back give signed eigenpairs of A.
         let basis = &svd.u;
         let au = op.apply(basis)?;
         let projected = basis.transpose_matmul(&au)?;
         let eig = symmetric_eigen(&projected)?;
-        // Select the `half` eigenvalues with the largest |f(λ)|.
-        let f: Vec<f64> = eig.values.iter().map(|&l| polynomial(&p.order_weights, l)).collect();
-        let mut order: Vec<usize> = (0..f.len()).collect();
-        order.sort_by(|&a, &b| f[b].abs().partial_cmp(&f[a].abs()).expect("finite"));
-        let keep: Vec<usize> = order.into_iter().take(half).collect();
-        let ritz = {
-            let mut m = DenseMatrix::zeros(eig.vectors.rows(), keep.len());
-            for (new_col, &old_col) in keep.iter().enumerate() {
-                for r in 0..eig.vectors.rows() {
-                    m.set(r, new_col, eig.vectors.get(r, old_col));
-                }
-            }
-            basis.matmul(&m)?
-        };
-        let selected_f: Vec<f64> = keep.iter().map(|&i| f[i]).collect();
-        let mut forward = ritz.clone();
-        let mut backward = ritz;
-        let fwd_scale: Vec<f64> = selected_f.iter().map(|&v| v.abs().sqrt()).collect();
-        let bwd_scale: Vec<f64> =
-            selected_f.iter().map(|&v| v.signum() * v.abs().sqrt()).collect();
-        forward.scale_cols(&fwd_scale)?;
-        backward.scale_cols(&bwd_scale)?;
-        Embedding::new(forward, backward, self.name())
-    }
-
-    fn name(&self) -> &'static str {
-        "AROPE"
+        // Select the `half` eigenvalues with the largest |f(λ)| and scale by
+        // ±|f(λ)|^(1/2) (shared Ritz machinery with the spectral baseline).
+        let f: Vec<f64> = eig
+            .values
+            .iter()
+            .map(|&l| polynomial(&p.order_weights, l))
+            .collect();
+        let (forward, backward) = crate::ritz::signed_ritz_embedding(basis, &eig, &f, half)?;
+        let embedding = Embedding::new(forward, backward, self.name())?;
+        clock.lap("reweight_eigenvalues");
+        Ok(EmbedOutput::new(embedding, self.config(), seed, ctx, clock))
     }
 }
 
@@ -144,15 +155,24 @@ mod tests {
     use nrp_graph::GraphKind;
 
     fn small_params(seed: u64) -> AropeParams {
-        AropeParams { dimension: 16, seed, ..Default::default() }
+        AropeParams {
+            dimension: 16,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn reconstructs_first_order_proximity() {
         // With weights = [1] the target proximity is the adjacency matrix itself.
-        let (g, _) = stochastic_block_model(&[20, 20], 0.3, 0.02, GraphKind::Undirected, 1).unwrap();
-        let params = AropeParams { dimension: 32, order_weights: vec![1.0], ..small_params(1) };
-        let e = Arope::new(params).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[20, 20], 0.3, 0.02, GraphKind::Undirected, 1).unwrap();
+        let params = AropeParams {
+            dimension: 32,
+            order_weights: vec![1.0],
+            ..small_params(1)
+        };
+        let e = Arope::new(params).embed_default(&g).unwrap();
         let mut edge_mean = 0.0;
         let mut non_edge_mean = 0.0;
         let (mut ce, mut cn) = (0, 0);
@@ -183,18 +203,27 @@ mod tests {
     #[test]
     fn handles_directed_input_by_symmetrizing() {
         let (g, _) = stochastic_block_model(&[15, 15], 0.25, 0.03, GraphKind::Directed, 2).unwrap();
-        let e = Arope::new(small_params(2)).embed(&g).unwrap();
+        let e = Arope::new(small_params(2)).embed_default(&g).unwrap();
         assert_eq!(e.num_nodes(), 30);
         assert!(e.is_finite());
     }
 
     #[test]
     fn invalid_params_rejected() {
-        let (g, _) = stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 3).unwrap();
-        assert!(Arope::new(AropeParams { dimension: 1, ..small_params(3) }).embed(&g).is_err());
-        assert!(Arope::new(AropeParams { order_weights: vec![], ..small_params(3) })
-            .embed(&g)
-            .is_err());
+        let (g, _) =
+            stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 3).unwrap();
+        assert!(Arope::new(AropeParams {
+            dimension: 1,
+            ..small_params(3)
+        })
+        .embed_default(&g)
+        .is_err());
+        assert!(Arope::new(AropeParams {
+            order_weights: vec![],
+            ..small_params(3)
+        })
+        .embed_default(&g)
+        .is_err());
     }
 
     #[test]
@@ -202,9 +231,13 @@ mod tests {
         // A bipartite-ish graph has large negative eigenvalues; embeddings must stay finite
         // and the score X·Yᵀ must still approximate the (signed) proximity.
         let g = nrp_graph::generators::simple::star(20).unwrap();
-        let e = Arope::new(AropeParams { dimension: 8, order_weights: vec![1.0], ..small_params(4) })
-            .embed(&g)
-            .unwrap();
+        let e = Arope::new(AropeParams {
+            dimension: 8,
+            order_weights: vec![1.0],
+            ..small_params(4)
+        })
+        .embed_default(&g)
+        .unwrap();
         assert!(e.is_finite());
         // Star: hub-leaf pairs are edges, leaf-leaf pairs are not.
         assert!(e.score(0, 5) > e.score(3, 5));

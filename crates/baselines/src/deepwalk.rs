@@ -2,7 +2,7 @@
 //! skip-gram with negative sampling.  Produces one vector per node
 //! (symmetric scoring).
 
-use nrp_core::{Embedder, Embedding, Result};
+use nrp_core::{EmbedContext, EmbedOutput, Embedder, Embedding, MethodConfig, Result, StageClock};
 use nrp_graph::Graph;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -65,25 +65,46 @@ impl DeepWalk {
 }
 
 impl Embedder for DeepWalk {
-    fn embed(&self, graph: &Graph) -> Result<Embedding> {
+    fn name(&self) -> &'static str {
+        "DeepWalk"
+    }
+
+    fn config(&self) -> MethodConfig {
         let p = &self.params;
-        let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
+        MethodConfig::DeepWalk {
+            dimension: p.dimension,
+            walks_per_node: p.walks_per_node,
+            walk_length: p.walk_length,
+            window: p.window,
+            epochs: p.epochs,
+            negatives: p.negatives,
+            learning_rate: p.learning_rate,
+            seed: p.seed,
+        }
+    }
+
+    fn embed(&self, graph: &Graph, ctx: &EmbedContext) -> Result<EmbedOutput> {
+        let p = &self.params;
+        ctx.ensure_active()?;
+        let seed = ctx.seed_or(p.seed);
+        let mut clock = StageClock::start();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let walks = uniform_walks(graph, p.walks_per_node, p.walk_length, &mut rng);
         let pairs = window_pairs(&walks, p.window);
         let freq = walk_frequencies(graph.num_nodes(), &walks);
+        clock.lap("walks");
+        ctx.ensure_active()?;
         let config = SgnsConfig {
             dimension: p.dimension.max(1),
             epochs: p.epochs,
             negatives: p.negatives,
             learning_rate: p.learning_rate,
-            seed: p.seed,
+            seed,
         };
         let model = train_sgns(graph.num_nodes(), &pairs, &freq, &config);
-        Ok(Embedding::symmetric(model.center, self.name()))
-    }
-
-    fn name(&self) -> &'static str {
-        "DeepWalk"
+        clock.lap("sgns");
+        let embedding = Embedding::symmetric(model.center, self.name());
+        Ok(EmbedOutput::new(embedding, self.config(), seed, ctx, clock))
     }
 }
 
@@ -107,18 +128,23 @@ mod tests {
 
     #[test]
     fn produces_symmetric_finite_embedding() {
-        let (g, _) = stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Undirected, 1).unwrap();
-        let e = DeepWalk::new(small_params(1)).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Undirected, 1).unwrap();
+        let e = DeepWalk::new(small_params(1)).embed_default(&g).unwrap();
         assert_eq!(e.num_nodes(), 40);
         assert!(e.is_finite());
-        assert_eq!(e.score(3, 7), e.score(7, 3), "symmetric method must score symmetrically");
+        assert_eq!(
+            e.score(3, 7),
+            e.score(7, 3),
+            "symmetric method must score symmetrically"
+        );
     }
 
     #[test]
     fn within_community_pairs_score_higher() {
         let (g, community) =
             stochastic_block_model(&[25, 25], 0.3, 0.01, GraphKind::Undirected, 2).unwrap();
-        let e = DeepWalk::new(small_params(2)).embed(&g).unwrap();
+        let e = DeepWalk::new(small_params(2)).embed_default(&g).unwrap();
         let mut within = 0.0;
         let mut across = 0.0;
         let mut count_w = 0;
@@ -142,9 +168,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let (g, _) = stochastic_block_model(&[15, 15], 0.3, 0.02, GraphKind::Undirected, 3).unwrap();
-        let a = DeepWalk::new(small_params(5)).embed(&g).unwrap();
-        let b = DeepWalk::new(small_params(5)).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[15, 15], 0.3, 0.02, GraphKind::Undirected, 3).unwrap();
+        let a = DeepWalk::new(small_params(5)).embed_default(&g).unwrap();
+        let b = DeepWalk::new(small_params(5)).embed_default(&g).unwrap();
         assert_eq!(a, b);
     }
 }

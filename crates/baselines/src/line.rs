@@ -7,7 +7,9 @@
 //! second-order objective (center/context factorization); the two halves are
 //! concatenated.
 
-use nrp_core::{Embedder, Embedding, NrpError, Result};
+use nrp_core::{
+    EmbedContext, EmbedOutput, Embedder, Embedding, MethodConfig, NrpError, Result, StageClock,
+};
 use nrp_graph::Graph;
 use nrp_linalg::DenseMatrix;
 use rand::Rng;
@@ -33,7 +35,13 @@ pub struct LineParams {
 
 impl Default for LineParams {
     fn default() -> Self {
-        Self { dimension: 128, samples: 200_000, negatives: 5, learning_rate: 0.05, seed: 0 }
+        Self {
+            dimension: 128,
+            samples: 200_000,
+            negatives: 5,
+            learning_rate: 0.05,
+            seed: 0,
+        }
     }
 }
 
@@ -64,13 +72,16 @@ impl Line {
         let n = graph.num_nodes();
         let arcs: Vec<(u32, u32)> = graph.arcs().collect();
         if arcs.is_empty() {
-            return Err(NrpError::InvalidParameter("LINE requires at least one edge".into()));
+            return Err(NrpError::InvalidParameter(
+                "LINE requires at least one edge".into(),
+            ));
         }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let edge_table = AliasTable::new(&vec![1.0; arcs.len()])
             .ok_or_else(|| NrpError::InvalidParameter("failed to build edge table".into()))?;
-        let degree_weights: Vec<f64> =
-            (0..n).map(|u| (graph.out_degree(u as u32) as f64 + 1.0).powf(0.75)).collect();
+        let degree_weights: Vec<f64> = (0..n)
+            .map(|u| (graph.out_degree(u as u32) as f64 + 1.0).powf(0.75))
+            .collect();
         let node_table = AliasTable::new(&degree_weights)
             .ok_or_else(|| NrpError::InvalidParameter("failed to build node table".into()))?;
 
@@ -88,13 +99,29 @@ impl Line {
                 * (1.0 - 0.9 * step as f64 / self.params.samples.max(1) as f64);
             let (u, v) = arcs[edge_table.sample(&mut rng)];
             grad.iter_mut().for_each(|g| *g = 0.0);
-            update(&mut vertex, &mut context, u as usize, v as usize, 1.0, lr, &mut grad);
+            update(
+                &mut vertex,
+                &mut context,
+                u as usize,
+                v as usize,
+                1.0,
+                lr,
+                &mut grad,
+            );
             for _ in 0..self.params.negatives {
                 let neg = node_table.sample(&mut rng);
                 if neg == v as usize {
                     continue;
                 }
-                update(&mut vertex, &mut context, u as usize, neg, 0.0, lr, &mut grad);
+                update(
+                    &mut vertex,
+                    &mut context,
+                    u as usize,
+                    neg,
+                    0.0,
+                    lr,
+                    &mut grad,
+                );
             }
             let row = vertex.row_mut(u as usize);
             for (x, g) in row.iter_mut().zip(&grad) {
@@ -130,20 +157,40 @@ fn update(
 }
 
 impl Embedder for Line {
-    fn embed(&self, graph: &Graph) -> Result<Embedding> {
-        let p = &self.params;
-        if p.dimension < 2 {
-            return Err(NrpError::InvalidParameter("LINE needs dimension >= 2".into()));
-        }
-        let half = (p.dimension / 2).max(1);
-        let first = self.train_order(graph, half, false, p.seed)?;
-        let second = self.train_order(graph, p.dimension - half, true, p.seed ^ 0x114e)?;
-        let combined = first.hstack(&second).map_err(NrpError::Linalg)?;
-        Ok(Embedding::symmetric(combined, self.name()))
-    }
-
     fn name(&self) -> &'static str {
         "LINE"
+    }
+
+    fn config(&self) -> MethodConfig {
+        let p = &self.params;
+        MethodConfig::Line {
+            dimension: p.dimension,
+            samples: p.samples,
+            negatives: p.negatives,
+            learning_rate: p.learning_rate,
+            seed: p.seed,
+        }
+    }
+
+    fn embed(&self, graph: &Graph, ctx: &EmbedContext) -> Result<EmbedOutput> {
+        let p = &self.params;
+        if p.dimension < 2 {
+            return Err(NrpError::InvalidParameter(
+                "LINE needs dimension >= 2".into(),
+            ));
+        }
+        ctx.ensure_active()?;
+        let seed = ctx.seed_or(p.seed);
+        let mut clock = StageClock::start();
+        let half = (p.dimension / 2).max(1);
+        let first = self.train_order(graph, half, false, seed)?;
+        clock.lap("first_order");
+        ctx.ensure_active()?;
+        let second = self.train_order(graph, p.dimension - half, true, seed ^ 0x114e)?;
+        clock.lap("second_order");
+        let combined = first.hstack(&second).map_err(NrpError::Linalg)?;
+        let embedding = Embedding::symmetric(combined, self.name());
+        Ok(EmbedOutput::new(embedding, self.config(), seed, ctx, clock))
     }
 }
 
@@ -154,13 +201,19 @@ mod tests {
     use nrp_graph::GraphKind;
 
     fn small_params(seed: u64) -> LineParams {
-        LineParams { dimension: 16, samples: 30_000, seed, ..Default::default() }
+        LineParams {
+            dimension: 16,
+            samples: 30_000,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn produces_finite_embedding_with_full_dimension() {
-        let (g, _) = stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Undirected, 1).unwrap();
-        let e = Line::new(small_params(1)).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Undirected, 1).unwrap();
+        let e = Line::new(small_params(1)).embed_default(&g).unwrap();
         assert_eq!(e.num_nodes(), 40);
         assert_eq!(e.half_dimension(), 16);
         assert!(e.is_finite());
@@ -170,7 +223,7 @@ mod tests {
     fn captures_community_structure() {
         let (g, community) =
             stochastic_block_model(&[25, 25], 0.3, 0.01, GraphKind::Undirected, 2).unwrap();
-        let e = Line::new(small_params(2)).embed(&g).unwrap();
+        let e = Line::new(small_params(2)).embed_default(&g).unwrap();
         let mut within = 0.0;
         let mut across = 0.0;
         let (mut cw, mut ca) = (0, 0);
@@ -194,13 +247,17 @@ mod tests {
     #[test]
     fn empty_graph_rejected() {
         let g = Graph::from_edges(3, &[], GraphKind::Undirected).unwrap();
-        assert!(Line::new(small_params(3)).embed(&g).is_err());
+        assert!(Line::new(small_params(3)).embed_default(&g).is_err());
     }
 
     #[test]
     fn tiny_dimension_rejected() {
-        let (g, _) = stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 4).unwrap();
-        let params = LineParams { dimension: 1, ..small_params(4) };
-        assert!(Line::new(params).embed(&g).is_err());
+        let (g, _) =
+            stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 4).unwrap();
+        let params = LineParams {
+            dimension: 1,
+            ..small_params(4)
+        };
+        assert!(Line::new(params).embed_default(&g).is_err());
     }
 }

@@ -1,7 +1,9 @@
 //! node2vec (Grover & Leskovec, KDD 2016): second-order biased random walks
 //! fed to skip-gram with negative sampling.
 
-use nrp_core::{Embedder, Embedding, NrpError, Result};
+use nrp_core::{
+    EmbedContext, EmbedOutput, Embedder, Embedding, MethodConfig, NrpError, Result, StageClock,
+};
 use nrp_graph::Graph;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -70,7 +72,27 @@ impl Node2Vec {
 }
 
 impl Embedder for Node2Vec {
-    fn embed(&self, graph: &Graph) -> Result<Embedding> {
+    fn name(&self) -> &'static str {
+        "node2vec"
+    }
+
+    fn config(&self) -> MethodConfig {
+        let p = &self.params;
+        MethodConfig::Node2Vec {
+            dimension: p.dimension,
+            p: p.p,
+            q: p.q,
+            walks_per_node: p.walks_per_node,
+            walk_length: p.walk_length,
+            window: p.window,
+            epochs: p.epochs,
+            negatives: p.negatives,
+            learning_rate: p.learning_rate,
+            seed: p.seed,
+        }
+    }
+
+    fn embed(&self, graph: &Graph, ctx: &EmbedContext) -> Result<EmbedOutput> {
         let p = &self.params;
         if p.p <= 0.0 || p.q <= 0.0 {
             return Err(NrpError::InvalidParameter(format!(
@@ -78,23 +100,26 @@ impl Embedder for Node2Vec {
                 p.p, p.q
             )));
         }
-        let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
+        ctx.ensure_active()?;
+        let seed = ctx.seed_or(p.seed);
+        let mut clock = StageClock::start();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let walks = node2vec_walks(graph, p.walks_per_node, p.walk_length, p.p, p.q, &mut rng);
         let pairs = window_pairs(&walks, p.window);
         let freq = walk_frequencies(graph.num_nodes(), &walks);
+        clock.lap("walks");
+        ctx.ensure_active()?;
         let config = SgnsConfig {
             dimension: p.dimension.max(1),
             epochs: p.epochs,
             negatives: p.negatives,
             learning_rate: p.learning_rate,
-            seed: p.seed,
+            seed,
         };
         let model = train_sgns(graph.num_nodes(), &pairs, &freq, &config);
-        Ok(Embedding::symmetric(model.center, self.name()))
-    }
-
-    fn name(&self) -> &'static str {
-        "node2vec"
+        clock.lap("sgns");
+        let embedding = Embedding::symmetric(model.center, self.name());
+        Ok(EmbedOutput::new(embedding, self.config(), seed, ctx, clock))
     }
 }
 
@@ -119,8 +144,9 @@ mod tests {
 
     #[test]
     fn produces_finite_embedding_of_right_size() {
-        let (g, _) = stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Undirected, 1).unwrap();
-        let e = Node2Vec::new(small_params(1)).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Undirected, 1).unwrap();
+        let e = Node2Vec::new(small_params(1)).embed_default(&g).unwrap();
         assert_eq!(e.num_nodes(), 40);
         assert_eq!(e.half_dimension(), 16);
         assert!(e.is_finite());
@@ -130,7 +156,7 @@ mod tests {
     fn community_structure_is_captured() {
         let (g, community) =
             stochastic_block_model(&[25, 25], 0.3, 0.01, GraphKind::Undirected, 2).unwrap();
-        let e = Node2Vec::new(small_params(2)).embed(&g).unwrap();
+        let e = Node2Vec::new(small_params(2)).embed_default(&g).unwrap();
         let mut within = 0.0;
         let mut across = 0.0;
         let mut count_w = 0;
@@ -153,10 +179,17 @@ mod tests {
 
     #[test]
     fn invalid_p_q_rejected() {
-        let (g, _) = stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 3).unwrap();
-        let params = Node2VecParams { p: 0.0, ..small_params(3) };
-        assert!(Node2Vec::new(params).embed(&g).is_err());
-        let params = Node2VecParams { q: -1.0, ..small_params(3) };
-        assert!(Node2Vec::new(params).embed(&g).is_err());
+        let (g, _) =
+            stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 3).unwrap();
+        let params = Node2VecParams {
+            p: 0.0,
+            ..small_params(3)
+        };
+        assert!(Node2Vec::new(params).embed_default(&g).is_err());
+        let params = Node2VecParams {
+            q: -1.0,
+            ..small_params(3)
+        };
+        assert!(Node2Vec::new(params).embed_default(&g).is_err());
     }
 }

@@ -7,11 +7,13 @@
 //! captured without any factorization, trading accuracy for speed (which is
 //! exactly how it behaves relative to NRP in the paper's experiments).
 
-use nrp_core::{Embedder, Embedding, NrpError, Result};
+use nrp_core::{
+    EmbedContext, EmbedOutput, Embedder, Embedding, MethodConfig, NrpError, Result, StageClock,
+};
 use nrp_graph::Graph;
 use nrp_linalg::qr::orthonormalize;
 use nrp_linalg::random::gaussian_matrix;
-use nrp_linalg::{LinearOperator, TransitionOperator};
+use nrp_linalg::TransitionOperator;
 
 /// RandNE hyper-parameters.
 #[derive(Debug, Clone)]
@@ -27,7 +29,11 @@ pub struct RandNeParams {
 
 impl Default for RandNeParams {
     fn default() -> Self {
-        Self { dimension: 128, order_weights: vec![1.0, 1e2, 1e4, 1e5], seed: 0 }
+        Self {
+            dimension: 128,
+            order_weights: vec![1.0, 1e2, 1e4, 1e5],
+            seed: 0,
+        }
     }
 }
 
@@ -50,30 +56,51 @@ impl RandNe {
 }
 
 impl Embedder for RandNe {
-    fn embed(&self, graph: &Graph) -> Result<Embedding> {
+    fn name(&self) -> &'static str {
+        "RandNE"
+    }
+
+    fn config(&self) -> MethodConfig {
+        let p = &self.params;
+        MethodConfig::RandNe {
+            dimension: p.dimension,
+            order_weights: p.order_weights.clone(),
+            seed: p.seed,
+        }
+    }
+
+    fn embed(&self, graph: &Graph, ctx: &EmbedContext) -> Result<EmbedOutput> {
         let p = &self.params;
         if p.dimension == 0 {
-            return Err(NrpError::InvalidParameter("dimension must be positive".into()));
+            return Err(NrpError::InvalidParameter(
+                "dimension must be positive".into(),
+            ));
         }
         if p.order_weights.is_empty() {
-            return Err(NrpError::InvalidParameter("order_weights must not be empty".into()));
+            return Err(NrpError::InvalidParameter(
+                "order_weights must not be empty".into(),
+            ));
         }
+        ctx.ensure_active()?;
+        let seed = ctx.seed_or(p.seed);
+        let mut clock = StageClock::start();
         let n = graph.num_nodes();
         let transition = TransitionOperator::new(graph);
         // U0: orthogonalized Gaussian projection.
-        let base = gaussian_matrix(n, p.dimension.min(n), p.seed);
+        let base = gaussian_matrix(n, p.dimension.min(n), seed);
         let mut current = orthonormalize(&base)?;
+        clock.lap("projection");
+        let threads = ctx.thread_budget();
         let mut result = current.clone();
         result.scale(p.order_weights[0]);
         for &w in &p.order_weights[1..] {
-            current = transition.apply(&current)?;
+            ctx.ensure_active()?;
+            current = transition.apply_parallel(&current, threads)?;
             result.axpy(w, &current)?;
         }
-        Ok(Embedding::symmetric(result, self.name()))
-    }
-
-    fn name(&self) -> &'static str {
-        "RandNE"
+        clock.lap("propagation");
+        let embedding = Embedding::symmetric(result, self.name());
+        Ok(EmbedOutput::new(embedding, self.config(), seed, ctx, clock))
     }
 }
 
@@ -84,13 +111,18 @@ mod tests {
     use nrp_graph::GraphKind;
 
     fn small_params(seed: u64) -> RandNeParams {
-        RandNeParams { dimension: 16, seed, ..Default::default() }
+        RandNeParams {
+            dimension: 16,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn produces_finite_embedding() {
-        let (g, _) = stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Undirected, 1).unwrap();
-        let e = RandNe::new(small_params(1)).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Undirected, 1).unwrap();
+        let e = RandNe::new(small_params(1)).embed_default(&g).unwrap();
         assert_eq!(e.num_nodes(), 40);
         assert!(e.is_finite());
     }
@@ -99,7 +131,7 @@ mod tests {
     fn captures_communities_through_propagation() {
         let (g, community) =
             stochastic_block_model(&[30, 30], 0.3, 0.01, GraphKind::Undirected, 2).unwrap();
-        let e = RandNe::new(small_params(2)).embed(&g).unwrap();
+        let e = RandNe::new(small_params(2)).embed_default(&g).unwrap();
         // Cosine similarity within communities should exceed across.
         let cos = |u: u32, v: u32| {
             let a = e.forward_vector(u);
@@ -135,18 +167,28 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let (g, _) = stochastic_block_model(&[15, 15], 0.3, 0.02, GraphKind::Undirected, 3).unwrap();
-        let a = RandNe::new(small_params(9)).embed(&g).unwrap();
-        let b = RandNe::new(small_params(9)).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[15, 15], 0.3, 0.02, GraphKind::Undirected, 3).unwrap();
+        let a = RandNe::new(small_params(9)).embed_default(&g).unwrap();
+        let b = RandNe::new(small_params(9)).embed_default(&g).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn invalid_params_rejected() {
-        let (g, _) = stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 4).unwrap();
-        assert!(RandNe::new(RandNeParams { dimension: 0, ..small_params(4) }).embed(&g).is_err());
-        assert!(RandNe::new(RandNeParams { order_weights: vec![], ..small_params(4) })
-            .embed(&g)
-            .is_err());
+        let (g, _) =
+            stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 4).unwrap();
+        assert!(RandNe::new(RandNeParams {
+            dimension: 0,
+            ..small_params(4)
+        })
+        .embed_default(&g)
+        .is_err());
+        assert!(RandNe::new(RandNeParams {
+            order_weights: vec![],
+            ..small_params(4)
+        })
+        .embed_default(&g)
+        .is_err());
     }
 }

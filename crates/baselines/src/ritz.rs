@@ -1,0 +1,79 @@
+//! Shared Rayleigh–Ritz eigenpair selection used by the factorization-based
+//! baselines (AROPE, spectral embedding).
+//!
+//! Given an orthonormal basis `U`, the eigendecomposition of the projected
+//! matrix `T = Uᵀ A U`, and a per-eigenpair weight `s_i` (AROPE: the
+//! proximity polynomial `f(λ_i)`; spectral: `λ_i` itself), this keeps the
+//! `keep` pairs with the largest `|s_i|`, rotates them back through the
+//! basis, and scales each direction by `|s_i|^(1/2)` with the sign folded
+//! into the backward block — so `X Yᵀ ≈ Σ_i s_i u_i u_iᵀ`.
+
+use nrp_core::{NrpError, Result};
+use nrp_linalg::eig::SymmetricEigen;
+use nrp_linalg::DenseMatrix;
+
+/// Rotates the top-`keep` eigenpairs (by `|scores[i]|`) back through `basis`
+/// and returns the signed-square-root-scaled `(forward, backward)` blocks.
+pub(crate) fn signed_ritz_embedding(
+    basis: &DenseMatrix,
+    eig: &SymmetricEigen,
+    scores: &[f64],
+    keep: usize,
+) -> Result<(DenseMatrix, DenseMatrix)> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].abs().total_cmp(&scores[a].abs()));
+    let kept: Vec<usize> = order.into_iter().take(keep).collect();
+    let mut rotation = DenseMatrix::zeros(eig.vectors.rows(), kept.len());
+    for (new_col, &old_col) in kept.iter().enumerate() {
+        for r in 0..eig.vectors.rows() {
+            rotation.set(r, new_col, eig.vectors.get(r, old_col));
+        }
+    }
+    let ritz = basis.matmul(&rotation).map_err(NrpError::Linalg)?;
+    let fwd_scale: Vec<f64> = kept.iter().map(|&i| scores[i].abs().sqrt()).collect();
+    let bwd_scale: Vec<f64> = kept
+        .iter()
+        .map(|&i| scores[i].signum() * scores[i].abs().sqrt())
+        .collect();
+    let mut forward = ritz.clone();
+    let mut backward = ritz;
+    forward.scale_cols(&fwd_scale).map_err(NrpError::Linalg)?;
+    backward.scale_cols(&bwd_scale).map_err(NrpError::Linalg)?;
+    Ok((forward, backward))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrp_linalg::eig::symmetric_eigen;
+
+    #[test]
+    fn reconstructs_signed_spectrum_at_full_rank() {
+        // A = Q diag(3, -2) Qᵀ for an orthonormal Q; with basis = I and
+        // scores = λ the product X Yᵀ must reconstruct A including the
+        // negative eigenvalue's sign.
+        let a = DenseMatrix::from_rows(&[&[0.5, 2.5], &[2.5, 0.5]]).unwrap();
+        let eig = symmetric_eigen(&a).unwrap();
+        let basis = DenseMatrix::identity(2);
+        let (forward, backward) =
+            signed_ritz_embedding(&basis, &eig, &eig.values.clone(), 2).unwrap();
+        let product = forward.matmul_transpose(&backward).unwrap();
+        assert!(product.sub(&a).unwrap().frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn keeps_the_largest_magnitude_scores() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, -5.0]]).unwrap();
+        let eig = symmetric_eigen(&a).unwrap();
+        let basis = DenseMatrix::identity(2);
+        // keep = 1 must pick λ = -5 over λ = 1.
+        let (forward, backward) =
+            signed_ritz_embedding(&basis, &eig, &eig.values.clone(), 1).unwrap();
+        let product = forward.matmul_transpose(&backward).unwrap();
+        assert!(
+            (product.get(1, 1) + 5.0).abs() < 1e-9,
+            "kept the wrong pair"
+        );
+        assert!(product.get(0, 0).abs() < 1e-9);
+    }
+}

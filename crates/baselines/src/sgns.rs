@@ -29,7 +29,13 @@ pub struct SgnsConfig {
 
 impl Default for SgnsConfig {
     fn default() -> Self {
-        Self { dimension: 64, epochs: 2, negatives: 5, learning_rate: 0.05, seed: 0 }
+        Self {
+            dimension: 64,
+            epochs: 2,
+            negatives: 5,
+            learning_rate: 0.05,
+            seed: 0,
+        }
     }
 }
 
@@ -79,14 +85,30 @@ pub fn train_sgns(
             step += 1;
             grad.iter_mut().for_each(|g| *g = 0.0);
             // Positive update.
-            sgns_update(&mut center, &mut context, u as usize, v as usize, 1.0, lr, &mut grad);
+            sgns_update(
+                &mut center,
+                &mut context,
+                u as usize,
+                v as usize,
+                1.0,
+                lr,
+                &mut grad,
+            );
             // Negative updates.
             for _ in 0..config.negatives {
                 let neg = negative_table.sample(&mut rng);
                 if neg == v as usize {
                     continue;
                 }
-                sgns_update(&mut center, &mut context, u as usize, neg, 0.0, lr, &mut grad);
+                sgns_update(
+                    &mut center,
+                    &mut context,
+                    u as usize,
+                    neg,
+                    0.0,
+                    lr,
+                    &mut grad,
+                );
             }
             // Apply the accumulated center gradient once (word2vec trick).
             let row = center.row_mut(u as usize);
@@ -163,7 +185,9 @@ mod tests {
         let mut pairs = Vec::new();
         let mut state = 12345u64;
         let mut next = |bound: usize| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % bound
         };
         for u in 0..n {
@@ -185,7 +209,13 @@ mod tests {
     #[test]
     fn sgns_separates_two_clusters() {
         let (n, pairs) = cluster_pairs(15, 60);
-        let config = SgnsConfig { dimension: 16, epochs: 3, negatives: 5, learning_rate: 0.08, seed: 1 };
+        let config = SgnsConfig {
+            dimension: 16,
+            epochs: 3,
+            negatives: 5,
+            learning_rate: 0.08,
+            seed: 1,
+        };
         let model = train_sgns(n, &pairs, &[], &config);
         // Average within-cluster similarity should exceed cross-cluster similarity.
         let mut within = 0.0;
@@ -209,12 +239,18 @@ mod tests {
         }
         let within = within / count_w as f64;
         let across = across / count_a as f64;
-        assert!(within > across, "within {within} should exceed across {across}");
+        assert!(
+            within > across,
+            "within {within} should exceed across {across}"
+        );
     }
 
     #[test]
     fn empty_pairs_return_initialized_tables() {
-        let config = SgnsConfig { dimension: 4, ..Default::default() };
+        let config = SgnsConfig {
+            dimension: 4,
+            ..Default::default()
+        };
         let model = train_sgns(5, &[], &[], &config);
         assert_eq!(model.center.shape(), (5, 4));
         assert_eq!(model.context.shape(), (5, 4));
@@ -224,7 +260,11 @@ mod tests {
     #[test]
     fn training_is_deterministic_given_seed() {
         let (n, pairs) = cluster_pairs(8, 20);
-        let config = SgnsConfig { dimension: 8, seed: 9, ..Default::default() };
+        let config = SgnsConfig {
+            dimension: 8,
+            seed: 9,
+            ..Default::default()
+        };
         let a = train_sgns(n, &pairs, &[], &config);
         let b = train_sgns(n, &pairs, &[], &config);
         assert_eq!(a.center, b.center);
@@ -236,7 +276,11 @@ mod tests {
         let (n, pairs) = cluster_pairs(10, 30);
         let mut freq = vec![1.0; n];
         freq[0] = 100.0;
-        let config = SgnsConfig { dimension: 8, epochs: 2, ..Default::default() };
+        let config = SgnsConfig {
+            dimension: 8,
+            epochs: 2,
+            ..Default::default()
+        };
         let model = train_sgns(n, &pairs, &freq, &config);
         assert!(model.center.is_finite());
         assert!(model.context.is_finite());

@@ -5,7 +5,9 @@
 //! information only — the weakness relative to multi-hop methods the NRP
 //! paper points out.
 
-use nrp_core::{Embedder, Embedding, NrpError, Result};
+use nrp_core::{
+    EmbedContext, EmbedOutput, Embedder, Embedding, MethodConfig, NrpError, Result, StageClock,
+};
 use nrp_graph::Graph;
 use nrp_linalg::eig::symmetric_eigen;
 use nrp_linalg::{DenseMatrix, LinearOperator, RandomizedSvd, RandomizedSvdMethod};
@@ -25,7 +27,12 @@ pub struct SpectralParams {
 
 impl Default for SpectralParams {
     fn default() -> Self {
-        Self { dimension: 128, oversample: 8, iterations: 8, seed: 0 }
+        Self {
+            dimension: 128,
+            oversample: 8,
+            iterations: 8,
+            seed: 0,
+        }
     }
 }
 
@@ -69,7 +76,10 @@ impl<'g> NormalizedAdjacency<'g> {
                 }
             })
             .collect();
-        Self { graph, inv_sqrt_degree }
+        Self {
+            graph,
+            inv_sqrt_degree,
+        }
     }
 }
 
@@ -122,29 +132,55 @@ impl LinearOperator for NormalizedAdjacency<'_> {
 }
 
 impl Embedder for SpectralEmbedding {
-    fn embed(&self, graph: &Graph) -> Result<Embedding> {
+    fn name(&self) -> &'static str {
+        "Spectral"
+    }
+
+    fn config(&self) -> MethodConfig {
+        let p = &self.params;
+        MethodConfig::Spectral {
+            dimension: p.dimension,
+            oversample: p.oversample,
+            iterations: p.iterations,
+            seed: p.seed,
+        }
+    }
+
+    fn embed(&self, graph: &Graph, ctx: &EmbedContext) -> Result<EmbedOutput> {
         let p = &self.params;
         if p.dimension == 0 {
-            return Err(NrpError::InvalidParameter("dimension must be positive".into()));
+            return Err(NrpError::InvalidParameter(
+                "dimension must be positive".into(),
+            ));
         }
+        ctx.ensure_active()?;
+        let seed = ctx.seed_or(p.seed);
+        let mut clock = StageClock::start();
         let op = NormalizedAdjacency::new(graph);
         let rank = p.dimension.min(graph.num_nodes());
         let svd = RandomizedSvd::new(rank)
             .oversample(p.oversample)
             .iterations(p.iterations)
             .method(RandomizedSvdMethod::BlockKrylov)
-            .seed(p.seed)
+            .seed(seed)
             .compute(&op)?;
-        // Rayleigh–Ritz rotation to obtain proper (signed) eigenvectors.
+        clock.lap("range_finder");
+        ctx.ensure_active()?;
+        // Rayleigh–Ritz rotation to obtain proper (signed) eigenpairs.
         let au = op.apply(&svd.u)?;
         let projected = svd.u.transpose_matmul(&au)?;
         let eig = symmetric_eigen(&projected)?;
-        let vectors = svd.u.matmul(&eig.vectors.truncate_cols(rank))?;
-        Ok(Embedding::symmetric(vectors, self.name()))
-    }
-
-    fn name(&self) -> &'static str {
-        "Spectral"
+        // Keep the pairs with the largest |λ| and weight each direction by
+        // |λ|^(1/2) (with the eigenvalue sign folded into the backward block,
+        // as in adjacency spectral embedding): unweighted Ritz vectors give
+        // near-null noise directions the same influence on the inner-product
+        // score as the informative community eigenvectors, which drowns the
+        // structural signal once the dimension exceeds the eigengap.
+        let scores = eig.values.clone();
+        let (forward, backward) = crate::ritz::signed_ritz_embedding(&svd.u, &eig, &scores, rank)?;
+        let embedding = Embedding::new(forward, backward, self.name())?;
+        clock.lap("rayleigh_ritz");
+        Ok(EmbedOutput::new(embedding, self.config(), seed, ctx, clock))
     }
 }
 
@@ -155,13 +191,20 @@ mod tests {
     use nrp_graph::GraphKind;
 
     fn small_params(seed: u64) -> SpectralParams {
-        SpectralParams { dimension: 8, seed, ..Default::default() }
+        SpectralParams {
+            dimension: 8,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn produces_finite_embedding() {
-        let (g, _) = stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Undirected, 1).unwrap();
-        let e = SpectralEmbedding::new(small_params(1)).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Undirected, 1).unwrap();
+        let e = SpectralEmbedding::new(small_params(1))
+            .embed_default(&g)
+            .unwrap();
         assert_eq!(e.num_nodes(), 40);
         assert!(e.is_finite());
     }
@@ -170,7 +213,9 @@ mod tests {
     fn separates_two_communities() {
         let (g, community) =
             stochastic_block_model(&[30, 30], 0.3, 0.01, GraphKind::Undirected, 2).unwrap();
-        let e = SpectralEmbedding::new(small_params(2)).embed(&g).unwrap();
+        let e = SpectralEmbedding::new(small_params(2))
+            .embed_default(&g)
+            .unwrap();
         let cos = |u: u32, v: u32| {
             let a = e.forward_vector(u);
             let b = e.forward_vector(v);
@@ -206,15 +251,21 @@ mod tests {
     #[test]
     fn handles_directed_graphs_via_symmetrization() {
         let (g, _) = stochastic_block_model(&[15, 15], 0.25, 0.03, GraphKind::Directed, 3).unwrap();
-        let e = SpectralEmbedding::new(small_params(3)).embed(&g).unwrap();
+        let e = SpectralEmbedding::new(small_params(3))
+            .embed_default(&g)
+            .unwrap();
         assert!(e.is_finite());
     }
 
     #[test]
     fn invalid_dimension_rejected() {
-        let (g, _) = stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 4).unwrap();
-        assert!(SpectralEmbedding::new(SpectralParams { dimension: 0, ..small_params(4) })
-            .embed(&g)
-            .is_err());
+        let (g, _) =
+            stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 4).unwrap();
+        assert!(SpectralEmbedding::new(SpectralParams {
+            dimension: 0,
+            ..small_params(4)
+        })
+        .embed_default(&g)
+        .is_err());
     }
 }

@@ -12,7 +12,9 @@
 //! proximity matrix sparse at the price of discarding small PPR values.
 
 use nrp_core::push::forward_push;
-use nrp_core::{Embedder, Embedding, NrpError, Result};
+use nrp_core::{
+    EmbedContext, EmbedOutput, Embedder, Embedding, MethodConfig, NrpError, Result, StageClock,
+};
 use nrp_graph::Graph;
 use nrp_linalg::{RandomizedSvd, RandomizedSvdMethod, SparseMatrix};
 
@@ -35,7 +37,13 @@ pub struct StrapParams {
 
 impl Default for StrapParams {
     fn default() -> Self {
-        Self { dimension: 128, alpha: 0.15, delta: 1e-4, iterations: 6, seed: 0 }
+        Self {
+            dimension: 128,
+            alpha: 0.15,
+            delta: 1e-4,
+            iterations: 6,
+            seed: 0,
+        }
     }
 }
 
@@ -79,34 +87,65 @@ impl Strap {
 }
 
 impl Embedder for Strap {
-    fn embed(&self, graph: &Graph) -> Result<Embedding> {
+    fn name(&self) -> &'static str {
+        "STRAP"
+    }
+
+    fn config(&self) -> MethodConfig {
+        let p = &self.params;
+        MethodConfig::Strap {
+            dimension: p.dimension,
+            alpha: p.alpha,
+            delta: p.delta,
+            iterations: p.iterations,
+            seed: p.seed,
+        }
+    }
+
+    fn embed(&self, graph: &Graph, ctx: &EmbedContext) -> Result<EmbedOutput> {
         let p = &self.params;
         if p.dimension < 2 {
-            return Err(NrpError::InvalidParameter("dimension must be at least 2".into()));
+            return Err(NrpError::InvalidParameter(
+                "dimension must be at least 2".into(),
+            ));
         }
         if !(p.alpha > 0.0 && p.alpha < 1.0) {
-            return Err(NrpError::InvalidParameter(format!("alpha must be in (0,1), got {}", p.alpha)));
+            return Err(NrpError::InvalidParameter(format!(
+                "alpha must be in (0,1), got {}",
+                p.alpha
+            )));
         }
         if p.delta <= 0.0 {
-            return Err(NrpError::InvalidParameter(format!("delta must be positive, got {}", p.delta)));
+            return Err(NrpError::InvalidParameter(format!(
+                "delta must be positive, got {}",
+                p.delta
+            )));
         }
+        ctx.ensure_active()?;
+        let seed = ctx.seed_or(p.seed);
+        let mut clock = StageClock::start();
         let half = (p.dimension / 2).max(1);
         let proximity = self.proximity_matrix(graph)?;
+        clock.lap("proximity");
+        ctx.ensure_active()?;
         let svd = RandomizedSvd::new(half)
             .iterations(p.iterations)
             .method(RandomizedSvdMethod::BlockKrylov)
-            .seed(p.seed)
+            .seed(seed)
             .compute(&proximity)?;
-        let sqrt_sigma: Vec<f64> = svd.singular_values.iter().map(|s| s.max(0.0).sqrt()).collect();
+        clock.lap("svd");
+        let sqrt_sigma: Vec<f64> = svd
+            .singular_values
+            .iter()
+            .map(|s| s.max(0.0).sqrt())
+            .collect();
         let mut forward = svd.u;
         let mut backward = svd.v;
         forward.scale_cols(&sqrt_sigma).map_err(NrpError::Linalg)?;
         backward.scale_cols(&sqrt_sigma).map_err(NrpError::Linalg)?;
-        Embedding::new(forward, backward, self.name())
-    }
-
-    fn name(&self) -> &'static str {
-        "STRAP"
+        let embedding = Embedding::new(forward, backward, self.name())?;
+        clock.lap("scale");
+        Ok(EmbedOutput::new(embedding, self.config(), seed, ctx, clock))
     }
 }
 
@@ -119,7 +158,12 @@ mod tests {
     use nrp_graph::GraphKind;
 
     fn small_params(seed: u64) -> StrapParams {
-        StrapParams { dimension: 16, delta: 1e-4, seed, ..Default::default() }
+        StrapParams {
+            dimension: 16,
+            delta: 1e-4,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -144,7 +188,7 @@ mod tests {
     #[test]
     fn produces_forward_backward_embedding() {
         let (g, _) = stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Directed, 2).unwrap();
-        let e = Strap::new(small_params(2)).embed(&g).unwrap();
+        let e = Strap::new(small_params(2)).embed_default(&g).unwrap();
         assert_eq!(e.num_nodes(), 40);
         assert_eq!(e.half_dimension(), 8);
         assert!(e.is_finite());
@@ -152,8 +196,9 @@ mod tests {
 
     #[test]
     fn edges_score_above_non_edges() {
-        let (g, _) = stochastic_block_model(&[25, 25], 0.3, 0.01, GraphKind::Undirected, 3).unwrap();
-        let e = Strap::new(small_params(3)).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[25, 25], 0.3, 0.01, GraphKind::Undirected, 3).unwrap();
+        let e = Strap::new(small_params(3)).embed_default(&g).unwrap();
         let mut edge_mean = 0.0;
         let mut cnt = 0usize;
         for (u, v) in g.edges() {
@@ -177,21 +222,44 @@ mod tests {
 
     #[test]
     fn larger_delta_gives_sparser_proximity() {
-        let (g, _) = stochastic_block_model(&[25, 25], 0.15, 0.02, GraphKind::Undirected, 4).unwrap();
-        let coarse = Strap::new(StrapParams { delta: 1e-2, ..small_params(4) })
-            .proximity_matrix(&g)
-            .unwrap();
-        let fine = Strap::new(StrapParams { delta: 1e-5, ..small_params(4) })
-            .proximity_matrix(&g)
-            .unwrap();
+        let (g, _) =
+            stochastic_block_model(&[25, 25], 0.15, 0.02, GraphKind::Undirected, 4).unwrap();
+        let coarse = Strap::new(StrapParams {
+            delta: 1e-2,
+            ..small_params(4)
+        })
+        .proximity_matrix(&g)
+        .unwrap();
+        let fine = Strap::new(StrapParams {
+            delta: 1e-5,
+            ..small_params(4)
+        })
+        .proximity_matrix(&g)
+        .unwrap();
         assert!(fine.nnz() >= coarse.nnz());
     }
 
     #[test]
     fn invalid_params_rejected() {
-        let (g, _) = stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 5).unwrap();
-        assert!(Strap::new(StrapParams { dimension: 1, ..small_params(5) }).embed(&g).is_err());
-        assert!(Strap::new(StrapParams { alpha: 0.0, ..small_params(5) }).embed(&g).is_err());
-        assert!(Strap::new(StrapParams { delta: 0.0, ..small_params(5) }).embed(&g).is_err());
+        let (g, _) =
+            stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 5).unwrap();
+        assert!(Strap::new(StrapParams {
+            dimension: 1,
+            ..small_params(5)
+        })
+        .embed_default(&g)
+        .is_err());
+        assert!(Strap::new(StrapParams {
+            alpha: 0.0,
+            ..small_params(5)
+        })
+        .embed_default(&g)
+        .is_err());
+        assert!(Strap::new(StrapParams {
+            delta: 0.0,
+            ..small_params(5)
+        })
+        .embed_default(&g)
+        .is_err());
     }
 }

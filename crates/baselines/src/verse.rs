@@ -9,7 +9,9 @@
 //! the weakness on directed graphs that the NRP paper points out and that the
 //! link-prediction harness reproduces with the edge-features fallback.
 
-use nrp_core::{Embedder, Embedding, NrpError, Result};
+use nrp_core::{
+    EmbedContext, EmbedOutput, Embedder, Embedding, MethodConfig, NrpError, Result, StageClock,
+};
 use nrp_graph::Graph;
 use nrp_linalg::DenseMatrix;
 use rand::Rng;
@@ -70,22 +72,49 @@ impl Verse {
 }
 
 impl Embedder for Verse {
-    fn embed(&self, graph: &Graph) -> Result<Embedding> {
+    fn name(&self) -> &'static str {
+        "VERSE"
+    }
+
+    fn config(&self) -> MethodConfig {
+        let p = &self.params;
+        MethodConfig::Verse {
+            dimension: p.dimension,
+            alpha: p.alpha,
+            samples_per_node: p.samples_per_node,
+            epochs: p.epochs,
+            negatives: p.negatives,
+            learning_rate: p.learning_rate,
+            seed: p.seed,
+        }
+    }
+
+    fn embed(&self, graph: &Graph, ctx: &EmbedContext) -> Result<EmbedOutput> {
         let p = &self.params;
         if !(p.alpha > 0.0 && p.alpha < 1.0) {
-            return Err(NrpError::InvalidParameter(format!("alpha must be in (0,1), got {}", p.alpha)));
+            return Err(NrpError::InvalidParameter(format!(
+                "alpha must be in (0,1), got {}",
+                p.alpha
+            )));
         }
         if p.dimension == 0 {
-            return Err(NrpError::InvalidParameter("dimension must be positive".into()));
+            return Err(NrpError::InvalidParameter(
+                "dimension must be positive".into(),
+            ));
         }
+        ctx.ensure_active()?;
+        let seed = ctx.seed_or(p.seed);
+        let mut clock = StageClock::start();
         let n = graph.num_nodes();
         let dim = p.dimension;
-        let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let scale = 0.5 / dim as f64;
         let mut vectors = DenseMatrix::from_fn(n, dim, |_, _| (rng.gen::<f64>() - 0.5) * scale);
+        clock.lap("init");
         let total_steps = (p.epochs * n * p.samples_per_node).max(1);
         let mut step = 0usize;
         for _ in 0..p.epochs {
+            ctx.ensure_active()?;
             for u in 0..n {
                 for _ in 0..p.samples_per_node {
                     let lr = p.learning_rate * (1.0 - 0.9 * step as f64 / total_steps as f64);
@@ -101,11 +130,9 @@ impl Embedder for Verse {
                 }
             }
         }
-        Ok(Embedding::symmetric(vectors, self.name()))
-    }
-
-    fn name(&self) -> &'static str {
-        "VERSE"
+        clock.lap("nce_training");
+        let embedding = Embedding::symmetric(vectors, self.name());
+        Ok(EmbedOutput::new(embedding, self.config(), seed, ctx, clock))
     }
 }
 
@@ -133,13 +160,20 @@ mod tests {
     use nrp_graph::GraphKind;
 
     fn small_params(seed: u64) -> VerseParams {
-        VerseParams { dimension: 16, samples_per_node: 20, epochs: 2, seed, ..Default::default() }
+        VerseParams {
+            dimension: 16,
+            samples_per_node: 20,
+            epochs: 2,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn produces_single_vector_embedding() {
-        let (g, _) = stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Undirected, 1).unwrap();
-        let e = Verse::new(small_params(1)).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[20, 20], 0.25, 0.02, GraphKind::Undirected, 1).unwrap();
+        let e = Verse::new(small_params(1)).embed_default(&g).unwrap();
         assert_eq!(e.num_nodes(), 40);
         assert!(e.is_finite());
         // Single-vector method: symmetric scores.
@@ -150,7 +184,7 @@ mod tests {
     fn community_similarity_dominates() {
         let (g, community) =
             stochastic_block_model(&[25, 25], 0.3, 0.01, GraphKind::Undirected, 2).unwrap();
-        let e = Verse::new(small_params(2)).embed(&g).unwrap();
+        let e = Verse::new(small_params(2)).embed_default(&g).unwrap();
         let mut within = 0.0;
         let mut across = 0.0;
         let (mut cw, mut ca) = (0, 0);
@@ -173,8 +207,19 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        let (g, _) = stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 3).unwrap();
-        assert!(Verse::new(VerseParams { alpha: 0.0, ..small_params(3) }).embed(&g).is_err());
-        assert!(Verse::new(VerseParams { dimension: 0, ..small_params(3) }).embed(&g).is_err());
+        let (g, _) =
+            stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 3).unwrap();
+        assert!(Verse::new(VerseParams {
+            alpha: 0.0,
+            ..small_params(3)
+        })
+        .embed_default(&g)
+        .is_err());
+        assert!(Verse::new(VerseParams {
+            dimension: 0,
+            ..small_params(3)
+        })
+        .embed_default(&g)
+        .is_err());
     }
 }

@@ -249,7 +249,7 @@ mod tests {
         let exact = nrp_core::ppr::single_source_ppr(&g, 0, alpha, 1e-12).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let samples = 30_000;
-        let mut counts = vec![0usize; 6];
+        let mut counts = [0usize; 6];
         for _ in 0..samples {
             counts[ppr_terminal(&g, 0, alpha, &mut rng) as usize] += 1;
         }

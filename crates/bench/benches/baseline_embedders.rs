@@ -15,9 +15,13 @@ fn bench_embedders(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(3));
     for method in roster(32, 1) {
-        group.bench_with_input(BenchmarkId::from_parameter(method.name()), &graph, |b, g| {
-            b.iter(|| method.embed(g).expect("embedding succeeds"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &graph,
+            |b, g| {
+                b.iter(|| method.embed_default(g).expect("embedding succeeds"));
+            },
+        );
     }
     group.finish();
 }

@@ -23,10 +23,17 @@ fn bench_approx_ppr(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     for (nodes, edges) in [(2_000usize, 10_000usize), (4_000, 20_000)] {
         let g = graph(nodes, edges);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{nodes}_m{edges}")), &g, |b, g| {
-            let embedder = ApproxPpr::new(ApproxPprParams { half_dimension: 16, ..Default::default() });
-            b.iter(|| embedder.factorize(g).expect("factorization succeeds"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{nodes}_m{edges}")),
+            &g,
+            |b, g| {
+                let embedder = ApproxPpr::new(ApproxPprParams {
+                    half_dimension: 16,
+                    ..Default::default()
+                });
+                b.iter(|| embedder.factorize(g).expect("factorization succeeds"));
+            },
+        );
     }
     group.finish();
 }
@@ -38,18 +45,32 @@ fn bench_reweight_epoch(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     for (nodes, edges) in [(2_000usize, 10_000usize), (4_000, 20_000)] {
         let g = graph(nodes, edges);
-        let (x, y) = ApproxPpr::new(ApproxPprParams { half_dimension: 16, ..Default::default() })
-            .factorize(&g)
-            .expect("factorization succeeds");
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{nodes}_m{edges}")), &g, |b, g| {
-            b.iter(|| {
-                let mut weights = NodeWeights::initialize(g);
-                let mut rng = ChaCha8Rng::seed_from_u64(1);
-                update_backward_weights(g, &x, &y, &mut weights, &ReweightConfig::default(), &mut rng)
+        let (x, y) = ApproxPpr::new(ApproxPprParams {
+            half_dimension: 16,
+            ..Default::default()
+        })
+        .factorize(&g)
+        .expect("factorization succeeds");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{nodes}_m{edges}")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut weights = NodeWeights::initialize(g);
+                    let mut rng = ChaCha8Rng::seed_from_u64(1);
+                    update_backward_weights(
+                        g,
+                        &x,
+                        &y,
+                        &mut weights,
+                        &ReweightConfig::default(),
+                        &mut rng,
+                    )
                     .expect("epoch succeeds");
-                weights
-            });
-        });
+                    weights
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -61,15 +82,28 @@ fn bench_full_nrp(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     for (nodes, edges) in [(2_000usize, 10_000usize), (4_000, 20_000)] {
         let g = graph(nodes, edges);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{nodes}_m{edges}")), &g, |b, g| {
-            let embedder = Nrp::new(
-                NrpParams::builder().dimension(32).reweight_epochs(5).build().expect("valid params"),
-            );
-            b.iter(|| embedder.embed(g).expect("embedding succeeds"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{nodes}_m{edges}")),
+            &g,
+            |b, g| {
+                let embedder = Nrp::new(
+                    NrpParams::builder()
+                        .dimension(32)
+                        .reweight_epochs(5)
+                        .build()
+                        .expect("valid params"),
+                );
+                b.iter(|| embedder.embed_default(g).expect("embedding succeeds"));
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_approx_ppr, bench_reweight_epoch, bench_full_nrp);
+criterion_group!(
+    benches,
+    bench_approx_ppr,
+    bench_reweight_epoch,
+    bench_full_nrp
+);
 criterion_main!(benches);

@@ -10,9 +10,12 @@ use nrp_graph::GraphKind;
 
 fn bench_b1_variants(c: &mut Criterion) {
     let graph = erdos_renyi_nm(3_000, 15_000, GraphKind::Directed, 5).expect("valid ER parameters");
-    let (x, y) = ApproxPpr::new(ApproxPprParams { half_dimension: 16, ..Default::default() })
-        .factorize(&graph)
-        .expect("factorization succeeds");
+    let (x, y) = ApproxPpr::new(ApproxPprParams {
+        half_dimension: 16,
+        ..Default::default()
+    })
+    .factorize(&graph)
+    .expect("factorization succeeds");
     let mut group = c.benchmark_group("reweighting_b1");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_secs(1));
@@ -24,7 +27,11 @@ fn bench_b1_variants(c: &mut Criterion) {
                     &graph,
                     &x,
                     &y,
-                    &ReweightConfig { epochs: 3, exact_b1: exact, ..Default::default() },
+                    &ReweightConfig {
+                        epochs: 3,
+                        exact_b1: exact,
+                        ..Default::default()
+                    },
                 )
                 .expect("reweighting succeeds")
             });

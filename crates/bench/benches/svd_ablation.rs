@@ -8,7 +8,8 @@ use nrp_graph::GraphKind;
 use nrp_linalg::{AdjacencyOperator, RandomizedSvd, RandomizedSvdMethod};
 
 fn bench_svd_methods(c: &mut Criterion) {
-    let graph = erdos_renyi_nm(3_000, 15_000, GraphKind::Undirected, 3).expect("valid ER parameters");
+    let graph =
+        erdos_renyi_nm(3_000, 15_000, GraphKind::Undirected, 3).expect("valid ER parameters");
     let op = AdjacencyOperator::new(&graph);
     let mut group = c.benchmark_group("randomized_svd");
     group.sample_size(10);

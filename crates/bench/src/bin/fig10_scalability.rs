@@ -6,12 +6,10 @@
 //! The printed ratio column makes the near-linear growth visible: time
 //! roughly doubles when the varied quantity doubles.
 
-use std::time::Instant;
-
 use nrp_bench::methods::nrp;
 use nrp_bench::report::fmt_secs;
 use nrp_bench::{HarnessArgs, Scale, Table};
-use nrp_core::Embedder;
+use nrp_core::{EmbedContext, Embedder};
 use nrp_graph::generators::erdos_renyi_nm;
 use nrp_graph::GraphKind;
 
@@ -41,11 +39,20 @@ fn main() {
         let n = base_nodes * step;
         let graph = erdos_renyi_nm(n, base_edges, GraphKind::Directed, args.seed)
             .expect("valid ER parameters");
-        let start = Instant::now();
-        nrp(args.dimension, args.seed).embed(&graph).expect("NRP on ER graph");
-        let secs = start.elapsed().as_secs_f64();
-        let ratio = previous.map(|p| format!("{:.2}", secs / p)).unwrap_or_else(|| "-".into());
-        by_nodes.add_row(vec![n.to_string(), base_edges.to_string(), fmt_secs(start.elapsed()), ratio]);
+        let output = nrp(args.dimension, args.seed)
+            .embed(&graph, &EmbedContext::default())
+            .expect("NRP on ER graph");
+        let total = output.metadata().total;
+        let secs = total.as_secs_f64();
+        let ratio = previous
+            .map(|p| format!("{:.2}", secs / p))
+            .unwrap_or_else(|| "-".into());
+        by_nodes.add_row(vec![
+            n.to_string(),
+            base_edges.to_string(),
+            fmt_secs(total),
+            ratio,
+        ]);
         previous = Some(secs);
     }
     by_nodes.print();
@@ -59,11 +66,20 @@ fn main() {
         let m = base_edges * step;
         let graph = erdos_renyi_nm(base_nodes, m, GraphKind::Directed, args.seed)
             .expect("valid ER parameters");
-        let start = Instant::now();
-        nrp(args.dimension, args.seed).embed(&graph).expect("NRP on ER graph");
-        let secs = start.elapsed().as_secs_f64();
-        let ratio = previous.map(|p| format!("{:.2}", secs / p)).unwrap_or_else(|| "-".into());
-        by_edges.add_row(vec![base_nodes.to_string(), m.to_string(), fmt_secs(start.elapsed()), ratio]);
+        let output = nrp(args.dimension, args.seed)
+            .embed(&graph, &EmbedContext::default())
+            .expect("NRP on ER graph");
+        let total = output.metadata().total;
+        let secs = total.as_secs_f64();
+        let ratio = previous
+            .map(|p| format!("{:.2}", secs / p))
+            .unwrap_or_else(|| "-".into());
+        by_edges.add_row(vec![
+            base_nodes.to_string(),
+            m.to_string(),
+            fmt_secs(total),
+            ratio,
+        ]);
         previous = Some(secs);
     }
     by_edges.print();

@@ -1,23 +1,24 @@
 //! Regenerates the paper's Fig. 11: NRP construction time as each parameter
 //! (ℓ1, ℓ2, α, ε) is varied, on every dataset of the synthetic suite.
 
-use std::time::Instant;
-
 use nrp_bench::datasets::suite;
 use nrp_bench::report::fmt_secs;
 use nrp_bench::{HarnessArgs, Table};
-use nrp_core::{Embedder, Nrp, NrpParams};
+use nrp_core::{EmbedContext, Embedder, Nrp, NrpParams};
 
 fn time_with(graph: &nrp_graph::Graph, params: NrpParams) -> String {
-    let start = Instant::now();
-    match Nrp::new(params).embed(graph) {
-        Ok(_) => fmt_secs(start.elapsed()),
+    match Nrp::new(params).embed(graph, &EmbedContext::default()) {
+        Ok(output) => fmt_secs(output.metadata().total),
         Err(err) => format!("err:{err}"),
     }
 }
 
 fn base(dimension: usize, seed: u64) -> NrpParams {
-    NrpParams::builder().dimension(dimension).seed(seed).build().expect("valid parameters")
+    NrpParams::builder()
+        .dimension(dimension)
+        .seed(seed)
+        .build()
+        .expect("valid parameters")
 }
 
 fn main() {
@@ -30,7 +31,10 @@ fn main() {
     for dataset in suite(args.scale, args.seed) {
         let graph = &dataset.graph;
 
-        let mut t = Table::new(format!("Fig. 11(a) — time vs l1 on {}", dataset.name), &["l1", "seconds"]);
+        let mut t = Table::new(
+            format!("Fig. 11(a) — time vs l1 on {}", dataset.name),
+            &["l1", "seconds"],
+        );
         for &l1 in &l1_values {
             let mut params = base(args.dimension, args.seed);
             params.num_hops = l1;
@@ -38,7 +42,10 @@ fn main() {
         }
         t.print();
 
-        let mut t = Table::new(format!("Fig. 11(b) — time vs l2 on {}", dataset.name), &["l2", "seconds"]);
+        let mut t = Table::new(
+            format!("Fig. 11(b) — time vs l2 on {}", dataset.name),
+            &["l2", "seconds"],
+        );
         for &l2 in &l2_values {
             let mut params = base(args.dimension, args.seed);
             params.reweight_epochs = l2;
@@ -46,7 +53,10 @@ fn main() {
         }
         t.print();
 
-        let mut t = Table::new(format!("Fig. 11(c) — time vs alpha on {}", dataset.name), &["alpha", "seconds"]);
+        let mut t = Table::new(
+            format!("Fig. 11(c) — time vs alpha on {}", dataset.name),
+            &["alpha", "seconds"],
+        );
         for &alpha in &alphas {
             let mut params = base(args.dimension, args.seed);
             params.alpha = alpha;
@@ -54,7 +64,10 @@ fn main() {
         }
         t.print();
 
-        let mut t = Table::new(format!("Fig. 11(d) — time vs epsilon on {}", dataset.name), &["epsilon", "seconds"]);
+        let mut t = Table::new(
+            format!("Fig. 11(d) — time vs epsilon on {}", dataset.name),
+            &["epsilon", "seconds"],
+        );
         for &eps in &epsilons {
             let mut params = base(args.dimension, args.seed);
             params.epsilon = eps;

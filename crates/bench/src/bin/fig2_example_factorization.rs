@@ -10,8 +10,15 @@ use nrp_graph::generators::example::{example_graph, V2, V4, V7, V9};
 
 fn main() {
     let graph = example_graph();
-    let params = ApproxPprParams { half_dimension: 2, alpha: 0.15, num_hops: 20, ..Default::default() };
-    let embedding = ApproxPpr::new(params).embed(&graph).expect("ApproxPPR on the example graph");
+    let params = ApproxPprParams {
+        half_dimension: 2,
+        alpha: 0.15,
+        num_hops: 20,
+        ..Default::default()
+    };
+    let embedding = ApproxPpr::new(params)
+        .embed_default(&graph)
+        .expect("ApproxPPR on the example graph");
 
     let mut factors = Table::new(
         "Fig. 2 — ApproxPPR factors with k' = 2 (X forward, Y backward)",
@@ -36,7 +43,12 @@ fn main() {
     for (label, u, v) in [("(v2, v4)", V2, V4), ("(v9, v7)", V9, V7)] {
         let approx = embedding.score(u, v);
         let exact = ppr.get(u, v);
-        check.add_row(vec![label.into(), fmt4(approx), fmt4(exact), fmt4((approx - exact).abs())]);
+        check.add_row(vec![
+            label.into(),
+            fmt4(approx),
+            fmt4(exact),
+            fmt4((approx - exact).abs()),
+        ]);
     }
     check.print();
 }

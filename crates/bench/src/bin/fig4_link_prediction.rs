@@ -13,15 +13,21 @@ fn main() {
     let dimensions = [16usize, 32, 64];
     for dataset in suite(args.scale, args.seed) {
         let mut table = Table::new(
-            format!("Fig. 4 — link prediction AUC on {} (30% edges held out)", dataset.name),
+            format!(
+                "Fig. 4 — link prediction AUC on {} (30% edges held out)",
+                dataset.name
+            ),
             &["method", "k=16", "k=32", "k=64"],
         );
         // Single-vector methods cannot express direction, so on directed
         // graphs they are evaluated with the edge-features fallback, exactly
         // as in the paper.
-        let single_vector = ["DeepWalk", "node2vec", "LINE", "VERSE", "RandNE", "Spectral"];
+        let single_vector = [
+            "DeepWalk", "node2vec", "LINE", "VERSE", "RandNE", "Spectral",
+        ];
         let directed = dataset.graph.kind().is_directed();
-        let method_names: Vec<&'static str> = roster(16, args.seed).iter().map(|m| m.name()).collect();
+        let method_names: Vec<&'static str> =
+            roster(16, args.seed).iter().map(|m| m.name()).collect();
         for name in method_names {
             let mut row = vec![name.to_string()];
             for &k in &dimensions {

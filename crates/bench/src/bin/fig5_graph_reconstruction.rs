@@ -12,16 +12,24 @@ fn main() {
     for dataset in suite(args.scale, args.seed) {
         let max_pairs = dataset.graph.num_nodes() * (dataset.graph.num_nodes() - 1) / 2;
         // Follow the paper: all pairs on small graphs, a sample on larger ones.
-        let sample = if max_pairs > 2_000_000 { Some(1_000_000) } else { None };
+        let sample = if max_pairs > 2_000_000 {
+            Some(1_000_000)
+        } else {
+            None
+        };
         let k_values: Vec<usize> = vec![10, 100, 1_000, 10_000]
             .into_iter()
             .filter(|&k| k <= max_pairs)
             .collect();
-        let header: Vec<String> =
-            std::iter::once("method".to_string()).chain(k_values.iter().map(|k| format!("K={k}"))).collect();
+        let header: Vec<String> = std::iter::once("method".to_string())
+            .chain(k_values.iter().map(|k| format!("K={k}")))
+            .collect();
         let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
         let mut table = Table::new(
-            format!("Fig. 5 — graph reconstruction precision@K on {}", dataset.name),
+            format!(
+                "Fig. 5 — graph reconstruction precision@K on {}",
+                dataset.name
+            ),
             &header_refs,
         );
         for method in roster(args.dimension, args.seed) {

@@ -11,7 +11,9 @@ fn main() {
     let args = HarnessArgs::from_env();
     let ratios = [0.1, 0.3, 0.5, 0.7, 0.9];
     for dataset in suite(args.scale, args.seed) {
-        let Some(labels) = &dataset.labels else { continue };
+        let Some(labels) = &dataset.labels else {
+            continue;
+        };
         let header: Vec<String> = std::iter::once("method".to_string())
             .chain(ratios.iter().map(|r| format!("train={r}")))
             .collect();
@@ -23,7 +25,7 @@ fn main() {
         for method in roster(args.dimension, args.seed) {
             let mut row = vec![method.name().to_string()];
             // Embed once, evaluate at every ratio (as the paper does).
-            match method.embed(&dataset.graph) {
+            match method.embed_default(&dataset.graph) {
                 Ok(embedding) => {
                     for &ratio in &ratios {
                         let task = NodeClassification::new(ClassificationConfig {

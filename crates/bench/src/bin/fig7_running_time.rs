@@ -1,12 +1,14 @@
 //! Regenerates the paper's Fig. 7: embedding-construction wall-clock time as
 //! a function of the dimensionality `k`, for every method on every dataset.
-
-use std::time::Instant;
+//!
+//! Timing comes from the `RunMetadata` every v2 embedding run returns, so the
+//! reported numbers exclude harness overhead.
 
 use nrp_bench::datasets::suite;
 use nrp_bench::methods::roster;
 use nrp_bench::report::fmt_secs;
 use nrp_bench::{HarnessArgs, Table};
+use nrp_core::EmbedContext;
 
 fn main() {
     let args = HarnessArgs::from_env();
@@ -21,7 +23,8 @@ fn main() {
             ),
             &["method", "k=16", "k=32", "k=64"],
         );
-        let method_names: Vec<&'static str> = roster(16, args.seed).iter().map(|m| m.name()).collect();
+        let method_names: Vec<&'static str> =
+            roster(16, args.seed).iter().map(|m| m.name()).collect();
         for name in method_names {
             let mut row = vec![name.to_string()];
             for &k in &dimensions {
@@ -29,9 +32,8 @@ fn main() {
                     .into_iter()
                     .find(|m| m.name() == name)
                     .expect("method present at every dimension");
-                let start = Instant::now();
-                match method.embed(&dataset.graph) {
-                    Ok(_) => row.push(fmt_secs(start.elapsed())),
+                match method.embed(&dataset.graph, &EmbedContext::default()) {
+                    Ok(output) => row.push(fmt_secs(output.metadata().total)),
                     Err(err) => row.push(format!("err:{err}")),
                 }
             }

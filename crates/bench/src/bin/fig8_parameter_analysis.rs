@@ -10,7 +10,10 @@ use nrp_core::{Nrp, NrpParams};
 use nrp_eval::LinkPrediction;
 
 fn evaluate(graph: &nrp_graph::Graph, params: NrpParams, seed: u64) -> String {
-    let task = LinkPrediction::new(nrp_eval::LinkPredictionConfig { seed, ..Default::default() });
+    let task = LinkPrediction::new(nrp_eval::LinkPredictionConfig {
+        seed,
+        ..Default::default()
+    });
     match task.evaluate(graph, &Nrp::new(params)) {
         Ok(outcome) => fmt4(outcome.auc),
         Err(err) => format!("err:{err}"),
@@ -18,7 +21,11 @@ fn evaluate(graph: &nrp_graph::Graph, params: NrpParams, seed: u64) -> String {
 }
 
 fn base(dimension: usize, seed: u64) -> NrpParams {
-    NrpParams::builder().dimension(dimension).seed(seed).build().expect("valid parameters")
+    NrpParams::builder()
+        .dimension(dimension)
+        .seed(seed)
+        .build()
+        .expect("valid parameters")
 }
 
 fn main() {
@@ -65,7 +72,10 @@ fn main() {
         t_l1.print();
 
         let mut t_l2 = Table::new(
-            format!("Fig. 8(d) — AUC vs l2 (reweighting epochs; 0 = ApproxPPR) on {}", dataset.name),
+            format!(
+                "Fig. 8(d) — AUC vs l2 (reweighting epochs; 0 = ApproxPPR) on {}",
+                dataset.name
+            ),
             &["l2", "auc"],
         );
         for &l2 in &l2_values {

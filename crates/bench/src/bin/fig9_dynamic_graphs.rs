@@ -19,19 +19,29 @@ fn main() {
         ),
         &["method", "auc"],
     );
-    let single_vector = ["DeepWalk", "node2vec", "LINE", "VERSE", "RandNE", "Spectral"];
+    let single_vector = [
+        "DeepWalk", "node2vec", "LINE", "VERSE", "RandNE", "Spectral",
+    ];
     for method in roster(args.dimension, args.seed) {
-        let scoring = if instance.old_graph.kind().is_directed() && single_vector.contains(&method.name()) {
-            ScoringStrategy::EdgeFeatures
-        } else {
-            ScoringStrategy::InnerProduct
-        };
-        let task = LinkPrediction::new(LinkPredictionConfig { scoring, seed: args.seed, ..Default::default() });
-        let cell = match method.embed(&instance.old_graph) {
-            Ok(embedding) => match task.evaluate_new_edges(&instance.old_graph, &embedding, &instance.new_edges) {
-                Ok(outcome) => fmt4(outcome.auc),
-                Err(err) => format!("err:{err}"),
-            },
+        let scoring =
+            if instance.old_graph.kind().is_directed() && single_vector.contains(&method.name()) {
+                ScoringStrategy::EdgeFeatures
+            } else {
+                ScoringStrategy::InnerProduct
+            };
+        let task = LinkPrediction::new(LinkPredictionConfig {
+            scoring,
+            seed: args.seed,
+            ..Default::default()
+        });
+        let cell = match method.embed_default(&instance.old_graph) {
+            Ok(embedding) => {
+                match task.evaluate_new_edges(&instance.old_graph, &embedding, &instance.new_edges)
+                {
+                    Ok(outcome) => fmt4(outcome.auc),
+                    Err(err) => format!("err:{err}"),
+                }
+            }
             Err(err) => format!("err:{err}"),
         };
         table.add_row(vec![method.name().to_string(), cell]);

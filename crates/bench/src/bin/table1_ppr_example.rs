@@ -15,7 +15,9 @@ fn main() {
 
     let mut table = Table::new(
         "Table 1 — PPR values on the Fig. 1 example graph (alpha = 0.15)",
-        &["source", "v1", "v2", "v3", "v4", "v5", "v6", "v7", "v8", "v9"],
+        &[
+            "source", "v1", "v2", "v3", "v4", "v5", "v6", "v7", "v8", "v9",
+        ],
     );
     for source in [V2, V4, V7, V9] {
         let mut row = vec![format!("pi(v{}, .)", source + 1)];
@@ -35,7 +37,7 @@ fn main() {
             .build()
             .expect("valid parameters"),
     );
-    let embedding = nrp.embed(&graph).expect("NRP on the example graph");
+    let embedding = nrp.embed_default(&graph).expect("NRP on the example graph");
 
     let mut motivation = Table::new(
         "Motivation — vanilla PPR vs NRP on the two node pairs of Section 1",

@@ -9,17 +9,37 @@ use nrp_graph::stats::{degree_gini, graph_stats};
 fn main() {
     let args = HarnessArgs::from_env();
     let mut table = Table::new(
-        format!("Table 3 — synthetic dataset suite at scale {:?}", args.scale),
-        &["name", "|V|", "|E|", "arcs", "type", "labels", "max out-deg", "degree gini"],
+        format!(
+            "Table 3 — synthetic dataset suite at scale {:?}",
+            args.scale
+        ),
+        &[
+            "name",
+            "|V|",
+            "|E|",
+            "arcs",
+            "type",
+            "labels",
+            "max out-deg",
+            "degree gini",
+        ],
     );
     for dataset in suite(args.scale, args.seed) {
         let stats = graph_stats(&dataset.graph);
-        let kind = if dataset.graph.kind().is_directed() { "directed" } else { "undirected" };
+        let kind = if dataset.graph.kind().is_directed() {
+            "directed"
+        } else {
+            "undirected"
+        };
         let num_labels = dataset
             .labels
             .as_ref()
             .map(|ls| {
-                ls.iter().flat_map(|l| l.iter()).max().map(|&m| (m + 1).to_string()).unwrap_or_default()
+                ls.iter()
+                    .flat_map(|l| l.iter())
+                    .max()
+                    .map(|&m| (m + 1).to_string())
+                    .unwrap_or_default()
             })
             .unwrap_or_else(|| "-".into());
         table.add_row(vec![
@@ -46,7 +66,11 @@ fn main() {
         stats.num_nodes.to_string(),
         stats.num_edges.to_string(),
         evolving.new_edges.len().to_string(),
-        if evolving.old_graph.kind().is_directed() { "directed".into() } else { "undirected".into() },
+        if evolving.old_graph.kind().is_directed() {
+            "directed".into()
+        } else {
+            "undirected".into()
+        },
     ]);
     table4.print();
 }

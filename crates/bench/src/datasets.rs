@@ -78,9 +78,21 @@ pub fn suite(scale: Scale, seed: u64) -> Vec<BenchDataset> {
         .expect("valid BA parameters");
 
     vec![
-        BenchDataset { name: "sbm-directed (wiki-like)", graph: wiki_like, labels: Some(wiki_labels) },
-        BenchDataset { name: "sbm-undirected (blog-like)", graph: blog_like, labels: Some(blog_labels) },
-        BenchDataset { name: "ba-powerlaw (social-like)", graph: ba, labels: None },
+        BenchDataset {
+            name: "sbm-directed (wiki-like)",
+            graph: wiki_like,
+            labels: Some(wiki_labels),
+        },
+        BenchDataset {
+            name: "sbm-undirected (blog-like)",
+            graph: blog_like,
+            labels: Some(blog_labels),
+        },
+        BenchDataset {
+            name: "ba-powerlaw (social-like)",
+            graph: ba,
+            labels: None,
+        },
     ]
 }
 
@@ -134,7 +146,10 @@ mod tests {
         let small = &suite(Scale::Small, 1)[0];
         let mean_degree = |g: &Graph| g.num_arcs() as f64 / g.num_nodes() as f64;
         let ratio = mean_degree(&small.graph) / mean_degree(&tiny.graph);
-        assert!(ratio < 2.5, "mean degree should not blow up with scale (ratio {ratio})");
+        assert!(
+            ratio < 2.5,
+            "mean degree should not blow up with scale (ratio {ratio})"
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        Self { scale: Scale::Small, dimension: 32, seed: 7 }
+        Self {
+            scale: Scale::Small,
+            dimension: 32,
+            seed: 7,
+        }
     }
 }
 
@@ -54,7 +58,9 @@ impl HarnessArgs {
                         "small" => Scale::Small,
                         "medium" => Scale::Medium,
                         "large" => Scale::Large,
-                        other => panic!("unknown scale '{other}' (expected tiny|small|medium|large)"),
+                        other => {
+                            panic!("unknown scale '{other}' (expected tiny|small|medium|large)")
+                        }
                     };
                 }
                 "--dim" => {

@@ -17,10 +17,11 @@
 
 use nrp_graph::Graph;
 use nrp_linalg::{
-    AdjacencyOperator, DenseMatrix, LinearOperator, RandomizedSvd, RandomizedSvdMethod,
-    TransitionOperator,
+    AdjacencyOperator, DenseMatrix, RandomizedSvd, RandomizedSvdMethod, TransitionOperator,
 };
 
+use crate::config::MethodConfig;
+use crate::context::{EmbedContext, EmbedOutput, StageClock};
 use crate::embedding::{Embedder, Embedding};
 use crate::{NrpError, Result};
 
@@ -58,7 +59,9 @@ impl ApproxPprParams {
     /// Validates the parameter ranges.
     pub fn validate(&self) -> Result<()> {
         if self.half_dimension == 0 {
-            return Err(NrpError::InvalidParameter("half_dimension must be positive".into()));
+            return Err(NrpError::InvalidParameter(
+                "half_dimension must be positive".into(),
+            ));
         }
         if !(self.alpha > 0.0 && self.alpha < 1.0) {
             return Err(NrpError::InvalidParameter(format!(
@@ -67,7 +70,9 @@ impl ApproxPprParams {
             )));
         }
         if self.num_hops == 0 {
-            return Err(NrpError::InvalidParameter("num_hops (ℓ1) must be at least 1".into()));
+            return Err(NrpError::InvalidParameter(
+                "num_hops (ℓ1) must be at least 1".into(),
+            ));
         }
         if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
             return Err(NrpError::InvalidParameter(format!(
@@ -96,12 +101,25 @@ impl ApproxPpr {
         &self.params
     }
 
-    /// Runs Algorithm 1 and returns the raw `(X, Y)` factors.
+    /// Runs Algorithm 1 and returns the raw `(X, Y)` factors under a default
+    /// execution context.
     ///
     /// Exposed separately from [`Embedder::embed`] because NRP needs the raw
     /// factors before reweighting.
     pub fn factorize(&self, graph: &Graph) -> Result<(DenseMatrix, DenseMatrix)> {
+        self.factorize_with(graph, &EmbedContext::default())
+    }
+
+    /// Runs Algorithm 1 under an explicit execution context: the seed
+    /// override applies to the SVD sketch, the thread budget parallelizes
+    /// the sparse propagations, and cancellation is honoured between hops.
+    pub fn factorize_with(
+        &self,
+        graph: &Graph,
+        ctx: &EmbedContext,
+    ) -> Result<(DenseMatrix, DenseMatrix)> {
         self.params.validate()?;
+        ctx.ensure_active()?;
         let p = &self.params;
         let n = graph.num_nodes();
         if n == 0 {
@@ -114,9 +132,13 @@ impl ApproxPpr {
         let svd = RandomizedSvd::new(p.half_dimension)
             .iterations(iterations)
             .method(p.svd_method)
-            .seed(p.seed)
+            .seed(ctx.seed_or(p.seed))
             .compute(&adjacency)?;
-        let sqrt_sigma: Vec<f64> = svd.singular_values.iter().map(|s| s.max(0.0).sqrt()).collect();
+        let sqrt_sigma: Vec<f64> = svd
+            .singular_values
+            .iter()
+            .map(|s| s.max(0.0).sqrt())
+            .collect();
 
         // Step 2: X₁ = D⁻¹ U √Σ and Y = V √Σ.
         let transition = TransitionOperator::new(graph);
@@ -127,9 +149,11 @@ impl ApproxPpr {
         y.scale_cols(&sqrt_sigma)?;
 
         // Step 3: fold in higher-order hops: Xᵢ = (1-α) P Xᵢ₋₁ + X₁.
+        let threads = ctx.thread_budget();
         let mut x = x1.clone();
         for _ in 2..=p.num_hops {
-            let mut propagated = transition.apply(&x)?;
+            ctx.ensure_active()?;
+            let mut propagated = transition.apply_parallel(&x, threads)?;
             propagated.scale(1.0 - p.alpha);
             propagated.axpy(1.0, &x1)?;
             x = propagated;
@@ -142,13 +166,30 @@ impl ApproxPpr {
 }
 
 impl Embedder for ApproxPpr {
-    fn embed(&self, graph: &Graph) -> Result<Embedding> {
-        let (x, y) = self.factorize(graph)?;
-        Embedding::new(x, y, self.name())
-    }
-
     fn name(&self) -> &'static str {
         "ApproxPPR"
+    }
+
+    fn config(&self) -> MethodConfig {
+        let p = &self.params;
+        MethodConfig::ApproxPpr {
+            dimension: 2 * p.half_dimension,
+            alpha: p.alpha,
+            num_hops: p.num_hops,
+            epsilon: p.epsilon,
+            svd_method: p.svd_method,
+            seed: p.seed,
+        }
+    }
+
+    fn embed(&self, graph: &Graph, ctx: &EmbedContext) -> Result<EmbedOutput> {
+        let seed = ctx.seed_or(self.params.seed);
+        let mut clock = StageClock::start();
+        let (x, y) = self.factorize_with(graph, ctx)?;
+        clock.lap("factorize");
+        let embedding = Embedding::new(x, y, self.name())?;
+        clock.lap("assemble");
+        Ok(EmbedOutput::new(embedding, self.config(), seed, ctx, clock))
     }
 }
 
@@ -181,9 +222,13 @@ mod tests {
 
     #[test]
     fn factors_have_requested_shape() {
-        let (g, _) = stochastic_block_model(&[30, 30], 0.2, 0.02, GraphKind::Undirected, 3).unwrap();
-        let params = ApproxPprParams { half_dimension: 8, ..Default::default() };
-        let e = ApproxPpr::new(params).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[30, 30], 0.2, 0.02, GraphKind::Undirected, 3).unwrap();
+        let params = ApproxPprParams {
+            half_dimension: 8,
+            ..Default::default()
+        };
+        let e = ApproxPpr::new(params).embed_default(&g).unwrap();
         assert_eq!(e.num_nodes(), 60);
         assert_eq!(e.half_dimension(), 8);
         assert_eq!(e.dimension(), 16);
@@ -202,7 +247,7 @@ mod tests {
             epsilon: 0.1,
             ..Default::default()
         };
-        let e = ApproxPpr::new(params).embed(&g).unwrap();
+        let e = ApproxPpr::new(params).embed_default(&g).unwrap();
         let err = max_offdiag_error(&g, &e, 0.15, 40);
         assert!(err < 0.02, "max |X·Yᵀ - π| = {err}");
     }
@@ -215,32 +260,49 @@ mod tests {
         // approximated PPR of (v9, v7) exceeds that of (v2, v4).
         use nrp_graph::generators::example::{V2, V4, V7, V9};
         let g = example_graph();
-        let params =
-            ApproxPprParams { half_dimension: 9, num_hops: 20, ..Default::default() };
-        let e = ApproxPpr::new(params).embed(&g).unwrap();
+        let params = ApproxPprParams {
+            half_dimension: 9,
+            num_hops: 20,
+            ..Default::default()
+        };
+        let e = ApproxPpr::new(params).embed_default(&g).unwrap();
         assert!(e.score(V9, V7) > e.score(V2, V4));
     }
 
     #[test]
     fn approximation_improves_with_rank() {
-        let (g, _) = stochastic_block_model(&[25, 25], 0.25, 0.02, GraphKind::Undirected, 7).unwrap();
-        let low = ApproxPpr::new(ApproxPprParams { half_dimension: 2, ..Default::default() })
-            .embed(&g)
-            .unwrap();
-        let high = ApproxPpr::new(ApproxPprParams { half_dimension: 40, ..Default::default() })
-            .embed(&g)
-            .unwrap();
+        let (g, _) =
+            stochastic_block_model(&[25, 25], 0.25, 0.02, GraphKind::Undirected, 7).unwrap();
+        let low = ApproxPpr::new(ApproxPprParams {
+            half_dimension: 2,
+            ..Default::default()
+        })
+        .embed_default(&g)
+        .unwrap();
+        let high = ApproxPpr::new(ApproxPprParams {
+            half_dimension: 40,
+            ..Default::default()
+        })
+        .embed_default(&g)
+        .unwrap();
         let err_low = max_offdiag_error(&g, &low, 0.15, 20);
         let err_high = max_offdiag_error(&g, &high, 0.15, 20);
-        assert!(err_high < err_low, "rank 40 error {err_high} should beat rank 2 error {err_low}");
+        assert!(
+            err_high < err_low,
+            "rank 40 error {err_high} should beat rank 2 error {err_low}"
+        );
     }
 
     #[test]
     fn directed_graph_scores_are_asymmetric() {
-        let (g, _) = stochastic_block_model(&[30, 30], 0.15, 0.01, GraphKind::Directed, 11).unwrap();
-        let e = ApproxPpr::new(ApproxPprParams { half_dimension: 16, ..Default::default() })
-            .embed(&g)
-            .unwrap();
+        let (g, _) =
+            stochastic_block_model(&[30, 30], 0.15, 0.01, GraphKind::Directed, 11).unwrap();
+        let e = ApproxPpr::new(ApproxPprParams {
+            half_dimension: 16,
+            ..Default::default()
+        })
+        .embed_default(&g)
+        .unwrap();
         // Find an arc that exists one way only and check the forward score exceeds the backward.
         let mut checked = 0;
         let mut forward_wins = 0;
@@ -266,18 +328,24 @@ mod tests {
     fn dangling_nodes_do_not_produce_nan() {
         // A directed path has a dangling tail node.
         let g = nrp_graph::generators::simple::directed_path(20).unwrap();
-        let e = ApproxPpr::new(ApproxPprParams { half_dimension: 4, ..Default::default() })
-            .embed(&g)
-            .unwrap();
+        let e = ApproxPpr::new(ApproxPprParams {
+            half_dimension: 4,
+            ..Default::default()
+        })
+        .embed_default(&g)
+        .unwrap();
         assert!(e.is_finite());
     }
 
     #[test]
     fn works_on_er_graphs_of_moderate_size() {
         let g = erdos_renyi(300, 0.02, GraphKind::Undirected, 9).unwrap();
-        let e = ApproxPpr::new(ApproxPprParams { half_dimension: 16, ..Default::default() })
-            .embed(&g)
-            .unwrap();
+        let e = ApproxPpr::new(ApproxPprParams {
+            half_dimension: 16,
+            ..Default::default()
+        })
+        .embed_default(&g)
+        .unwrap();
         assert_eq!(e.num_nodes(), 300);
         assert!(e.is_finite());
     }
@@ -286,13 +354,28 @@ mod tests {
     fn invalid_params_rejected() {
         let g = example_graph();
         for params in [
-            ApproxPprParams { half_dimension: 0, ..Default::default() },
-            ApproxPprParams { alpha: 0.0, ..Default::default() },
-            ApproxPprParams { alpha: 1.0, ..Default::default() },
-            ApproxPprParams { num_hops: 0, ..Default::default() },
-            ApproxPprParams { epsilon: 0.0, ..Default::default() },
+            ApproxPprParams {
+                half_dimension: 0,
+                ..Default::default()
+            },
+            ApproxPprParams {
+                alpha: 0.0,
+                ..Default::default()
+            },
+            ApproxPprParams {
+                alpha: 1.0,
+                ..Default::default()
+            },
+            ApproxPprParams {
+                num_hops: 0,
+                ..Default::default()
+            },
+            ApproxPprParams {
+                epsilon: 0.0,
+                ..Default::default()
+            },
         ] {
-            assert!(ApproxPpr::new(params).embed(&g).is_err());
+            assert!(ApproxPpr::new(params).embed_default(&g).is_err());
         }
     }
 }

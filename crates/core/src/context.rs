@@ -1,0 +1,296 @@
+//! Execution context and run metadata for the v2 [`Embedder`] interface.
+//!
+//! [`EmbedContext`] is how callers influence a run without touching the
+//! method's own parameters: override the RNG seed, grant a thread budget, or
+//! hand in a cancellation flag that long runs check at stage boundaries.
+//! [`EmbedOutput`] is what a run returns: the [`Embedding`] plus
+//! [`RunMetadata`] — per-stage wall-clock timings and the effective
+//! parameters echoed back as a [`MethodConfig`].
+//!
+//! [`Embedder`]: crate::embedding::Embedder
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::config::MethodConfig;
+use crate::embedding::Embedding;
+use crate::{NrpError, Result};
+
+/// Per-run execution parameters, orthogonal to the method's hyper-parameters.
+///
+/// The default context (`EmbedContext::default()`) reproduces the method's
+/// configured behaviour exactly: no seed override, a single-thread budget and
+/// no cancellation.
+#[derive(Debug, Clone, Default)]
+pub struct EmbedContext {
+    seed: Option<u64>,
+    threads: Option<NonZeroUsize>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl EmbedContext {
+    /// A context with no overrides.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the method's configured RNG seed for this run.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Grants a thread budget (clamped to at least 1).  Methods use up to
+    /// this many threads in their data-parallel stages; the result is
+    /// bitwise independent of the budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = NonZeroUsize::new(threads.max(1));
+        self
+    }
+
+    /// Attaches a cooperative cancellation flag.  Setting the flag to `true`
+    /// (from any thread) makes the run return [`NrpError::Cancelled`] at its
+    /// next stage boundary.
+    pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// The seed override, if any.
+    pub fn seed_override(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// The effective seed: the override if present, else `configured`.
+    pub fn seed_or(&self, configured: u64) -> u64 {
+        self.seed.unwrap_or(configured)
+    }
+
+    /// The thread budget (at least 1).
+    pub fn thread_budget(&self) -> usize {
+        self.threads.map(NonZeroUsize::get).unwrap_or(1)
+    }
+
+    /// True if the attached cancellation flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    /// Errors with [`NrpError::Cancelled`] if the run has been cancelled —
+    /// the check embedders place at stage boundaries.
+    pub fn ensure_active(&self) -> Result<()> {
+        if self.is_cancelled() {
+            Err(NrpError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Wall-clock duration of one named pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage name (e.g. `"approx_ppr"`, `"reweight"`).
+    pub name: &'static str,
+    /// Elapsed wall-clock time of the stage.
+    pub duration: Duration,
+}
+
+/// Records stage boundaries during an embedding run.
+///
+/// ```
+/// use nrp_core::context::StageClock;
+/// let mut clock = StageClock::start();
+/// // ... stage one work ...
+/// clock.lap("stage_one");
+/// // ... stage two work ...
+/// clock.lap("stage_two");
+/// ```
+#[derive(Debug)]
+pub struct StageClock {
+    started: Instant,
+    last: Instant,
+    stages: Vec<StageTiming>,
+}
+
+impl StageClock {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        let now = Instant::now();
+        Self {
+            started: now,
+            last: now,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Closes the current stage under `name` and starts the next one.
+    pub fn lap(&mut self, name: &'static str) {
+        let now = Instant::now();
+        self.stages.push(StageTiming {
+            name,
+            duration: now.duration_since(self.last),
+        });
+        self.last = now;
+    }
+
+    /// Total elapsed time since the clock started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The recorded stages so far.
+    pub fn stages(&self) -> &[StageTiming] {
+        &self.stages
+    }
+}
+
+impl Default for StageClock {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Everything known about a completed embedding run besides the vectors.
+#[derive(Debug, Clone)]
+pub struct RunMetadata {
+    /// The effective parameters of the run (seed override already applied),
+    /// serializable via `serde_json` for experiment logs.
+    pub config: MethodConfig,
+    /// The effective RNG seed.
+    pub seed: u64,
+    /// The granted thread budget.
+    pub threads: usize,
+    /// Per-stage wall-clock timings, in execution order.
+    pub stages: Vec<StageTiming>,
+    /// Total wall-clock time of the run.
+    pub total: Duration,
+}
+
+impl RunMetadata {
+    /// The duration of stage `name`, if it was recorded.
+    pub fn stage(&self, name: &str) -> Option<Duration> {
+        self.stages
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.duration)
+    }
+}
+
+/// The result of a v2 [`Embedder::embed`](crate::embedding::Embedder::embed)
+/// run: the embedding plus run metadata.
+#[derive(Debug, Clone)]
+pub struct EmbedOutput {
+    embedding: Embedding,
+    metadata: RunMetadata,
+}
+
+impl EmbedOutput {
+    /// Assembles the output of a run.  `config` is the embedder's configured
+    /// parameters; the effective `seed` is stamped into the echoed config so
+    /// the metadata alone reproduces the run.
+    pub fn new(
+        embedding: Embedding,
+        mut config: MethodConfig,
+        seed: u64,
+        ctx: &EmbedContext,
+        clock: StageClock,
+    ) -> Self {
+        config.set_seed(seed);
+        let total = clock.elapsed();
+        Self {
+            embedding,
+            metadata: RunMetadata {
+                config,
+                seed,
+                threads: ctx.thread_budget(),
+                stages: clock.stages,
+                total,
+            },
+        }
+    }
+
+    /// The embedding.
+    pub fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    /// Consumes the output, keeping only the embedding.
+    pub fn into_embedding(self) -> Embedding {
+        self.embedding
+    }
+
+    /// The run metadata.
+    pub fn metadata(&self) -> &RunMetadata {
+        &self.metadata
+    }
+
+    /// Splits the output into its parts.
+    pub fn into_parts(self) -> (Embedding, RunMetadata) {
+        (self.embedding, self.metadata)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_context_has_no_overrides() {
+        let ctx = EmbedContext::default();
+        assert_eq!(ctx.seed_override(), None);
+        assert_eq!(ctx.seed_or(9), 9);
+        assert_eq!(ctx.thread_budget(), 1);
+        assert!(!ctx.is_cancelled());
+        assert!(ctx.ensure_active().is_ok());
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let ctx = EmbedContext::new().with_seed(3).with_threads(4);
+        assert_eq!(ctx.seed_or(9), 3);
+        assert_eq!(ctx.thread_budget(), 4);
+        assert_eq!(EmbedContext::new().with_threads(0).thread_budget(), 1);
+    }
+
+    #[test]
+    fn cancellation_flag_is_observed() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let ctx = EmbedContext::new().with_cancel_flag(Arc::clone(&flag));
+        assert!(ctx.ensure_active().is_ok());
+        flag.store(true, Ordering::Relaxed);
+        assert!(ctx.is_cancelled());
+        assert!(matches!(ctx.ensure_active(), Err(NrpError::Cancelled)));
+    }
+
+    #[test]
+    fn stage_clock_records_laps_in_order() {
+        let mut clock = StageClock::start();
+        clock.lap("a");
+        clock.lap("b");
+        assert_eq!(clock.stages().len(), 2);
+        assert_eq!(clock.stages()[0].name, "a");
+        assert_eq!(clock.stages()[1].name, "b");
+        assert!(clock.elapsed() >= clock.stages()[0].duration);
+    }
+
+    #[test]
+    fn metadata_lookup_by_stage_name() {
+        let meta = RunMetadata {
+            config: MethodConfig::default_for("NRP").expect("known method"),
+            seed: 1,
+            threads: 2,
+            stages: vec![StageTiming {
+                name: "x",
+                duration: Duration::from_millis(5),
+            }],
+            total: Duration::from_millis(6),
+        };
+        assert_eq!(meta.stage("x"), Some(Duration::from_millis(5)));
+        assert_eq!(meta.stage("y"), None);
+    }
+}

@@ -7,8 +7,8 @@ use std::path::Path;
 
 use nrp_graph::{Graph, NodeId};
 use nrp_linalg::DenseMatrix;
-use serde::{Deserialize, Serialize};
 
+use crate::context::{EmbedContext, EmbedOutput};
 use crate::{NrpError, Result};
 
 /// A set of node embeddings.
@@ -30,7 +30,11 @@ impl Embedding {
     /// Wraps forward/backward matrices produced by an embedder.
     ///
     /// Both must have the same shape (`n x k/2`).
-    pub fn new(forward: DenseMatrix, backward: DenseMatrix, method: impl Into<String>) -> Result<Self> {
+    pub fn new(
+        forward: DenseMatrix,
+        backward: DenseMatrix,
+        method: impl Into<String>,
+    ) -> Result<Self> {
         if forward.shape() != backward.shape() {
             return Err(NrpError::InvalidParameter(format!(
                 "forward shape {:?} != backward shape {:?}",
@@ -38,13 +42,21 @@ impl Embedding {
                 backward.shape()
             )));
         }
-        Ok(Self { forward, backward, method: method.into() })
+        Ok(Self {
+            forward,
+            backward,
+            method: method.into(),
+        })
     }
 
     /// Builds a "symmetric" embedding where forward and backward blocks are
     /// the same single vector per node.
     pub fn symmetric(vectors: DenseMatrix, method: impl Into<String>) -> Self {
-        Self { backward: vectors.clone(), forward: vectors, method: method.into() }
+        Self {
+            backward: vectors.clone(),
+            forward: vectors,
+            method: method.into(),
+        }
     }
 
     /// Number of embedded nodes.
@@ -165,7 +177,6 @@ fn normalized(v: &[f64]) -> Vec<f64> {
     }
 }
 
-#[derive(Serialize, Deserialize)]
 struct SerializableEmbedding {
     method: String,
     num_nodes: usize,
@@ -174,13 +185,43 @@ struct SerializableEmbedding {
     backward: Vec<f64>,
 }
 
-/// A method that maps a graph to node embeddings.
-pub trait Embedder {
-    /// Computes embeddings for every node of `graph`.
-    fn embed(&self, graph: &Graph) -> Result<Embedding>;
+serde::impl_struct_serde!(SerializableEmbedding {
+    method,
+    num_nodes,
+    half_dimension,
+    forward,
+    backward
+});
 
-    /// Human-readable method name (used in benchmark tables).
+/// A method that maps a graph to node embeddings (interface v2).
+///
+/// Every method in the workspace — NRP, ApproxPPR and the nine baselines —
+/// implements this trait, so evaluation tasks and benchmark harnesses drive
+/// them uniformly.  A run takes an [`EmbedContext`] (seed override, thread
+/// budget, cancellation flag) and returns an [`EmbedOutput`] (the
+/// [`Embedding`] plus per-stage wall-clock timings and the effective
+/// parameters echoed as a [`MethodConfig`](crate::config::MethodConfig)).
+///
+/// Callers that only need the vectors under default execution settings can
+/// use the provided [`Embedder::embed_default`].
+pub trait Embedder {
+    /// Human-readable method name (used in benchmark tables and as the
+    /// registry key of the method's `MethodConfig` variant).
     fn name(&self) -> &'static str;
+
+    /// The configured parameters as declarative data.
+    fn config(&self) -> crate::config::MethodConfig;
+
+    /// Computes embeddings for every node of `graph` under `ctx`.
+    fn embed(&self, graph: &Graph, ctx: &EmbedContext) -> Result<EmbedOutput>;
+
+    /// Convenience wrapper: runs [`Embedder::embed`] with a default context
+    /// and returns just the embedding.
+    fn embed_default(&self, graph: &Graph) -> Result<Embedding> {
+        Ok(self
+            .embed(graph, &EmbedContext::default())?
+            .into_embedding())
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,10 @@ pub enum NrpError {
     Io(std::io::Error),
     /// Embedding (de)serialization failed.
     Serialization(String),
+    /// The run was cancelled through its `EmbedContext` flag.
+    Cancelled,
+    /// A `MethodConfig` named a method with no registered builder.
+    UnknownMethod(String),
 }
 
 impl fmt::Display for NrpError {
@@ -28,6 +32,8 @@ impl fmt::Display for NrpError {
             NrpError::Linalg(err) => write!(f, "linear algebra error: {err}"),
             NrpError::Io(err) => write!(f, "i/o error: {err}"),
             NrpError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            NrpError::Cancelled => write!(f, "embedding run cancelled"),
+            NrpError::UnknownMethod(msg) => write!(f, "unknown method: {msg}"),
         }
     }
 }
@@ -80,6 +86,14 @@ mod tests {
         let err: NrpError = GraphError::EmptyGraph.into();
         assert!(std::error::Error::source(&err).is_some());
         let err = NrpError::InvalidParameter("x".into());
+        assert!(std::error::Error::source(&err).is_none());
+    }
+
+    #[test]
+    fn new_variants_display() {
+        assert!(NrpError::Cancelled.to_string().contains("cancelled"));
+        let err = NrpError::UnknownMethod("GCN is not registered".into());
+        assert!(err.to_string().contains("GCN"));
         assert!(std::error::Error::source(&err).is_none());
     }
 }

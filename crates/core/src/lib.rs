@@ -25,11 +25,24 @@
 //! forward-push approximate single-source PPR (used by the STRAP baseline),
 //! and [`embedding`] defines the [`embedding::Embedding`] container plus the
 //! [`embedding::Embedder`] trait shared by every method in the workspace.
+//!
+//! The public API is organized around two pieces:
+//!
+//! * [`config::MethodConfig`] — every method described as serde-backed data
+//!   (`{"method": "NRP", ...}`), with paper defaults for missing fields, a
+//!   JSON/TOML round trip and a registry that resolves a config to a boxed
+//!   [`embedding::Embedder`] via [`config::MethodConfig::build`].
+//! * [`context::EmbedContext`] / [`context::EmbedOutput`] — the v2 embedding
+//!   interface: runs accept a context (seed override, thread budget,
+//!   cancellation flag) and return the embedding together with per-stage
+//!   wall-clock metadata.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod approx_ppr;
+pub mod config;
+pub mod context;
 pub mod embedding;
 pub mod error;
 pub mod nrp;
@@ -38,6 +51,8 @@ pub mod push;
 pub mod reweight;
 
 pub use approx_ppr::{ApproxPpr, ApproxPprParams};
+pub use config::{register_method, registered_methods, MethodConfig};
+pub use context::{EmbedContext, EmbedOutput, RunMetadata, StageClock, StageTiming};
 pub use embedding::{Embedder, Embedding};
 pub use error::NrpError;
 pub use nrp::{Nrp, NrpParams};

@@ -18,8 +18,10 @@ use nrp_graph::Graph;
 use nrp_linalg::RandomizedSvdMethod;
 
 use crate::approx_ppr::{ApproxPpr, ApproxPprParams};
+use crate::config::MethodConfig;
+use crate::context::{EmbedContext, EmbedOutput, StageClock};
 use crate::embedding::{Embedder, Embedding};
-use crate::reweight::{learn_weights, NodeWeights, ReweightConfig};
+use crate::reweight::{learn_weights_with, NodeWeights, ReweightConfig};
 use crate::{NrpError, Result};
 
 /// Parameters of the full NRP pipeline (paper defaults in parentheses).
@@ -65,7 +67,9 @@ impl Default for NrpParams {
 impl NrpParams {
     /// Starts a builder with paper defaults.
     pub fn builder() -> NrpParamsBuilder {
-        NrpParamsBuilder { params: NrpParams::default() }
+        NrpParamsBuilder {
+            params: NrpParams::default(),
+        }
     }
 
     /// Validates parameter ranges.
@@ -76,17 +80,22 @@ impl NrpParams {
                 self.dimension
             )));
         }
-        if self.dimension % 2 != 0 {
+        if !self.dimension.is_multiple_of(2) {
             return Err(NrpError::InvalidParameter(format!(
                 "dimension must be even so it splits into forward/backward halves (got {})",
                 self.dimension
             )));
         }
         if !(self.alpha > 0.0 && self.alpha < 1.0) {
-            return Err(NrpError::InvalidParameter(format!("alpha must be in (0,1), got {}", self.alpha)));
+            return Err(NrpError::InvalidParameter(format!(
+                "alpha must be in (0,1), got {}",
+                self.alpha
+            )));
         }
         if self.num_hops == 0 {
-            return Err(NrpError::InvalidParameter("num_hops (ℓ1) must be at least 1".into()));
+            return Err(NrpError::InvalidParameter(
+                "num_hops (ℓ1) must be at least 1".into(),
+            ));
         }
         if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
             return Err(NrpError::InvalidParameter(format!(
@@ -103,23 +112,23 @@ impl NrpParams {
         Ok(())
     }
 
-    fn approx_ppr_params(&self) -> ApproxPprParams {
+    fn approx_ppr_params(&self, seed: u64) -> ApproxPprParams {
         ApproxPprParams {
             half_dimension: self.dimension / 2,
             alpha: self.alpha,
             num_hops: self.num_hops,
             epsilon: self.epsilon,
             svd_method: self.svd_method,
-            seed: self.seed,
+            seed,
         }
     }
 
-    fn reweight_config(&self) -> ReweightConfig {
+    fn reweight_config(&self, seed: u64) -> ReweightConfig {
         ReweightConfig {
             epochs: self.reweight_epochs,
             lambda: self.lambda,
             exact_b1: self.exact_b1,
-            seed: self.seed.wrapping_add(0x5eed),
+            seed: seed.wrapping_add(0x5eed),
         }
     }
 }
@@ -212,30 +221,63 @@ impl Nrp {
     /// Runs the full pipeline but also returns the learned node weights
     /// (useful for diagnostics and the reweighting ablation benches).
     pub fn embed_with_weights(&self, graph: &Graph) -> Result<(Embedding, NodeWeights)> {
+        let (embedding, weights, _) =
+            self.run_pipeline(graph, &EmbedContext::default(), &mut StageClock::start())?;
+        Ok((embedding, weights))
+    }
+
+    fn run_pipeline(
+        &self,
+        graph: &Graph,
+        ctx: &EmbedContext,
+        clock: &mut StageClock,
+    ) -> Result<(Embedding, NodeWeights, u64)> {
         self.params.validate()?;
-        let approx = ApproxPpr::new(self.params.approx_ppr_params());
-        let (mut x, mut y) = approx.factorize(graph)?;
+        ctx.ensure_active()?;
+        let seed = ctx.seed_or(self.params.seed);
+        let approx = ApproxPpr::new(self.params.approx_ppr_params(seed));
+        let (mut x, mut y) = approx.factorize_with(graph, ctx)?;
+        clock.lap("approx_ppr");
         let weights = if self.params.reweight_epochs > 0 {
-            learn_weights(graph, &x, &y, &self.params.reweight_config())?
+            learn_weights_with(graph, &x, &y, &self.params.reweight_config(seed), ctx)?
         } else {
             NodeWeights::initialize(graph)
         };
+        clock.lap("reweight");
         if self.params.reweight_epochs > 0 {
             x.scale_rows(&weights.forward).map_err(NrpError::Linalg)?;
             y.scale_rows(&weights.backward).map_err(NrpError::Linalg)?;
         }
         let embedding = Embedding::new(x, y, self.name())?;
-        Ok((embedding, weights))
+        clock.lap("scale");
+        Ok((embedding, weights, seed))
     }
 }
 
 impl Embedder for Nrp {
-    fn embed(&self, graph: &Graph) -> Result<Embedding> {
-        Ok(self.embed_with_weights(graph)?.0)
-    }
-
     fn name(&self) -> &'static str {
         "NRP"
+    }
+
+    fn config(&self) -> MethodConfig {
+        let p = &self.params;
+        MethodConfig::Nrp {
+            dimension: p.dimension,
+            alpha: p.alpha,
+            num_hops: p.num_hops,
+            reweight_epochs: p.reweight_epochs,
+            epsilon: p.epsilon,
+            lambda: p.lambda,
+            svd_method: p.svd_method,
+            exact_b1: p.exact_b1,
+            seed: p.seed,
+        }
+    }
+
+    fn embed(&self, graph: &Graph, ctx: &EmbedContext) -> Result<EmbedOutput> {
+        let mut clock = StageClock::start();
+        let (embedding, _, seed) = self.run_pipeline(graph, ctx, &mut clock)?;
+        Ok(EmbedOutput::new(embedding, self.config(), seed, ctx, clock))
     }
 }
 
@@ -280,8 +322,9 @@ mod tests {
 
     #[test]
     fn embedding_has_expected_shape() {
-        let (g, _) = stochastic_block_model(&[25, 25], 0.2, 0.02, GraphKind::Undirected, 3).unwrap();
-        let e = Nrp::new(small_params(16, 3)).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[25, 25], 0.2, 0.02, GraphKind::Undirected, 3).unwrap();
+        let e = Nrp::new(small_params(16, 3)).embed_default(&g).unwrap();
         assert_eq!(e.num_nodes(), 50);
         assert_eq!(e.dimension(), 16);
         assert_eq!(e.half_dimension(), 8);
@@ -305,7 +348,7 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        let e = nrp.embed(&g).unwrap();
+        let e = nrp.embed_default(&g).unwrap();
         assert!(
             e.score(V2, V4) > e.score(V9, V7),
             "NRP should rank (v2,v4) above (v9,v7): {} vs {}",
@@ -323,7 +366,7 @@ mod tests {
             .seed(5)
             .build()
             .unwrap();
-        let nrp_embedding = Nrp::new(params.clone()).embed(&g).unwrap();
+        let nrp_embedding = Nrp::new(params.clone()).embed_default(&g).unwrap();
         let approx = crate::approx_ppr::ApproxPpr::new(ApproxPprParams {
             half_dimension: 4,
             alpha: params.alpha,
@@ -332,7 +375,7 @@ mod tests {
             svd_method: params.svd_method,
             seed: params.seed,
         })
-        .embed(&g)
+        .embed_default(&g)
         .unwrap();
         for u in 0..9 {
             for v in 0..9 {
@@ -347,9 +390,10 @@ mod tests {
         let nrp = Nrp::new(small_params(8, 9));
         let (embedding, weights) = nrp.embed_with_weights(&g).unwrap();
         // Recompute the unweighted factors and check the scaling.
-        let (x, _) = crate::approx_ppr::ApproxPpr::new(nrp.params.approx_ppr_params())
-            .factorize(&g)
-            .unwrap();
+        let (x, _) =
+            crate::approx_ppr::ApproxPpr::new(nrp.params.approx_ppr_params(nrp.params.seed))
+                .factorize(&g)
+                .unwrap();
         for u in 0..g.num_nodes() {
             for c in 0..x.cols() {
                 let expected = x.get(u, c) * weights.forward[u];
@@ -360,8 +404,9 @@ mod tests {
 
     #[test]
     fn directed_embeddings_preserve_asymmetry() {
-        let (g, _) = stochastic_block_model(&[30, 30], 0.12, 0.01, GraphKind::Directed, 11).unwrap();
-        let e = Nrp::new(small_params(16, 11)).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[30, 30], 0.12, 0.01, GraphKind::Directed, 11).unwrap();
+        let e = Nrp::new(small_params(16, 11)).embed_default(&g).unwrap();
         let mut asymmetric = 0;
         let mut total = 0;
         for (u, v) in g.arcs().take(100) {
@@ -373,21 +418,26 @@ mod tests {
             }
         }
         assert!(total > 0);
-        assert!(asymmetric * 3 > total * 2, "{asymmetric}/{total} one-way arcs scored higher forward");
+        assert!(
+            asymmetric * 3 > total * 2,
+            "{asymmetric}/{total} one-way arcs scored higher forward"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let (g, _) = stochastic_block_model(&[20, 20], 0.2, 0.02, GraphKind::Undirected, 7).unwrap();
-        let a = Nrp::new(small_params(8, 42)).embed(&g).unwrap();
-        let b = Nrp::new(small_params(8, 42)).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[20, 20], 0.2, 0.02, GraphKind::Undirected, 7).unwrap();
+        let a = Nrp::new(small_params(8, 42)).embed_default(&g).unwrap();
+        let b = Nrp::new(small_params(8, 42)).embed_default(&g).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn edge_scores_exceed_non_edge_scores_on_average() {
-        let (g, _) = stochastic_block_model(&[30, 30], 0.25, 0.02, GraphKind::Undirected, 19).unwrap();
-        let e = Nrp::new(small_params(16, 19)).embed(&g).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[30, 30], 0.25, 0.02, GraphKind::Undirected, 19).unwrap();
+        let e = Nrp::new(small_params(16, 19)).embed_default(&g).unwrap();
         let mut edge_score = 0.0;
         let mut edge_count = 0usize;
         for (u, v) in g.edges() {

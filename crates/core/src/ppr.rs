@@ -26,7 +26,9 @@ impl PprMatrix {
     pub fn exact(graph: &Graph, alpha: f64, tol: f64) -> Result<Self> {
         validate_alpha(alpha)?;
         if tol <= 0.0 || tol >= 1.0 {
-            return Err(NrpError::InvalidParameter(format!("tol must be in (0,1), got {tol}")));
+            return Err(NrpError::InvalidParameter(format!(
+                "tol must be in (0,1), got {tol}"
+            )));
         }
         let n = graph.num_nodes();
         let op = TransitionOperator::new(graph);
@@ -48,7 +50,10 @@ impl PprMatrix {
                 break;
             }
         }
-        Ok(Self { values: result, alpha })
+        Ok(Self {
+            values: result,
+            alpha,
+        })
     }
 
     /// The decay factor used.
@@ -128,7 +133,9 @@ pub fn single_source_ppr(graph: &Graph, source: NodeId, alpha: f64, tol: f64) ->
 
 fn validate_alpha(alpha: f64) -> Result<()> {
     if !(alpha > 0.0 && alpha < 1.0) {
-        return Err(NrpError::InvalidParameter(format!("alpha must be in (0,1), got {alpha}")));
+        return Err(NrpError::InvalidParameter(format!(
+            "alpha must be in (0,1), got {alpha}"
+        )));
     }
     Ok(())
 }
@@ -233,8 +240,16 @@ mod tests {
         let g = example_graph();
         let ppr = PprMatrix::exact(&g, 0.15, TOL).unwrap();
         // Table 1 reports π(v2,v4) = 0.118 and π(v9,v7) = 0.168.
-        assert!((ppr.get(V2, V4) - 0.118).abs() < 0.05, "π(v2,v4) = {}", ppr.get(V2, V4));
-        assert!((ppr.get(V9, V7) - 0.168).abs() < 0.05, "π(v9,v7) = {}", ppr.get(V9, V7));
+        assert!(
+            (ppr.get(V2, V4) - 0.118).abs() < 0.05,
+            "π(v2,v4) = {}",
+            ppr.get(V2, V4)
+        );
+        assert!(
+            (ppr.get(V9, V7) - 0.168).abs() < 0.05,
+            "π(v9,v7) = {}",
+            ppr.get(V9, V7)
+        );
     }
 
     #[test]

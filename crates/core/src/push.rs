@@ -33,14 +33,20 @@ pub struct PushResult {
 /// `r_max` (smaller `r_max` → more accurate, more work).
 pub fn forward_push(graph: &Graph, source: NodeId, alpha: f64, r_max: f64) -> Result<PushResult> {
     if !(alpha > 0.0 && alpha < 1.0) {
-        return Err(NrpError::InvalidParameter(format!("alpha must be in (0,1), got {alpha}")));
+        return Err(NrpError::InvalidParameter(format!(
+            "alpha must be in (0,1), got {alpha}"
+        )));
     }
     if r_max <= 0.0 {
-        return Err(NrpError::InvalidParameter(format!("r_max must be positive, got {r_max}")));
+        return Err(NrpError::InvalidParameter(format!(
+            "r_max must be positive, got {r_max}"
+        )));
     }
     let n = graph.num_nodes();
     if (source as usize) >= n {
-        return Err(NrpError::InvalidParameter(format!("source {source} out of bounds for {n} nodes")));
+        return Err(NrpError::InvalidParameter(format!(
+            "source {source} out of bounds for {n} nodes"
+        )));
     }
     let mut reserve = vec![0.0_f64; n];
     let mut residue = vec![0.0_f64; n];
@@ -86,7 +92,11 @@ pub fn forward_push(graph: &Graph, source: NodeId, alpha: f64, r_max: f64) -> Re
         .map(|(v, &p)| (v as NodeId, p))
         .collect();
     let residual_mass: f64 = residue.iter().sum();
-    Ok(PushResult { estimates, residual_mass, num_pushes })
+    Ok(PushResult {
+        estimates,
+        residual_mass,
+        num_pushes,
+    })
 }
 
 #[cfg(test)]
@@ -113,7 +123,8 @@ mod tests {
 
     #[test]
     fn tighter_rmax_gives_smaller_residual() {
-        let (g, _) = stochastic_block_model(&[50, 50], 0.1, 0.01, GraphKind::Undirected, 1).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[50, 50], 0.1, 0.01, GraphKind::Undirected, 1).unwrap();
         let loose = forward_push(&g, 3, 0.15, 1e-2).unwrap();
         let tight = forward_push(&g, 3, 0.15, 1e-5).unwrap();
         assert!(tight.residual_mass <= loose.residual_mass + 1e-12);
@@ -125,12 +136,17 @@ mod tests {
         let g = cycle(8).unwrap();
         let exact = single_source_ppr(&g, 2, 0.2, 1e-12).unwrap();
         let push = forward_push(&g, 2, 0.2, 1e-8).unwrap();
-        let mut approx = vec![0.0; 8];
+        let mut approx = [0.0; 8];
         for (v, p) in push.estimates {
             approx[v as usize] = p;
         }
         for v in 0..8 {
-            assert!((approx[v] - exact[v]).abs() < 1e-4, "node {v}: {} vs {}", approx[v], exact[v]);
+            assert!(
+                (approx[v] - exact[v]).abs() < 1e-4,
+                "node {v}: {} vs {}",
+                approx[v],
+                exact[v]
+            );
         }
     }
 

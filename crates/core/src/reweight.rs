@@ -21,6 +21,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::context::EmbedContext;
 use crate::{NrpError, Result};
 
 /// Configuration of the coordinate-descent reweighting.
@@ -40,7 +41,12 @@ pub struct ReweightConfig {
 
 impl Default for ReweightConfig {
     fn default() -> Self {
-        Self { epochs: 10, lambda: 10.0, exact_b1: false, seed: 0 }
+        Self {
+            epochs: 10,
+            lambda: 10.0,
+            exact_b1: false,
+            seed: 0,
+        }
     }
 }
 
@@ -56,7 +62,9 @@ pub struct NodeWeights {
 impl NodeWeights {
     /// The paper's initialization: `w⃗_v = dout(v)`, `w⃖_v = 1`.
     pub fn initialize(graph: &Graph) -> Self {
-        let forward = (0..graph.num_nodes()).map(|u| graph.out_degree(u as u32) as f64).collect();
+        let forward = (0..graph.num_nodes())
+            .map(|u| graph.out_degree(u as u32) as f64)
+            .collect();
         let backward = vec![1.0; graph.num_nodes()];
         Self { forward, backward }
     }
@@ -86,10 +94,24 @@ pub fn learn_weights(
     y: &DenseMatrix,
     config: &ReweightConfig,
 ) -> Result<NodeWeights> {
+    learn_weights_with(graph, x, y, config, &EmbedContext::default())
+}
+
+/// [`learn_weights`] under an explicit execution context: cancellation is
+/// honoured between epochs (each epoch is `O(nk'²)`, so that is the natural
+/// responsiveness granularity).
+pub fn learn_weights_with(
+    graph: &Graph,
+    x: &DenseMatrix,
+    y: &DenseMatrix,
+    config: &ReweightConfig,
+    ctx: &EmbedContext,
+) -> Result<NodeWeights> {
     validate(graph, x, y)?;
     let mut weights = NodeWeights::initialize(graph);
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     for epoch in 0..config.epochs {
+        ctx.ensure_active()?;
         update_backward_weights(graph, x, y, &mut weights, config, &mut rng)
             .map_err(|e| annotate(e, epoch))?;
         update_forward_weights(graph, x, y, &mut weights, config, &mut rng)
@@ -124,7 +146,9 @@ fn validate(graph: &Graph, x: &DenseMatrix, y: &DenseMatrix) -> Result<()> {
         )));
     }
     if x.cols() == 0 {
-        return Err(NrpError::InvalidParameter("embeddings must have at least one column".into()));
+        return Err(NrpError::InvalidParameter(
+            "embeddings must have at least one column".into(),
+        ));
     }
     Ok(())
 }
@@ -210,7 +234,11 @@ pub fn update_backward_weights(
         };
 
         let denom = b1 + b2 + config.lambda;
-        let w_new = if denom > 0.0 { ((a1 + a2 - a3) / denom).max(floor) } else { floor };
+        let w_new = if denom > 0.0 {
+            ((a1 + a2 - a3) / denom).max(floor)
+        } else {
+            floor
+        };
         if !w_new.is_finite() {
             return Err(NrpError::InvalidParameter(format!(
                 "backward weight for node {v_star} became non-finite"
@@ -306,7 +334,11 @@ pub fn update_forward_weights(
         };
 
         let denom = b1 + b2 + config.lambda;
-        let w_new = if denom > 0.0 { ((a1 + a2 - a3) / denom).max(floor) } else { floor };
+        let w_new = if denom > 0.0 {
+            ((a1 + a2 - a3) / denom).max(floor)
+        } else {
+            floor
+        };
         if !w_new.is_finite() {
             return Err(NrpError::InvalidParameter(format!(
                 "forward weight for node {u_star} became non-finite"
@@ -364,8 +396,8 @@ pub fn objective_value(
     }
     // Ridge penalty.
     for u in 0..n {
-        total += lambda * (weights.forward[u] * weights.forward[u]
-            + weights.backward[u] * weights.backward[u]);
+        total += lambda
+            * (weights.forward[u] * weights.forward[u] + weights.backward[u] * weights.backward[u]);
     }
     total
 }
@@ -444,9 +476,13 @@ mod tests {
     use nrp_graph::GraphKind;
 
     fn factors(graph: &Graph, dim: usize, seed: u64) -> (DenseMatrix, DenseMatrix) {
-        ApproxPpr::new(ApproxPprParams { half_dimension: dim, seed, ..Default::default() })
-            .factorize(graph)
-            .unwrap()
+        ApproxPpr::new(ApproxPprParams {
+            half_dimension: dim,
+            seed,
+            ..Default::default()
+        })
+        .factorize(graph)
+        .unwrap()
     }
 
     /// The accelerated per-node terms (re-derived outside of the update loop)
@@ -496,19 +532,33 @@ mod tests {
             let w_bwd = weights.backward[v_star];
             let xy = dot(xv, yv);
             let a1 = dot(&xi, yv);
-            let chi_minus: f64 =
-                (0..k).map(|r| (chi[r] - w_fwd * xv[r]) * yv[r]).sum();
+            let chi_minus: f64 = (0..k).map(|r| (chi[r] - w_fwd * xv[r]) * yv[r]).sum();
             let a2 = g.in_degree(v_star as u32) as f64 * chi_minus;
             let b2 = chi_minus * chi_minus;
             let lam_y = mat_vec(&lambda_mat, yv);
             let a3 = dot(&rho1, &lam_y) - w_bwd * dot(yv, &lam_y) - dot(&rho2, yv)
                 + w_bwd * xy * xy * w_fwd * w_fwd;
             let b1_exact = dot(yv, &lam_y) - w_fwd * w_fwd * xy * xy;
-            assert!((a1 - na1).abs() < 1e-9, "a1 mismatch at {v_star}: {a1} vs {na1}");
-            assert!((a2 - na2).abs() < 1e-9, "a2 mismatch at {v_star}: {a2} vs {na2}");
-            assert!((a3 - na3).abs() < 1e-8, "a3 mismatch at {v_star}: {a3} vs {na3}");
-            assert!((b1_exact - nb1).abs() < 1e-9, "b1 mismatch at {v_star}: {b1_exact} vs {nb1}");
-            assert!((b2 - nb2).abs() < 1e-9, "b2 mismatch at {v_star}: {b2} vs {nb2}");
+            assert!(
+                (a1 - na1).abs() < 1e-9,
+                "a1 mismatch at {v_star}: {a1} vs {na1}"
+            );
+            assert!(
+                (a2 - na2).abs() < 1e-9,
+                "a2 mismatch at {v_star}: {a2} vs {na2}"
+            );
+            assert!(
+                (a3 - na3).abs() < 1e-8,
+                "a3 mismatch at {v_star}: {a3} vs {na3}"
+            );
+            assert!(
+                (b1_exact - nb1).abs() < 1e-9,
+                "b1 mismatch at {v_star}: {b1_exact} vs {nb1}"
+            );
+            assert!(
+                (b2 - nb2).abs() < 1e-9,
+                "b2 mismatch at {v_star}: {b2} vs {nb2}"
+            );
         }
     }
 
@@ -537,16 +587,28 @@ mod tests {
                 .map(|r| yv[r] * yv[r] * (phi[r] - wf * wf * xv[r] * xv[r]))
                 .sum();
             let approx = k / 2.0 * middle;
-            assert!(approx >= b1_naive / 2.0 - 1e-9, "approx {approx} below b1/2 {}", b1_naive / 2.0);
-            assert!(approx >= -1e-12, "approx b1 must be non-negative, got {approx}");
+            assert!(
+                approx >= b1_naive / 2.0 - 1e-9,
+                "approx {approx} below b1/2 {}",
+                b1_naive / 2.0
+            );
+            assert!(
+                approx >= -1e-12,
+                "approx b1 must be non-negative, got {approx}"
+            );
         }
     }
 
     #[test]
     fn objective_decreases_from_initialization() {
-        let (g, _) = stochastic_block_model(&[20, 20], 0.25, 0.03, GraphKind::Undirected, 5).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[20, 20], 0.25, 0.03, GraphKind::Undirected, 5).unwrap();
         let (x, y) = factors(&g, 8, 5);
-        let config = ReweightConfig { epochs: 10, lambda: 1.0, ..Default::default() };
+        let config = ReweightConfig {
+            epochs: 10,
+            lambda: 1.0,
+            ..Default::default()
+        };
         let initial = NodeWeights::initialize(&g);
         let initial_obj = objective_value(&g, &x, &y, &initial, config.lambda);
         let learned = learn_weights(&g, &x, &y, &config).unwrap();
@@ -561,7 +623,12 @@ mod tests {
     fn exact_b1_variant_also_decreases_objective() {
         let (g, _) = stochastic_block_model(&[15, 15], 0.3, 0.02, GraphKind::Directed, 9).unwrap();
         let (x, y) = factors(&g, 6, 9);
-        let config = ReweightConfig { epochs: 8, lambda: 1.0, exact_b1: true, ..Default::default() };
+        let config = ReweightConfig {
+            epochs: 8,
+            lambda: 1.0,
+            exact_b1: true,
+            ..Default::default()
+        };
         let initial_obj = objective_value(&g, &x, &y, &NodeWeights::initialize(&g), config.lambda);
         let learned = learn_weights(&g, &x, &y, &config).unwrap();
         let final_obj = objective_value(&g, &x, &y, &learned, config.lambda);
@@ -570,7 +637,8 @@ mod tests {
 
     #[test]
     fn weights_respect_lower_bound() {
-        let (g, _) = stochastic_block_model(&[25, 25], 0.2, 0.02, GraphKind::Undirected, 13).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[25, 25], 0.2, 0.02, GraphKind::Undirected, 13).unwrap();
         let (x, y) = factors(&g, 8, 13);
         let learned = learn_weights(&g, &x, &y, &ReweightConfig::default()).unwrap();
         let floor = 1.0 / g.num_nodes() as f64;
@@ -584,9 +652,14 @@ mod tests {
     fn reweighting_improves_degree_matching() {
         // The point of the scheme: total embedded strength per node should move
         // towards the node degrees.
-        let (g, _) = stochastic_block_model(&[20, 20], 0.25, 0.03, GraphKind::Undirected, 17).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[20, 20], 0.25, 0.03, GraphKind::Undirected, 17).unwrap();
         let (x, y) = factors(&g, 8, 17);
-        let config = ReweightConfig { epochs: 10, lambda: 1.0, ..Default::default() };
+        let config = ReweightConfig {
+            epochs: 10,
+            lambda: 1.0,
+            ..Default::default()
+        };
         let learned = learn_weights(&g, &x, &y, &config).unwrap();
         let gap = |weights: &NodeWeights| {
             let n = g.num_nodes();
@@ -605,14 +678,20 @@ mod tests {
         };
         let before = gap(&NodeWeights::initialize(&g));
         let after = gap(&learned);
-        assert!(after < before, "out-degree gap should shrink: before {before}, after {after}");
+        assert!(
+            after < before,
+            "out-degree gap should shrink: before {before}, after {after}"
+        );
     }
 
     #[test]
     fn zero_epochs_returns_initial_weights() {
         let g = example_graph();
         let (x, y) = factors(&g, 4, 21);
-        let config = ReweightConfig { epochs: 0, ..Default::default() };
+        let config = ReweightConfig {
+            epochs: 0,
+            ..Default::default()
+        };
         let learned = learn_weights(&g, &x, &y, &config).unwrap();
         assert_eq!(learned, NodeWeights::initialize(&g));
     }
@@ -630,9 +709,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let (g, _) = stochastic_block_model(&[15, 15], 0.2, 0.02, GraphKind::Undirected, 23).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[15, 15], 0.2, 0.02, GraphKind::Undirected, 23).unwrap();
         let (x, y) = factors(&g, 6, 23);
-        let config = ReweightConfig { epochs: 5, seed: 7, ..Default::default() };
+        let config = ReweightConfig {
+            epochs: 5,
+            seed: 7,
+            ..Default::default()
+        };
         let a = learn_weights(&g, &x, &y, &config).unwrap();
         let b = learn_weights(&g, &x, &y, &config).unwrap();
         assert_eq!(a, b);

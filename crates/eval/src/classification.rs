@@ -28,7 +28,11 @@ pub struct ClassificationConfig {
 
 impl Default for ClassificationConfig {
     fn default() -> Self {
-        Self { train_ratio: 0.5, logreg: LogRegConfig::default(), seed: 0 }
+        Self {
+            train_ratio: 0.5,
+            logreg: LogRegConfig::default(),
+            seed: 0,
+        }
     }
 }
 
@@ -70,7 +74,7 @@ impl NodeClassification {
         labels: &[Vec<u32>],
         embedder: &E,
     ) -> Result<ClassificationReport> {
-        let embedding = embedder.embed(graph)?;
+        let embedding = embedder.embed_default(graph)?;
         self.evaluate_embedding(&embedding, labels)
     }
 
@@ -89,9 +93,13 @@ impl NodeClassification {
         }
         // Only labelled nodes participate (the paper's datasets label every node,
         // but the SBM generator may leave nodes unlabelled when noise is high).
-        let labelled: Vec<usize> = (0..labels.len()).filter(|&v| !labels[v].is_empty()).collect();
+        let labelled: Vec<usize> = (0..labels.len())
+            .filter(|&v| !labels[v].is_empty())
+            .collect();
         if labelled.len() < 4 {
-            return Err(EvalError::Degenerate("need at least four labelled nodes".into()));
+            return Err(EvalError::Degenerate(
+                "need at least four labelled nodes".into(),
+            ));
         }
         let num_labels = labels
             .iter()
@@ -100,17 +108,27 @@ impl NodeClassification {
             .map(|&m| m as usize + 1)
             .ok_or_else(|| EvalError::Degenerate("no labels present".into()))?;
 
-        let (train_idx, test_idx) = train_test_nodes(labelled.len(), self.config.train_ratio, self.config.seed)?;
+        let (train_idx, test_idx) =
+            train_test_nodes(labelled.len(), self.config.train_ratio, self.config.seed)?;
         let train_nodes: Vec<usize> = train_idx.iter().map(|&i| labelled[i]).collect();
         let test_nodes: Vec<usize> = test_idx.iter().map(|&i| labelled[i]).collect();
         if train_nodes.is_empty() || test_nodes.is_empty() {
-            return Err(EvalError::Degenerate("train/test split produced an empty side".into()));
+            return Err(EvalError::Degenerate(
+                "train/test split produced an empty side".into(),
+            ));
         }
 
-        let train_features: Vec<Vec<f64>> =
-            train_nodes.iter().map(|&v| embedding.classification_features(v as u32)).collect();
+        let train_features: Vec<Vec<f64>> = train_nodes
+            .iter()
+            .map(|&v| embedding.classification_features(v as u32))
+            .collect();
         let train_labels: Vec<Vec<u32>> = train_nodes.iter().map(|&v| labels[v].clone()).collect();
-        let model = OneVsRest::train(&train_features, &train_labels, num_labels, &self.config.logreg)?;
+        let model = OneVsRest::train(
+            &train_features,
+            &train_labels,
+            num_labels,
+            &self.config.logreg,
+        )?;
 
         let mut truth = Vec::with_capacity(test_nodes.len());
         let mut predicted = Vec::with_capacity(test_nodes.len());
@@ -159,7 +177,9 @@ mod tests {
     #[test]
     fn recovers_planted_communities() {
         let (g, labels) = labelled_sbm(1);
-        let report = NodeClassification::default().evaluate(&g, &labels, &nrp(1)).unwrap();
+        let report = NodeClassification::default()
+            .evaluate(&g, &labels, &nrp(1))
+            .unwrap();
         assert!(report.micro_f1 > 0.7, "micro-F1 {}", report.micro_f1);
         assert!(report.macro_f1 > 0.6, "macro-F1 {}", report.macro_f1);
         assert!(report.num_train > 0 && report.num_test > 0);
@@ -168,13 +188,21 @@ mod tests {
     #[test]
     fn more_training_data_does_not_hurt_much() {
         let (g, labels) = labelled_sbm(2);
-        let embedding = nrp(2).embed(&g).unwrap();
-        let low = NodeClassification::new(ClassificationConfig { train_ratio: 0.2, seed: 3, ..Default::default() })
-            .evaluate_embedding(&embedding, &labels)
-            .unwrap();
-        let high = NodeClassification::new(ClassificationConfig { train_ratio: 0.8, seed: 3, ..Default::default() })
-            .evaluate_embedding(&embedding, &labels)
-            .unwrap();
+        let embedding = nrp(2).embed_default(&g).unwrap();
+        let low = NodeClassification::new(ClassificationConfig {
+            train_ratio: 0.2,
+            seed: 3,
+            ..Default::default()
+        })
+        .evaluate_embedding(&embedding, &labels)
+        .unwrap();
+        let high = NodeClassification::new(ClassificationConfig {
+            train_ratio: 0.8,
+            seed: 3,
+            ..Default::default()
+        })
+        .evaluate_embedding(&embedding, &labels)
+        .unwrap();
         assert!(high.micro_f1 >= low.micro_f1 - 0.1);
     }
 
@@ -189,7 +217,9 @@ mod tests {
         )
         .unwrap();
         let task = NodeClassification::default();
-        let trained = task.evaluate_embedding(&nrp(3).embed(&g).unwrap(), &labels).unwrap();
+        let trained = task
+            .evaluate_embedding(&nrp(3).embed_default(&g).unwrap(), &labels)
+            .unwrap();
         let baseline = task.evaluate_embedding(&random, &labels).unwrap();
         assert!(
             trained.micro_f1 > baseline.micro_f1,
@@ -205,7 +235,9 @@ mod tests {
             stochastic_block_model(&[30, 30], 0.2, 0.02, GraphKind::Undirected, 4).unwrap();
         let labels = planted_labels(&community, 4, 0.05, 0.4, 4);
         assert!(labels.iter().any(|ls| ls.len() > 1));
-        let report = NodeClassification::default().evaluate(&g, &labels, &nrp(4)).unwrap();
+        let report = NodeClassification::default()
+            .evaluate(&g, &labels, &nrp(4))
+            .unwrap();
         assert!(report.micro_f1 > 0.3);
     }
 
@@ -218,23 +250,30 @@ mod tests {
         for ls in labels.iter_mut().take(20) {
             ls.clear();
         }
-        let report = NodeClassification::default().evaluate(&g, &labels, &nrp(5)).unwrap();
+        let report = NodeClassification::default()
+            .evaluate(&g, &labels, &nrp(5))
+            .unwrap();
         assert_eq!(report.num_train + report.num_test, 40);
     }
 
     #[test]
     fn mismatched_label_length_rejected() {
         let (g, labels) = labelled_sbm(6);
-        let embedding = nrp(6).embed(&g).unwrap();
+        let embedding = nrp(6).embed_default(&g).unwrap();
         let short = &labels[..10].to_vec();
-        assert!(NodeClassification::default().evaluate_embedding(&embedding, short).is_err());
+        assert!(NodeClassification::default()
+            .evaluate_embedding(&embedding, short)
+            .is_err());
     }
 
     #[test]
     fn all_unlabelled_rejected() {
-        let (g, _) = stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 7).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 7).unwrap();
         let labels = vec![Vec::new(); g.num_nodes()];
-        let embedding = nrp(7).embed(&g).unwrap();
-        assert!(NodeClassification::default().evaluate_embedding(&embedding, &labels).is_err());
+        let embedding = nrp(7).embed_default(&g).unwrap();
+        assert!(NodeClassification::default()
+            .evaluate_embedding(&embedding, &labels)
+            .is_err());
     }
 }

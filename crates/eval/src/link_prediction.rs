@@ -46,7 +46,11 @@ pub struct LinkPredictionConfig {
 
 impl Default for LinkPredictionConfig {
     fn default() -> Self {
-        Self { remove_ratio: 0.3, scoring: ScoringStrategy::InnerProduct, seed: 0 }
+        Self {
+            remove_ratio: 0.3,
+            scoring: ScoringStrategy::InnerProduct,
+            seed: 0,
+        }
     }
 }
 
@@ -80,10 +84,19 @@ impl LinkPrediction {
 
     /// Runs the full protocol: split, embed the training graph with
     /// `embedder`, and score the held-out pairs.
-    pub fn evaluate<E: Embedder + ?Sized>(&self, graph: &Graph, embedder: &E) -> Result<LinkPredictionOutcome> {
+    pub fn evaluate<E: Embedder + ?Sized>(
+        &self,
+        graph: &Graph,
+        embedder: &E,
+    ) -> Result<LinkPredictionOutcome> {
         let split = link_prediction_split(graph, self.config.remove_ratio, self.config.seed)?;
-        let embedding = embedder.embed(&split.train_graph)?;
-        self.evaluate_pairs(&split.train_graph, &embedding, &split.positive_pairs, &split.negative_pairs)
+        let embedding = embedder.embed_default(&split.train_graph)?;
+        self.evaluate_pairs(
+            &split.train_graph,
+            &embedding,
+            &split.positive_pairs,
+            &split.negative_pairs,
+        )
     }
 
     /// Dynamic-graph variant (paper Fig. 9): the embedding is built on the
@@ -119,8 +132,10 @@ impl LinkPrediction {
             )));
         }
         let scorer = self.build_scorer(train_graph, embedding)?;
-        let positive_scores: Vec<f64> = positives.iter().map(|&(u, v)| scorer.score(u, v)).collect();
-        let negative_scores: Vec<f64> = negatives.iter().map(|&(u, v)| scorer.score(u, v)).collect();
+        let positive_scores: Vec<f64> =
+            positives.iter().map(|&(u, v)| scorer.score(u, v)).collect();
+        let negative_scores: Vec<f64> =
+            negatives.iter().map(|&(u, v)| scorer.score(u, v)).collect();
         let auc = auc(&positive_scores, &negative_scores)?;
         Ok(LinkPredictionOutcome {
             auc,
@@ -129,7 +144,11 @@ impl LinkPrediction {
         })
     }
 
-    fn build_scorer<'a>(&self, train_graph: &Graph, embedding: &'a Embedding) -> Result<PairScorer<'a>> {
+    fn build_scorer<'a>(
+        &self,
+        train_graph: &Graph,
+        embedding: &'a Embedding,
+    ) -> Result<PairScorer<'a>> {
         match self.config.scoring {
             ScoringStrategy::InnerProduct => Ok(PairScorer::InnerProduct(embedding)),
             ScoringStrategy::EdgeFeatures => {
@@ -154,7 +173,10 @@ impl LinkPrediction {
                 let model = LogisticRegression::train(
                     &features,
                     &labels,
-                    &LogRegConfig { epochs: 150, ..Default::default() },
+                    &LogRegConfig {
+                        epochs: 150,
+                        ..Default::default()
+                    },
                 )?;
                 Ok(PairScorer::EdgeFeatures { embedding, model })
             }
@@ -164,7 +186,10 @@ impl LinkPrediction {
 
 enum PairScorer<'a> {
     InnerProduct(&'a Embedding),
-    EdgeFeatures { embedding: &'a Embedding, model: LogisticRegression },
+    EdgeFeatures {
+        embedding: &'a Embedding,
+        model: LogisticRegression,
+    },
 }
 
 impl PairScorer<'_> {
@@ -194,7 +219,9 @@ mod tests {
     use nrp_linalg::DenseMatrix;
 
     fn sbm(kind: GraphKind, seed: u64) -> Graph {
-        stochastic_block_model(&[40, 40, 40], 0.25, 0.01, kind, seed).unwrap().0
+        stochastic_block_model(&[40, 40, 40], 0.25, 0.01, kind, seed)
+            .unwrap()
+            .0
     }
 
     fn nrp(k: usize, seed: u64) -> Nrp {
@@ -220,15 +247,26 @@ mod tests {
     #[test]
     fn nrp_at_least_matches_approx_ppr() {
         // The headline claim of the paper: reweighting does not hurt and
-        // typically helps link prediction.
-        let g = sbm(GraphKind::Undirected, 2);
-        let task = LinkPrediction::default();
-        let nrp_auc = task.evaluate(&g, &nrp(16, 2)).unwrap().auc;
-        let approx = ApproxPpr::new(ApproxPprParams { half_dimension: 8, seed: 2, ..Default::default() });
-        let approx_auc = task.evaluate(&g, &approx).unwrap().auc;
+        // typically helps link prediction.  A single split/seed draw can swing
+        // either method's AUC by a few points, so compare averages over a few
+        // seeds rather than one pinned draw.
+        let mut nrp_mean = 0.0;
+        let mut approx_mean = 0.0;
+        let seeds = [2u64, 3, 4];
+        for &seed in &seeds {
+            let g = sbm(GraphKind::Undirected, seed);
+            let task = LinkPrediction::default();
+            nrp_mean += task.evaluate(&g, &nrp(16, seed)).unwrap().auc / seeds.len() as f64;
+            let approx = ApproxPpr::new(ApproxPprParams {
+                half_dimension: 8,
+                seed,
+                ..Default::default()
+            });
+            approx_mean += task.evaluate(&g, &approx).unwrap().auc / seeds.len() as f64;
+        }
         assert!(
-            nrp_auc >= approx_auc - 0.03,
-            "NRP ({nrp_auc}) should not trail ApproxPPR ({approx_auc}) by a wide margin"
+            nrp_mean >= approx_mean - 0.03,
+            "NRP ({nrp_mean}) should not trail ApproxPPR ({approx_mean}) by a wide margin"
         );
     }
 
@@ -246,14 +284,16 @@ mod tests {
             scoring: ScoringStrategy::EdgeFeatures,
             ..Default::default()
         };
-        let outcome = LinkPrediction::new(config).evaluate(&g, &nrp(8, 4)).unwrap();
+        let outcome = LinkPrediction::new(config)
+            .evaluate(&g, &nrp(8, 4))
+            .unwrap();
         assert!(outcome.auc > 0.6, "AUC {}", outcome.auc);
     }
 
     #[test]
     fn dynamic_new_edge_prediction() {
         let instance = evolving_sbm(&EvolvingSbmParams::default()).unwrap();
-        let embedding = nrp(16, 5).embed(&instance.old_graph).unwrap();
+        let embedding = nrp(16, 5).embed_default(&instance.old_graph).unwrap();
         let outcome = LinkPrediction::default()
             .evaluate_new_edges(&instance.old_graph, &embedding, &instance.new_edges)
             .unwrap();
@@ -272,15 +312,25 @@ mod tests {
         .unwrap();
         let split = crate::split::link_prediction_split(&g, 0.3, 6).unwrap();
         let outcome = LinkPrediction::default()
-            .evaluate_pairs(&split.train_graph, &random, &split.positive_pairs, &split.negative_pairs)
+            .evaluate_pairs(
+                &split.train_graph,
+                &random,
+                &split.positive_pairs,
+                &split.negative_pairs,
+            )
             .unwrap();
-        assert!((outcome.auc - 0.5).abs() < 0.15, "random AUC {}", outcome.auc);
+        assert!(
+            (outcome.auc - 0.5).abs() < 0.15,
+            "random AUC {}",
+            outcome.auc
+        );
     }
 
     #[test]
     fn mismatched_embedding_rejected() {
         let g = sbm(GraphKind::Undirected, 7);
-        let tiny = Embedding::new(DenseMatrix::zeros(3, 2), DenseMatrix::zeros(3, 2), "tiny").unwrap();
+        let tiny =
+            Embedding::new(DenseMatrix::zeros(3, 2), DenseMatrix::zeros(3, 2), "tiny").unwrap();
         let split = crate::split::link_prediction_split(&g, 0.3, 7).unwrap();
         let result = LinkPrediction::default().evaluate_pairs(
             &split.train_graph,
@@ -294,7 +344,9 @@ mod tests {
     #[test]
     fn empty_new_edges_rejected() {
         let g = sbm(GraphKind::Undirected, 8);
-        let embedding = nrp(8, 8).embed(&g).unwrap();
-        assert!(LinkPrediction::default().evaluate_new_edges(&g, &embedding, &[]).is_err());
+        let embedding = nrp(8, 8).embed_default(&g).unwrap();
+        assert!(LinkPrediction::default()
+            .evaluate_new_edges(&g, &embedding, &[])
+            .is_err());
     }
 }

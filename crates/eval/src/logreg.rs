@@ -34,7 +34,11 @@ pub struct LogRegConfig {
 
 impl Default for LogRegConfig {
     fn default() -> Self {
-        Self { learning_rate: 0.5, epochs: 300, l2: 1e-4 }
+        Self {
+            learning_rate: 0.5,
+            epochs: 300,
+            l2: 1e-4,
+        }
     }
 }
 
@@ -51,7 +55,9 @@ impl LogisticRegression {
         }
         let dim = features[0].len();
         if dim == 0 || features.iter().any(|f| f.len() != dim) {
-            return Err(EvalError::InvalidParameter("inconsistent feature dimensions".into()));
+            return Err(EvalError::InvalidParameter(
+                "inconsistent feature dimensions".into(),
+            ));
         }
         let n = features.len() as f64;
         let mut weights = vec![0.0_f64; dim];
@@ -78,14 +84,23 @@ impl LogisticRegression {
 
     /// Predicted probability of the positive class.
     pub fn predict_proba(&self, features: &[f64]) -> f64 {
-        let z: f64 =
-            self.bias + features.iter().zip(&self.weights).map(|(x, w)| x * w).sum::<f64>();
+        let z: f64 = self.bias
+            + features
+                .iter()
+                .zip(&self.weights)
+                .map(|(x, w)| x * w)
+                .sum::<f64>();
         sigmoid(z)
     }
 
     /// Decision score (log-odds), monotone in the probability.
     pub fn decision(&self, features: &[f64]) -> f64 {
-        self.bias + features.iter().zip(&self.weights).map(|(x, w)| x * w).sum::<f64>()
+        self.bias
+            + features
+                .iter()
+                .zip(&self.weights)
+                .map(|(x, w)| x * w)
+                .sum::<f64>()
     }
 }
 
@@ -104,10 +119,14 @@ impl OneVsRest {
         config: &LogRegConfig,
     ) -> Result<Self> {
         if num_labels == 0 {
-            return Err(EvalError::InvalidParameter("num_labels must be positive".into()));
+            return Err(EvalError::InvalidParameter(
+                "num_labels must be positive".into(),
+            ));
         }
         if features.len() != labels.len() {
-            return Err(EvalError::InvalidParameter("features/labels length mismatch".into()));
+            return Err(EvalError::InvalidParameter(
+                "features/labels length mismatch".into(),
+            ));
         }
         let mut classifiers = Vec::with_capacity(num_labels);
         for label in 0..num_labels as u32 {
@@ -119,7 +138,10 @@ impl OneVsRest {
 
     /// Per-label decision scores for one example.
     pub fn scores(&self, features: &[f64]) -> Vec<f64> {
-        self.classifiers.iter().map(|c| c.decision(features)).collect()
+        self.classifiers
+            .iter()
+            .map(|c| c.decision(features))
+            .collect()
     }
 
     /// Predicts the `count` highest-scoring labels (the standard multi-label
@@ -127,7 +149,11 @@ impl OneVsRest {
     pub fn predict_top(&self, features: &[f64], count: usize) -> Vec<u32> {
         let scores = self.scores(features);
         let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores are finite"));
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("scores are finite")
+        });
         order.into_iter().take(count).map(|l| l as u32).collect()
     }
 
@@ -168,7 +194,8 @@ mod tests {
     #[test]
     fn learns_linearly_separable_data() {
         let (features, labels) = separable_data();
-        let model = LogisticRegression::train(&features, &labels, &LogRegConfig::default()).unwrap();
+        let model =
+            LogisticRegression::train(&features, &labels, &LogRegConfig::default()).unwrap();
         let correct = features
             .iter()
             .zip(&labels)
@@ -180,7 +207,8 @@ mod tests {
     #[test]
     fn probabilities_are_calibrated_directionally() {
         let (features, labels) = separable_data();
-        let model = LogisticRegression::train(&features, &labels, &LogRegConfig::default()).unwrap();
+        let model =
+            LogisticRegression::train(&features, &labels, &LogRegConfig::default()).unwrap();
         assert!(model.predict_proba(&[3.0, 3.0]) > 0.9);
         assert!(model.predict_proba(&[-3.0, -3.0]) < 0.1);
         assert!(model.decision(&[3.0, 3.0]) > model.decision(&[-3.0, -3.0]));
@@ -196,7 +224,10 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         assert!(LogisticRegression::train(&[], &[], &LogRegConfig::default()).is_err());
-        assert!(LogisticRegression::train(&[vec![1.0]], &[true, false], &LogRegConfig::default()).is_err());
+        assert!(
+            LogisticRegression::train(&[vec![1.0]], &[true, false], &LogRegConfig::default())
+                .is_err()
+        );
         assert!(LogisticRegression::train(
             &[vec![1.0], vec![1.0, 2.0]],
             &[true, false],

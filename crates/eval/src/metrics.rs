@@ -6,7 +6,9 @@ use crate::{EvalError, Result};
 /// the Mann–Whitney U statistic (ties contribute half).
 pub fn auc(positive_scores: &[f64], negative_scores: &[f64]) -> Result<f64> {
     if positive_scores.is_empty() || negative_scores.is_empty() {
-        return Err(EvalError::Degenerate("AUC needs both positive and negative examples".into()));
+        return Err(EvalError::Degenerate(
+            "AUC needs both positive and negative examples".into(),
+        ));
     }
     // Sort all scores once and use rank sums: O((p+n) log(p+n)).
     let mut labeled: Vec<(f64, bool)> = positive_scores
@@ -48,7 +50,9 @@ pub fn auc(positive_scores: &[f64], negative_scores: &[f64]) -> Result<f64> {
 /// list length.
 pub fn precision_at_k(scored: &[(f64, bool)], k: usize) -> Result<f64> {
     if scored.is_empty() || k == 0 {
-        return Err(EvalError::Degenerate("precision@K needs items and K >= 1".into()));
+        return Err(EvalError::Degenerate(
+            "precision@K needs items and K >= 1".into(),
+        ));
     }
     let k = k.min(scored.len());
     let mut sorted: Vec<&(f64, bool)> = scored.iter().collect();
@@ -70,7 +74,11 @@ pub struct LabelCounts {
 
 /// Builds per-label confusion counts from multi-label ground truth and
 /// predictions. `num_labels` is the label-space size.
-pub fn label_counts(truth: &[Vec<u32>], predicted: &[Vec<u32>], num_labels: usize) -> Result<Vec<LabelCounts>> {
+pub fn label_counts(
+    truth: &[Vec<u32>],
+    predicted: &[Vec<u32>],
+    num_labels: usize,
+) -> Result<Vec<LabelCounts>> {
     if truth.len() != predicted.len() {
         return Err(EvalError::InvalidParameter(format!(
             "truth has {} rows but predictions have {}",
@@ -83,7 +91,9 @@ pub fn label_counts(truth: &[Vec<u32>], predicted: &[Vec<u32>], num_labels: usiz
         for &label in p {
             let label = label as usize;
             if label >= num_labels {
-                return Err(EvalError::InvalidParameter(format!("label {label} out of range")));
+                return Err(EvalError::InvalidParameter(format!(
+                    "label {label} out of range"
+                )));
             }
             if t.contains(&(label as u32)) {
                 counts[label].tp += 1;
@@ -94,7 +104,9 @@ pub fn label_counts(truth: &[Vec<u32>], predicted: &[Vec<u32>], num_labels: usiz
         for &label in t {
             let label = label as usize;
             if label >= num_labels {
-                return Err(EvalError::InvalidParameter(format!("label {label} out of range")));
+                return Err(EvalError::InvalidParameter(format!(
+                    "label {label} out of range"
+                )));
             }
             if !p.contains(&(label as u32)) {
                 counts[label].fn_ += 1;
@@ -114,8 +126,7 @@ pub fn micro_f1(counts: &[LabelCounts]) -> f64 {
 
 /// Macro-averaged F1: average the per-label F1 over labels that appear.
 pub fn macro_f1(counts: &[LabelCounts]) -> f64 {
-    let active: Vec<&LabelCounts> =
-        counts.iter().filter(|c| c.tp + c.fp + c.fn_ > 0).collect();
+    let active: Vec<&LabelCounts> = counts.iter().filter(|c| c.tp + c.fp + c.fn_ > 0).collect();
     if active.is_empty() {
         return 0.0;
     }

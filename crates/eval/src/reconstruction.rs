@@ -25,7 +25,11 @@ pub struct ReconstructionConfig {
 
 impl Default for ReconstructionConfig {
     fn default() -> Self {
-        Self { sample_pairs: None, k_values: vec![10, 100, 1_000, 10_000], seed: 0 }
+        Self {
+            sample_pairs: None,
+            k_values: vec![10, 100, 1_000, 10_000],
+            seed: 0,
+        }
     }
 }
 
@@ -58,13 +62,21 @@ impl GraphReconstruction {
     }
 
     /// Embeds `graph` with `embedder` and measures precision@K.
-    pub fn evaluate<E: Embedder + ?Sized>(&self, graph: &Graph, embedder: &E) -> Result<ReconstructionOutcome> {
-        let embedding = embedder.embed(graph)?;
+    pub fn evaluate<E: Embedder + ?Sized>(
+        &self,
+        graph: &Graph,
+        embedder: &E,
+    ) -> Result<ReconstructionOutcome> {
+        let embedding = embedder.embed_default(graph)?;
         self.evaluate_embedding(graph, &embedding)
     }
 
     /// Measures precision@K for an existing embedding of `graph`.
-    pub fn evaluate_embedding(&self, graph: &Graph, embedding: &Embedding) -> Result<ReconstructionOutcome> {
+    pub fn evaluate_embedding(
+        &self,
+        graph: &Graph,
+        embedding: &Embedding,
+    ) -> Result<ReconstructionOutcome> {
         if embedding.num_nodes() != graph.num_nodes() {
             return Err(EvalError::InvalidParameter(format!(
                 "embedding covers {} nodes but the graph has {}",
@@ -73,9 +85,12 @@ impl GraphReconstruction {
             )));
         }
         if self.config.k_values.is_empty() {
-            return Err(EvalError::InvalidParameter("k_values must not be empty".into()));
+            return Err(EvalError::InvalidParameter(
+                "k_values must not be empty".into(),
+            ));
         }
-        let candidates = reconstruction_candidates(graph, self.config.sample_pairs, self.config.seed)?;
+        let candidates =
+            reconstruction_candidates(graph, self.config.sample_pairs, self.config.seed)?;
         let scored: Vec<(f64, bool)> = candidates
             .iter()
             .map(|&(u, v, is_edge)| {
@@ -89,7 +104,9 @@ impl GraphReconstruction {
             .collect();
         let num_edges_in_candidates = scored.iter().filter(|(_, e)| *e).count();
         if num_edges_in_candidates == 0 {
-            return Err(EvalError::Degenerate("no edges among the candidate pairs".into()));
+            return Err(EvalError::Degenerate(
+                "no edges among the candidate pairs".into(),
+            ));
         }
         let mut precision = Vec::with_capacity(self.config.k_values.len());
         for &k in &self.config.k_values {
@@ -124,12 +141,17 @@ mod tests {
     }
 
     fn config(ks: &[usize]) -> ReconstructionConfig {
-        ReconstructionConfig { sample_pairs: None, k_values: ks.to_vec(), seed: 0 }
+        ReconstructionConfig {
+            sample_pairs: None,
+            k_values: ks.to_vec(),
+            seed: 0,
+        }
     }
 
     #[test]
     fn high_precision_at_small_k_on_sbm() {
-        let (g, _) = stochastic_block_model(&[40, 40], 0.2, 0.01, GraphKind::Undirected, 1).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[40, 40], 0.2, 0.01, GraphKind::Undirected, 1).unwrap();
         let outcome = GraphReconstruction::new(config(&[10, 100]))
             .evaluate(&g, &nrp(1))
             .unwrap();
@@ -140,14 +162,18 @@ mod tests {
 
     #[test]
     fn precision_declines_with_k_beyond_edge_count() {
-        let (g, _) = stochastic_block_model(&[30, 30], 0.15, 0.01, GraphKind::Undirected, 2).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[30, 30], 0.15, 0.01, GraphKind::Undirected, 2).unwrap();
         let m = g.num_edges();
         let outcome = GraphReconstruction::new(config(&[10, m, 5 * m]))
             .evaluate(&g, &nrp(2))
             .unwrap();
         let p_small = outcome.precision[0].1;
         let p_large = outcome.precision[2].1;
-        assert!(p_small >= p_large, "precision should not increase with K: {p_small} vs {p_large}");
+        assert!(
+            p_small >= p_large,
+            "precision should not increase with K: {p_small} vs {p_large}"
+        );
         // Beyond K = 5m the precision cannot exceed m / (5m) = 0.2 plus slack.
         assert!(p_large <= 0.25);
     }
@@ -158,25 +184,33 @@ mod tests {
         let outcome = GraphReconstruction::new(config(&[10, 100]))
             .evaluate(&g, &nrp(3))
             .unwrap();
-        assert!(outcome.precision[0].1 >= 0.6, "precision@10 = {}", outcome.precision[0].1);
+        assert!(
+            outcome.precision[0].1 >= 0.6,
+            "precision@10 = {}",
+            outcome.precision[0].1
+        );
     }
 
     #[test]
     fn sampled_candidates_mode() {
-        let (g, _) = stochastic_block_model(&[50, 50], 0.1, 0.01, GraphKind::Undirected, 4).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[50, 50], 0.1, 0.01, GraphKind::Undirected, 4).unwrap();
         let config = ReconstructionConfig {
             sample_pairs: Some(1000),
             k_values: vec![10, 50],
             seed: 4,
         };
-        let outcome = GraphReconstruction::new(config).evaluate(&g, &nrp(4)).unwrap();
+        let outcome = GraphReconstruction::new(config)
+            .evaluate(&g, &nrp(4))
+            .unwrap();
         assert_eq!(outcome.num_candidates, 1000);
         assert!(outcome.precision[0].1 > 0.0);
     }
 
     #[test]
     fn random_embedding_has_low_precision() {
-        let (g, _) = stochastic_block_model(&[30, 30], 0.1, 0.01, GraphKind::Undirected, 5).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[30, 30], 0.1, 0.01, GraphKind::Undirected, 5).unwrap();
         let n = g.num_nodes();
         let random = nrp_core::Embedding::new(
             nrp_linalg::random::gaussian_matrix(n, 8, 7),
@@ -184,21 +218,33 @@ mod tests {
             "random",
         )
         .unwrap();
-        let trained = nrp(5).embed(&g).unwrap();
+        let trained = nrp(5).embed_default(&g).unwrap();
         let task = GraphReconstruction::new(config(&[50]));
         let p_random = task.evaluate_embedding(&g, &random).unwrap().precision[0].1;
         let p_trained = task.evaluate_embedding(&g, &trained).unwrap().precision[0].1;
-        assert!(p_trained > p_random, "trained {p_trained} should beat random {p_random}");
+        assert!(
+            p_trained > p_random,
+            "trained {p_trained} should beat random {p_random}"
+        );
     }
 
     #[test]
     fn invalid_configs_rejected() {
-        let (g, _) = stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 6).unwrap();
-        let bad = ReconstructionConfig { k_values: vec![], ..Default::default() };
-        let embedding = nrp(6).embed(&g).unwrap();
-        assert!(GraphReconstruction::new(bad).evaluate_embedding(&g, &embedding).is_err());
+        let (g, _) =
+            stochastic_block_model(&[10, 10], 0.3, 0.05, GraphKind::Undirected, 6).unwrap();
+        let bad = ReconstructionConfig {
+            k_values: vec![],
+            ..Default::default()
+        };
+        let embedding = nrp(6).embed_default(&g).unwrap();
+        assert!(GraphReconstruction::new(bad)
+            .evaluate_embedding(&g, &embedding)
+            .is_err());
         let tiny =
-            nrp_core::Embedding::new(DenseMatrix::zeros(2, 2), DenseMatrix::zeros(2, 2), "tiny").unwrap();
-        assert!(GraphReconstruction::default().evaluate_embedding(&g, &tiny).is_err());
+            nrp_core::Embedding::new(DenseMatrix::zeros(2, 2), DenseMatrix::zeros(2, 2), "tiny")
+                .unwrap();
+        assert!(GraphReconstruction::default()
+            .evaluate_embedding(&g, &tiny)
+            .is_err());
     }
 }

@@ -43,18 +43,32 @@ pub fn link_prediction_split(graph: &Graph, remove_ratio: f64, seed: u64) -> Res
     let positive_pairs: Vec<(NodeId, NodeId)> = edges[..num_removed].to_vec();
     let train_graph = graph.remove_edges(&positive_pairs)?;
     let negative_pairs = sample_non_edges(graph, positive_pairs.len(), &mut rng)?;
-    Ok(LinkSplit { train_graph, positive_pairs, negative_pairs })
+    Ok(LinkSplit {
+        train_graph,
+        positive_pairs,
+        negative_pairs,
+    })
 }
 
 /// Samples `count` node pairs that are not connected by an arc in `graph`
 /// (ordered pairs for directed graphs, unordered for undirected).
-pub fn sample_non_edges(graph: &Graph, count: usize, rng: &mut ChaCha8Rng) -> Result<Vec<(NodeId, NodeId)>> {
+pub fn sample_non_edges(
+    graph: &Graph,
+    count: usize,
+    rng: &mut ChaCha8Rng,
+) -> Result<Vec<(NodeId, NodeId)>> {
     let n = graph.num_nodes();
     if n < 2 {
-        return Err(EvalError::Degenerate("need at least two nodes to sample non-edges".into()));
+        return Err(EvalError::Degenerate(
+            "need at least two nodes to sample non-edges".into(),
+        ));
     }
     let directed = graph.kind().is_directed();
-    let max_pairs = if directed { n * (n - 1) } else { n * (n - 1) / 2 };
+    let max_pairs = if directed {
+        n * (n - 1)
+    } else {
+        n * (n - 1) / 2
+    };
     if count + graph.num_edges() > max_pairs {
         return Err(EvalError::Degenerate(format!(
             "cannot sample {count} non-edges: graph too dense ({} edges, {max_pairs} pairs)",
@@ -77,7 +91,11 @@ pub fn sample_non_edges(graph: &Graph, count: usize, rng: &mut ChaCha8Rng) -> Re
         if u == v {
             continue;
         }
-        let (u, v) = if directed { (u, v) } else { (u.min(v), u.max(v)) };
+        let (u, v) = if directed {
+            (u, v)
+        } else {
+            (u.min(v), u.max(v))
+        };
         if graph.has_arc(u, v) || (!directed && graph.has_arc(v, u)) {
             continue;
         }
@@ -129,13 +147,19 @@ pub fn reconstruction_candidates(
                 if u == v {
                     continue;
                 }
-                let (u, v) = if directed { (u, v) } else { (u.min(v), u.max(v)) };
+                let (u, v) = if directed {
+                    (u, v)
+                } else {
+                    (u.min(v), u.max(v))
+                };
                 if seen.insert((u, v)) {
                     pairs.push((u, v, graph.has_arc(u, v)));
                 }
             }
             if pairs.is_empty() {
-                return Err(EvalError::Degenerate("failed to sample candidate pairs".into()));
+                return Err(EvalError::Degenerate(
+                    "failed to sample candidate pairs".into(),
+                ));
             }
             Ok(pairs)
         }
@@ -143,14 +167,20 @@ pub fn reconstruction_candidates(
 }
 
 /// Splits node indices into a train and test set by ratio (classification).
-pub fn train_test_nodes(num_nodes: usize, train_ratio: f64, seed: u64) -> Result<(Vec<usize>, Vec<usize>)> {
+pub fn train_test_nodes(
+    num_nodes: usize,
+    train_ratio: f64,
+    seed: u64,
+) -> Result<(Vec<usize>, Vec<usize>)> {
     if !(0.0 < train_ratio && train_ratio < 1.0) {
         return Err(EvalError::InvalidParameter(format!(
             "train_ratio must be in (0,1), got {train_ratio}"
         )));
     }
     if num_nodes < 2 {
-        return Err(EvalError::Degenerate("need at least two nodes to split".into()));
+        return Err(EvalError::Degenerate(
+            "need at least two nodes to split".into(),
+        ));
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut nodes: Vec<usize> = (0..num_nodes).collect();
@@ -167,7 +197,9 @@ mod tests {
     use nrp_graph::GraphKind;
 
     fn sbm(kind: GraphKind) -> Graph {
-        stochastic_block_model(&[40, 40], 0.15, 0.02, kind, 7).unwrap().0
+        stochastic_block_model(&[40, 40], 0.15, 0.02, kind, 7)
+            .unwrap()
+            .0
     }
 
     #[test]

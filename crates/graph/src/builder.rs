@@ -18,7 +18,12 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph of the given kind with `num_nodes` nodes.
     pub fn new(num_nodes: usize, kind: GraphKind) -> Self {
-        Self { kind, num_nodes, edges: Vec::new(), allow_self_loops: false }
+        Self {
+            kind,
+            num_nodes,
+            edges: Vec::new(),
+            allow_self_loops: false,
+        }
     }
 
     /// Creates a builder whose node count grows with the inserted edges.
@@ -51,10 +56,16 @@ impl GraphBuilder {
     /// Adds an edge; endpoints must be `< num_nodes`.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<()> {
         if (u as usize) >= self.num_nodes {
-            return Err(GraphError::NodeOutOfBounds { node: u as u64, num_nodes: self.num_nodes });
+            return Err(GraphError::NodeOutOfBounds {
+                node: u as u64,
+                num_nodes: self.num_nodes,
+            });
         }
         if (v as usize) >= self.num_nodes {
-            return Err(GraphError::NodeOutOfBounds { node: v as u64, num_nodes: self.num_nodes });
+            return Err(GraphError::NodeOutOfBounds {
+                node: v as u64,
+                num_nodes: self.num_nodes,
+            });
         }
         self.edges.push((u, v));
         Ok(())

@@ -29,10 +29,16 @@ impl CsrAdjacency {
         }
         for &(u, v) in arcs {
             if (u as usize) >= num_nodes {
-                return Err(GraphError::NodeOutOfBounds { node: u as u64, num_nodes });
+                return Err(GraphError::NodeOutOfBounds {
+                    node: u as u64,
+                    num_nodes,
+                });
             }
             if (v as usize) >= num_nodes {
-                return Err(GraphError::NodeOutOfBounds { node: v as u64, num_nodes });
+                return Err(GraphError::NodeOutOfBounds {
+                    node: v as u64,
+                    num_nodes,
+                });
             }
         }
         // Counting sort by source, then sort each row and dedup.
@@ -67,7 +73,11 @@ impl CsrAdjacency {
             }
             indptr.push(write);
         }
-        Ok(Self { num_nodes, indptr, indices: dedup_indices })
+        Ok(Self {
+            num_nodes,
+            indptr,
+            indices: dedup_indices,
+        })
     }
 
     /// Builds an empty adjacency (no arcs) over `num_nodes` nodes.
@@ -122,7 +132,9 @@ impl CsrAdjacency {
     /// Iterates over all arcs `(src, dst)` in row order.
     pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         (0..self.num_nodes).flat_map(move |u| {
-            self.neighbors(u as NodeId).iter().map(move |&v| (u as NodeId, v))
+            self.neighbors(u as NodeId)
+                .iter()
+                .map(move |&v| (u as NodeId, v))
         })
     }
 
@@ -135,7 +147,9 @@ impl CsrAdjacency {
 
     /// Degree vector for all nodes.
     pub fn degrees(&self) -> Vec<usize> {
-        (0..self.num_nodes).map(|u| self.degree(u as NodeId)).collect()
+        (0..self.num_nodes)
+            .map(|u| self.degree(u as NodeId))
+            .collect()
     }
 }
 
@@ -183,12 +197,21 @@ mod tests {
     #[test]
     fn out_of_bounds_rejected() {
         let err = CsrAdjacency::from_arcs(3, &[(0, 5)]).unwrap_err();
-        assert!(matches!(err, GraphError::NodeOutOfBounds { node: 5, num_nodes: 3 }));
+        assert!(matches!(
+            err,
+            GraphError::NodeOutOfBounds {
+                node: 5,
+                num_nodes: 3
+            }
+        ));
     }
 
     #[test]
     fn empty_graph_rejected() {
-        assert!(matches!(CsrAdjacency::from_arcs(0, &[]), Err(GraphError::EmptyGraph)));
+        assert!(matches!(
+            CsrAdjacency::from_arcs(0, &[]),
+            Err(GraphError::EmptyGraph)
+        ));
     }
 
     #[test]

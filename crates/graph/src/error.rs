@@ -32,11 +32,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, num_nodes } => {
-                write!(f, "node id {node} out of bounds for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node id {node} out of bounds for graph with {num_nodes} nodes"
+                )
             }
             GraphError::EmptyGraph => write!(f, "graph must contain at least one node"),
             GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             GraphError::Io(err) => write!(f, "i/o error: {err}"),
         }
     }
@@ -63,14 +68,20 @@ mod tests {
 
     #[test]
     fn display_out_of_bounds() {
-        let err = GraphError::NodeOutOfBounds { node: 12, num_nodes: 10 };
+        let err = GraphError::NodeOutOfBounds {
+            node: 12,
+            num_nodes: 10,
+        };
         assert!(err.to_string().contains("12"));
         assert!(err.to_string().contains("10"));
     }
 
     #[test]
     fn display_parse() {
-        let err = GraphError::Parse { line: 3, message: "bad token".into() };
+        let err = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert!(err.to_string().contains("line 3"));
     }
 

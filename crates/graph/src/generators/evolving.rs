@@ -61,12 +61,21 @@ impl Default for EvolvingSbmParams {
 
 /// Generates an evolving SBM instance.
 pub fn evolving_sbm(params: &EvolvingSbmParams) -> Result<EvolvingGraph> {
-    if params.block_sizes.is_empty() || params.block_sizes.iter().any(|&s| s == 0) {
-        return Err(GraphError::InvalidParameter("block sizes must be non-empty and positive".into()));
+    if params.block_sizes.is_empty() || params.block_sizes.contains(&0) {
+        return Err(GraphError::InvalidParameter(
+            "block sizes must be non-empty and positive".into(),
+        ));
     }
-    for &p in &[params.p_in_old, params.p_out_old, params.p_in_new, params.p_out_new] {
+    for &p in &[
+        params.p_in_old,
+        params.p_out_old,
+        params.p_in_new,
+        params.p_out_new,
+    ] {
         if !(0.0..=1.0).contains(&p) {
-            return Err(GraphError::InvalidParameter(format!("probabilities must be in [0,1], got {p}")));
+            return Err(GraphError::InvalidParameter(format!(
+                "probabilities must be in [0,1], got {p}"
+            )));
         }
     }
     let num_nodes: usize = params.block_sizes.iter().sum();
@@ -88,8 +97,16 @@ pub fn evolving_sbm(params: &EvolvingSbmParams) -> Result<EvolvingGraph> {
                 continue;
             }
             let same = community[u] == community[v];
-            let p_old = if same { params.p_in_old } else { params.p_out_old };
-            let p_new = if same { params.p_in_new } else { params.p_out_new };
+            let p_old = if same {
+                params.p_in_old
+            } else {
+                params.p_out_old
+            };
+            let p_new = if same {
+                params.p_in_new
+            } else {
+                params.p_out_new
+            };
             if rng.gen::<f64>() < p_old {
                 old_edges.push((u as NodeId, v as NodeId));
             } else if rng.gen::<f64>() < p_new {
@@ -98,7 +115,11 @@ pub fn evolving_sbm(params: &EvolvingSbmParams) -> Result<EvolvingGraph> {
         }
     }
     let old_graph = Graph::from_edges(num_nodes, &old_edges, params.kind)?;
-    Ok(EvolvingGraph { old_graph, new_edges, community })
+    Ok(EvolvingGraph {
+        old_graph,
+        new_edges,
+        community,
+    })
 }
 
 #[cfg(test)]
@@ -109,7 +130,10 @@ mod tests {
     fn new_edges_absent_from_old_snapshot() {
         let inst = evolving_sbm(&EvolvingSbmParams::default()).unwrap();
         for &(u, v) in &inst.new_edges {
-            assert!(!inst.old_graph.has_arc(u, v), "new edge ({u},{v}) already in old graph");
+            assert!(
+                !inst.old_graph.has_arc(u, v),
+                "new edge ({u},{v}) already in old graph"
+            );
         }
         assert!(!inst.new_edges.is_empty());
     }
@@ -129,12 +153,19 @@ mod tests {
             .iter()
             .filter(|&&(u, v)| inst.community[u as usize] == inst.community[v as usize])
             .count();
-        assert!(within * 2 > inst.new_edges.len(), "expected mostly intra-community new edges");
+        assert!(
+            within * 2 > inst.new_edges.len(),
+            "expected mostly intra-community new edges"
+        );
     }
 
     #[test]
     fn directed_variant_generates_one_way_edges() {
-        let params = EvolvingSbmParams { kind: GraphKind::Directed, seed: 5, ..Default::default() };
+        let params = EvolvingSbmParams {
+            kind: GraphKind::Directed,
+            seed: 5,
+            ..Default::default()
+        };
         let inst = evolving_sbm(&params).unwrap();
         assert!(inst.old_graph.kind().is_directed());
         assert!(!inst.new_edges.is_empty());
@@ -142,7 +173,10 @@ mod tests {
 
     #[test]
     fn invalid_probability_rejected() {
-        let params = EvolvingSbmParams { p_in_new: 1.5, ..Default::default() };
+        let params = EvolvingSbmParams {
+            p_in_new: 1.5,
+            ..Default::default()
+        };
         assert!(evolving_sbm(&params).is_err());
     }
 

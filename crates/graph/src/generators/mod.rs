@@ -43,7 +43,9 @@ pub fn erdos_renyi(num_nodes: usize, p: f64, kind: GraphKind, seed: u64) -> Resu
         return Err(GraphError::EmptyGraph);
     }
     if !(0.0..=1.0).contains(&p) {
-        return Err(GraphError::InvalidParameter(format!("p must be in [0,1], got {p}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "p must be in [0,1], got {p}"
+        )));
     }
     let mut rng = rng_from_seed(seed);
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
@@ -58,7 +60,11 @@ pub fn erdos_renyi(num_nodes: usize, p: f64, kind: GraphKind, seed: u64) -> Resu
         loop {
             // Geometric skip: number of non-edges until the next edge.
             let r: f64 = rng.gen::<f64>();
-            let skip = if p >= 1.0 { 1.0 } else { ((1.0 - r).ln() / log_q).floor() + 1.0 };
+            let skip = if p >= 1.0 {
+                1.0
+            } else {
+                ((1.0 - r).ln() / log_q).floor() + 1.0
+            };
             idx += skip as i64;
             if idx as u64 >= total_pairs {
                 break;
@@ -76,7 +82,12 @@ pub fn erdos_renyi(num_nodes: usize, p: f64, kind: GraphKind, seed: u64) -> Resu
 /// G(n, m) Erdős–Rényi graph with exactly (approximately, after removing
 /// duplicates) `num_edges` edges, the variant used by the paper's
 /// scalability experiment where `n` and `m` are varied independently.
-pub fn erdos_renyi_nm(num_nodes: usize, num_edges: usize, kind: GraphKind, seed: u64) -> Result<Graph> {
+pub fn erdos_renyi_nm(
+    num_nodes: usize,
+    num_edges: usize,
+    kind: GraphKind,
+    seed: u64,
+) -> Result<Graph> {
     if num_nodes < 2 {
         return Err(GraphError::InvalidParameter("need at least 2 nodes".into()));
     }
@@ -118,7 +129,12 @@ pub fn erdos_renyi_nm(num_nodes: usize, num_edges: usize, kind: GraphKind, seed:
 /// Barabási–Albert preferential-attachment graph: starts from a small clique
 /// and attaches each new node to `m_attach` existing nodes with probability
 /// proportional to their current degree.
-pub fn barabasi_albert(num_nodes: usize, m_attach: usize, kind: GraphKind, seed: u64) -> Result<Graph> {
+pub fn barabasi_albert(
+    num_nodes: usize,
+    m_attach: usize,
+    kind: GraphKind,
+    seed: u64,
+) -> Result<Graph> {
     if m_attach == 0 {
         return Err(GraphError::InvalidParameter("m_attach must be >= 1".into()));
     }
@@ -172,12 +188,16 @@ pub fn stochastic_block_model(
     kind: GraphKind,
     seed: u64,
 ) -> Result<(Graph, Vec<u32>)> {
-    if block_sizes.is_empty() || block_sizes.iter().any(|&s| s == 0) {
-        return Err(GraphError::InvalidParameter("block sizes must be non-empty and positive".into()));
+    if block_sizes.is_empty() || block_sizes.contains(&0) {
+        return Err(GraphError::InvalidParameter(
+            "block sizes must be non-empty and positive".into(),
+        ));
     }
     for &p in &[p_in, p_out] {
         if !(0.0..=1.0).contains(&p) {
-            return Err(GraphError::InvalidParameter(format!("probabilities must be in [0,1], got {p}")));
+            return Err(GraphError::InvalidParameter(format!(
+                "probabilities must be in [0,1], got {p}"
+            )));
         }
     }
     let num_nodes: usize = block_sizes.iter().sum();
@@ -197,7 +217,11 @@ pub fn stochastic_block_model(
             if u == v {
                 continue;
             }
-            let p = if community[u] == community[v] { p_in } else { p_out };
+            let p = if community[u] == community[v] {
+                p_in
+            } else {
+                p_out
+            };
             if rng.gen::<f64>() < p {
                 edges.push((u as NodeId, v as NodeId));
             }
@@ -245,14 +269,20 @@ pub fn planted_labels(
 /// to its `k_ring` nearest neighbours, with each edge rewired with
 /// probability `beta`.
 pub fn watts_strogatz(num_nodes: usize, k_ring: usize, beta: f64, seed: u64) -> Result<Graph> {
-    if k_ring % 2 != 0 || k_ring == 0 {
-        return Err(GraphError::InvalidParameter("k_ring must be a positive even number".into()));
+    if !k_ring.is_multiple_of(2) || k_ring == 0 {
+        return Err(GraphError::InvalidParameter(
+            "k_ring must be a positive even number".into(),
+        ));
     }
     if num_nodes <= k_ring {
-        return Err(GraphError::InvalidParameter("num_nodes must exceed k_ring".into()));
+        return Err(GraphError::InvalidParameter(
+            "num_nodes must exceed k_ring".into(),
+        ));
     }
     if !(0.0..=1.0).contains(&beta) {
-        return Err(GraphError::InvalidParameter(format!("beta must be in [0,1], got {beta}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "beta must be in [0,1], got {beta}"
+        )));
     }
     let mut rng = rng_from_seed(seed);
     let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(num_nodes * k_ring / 2);
@@ -290,7 +320,7 @@ fn decode_undirected_pair(idx: u64, n: u64) -> (u64, u64) {
     let mut lo = 0u64;
     let mut hi = n - 1;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         let offset = mid * n - mid * (mid + 1) / 2;
         if offset <= idx {
             lo = mid;
@@ -322,7 +352,10 @@ mod tests {
         let expected = p * (n * (n - 1) / 2) as f64;
         let actual = g.num_edges() as f64;
         // within 25% of expectation for this size
-        assert!((actual - expected).abs() < 0.25 * expected, "expected ~{expected}, got {actual}");
+        assert!(
+            (actual - expected).abs() < 0.25 * expected,
+            "expected ~{expected}, got {actual}"
+        );
     }
 
     #[test]
@@ -366,7 +399,10 @@ mod tests {
         let g = barabasi_albert(2000, 3, GraphKind::Undirected, 5).unwrap();
         let max_deg = g.out_degrees().into_iter().max().unwrap();
         let mean = g.num_arcs() as f64 / g.num_nodes() as f64;
-        assert!(max_deg as f64 > 5.0 * mean, "max degree {max_deg} should dominate mean {mean}");
+        assert!(
+            max_deg as f64 > 5.0 * mean,
+            "max degree {max_deg} should dominate mean {mean}"
+        );
         assert!(crate::stats::degree_gini(&g) > 0.2);
     }
 
@@ -425,7 +461,10 @@ mod tests {
             .zip(&community)
             .filter(|(ls, &c)| ls.contains(&(c % 4)))
             .count();
-        assert!(matches > 850, "only {matches} of 1000 labels match their community");
+        assert!(
+            matches > 850,
+            "only {matches} of 1000 labels match their community"
+        );
     }
 
     #[test]

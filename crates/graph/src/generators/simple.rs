@@ -4,25 +4,31 @@ use crate::{Graph, GraphError, GraphKind, NodeId, Result};
 
 /// A directed path `0 -> 1 -> … -> n-1`.
 pub fn directed_path(num_nodes: usize) -> Result<Graph> {
-    let edges: Vec<(NodeId, NodeId)> =
-        (0..num_nodes.saturating_sub(1)).map(|u| (u as NodeId, (u + 1) as NodeId)).collect();
+    let edges: Vec<(NodeId, NodeId)> = (0..num_nodes.saturating_sub(1))
+        .map(|u| (u as NodeId, (u + 1) as NodeId))
+        .collect();
     Graph::from_edges(num_nodes, &edges, GraphKind::Directed)
 }
 
 /// An undirected cycle over `num_nodes` nodes.
 pub fn cycle(num_nodes: usize) -> Result<Graph> {
     if num_nodes < 3 {
-        return Err(GraphError::InvalidParameter("cycle needs at least 3 nodes".into()));
+        return Err(GraphError::InvalidParameter(
+            "cycle needs at least 3 nodes".into(),
+        ));
     }
-    let edges: Vec<(NodeId, NodeId)> =
-        (0..num_nodes).map(|u| (u as NodeId, ((u + 1) % num_nodes) as NodeId)).collect();
+    let edges: Vec<(NodeId, NodeId)> = (0..num_nodes)
+        .map(|u| (u as NodeId, ((u + 1) % num_nodes) as NodeId))
+        .collect();
     Graph::from_edges(num_nodes, &edges, GraphKind::Undirected)
 }
 
 /// An undirected star: node 0 is connected to every other node.
 pub fn star(num_nodes: usize) -> Result<Graph> {
     if num_nodes < 2 {
-        return Err(GraphError::InvalidParameter("star needs at least 2 nodes".into()));
+        return Err(GraphError::InvalidParameter(
+            "star needs at least 2 nodes".into(),
+        ));
     }
     let edges: Vec<(NodeId, NodeId)> = (1..num_nodes).map(|v| (0, v as NodeId)).collect();
     Graph::from_edges(num_nodes, &edges, GraphKind::Undirected)
@@ -31,7 +37,9 @@ pub fn star(num_nodes: usize) -> Result<Graph> {
 /// A complete undirected graph.
 pub fn complete(num_nodes: usize) -> Result<Graph> {
     if num_nodes < 2 {
-        return Err(GraphError::InvalidParameter("complete graph needs at least 2 nodes".into()));
+        return Err(GraphError::InvalidParameter(
+            "complete graph needs at least 2 nodes".into(),
+        ));
     }
     let mut edges = Vec::with_capacity(num_nodes * (num_nodes - 1) / 2);
     for u in 0..num_nodes {
@@ -45,7 +53,9 @@ pub fn complete(num_nodes: usize) -> Result<Graph> {
 /// An undirected `rows x cols` grid graph.
 pub fn grid(rows: usize, cols: usize) -> Result<Graph> {
     if rows == 0 || cols == 0 {
-        return Err(GraphError::InvalidParameter("grid dimensions must be positive".into()));
+        return Err(GraphError::InvalidParameter(
+            "grid dimensions must be positive".into(),
+        ));
     }
     let id = |r: usize, c: usize| (r * cols + c) as NodeId;
     let mut edges = Vec::new();
@@ -66,7 +76,9 @@ pub fn grid(rows: usize, cols: usize) -> Result<Graph> {
 /// worst case for community-sensitive methods.
 pub fn barbell(clique_size: usize) -> Result<Graph> {
     if clique_size < 2 {
-        return Err(GraphError::InvalidParameter("cliques need at least 2 nodes".into()));
+        return Err(GraphError::InvalidParameter(
+            "cliques need at least 2 nodes".into(),
+        ));
     }
     let n = 2 * clique_size;
     let mut edges = Vec::new();

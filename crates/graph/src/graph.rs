@@ -46,7 +46,11 @@ impl Graph {
     /// reverse arc. Self-loops are dropped (the PPR random walk definition
     /// never benefits from them and the paper's proximity objective only
     /// concerns `u != v`). Duplicate edges are collapsed.
-    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)], kind: GraphKind) -> Result<Self> {
+    pub fn from_edges(
+        num_nodes: usize,
+        edges: &[(NodeId, NodeId)],
+        kind: GraphKind,
+    ) -> Result<Self> {
         let mut arcs: Vec<(NodeId, NodeId)> = Vec::with_capacity(match kind {
             GraphKind::Directed => edges.len(),
             GraphKind::Undirected => edges.len() * 2,
@@ -66,7 +70,12 @@ impl Graph {
             GraphKind::Directed => out_adj.num_arcs(),
             GraphKind::Undirected => out_adj.num_arcs() / 2,
         };
-        Ok(Self { kind, out_adj, in_adj, num_input_edges })
+        Ok(Self {
+            kind,
+            out_adj,
+            in_adj,
+            num_input_edges,
+        })
     }
 
     /// The interpretation (directed / undirected) this graph was built with.
@@ -180,7 +189,10 @@ impl Graph {
     /// Number of common out-neighbours of `u` and `v` (used by the Fig. 1
     /// motivation test and by simple heuristics in the evaluation crate).
     pub fn common_out_neighbors(&self, u: NodeId, v: NodeId) -> usize {
-        let (mut a, mut b) = (self.out_neighbors(u).iter().peekable(), self.out_neighbors(v).iter().peekable());
+        let (mut a, mut b) = (
+            self.out_neighbors(u).iter().peekable(),
+            self.out_neighbors(v).iter().peekable(),
+        );
         let mut count = 0;
         while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
             match x.cmp(&y) {
@@ -223,16 +235,25 @@ impl Graph {
             GraphKind::Directed => out_adj.num_arcs(),
             GraphKind::Undirected => out_adj.num_arcs() / 2,
         };
-        Ok(Self { kind: self.kind, out_adj, in_adj, num_input_edges })
+        Ok(Self {
+            kind: self.kind,
+            out_adj,
+            in_adj,
+            num_input_edges,
+        })
     }
 
     /// Checks structural invariants; used by tests and debug assertions.
     pub fn validate(&self) -> Result<()> {
         if self.out_adj.num_nodes() != self.in_adj.num_nodes() {
-            return Err(GraphError::InvalidParameter("out/in adjacency node count mismatch".into()));
+            return Err(GraphError::InvalidParameter(
+                "out/in adjacency node count mismatch".into(),
+            ));
         }
         if self.out_adj.num_arcs() != self.in_adj.num_arcs() {
-            return Err(GraphError::InvalidParameter("out/in adjacency arc count mismatch".into()));
+            return Err(GraphError::InvalidParameter(
+                "out/in adjacency arc count mismatch".into(),
+            ));
         }
         if !self.kind.is_directed() {
             for (u, v) in self.arcs() {

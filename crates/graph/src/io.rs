@@ -21,7 +21,9 @@ pub fn read_edge_list_from<R: Read>(reader: R, kind: GraphKind) -> Result<Graph>
         if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
             continue;
         }
-        let mut parts = trimmed.split(|c: char| c.is_whitespace() || c == ',').filter(|s| !s.is_empty());
+        let mut parts = trimmed
+            .split(|c: char| c.is_whitespace() || c == ',')
+            .filter(|s| !s.is_empty());
         let u = parse_node(parts.next(), idx + 1)?;
         let v = parse_node(parts.next(), idx + 1)?;
         builder.add_edge_growing(u, v);
@@ -42,7 +44,12 @@ pub fn read_edge_list<P: AsRef<Path>>(path: P, kind: GraphKind) -> Result<Graph>
 /// undirected edges are written once).
 pub fn write_edge_list_to<W: Write>(graph: &Graph, writer: W) -> Result<()> {
     let mut writer = BufWriter::new(writer);
-    writeln!(writer, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        writer,
+        "# nodes {} edges {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(writer, "{u}\t{v}")?;
     }
@@ -70,7 +77,10 @@ pub fn read_labels_from<R: Read>(reader: R, num_nodes: usize) -> Result<Vec<Vec<
         let mut parts = trimmed.split_whitespace();
         let node = parse_node(parts.next(), idx + 1)? as usize;
         if node >= num_nodes {
-            return Err(GraphError::NodeOutOfBounds { node: node as u64, num_nodes });
+            return Err(GraphError::NodeOutOfBounds {
+                node: node as u64,
+                num_nodes,
+            });
         }
         for tok in parts {
             let label: u32 = tok.parse().map_err(|_| GraphError::Parse {
@@ -114,7 +124,10 @@ pub fn write_labels<P: AsRef<Path>>(labels: &[Vec<u32>], path: P) -> Result<()> 
 }
 
 fn parse_node(token: Option<&str>, line: usize) -> Result<NodeId> {
-    let token = token.ok_or(GraphError::Parse { line, message: "missing node id".into() })?;
+    let token = token.ok_or(GraphError::Parse {
+        line,
+        message: "missing node id".into(),
+    })?;
     token.parse::<NodeId>().map_err(|_| GraphError::Parse {
         line,
         message: format!("invalid node id '{token}'"),
@@ -157,7 +170,8 @@ mod tests {
 
     #[test]
     fn empty_input_is_error() {
-        let err = read_edge_list_from("# only comments\n".as_bytes(), GraphKind::Directed).unwrap_err();
+        let err =
+            read_edge_list_from("# only comments\n".as_bytes(), GraphKind::Directed).unwrap_err();
         assert!(matches!(err, GraphError::EmptyGraph));
     }
 

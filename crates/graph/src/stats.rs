@@ -45,7 +45,11 @@ pub fn graph_stats(graph: &Graph) -> GraphStats {
         max_out_degree: max,
         mean_out_degree: total as f64 / n as f64,
         dangling_fraction: dangling as f64 / n as f64,
-        density: if pairs > 0.0 { graph.num_arcs() as f64 / pairs } else { 0.0 },
+        density: if pairs > 0.0 {
+            graph.num_arcs() as f64 / pairs
+        } else {
+            0.0
+        },
     }
 }
 
@@ -72,7 +76,11 @@ pub fn degree_gini(graph: &Graph) -> f64 {
     if sum == 0.0 {
         return 0.0;
     }
-    let weighted: f64 = degrees.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d).sum();
+    let weighted: f64 = degrees
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (i as f64 + 1.0) * d)
+        .sum();
     (2.0 * weighted) / (n * sum) - (n + 1.0) / n
 }
 
@@ -95,7 +103,8 @@ mod tests {
 
     #[test]
     fn histogram_buckets() {
-        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)], GraphKind::Directed).unwrap();
+        let g =
+            Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)], GraphKind::Directed).unwrap();
         let hist = degree_histogram(&g, 2);
         // degrees: 3, 1, 0, 0 -> buckets (0:2, 1:1, >=2:1)
         assert_eq!(hist, vec![2, 1, 1]);
@@ -103,7 +112,8 @@ mod tests {
 
     #[test]
     fn gini_zero_for_regular_graph() {
-        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], GraphKind::Undirected).unwrap();
+        let g =
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], GraphKind::Undirected).unwrap();
         assert!(degree_gini(&g).abs() < 1e-9);
     }
 

@@ -35,7 +35,9 @@ pub fn symmetric_eigen(a: &DenseMatrix) -> Result<SymmetricEigen> {
         });
     }
     if n == 0 {
-        return Err(LinalgError::InvalidParameter("eigen of empty matrix".into()));
+        return Err(LinalgError::InvalidParameter(
+            "eigen of empty matrix".into(),
+        ));
     }
     // Work on a symmetrized copy.
     let mut s = DenseMatrix::from_fn(n, n, |i, j| 0.5 * (a.get(i, j) + a.get(j, i)));
@@ -89,14 +91,21 @@ pub fn symmetric_eigen(a: &DenseMatrix) -> Result<SymmetricEigen> {
             }
         }
     }
-    Err(LinalgError::NoConvergence { routine: "jacobi eigen", iterations: MAX_SWEEPS })
+    Err(LinalgError::NoConvergence {
+        routine: "jacobi eigen",
+        iterations: MAX_SWEEPS,
+    })
 }
 
 fn finish(s: DenseMatrix, v: DenseMatrix) -> SymmetricEigen {
     let n = s.rows();
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| s.get(i, i)).collect();
-    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("eigenvalues are finite"));
+    order.sort_by(|&a, &b| {
+        diag[b]
+            .partial_cmp(&diag[a])
+            .expect("eigenvalues are finite")
+    });
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let vectors = DenseMatrix::from_fn(n, n, |i, j| v.get(i, order[j]));
     SymmetricEigen { values, vectors }

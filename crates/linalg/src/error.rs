@@ -28,14 +28,24 @@ pub enum LinalgError {
 impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LinalgError::ShapeMismatch { operation, left, right } => write!(
+            LinalgError::ShapeMismatch {
+                operation,
+                left,
+                right,
+            } => write!(
                 f,
                 "shape mismatch in {operation}: left is {}x{}, right is {}x{}",
                 left.0, left.1, right.0, right.1
             ),
             LinalgError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
-            LinalgError::NoConvergence { routine, iterations } => {
-                write!(f, "{routine} did not converge after {iterations} iterations")
+            LinalgError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} did not converge after {iterations} iterations"
+                )
             }
         }
     }
@@ -61,7 +71,10 @@ mod tests {
 
     #[test]
     fn convergence_message() {
-        let err = LinalgError::NoConvergence { routine: "jacobi", iterations: 100 };
+        let err = LinalgError::NoConvergence {
+            routine: "jacobi",
+            iterations: 100,
+        };
         assert!(err.to_string().contains("jacobi"));
     }
 }

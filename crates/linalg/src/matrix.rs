@@ -16,7 +16,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the identity matrix of size `n`.
@@ -55,14 +59,22 @@ impl DenseMatrix {
     /// Creates a matrix from nested row slices (convenient in tests).
     pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
         if rows.is_empty() {
-            return Err(LinalgError::InvalidParameter("matrix needs at least one row".into()));
+            return Err(LinalgError::InvalidParameter(
+                "matrix needs at least one row".into(),
+            ));
         }
         let cols = rows[0].len();
         if rows.iter().any(|r| r.len() != cols) {
-            return Err(LinalgError::InvalidParameter("rows have inconsistent lengths".into()));
+            return Err(LinalgError::InvalidParameter(
+                "rows have inconsistent lengths".into(),
+            ));
         }
         let data = rows.iter().flat_map(|r| r.iter().copied()).collect();
-        Ok(Self { rows: rows.len(), cols, data })
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -221,7 +233,8 @@ impl DenseMatrix {
 
     /// Gram matrix `selfᵀ * self`.
     pub fn gram(&self) -> DenseMatrix {
-        self.transpose_matmul(self).expect("gram shapes always agree")
+        self.transpose_matmul(self)
+            .expect("gram shapes always agree")
     }
 
     /// Element-wise scaling in place.
@@ -240,8 +253,17 @@ impl DenseMatrix {
                 right: other.shape(),
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Ok(Self { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Returns `self - other`.
@@ -253,8 +275,17 @@ impl DenseMatrix {
                 right: other.shape(),
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Ok(Self { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// In-place `self += factor * other`.
@@ -380,7 +411,10 @@ mod tests {
 
     fn approx_eq(a: &DenseMatrix, b: &DenseMatrix, tol: f64) -> bool {
         a.shape() == b.shape()
-            && a.data().iter().zip(b.data()).all(|(x, y)| (x - y).abs() <= tol)
+            && a.data()
+                .iter()
+                .zip(b.data())
+                .all(|(x, y)| (x - y).abs() <= tol)
     }
 
     #[test]

@@ -117,12 +117,66 @@ impl<'g> TransitionOperator<'g> {
                 }
             })
             .collect();
-        Self { graph, inv_out_degree }
+        Self {
+            graph,
+            inv_out_degree,
+        }
     }
 
     /// The vector of `1/dout(u)` values (0 for dangling nodes).
     pub fn inverse_out_degrees(&self) -> &[f64] {
         &self.inv_out_degree
+    }
+
+    /// Computes `P * x` with up to `threads` worker threads over disjoint row
+    /// chunks.  Bitwise identical to [`LinearOperator::apply`]: every output
+    /// row is produced by exactly one thread with the same summation order,
+    /// so results do not depend on the thread budget.
+    pub fn apply_parallel(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        let n = self.graph.num_nodes();
+        let threads = threads.clamp(1, n.max(1));
+        if threads == 1 {
+            return self.apply(x);
+        }
+        check_rows(self.ncols(), x, "transition * dense")?;
+        let cols = x.cols();
+        let chunk = n.div_ceil(threads);
+        let chunks: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(n);
+                if start >= end {
+                    break;
+                }
+                handles.push(scope.spawn(move || {
+                    let mut out = vec![0.0; (end - start) * cols];
+                    for u in start..end {
+                        let w = self.inv_out_degree[u];
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let out_row = &mut out[(u - start) * cols..(u - start + 1) * cols];
+                        for &v in self.graph.out_neighbors(u as u32) {
+                            let x_row = x.row(v as usize);
+                            for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                                *o += w * xv;
+                            }
+                        }
+                    }
+                    out
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let mut data = Vec::with_capacity(n * cols);
+        for part in chunks {
+            data.extend_from_slice(&part);
+        }
+        DenseMatrix::from_vec(n, cols, data)
     }
 }
 
@@ -223,7 +277,12 @@ mod tests {
     use nrp_graph::{Graph, GraphKind};
 
     fn toy() -> Graph {
-        Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 0)], GraphKind::Directed).unwrap()
+        Graph::from_edges(
+            4,
+            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 0)],
+            GraphKind::Directed,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -280,7 +339,10 @@ mod tests {
         let x = DenseMatrix::from_fn(4, 2, |i, j| (i + j) as f64);
         assert_eq!(a.apply(&x).unwrap(), a.matmul(&x).unwrap());
         let y = DenseMatrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
-        assert_eq!(a.apply_transpose(&y).unwrap(), a.transpose().matmul(&y).unwrap());
+        assert_eq!(
+            a.apply_transpose(&y).unwrap(),
+            a.transpose().matmul(&y).unwrap()
+        );
     }
 
     #[test]
@@ -299,6 +361,18 @@ mod tests {
         let x = DenseMatrix::zeros(5, 2);
         assert!(op.apply(&x).is_err());
         assert!(op.apply_transpose(&x).is_err());
+    }
+
+    #[test]
+    fn parallel_transition_apply_matches_sequential() {
+        let g = toy();
+        let op = TransitionOperator::new(&g);
+        let x = DenseMatrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 0.25 + 0.1);
+        let sequential = op.apply(&x).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let parallel = op.apply_parallel(&x, threads).unwrap();
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
     }
 
     #[test]

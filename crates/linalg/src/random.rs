@@ -20,7 +20,10 @@ pub struct GaussianSampler {
 impl GaussianSampler {
     /// Creates a sampler from a seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: ChaCha8Rng::seed_from_u64(seed), cached: None }
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            cached: None,
+        }
     }
 
     /// Draws one standard-normal sample.
@@ -72,7 +75,12 @@ mod tests {
         let m = gaussian_matrix(200, 50, 7);
         let n = (m.rows() * m.cols()) as f64;
         let mean: f64 = m.data().iter().sum::<f64>() / n;
-        let var: f64 = m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let var: f64 = m
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
         assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
     }
@@ -88,17 +96,26 @@ mod tests {
 
     #[test]
     fn scaled_projection_preserves_norms_in_expectation() {
+        // y = x^T * proj; E[||y||^2] = ||x||^2 = 400.  A single 64-column
+        // projection has std ≈ 70 around that mean, so average several seeds
+        // to keep the test far from the tolerance boundary.
         let x = vec![1.0; 400];
-        let proj = scaled_gaussian_matrix(400, 64, 11);
-        // y = x^T * proj; ||y||^2 should be close to ||x||^2 = 400.
-        let mut y = vec![0.0; 64];
-        for (i, &xi) in x.iter().enumerate() {
-            for (j, yj) in y.iter_mut().enumerate() {
-                *yj += xi * proj.get(i, j);
+        let mut mean_norm_sq = 0.0;
+        let seeds = [11u64, 12, 13, 14, 15];
+        for &seed in &seeds {
+            let proj = scaled_gaussian_matrix(400, 64, seed);
+            let mut y = vec![0.0; 64];
+            for (i, &xi) in x.iter().enumerate() {
+                for (j, yj) in y.iter_mut().enumerate() {
+                    *yj += xi * proj.get(i, j);
+                }
             }
+            mean_norm_sq += y.iter().map(|v| v * v).sum::<f64>() / seeds.len() as f64;
         }
-        let norm_sq: f64 = y.iter().map(|v| v * v).sum();
-        assert!((norm_sq - 400.0).abs() < 120.0, "projected norm {norm_sq} too far from 400");
+        assert!(
+            (mean_norm_sq - 400.0).abs() < 120.0,
+            "projected norm {mean_norm_sq} too far from 400"
+        );
     }
 
     #[test]

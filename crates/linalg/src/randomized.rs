@@ -27,6 +27,44 @@ pub enum RandomizedSvdMethod {
     BlockKrylov,
 }
 
+impl RandomizedSvdMethod {
+    /// The serialized name (used by declarative method configurations).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RandomizedSvdMethod::SubspaceIteration => "subspace-iteration",
+            RandomizedSvdMethod::BlockKrylov => "block-krylov",
+        }
+    }
+
+    /// Parses the serialized name produced by [`RandomizedSvdMethod::as_str`].
+    pub fn from_str_name(name: &str) -> Option<Self> {
+        match name {
+            "subspace-iteration" => Some(RandomizedSvdMethod::SubspaceIteration),
+            "block-krylov" => Some(RandomizedSvdMethod::BlockKrylov),
+            _ => None,
+        }
+    }
+}
+
+impl serde::Serialize for RandomizedSvdMethod {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_owned())
+    }
+}
+
+impl serde::Deserialize for RandomizedSvdMethod {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let name = value.as_str().ok_or_else(|| {
+            serde::Error::custom(format!("expected SVD method string, got {}", value.kind()))
+        })?;
+        Self::from_str_name(name).ok_or_else(|| {
+            serde::Error::custom(format!(
+                "unknown SVD method `{name}` (expected `block-krylov` or `subspace-iteration`)"
+            ))
+        })
+    }
+}
+
 /// Output of a randomized truncated SVD: `A ≈ U diag(σ) Vᵀ`.
 #[derive(Debug, Clone)]
 pub struct SvdResult {
@@ -47,8 +85,10 @@ impl SvdResult {
     /// Reconstructs the dense approximation `U Σ Vᵀ` (tests / tiny inputs).
     pub fn reconstruct(&self) -> DenseMatrix {
         let mut us = self.u.clone();
-        us.scale_cols(&self.singular_values).expect("shapes agree by construction");
-        us.matmul_transpose(&self.v).expect("shapes agree by construction")
+        us.scale_cols(&self.singular_values)
+            .expect("shapes agree by construction");
+        us.matmul_transpose(&self.v)
+            .expect("shapes agree by construction")
     }
 }
 
@@ -115,11 +155,15 @@ impl RandomizedSvd {
     /// Runs the randomized SVD on `op`.
     pub fn compute<O: LinearOperator>(&self, op: &O) -> Result<SvdResult> {
         if self.rank == 0 {
-            return Err(LinalgError::InvalidParameter("rank must be positive".into()));
+            return Err(LinalgError::InvalidParameter(
+                "rank must be positive".into(),
+            ));
         }
         let (rows, cols) = (op.nrows(), op.ncols());
         if rows == 0 || cols == 0 {
-            return Err(LinalgError::InvalidParameter("operator has an empty dimension".into()));
+            return Err(LinalgError::InvalidParameter(
+                "operator has an empty dimension".into(),
+            ));
         }
         let max_rank = rows.min(cols);
         let sketch = (self.rank + self.oversample).min(max_rank).max(1);
@@ -133,13 +177,22 @@ impl RandomizedSvd {
         let eig = symmetric_eigen(&gram)?;
         let keep = self.rank.min(eig.values.len());
         let basis = eig.vectors.truncate_cols(keep);
-        let singular_values: Vec<f64> = eig.values[..keep].iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let singular_values: Vec<f64> = eig.values[..keep]
+            .iter()
+            .map(|&l| l.max(0.0).sqrt())
+            .collect();
         let u = q.matmul(&basis)?;
         let mut v = w.matmul(&basis)?;
-        let inv: Vec<f64> =
-            singular_values.iter().map(|&s| if s > 1e-300 { 1.0 / s } else { 0.0 }).collect();
+        let inv: Vec<f64> = singular_values
+            .iter()
+            .map(|&s| if s > 1e-300 { 1.0 / s } else { 0.0 })
+            .collect();
         v.scale_cols(&inv)?;
-        Ok(SvdResult { u, singular_values, v })
+        Ok(SvdResult {
+            u,
+            singular_values,
+            v,
+        })
     }
 
     /// Subspace iteration range basis.
@@ -177,7 +230,13 @@ mod tests {
     use nrp_graph::GraphKind;
 
     /// Builds a noisy low-rank matrix with a known dominant subspace.
-    fn low_rank_plus_noise(rows: usize, cols: usize, rank: usize, noise: f64, seed: u64) -> DenseMatrix {
+    fn low_rank_plus_noise(
+        rows: usize,
+        cols: usize,
+        rank: usize,
+        noise: f64,
+        seed: u64,
+    ) -> DenseMatrix {
         let u = gaussian_matrix(rows, rank, seed);
         let v = gaussian_matrix(cols, rank, seed + 1);
         let mut a = u.matmul_transpose(&v).unwrap();
@@ -212,9 +271,16 @@ mod tests {
     fn close_to_exact_truncated_svd() {
         let a = low_rank_plus_noise(40, 40, 5, 0.1, 3);
         let exact = gram_svd(&a, 1e-12).unwrap().truncate(5);
-        let approx = RandomizedSvd::new(5).iterations(10).seed(4).compute(&a).unwrap();
+        let approx = RandomizedSvd::new(5)
+            .iterations(10)
+            .seed(4)
+            .compute(&a)
+            .unwrap();
         for (e, r) in exact.singular_values.iter().zip(&approx.singular_values) {
-            assert!((e - r).abs() / e < 0.02, "singular value mismatch: exact {e}, approx {r}");
+            assert!(
+                (e - r).abs() / e < 0.02,
+                "singular value mismatch: exact {e}, approx {r}"
+            );
         }
     }
 
@@ -231,7 +297,8 @@ mod tests {
 
     #[test]
     fn works_on_graph_adjacency_operator() {
-        let (g, _) = stochastic_block_model(&[40, 40], 0.2, 0.02, GraphKind::Undirected, 3).unwrap();
+        let (g, _) =
+            stochastic_block_model(&[40, 40], 0.2, 0.02, GraphKind::Undirected, 3).unwrap();
         let op = AdjacencyOperator::new(&g);
         let result = RandomizedSvd::new(8).seed(6).compute(&op).unwrap();
         assert_eq!(result.u.rows(), 80);
@@ -240,7 +307,8 @@ mod tests {
         let dense = crate::operator::to_dense(&op).unwrap();
         let exact = gram_svd(&dense, 1e-12).unwrap();
         // Largest singular value should match closely.
-        let rel = (result.singular_values[0] - exact.singular_values[0]).abs() / exact.singular_values[0];
+        let rel =
+            (result.singular_values[0] - exact.singular_values[0]).abs() / exact.singular_values[0];
         assert!(rel < 0.02, "top singular value off by {rel}");
     }
 
@@ -249,14 +317,27 @@ mod tests {
         let g = erdos_renyi(120, 0.08, GraphKind::Undirected, 5).unwrap();
         let op = AdjacencyOperator::new(&g);
         let k = 10;
-        let result = RandomizedSvd::new(k).iterations(8).seed(7).compute(&op).unwrap();
+        let result = RandomizedSvd::new(k)
+            .iterations(8)
+            .seed(7)
+            .compute(&op)
+            .unwrap();
         let dense = crate::operator::to_dense(&op).unwrap();
         let exact = gram_svd(&dense, 1e-12).unwrap();
         // Frobenius error of rank-k approximation must be close to the optimal
         // error sqrt(sum_{i>k} sigma_i^2).
-        let optimal: f64 = exact.singular_values.iter().skip(k).map(|s| s * s).sum::<f64>().sqrt();
+        let optimal: f64 = exact
+            .singular_values
+            .iter()
+            .skip(k)
+            .map(|s| s * s)
+            .sum::<f64>()
+            .sqrt();
         let achieved = result.reconstruct().sub(&dense).unwrap().frobenius_norm();
-        assert!(achieved <= 1.1 * optimal + 1e-9, "achieved {achieved}, optimal {optimal}");
+        assert!(
+            achieved <= 1.1 * optimal + 1e-9,
+            "achieved {achieved}, optimal {optimal}"
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub struct SparseMatrix {
 impl SparseMatrix {
     /// Builds a sparse matrix from `(row, col, value)` triplets; duplicate
     /// coordinates are summed.
-    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Result<Self> {
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self> {
         for &(r, c, _) in triplets {
             if r >= rows || c >= cols {
                 return Err(LinalgError::InvalidParameter(format!(
@@ -60,7 +64,13 @@ impl SparseMatrix {
             indptr.push(indices.len());
         }
         debug_assert_eq!(indptr.len(), rows + 1);
-        Ok(Self { rows, cols, indptr, indices, values })
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -99,10 +109,7 @@ impl SparseMatrix {
 
     /// Transpose.
     pub fn transpose(&self) -> SparseMatrix {
-        let triplets: Vec<(usize, usize, f64)> = self
-            .iter()
-            .map(|(r, c, v)| (c, r, v))
-            .collect();
+        let triplets: Vec<(usize, usize, f64)> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
         SparseMatrix::from_triplets(self.cols, self.rows, &triplets)
             .expect("transpose of a valid matrix is valid")
     }
@@ -181,12 +188,8 @@ mod tests {
     use super::*;
 
     fn sample() -> SparseMatrix {
-        SparseMatrix::from_triplets(
-            3,
-            4,
-            &[(0, 1, 2.0), (0, 3, 1.0), (1, 0, -1.0), (2, 2, 5.0)],
-        )
-        .unwrap()
+        SparseMatrix::from_triplets(3, 4, &[(0, 1, 2.0), (0, 3, 1.0), (1, 0, -1.0), (2, 2, 5.0)])
+            .unwrap()
     }
 
     #[test]

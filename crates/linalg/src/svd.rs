@@ -24,8 +24,10 @@ impl Svd {
     /// Reconstructs `U Σ Vᵀ`.
     pub fn reconstruct(&self) -> DenseMatrix {
         let mut us = self.u.clone();
-        us.scale_cols(&self.singular_values).expect("dimension agrees by construction");
-        us.matmul_transpose(&self.v).expect("dimension agrees by construction")
+        us.scale_cols(&self.singular_values)
+            .expect("dimension agrees by construction");
+        us.matmul_transpose(&self.v)
+            .expect("dimension agrees by construction")
     }
 
     /// Truncates to the top `k` singular triplets.
@@ -55,9 +57,16 @@ pub fn gram_svd(a: &DenseMatrix, rel_tol: f64) -> Result<Svd> {
         let (values, v) = clip(eig.values, eig.vectors, rel_tol);
         let sigma: Vec<f64> = values.iter().map(|&l| l.max(0.0).sqrt()).collect();
         let mut u = a.matmul(&v)?;
-        let inv: Vec<f64> = sigma.iter().map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 }).collect();
+        let inv: Vec<f64> = sigma
+            .iter()
+            .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
+            .collect();
         u.scale_cols(&inv)?;
-        Ok(Svd { u, singular_values: sigma, v })
+        Ok(Svd {
+            u,
+            singular_values: sigma,
+            v,
+        })
     } else {
         // AAᵀ = U Σ² Uᵀ, V = Aᵀ U Σ⁻¹.
         let gram = a.matmul_transpose(a)?;
@@ -65,9 +74,16 @@ pub fn gram_svd(a: &DenseMatrix, rel_tol: f64) -> Result<Svd> {
         let (values, u) = clip(eig.values, eig.vectors, rel_tol);
         let sigma: Vec<f64> = values.iter().map(|&l| l.max(0.0).sqrt()).collect();
         let mut v = a.transpose_matmul(&u)?;
-        let inv: Vec<f64> = sigma.iter().map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 }).collect();
+        let inv: Vec<f64> = sigma
+            .iter()
+            .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
+            .collect();
         v.scale_cols(&inv)?;
-        Ok(Svd { u, singular_values: sigma, v })
+        Ok(Svd {
+            u,
+            singular_values: sigma,
+            v,
+        })
     }
 }
 
@@ -79,7 +95,11 @@ pub fn truncated_svd(a: &DenseMatrix, k: usize) -> Result<Svd> {
 fn clip(values: Vec<f64>, vectors: DenseMatrix, rel_tol: f64) -> (Vec<f64>, DenseMatrix) {
     let max = values.first().copied().unwrap_or(0.0).max(0.0);
     let cutoff = rel_tol * rel_tol * max; // eigenvalues are squared singular values
-    let keep = values.iter().filter(|&&l| l > cutoff && l > 0.0).count().max(1);
+    let keep = values
+        .iter()
+        .filter(|&&l| l > cutoff && l > 0.0)
+        .count()
+        .max(1);
     (values[..keep].to_vec(), vectors.truncate_cols(keep))
 }
 
@@ -148,7 +168,10 @@ mod tests {
         let a = low_rank.add(&noise).unwrap();
         let svd = truncated_svd(&a, 1).unwrap();
         let err = svd.reconstruct().sub(&a).unwrap().frobenius_norm() / a.frobenius_norm();
-        assert!(err < 0.05, "rank-1 approximation should capture the dominant direction, err={err}");
+        assert!(
+            err < 0.05,
+            "rank-1 approximation should capture the dominant direction, err={err}"
+        );
     }
 
     #[test]

@@ -24,16 +24,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         instance.new_edges.len()
     );
 
-    let task = LinkPrediction::new(LinkPredictionConfig { seed: 21, ..Default::default() });
+    let task = LinkPrediction::new(LinkPredictionConfig {
+        seed: 21,
+        ..Default::default()
+    });
 
     let nrp = Nrp::new(NrpParams::builder().dimension(32).seed(21).build()?);
-    let nrp_embedding = nrp.embed(&instance.old_graph)?;
+    let nrp_embedding = nrp.embed_default(&instance.old_graph)?;
     let nrp_auc = task
         .evaluate_new_edges(&instance.old_graph, &nrp_embedding, &instance.new_edges)?
         .auc;
 
-    let app = App::new(nrp_baselines::app::AppParams { dimension: 32, seed: 21, ..Default::default() });
-    let app_embedding = app.embed(&instance.old_graph)?;
+    let app = App::new(nrp_baselines::app::AppParams {
+        dimension: 32,
+        seed: 21,
+        ..Default::default()
+    });
+    let app_embedding = app.embed_default(&instance.old_graph)?;
     let app_auc = task
         .evaluate_new_edges(&instance.old_graph, &app_embedding, &instance.new_edges)?
         .auc;

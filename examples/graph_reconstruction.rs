@@ -10,11 +10,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A heavy-tailed Barabási–Albert graph — the regime where degree
     // reweighting matters most, because hub nodes dominate the edge set.
     let graph = generators::barabasi_albert(800, 5, GraphKind::Undirected, 3)?;
-    println!("graph: {} nodes, {} edges", graph.num_nodes(), graph.num_edges());
+    println!(
+        "graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
 
     let with_reweighting = Nrp::new(NrpParams::builder().dimension(32).seed(3).build()?);
-    let without_reweighting =
-        Nrp::new(NrpParams::builder().dimension(32).reweight_epochs(0).seed(3).build()?);
+    let without_reweighting = Nrp::new(
+        NrpParams::builder()
+            .dimension(32)
+            .reweight_epochs(0)
+            .seed(3)
+            .build()?,
+    );
 
     let task = GraphReconstruction::new(ReconstructionConfig {
         sample_pairs: None,
@@ -22,14 +31,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 3,
     });
 
-    println!("{:<22} {:>8} {:>8} {:>8} {:>10}", "method", "P@10", "P@100", "P@1000", "P@|E|");
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>10}",
+        "method", "P@10", "P@100", "P@1000", "P@|E|"
+    );
     for (name, embedder) in [
         ("NRP (reweighted)", &with_reweighting),
         ("ApproxPPR (l2 = 0)", &without_reweighting),
     ] {
         let outcome = task.evaluate(&graph, embedder)?;
         let p: Vec<f64> = outcome.precision.iter().map(|&(_, v)| v).collect();
-        println!("{:<22} {:>8.4} {:>8.4} {:>8.4} {:>10.4}", name, p[0], p[1], p[2], p[3]);
+        println!(
+            "{:<22} {:>8.4} {:>8.4} {:>8.4} {:>10.4}",
+            name, p[0], p[1], p[2], p[3]
+        );
     }
     Ok(())
 }

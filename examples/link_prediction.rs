@@ -11,13 +11,8 @@ use nrp_core::approx_ppr::ApproxPprParams;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A directed stochastic block model stands in for a follower network.
-    let (graph, _) = generators::stochastic_block_model(
-        &[200, 200, 200],
-        0.06,
-        0.004,
-        GraphKind::Directed,
-        7,
-    )?;
+    let (graph, _) =
+        generators::stochastic_block_model(&[200, 200, 200], 0.06, 0.004, GraphKind::Directed, 7)?;
     println!(
         "graph: {} nodes, {} arcs (directed)",
         graph.num_nodes(),
@@ -25,20 +20,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let dimension = 32;
-    let task = LinkPrediction::new(LinkPredictionConfig { remove_ratio: 0.3, seed: 7, ..Default::default() });
+    let task = LinkPrediction::new(LinkPredictionConfig {
+        remove_ratio: 0.3,
+        seed: 7,
+        ..Default::default()
+    });
 
     let nrp = Nrp::new(NrpParams::builder().dimension(dimension).seed(7).build()?);
-    let approx = ApproxPpr::new(ApproxPprParams { half_dimension: dimension / 2, seed: 7, ..Default::default() });
-    let arope = Arope::new(AropeParams { dimension, seed: 7, ..Default::default() });
-    let deepwalk = DeepWalk::new(DeepWalkParams { dimension, walks_per_node: 5, walk_length: 30, seed: 7, ..Default::default() });
+    let approx = ApproxPpr::new(ApproxPprParams {
+        half_dimension: dimension / 2,
+        seed: 7,
+        ..Default::default()
+    });
+    let arope = Arope::new(AropeParams {
+        dimension,
+        seed: 7,
+        ..Default::default()
+    });
+    let deepwalk = DeepWalk::new(DeepWalkParams {
+        dimension,
+        walks_per_node: 5,
+        walk_length: 30,
+        seed: 7,
+        ..Default::default()
+    });
 
     println!("{:<12} {:>8}", "method", "AUC");
     let nrp_auc = task.evaluate(&graph, &nrp)?.auc;
     println!("{:<12} {:>8.4}", "NRP", nrp_auc);
     let approx_auc = task.evaluate(&graph, &approx)?.auc;
     println!("{:<12} {:>8.4}", "ApproxPPR", approx_auc);
-    println!("{:<12} {:>8.4}", "AROPE", task.evaluate(&graph, &arope)?.auc);
-    println!("{:<12} {:>8.4}", "DeepWalk", task.evaluate(&graph, &deepwalk)?.auc);
+    println!(
+        "{:<12} {:>8.4}",
+        "AROPE",
+        task.evaluate(&graph, &arope)?.auc
+    );
+    println!(
+        "{:<12} {:>8.4}",
+        "DeepWalk",
+        task.evaluate(&graph, &deepwalk)?.auc
+    );
 
     println!(
         "\nreweighting gain over ApproxPPR: {:+.4} AUC",

@@ -26,13 +26,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let nrp = Nrp::new(NrpParams::builder().dimension(32).seed(13).build()?);
-    let embedding = nrp.embed(&graph)?;
+    let embedding = nrp.embed_default(&graph)?;
 
-    println!("{:<12} {:>10} {:>10}", "train ratio", "micro-F1", "macro-F1");
+    println!(
+        "{:<12} {:>10} {:>10}",
+        "train ratio", "micro-F1", "macro-F1"
+    );
     for ratio in [0.1, 0.3, 0.5, 0.7, 0.9] {
-        let task = NodeClassification::new(ClassificationConfig { train_ratio: ratio, seed: 13, ..Default::default() });
+        let task = NodeClassification::new(ClassificationConfig {
+            train_ratio: ratio,
+            seed: 13,
+            ..Default::default()
+        });
         let report = task.evaluate_embedding(&embedding, &labels)?;
-        println!("{:<12} {:>10.4} {:>10.4}", ratio, report.micro_f1, report.macro_f1);
+        println!(
+            "{:<12} {:>10.4} {:>10.4}",
+            ratio, report.micro_f1, report.macro_f1
+        );
     }
     Ok(())
 }

@@ -1,41 +1,73 @@
-//! Quickstart: build a small graph, embed it with NRP, and inspect scores.
+//! Quickstart: describe a method as data, build it through the registry,
+//! embed a small graph, and inspect scores and run metadata.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use nrp::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 0. Register all eleven methods with the registry (NRP and ApproxPPR
+    //    are always available; this adds the nine baselines too).
+    nrp::init();
+
     // 1. Build a graph.  Here: the 9-node example of the paper's Fig. 1;
     //    for real use, load an edge list with `nrp::graph::io::read_edge_list`.
     let graph = generators::example::example_graph();
-    println!("graph: {} nodes, {} edges", graph.num_nodes(), graph.num_edges());
+    println!(
+        "graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
 
-    // 2. Configure NRP.  The builder defaults match the paper
-    //    (k = 128, alpha = 0.15, l1 = 20, l2 = 10, epsilon = 0.2, lambda = 10);
-    //    we shrink the dimension for this tiny graph.
-    let params = NrpParams::builder()
-        .dimension(8)
-        .num_hops(30)
-        .lambda(0.1)
-        .seed(42)
-        .build()?;
-    let embedding = Nrp::new(params).embed(&graph)?;
-    println!("embedded {} nodes into {} dimensions ({} per side)",
-        embedding.num_nodes(), embedding.dimension(), embedding.half_dimension());
+    // 2. Describe the method as data.  Anything not specified takes the
+    //    paper's defaults (k = 128, alpha = 0.15, l1 = 20, l2 = 10,
+    //    epsilon = 0.2, lambda = 10); we shrink the dimension for this tiny
+    //    graph.  The same JSON could live in an experiment file on disk —
+    //    `MethodConfig::from_toml` parses a TOML flavour of it as well.
+    let config: MethodConfig = serde_json::from_str(
+        r#"{"method": "NRP", "dimension": 8, "num_hops": 30, "lambda": 0.1, "seed": 42}"#,
+    )?;
+    println!("running: {}", config.to_json()?);
 
-    // 3. Score node pairs.  The score X_u · Y_v approximates the reweighted
+    // 3. Build and run under an execution context.  The context can override
+    //    the seed, grant a thread budget, or carry a cancellation flag.
+    let embedder = config.build()?;
+    let output = embedder.embed(&graph, &EmbedContext::new().with_threads(2))?;
+    let embedding = output.embedding();
+    println!(
+        "embedded {} nodes into {} dimensions ({} per side)",
+        embedding.num_nodes(),
+        embedding.dimension(),
+        embedding.half_dimension()
+    );
+    for stage in &output.metadata().stages {
+        println!("  stage {:<12} {:?}", stage.name, stage.duration);
+    }
+
+    // 4. Score node pairs.  The score X_u · Y_v approximates the reweighted
     //    personalized PageRank w⃗_u · π(u, v) · w⃖_v.
     use nrp::graph::generators::example::{V2, V4, V7, V9};
-    println!("score(v2, v4) = {:.4}  (three common neighbours)", embedding.score(V2, V4));
-    println!("score(v9, v7) = {:.4}  (one common neighbour)", embedding.score(V9, V7));
-    assert!(embedding.score(V2, V4) > embedding.score(V9, V7),
-        "after reweighting, the well-connected pair must score higher");
+    println!(
+        "score(v2, v4) = {:.4}  (three common neighbours)",
+        embedding.score(V2, V4)
+    );
+    println!(
+        "score(v9, v7) = {:.4}  (one common neighbour)",
+        embedding.score(V9, V7)
+    );
+    assert!(
+        embedding.score(V2, V4) > embedding.score(V9, V7),
+        "after reweighting, the well-connected pair must score higher"
+    );
 
-    // 4. Persist the embedding for downstream use.
+    // 5. Persist the embedding for downstream use.
     let path = std::env::temp_dir().join("nrp_quickstart_embedding.json");
     embedding.save(&path)?;
     let reloaded = Embedding::load(&path)?;
     assert_eq!(reloaded.num_nodes(), embedding.num_nodes());
-    println!("embedding saved to {} and reloaded successfully", path.display());
+    println!(
+        "embedding saved to {} and reloaded successfully",
+        path.display()
+    );
     Ok(())
 }

@@ -4,16 +4,31 @@
 //! downstream users depend on; the individual `nrp-*` crates can also be used
 //! directly for finer-grained dependencies.
 //!
-//! See the [`quickstart`](../examples/quickstart.rs) example for a tour.
+//! The primary API is declarative: describe a method as a
+//! [`MethodConfig`](nrp_core::config::MethodConfig) (directly, or parsed from
+//! JSON/TOML), build it through the method registry, and run it under an
+//! [`EmbedContext`](nrp_core::context::EmbedContext) that controls seed,
+//! thread budget and cancellation.  See the
+//! [`quickstart`](../examples/quickstart.rs) example for a tour.
 //!
 //! ```
 //! use nrp::prelude::*;
 //!
-//! // Build a tiny graph and embed it with NRP.
+//! // Register all eleven methods (NRP, ApproxPPR and the nine baselines).
+//! nrp::init();
+//!
+//! // Build a tiny graph and embed it with a config that could equally have
+//! // come from a JSON or TOML experiment file. Unspecified fields take the
+//! // paper's defaults.
 //! let graph = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], GraphKind::Undirected).unwrap();
-//! let params = NrpParams::builder().dimension(8).seed(7).build().unwrap();
-//! let embedding = Nrp::new(params).embed(&graph).unwrap();
-//! assert_eq!(embedding.num_nodes(), 5);
+//! let config: MethodConfig =
+//!     serde_json::from_str(r#"{"method": "NRP", "dimension": 8, "seed": 7}"#).unwrap();
+//! let embedder = config.build().unwrap();
+//!
+//! let output = embedder.embed(&graph, &EmbedContext::new().with_threads(2)).unwrap();
+//! assert_eq!(output.embedding().num_nodes(), 5);
+//! assert_eq!(output.metadata().config.method_name(), "NRP");
+//! assert!(output.metadata().stage("approx_ppr").is_some());
 //! ```
 
 pub use nrp_baselines as baselines;
@@ -22,24 +37,33 @@ pub use nrp_eval as eval;
 pub use nrp_graph as graph;
 pub use nrp_linalg as linalg;
 
+/// Registers every embedding method of the workspace with the `nrp-core`
+/// method registry, so [`MethodConfig::build`](nrp_core::MethodConfig::build)
+/// can resolve all eleven method names.  Idempotent; call once at startup.
+pub fn init() {
+    nrp_baselines::register_baselines();
+}
+
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use nrp_baselines::register_baselines;
     pub use nrp_baselines::{
-        app::App, arope::Arope, deepwalk::DeepWalk, line::Line, node2vec::Node2Vec,
-        randne::RandNe, spectral::SpectralEmbedding, strap::Strap, verse::Verse,
+        app::App, arope::Arope, deepwalk::DeepWalk, line::Line, node2vec::Node2Vec, randne::RandNe,
+        spectral::SpectralEmbedding, strap::Strap, verse::Verse,
     };
     pub use nrp_core::{
         approx_ppr::{ApproxPpr, ApproxPprParams},
+        config::{register_method, registered_methods, MethodConfig},
+        context::{EmbedContext, EmbedOutput, RunMetadata, StageClock, StageTiming},
         embedding::{Embedder, Embedding},
+        error::NrpError,
         nrp::{Nrp, NrpParams},
         ppr::PprMatrix,
     };
     pub use nrp_eval::{
         classification::{ClassificationConfig, NodeClassification},
-        link_prediction::{LinkPrediction, LinkPredictionConfig},
+        link_prediction::{LinkPrediction, LinkPredictionConfig, ScoringStrategy},
         reconstruction::{GraphReconstruction, ReconstructionConfig},
     };
-    pub use nrp_graph::{
-        generators, Graph, GraphError, GraphKind, NodeId,
-    };
+    pub use nrp_graph::{generators, Graph, GraphError, GraphKind, NodeId};
 }

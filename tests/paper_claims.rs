@@ -22,9 +22,15 @@ fn claim_vanilla_ppr_misranks_the_fig1_pairs() {
 fn claim_reweighting_fixes_the_misranking() {
     let graph = example_graph();
     let reweighted = Nrp::new(
-        NrpParams::builder().dimension(8).num_hops(30).lambda(0.1).seed(1).build().expect("params"),
+        NrpParams::builder()
+            .dimension(8)
+            .num_hops(30)
+            .lambda(0.1)
+            .seed(1)
+            .build()
+            .expect("params"),
     )
-    .embed(&graph)
+    .embed_default(&graph)
     .expect("NRP embedding");
     assert!(reweighted.score(V2, V4) > reweighted.score(V9, V7));
 
@@ -37,7 +43,7 @@ fn claim_reweighting_fixes_the_misranking() {
             .build()
             .expect("params"),
     )
-    .embed(&graph)
+    .embed_default(&graph)
     .expect("ApproxPPR embedding");
     assert!(
         vanilla.score(V9, V7) > vanilla.score(V2, V4),
@@ -60,7 +66,7 @@ fn claim_theorem1_error_bound_holds_at_full_rank() {
         epsilon: 0.1,
         ..Default::default()
     })
-    .embed(&graph)
+    .embed_default(&graph)
     .expect("ApproxPPR embedding");
     let exact = PprMatrix::exact(&graph, alpha, 1e-12).expect("exact PPR");
     let tail = (1.0_f64 - alpha).powi(l1 as i32 + 1);
@@ -72,7 +78,10 @@ fn claim_theorem1_error_bound_holds_at_full_rank() {
             let err = (embedding.score(u, v) - exact.get(u, v)).abs();
             // At full rank sigma_{k'+1} = 0, so the bound reduces to the tail
             // term; allow a small numerical slack.
-            assert!(err <= tail + 1e-6, "|XY - pi| = {err} at ({u},{v}) exceeds tail {tail}");
+            assert!(
+                err <= tail + 1e-6,
+                "|XY - pi| = {err} at ({u},{v}) exceeds tail {tail}"
+            );
         }
     }
 }
@@ -84,15 +93,23 @@ fn claim_theorem1_error_bound_holds_at_full_rank() {
 fn claim_near_linear_scaling_in_edges() {
     use std::time::Instant;
     let small = generators::erdos_renyi_nm(3_000, 9_000, GraphKind::Directed, 1).expect("ER graph");
-    let large = generators::erdos_renyi_nm(3_000, 36_000, GraphKind::Directed, 1).expect("ER graph");
-    let embedder = Nrp::new(NrpParams::builder().dimension(16).reweight_epochs(3).seed(1).build().expect("params"));
+    let large =
+        generators::erdos_renyi_nm(3_000, 36_000, GraphKind::Directed, 1).expect("ER graph");
+    let embedder = Nrp::new(
+        NrpParams::builder()
+            .dimension(16)
+            .reweight_epochs(3)
+            .seed(1)
+            .build()
+            .expect("params"),
+    );
     // Warm up (allocator, page faults).
-    embedder.embed(&small).expect("warm-up");
+    embedder.embed_default(&small).expect("warm-up");
     let start = Instant::now();
-    embedder.embed(&small).expect("small embedding");
+    embedder.embed_default(&small).expect("small embedding");
     let t_small = start.elapsed().as_secs_f64();
     let start = Instant::now();
-    embedder.embed(&large).expect("large embedding");
+    embedder.embed_default(&large).expect("large embedding");
     let t_large = start.elapsed().as_secs_f64();
     // 4x the edges should cost well under 16x the time (quadratic behaviour).
     assert!(
@@ -109,15 +126,32 @@ fn claim_near_linear_scaling_in_edges() {
 #[test]
 fn claim_nrp_improves_link_prediction_on_skewed_graphs() {
     let graph = generators::barabasi_albert(600, 4, GraphKind::Undirected, 9).expect("BA graph");
-    let task = LinkPrediction::new(LinkPredictionConfig { seed: 9, ..Default::default() });
+    let task = LinkPrediction::new(LinkPredictionConfig {
+        seed: 9,
+        ..Default::default()
+    });
     let nrp_auc = task
-        .evaluate(&graph, &Nrp::new(NrpParams::builder().dimension(32).lambda(1.0).seed(9).build().expect("params")))
+        .evaluate(
+            &graph,
+            &Nrp::new(
+                NrpParams::builder()
+                    .dimension(32)
+                    .lambda(1.0)
+                    .seed(9)
+                    .build()
+                    .expect("params"),
+            ),
+        )
         .expect("NRP evaluation")
         .auc;
     let approx_auc = task
         .evaluate(
             &graph,
-            &nrp_core::ApproxPpr::new(nrp_core::ApproxPprParams { half_dimension: 16, seed: 9, ..Default::default() }),
+            &nrp_core::ApproxPpr::new(nrp_core::ApproxPprParams {
+                half_dimension: 16,
+                seed: 9,
+                ..Default::default()
+            }),
         )
         .expect("ApproxPPR evaluation")
         .auc;

@@ -1,0 +1,344 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal value-model serializer: types implement [`Serialize`] /
+//! [`Deserialize`] by converting to and from the self-describing [`Value`]
+//! tree, and format crates (see the sibling `serde_json` shim) render that
+//! tree.  This trades upstream serde's zero-copy visitor architecture for a
+//! few hundred dependency-free lines — ample for the configuration and
+//! embedding payloads serialized here.
+//!
+//! Derive macros are replaced by the declarative [`impl_struct_serde!`]
+//! macro for plain named-field structs; enums with richer shapes (such as the
+//! internally tagged `MethodConfig`) implement the traits by hand or through
+//! their own macros.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+use std::fmt;
+
+/// Error produced when a [`Value`] cannot be converted into the target type.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Self {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `value` into `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {}", value.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom(format!("expected string, got {}", value.kind())))
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::String((*self).to_owned())
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_u64().ok_or_else(|| {
+                    Error::custom(format!(
+                        "expected unsigned integer, got {}",
+                        value.kind()
+                    ))
+                })?;
+                <$ty>::try_from(raw).map_err(|_| {
+                    Error::custom(format!("{raw} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 {
+                    Value::Number(Number::NegInt(v))
+                } else {
+                    Value::Number(Number::PosInt(v as u64))
+                }
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_i64().ok_or_else(|| {
+                    Error::custom(format!("expected integer, got {}", value.kind()))
+                })?;
+                <$ty>::try_from(raw).map_err(|_| {
+                    Error::custom(format!("{raw} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {}", value.kind())))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// Implements [`Serialize`] and [`Deserialize`] for a plain named-field
+/// struct — the shim's replacement for `#[derive(Serialize, Deserialize)]`.
+///
+/// Every field must itself implement the two traits; all fields are required
+/// on deserialization and unknown keys are ignored.
+///
+/// ```
+/// struct Point {
+///     x: f64,
+///     y: f64,
+/// }
+/// serde::impl_struct_serde!(Point { x, y });
+/// ```
+#[macro_export]
+macro_rules! impl_struct_serde {
+    ($name:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::Serialize for $name {
+            fn to_value(&self) -> $crate::Value {
+                let mut object = $crate::Map::new();
+                $(object.insert(stringify!($field), $crate::Serialize::to_value(&self.$field));)*
+                $crate::Value::Object(object)
+            }
+        }
+
+        impl $crate::Deserialize for $name {
+            fn from_value(value: &$crate::Value) -> ::core::result::Result<Self, $crate::Error> {
+                let object = value.as_object().ok_or_else(|| {
+                    $crate::Error::custom(concat!("expected object for ", stringify!($name)))
+                })?;
+                Ok($name {
+                    $($field: match object.get(stringify!($field)) {
+                        Some(field_value) => {
+                            $crate::Deserialize::from_value(field_value).map_err(|e| {
+                                $crate::Error::custom(format!(
+                                    "{}.{}: {}",
+                                    stringify!($name),
+                                    stringify!($field),
+                                    e
+                                ))
+                            })?
+                        }
+                        None => {
+                            return Err($crate::Error::custom(format!(
+                                "missing field `{}` in {}",
+                                stringify!($field),
+                                stringify!($name)
+                            )))
+                        }
+                    },)*
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Sample {
+        name: String,
+        count: usize,
+        ratio: f64,
+        flags: Vec<u32>,
+    }
+
+    impl_struct_serde!(Sample {
+        name,
+        count,
+        ratio,
+        flags
+    });
+
+    fn sample() -> Sample {
+        Sample {
+            name: "alpha".into(),
+            count: 3,
+            ratio: 0.25,
+            flags: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn struct_round_trip() {
+        let value = sample().to_value();
+        let back = Sample::from_value(&value).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let mut object = Map::new();
+        object.insert("name", Value::String("x".into()));
+        let err = Sample::from_value(&Value::Object(object)).unwrap_err();
+        assert!(err.to_string().contains("count"), "{err}");
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let value = Value::Array(vec![]);
+        assert!(Sample::from_value(&value).is_err());
+        assert!(bool::from_value(&Value::Null).is_err());
+        assert!(u32::from_value(&Value::Number(Number::NegInt(-1))).is_err());
+    }
+
+    #[test]
+    fn option_round_trips_through_null() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u64>::from_value(&7u64.to_value()).unwrap(),
+            Some(7)
+        );
+        assert_eq!(None::<u64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn integral_floats_convert_to_integers() {
+        assert_eq!(
+            usize::from_value(&Value::Number(Number::Float(5.0))).unwrap(),
+            5
+        );
+        assert!(usize::from_value(&Value::Number(Number::Float(5.5))).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! The self-describing value tree shared by all formats.
+
+use std::fmt;
+
+/// A JSON-like value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any numeric value.
+    Number(Number),
+    /// A UTF-8 string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An insertion-ordered string-keyed map.
+    Object(Map),
+}
+
+/// A numeric value, preserving integer exactness where possible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A floating-point value.
+    Float(f64),
+}
+
+impl Value {
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `f64`, widening integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v as f64),
+            Value::Number(Number::NegInt(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a `u64` if it is a non-negative integer (floats
+    /// with zero fractional part are accepted).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v),
+            Value::Number(Number::NegInt(_)) => None,
+            Value::Number(Number::Float(v)) => {
+                if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 {
+                    Some(*v as u64)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => i64::try_from(*v).ok(),
+            Value::Number(Number::NegInt(v)) => Some(*v),
+            Value::Number(Number::Float(v)) => {
+                if v.fract() == 0.0 && *v >= i64::MIN as f64 && *v <= i64::MAX as f64 {
+                    Some(*v as i64)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the array payload, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the object payload, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+/// An insertion-ordered map with string keys.
+///
+/// Backed by a `Vec`: the objects serialized in this workspace have at most a
+/// couple of dozen keys, where a linear scan beats hashing and preserves the
+/// author's field order in the rendered output.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key-value pair, replacing any previous value for the key.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Looks up a value by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Iterates over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            Number::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces() {
+        let mut map = Map::new();
+        map.insert("b", Value::Null);
+        map.insert("a", Value::Bool(true));
+        map.insert("b", Value::Bool(false));
+        let keys: Vec<&str> = map.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(map.get("b"), Some(&Value::Bool(false)));
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn numeric_accessors_widen_and_narrow() {
+        let pos = Value::Number(Number::PosInt(7));
+        assert_eq!(pos.as_u64(), Some(7));
+        assert_eq!(pos.as_i64(), Some(7));
+        assert_eq!(pos.as_f64(), Some(7.0));
+        let neg = Value::Number(Number::NegInt(-3));
+        assert_eq!(neg.as_u64(), None);
+        assert_eq!(neg.as_i64(), Some(-3));
+        let float = Value::Number(Number::Float(2.5));
+        assert_eq!(float.as_u64(), None);
+        assert_eq!(float.as_f64(), Some(2.5));
+    }
+}

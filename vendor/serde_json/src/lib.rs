@@ -1,0 +1,489 @@
+//! Offline stand-in for `serde_json`: a complete JSON parser and printer
+//! over the vendored [`serde`] shim's [`Value`] model.
+//!
+//! Supports the full JSON grammar (nested arrays/objects, all escape
+//! sequences including `\uXXXX` surrogate pairs, integer and float numbers)
+//! so any value this workspace serializes round-trips exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::{Map, Number, Value};
+
+use std::fmt;
+
+/// Error produced by JSON parsing or value conversion.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl fmt::Display) -> Self {
+        Self {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(err: serde::Error) -> Self {
+        Error::new(err)
+    }
+}
+
+/// Converts any serializable type into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a type from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to a two-space-indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a JSON document into any deserializable type (including [`Value`]).
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    from_value(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(number) => write_number(out, *number),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_break(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            write_break(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_break(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            write_break(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn write_break(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, number: Number) {
+    match number {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(v) if v.is_finite() => {
+            // Rust's shortest-round-trip Display; keep a trailing `.0` so the
+            // token parses back as a float.
+            let rendered = v.to_string();
+            out.push_str(&rendered);
+            if !rendered.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        // JSON has no NaN/Infinity literal; mirror serde_json and emit null.
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl fmt::Display) -> Error {
+        Error::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.bump() == Some(byte) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{keyword}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.expect_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.expect_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.expect_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.error(format!("unexpected character `{}`", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("expected `,` or `]` in array"));
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("expected `,` or `}` in object"));
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'u') => {
+                        let first = self.parse_hex4()?;
+                        let code = if (0xd800..0xdc00).contains(&first) {
+                            // High surrogate: must be followed by \uDC00-\uDFFF.
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let second = self.parse_hex4()?;
+                            if !(0xdc00..0xe000).contains(&second) {
+                                return Err(self.error("invalid low surrogate"));
+                            }
+                            0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00)
+                        } else if (0xdc00..0xe000).contains(&first) {
+                            return Err(self.error("unexpected low surrogate"));
+                        } else {
+                            first
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.error("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(self.error("invalid escape sequence")),
+                },
+                Some(byte) => {
+                    // Collect the full UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    let len = utf8_len(byte).ok_or_else(|| self.error("invalid UTF-8"))?;
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(self.error("truncated UTF-8 sequence"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.bump() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => return Err(self.error("invalid hex digit in unicode escape")),
+            };
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::Float(v)))
+            .map_err(|_| self.error(format!("invalid number `{text}`")))
+    }
+}
+
+fn utf8_len(first_byte: u8) -> Option<usize> {
+    match first_byte {
+        0x00..=0x7f => Some(1),
+        0xc2..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf4 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str::<Value>("null").unwrap(), Value::Null);
+        assert_eq!(from_str::<Value>("true").unwrap(), Value::Bool(true));
+        assert_eq!(
+            from_str::<Value>("42").unwrap(),
+            Value::Number(Number::PosInt(42))
+        );
+        assert_eq!(
+            from_str::<Value>("-7").unwrap(),
+            Value::Number(Number::NegInt(-7))
+        );
+        assert_eq!(
+            from_str::<Value>("2.5e1").unwrap(),
+            Value::Number(Number::Float(25.0))
+        );
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let value: Value = from_str(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        let object = value.as_object().unwrap();
+        assert_eq!(object.len(), 2);
+        let a = object.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert!(a[1].as_object().unwrap().get("b").unwrap() == &Value::Null);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "line1\nline2\t\"quoted\" \\ slash / unicode: \u{1f600}\u{7}".to_string();
+        let json = to_string(&original).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode() {
+        let decoded: String = from_str(r#""😀""#).unwrap();
+        assert_eq!(decoded, "\u{1f600}");
+        assert!(from_str::<String>(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn float_vectors_round_trip_exactly() {
+        let values = vec![0.1, -1.5e-8, 3.0, f64::MAX, f64::MIN_POSITIVE, 0.0];
+        let json = to_string(&values).unwrap();
+        let back: Vec<f64> = from_str(&json).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str::<Value>("{not json").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses_back() {
+        let mut map = Map::new();
+        map.insert("k", Value::Array(vec![Value::Bool(true)]));
+        let value = Value::Object(map);
+        let pretty = to_string_pretty(&value).unwrap();
+        assert!(pretty.contains("\n  "));
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), value);
+    }
+}

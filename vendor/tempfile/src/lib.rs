@@ -1,0 +1,69 @@
+//! Offline stand-in for the small part of `tempfile` this workspace's tests
+//! use: [`tempdir`] returning a [`TempDir`] that removes itself on drop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{fs, io, process};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp dir, deleted recursively on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Creates a fresh uniquely named temporary directory.
+pub fn tempdir() -> io::Result<TempDir> {
+    let base = std::env::temp_dir();
+    loop {
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = base.join(format!("nrp-tmp-{}-{unique}", process::id()));
+        match fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            // Raced with a leftover directory of the same name: try the next
+            // counter value.
+            Err(err) if err.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let path = {
+            let dir = tempdir().unwrap();
+            assert!(dir.path().is_dir());
+            std::fs::write(dir.path().join("file.txt"), b"data").unwrap();
+            dir.path().to_path_buf()
+        };
+        assert!(!path.exists(), "directory should be removed on drop");
+    }
+
+    #[test]
+    fn directories_are_unique() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
