@@ -4,8 +4,6 @@
 
 use nrp_core::{EmbedContext, EmbedOutput, Embedder, Embedding, MethodConfig, Result, StageClock};
 use nrp_graph::Graph;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 use crate::sgns::{train_sgns, walk_frequencies, SgnsConfig};
 use crate::walks::{uniform_walks, window_pairs};
@@ -87,12 +85,14 @@ impl Embedder for DeepWalk {
         let p = &self.params;
         ctx.ensure_active()?;
         let seed = ctx.seed_or(p.seed);
+        let threads = ctx.thread_budget();
         let mut clock = StageClock::start();
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let walks = uniform_walks(graph, p.walks_per_node, p.walk_length, &mut rng);
+        // Per-node RNG streams keep the walks bitwise identical for any
+        // thread budget.
+        let walks = uniform_walks(graph, p.walks_per_node, p.walk_length, seed, threads);
         let pairs = window_pairs(&walks, p.window);
         let freq = walk_frequencies(graph.num_nodes(), &walks);
-        clock.lap("walks");
+        clock.lap_parallel("walks", threads);
         ctx.ensure_active()?;
         let config = SgnsConfig {
             dimension: p.dimension.max(1),
@@ -101,7 +101,7 @@ impl Embedder for DeepWalk {
             learning_rate: p.learning_rate,
             seed,
         };
-        let model = train_sgns(graph.num_nodes(), &pairs, &freq, &config);
+        let model = train_sgns(graph.num_nodes(), &pairs, &freq, &config, ctx)?;
         clock.lap("sgns");
         let embedding = Embedding::symmetric(model.center, self.name());
         Ok(EmbedOutput::new(embedding, self.config(), seed, ctx, clock))

@@ -68,6 +68,7 @@ impl Line {
         dim: usize,
         second_order: bool,
         seed: u64,
+        ctx: &EmbedContext,
     ) -> Result<DenseMatrix> {
         let n = graph.num_nodes();
         let arcs: Vec<(u32, u32)> = graph.arcs().collect();
@@ -95,6 +96,9 @@ impl Line {
 
         let mut grad = vec![0.0_f64; dim];
         for step in 0..self.params.samples {
+            if step.is_multiple_of(crate::sgns::CANCEL_CHECK_INTERVAL) {
+                ctx.ensure_active()?;
+            }
             let lr = self.params.learning_rate
                 * (1.0 - 0.9 * step as f64 / self.params.samples.max(1) as f64);
             let (u, v) = arcs[edge_table.sample(&mut rng)];
@@ -183,10 +187,10 @@ impl Embedder for Line {
         let seed = ctx.seed_or(p.seed);
         let mut clock = StageClock::start();
         let half = (p.dimension / 2).max(1);
-        let first = self.train_order(graph, half, false, seed)?;
+        let first = self.train_order(graph, half, false, seed, ctx)?;
         clock.lap("first_order");
         ctx.ensure_active()?;
-        let second = self.train_order(graph, p.dimension - half, true, seed ^ 0x114e)?;
+        let second = self.train_order(graph, p.dimension - half, true, seed ^ 0x114e, ctx)?;
         clock.lap("second_order");
         let combined = first.hstack(&second).map_err(NrpError::Linalg)?;
         let embedding = Embedding::symmetric(combined, self.name());

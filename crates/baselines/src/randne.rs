@@ -98,7 +98,7 @@ impl Embedder for RandNe {
             current = transition.apply_parallel(&current, threads)?;
             result.axpy(w, &current)?;
         }
-        clock.lap("propagation");
+        clock.lap_parallel("propagation", threads);
         let embedding = Embedding::symmetric(result, self.name());
         Ok(EmbedOutput::new(embedding, self.config(), seed, ctx, clock))
     }

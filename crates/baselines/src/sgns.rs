@@ -5,12 +5,19 @@
 //! objective `log σ(c·x) + Σ_neg log σ(-c_neg·x)`; negatives are drawn from
 //! the unigram distribution raised to the 3/4 power, as in word2vec.
 
+use nrp_core::{EmbedContext, Result};
 use nrp_linalg::DenseMatrix;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::alias::AliasTable;
+
+/// SGD steps between cooperative cancellation checks in the training loops
+/// of SGNS, LINE, VERSE and APP.  A check is one relaxed atomic load against
+/// hundreds of floating-point operations per step, so the overhead is far
+/// below 1% while cancellation latency stays in the sub-millisecond range.
+pub const CANCEL_CHECK_INTERVAL: usize = 1024;
 
 /// Hyper-parameters of the SGNS trainer.
 #[derive(Debug, Clone)]
@@ -52,12 +59,16 @@ pub struct SgnsModel {
 ///
 /// `frequency` gives the negative-sampling weight of each node (usually its
 /// occurrence count in the walks); if empty, uniform weights are used.
+///
+/// Cancellation via `ctx` is checked every [`CANCEL_CHECK_INTERVAL`] SGD
+/// steps (not just per epoch), so even a single long epoch aborts promptly.
 pub fn train_sgns(
     num_nodes: usize,
     pairs: &[(u32, u32)],
     frequency: &[f64],
     config: &SgnsConfig,
-) -> SgnsModel {
+    ctx: &EmbedContext,
+) -> Result<SgnsModel> {
     let dim = config.dimension.max(1);
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let scale = 0.5 / dim as f64;
@@ -73,13 +84,16 @@ pub fn train_sgns(
         .unwrap_or_else(|| AliasTable::new(&vec![1.0; num_nodes]).expect("uniform table is valid"));
 
     if pairs.is_empty() {
-        return SgnsModel { center, context };
+        return Ok(SgnsModel { center, context });
     }
     let total_steps = (config.epochs * pairs.len()).max(1);
     let mut step = 0usize;
     let mut grad = vec![0.0_f64; dim];
     for _ in 0..config.epochs {
         for &(u, v) in pairs {
+            if step.is_multiple_of(CANCEL_CHECK_INTERVAL) {
+                ctx.ensure_active()?;
+            }
             let progress = step as f64 / total_steps as f64;
             let lr = config.learning_rate * (1.0 - 0.9 * progress);
             step += 1;
@@ -117,7 +131,7 @@ pub fn train_sgns(
             }
         }
     }
-    SgnsModel { center, context }
+    Ok(SgnsModel { center, context })
 }
 
 /// One (positive or negative) SGNS update: adjusts the context vector
@@ -177,6 +191,9 @@ pub fn walk_frequencies(num_nodes: usize, walks: &[Vec<u32>]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nrp_core::NrpError;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
 
     /// Two clusters: pairs only connect nodes within the same cluster, so
     /// trained embeddings should place same-cluster nodes closer.
@@ -216,7 +233,7 @@ mod tests {
             learning_rate: 0.08,
             seed: 1,
         };
-        let model = train_sgns(n, &pairs, &[], &config);
+        let model = train_sgns(n, &pairs, &[], &config, &EmbedContext::default()).unwrap();
         // Average within-cluster similarity should exceed cross-cluster similarity.
         let mut within = 0.0;
         let mut across = 0.0;
@@ -251,7 +268,7 @@ mod tests {
             dimension: 4,
             ..Default::default()
         };
-        let model = train_sgns(5, &[], &[], &config);
+        let model = train_sgns(5, &[], &[], &config, &EmbedContext::default()).unwrap();
         assert_eq!(model.center.shape(), (5, 4));
         assert_eq!(model.context.shape(), (5, 4));
         assert!(model.center.is_finite());
@@ -265,8 +282,8 @@ mod tests {
             seed: 9,
             ..Default::default()
         };
-        let a = train_sgns(n, &pairs, &[], &config);
-        let b = train_sgns(n, &pairs, &[], &config);
+        let a = train_sgns(n, &pairs, &[], &config, &EmbedContext::default()).unwrap();
+        let b = train_sgns(n, &pairs, &[], &config, &EmbedContext::default()).unwrap();
         assert_eq!(a.center, b.center);
         assert_eq!(a.context, b.context);
     }
@@ -281,7 +298,7 @@ mod tests {
             epochs: 2,
             ..Default::default()
         };
-        let model = train_sgns(n, &pairs, &freq, &config);
+        let model = train_sgns(n, &pairs, &freq, &config, &EmbedContext::default()).unwrap();
         assert!(model.center.is_finite());
         assert!(model.context.is_finite());
     }
@@ -291,5 +308,24 @@ mod tests {
         let walks = vec![vec![0u32, 1, 1], vec![2]];
         let freq = walk_frequencies(4, &walks);
         assert_eq!(freq, vec![1.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn cancellation_is_observed_inside_a_single_epoch() {
+        // One epoch only: with the historical per-epoch check this run would
+        // never observe the flag; the per-N-steps check must abort it.
+        let (n, pairs) = cluster_pairs(10, 400);
+        let config = SgnsConfig {
+            dimension: 8,
+            epochs: 1,
+            ..Default::default()
+        };
+        let flag = Arc::new(AtomicBool::new(true));
+        flag.store(true, Ordering::Relaxed);
+        let ctx = EmbedContext::new().with_cancel_flag(Arc::clone(&flag));
+        match train_sgns(n, &pairs, &[], &config, &ctx) {
+            Err(NrpError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {:?}", other.map(|_| "model")),
+        }
     }
 }

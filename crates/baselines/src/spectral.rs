@@ -155,6 +155,7 @@ impl Embedder for SpectralEmbedding {
         }
         ctx.ensure_active()?;
         let seed = ctx.seed_or(p.seed);
+        let threads = ctx.thread_budget();
         let mut clock = StageClock::start();
         let op = NormalizedAdjacency::new(graph);
         let rank = p.dimension.min(graph.num_nodes());
@@ -163,8 +164,9 @@ impl Embedder for SpectralEmbedding {
             .iterations(p.iterations)
             .method(RandomizedSvdMethod::BlockKrylov)
             .seed(seed)
+            .threads(threads)
             .compute(&op)?;
-        clock.lap("range_finder");
+        clock.lap_parallel("range_finder", threads);
         ctx.ensure_active()?;
         // Rayleigh–Ritz rotation to obtain proper (signed) eigenpairs.
         let au = op.apply(&svd.u)?;

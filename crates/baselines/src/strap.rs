@@ -13,10 +13,17 @@
 
 use nrp_core::push::forward_push;
 use nrp_core::{
-    EmbedContext, EmbedOutput, Embedder, Embedding, MethodConfig, NrpError, Result, StageClock,
+    parallel, EmbedContext, EmbedOutput, Embedder, Embedding, MethodConfig, NrpError, Result,
+    StageClock,
 };
 use nrp_graph::Graph;
-use nrp_linalg::{RandomizedSvd, RandomizedSvdMethod, SparseMatrix};
+use nrp_linalg::{RandomizedSvd, RandomizedSvdMethod, SparseMatrix, SparseTransposePair};
+
+/// Source nodes per parallel push chunk.  Fixed (never derived from the
+/// thread budget) so the triplet order — and therefore the assembled
+/// proximity matrix — is identical for every budget; small enough that the
+/// dynamic queue balances the skewed per-source push costs.
+const SOURCE_CHUNK: usize = 32;
 
 /// STRAP hyper-parameters.
 #[derive(Debug, Clone)]
@@ -65,23 +72,49 @@ impl Strap {
     }
 
     /// Builds the sparse transpose-proximity matrix `Π_G + Π_{Gᵀ}` with
-    /// entries below `δ/2` discarded.
+    /// entries below `δ/2` discarded, under a default execution context
+    /// (sequential, not cancellable).
     pub fn proximity_matrix(&self, graph: &Graph) -> Result<SparseMatrix> {
+        self.proximity_matrix_with(graph, &EmbedContext::default())
+    }
+
+    /// [`Strap::proximity_matrix`] under an explicit execution context: the
+    /// per-source forward pushes fan out across the context's thread budget
+    /// (the canonical parallel axis of the PPR literature) and cancellation
+    /// is honoured per source chunk.
+    ///
+    /// Chunks of sources are fixed and their triplet lists are concatenated
+    /// in source order, so the assembled matrix is bitwise identical for
+    /// every thread budget.
+    pub fn proximity_matrix_with(&self, graph: &Graph, ctx: &EmbedContext) -> Result<SparseMatrix> {
         let p = &self.params;
         let n = graph.num_nodes();
         let reverse = graph.reverse();
-        let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
         let keep = p.delta / 2.0;
-        for source in 0..n as u32 {
-            for (graph_ref, _label) in [(graph, "fwd"), (&reverse, "bwd")] {
-                let push = forward_push(graph_ref, source, p.alpha, p.delta)?;
-                for (target, estimate) in push.estimates {
-                    if estimate >= keep {
-                        triplets.push((source as usize, target as usize, estimate));
+        let chunked: Vec<Vec<(usize, usize, f64)>> = parallel::try_par_chunk_map(
+            n,
+            SOURCE_CHUNK,
+            ctx.thread_budget(),
+            |range| -> Result<Vec<(usize, usize, f64)>> {
+                let mut triplets = Vec::new();
+                for source in range {
+                    // Per source, not per chunk: a single push is the unit of
+                    // unbounded work, so this bounds cancellation latency by
+                    // one push pair.
+                    ctx.ensure_active()?;
+                    for graph_ref in [graph, &reverse] {
+                        let push = forward_push(graph_ref, source as u32, p.alpha, p.delta)?;
+                        for (target, estimate) in push.estimates {
+                            if estimate >= keep {
+                                triplets.push((source, target as usize, estimate));
+                            }
+                        }
                     }
                 }
-            }
-        }
+                Ok(triplets)
+            },
+        )?;
+        let triplets: Vec<(usize, usize, f64)> = chunked.into_iter().flatten().collect();
         SparseMatrix::from_triplets(n, n, &triplets).map_err(NrpError::Linalg)
     }
 }
@@ -123,17 +156,22 @@ impl Embedder for Strap {
         }
         ctx.ensure_active()?;
         let seed = ctx.seed_or(p.seed);
+        let threads = ctx.thread_budget();
         let mut clock = StageClock::start();
         let half = (p.dimension / 2).max(1);
-        let proximity = self.proximity_matrix(graph)?;
-        clock.lap("proximity");
+        let proximity = self.proximity_matrix_with(graph, ctx)?;
+        clock.lap_parallel("proximity", threads);
         ctx.ensure_active()?;
+        // Pair the proximity matrix with its transpose so both directions of
+        // the SVD's block matmuls are row-parallel gathers.
+        let operator = SparseTransposePair::new(proximity);
         let svd = RandomizedSvd::new(half)
             .iterations(p.iterations)
             .method(RandomizedSvdMethod::BlockKrylov)
             .seed(seed)
-            .compute(&proximity)?;
-        clock.lap("svd");
+            .threads(threads)
+            .compute(&operator)?;
+        clock.lap_parallel("svd", threads);
         let sqrt_sigma: Vec<f64> = svd
             .singular_values
             .iter()

@@ -114,9 +114,11 @@ impl Embedder for Verse {
         let total_steps = (p.epochs * n * p.samples_per_node).max(1);
         let mut step = 0usize;
         for _ in 0..p.epochs {
-            ctx.ensure_active()?;
             for u in 0..n {
                 for _ in 0..p.samples_per_node {
+                    if step.is_multiple_of(crate::sgns::CANCEL_CHECK_INTERVAL) {
+                        ctx.ensure_active()?;
+                    }
                     let lr = p.learning_rate * (1.0 - 0.9 * step as f64 / total_steps as f64);
                     step += 1;
                     let pos = ppr_terminal(graph, u as u32, p.alpha, &mut rng) as usize;

@@ -6,104 +6,149 @@
 //! * [`ppr_terminal`] — samples the terminal node of an α-decaying walk, i.e.
 //!   a sample from the PPR distribution of the start node (used by VERSE and
 //!   APP).
+//!
+//! Walk generation is data-parallel over start nodes with **per-node RNG
+//! streams**: node `u` draws from `ChaCha8Rng::seed_from_u64(seed ^ u)`, so
+//! a walk's randomness depends only on `(seed, u)` — never on which worker
+//! generated it or in what order.  Output walks are ordered by start node
+//! (all of a node's walks consecutively), making the result bitwise
+//! identical for every thread budget, including 1.
 
 use nrp_graph::{Graph, NodeId};
-use rand::Rng;
+use nrp_linalg::parallel;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Start nodes per parallel work chunk.  Fixed (never derived from the
+/// thread budget) so chunk boundaries are stable; the value only trades
+/// scheduling overhead against load balancing.
+const NODE_CHUNK: usize = 64;
+
+/// The independent RNG stream of start node `node` under `seed`.
+fn node_stream(seed: u64, node: NodeId) -> ChaCha8Rng {
+    // seed_from_u64 expands through SplitMix64, so the xor'd keys decorrelate.
+    ChaCha8Rng::seed_from_u64(seed ^ node as u64)
+}
 
 /// Generates `walks_per_node` uniform random walks of length `walk_length`
-/// from every node (walks stop early at dangling nodes).
-pub fn uniform_walks<R: Rng>(
+/// from every node (walks stop early at dangling nodes), using up to
+/// `threads` worker threads.
+///
+/// Walks are returned grouped by start node in ascending order; each node's
+/// walks come from its own RNG stream, so the output is bitwise identical
+/// for every thread budget.
+pub fn uniform_walks(
     graph: &Graph,
     walks_per_node: usize,
     walk_length: usize,
-    rng: &mut R,
+    seed: u64,
+    threads: usize,
 ) -> Vec<Vec<NodeId>> {
     let n = graph.num_nodes();
-    let mut walks = Vec::with_capacity(n * walks_per_node);
-    for _ in 0..walks_per_node {
-        for start in 0..n as NodeId {
-            let mut walk = Vec::with_capacity(walk_length);
-            walk.push(start);
-            let mut current = start;
-            for _ in 1..walk_length {
-                let neighbors = graph.out_neighbors(current);
-                if neighbors.is_empty() {
-                    break;
+    parallel::par_chunk_map(n, NODE_CHUNK, threads, |range| {
+        let mut walks = Vec::with_capacity(range.len() * walks_per_node);
+        for start in range {
+            let start = start as NodeId;
+            let mut rng = node_stream(seed, start);
+            for _ in 0..walks_per_node {
+                let mut walk = Vec::with_capacity(walk_length);
+                walk.push(start);
+                let mut current = start;
+                for _ in 1..walk_length {
+                    let neighbors = graph.out_neighbors(current);
+                    if neighbors.is_empty() {
+                        break;
+                    }
+                    current = neighbors[rng.gen_range(0..neighbors.len())];
+                    walk.push(current);
                 }
-                current = neighbors[rng.gen_range(0..neighbors.len())];
-                walk.push(current);
+                walks.push(walk);
             }
-            walks.push(walk);
         }
-    }
-    walks
+        walks
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Generates node2vec walks with return parameter `p` and in-out parameter
-/// `q` (Grover & Leskovec 2016).  Transition weights from `prev -> current ->
-/// next` are `1/p` if `next == prev`, `1` if `next` is a neighbour of
-/// `prev`, and `1/q` otherwise; weights are sampled by rejection-free
-/// normalization per step (the graphs here are small enough that building
-/// per-step weight vectors is cheaper than precomputing alias tables for
-/// every edge pair).
-pub fn node2vec_walks<R: Rng>(
+/// `q` (Grover & Leskovec 2016), using up to `threads` worker threads.
+/// Transition weights from `prev -> current -> next` are `1/p` if `next ==
+/// prev`, `1` if `next` is a neighbour of `prev`, and `1/q` otherwise;
+/// weights are sampled by rejection-free normalization per step (the graphs
+/// here are small enough that building per-step weight vectors is cheaper
+/// than precomputing alias tables for every edge pair).
+///
+/// Ordering and determinism follow [`uniform_walks`]: per-node RNG streams,
+/// walks grouped by ascending start node, bitwise identical for every thread
+/// budget.
+pub fn node2vec_walks(
     graph: &Graph,
     walks_per_node: usize,
     walk_length: usize,
     p: f64,
     q: f64,
-    rng: &mut R,
+    seed: u64,
+    threads: usize,
 ) -> Vec<Vec<NodeId>> {
     let n = graph.num_nodes();
-    let mut walks = Vec::with_capacity(n * walks_per_node);
-    let mut weights: Vec<f64> = Vec::new();
-    for _ in 0..walks_per_node {
-        for start in 0..n as NodeId {
-            let mut walk = Vec::with_capacity(walk_length);
-            walk.push(start);
-            let mut prev: Option<NodeId> = None;
-            let mut current = start;
-            for _ in 1..walk_length {
-                let neighbors = graph.out_neighbors(current);
-                if neighbors.is_empty() {
-                    break;
-                }
-                let next = match prev {
-                    None => neighbors[rng.gen_range(0..neighbors.len())],
-                    Some(prev_node) => {
-                        weights.clear();
-                        weights.reserve(neighbors.len());
-                        for &cand in neighbors {
-                            let w = if cand == prev_node {
-                                1.0 / p
-                            } else if graph.has_arc(prev_node, cand) {
-                                1.0
-                            } else {
-                                1.0 / q
-                            };
-                            weights.push(w);
-                        }
-                        let total: f64 = weights.iter().sum();
-                        let mut draw = rng.gen::<f64>() * total;
-                        let mut chosen = neighbors[neighbors.len() - 1];
-                        for (&cand, &w) in neighbors.iter().zip(&weights) {
-                            if draw < w {
-                                chosen = cand;
-                                break;
-                            }
-                            draw -= w;
-                        }
-                        chosen
+    parallel::par_chunk_map(n, NODE_CHUNK, threads, |range| {
+        let mut walks = Vec::with_capacity(range.len() * walks_per_node);
+        let mut weights: Vec<f64> = Vec::new();
+        for start in range {
+            let start = start as NodeId;
+            let mut rng = node_stream(seed, start);
+            for _ in 0..walks_per_node {
+                let mut walk = Vec::with_capacity(walk_length);
+                walk.push(start);
+                let mut prev: Option<NodeId> = None;
+                let mut current = start;
+                for _ in 1..walk_length {
+                    let neighbors = graph.out_neighbors(current);
+                    if neighbors.is_empty() {
+                        break;
                     }
-                };
-                walk.push(next);
-                prev = Some(current);
-                current = next;
+                    let next = match prev {
+                        None => neighbors[rng.gen_range(0..neighbors.len())],
+                        Some(prev_node) => {
+                            weights.clear();
+                            weights.reserve(neighbors.len());
+                            for &cand in neighbors {
+                                let w = if cand == prev_node {
+                                    1.0 / p
+                                } else if graph.has_arc(prev_node, cand) {
+                                    1.0
+                                } else {
+                                    1.0 / q
+                                };
+                                weights.push(w);
+                            }
+                            let total: f64 = weights.iter().sum();
+                            let mut draw = rng.gen::<f64>() * total;
+                            let mut chosen = neighbors[neighbors.len() - 1];
+                            for (&cand, &w) in neighbors.iter().zip(&weights) {
+                                if draw < w {
+                                    chosen = cand;
+                                    break;
+                                }
+                                draw -= w;
+                            }
+                            chosen
+                        }
+                    };
+                    walk.push(next);
+                    prev = Some(current);
+                    current = next;
+                }
+                walks.push(walk);
             }
-            walks.push(walk);
         }
-    }
-    walks
+        walks
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Samples the terminal node of an α-decaying random walk from `start`, i.e.
@@ -147,14 +192,11 @@ mod tests {
     use nrp_graph::generators::simple::{cycle, directed_path, star};
     use nrp_graph::generators::stochastic_block_model;
     use nrp_graph::GraphKind;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     #[test]
     fn uniform_walks_have_requested_shape() {
         let g = cycle(10).unwrap();
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let walks = uniform_walks(&g, 3, 8, &mut rng);
+        let walks = uniform_walks(&g, 3, 8, 1, 1);
         assert_eq!(walks.len(), 30);
         assert!(walks.iter().all(|w| w.len() == 8));
         // Every consecutive pair must be an arc.
@@ -163,13 +205,43 @@ mod tests {
                 assert!(g.has_arc(pair[0], pair[1]));
             }
         }
+        // Walks are grouped by start node in ascending order.
+        for (i, walk) in walks.iter().enumerate() {
+            assert_eq!(walk[0], (i / 3) as NodeId);
+        }
+    }
+
+    #[test]
+    fn uniform_walks_are_bitwise_invariant_across_thread_counts() {
+        let (g, _) =
+            stochastic_block_model(&[40, 40], 0.2, 0.03, GraphKind::Undirected, 9).unwrap();
+        let reference = uniform_walks(&g, 4, 12, 7, 1);
+        for threads in [2usize, 3, 8] {
+            assert_eq!(
+                uniform_walks(&g, 4, 12, 7, threads),
+                reference,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn node2vec_walks_are_bitwise_invariant_across_thread_counts() {
+        let (g, _) = stochastic_block_model(&[35, 35], 0.2, 0.03, GraphKind::Directed, 11).unwrap();
+        let reference = node2vec_walks(&g, 3, 10, 0.5, 2.0, 13, 1);
+        for threads in [2usize, 4] {
+            assert_eq!(
+                node2vec_walks(&g, 3, 10, 0.5, 2.0, 13, threads),
+                reference,
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]
     fn walks_stop_at_dangling_nodes() {
         let g = directed_path(4).unwrap();
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let walks = uniform_walks(&g, 1, 10, &mut rng);
+        let walks = uniform_walks(&g, 1, 10, 2, 1);
         // The walk starting at node 3 (dangling) has length 1.
         let w3 = walks.iter().find(|w| w[0] == 3).unwrap();
         assert_eq!(w3.len(), 1);
@@ -181,8 +253,7 @@ mod tests {
     fn node2vec_low_p_returns_often() {
         // With p << 1 the walk frequently returns to the previous node.
         let g = cycle(20).unwrap();
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let walks = node2vec_walks(&g, 2, 30, 0.05, 1.0, &mut rng);
+        let walks = node2vec_walks(&g, 2, 30, 0.05, 1.0, 3, 1);
         let mut returns = 0usize;
         let mut steps = 0usize;
         for walk in &walks {
@@ -194,8 +265,7 @@ mod tests {
             }
         }
         let return_rate_low_p = returns as f64 / steps as f64;
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let walks = node2vec_walks(&g, 2, 30, 20.0, 1.0, &mut rng);
+        let walks = node2vec_walks(&g, 2, 30, 20.0, 1.0, 3, 1);
         let mut returns_high = 0usize;
         let mut steps_high = 0usize;
         for walk in &walks {
@@ -216,8 +286,7 @@ mod tests {
     #[test]
     fn node2vec_walks_follow_arcs() {
         let (g, _) = stochastic_block_model(&[15, 15], 0.3, 0.05, GraphKind::Directed, 5).unwrap();
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let walks = node2vec_walks(&g, 1, 6, 1.0, 2.0, &mut rng);
+        let walks = node2vec_walks(&g, 1, 6, 1.0, 2.0, 5, 2);
         for walk in &walks {
             for pair in walk.windows(2) {
                 assert!(g.has_arc(pair[0], pair[1]));

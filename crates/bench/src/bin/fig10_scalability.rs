@@ -5,13 +5,21 @@
 //!
 //! The printed ratio column makes the near-linear growth visible: time
 //! roughly doubles when the varied quantity doubles.
+//!
+//! A third table sweeps the `EmbedContext` thread budget on the largest
+//! generated graph for the parallelized heavy stages (ApproxPPR's
+//! SVD + propagation, STRAP's per-source pushes + SVD, NRP end to end),
+//! printing the speedup over the single-thread run.  Thanks to the
+//! workspace-wide determinism contract the embeddings are bitwise identical
+//! across the sweep — only the wall clock moves.
 
-use nrp_bench::methods::nrp;
+use nrp_baselines::strap::{Strap, StrapParams};
+use nrp_bench::methods::{approx_ppr, nrp};
 use nrp_bench::report::fmt_secs;
 use nrp_bench::{HarnessArgs, Scale, Table};
 use nrp_core::{EmbedContext, Embedder};
 use nrp_graph::generators::erdos_renyi_nm;
-use nrp_graph::GraphKind;
+use nrp_graph::{Graph, GraphKind};
 
 fn factor(scale: Scale) -> usize {
     match scale {
@@ -83,4 +91,91 @@ fn main() {
         previous = Some(secs);
     }
     by_edges.print();
+
+    thread_sweep(&args, base_nodes, base_edges);
+}
+
+/// A named timing closure: runs a method on a graph under a context and
+/// returns the wall-clock seconds.
+type TimedMethod<'a> = (&'a str, Box<dyn Fn(&Graph, &EmbedContext) -> f64>);
+
+/// Sweeps the thread budget on the largest generated graph and reports the
+/// wall-clock speedup of each parallelized method over its 1-thread run.
+fn thread_sweep(args: &HarnessArgs, base_nodes: usize, base_edges: usize) {
+    // The largest graph of the by-nodes sweep: 5x nodes, fixed edge count.
+    let n = base_nodes * 5;
+    let graph =
+        erdos_renyi_nm(n, base_edges, GraphKind::Directed, args.seed).expect("valid ER parameters");
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    if cores < 4 {
+        println!(
+            "note: only {cores} hardware core(s) available — thread budgets beyond that \
+             multiplex on the same core(s), so speedups below reflect scheduling overhead, \
+             not the parallel fan-out"
+        );
+    }
+    let mut table = Table::new(
+        format!(
+            "Fig. 10(c) — thread-budget sweep on the largest graph \
+             (n = {n}, m = {base_edges}, {cores} hardware cores)"
+        ),
+        &["method", "threads", "seconds", "speedup vs 1 thread"],
+    );
+    let methods: Vec<TimedMethod> = vec![
+        (
+            "ApproxPPR",
+            Box::new({
+                let (dim, seed) = (args.dimension, args.seed);
+                move |g: &Graph, ctx: &EmbedContext| {
+                    let output = approx_ppr(dim, seed).embed(g, ctx).expect("ApproxPPR runs");
+                    output.metadata().total.as_secs_f64()
+                }
+            }),
+        ),
+        (
+            "STRAP",
+            Box::new({
+                let (dim, seed) = (args.dimension, args.seed);
+                move |g: &Graph, ctx: &EmbedContext| {
+                    // δ = 1e-3 keeps the per-source push budget sensible at
+                    // bench scale while leaving the parallel fan-out dominant.
+                    let strap = Strap::new(StrapParams {
+                        dimension: dim,
+                        delta: 1e-3,
+                        seed,
+                        ..Default::default()
+                    });
+                    let output = strap.embed(g, ctx).expect("STRAP runs");
+                    output.metadata().total.as_secs_f64()
+                }
+            }),
+        ),
+        (
+            "NRP",
+            Box::new({
+                let (dim, seed) = (args.dimension, args.seed);
+                move |g: &Graph, ctx: &EmbedContext| {
+                    let output = nrp(dim, seed).embed(g, ctx).expect("NRP runs");
+                    output.metadata().total.as_secs_f64()
+                }
+            }),
+        ),
+    ];
+    for (name, run) in &methods {
+        let mut single: Option<f64> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let ctx = EmbedContext::new().with_threads(threads);
+            let secs = run(&graph, &ctx);
+            let baseline = *single.get_or_insert(secs);
+            table.add_row(vec![
+                name.to_string(),
+                threads.to_string(),
+                fmt_secs(std::time::Duration::from_secs_f64(secs)),
+                format!("{:.2}x", baseline / secs),
+            ]);
+        }
+    }
+    table.print();
 }

@@ -126,13 +126,17 @@ impl ApproxPpr {
             return Err(NrpError::InvalidParameter("graph has no nodes".into()));
         }
 
-        // Step 1: randomized SVD of the adjacency matrix.
+        // Step 1: randomized SVD of the adjacency matrix, spending the
+        // context's thread budget on the block matmuls and basis construction
+        // (bitwise identical for any budget).
+        let threads = ctx.thread_budget();
         let adjacency = AdjacencyOperator::new(graph);
         let iterations = RandomizedSvd::iterations_for_epsilon(n, p.epsilon);
         let svd = RandomizedSvd::new(p.half_dimension)
             .iterations(iterations)
             .method(p.svd_method)
             .seed(ctx.seed_or(p.seed))
+            .threads(threads)
             .compute(&adjacency)?;
         let sqrt_sigma: Vec<f64> = svd
             .singular_values
@@ -149,7 +153,6 @@ impl ApproxPpr {
         y.scale_cols(&sqrt_sigma)?;
 
         // Step 3: fold in higher-order hops: Xᵢ = (1-α) P Xᵢ₋₁ + X₁.
-        let threads = ctx.thread_budget();
         let mut x = x1.clone();
         for _ in 2..=p.num_hops {
             ctx.ensure_active()?;
@@ -186,7 +189,7 @@ impl Embedder for ApproxPpr {
         let seed = ctx.seed_or(self.params.seed);
         let mut clock = StageClock::start();
         let (x, y) = self.factorize_with(graph, ctx)?;
-        clock.lap("factorize");
+        clock.lap_parallel("factorize", ctx.thread_budget());
         let embedding = Embedding::new(x, y, self.name())?;
         clock.lap("assemble");
         Ok(EmbedOutput::new(embedding, self.config(), seed, ctx, clock))

@@ -98,6 +98,10 @@ pub struct StageTiming {
     pub name: &'static str,
     /// Elapsed wall-clock time of the stage.
     pub duration: Duration,
+    /// Number of worker threads the stage ran with (1 for sequential
+    /// stages).  Thanks to the workspace-wide determinism contract this is
+    /// purely a performance record: the stage's output never depends on it.
+    pub threads: usize,
 }
 
 /// Records stage boundaries during an embedding run.
@@ -128,12 +132,20 @@ impl StageClock {
         }
     }
 
-    /// Closes the current stage under `name` and starts the next one.
+    /// Closes the current stage under `name` and starts the next one
+    /// (recorded as sequential; see [`StageClock::lap_parallel`]).
     pub fn lap(&mut self, name: &'static str) {
+        self.lap_parallel(name, 1);
+    }
+
+    /// Closes the current stage under `name`, recording that it ran with
+    /// `threads` worker threads, and starts the next one.
+    pub fn lap_parallel(&mut self, name: &'static str, threads: usize) {
         let now = Instant::now();
         self.stages.push(StageTiming {
             name,
             duration: now.duration_since(self.last),
+            threads: threads.max(1),
         });
         self.last = now;
     }
@@ -271,10 +283,14 @@ mod tests {
     fn stage_clock_records_laps_in_order() {
         let mut clock = StageClock::start();
         clock.lap("a");
-        clock.lap("b");
-        assert_eq!(clock.stages().len(), 2);
+        clock.lap_parallel("b", 4);
+        clock.lap_parallel("c", 0);
+        assert_eq!(clock.stages().len(), 3);
         assert_eq!(clock.stages()[0].name, "a");
+        assert_eq!(clock.stages()[0].threads, 1);
         assert_eq!(clock.stages()[1].name, "b");
+        assert_eq!(clock.stages()[1].threads, 4);
+        assert_eq!(clock.stages()[2].threads, 1, "thread counts clamp to >= 1");
         assert!(clock.elapsed() >= clock.stages()[0].duration);
     }
 
@@ -287,6 +303,7 @@ mod tests {
             stages: vec![StageTiming {
                 name: "x",
                 duration: Duration::from_millis(5),
+                threads: 2,
             }],
             total: Duration::from_millis(6),
         };

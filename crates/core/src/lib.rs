@@ -50,12 +50,19 @@ pub mod ppr;
 pub mod push;
 pub mod reweight;
 
+/// Deterministic data-parallel primitives (re-exported from `nrp-linalg`):
+/// scoped-thread chunked map/reduce with stable chunk ordering.  Everything
+/// built on this module is bitwise identical for any thread budget — the
+/// contract behind [`EmbedContext::with_threads`](context::EmbedContext).
+pub use nrp_linalg::parallel;
+
 pub use approx_ppr::{ApproxPpr, ApproxPprParams};
 pub use config::{register_method, registered_methods, MethodConfig};
 pub use context::{EmbedContext, EmbedOutput, RunMetadata, StageClock, StageTiming};
 pub use embedding::{Embedder, Embedding};
 pub use error::NrpError;
 pub use nrp::{Nrp, NrpParams};
+pub use nrp_linalg::DanglingPolicy;
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, NrpError>;

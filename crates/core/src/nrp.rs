@@ -237,7 +237,7 @@ impl Nrp {
         let seed = ctx.seed_or(self.params.seed);
         let approx = ApproxPpr::new(self.params.approx_ppr_params(seed));
         let (mut x, mut y) = approx.factorize_with(graph, ctx)?;
-        clock.lap("approx_ppr");
+        clock.lap_parallel("approx_ppr", ctx.thread_budget());
         let weights = if self.params.reweight_epochs > 0 {
             learn_weights_with(graph, &x, &y, &self.params.reweight_config(seed), ctx)?
         } else {

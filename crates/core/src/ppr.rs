@@ -6,9 +6,15 @@
 //! meant for the Table 1 / Fig. 2 harnesses, for ground truth in tests of
 //! ApproxPPR's error bound (Theorem 1), and for the motivation check that
 //! `π(v9, v7) > π(v2, v4)` on the example graph.
+//!
+//! Dangling nodes follow the workspace-wide [`DanglingPolicy`]: by default a
+//! walk that reaches a node with no out-neighbours terminates *there* (the
+//! node carries an implicit self-loop), so every PPR row sums to exactly 1.
+//! [`PprMatrix::exact_with_policy`] exposes the leaky `ZeroRow` alternative
+//! for comparisons.
 
 use nrp_graph::{Graph, NodeId};
-use nrp_linalg::{DenseMatrix, LinearOperator, TransitionOperator};
+use nrp_linalg::{DanglingPolicy, DenseMatrix, LinearOperator, TransitionOperator};
 
 use crate::{NrpError, Result};
 
@@ -22,8 +28,18 @@ pub struct PprMatrix {
 impl PprMatrix {
     /// Computes the PPR matrix of `graph` with decay factor `alpha`,
     /// truncating the series when the residual mass `(1-α)^i` drops below
-    /// `tol`.
+    /// `tol`, under the default [`DanglingPolicy::SelfLoop`].
     pub fn exact(graph: &Graph, alpha: f64, tol: f64) -> Result<Self> {
+        Self::exact_with_policy(graph, alpha, tol, DanglingPolicy::default())
+    }
+
+    /// [`PprMatrix::exact`] under an explicit dangling-node policy.
+    pub fn exact_with_policy(
+        graph: &Graph,
+        alpha: f64,
+        tol: f64,
+        policy: DanglingPolicy,
+    ) -> Result<Self> {
         validate_alpha(alpha)?;
         if tol <= 0.0 || tol >= 1.0 {
             return Err(NrpError::InvalidParameter(format!(
@@ -31,7 +47,7 @@ impl PprMatrix {
             )));
         }
         let n = graph.num_nodes();
-        let op = TransitionOperator::new(graph);
+        let op = TransitionOperator::with_policy(graph, policy);
         // Iterate rows of Π: start with the identity (walk of length 0) and
         // repeatedly multiply by P on the right.  We keep the whole matrix
         // since callers want all-pairs values; `power = P^i` as dense.
@@ -86,7 +102,8 @@ impl PprMatrix {
 /// `p_{i} = α e_u + (1-α) p_{i-1} P`, run until the change is below `tol`.
 ///
 /// Linear in `m` per iteration, so usable on larger graphs than
-/// [`PprMatrix::exact`].
+/// [`PprMatrix::exact`].  Dangling nodes follow the default
+/// [`DanglingPolicy::SelfLoop`], so the returned row sums to 1 (up to `tol`).
 pub fn single_source_ppr(graph: &Graph, source: NodeId, alpha: f64, tol: f64) -> Result<Vec<f64>> {
     validate_alpha(alpha)?;
     let n = graph.num_nodes();
@@ -117,8 +134,10 @@ pub fn single_source_ppr(graph: &Graph, source: NodeId, alpha: f64, tol: f64) ->
             }
             let d = graph.out_degree(u as NodeId);
             if d == 0 {
-                // Dangling node: the walk halts; mass leaves the system,
-                // matching the matrix-series definition where P has a zero row.
+                // Dangling node: the walk halts *here* (implicit self-loop,
+                // matching `DanglingPolicy::SelfLoop`), so the surviving mass
+                // stays at u instead of leaving the system.
+                next[u] += (1.0 - alpha) * mass;
                 continue;
             }
             let share = (1.0 - alpha) * mass / d as f64;
@@ -170,17 +189,60 @@ mod tests {
     }
 
     #[test]
-    fn dangling_path_loses_mass() {
+    fn dangling_path_conserves_mass_under_default_policy() {
+        // Node 2 of the path is dangling.  Under the default self-loop policy
+        // every walk terminates somewhere, so each PPR row sums to exactly 1
+        // (up to the series truncation) and the sink absorbs the surviving
+        // mass: π(0, 2) = (1-α)² is the largest entry of row 0.
         let g = directed_path(3).unwrap();
         let ppr = PprMatrix::exact(&g, ALPHA, TOL).unwrap();
-        // Node 2 is dangling; the walk from 0 can die there, so the row sum
-        // from node 0 is below 1 only if mass vanished... in our semantics the
-        // walk terminates *at* the dangling node eventually, so row sums are
-        // bounded by 1 and monotone along the path.
-        let sum0: f64 = ppr.row(0).iter().sum();
-        assert!(sum0 <= 1.0 + 1e-9);
-        assert!(ppr.get(0, 1) > ppr.get(0, 2));
+        for u in 0..3 {
+            let sum: f64 = ppr.row(u).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {u} sums to {sum}");
+        }
+        assert!((ppr.get(0, 2) - (1.0 - ALPHA) * (1.0 - ALPHA)).abs() < 1e-9);
         assert!(ppr.get(0, 0) >= ALPHA);
+        assert!(
+            (ppr.get(2, 2) - 1.0).abs() < 1e-9,
+            "walks from the sink stay there"
+        );
+    }
+
+    #[test]
+    fn zero_row_policy_reproduces_the_historical_mass_leak() {
+        // Regression companion to the fix: with the literal D⁻¹A matrix the
+        // ℓ1-term series silently loses the mass that reaches the sink.
+        let g = directed_path(3).unwrap();
+        let leaky = PprMatrix::exact_with_policy(&g, ALPHA, TOL, DanglingPolicy::ZeroRow).unwrap();
+        let sum0: f64 = leaky.row(0).iter().sum();
+        assert!(
+            sum0 < 1.0 - 1e-3,
+            "zero-row rows must leak mass, got {sum0}"
+        );
+        assert!(leaky.get(0, 1) > leaky.get(0, 2));
+    }
+
+    #[test]
+    fn mass_conservation_on_graph_with_many_sinks() {
+        // Several dangling nodes reachable from everywhere: rows of both the
+        // matrix series and the single-source recurrence must sum to 1.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (1, 3), (2, 4), (1, 5), (2, 0)],
+            GraphKind::Directed,
+        )
+        .unwrap();
+        let ppr = PprMatrix::exact(&g, ALPHA, TOL).unwrap();
+        for u in 0..6 {
+            let sum: f64 = ppr.row(u).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "matrix row {u} sums to {sum}");
+            let row = single_source_ppr(&g, u, ALPHA, TOL).unwrap();
+            let vec_sum: f64 = row.iter().sum();
+            assert!(
+                (vec_sum - 1.0).abs() < 1e-9,
+                "vector row {u} sums to {vec_sum}"
+            );
+        }
     }
 
     #[test]

@@ -61,24 +61,40 @@ pub fn forward_push(graph: &Graph, source: NodeId, alpha: f64, r_max: f64) -> Re
         in_queue[u as usize] = false;
         let d = graph.out_degree(u);
         let r_u = residue[u as usize];
-        let threshold = if d == 0 { r_max } else { r_max * d as f64 };
-        if r_u < threshold || r_u == 0.0 {
+        if r_u <= 0.0 {
+            continue;
+        }
+        if d == 0 {
+            // Dangling node: a walk holding this residue terminates here with
+            // probability 1, so converting it to reserve is *exact* — no
+            // threshold applies.  The residue is never spread (there is
+            // nothing to spread it over), which also rules out the
+            // non-terminating `r[u] > r_max · 0` pathology: a dangling pop
+            // always zeroes its residue and enqueues nothing.
+            num_pushes += 1;
+            residue[u as usize] = 0.0;
+            reserve[u as usize] += r_u;
+            continue;
+        }
+        if r_u < r_max * d as f64 {
             continue;
         }
         num_pushes += 1;
         residue[u as usize] = 0.0;
-        if d == 0 {
-            // Dangling node: the walk stops here, all mass becomes reserve.
-            reserve[u as usize] += r_u;
-            continue;
-        }
         reserve[u as usize] += alpha * r_u;
         let share = (1.0 - alpha) * r_u / d as f64;
         for &v in graph.out_neighbors(u) {
             residue[v as usize] += share;
             let dv = graph.out_degree(v);
-            let tv = if dv == 0 { r_max } else { r_max * dv as f64 };
-            if residue[v as usize] >= tv && !in_queue[v as usize] {
+            // Dangling neighbours are admitted for any positive residue — the
+            // conversion is free and exact; others use the standard
+            // `r ≥ r_max · dout` test.
+            let admit = if dv == 0 {
+                residue[v as usize] > 0.0
+            } else {
+                residue[v as usize] >= r_max * dv as f64
+            };
+            if admit && !in_queue[v as usize] {
                 queue.push_back(v);
                 in_queue[v as usize] = true;
             }
@@ -168,6 +184,46 @@ mod tests {
         assert!(map[&2] > 0.5);
         let total: f64 = map.values().sum();
         assert!((total + push.residual_mass - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sinks_terminate_and_hold_no_residue() {
+        // A graph where most arcs funnel into two sinks: the push loop must
+        // terminate, every sink's residue must be fully converted to reserve
+        // (the conversion is exact, no threshold applies), and the estimates
+        // must match the exact self-loop PPR at the sinks.
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (1, 4),
+                (2, 4),
+                (0, 5),
+                (5, 0),
+            ],
+            GraphKind::Directed,
+        )
+        .unwrap();
+        let push = forward_push(&g, 0, 0.2, 1e-4).unwrap();
+        // Residue at the dangling nodes 3 and 4 is always converted.
+        let exact = single_source_ppr(&g, 0, 0.2, 1e-12).unwrap();
+        let map: std::collections::HashMap<_, _> = push.estimates.iter().copied().collect();
+        for sink in [3u32, 4] {
+            let estimate = map.get(&sink).copied().unwrap_or(0.0);
+            assert!(
+                estimate <= exact[sink as usize] + 1e-9,
+                "sink {sink} estimate {estimate} above exact {}",
+                exact[sink as usize]
+            );
+            assert!(estimate > 0.0, "sink {sink} never received reserve");
+        }
+        // Everything not yet converted lives on non-dangling nodes.
+        let reserved: f64 = map.values().sum();
+        assert!((reserved + push.residual_mass - 1.0).abs() < 1e-9);
+        assert!(push.residual_mass < 6.0 * 1e-4 * 2.0 + 1e-9);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   randomized SVD run directly on graph adjacency structures without
 //!   materializing them as matrices.
 //! * [`random`] — seeded Gaussian matrix generation (Box–Muller).
+//! * [`parallel`] — deterministic scoped-thread chunked map/reduce with
+//!   stable chunk ordering; every multi-threaded kernel in the workspace is
+//!   built on it and is bitwise identical for any thread budget.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +33,7 @@ pub mod eig;
 pub mod error;
 pub mod matrix;
 pub mod operator;
+pub mod parallel;
 pub mod qr;
 pub mod random;
 pub mod randomized;
@@ -38,7 +42,9 @@ pub mod svd;
 
 pub use error::LinalgError;
 pub use matrix::DenseMatrix;
-pub use operator::{AdjacencyOperator, LinearOperator, TransitionOperator};
+pub use operator::{
+    AdjacencyOperator, DanglingPolicy, LinearOperator, SparseTransposePair, TransitionOperator,
+};
 pub use randomized::{RandomizedSvd, RandomizedSvdMethod, SvdResult};
 pub use sparse::SparseMatrix;
 

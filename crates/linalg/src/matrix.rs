@@ -1,6 +1,6 @@
 //! Row-major dense matrices.
 
-use crate::{LinalgError, Result};
+use crate::{parallel, LinalgError, Result};
 
 /// A dense, row-major matrix of `f64` values.
 ///
@@ -234,6 +234,95 @@ impl DenseMatrix {
     /// Gram matrix `selfᵀ * self`.
     pub fn gram(&self) -> DenseMatrix {
         self.transpose_matmul(self)
+            .expect("gram shapes always agree")
+    }
+
+    /// [`DenseMatrix::matmul`] over up to `threads` worker threads.
+    ///
+    /// Every output row is produced by one worker with the same inner loop as
+    /// the sequential product, so the result is bitwise identical to
+    /// [`DenseMatrix::matmul`] for every thread budget.
+    pub fn matmul_with(&self, other: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "matmul".into(),
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        if threads <= 1 {
+            return self.matmul(other);
+        }
+        let data = parallel::par_fill_rows(self.rows, other.cols, threads, |i, out_row| {
+            let a_row = self.row(i);
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * b_kj;
+                }
+            }
+        });
+        DenseMatrix::from_vec(self.rows, other.cols, data)
+    }
+
+    /// `selfᵀ * other` as a deterministic chunked map-reduce.
+    ///
+    /// The accumulation over rows is grouped into fixed chunks
+    /// ([`parallel::REDUCE_CHUNK`]) folded in order, so the result is bitwise
+    /// identical for every thread budget — including 1, which is why even the
+    /// single-threaded path goes through the chunked grouping rather than
+    /// falling back to [`DenseMatrix::transpose_matmul`] (whose row-by-row
+    /// grouping differs in the last ulp).
+    pub fn transpose_matmul_with(
+        &self,
+        other: &DenseMatrix,
+        threads: usize,
+    ) -> Result<DenseMatrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "transpose_matmul".into(),
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let partial = |range: std::ops::Range<usize>| -> DenseMatrix {
+            let mut out = DenseMatrix::zeros(self.cols, other.cols);
+            for r in range {
+                let a_row = self.row(r);
+                let b_row = other.row(r);
+                for (i, &a_ri) in a_row.iter().enumerate() {
+                    if a_ri == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                    for (j, &b_rj) in b_row.iter().enumerate() {
+                        out_row[j] += a_ri * b_rj;
+                    }
+                }
+            }
+            out
+        };
+        let folded = parallel::par_reduce(
+            self.rows,
+            parallel::REDUCE_CHUNK,
+            threads,
+            partial,
+            |mut a, b| {
+                a.axpy(1.0, &b).expect("partials share a shape");
+                a
+            },
+        );
+        Ok(folded.unwrap_or_else(|| DenseMatrix::zeros(self.cols, other.cols)))
+    }
+
+    /// Gram matrix `selfᵀ * self` over up to `threads` worker threads
+    /// (see [`DenseMatrix::transpose_matmul_with`] for the determinism
+    /// contract).
+    pub fn gram_with(&self, threads: usize) -> DenseMatrix {
+        self.transpose_matmul_with(self, threads)
             .expect("gram shapes always agree")
     }
 
@@ -542,6 +631,42 @@ mod tests {
         assert_eq!(DenseMatrix::row_dot(&a, 0, &a, 1), 11.0);
         assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
         assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_with_is_bitwise_equal_to_sequential() {
+        let a = DenseMatrix::from_fn(67, 31, |i, j| ((i * 31 + j) % 13) as f64 * 0.37 - 1.1);
+        let b = DenseMatrix::from_fn(31, 9, |i, j| ((i + 2 * j) % 7) as f64 * 0.21 + 0.4);
+        let sequential = a.matmul(&b).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            assert_eq!(
+                a.matmul_with(&b, threads).unwrap(),
+                sequential,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn transpose_matmul_with_is_thread_invariant_and_accurate() {
+        let a = DenseMatrix::from_fn(143, 5, |i, j| ((i * 5 + j) % 11) as f64 * 0.3 - 0.9);
+        let b = DenseMatrix::from_fn(143, 4, |i, j| ((i + j) % 9) as f64 * 0.17 + 0.2);
+        let reference = a.transpose_matmul_with(&b, 1).unwrap();
+        for threads in [2usize, 4, 7] {
+            assert_eq!(a.transpose_matmul_with(&b, threads).unwrap(), reference);
+        }
+        // Numerically the chunked grouping agrees with the plain product.
+        let plain = a.transpose_matmul(&b).unwrap();
+        assert!(reference.sub(&plain).unwrap().max_abs() < 1e-10);
+        assert_eq!(a.gram_with(3), a.transpose_matmul_with(&a, 1).unwrap());
+    }
+
+    #[test]
+    fn parallel_products_check_shapes() {
+        let a = DenseMatrix::zeros(3, 4);
+        let b = DenseMatrix::zeros(5, 2);
+        assert!(a.matmul_with(&b, 2).is_err());
+        assert!(a.transpose_matmul_with(&b, 2).is_err());
     }
 
     #[test]

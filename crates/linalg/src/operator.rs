@@ -1,15 +1,30 @@
 //! Linear-operator abstraction over matrices that are never materialized.
 //!
 //! The randomized SVD and the PPR propagation only ever touch the adjacency
-//! matrix `A` and the transition matrix `P = D⁻¹A` through products with
-//! tall-skinny dense matrices.  [`LinearOperator`] captures exactly that
-//! interface, and [`AdjacencyOperator`] / [`TransitionOperator`] implement it
-//! directly on top of the graph's CSR structure — `O(m·k)` per product and no
-//! `n × n` storage, the property that lets NRP scale to large graphs.
+//! matrix `A` and the transition matrix `P` through products with tall-skinny
+//! dense matrices.  [`LinearOperator`] captures exactly that interface, and
+//! [`AdjacencyOperator`] / [`TransitionOperator`] implement it directly on
+//! top of the graph's CSR structure — `O(m·k)` per product and no `n × n`
+//! storage, the property that lets NRP scale to large graphs.
+//!
+//! All operators expose threaded products ([`LinearOperator::apply_with`] /
+//! [`LinearOperator::apply_transpose_with`]) with the workspace-wide
+//! determinism contract: **the result is bitwise identical for every thread
+//! budget**, because every output row is produced by exactly one worker with
+//! the same summation order (see [`crate::parallel`]).
+//!
+//! Dangling nodes (out-degree zero) are handled by an explicit
+//! [`DanglingPolicy`].  The default, [`DanglingPolicy::SelfLoop`], treats a
+//! dangling node as carrying an implicit self-loop, so every row of `P` sums
+//! to 1 and the PPR series conserves probability mass — matching the paper's
+//! random-walk semantics (an α-decaying walk at a node with no out-neighbours
+//! terminates *there*, it does not vanish) and the forward-push primitive in
+//! `nrp-core`.  [`DanglingPolicy::ZeroRow`] keeps the literal `D⁻¹A` matrix
+//! with all-zero dangling rows, under which mass leaks out of the series.
 
 use nrp_graph::Graph;
 
-use crate::{DenseMatrix, LinalgError, Result, SparseMatrix};
+use crate::{parallel, DenseMatrix, LinalgError, Result, SparseMatrix};
 
 /// A real linear operator `A : R^{ncols} -> R^{nrows}` accessed only through
 /// matrix products.
@@ -22,6 +37,23 @@ pub trait LinearOperator {
     fn apply(&self, x: &DenseMatrix) -> Result<DenseMatrix>;
     /// Computes `Aᵀ * x` for a dense `x` with `nrows()` rows.
     fn apply_transpose(&self, x: &DenseMatrix) -> Result<DenseMatrix>;
+
+    /// Computes `A * x` with up to `threads` worker threads.
+    ///
+    /// Implementations must be bitwise identical for every thread budget and
+    /// must agree with [`LinearOperator::apply`]; the default simply runs the
+    /// sequential product.
+    fn apply_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        let _ = threads;
+        self.apply(x)
+    }
+
+    /// Computes `Aᵀ * x` with up to `threads` worker threads (same contract
+    /// as [`LinearOperator::apply_with`]).
+    fn apply_transpose_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        let _ = threads;
+        self.apply_transpose(x)
+    }
 }
 
 fn check_rows(expected: usize, x: &DenseMatrix, operation: &str) -> Result<()> {
@@ -47,6 +79,25 @@ impl<'g> AdjacencyOperator<'g> {
     pub fn new(graph: &'g Graph) -> Self {
         Self { graph }
     }
+
+    fn fill_apply_row(&self, x: &DenseMatrix, u: usize, out_row: &mut [f64]) {
+        for &v in self.graph.out_neighbors(u as u32) {
+            let x_row = x.row(v as usize);
+            for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                *o += xv;
+            }
+        }
+    }
+
+    fn fill_transpose_row(&self, x: &DenseMatrix, u: usize, out_row: &mut [f64]) {
+        // Row u of Aᵀ has ones at the in-neighbours of u.
+        for &v in self.graph.in_neighbors(u as u32) {
+            let x_row = x.row(v as usize);
+            for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                *o += xv;
+            }
+        }
+    }
 }
 
 impl LinearOperator for AdjacencyOperator<'_> {
@@ -59,73 +110,146 @@ impl LinearOperator for AdjacencyOperator<'_> {
     }
 
     fn apply(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
-        check_rows(self.ncols(), x, "adjacency * dense")?;
-        let n = self.graph.num_nodes();
-        let mut out = DenseMatrix::zeros(n, x.cols());
-        for u in 0..n {
-            let out_row = out.row_mut(u);
-            for &v in self.graph.out_neighbors(u as u32) {
-                let x_row = x.row(v as usize);
-                for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                    *o += xv;
-                }
-            }
-        }
-        Ok(out)
+        self.apply_with(x, 1)
     }
 
     fn apply_transpose(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        self.apply_transpose_with(x, 1)
+    }
+
+    fn apply_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        check_rows(self.ncols(), x, "adjacency * dense")?;
+        let n = self.graph.num_nodes();
+        let data = parallel::par_fill_rows(n, x.cols(), threads, |u, out_row| {
+            self.fill_apply_row(x, u, out_row)
+        });
+        DenseMatrix::from_vec(n, x.cols(), data)
+    }
+
+    fn apply_transpose_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
         check_rows(self.nrows(), x, "adjacencyᵀ * dense")?;
         let n = self.graph.num_nodes();
-        let mut out = DenseMatrix::zeros(n, x.cols());
-        for u in 0..n {
-            // Row u of Aᵀ has ones at the in-neighbours of u.
-            let out_row = out.row_mut(u);
-            for &v in self.graph.in_neighbors(u as u32) {
-                let x_row = x.row(v as usize);
-                for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                    *o += xv;
-                }
-            }
-        }
-        Ok(out)
+        let data = parallel::par_fill_rows(n, x.cols(), threads, |u, out_row| {
+            self.fill_transpose_row(x, u, out_row)
+        });
+        DenseMatrix::from_vec(n, x.cols(), data)
     }
 }
 
-/// The random-walk transition matrix `P = D⁻¹A` of a graph
-/// (`P[u, v] = 1/dout(u)` for each out-neighbour `v` of `u`).
-///
-/// Rows of dangling nodes (out-degree zero) are all-zero, matching the
-/// "terminate the walk" semantics the paper's PPR definition implies for
-/// nodes without out-neighbours.
+/// How the transition matrix treats dangling nodes (out-degree zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DanglingPolicy {
+    /// A dangling node carries an implicit self-loop: its row of `P` is the
+    /// unit vector `e_u`, so every row sums to 1 and the PPR series conserves
+    /// probability mass.  This matches the paper's walk semantics (a walk at
+    /// a node with no out-neighbours terminates there) and the forward-push
+    /// primitive, and is the default.
+    #[default]
+    SelfLoop,
+    /// The literal `D⁻¹A` matrix: dangling rows are all-zero and the mass of
+    /// a walk that reaches one vanishes from the series.  Kept for
+    /// comparisons and for callers that want the raw matrix.
+    ZeroRow,
+}
+
+/// The random-walk transition matrix `P` of a graph
+/// (`P[u, v] = 1/dout(u)` for each out-neighbour `v` of `u`, with dangling
+/// rows resolved by a [`DanglingPolicy`]).
 #[derive(Debug, Clone)]
 pub struct TransitionOperator<'g> {
     graph: &'g Graph,
     inv_out_degree: Vec<f64>,
+    policy: DanglingPolicy,
 }
 
 impl<'g> TransitionOperator<'g> {
-    /// Wraps a graph as its transition matrix.
+    /// Wraps a graph as its transition matrix under the default
+    /// [`DanglingPolicy::SelfLoop`].
     pub fn new(graph: &'g Graph) -> Self {
+        Self::with_policy(graph, DanglingPolicy::default())
+    }
+
+    /// Wraps a graph as its transition matrix under an explicit policy.
+    pub fn with_policy(graph: &'g Graph, policy: DanglingPolicy) -> Self {
         let inv_out_degree = (0..graph.num_nodes())
             .map(|u| {
                 let d = graph.out_degree(u as u32);
-                if d == 0 {
-                    0.0
-                } else {
-                    1.0 / d as f64
+                match (d, policy) {
+                    (0, DanglingPolicy::SelfLoop) => 1.0,
+                    (0, DanglingPolicy::ZeroRow) => 0.0,
+                    (d, _) => 1.0 / d as f64,
                 }
             })
             .collect();
         Self {
             graph,
             inv_out_degree,
+            policy,
         }
     }
 
-    /// The vector of `1/dout(u)` values (0 for dangling nodes).
+    /// The dangling-node policy in effect.
+    pub fn policy(&self) -> DanglingPolicy {
+        self.policy
+    }
+
+    /// The vector of `1/dout(u)` values.  Under [`DanglingPolicy::SelfLoop`]
+    /// a dangling node's entry is 1 (its implicit self-loop gives it degree
+    /// one); under [`DanglingPolicy::ZeroRow`] it is 0.
     pub fn inverse_out_degrees(&self) -> &[f64] {
         &self.inv_out_degree
+    }
+
+    fn is_dangling(&self, u: usize) -> bool {
+        self.graph.out_degree(u as u32) == 0
+    }
+
+    fn fill_apply_row(&self, x: &DenseMatrix, u: usize, out_row: &mut [f64]) {
+        let w = self.inv_out_degree[u];
+        if w == 0.0 {
+            return; // ZeroRow dangling node.
+        }
+        let neighbors = self.graph.out_neighbors(u as u32);
+        if neighbors.is_empty() {
+            // SelfLoop dangling node: row u of P is e_u.
+            out_row.copy_from_slice(x.row(u));
+            return;
+        }
+        for &v in neighbors {
+            let x_row = x.row(v as usize);
+            for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                *o += w * xv;
+            }
+        }
+    }
+
+    fn fill_transpose_row(&self, x: &DenseMatrix, v: usize, out_row: &mut [f64]) {
+        // Row v of Pᵀ gathers from the in-neighbours of v (sorted ascending),
+        // plus v itself when v is a dangling self-loop.  The self contribution
+        // is merged at its sorted position so the summation order matches a
+        // scatter over ascending source nodes exactly.
+        let mut self_pending = self.is_dangling(v) && self.policy == DanglingPolicy::SelfLoop;
+        for &u in self.graph.in_neighbors(v as u32) {
+            if self_pending && (u as usize) > v {
+                for (o, &xv) in out_row.iter_mut().zip(x.row(v)) {
+                    *o += xv;
+                }
+                self_pending = false;
+            }
+            // An in-neighbour of v has the arc u → v, so it is never
+            // dangling and its weight is 1/dout(u) under both policies.
+            let w = self.inv_out_degree[u as usize];
+            debug_assert!(w > 0.0 && !self.is_dangling(u as usize));
+            let x_row = x.row(u as usize);
+            for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                *o += w * xv;
+            }
+        }
+        if self_pending {
+            for (o, &xv) in out_row.iter_mut().zip(x.row(v)) {
+                *o += xv;
+            }
+        }
     }
 
     /// Computes `P * x` with up to `threads` worker threads over disjoint row
@@ -133,50 +257,7 @@ impl<'g> TransitionOperator<'g> {
     /// row is produced by exactly one thread with the same summation order,
     /// so results do not depend on the thread budget.
     pub fn apply_parallel(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
-        let n = self.graph.num_nodes();
-        let threads = threads.clamp(1, n.max(1));
-        if threads == 1 {
-            return self.apply(x);
-        }
-        check_rows(self.ncols(), x, "transition * dense")?;
-        let cols = x.cols();
-        let chunk = n.div_ceil(threads);
-        let chunks: Vec<Vec<f64>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(n);
-                if start >= end {
-                    break;
-                }
-                handles.push(scope.spawn(move || {
-                    let mut out = vec![0.0; (end - start) * cols];
-                    for u in start..end {
-                        let w = self.inv_out_degree[u];
-                        if w == 0.0 {
-                            continue;
-                        }
-                        let out_row = &mut out[(u - start) * cols..(u - start + 1) * cols];
-                        for &v in self.graph.out_neighbors(u as u32) {
-                            let x_row = x.row(v as usize);
-                            for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                                *o += w * xv;
-                            }
-                        }
-                    }
-                    out
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        });
-        let mut data = Vec::with_capacity(n * cols);
-        for part in chunks {
-            data.extend_from_slice(&part);
-        }
-        DenseMatrix::from_vec(n, cols, data)
+        self.apply_with(x, threads)
     }
 }
 
@@ -190,43 +271,29 @@ impl LinearOperator for TransitionOperator<'_> {
     }
 
     fn apply(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
-        check_rows(self.ncols(), x, "transition * dense")?;
-        let n = self.graph.num_nodes();
-        let mut out = DenseMatrix::zeros(n, x.cols());
-        for u in 0..n {
-            let w = self.inv_out_degree[u];
-            if w == 0.0 {
-                continue;
-            }
-            let out_row = out.row_mut(u);
-            for &v in self.graph.out_neighbors(u as u32) {
-                let x_row = x.row(v as usize);
-                for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                    *o += w * xv;
-                }
-            }
-        }
-        Ok(out)
+        self.apply_with(x, 1)
     }
 
     fn apply_transpose(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        self.apply_transpose_with(x, 1)
+    }
+
+    fn apply_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        check_rows(self.ncols(), x, "transition * dense")?;
+        let n = self.graph.num_nodes();
+        let data = parallel::par_fill_rows(n, x.cols(), threads, |u, out_row| {
+            self.fill_apply_row(x, u, out_row)
+        });
+        DenseMatrix::from_vec(n, x.cols(), data)
+    }
+
+    fn apply_transpose_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
         check_rows(self.nrows(), x, "transitionᵀ * dense")?;
         let n = self.graph.num_nodes();
-        let mut out = DenseMatrix::zeros(n, x.cols());
-        for u in 0..n {
-            let w = self.inv_out_degree[u];
-            if w == 0.0 {
-                continue;
-            }
-            let x_row = x.row(u);
-            for &v in self.graph.out_neighbors(u as u32) {
-                let out_row = out.row_mut(v as usize);
-                for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                    *o += w * xv;
-                }
-            }
-        }
-        Ok(out)
+        let data = parallel::par_fill_rows(n, x.cols(), threads, |v, out_row| {
+            self.fill_transpose_row(x, v, out_row)
+        });
+        DenseMatrix::from_vec(n, x.cols(), data)
     }
 }
 
@@ -246,6 +313,14 @@ impl LinearOperator for DenseMatrix {
     fn apply_transpose(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
         self.transpose_matmul(x)
     }
+
+    fn apply_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        self.matmul_with(x, threads)
+    }
+    // apply_transpose_with keeps the sequential default: the accumulation
+    // over rows would need the chunked-reduce grouping, which differs in the
+    // last ulp from `transpose_matmul`.  Dense operators only appear in tests
+    // and tiny problems, so there is nothing to win.
 }
 
 impl LinearOperator for SparseMatrix {
@@ -263,6 +338,67 @@ impl LinearOperator for SparseMatrix {
 
     fn apply_transpose(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
         self.transpose_matmul_dense(x)
+    }
+
+    fn apply_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        self.matmul_dense_with(x, threads)
+    }
+    // apply_transpose_with keeps the sequential default; callers that need a
+    // threaded transpose product wrap the matrix in a [`SparseTransposePair`]
+    // so both directions are row-parallel gathers.
+}
+
+/// A sparse matrix paired with its precomputed transpose, so that both
+/// `A * x` and `Aᵀ * x` are row-parallel CSR gathers — the form the
+/// randomized SVD needs to spend its thread budget on sparse inputs (STRAP's
+/// proximity matrix).  Gathering over the transpose visits sources in the
+/// same ascending order as the sequential scatter, so results are bitwise
+/// identical to [`SparseMatrix::transpose_matmul_dense`].
+#[derive(Debug, Clone)]
+pub struct SparseTransposePair {
+    forward: SparseMatrix,
+    transpose: SparseMatrix,
+}
+
+impl SparseTransposePair {
+    /// Builds the pair, materializing the transpose once.
+    pub fn new(matrix: SparseMatrix) -> Self {
+        let transpose = matrix.transpose();
+        Self {
+            forward: matrix,
+            transpose,
+        }
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &SparseMatrix {
+        &self.forward
+    }
+}
+
+impl LinearOperator for SparseTransposePair {
+    fn nrows(&self) -> usize {
+        self.forward.rows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.forward.cols()
+    }
+
+    fn apply(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        self.forward.matmul_dense(x)
+    }
+
+    fn apply_transpose(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        self.transpose.matmul_dense(x)
+    }
+
+    fn apply_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        self.forward.matmul_dense_with(x, threads)
+    }
+
+    fn apply_transpose_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        self.transpose.matmul_dense_with(x, threads)
     }
 }
 
@@ -283,6 +419,11 @@ mod tests {
             GraphKind::Directed,
         )
         .unwrap()
+    }
+
+    /// 0 → 1 → 2 with 2 dangling, plus 3 → 2 so node 2 has two in-neighbours.
+    fn dangling_graph() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (3, 2), (3, 0)], GraphKind::Directed).unwrap()
     }
 
     #[test]
@@ -311,26 +452,47 @@ mod tests {
     }
 
     #[test]
-    fn transition_rows_sum_to_one_or_zero() {
+    fn transition_rows_sum_to_one_under_self_loop_policy() {
         let g = Graph::from_edges(3, &[(0, 1), (0, 2)], GraphKind::Directed).unwrap();
         let op = TransitionOperator::new(&g);
+        assert_eq!(op.policy(), DanglingPolicy::SelfLoop);
         let dense = to_dense(&op).unwrap();
-        let row0: f64 = dense.row(0).iter().sum();
-        let row1: f64 = dense.row(1).iter().sum();
-        assert!((row0 - 1.0).abs() < 1e-12);
-        assert_eq!(row1, 0.0); // dangling node
+        for u in 0..3 {
+            let sum: f64 = dense.row(u).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row {u} sums to {sum}");
+        }
+        // Dangling rows are unit vectors at the node itself.
+        assert_eq!(dense.get(1, 1), 1.0);
+        assert_eq!(dense.get(2, 2), 1.0);
         assert_eq!(dense.get(0, 1), 0.5);
+        assert_eq!(op.inverse_out_degrees(), &[0.5, 1.0, 1.0]);
     }
 
     #[test]
-    fn transition_transpose_matches_dense() {
-        let g = toy();
-        let op = TransitionOperator::new(&g);
+    fn transition_zero_row_policy_keeps_dangling_rows_empty() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2)], GraphKind::Directed).unwrap();
+        let op = TransitionOperator::with_policy(&g, DanglingPolicy::ZeroRow);
         let dense = to_dense(&op).unwrap();
-        let x = DenseMatrix::from_fn(4, 2, |i, j| ((i + 1) * (j + 2)) as f64);
-        let fast = op.apply_transpose(&x).unwrap();
-        let slow = dense.transpose().matmul(&x).unwrap();
-        assert!(fast.sub(&slow).unwrap().frobenius_norm() < 1e-12);
+        let row1: f64 = dense.row(1).iter().sum();
+        assert_eq!(row1, 0.0);
+        assert_eq!(op.inverse_out_degrees(), &[0.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn transition_transpose_matches_dense_for_both_policies() {
+        for policy in [DanglingPolicy::SelfLoop, DanglingPolicy::ZeroRow] {
+            for g in [toy(), dangling_graph()] {
+                let op = TransitionOperator::with_policy(&g, policy);
+                let dense = to_dense(&op).unwrap();
+                let x = DenseMatrix::from_fn(4, 2, |i, j| ((i + 1) * (j + 2)) as f64);
+                let fast = op.apply_transpose(&x).unwrap();
+                let slow = dense.transpose().matmul(&x).unwrap();
+                assert!(
+                    fast.sub(&slow).unwrap().frobenius_norm() < 1e-12,
+                    "{policy:?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -338,6 +500,7 @@ mod tests {
         let a = DenseMatrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
         let x = DenseMatrix::from_fn(4, 2, |i, j| (i + j) as f64);
         assert_eq!(a.apply(&x).unwrap(), a.matmul(&x).unwrap());
+        assert_eq!(a.apply_with(&x, 3).unwrap(), a.matmul(&x).unwrap());
         let y = DenseMatrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
         assert_eq!(
             a.apply_transpose(&y).unwrap(),
@@ -355,6 +518,40 @@ mod tests {
     }
 
     #[test]
+    fn sparse_transpose_pair_matches_plain_sparse_products() {
+        let m = SparseMatrix::from_triplets(
+            5,
+            4,
+            &[
+                (0, 1, 2.0),
+                (1, 3, -1.0),
+                (2, 0, 0.5),
+                (4, 2, 3.0),
+                (4, 0, 1.5),
+            ],
+        )
+        .unwrap();
+        let pair = SparseTransposePair::new(m.clone());
+        let x = DenseMatrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 0.1 + 1.0);
+        let y = DenseMatrix::from_fn(5, 3, |i, j| (i + 2 * j) as f64 * 0.2 - 0.5);
+        assert_eq!(pair.apply(&x).unwrap(), m.matmul_dense(&x).unwrap());
+        assert_eq!(
+            pair.apply_transpose(&y).unwrap(),
+            m.transpose_matmul_dense(&y).unwrap()
+        );
+        for threads in [1usize, 2, 5] {
+            assert_eq!(
+                pair.apply_with(&x, threads).unwrap(),
+                pair.apply(&x).unwrap()
+            );
+            assert_eq!(
+                pair.apply_transpose_with(&y, threads).unwrap(),
+                pair.apply_transpose(&y).unwrap()
+            );
+        }
+    }
+
+    #[test]
     fn shape_mismatch_is_rejected() {
         let g = toy();
         let op = AdjacencyOperator::new(&g);
@@ -365,13 +562,23 @@ mod tests {
 
     #[test]
     fn parallel_transition_apply_matches_sequential() {
-        let g = toy();
-        let op = TransitionOperator::new(&g);
-        let x = DenseMatrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 0.25 + 0.1);
-        let sequential = op.apply(&x).unwrap();
-        for threads in [1usize, 2, 3, 8] {
-            let parallel = op.apply_parallel(&x, threads).unwrap();
-            assert_eq!(parallel, sequential, "threads = {threads}");
+        for g in [toy(), dangling_graph()] {
+            let op = TransitionOperator::new(&g);
+            let x = DenseMatrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 0.25 + 0.1);
+            let sequential = op.apply(&x).unwrap();
+            let sequential_t = op.apply_transpose(&x).unwrap();
+            for threads in [1usize, 2, 3, 8] {
+                assert_eq!(
+                    op.apply_parallel(&x, threads).unwrap(),
+                    sequential,
+                    "threads = {threads}"
+                );
+                assert_eq!(
+                    op.apply_transpose_with(&x, threads).unwrap(),
+                    sequential_t,
+                    "threads = {threads}"
+                );
+            }
         }
     }
 

@@ -1,0 +1,278 @@
+//! Deterministic data-parallel execution primitives.
+//!
+//! Every heavy stage in the workspace — the randomized SVD's block matmuls,
+//! STRAP's per-source forward pushes, random-walk generation — parallelizes
+//! through the helpers in this module, and they all share one contract:
+//!
+//! > **The result is bitwise identical for every thread budget, including 1.**
+//!
+//! Three rules make that true:
+//!
+//! 1. Work is split into *chunks* whose boundaries depend only on the problem
+//!    size (never on the thread count), so floating-point accumulations are
+//!    always grouped the same way.
+//! 2. Each chunk's result is computed by exactly one worker with a fixed
+//!    internal iteration order, so a chunk's value does not depend on which
+//!    worker ran it or when.
+//! 3. Chunk results are merged (concatenated or folded) in ascending chunk
+//!    order on the calling thread.
+//!
+//! Workers are `std::thread::scope` threads pulling chunk indices from an
+//! atomic counter, which gives dynamic load balancing (important for skewed
+//! workloads such as per-source PPR pushes) without sacrificing rule 2/3.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Chunk size used by the dense row-parallel kernels.  Any value works; this
+/// one keeps scheduling overhead negligible while still splitting matrices of
+/// a few thousand rows across a typical core count.
+pub const ROW_CHUNK: usize = 128;
+
+/// Chunk size used by the deterministic reductions (`transpose_matmul_with`,
+/// `gram_with`).  Must stay fixed across calls: it defines the grouping of
+/// the floating-point partial sums.
+pub const REDUCE_CHUNK: usize = 4096;
+
+/// Clamps a requested thread budget to something sensible for `work_items`
+/// units of work (at least 1, at most one thread per item).
+pub fn effective_threads(threads: usize, work_items: usize) -> usize {
+    threads.max(1).min(work_items.max(1))
+}
+
+/// Splits `0..n` into ranges of `chunk_size` (the last may be shorter).
+fn chunk_ranges(n: usize, chunk_size: usize) -> Vec<Range<usize>> {
+    let chunk_size = chunk_size.max(1);
+    (0..n.div_ceil(chunk_size))
+        .map(|c| c * chunk_size..n.min((c + 1) * chunk_size))
+        .collect()
+}
+
+/// Maps `f` over fixed chunks of `0..n` with up to `threads` workers and
+/// returns the per-chunk results **in ascending chunk order**.
+///
+/// `chunk_size` must not be derived from `threads` — callers pass a constant
+/// (or a pure function of `n`) so the chunk grid, and therefore any
+/// order-sensitive computation downstream, is identical for every budget.
+pub fn par_chunk_map<T, F>(n: usize, chunk_size: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = chunk_ranges(n, chunk_size);
+    let num_chunks = ranges.len();
+    let threads = effective_threads(threads, num_chunks);
+    if threads <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let ranges_ref = &ranges;
+    let f_ref = &f;
+    let next_ref = &next;
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let c = next_ref.fetch_add(1, Ordering::Relaxed);
+                        if c >= num_chunks {
+                            break;
+                        }
+                        local.push((c, f_ref(ranges_ref[c].clone())));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..num_chunks).map(|_| None).collect();
+    for local in per_worker {
+        for (c, value) in local {
+            slots[c] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chunk produces a result"))
+        .collect()
+}
+
+/// Fallible variant of [`par_chunk_map`]: the first error **in chunk order**
+/// is returned (workers still run every chunk, so side effects must be
+/// idempotent; all callers here are pure).
+pub fn try_par_chunk_map<T, E, F>(
+    n: usize,
+    chunk_size: usize,
+    threads: usize,
+    f: F,
+) -> std::result::Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(Range<usize>) -> std::result::Result<T, E> + Sync,
+{
+    par_chunk_map(n, chunk_size, threads, f)
+        .into_iter()
+        .collect()
+}
+
+/// Deterministic chunked map-reduce: maps fixed chunks of `0..n` in parallel,
+/// then folds the chunk results **in ascending chunk order** on the calling
+/// thread.  Returns `None` for `n == 0`.
+pub fn par_reduce<T, F, G>(
+    n: usize,
+    chunk_size: usize,
+    threads: usize,
+    map: F,
+    fold: G,
+) -> Option<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+    G: FnMut(T, T) -> T,
+{
+    par_chunk_map(n, chunk_size, threads, map)
+        .into_iter()
+        .reduce(fold)
+}
+
+/// Fills a `rows x cols` row-major buffer where **each row is computed
+/// independently** by `fill(row_index, row_slice)`.
+///
+/// Because a row's value never depends on the chunking, the output is bitwise
+/// identical for every thread budget, and also identical to the plain
+/// sequential loop `for i in 0..rows { fill(i, row_i) }`.
+pub fn par_fill_rows<F>(rows: usize, cols: usize, threads: usize, fill: F) -> Vec<f64>
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let mut data = vec![0.0; rows * cols];
+    if rows == 0 || cols == 0 {
+        return data;
+    }
+    let threads = effective_threads(threads, rows.div_ceil(ROW_CHUNK));
+    if threads <= 1 {
+        for (i, row) in data.chunks_mut(cols).enumerate() {
+            fill(i, row);
+        }
+        return data;
+    }
+    {
+        // Hand out disjoint row blocks through a shared queue; each worker
+        // fills whole rows, so assignment order cannot affect the values.
+        let queue: Mutex<Vec<(usize, &mut [f64])>> = Mutex::new(
+            data.chunks_mut(ROW_CHUNK * cols)
+                .enumerate()
+                .map(|(c, block)| (c * ROW_CHUNK, block))
+                .rev()
+                .collect(),
+        );
+        let queue_ref = &queue;
+        let fill_ref = &fill;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(move || loop {
+                    let item = queue_ref.lock().expect("row queue poisoned").pop();
+                    match item {
+                        Some((start_row, block)) => {
+                            for (offset, row) in block.chunks_mut(cols).enumerate() {
+                                fill_ref(start_row + offset, row);
+                            }
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_map_preserves_order_for_any_thread_count() {
+        let expected: Vec<Vec<usize>> = chunk_ranges(37, 5)
+            .into_iter()
+            .map(|r| r.collect())
+            .collect();
+        for threads in [1usize, 2, 3, 8] {
+            let got = par_chunk_map(37, 5, threads, |r| r.collect::<Vec<usize>>());
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_is_bitwise_invariant_across_thread_counts() {
+        // Sum of many values whose naive total depends on grouping; with the
+        // fixed chunk grid every budget must agree bit-for-bit.
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 37) % 101) as f64 * 1e-3 + 1e9)
+            .collect();
+        let sum = |threads: usize| {
+            par_reduce(
+                values.len(),
+                REDUCE_CHUNK,
+                threads,
+                |r| r.map(|i| values[i]).fold(0.0_f64, |a, b| a + b),
+                |a, b| a + b,
+            )
+            .unwrap()
+        };
+        let reference = sum(1);
+        for threads in [2usize, 3, 7] {
+            assert_eq!(
+                sum(threads).to_bits(),
+                reference.to_bits(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn fill_rows_matches_sequential_loop() {
+        let rows = 301;
+        let cols = 7;
+        let fill = |i: usize, row: &mut [f64]| {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (i * cols + j) as f64 * 0.5 - 3.0;
+            }
+        };
+        let sequential = par_fill_rows(rows, cols, 1, fill);
+        for threads in [2usize, 4, 16] {
+            assert_eq!(par_fill_rows(rows, cols, threads, fill), sequential);
+        }
+    }
+
+    #[test]
+    fn try_chunk_map_returns_first_error_in_chunk_order() {
+        let result: std::result::Result<Vec<usize>, usize> = try_par_chunk_map(100, 10, 4, |r| {
+            if r.start >= 30 {
+                Err(r.start)
+            } else {
+                Ok(r.start)
+            }
+        });
+        assert_eq!(result, Err(30));
+        let ok: std::result::Result<Vec<usize>, usize> =
+            try_par_chunk_map(40, 10, 2, |r| Ok::<usize, usize>(r.start));
+        assert_eq!(ok.unwrap(), vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(par_chunk_map(0, 4, 3, |r| r.len()).is_empty());
+        assert_eq!(par_reduce(0, 4, 2, |_| 1usize, |a, b| a + b), None);
+        assert!(par_fill_rows(0, 5, 4, |_, _| {}).is_empty());
+        assert_eq!(effective_threads(0, 10), 1);
+        assert_eq!(effective_threads(16, 3), 3);
+    }
+}

@@ -7,7 +7,7 @@
 //! fraction of the implementation complexity of Householder reflections.
 
 use crate::matrix::{dot, norm2};
-use crate::{DenseMatrix, LinalgError, Result};
+use crate::{parallel, DenseMatrix, LinalgError, Result};
 
 /// Result of a thin QR factorization `A = Q R` with `Q` having orthonormal
 /// columns.
@@ -77,6 +77,85 @@ pub fn thin_qr(a: &DenseMatrix) -> Result<QrFactors> {
 /// factor of [`thin_qr`]).
 pub fn orthonormalize(a: &DenseMatrix) -> Result<DenseMatrix> {
     Ok(thin_qr(a)?.q)
+}
+
+/// Returns an orthonormal basis of the column space of `a` using up to
+/// `threads` worker threads.
+///
+/// Uses classical Gram–Schmidt with one re-orthogonalization pass (CGS2,
+/// "twice is enough" — Giraud et al.), whose two kernels parallelize without
+/// changing any floating-point ordering: the projection coefficients
+/// `Qᵀv` are independent whole-column dot products, and the update
+/// `v ← v − Q (Qᵀv)` is independent per row.  The result is therefore
+/// **bitwise identical for every thread budget** — the property the
+/// randomized SVD's thread-invariance contract relies on.  (It differs in the
+/// last ulps from the modified-Gram–Schmidt [`orthonormalize`], which is why
+/// the two are separate entry points: callers pick one and stay with it.)
+///
+/// Columns numerically dependent on earlier columns are dropped, as in
+/// [`thin_qr`].
+pub fn orthonormalize_with(a: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::InvalidParameter("qr of empty matrix".into()));
+    }
+    let tol = 1e-12 * a.frobenius_norm().max(1.0);
+    let mut q_cols: Vec<Vec<f64>> = Vec::with_capacity(n.min(m));
+    for j in 0..n {
+        let mut v = a.col(j);
+        for _pass in 0..2 {
+            if q_cols.is_empty() {
+                break;
+            }
+            // coeffs[i] = q_i · v — each dot is computed whole by one worker,
+            // so the chunking over columns cannot affect any value.
+            let coeffs: Vec<f64> = if threads <= 1 {
+                q_cols.iter().map(|qi| dot(qi, &v)).collect()
+            } else {
+                parallel::par_chunk_map(q_cols.len(), 8, threads, |range| {
+                    range.map(|i| dot(&q_cols[i], &v)).collect::<Vec<f64>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            };
+            // v ← v − Σᵢ coeffs[i] · qᵢ.  Each element accumulates over i in
+            // ascending order, so the allocation-free column-streaming
+            // sequential path and the row-parallel path perform the exact
+            // same per-element operation chain — bitwise identical.
+            if threads <= 1 {
+                for (qi, &c) in q_cols.iter().zip(&coeffs) {
+                    for (vk, qk) in v.iter_mut().zip(qi) {
+                        *vk -= c * qk;
+                    }
+                }
+            } else {
+                v = parallel::par_fill_rows(m, 1, threads, |row, out| {
+                    let mut acc = v[row];
+                    for (qi, &c) in q_cols.iter().zip(&coeffs) {
+                        acc -= c * qi[row];
+                    }
+                    out[0] = acc;
+                });
+            }
+        }
+        let norm = norm2(&v);
+        if norm > tol {
+            for vk in &mut v {
+                *vk /= norm;
+            }
+            q_cols.push(v);
+        }
+        // else: dependent column, dropped.
+    }
+    let k = q_cols.len();
+    let mut q = DenseMatrix::zeros(m, k);
+    for (jq, col) in q_cols.iter().enumerate() {
+        for (i, &val) in col.iter().enumerate() {
+            q.set(i, jq, val);
+        }
+    }
+    Ok(q)
 }
 
 /// Measures how far the columns of `q` are from orthonormality:
@@ -157,5 +236,46 @@ mod tests {
     fn empty_matrix_rejected() {
         let a = DenseMatrix::zeros(0, 0);
         assert!(thin_qr(&a).is_err());
+        assert!(orthonormalize_with(&a, 4).is_err());
+    }
+
+    #[test]
+    fn cgs2_basis_is_orthonormal_and_spans_the_input() {
+        let a = gaussian_matrix(60, 9, 17);
+        let q = orthonormalize_with(&a, 3).unwrap();
+        assert_eq!(q.shape(), (60, 9));
+        assert!(orthogonality_defect(&q) < 1e-12);
+        // Same column space as the MGS basis: projectors agree.
+        let q_mgs = orthonormalize(&a).unwrap();
+        let p1 = q.matmul(&q.transpose()).unwrap();
+        let p2 = q_mgs.matmul(&q_mgs.transpose()).unwrap();
+        assert!(p1.sub(&p2).unwrap().frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn cgs2_is_bitwise_invariant_across_thread_counts() {
+        let a = gaussian_matrix(123, 11, 23);
+        let reference = orthonormalize_with(&a, 1).unwrap();
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                orthonormalize_with(&a, threads).unwrap(),
+                reference,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn cgs2_drops_dependent_columns() {
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 0.0, 1.0],
+            &[0.0, 1.0, 1.0],
+            &[1.0, 1.0, 2.0],
+            &[2.0, 0.0, 2.0],
+        ])
+        .unwrap();
+        let q = orthonormalize_with(&a, 2).unwrap();
+        assert_eq!(q.cols(), 2);
+        assert!(orthogonality_defect(&q) < 1e-12);
     }
 }

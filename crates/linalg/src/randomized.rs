@@ -14,7 +14,7 @@
 //! never materialized.
 
 use crate::eig::symmetric_eigen;
-use crate::qr::orthonormalize;
+use crate::qr::orthonormalize_with;
 use crate::random::gaussian_matrix;
 use crate::{DenseMatrix, LinalgError, LinearOperator, Result};
 
@@ -100,6 +100,7 @@ pub struct RandomizedSvd {
     iterations: usize,
     method: RandomizedSvdMethod,
     seed: u64,
+    threads: usize,
 }
 
 impl RandomizedSvd {
@@ -112,6 +113,7 @@ impl RandomizedSvd {
             iterations: 6,
             method: RandomizedSvdMethod::BlockKrylov,
             seed: 0,
+            threads: 1,
         }
     }
 
@@ -139,6 +141,15 @@ impl RandomizedSvd {
     /// Sets the RNG seed for the Gaussian test matrix.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Grants a thread budget (clamped to at least 1) for the block matmuls,
+    /// the Krylov basis construction and the final projection.  The result is
+    /// bitwise identical for every budget: all threaded kernels follow the
+    /// determinism contract of [`crate::parallel`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -172,8 +183,8 @@ impl RandomizedSvd {
             RandomizedSvdMethod::BlockKrylov => self.krylov_basis(op, sketch)?,
         };
         // Project: W = Aᵀ Q, then the small Gram matrix C = Wᵀ W = Qᵀ A Aᵀ Q.
-        let w = op.apply_transpose(&q)?;
-        let gram = w.gram();
+        let w = op.apply_transpose_with(&q, self.threads)?;
+        let gram = w.gram_with(self.threads);
         let eig = symmetric_eigen(&gram)?;
         let keep = self.rank.min(eig.values.len());
         let basis = eig.vectors.truncate_cols(keep);
@@ -181,8 +192,8 @@ impl RandomizedSvd {
             .iter()
             .map(|&l| l.max(0.0).sqrt())
             .collect();
-        let u = q.matmul(&basis)?;
-        let mut v = w.matmul(&basis)?;
+        let u = q.matmul_with(&basis, self.threads)?;
+        let mut v = w.matmul_with(&basis, self.threads)?;
         let inv: Vec<f64> = singular_values
             .iter()
             .map(|&s| if s > 1e-300 { 1.0 / s } else { 0.0 })
@@ -197,26 +208,28 @@ impl RandomizedSvd {
 
     /// Subspace iteration range basis.
     fn subspace_basis<O: LinearOperator>(&self, op: &O, sketch: usize) -> Result<DenseMatrix> {
+        let t = self.threads;
         let omega = gaussian_matrix(op.ncols(), sketch, self.seed.wrapping_add(1));
-        let mut q = orthonormalize(&op.apply(&omega)?)?;
+        let mut q = orthonormalize_with(&op.apply_with(&omega, t)?, t)?;
         for _ in 0..self.iterations {
-            let z = orthonormalize(&op.apply_transpose(&q)?)?;
-            q = orthonormalize(&op.apply(&z)?)?;
+            let z = orthonormalize_with(&op.apply_transpose_with(&q, t)?, t)?;
+            q = orthonormalize_with(&op.apply_with(&z, t)?, t)?;
         }
         Ok(q)
     }
 
     /// Block Krylov range basis: `orth([A Ω, (A Aᵀ) A Ω, …, (A Aᵀ)^q A Ω])`.
     fn krylov_basis<O: LinearOperator>(&self, op: &O, sketch: usize) -> Result<DenseMatrix> {
+        let t = self.threads;
         let omega = gaussian_matrix(op.ncols(), sketch, self.seed.wrapping_add(1));
-        let mut block = orthonormalize(&op.apply(&omega)?)?;
+        let mut block = orthonormalize_with(&op.apply_with(&omega, t)?, t)?;
         let mut krylov = block.clone();
         for _ in 0..self.iterations {
-            let z = op.apply_transpose(&block)?;
-            block = orthonormalize(&op.apply(&z)?)?;
+            let z = op.apply_transpose_with(&block, t)?;
+            block = orthonormalize_with(&op.apply_with(&z, t)?, t)?;
             krylov = krylov.hstack(&block)?;
         }
-        orthonormalize(&krylov)
+        orthonormalize_with(&krylov, t)
     }
 }
 
@@ -347,6 +360,37 @@ mod tests {
         let r2 = RandomizedSvd::new(3).seed(42).compute(&a).unwrap();
         assert_eq!(r1.singular_values, r2.singular_values);
         assert_eq!(r1.u, r2.u);
+    }
+
+    #[test]
+    fn bitwise_identical_across_thread_budgets() {
+        let (g, _) =
+            stochastic_block_model(&[30, 30], 0.2, 0.03, GraphKind::Undirected, 8).unwrap();
+        let op = AdjacencyOperator::new(&g);
+        for method in [
+            RandomizedSvdMethod::BlockKrylov,
+            RandomizedSvdMethod::SubspaceIteration,
+        ] {
+            let run = |threads: usize| {
+                RandomizedSvd::new(6)
+                    .method(method)
+                    .iterations(4)
+                    .seed(21)
+                    .threads(threads)
+                    .compute(&op)
+                    .unwrap()
+            };
+            let reference = run(1);
+            for threads in [2usize, 4, 8] {
+                let result = run(threads);
+                assert_eq!(result.u, reference.u, "{method:?} threads = {threads}");
+                assert_eq!(result.v, reference.v, "{method:?} threads = {threads}");
+                assert_eq!(
+                    result.singular_values, reference.singular_values,
+                    "{method:?} threads = {threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! by the STRAP baseline — while plain graph adjacency structures are wrapped
 //! by the operators in [`crate::operator`] without copying.
 
-use crate::{DenseMatrix, LinalgError, Result};
+use crate::{parallel, DenseMatrix, LinalgError, Result};
 
 /// A CSR sparse matrix of `f64` values.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,6 +143,34 @@ impl SparseMatrix {
             }
         }
         Ok(out)
+    }
+
+    /// [`SparseMatrix::matmul_dense`] over up to `threads` worker threads.
+    ///
+    /// Each output row is one CSR-row gather produced by a single worker with
+    /// the sequential summation order, so the result is bitwise identical to
+    /// [`SparseMatrix::matmul_dense`] for every thread budget.
+    pub fn matmul_dense_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        if self.cols != x.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "sparse * dense".into(),
+                left: (self.rows, self.cols),
+                right: x.shape(),
+            });
+        }
+        if threads <= 1 {
+            return self.matmul_dense(x);
+        }
+        let data = parallel::par_fill_rows(self.rows, x.cols(), threads, |r, out_row| {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let x_row = x.row(c);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        });
+        DenseMatrix::from_vec(self.rows, x.cols(), data)
     }
 
     /// Sparse-transpose × dense product `selfᵀ * x`.

@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("running: {}", config.to_json()?);
 
     // 3. Build and run under an execution context.  The context can override
-    //    the seed, grant a thread budget, or carry a cancellation flag.
+    //    the seed, grant a thread budget, or carry a cancellation flag.  The
+    //    thread budget is purely a performance knob: every parallel stage
+    //    (SVD block matmuls, PPR propagations, STRAP pushes, walk
+    //    generation) is bitwise deterministic, so any budget produces the
+    //    exact same embedding.
     let embedder = config.build()?;
     let output = embedder.embed(&graph, &EmbedContext::new().with_threads(2))?;
     let embedding = output.embedding();
@@ -41,8 +45,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         embedding.half_dimension()
     );
     for stage in &output.metadata().stages {
-        println!("  stage {:<12} {:?}", stage.name, stage.duration);
+        println!(
+            "  stage {:<12} {:?} ({} thread{})",
+            stage.name,
+            stage.duration,
+            stage.threads,
+            if stage.threads == 1 { "" } else { "s" }
+        );
     }
+    let single_thread = embedder.embed(&graph, &EmbedContext::new().with_threads(1))?;
+    assert_eq!(
+        single_thread.embedding(),
+        embedding,
+        "thread budgets never change the result, only the wall clock"
+    );
 
     // 4. Score node pairs.  The score X_u · Y_v approximates the reweighted
     //    personalized PageRank w⃗_u · π(u, v) · w⃖_v.

@@ -30,6 +30,42 @@
 //! assert_eq!(output.metadata().config.method_name(), "NRP");
 //! assert!(output.metadata().stage("approx_ppr").is_some());
 //! ```
+//!
+//! ## Parallelism & determinism
+//!
+//! [`EmbedContext::with_threads`](nrp_core::context::EmbedContext::with_threads)
+//! grants a thread budget that every heavy stage spends: the randomized
+//! block-Krylov SVD (block matmuls, Krylov basis construction, projection),
+//! the PPR propagations of ApproxPPR/NRP/RandNE, STRAP's per-source forward
+//! pushes, and DeepWalk/node2vec walk generation.  The contract is strict:
+//! **the embedding is bitwise identical for every budget, including 1** —
+//! threads only move the wall clock.  Three mechanisms deliver this (all
+//! built on [`nrp_core::parallel`], re-exported from `nrp-linalg`):
+//!
+//! * work is split into chunks whose boundaries depend only on the problem
+//!   size, merged in ascending chunk order, so floating-point sums are always
+//!   grouped the same way;
+//! * each output row/chunk is computed by exactly one worker with a fixed
+//!   inner iteration order;
+//! * random-walk generation uses **per-node RNG streams**
+//!   (`ChaCha8 seeded with seed ⊕ node_id`), so a walk's randomness depends
+//!   only on the seed and its start node, never on scheduling.
+//!
+//! [`RunMetadata`](nrp_core::context::RunMetadata) records the thread count
+//! of each stage alongside its wall-clock time.
+//!
+//! **Dangling nodes** (out-degree zero) follow an explicit
+//! [`DanglingPolicy`](nrp_core::DanglingPolicy): by default a random walk
+//! that reaches one terminates *there* (the node carries an implicit
+//! self-loop), so every PPR row sums to 1 and no probability mass leaks out
+//! of the truncated series; the literal zero-row matrix remains available as
+//! `DanglingPolicy::ZeroRow`.
+//!
+//! **Cancellation** is cooperative and fine-grained: besides stage
+//! boundaries, the SGNS/NCE training loops (DeepWalk, node2vec, LINE, VERSE,
+//! APP) check the flag every 1024 SGD steps, so even a single enormous epoch
+//! aborts in milliseconds, and STRAP's push fan-out checks it before every
+//! source (latency bounded by one forward-push pair).
 
 pub use nrp_baselines as baselines;
 pub use nrp_core as core;

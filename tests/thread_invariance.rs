@@ -1,0 +1,119 @@
+//! Thread-invariance contract tests: for every method whose heavy stages are
+//! data-parallel (ApproxPPR's SVD and propagations, STRAP's per-source
+//! pushes and SVD, DeepWalk/node2vec walk generation, NRP end to end, RandNE
+//! propagation, Spectral/AROPE eigensolves), the embedding produced under
+//! `with_threads(1)` must be **bitwise identical** to the one produced under
+//! any other thread budget.
+//!
+//! The comparison budget defaults to 4 and can be overridden with the
+//! `NRP_TEST_THREADS` environment variable, which CI uses to run a 2-thread
+//! and an 8-thread matrix leg — a determinism regression in any chunked
+//! kernel fails fast on at least one leg.
+
+use nrp::prelude::*;
+
+/// The thread budget compared against the sequential run.
+fn test_threads() -> usize {
+    std::env::var("NRP_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t: &usize| t >= 2)
+        .unwrap_or(4)
+}
+
+fn test_graph(kind: GraphKind, seed: u64) -> Graph {
+    generators::stochastic_block_model(&[30, 30, 30], 0.15, 0.02, kind, seed)
+        .expect("valid SBM parameters")
+        .0
+}
+
+/// Methods with parallelized stages, as fast JSON configurations.
+fn parallel_method_configs() -> Vec<&'static str> {
+    vec![
+        r#"{"method": "ApproxPPR", "dimension": 16, "seed": 3}"#,
+        r#"{"method": "NRP", "dimension": 16, "reweight_epochs": 4, "seed": 3}"#,
+        r#"{"method": "STRAP", "dimension": 16, "delta": 0.001, "seed": 3}"#,
+        r#"{"method": "DeepWalk", "dimension": 16, "walks_per_node": 4, "walk_length": 12, "epochs": 1, "seed": 3}"#,
+        r#"{"method": "node2vec", "dimension": 16, "walks_per_node": 4, "walk_length": 12, "p": 0.5, "q": 2.0, "epochs": 1, "seed": 3}"#,
+        r#"{"method": "RandNE", "dimension": 16, "seed": 3}"#,
+        r#"{"method": "Spectral", "dimension": 16, "seed": 3}"#,
+        r#"{"method": "AROPE", "dimension": 16, "seed": 3}"#,
+    ]
+}
+
+#[test]
+fn embeddings_are_bitwise_identical_across_thread_budgets() {
+    nrp::init();
+    let threads = test_threads();
+    for kind in [GraphKind::Undirected, GraphKind::Directed] {
+        let graph = test_graph(kind, 17);
+        for json in parallel_method_configs() {
+            let embedder = MethodConfig::from_json(json)
+                .expect(json)
+                .build()
+                .expect(json);
+            let single = embedder
+                .embed(&graph, &EmbedContext::new().with_threads(1))
+                .expect(json);
+            let multi = embedder
+                .embed(&graph, &EmbedContext::new().with_threads(threads))
+                .expect(json);
+            assert_eq!(
+                single.embedding(),
+                multi.embedding(),
+                "{json} differs between 1 and {threads} threads on {kind:?}"
+            );
+            assert_eq!(multi.metadata().threads, threads, "{json}");
+        }
+    }
+}
+
+#[test]
+fn stage_metadata_records_the_granted_thread_budget() {
+    nrp::init();
+    let graph = test_graph(GraphKind::Undirected, 23);
+    let embedder = MethodConfig::from_json(r#"{"method": "STRAP", "dimension": 8, "seed": 1}"#)
+        .expect("valid config")
+        .build()
+        .expect("STRAP builds");
+    let output = embedder
+        .embed(&graph, &EmbedContext::new().with_threads(3))
+        .expect("STRAP runs");
+    let stages = &output.metadata().stages;
+    for name in ["proximity", "svd"] {
+        let stage = stages
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("stage {name} missing"));
+        assert_eq!(stage.threads, 3, "stage {name} should record the budget");
+    }
+    // The sequential scaling stage is recorded as single-threaded.
+    let scale = stages
+        .iter()
+        .find(|s| s.name == "scale")
+        .expect("scale stage");
+    assert_eq!(scale.threads, 1);
+}
+
+#[test]
+fn strap_proximity_matrix_is_thread_invariant() {
+    // Below the Embedder surface: the assembled sparse proximity matrix
+    // itself (triplet order included) must not depend on the budget.
+    use nrp::baselines::strap::{Strap, StrapParams};
+    let graph = test_graph(GraphKind::Directed, 29);
+    let strap = Strap::new(StrapParams {
+        dimension: 8,
+        delta: 1e-3,
+        seed: 5,
+        ..Default::default()
+    });
+    let reference = strap
+        .proximity_matrix_with(&graph, &EmbedContext::new().with_threads(1))
+        .expect("sequential proximity");
+    for threads in [2usize, test_threads()] {
+        let parallel = strap
+            .proximity_matrix_with(&graph, &EmbedContext::new().with_threads(threads))
+            .expect("parallel proximity");
+        assert_eq!(parallel, reference, "threads = {threads}");
+    }
+}
