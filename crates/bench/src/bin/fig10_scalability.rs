@@ -14,10 +14,10 @@
 //! across the sweep — only the wall clock moves.
 
 use nrp_baselines::strap::{Strap, StrapParams};
-use nrp_bench::methods::{approx_ppr, nrp};
+use nrp_bench::methods::approx_ppr;
 use nrp_bench::report::fmt_secs;
 use nrp_bench::{HarnessArgs, Scale, Table};
-use nrp_core::{EmbedContext, Embedder};
+use nrp_core::{EmbedContext, Embedder, Nrp};
 use nrp_graph::generators::erdos_renyi_nm;
 use nrp_graph::{Graph, GraphKind};
 
@@ -47,8 +47,8 @@ fn main() {
         let n = base_nodes * step;
         let graph = erdos_renyi_nm(n, base_edges, GraphKind::Directed, args.seed)
             .expect("valid ER parameters");
-        let output = nrp(args.dimension, args.seed)
-            .embed(&graph, &EmbedContext::default())
+        let output = Nrp::new(args.nrp_base_params())
+            .embed(&graph, &EmbedContext::new().with_threads(args.threads))
             .expect("NRP on ER graph");
         let total = output.metadata().total;
         let secs = total.as_secs_f64();
@@ -74,8 +74,8 @@ fn main() {
         let m = base_edges * step;
         let graph = erdos_renyi_nm(base_nodes, m, GraphKind::Directed, args.seed)
             .expect("valid ER parameters");
-        let output = nrp(args.dimension, args.seed)
-            .embed(&graph, &EmbedContext::default())
+        let output = Nrp::new(args.nrp_base_params())
+            .embed(&graph, &EmbedContext::new().with_threads(args.threads))
             .expect("NRP on ER graph");
         let total = output.metadata().total;
         let secs = total.as_secs_f64();
@@ -121,7 +121,7 @@ fn thread_sweep(args: &HarnessArgs, base_nodes: usize, base_edges: usize) {
             "Fig. 10(c) — thread-budget sweep on the largest graph \
              (n = {n}, m = {base_edges}, {cores} hardware cores)"
         ),
-        &["method", "threads", "seconds", "speedup vs 1 thread"],
+        &["method", "threads", "seconds", "speedup vs first budget"],
     );
     let methods: Vec<TimedMethod> = vec![
         (
@@ -155,17 +155,25 @@ fn thread_sweep(args: &HarnessArgs, base_nodes: usize, base_edges: usize) {
         (
             "NRP",
             Box::new({
-                let (dim, seed) = (args.dimension, args.seed);
+                let params = args.nrp_base_params();
                 move |g: &Graph, ctx: &EmbedContext| {
-                    let output = nrp(dim, seed).embed(g, ctx).expect("NRP runs");
+                    let output = Nrp::new(params.clone()).embed(g, ctx).expect("NRP runs");
                     output.metadata().total.as_secs_f64()
                 }
             }),
         ),
     ];
+    // The budgets come from the `--config` document when it declares any;
+    // the paper's 1/2/4/8 ladder otherwise.
+    let budgets: Vec<usize> = args
+        .config
+        .as_ref()
+        .filter(|spec| !spec.threads.is_empty())
+        .map(|spec| spec.threads.clone())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
     for (name, run) in &methods {
         let mut single: Option<f64> = None;
-        for threads in [1usize, 2, 4, 8] {
+        for &threads in &budgets {
             let ctx = EmbedContext::new().with_threads(threads);
             let secs = run(&graph, &ctx);
             let baseline = *single.get_or_insert(secs);

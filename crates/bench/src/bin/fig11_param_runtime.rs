@@ -1,28 +1,25 @@
 //! Regenerates the paper's Fig. 11: NRP construction time as each parameter
 //! (ℓ1, ℓ2, α, ε) is varied, on every dataset of the synthetic suite.
+//!
+//! With `--config <file>` the spec's `NRP` entry (if any) replaces the
+//! paper-default base parameters the sweeps are anchored at.
 
 use nrp_bench::datasets::suite;
 use nrp_bench::report::fmt_secs;
 use nrp_bench::{HarnessArgs, Table};
 use nrp_core::{EmbedContext, Embedder, Nrp, NrpParams};
 
-fn time_with(graph: &nrp_graph::Graph, params: NrpParams) -> String {
-    match Nrp::new(params).embed(graph, &EmbedContext::default()) {
+fn time_with(graph: &nrp_graph::Graph, params: NrpParams, threads: usize) -> String {
+    let ctx = EmbedContext::new().with_threads(threads);
+    match Nrp::new(params).embed(graph, &ctx) {
         Ok(output) => fmt_secs(output.metadata().total),
         Err(err) => format!("err:{err}"),
     }
 }
 
-fn base(dimension: usize, seed: u64) -> NrpParams {
-    NrpParams::builder()
-        .dimension(dimension)
-        .seed(seed)
-        .build()
-        .expect("valid parameters")
-}
-
 fn main() {
     let args = HarnessArgs::from_env();
+    let base = || args.nrp_base_params();
     let l1_values = [1usize, 5, 10, 20, 40];
     let l2_values = [0usize, 2, 5, 10, 20, 30];
     let alphas = [0.1, 0.3, 0.5, 0.7, 0.9];
@@ -36,9 +33,9 @@ fn main() {
             &["l1", "seconds"],
         );
         for &l1 in &l1_values {
-            let mut params = base(args.dimension, args.seed);
+            let mut params = base();
             params.num_hops = l1;
-            t.add_row(vec![l1.to_string(), time_with(graph, params)]);
+            t.add_row(vec![l1.to_string(), time_with(graph, params, args.threads)]);
         }
         t.print();
 
@@ -47,9 +44,9 @@ fn main() {
             &["l2", "seconds"],
         );
         for &l2 in &l2_values {
-            let mut params = base(args.dimension, args.seed);
+            let mut params = base();
             params.reweight_epochs = l2;
-            t.add_row(vec![l2.to_string(), time_with(graph, params)]);
+            t.add_row(vec![l2.to_string(), time_with(graph, params, args.threads)]);
         }
         t.print();
 
@@ -58,9 +55,12 @@ fn main() {
             &["alpha", "seconds"],
         );
         for &alpha in &alphas {
-            let mut params = base(args.dimension, args.seed);
+            let mut params = base();
             params.alpha = alpha;
-            t.add_row(vec![alpha.to_string(), time_with(graph, params)]);
+            t.add_row(vec![
+                alpha.to_string(),
+                time_with(graph, params, args.threads),
+            ]);
         }
         t.print();
 
@@ -69,9 +69,12 @@ fn main() {
             &["epsilon", "seconds"],
         );
         for &eps in &epsilons {
-            let mut params = base(args.dimension, args.seed);
+            let mut params = base();
             params.epsilon = eps;
-            t.add_row(vec![eps.to_string(), time_with(graph, params)]);
+            t.add_row(vec![
+                eps.to_string(),
+                time_with(graph, params, args.threads),
+            ]);
         }
         t.print();
     }

@@ -3,12 +3,19 @@
 //! approximation on the two highlighted node pairs.
 
 use nrp_bench::report::fmt4;
-use nrp_bench::Table;
+use nrp_bench::{HarnessArgs, Table};
 use nrp_core::ppr::PprMatrix;
 use nrp_core::{ApproxPpr, ApproxPprParams, Embedder};
 use nrp_graph::generators::example::{example_graph, V2, V4, V7, V9};
 
 fn main() {
+    let args = HarnessArgs::from_env();
+    if args.config.is_some() {
+        eprintln!(
+            "note: this bin reproduces the pinned Fig. 2 example (k' = 2 on the Fig. 1 \
+             graph); the --config roster does not apply and is ignored"
+        );
+    }
     let graph = example_graph();
     let params = ApproxPprParams {
         half_dimension: 2,

@@ -3,7 +3,6 @@
 //! synthetic suite.
 
 use nrp_bench::datasets::suite;
-use nrp_bench::methods::roster;
 use nrp_bench::report::fmt4;
 use nrp_bench::{HarnessArgs, Table};
 use nrp_eval::{LinkPrediction, LinkPredictionConfig, ScoringStrategy};
@@ -26,16 +25,20 @@ fn main() {
             "DeepWalk", "node2vec", "LINE", "VERSE", "RandNE", "Spectral",
         ];
         let directed = dataset.graph.kind().is_directed();
-        let method_names: Vec<&'static str> =
-            roster(16, args.seed).iter().map(|m| m.name()).collect();
-        for name in method_names {
-            let mut row = vec![name.to_string()];
+        let method_names: Vec<String> = args
+            .roster_configs_at(dimensions[0])
+            .iter()
+            .map(|c| c.method_name().to_string())
+            .collect();
+        for (index, name) in method_names.iter().enumerate() {
+            let mut row = vec![name.clone()];
             for &k in &dimensions {
-                let method = roster(k, args.seed)
+                let method = args
+                    .roster_at(k)
                     .into_iter()
-                    .find(|m| m.name() == name)
-                    .expect("method present at every dimension");
-                let scoring = if directed && single_vector.contains(&name) {
+                    .nth(index)
+                    .expect("roster is stable across dimensions");
+                let scoring = if directed && single_vector.contains(&name.as_str()) {
                     ScoringStrategy::EdgeFeatures
                 } else {
                     ScoringStrategy::InnerProduct

@@ -2,7 +2,6 @@
 //! for every method on the labelled datasets of the synthetic suite.
 
 use nrp_bench::datasets::suite;
-use nrp_bench::methods::roster;
 use nrp_bench::report::fmt4;
 use nrp_bench::{HarnessArgs, Table};
 use nrp_eval::{GraphReconstruction, ReconstructionConfig};
@@ -32,7 +31,7 @@ fn main() {
             ),
             &header_refs,
         );
-        for method in roster(args.dimension, args.seed) {
+        for method in args.roster() {
             let task = GraphReconstruction::new(ReconstructionConfig {
                 sample_pairs: sample,
                 k_values: k_values.clone(),
@@ -41,8 +40,15 @@ fn main() {
             let mut row = vec![method.name().to_string()];
             match task.evaluate(&dataset.graph, method.as_ref()) {
                 Ok(outcome) => {
-                    for (_, precision) in outcome.precision {
-                        row.push(fmt4(precision));
+                    for entry in outcome.precision {
+                        // A clamped K means the metric was computed over all
+                        // candidates; flag the cell with the effective K so
+                        // the CSV never attributes it to the requested label.
+                        if entry.clamped() {
+                            row.push(format!("{} (K={})", fmt4(entry.precision), entry.k));
+                        } else {
+                            row.push(fmt4(entry.precision));
+                        }
                     }
                 }
                 Err(err) => row.push(format!("err:{err}")),

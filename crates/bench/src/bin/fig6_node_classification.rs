@@ -2,7 +2,6 @@
 //! function of the training ratio, for every method on the labelled datasets.
 
 use nrp_bench::datasets::suite;
-use nrp_bench::methods::roster;
 use nrp_bench::report::fmt4;
 use nrp_bench::{HarnessArgs, Table};
 use nrp_eval::{ClassificationConfig, NodeClassification};
@@ -22,7 +21,7 @@ fn main() {
             format!("Fig. 6 — node classification micro-F1 on {}", dataset.name),
             &header_refs,
         );
-        for method in roster(args.dimension, args.seed) {
+        for method in args.roster() {
             let mut row = vec![method.name().to_string()];
             // Embed once, evaluate at every ratio (as the paper does).
             match method.embed_default(&dataset.graph) {

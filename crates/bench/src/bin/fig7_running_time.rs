@@ -3,15 +3,36 @@
 //!
 //! Timing comes from the `RunMetadata` every v2 embedding run returns, so the
 //! reported numbers exclude harness overhead.
+//!
+//! With `--config <file>` the binary becomes a config-file-driven timing
+//! sweep: the `SweepRunner` executes every (dataset × method × seed ×
+//! threads × repeat) cell of the spec and streams one RFC-4180 CSV record of
+//! `RunMetadata` (per-stage wall clock included) per run to stdout.
 
-use nrp_bench::datasets::suite;
-use nrp_bench::methods::roster;
+use std::io::Write;
+
 use nrp_bench::report::fmt_secs;
-use nrp_bench::{HarnessArgs, Table};
+use nrp_bench::{datasets::suite, HarnessArgs, SweepRunner, Table};
 use nrp_core::EmbedContext;
 
 fn main() {
     let args = HarnessArgs::from_env();
+    if let Some(spec) = args.config.clone() {
+        // Config-driven mode: the spec *is* the experiment; stream one
+        // RunMetadata record per run.  The banner goes to stderr so stdout
+        // stays a pure CSV stream.
+        if let Some(name) = &spec.name {
+            eprintln!("# sweep: {name}");
+        }
+        let mut stdout = std::io::stdout();
+        if let Err(message) = SweepRunner::new(spec).run(&args, &mut stdout) {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+        stdout.flush().expect("flush stdout");
+        return;
+    }
+
     let dimensions = [16usize, 32, 64];
     for dataset in suite(args.scale, args.seed) {
         let mut table = Table::new(
@@ -23,16 +44,21 @@ fn main() {
             ),
             &["method", "k=16", "k=32", "k=64"],
         );
-        let method_names: Vec<&'static str> =
-            roster(16, args.seed).iter().map(|m| m.name()).collect();
-        for name in method_names {
-            let mut row = vec![name.to_string()];
+        let method_names: Vec<String> = args
+            .roster_configs_at(dimensions[0])
+            .iter()
+            .map(|c| c.method_name().to_string())
+            .collect();
+        for (index, name) in method_names.iter().enumerate() {
+            let mut row = vec![name.clone()];
             for &k in &dimensions {
-                let method = roster(k, args.seed)
+                let method = args
+                    .roster_at(k)
                     .into_iter()
-                    .find(|m| m.name() == name)
-                    .expect("method present at every dimension");
-                match method.embed(&dataset.graph, &EmbedContext::default()) {
+                    .nth(index)
+                    .expect("roster is stable across dimensions");
+                let ctx = EmbedContext::new().with_threads(args.threads);
+                match method.embed(&dataset.graph, &ctx) {
                     Ok(output) => row.push(fmt_secs(output.metadata().total)),
                     Err(err) => row.push(format!("err:{err}")),
                 }

@@ -2,6 +2,9 @@
 //! parameters (α, ε, ℓ1, ℓ2) is varied while the others stay at the paper's
 //! defaults.  The ℓ2 sweep doubles as the reweighting ablation: ℓ2 = 0 is
 //! pure ApproxPPR.
+//!
+//! With `--config <file>` the spec's `NRP` entry (if any) replaces the
+//! paper-default base parameters the sweeps are anchored at.
 
 use nrp_bench::datasets::suite;
 use nrp_bench::report::fmt4;
@@ -20,16 +23,9 @@ fn evaluate(graph: &nrp_graph::Graph, params: NrpParams, seed: u64) -> String {
     }
 }
 
-fn base(dimension: usize, seed: u64) -> NrpParams {
-    NrpParams::builder()
-        .dimension(dimension)
-        .seed(seed)
-        .build()
-        .expect("valid parameters")
-}
-
 fn main() {
     let args = HarnessArgs::from_env();
+    let base = || args.nrp_base_params();
     let alphas = [0.1, 0.3, 0.5, 0.7, 0.9];
     let epsilons = [0.1, 0.3, 0.5, 0.7, 0.9];
     let l1_values = [1usize, 2, 5, 10, 20, 40];
@@ -43,7 +39,7 @@ fn main() {
             &["alpha", "auc"],
         );
         for &alpha in &alphas {
-            let mut params = base(args.dimension, args.seed);
+            let mut params = base();
             params.alpha = alpha;
             t_alpha.add_row(vec![format!("{alpha}"), evaluate(graph, params, args.seed)]);
         }
@@ -54,7 +50,7 @@ fn main() {
             &["epsilon", "auc"],
         );
         for &eps in &epsilons {
-            let mut params = base(args.dimension, args.seed);
+            let mut params = base();
             params.epsilon = eps;
             t_eps.add_row(vec![format!("{eps}"), evaluate(graph, params, args.seed)]);
         }
@@ -65,7 +61,7 @@ fn main() {
             &["l1", "auc"],
         );
         for &l1 in &l1_values {
-            let mut params = base(args.dimension, args.seed);
+            let mut params = base();
             params.num_hops = l1;
             t_l1.add_row(vec![l1.to_string(), evaluate(graph, params, args.seed)]);
         }
@@ -79,7 +75,7 @@ fn main() {
             &["l2", "auc"],
         );
         for &l2 in &l2_values {
-            let mut params = base(args.dimension, args.seed);
+            let mut params = base();
             params.reweight_epochs = l2;
             t_l2.add_row(vec![l2.to_string(), evaluate(graph, params, args.seed)]);
         }

@@ -2,7 +2,6 @@
 //! edges of an evolving graph from embeddings built on the old snapshot.
 
 use nrp_bench::datasets::evolving_dataset;
-use nrp_bench::methods::roster;
 use nrp_bench::report::fmt4;
 use nrp_bench::{HarnessArgs, Table};
 use nrp_eval::{LinkPrediction, LinkPredictionConfig, ScoringStrategy};
@@ -22,7 +21,7 @@ fn main() {
     let single_vector = [
         "DeepWalk", "node2vec", "LINE", "VERSE", "RandNE", "Spectral",
     ];
-    for method in roster(args.dimension, args.seed) {
+    for method in args.roster() {
         let scoring =
             if instance.old_graph.kind().is_directed() && single_vector.contains(&method.name()) {
                 ScoringStrategy::EdgeFeatures

@@ -4,12 +4,19 @@
 //! scores that fix the ordering.
 
 use nrp_bench::report::fmt4;
-use nrp_bench::Table;
+use nrp_bench::{HarnessArgs, Table};
 use nrp_core::ppr::PprMatrix;
 use nrp_core::{Embedder, Nrp, NrpParams};
 use nrp_graph::generators::example::{example_graph, V2, V4, V7, V9};
 
 fn main() {
+    let args = HarnessArgs::from_env();
+    if args.config.is_some() {
+        eprintln!(
+            "note: this bin reproduces the pinned Table 1 example (the Fig. 1 graph); \
+             the --config roster does not apply and is ignored"
+        );
+    }
     let graph = example_graph();
     let ppr = PprMatrix::exact(&graph, 0.15, 1e-12).expect("exact PPR on 9 nodes");
 

@@ -34,6 +34,27 @@ impl Scale {
             Scale::Large => 125,
         }
     }
+
+    /// The serialized name (the value `--scale` and sweep files use).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+        }
+    }
+
+    /// Parses the name produced by [`Scale::as_str`].
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
 }
 
 /// A named benchmark graph, optionally with node labels.
@@ -121,6 +142,14 @@ pub fn evolving_dataset(scale: Scale, seed: u64) -> EvolvingGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scale_names_round_trip() {
+        for scale in [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large] {
+            assert_eq!(Scale::parse(scale.as_str()), Some(scale));
+        }
+        assert_eq!(Scale::parse("galactic"), None);
+    }
 
     #[test]
     fn tiny_suite_has_three_datasets() {

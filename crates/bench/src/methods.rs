@@ -70,6 +70,39 @@ pub fn roster_configs(dimension: usize, seed: u64) -> Vec<MethodConfig> {
         .collect()
 }
 
+/// Converts an `NRP` [`MethodConfig`] entry into concrete [`NrpParams`] —
+/// used by the NRP-only parameter-sweep bins (Figs. 8, 10, 11) to take their
+/// base configuration from a `--config` document.  Returns `None` for any
+/// other variant.
+pub fn nrp_params_from_config(config: &MethodConfig) -> Option<NrpParams> {
+    match config {
+        MethodConfig::Nrp {
+            dimension,
+            alpha,
+            num_hops,
+            reweight_epochs,
+            epsilon,
+            lambda,
+            svd_method,
+            exact_b1,
+            dangling,
+            seed,
+        } => Some(NrpParams {
+            dimension: *dimension,
+            alpha: *alpha,
+            num_hops: *num_hops,
+            reweight_epochs: *reweight_epochs,
+            epsilon: *epsilon,
+            lambda: *lambda,
+            svd_method: *svd_method,
+            exact_b1: *exact_b1,
+            dangling: *dangling,
+            seed: *seed,
+        }),
+        _ => None,
+    }
+}
+
 /// The full roster evaluated by the figure harnesses: NRP, ApproxPPR and one
 /// representative per competitor family, instantiated through the method
 /// registry from [`roster_configs`].

@@ -1,7 +1,11 @@
-//! Minimal table formatting for the harness binaries.
+//! Minimal table formatting plus RFC-4180 CSV for the harness binaries.
 //!
 //! Output is printed both as an aligned human-readable table and as CSV (one
 //! line per row prefixed with `csv,`) so results can be scraped into plots.
+//! CSV cells are quoted per RFC 4180 ([`csv_escape`]): a cell containing a
+//! comma, a double quote or a line break is wrapped in double quotes with
+//! embedded quotes doubled, so serialized `MethodConfig` documents and error
+//! messages survive the round trip through [`parse_csv_record`].
 
 /// A simple column-aligned table that also emits CSV rows.
 #[derive(Debug, Clone)]
@@ -22,7 +26,23 @@ impl Table {
     }
 
     /// Appends a row (cells are displayed as-is).
+    ///
+    /// Rows narrower than the header are padded with empty cells at render
+    /// time; a row *wider* than the header would emit columns the header
+    /// does not declare, so it is rejected here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` has more entries than the header — that is a bug in
+    /// the harness that would silently corrupt the scraped CSV.
     pub fn add_row(&mut self, cells: Vec<String>) {
+        assert!(
+            cells.len() <= self.header.len(),
+            "table '{}': row has {} cells but the header declares {} columns",
+            self.title,
+            cells.len(),
+            self.header.len()
+        );
         self.rows.push(cells);
     }
 
@@ -38,14 +58,11 @@ impl Table {
 
     /// Renders the aligned table plus CSV lines.
     pub fn render(&self) -> String {
+        let columns = self.header.len();
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
-                if i < widths.len() {
-                    widths[i] = widths[i].max(cell.len());
-                } else {
-                    widths.push(cell.len());
-                }
+                widths[i] = widths[i].max(cell.len());
             }
         }
         let mut out = String::new();
@@ -55,13 +72,16 @@ impl Table {
             &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
             &widths,
         ));
+        let empty = String::new();
         for row in &self.rows {
-            out.push_str(&render_row(row, &widths));
+            let padded: Vec<&String> = (0..columns).map(|i| row.get(i).unwrap_or(&empty)).collect();
+            out.push_str(&render_row(&padded, &widths));
         }
         out.push('\n');
-        out.push_str(&format!("csv,{}\n", self.header.join(",")));
+        out.push_str(&format!("csv,{}\n", csv_line(&self.header)));
         for row in &self.rows {
-            out.push_str(&format!("csv,{}\n", row.join(",")));
+            let padded: Vec<&String> = (0..columns).map(|i| row.get(i).unwrap_or(&empty)).collect();
+            out.push_str(&format!("csv,{}\n", csv_line(&padded)));
         }
         out
     }
@@ -80,6 +100,101 @@ fn render_row<S: AsRef<str>>(cells: &[S], widths: &[usize]) -> String {
     }
     line.push('\n');
     line
+}
+
+/// Quotes a single CSV cell per RFC 4180: cells containing a comma, a double
+/// quote, or a CR/LF are wrapped in double quotes with embedded double
+/// quotes doubled; all other cells pass through unchanged.
+pub fn csv_escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(cell.len() + 2);
+        out.push('"');
+        for c in cell.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Joins cells into one RFC-4180 CSV record (no trailing newline).
+pub fn csv_line<S: AsRef<str>>(cells: &[S]) -> String {
+    cells
+        .iter()
+        .map(|c| csv_escape(c.as_ref()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses one RFC-4180 CSV record produced by [`csv_line`] back into its
+/// cells, undoing the quoting.  Errors on an unterminated quoted cell or on
+/// stray content after a closing quote.
+///
+/// The input must be a single record: callers split the stream on physical
+/// lines, which is sound because the harness writers never put a line break
+/// inside a cell (the sweep runner flattens them) — a quoted cell spanning
+/// lines therefore surfaces as an "unterminated quoted cell" error rather
+/// than being silently mis-parsed.
+pub fn parse_csv_record(line: &str) -> Result<Vec<String>, String> {
+    let mut cells = Vec::new();
+    let mut cell = String::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        match chars.peek() {
+            Some('"') => {
+                chars.next();
+                // Quoted cell: read until the closing quote, treating "" as
+                // an escaped quote.
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                cell.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => cell.push(c),
+                        None => return Err("unterminated quoted cell".into()),
+                    }
+                }
+                match chars.next() {
+                    Some(',') => {
+                        cells.push(std::mem::take(&mut cell));
+                    }
+                    None => {
+                        cells.push(std::mem::take(&mut cell));
+                        return Ok(cells);
+                    }
+                    Some(c) => {
+                        return Err(format!("unexpected `{c}` after closing quote"));
+                    }
+                }
+            }
+            _ => {
+                // Unquoted cell: read up to the next comma.
+                loop {
+                    match chars.next() {
+                        Some(',') => {
+                            cells.push(std::mem::take(&mut cell));
+                            break;
+                        }
+                        Some(c) => cell.push(c),
+                        None => {
+                            cells.push(std::mem::take(&mut cell));
+                            return Ok(cells);
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Formats a float with 4 decimal places.
@@ -108,6 +223,78 @@ mod tests {
         assert!(rendered.contains("DeepWalk"));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn cells_with_commas_and_quotes_are_rfc4180_quoted() {
+        // Regression: a serialized MethodConfig or an error message contains
+        // commas (and quotes); unescaped emission corrupted the `csv,` lines.
+        let mut t = Table::new("escape", &["method", "config"]);
+        t.add_row(vec![
+            "NRP".into(),
+            r#"{"method": "NRP", "dimension": 16}"#.into(),
+        ]);
+        let rendered = t.render();
+        let csv_row = rendered
+            .lines()
+            .find(|l| l.starts_with("csv,NRP"))
+            .expect("csv row present");
+        let cells = parse_csv_record(csv_row).unwrap();
+        assert_eq!(cells.len(), 3, "{csv_row}");
+        assert_eq!(cells[1], "NRP");
+        assert_eq!(cells[2], r#"{"method": "NRP", "dimension": 16}"#);
+    }
+
+    #[test]
+    fn short_rows_are_padded_to_the_header_width() {
+        // Regression: an error row narrower than the header used to emit a
+        // ragged CSV record.
+        let mut t = Table::new("pad", &["method", "k=16", "k=32"]);
+        t.add_row(vec!["LINE".into(), "err:cancelled".into()]);
+        let rendered = t.render();
+        let csv_row = rendered
+            .lines()
+            .find(|l| l.starts_with("csv,LINE"))
+            .expect("csv row present");
+        let cells = parse_csv_record(csv_row).unwrap();
+        assert_eq!(cells, vec!["csv", "LINE", "err:cancelled", ""]);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 cells but the header declares 2")]
+    fn rows_wider_than_the_header_are_rejected() {
+        let mut t = Table::new("wide", &["a", "b"]);
+        t.add_row(vec!["1".into(), "2".into(), "3".into()]);
+    }
+
+    #[test]
+    fn csv_escape_quotes_only_when_needed() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("line\nbreak"), "\"line\nbreak\"");
+        assert_eq!(csv_escape(""), "");
+    }
+
+    #[test]
+    fn csv_line_round_trips_through_the_parser() {
+        let cells = vec![
+            "plain".to_string(),
+            "with,comma".to_string(),
+            "with \"quotes\"".to_string(),
+            String::new(),
+            "{\"method\": \"NRP\", \"alpha\": 0.15}".to_string(),
+        ];
+        let line = csv_line(&cells);
+        assert_eq!(parse_csv_record(&line).unwrap(), cells);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_records() {
+        assert!(parse_csv_record("\"unterminated").is_err());
+        assert!(parse_csv_record("\"closed\"junk,b").is_err());
+        assert_eq!(parse_csv_record("").unwrap(), vec![String::new()]);
+        assert_eq!(parse_csv_record("a,,b").unwrap(), vec!["a", "", "b"]);
     }
 
     #[test]

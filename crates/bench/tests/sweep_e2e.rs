@@ -1,0 +1,259 @@
+//! End-to-end tests of the config-file-driven sweep subsystem: JSON and TOML
+//! specs loaded from disk drive the `SweepRunner` over a tiny graph suite,
+//! and the emitted CSV (including the per-stage `RunMetadata` cells) parses
+//! back through `report::parse_csv_record`.
+
+use std::path::Path;
+
+use nrp_bench::report::parse_csv_record;
+use nrp_bench::{methods, HarnessArgs, Scale, SweepRunner, SweepSpec};
+use nrp_core::MethodConfig;
+
+fn tiny_defaults() -> HarnessArgs {
+    HarnessArgs {
+        scale: Scale::Tiny,
+        dimension: 8,
+        seed: 7,
+        threads: 1,
+        config: None,
+    }
+}
+
+const SWEEP_JSON: &str = r#"{
+    "name": "e2e",
+    "scale": "tiny",
+    "dimension": 8,
+    "seeds": [7, 8],
+    "repeats": 1,
+    "threads": [1],
+    "datasets": ["sbm-directed"],
+    "methods": [
+        {"method": "NRP", "num_hops": 5, "reweight_epochs": 2},
+        {"method": "ApproxPPR", "num_hops": 5},
+        {"method": "RandNE"}
+    ]
+}"#;
+
+const SWEEP_TOML: &str = "name = \"e2e\"\nscale = \"tiny\"\ndimension = 8\n\
+    seeds = [7, 8]\nrepeats = 1\nthreads = [1]\ndatasets = [\"sbm-directed\"]\n\
+    [[methods]]\nmethod = \"NRP\"\nnum_hops = 5\nreweight_epochs = 2\n\
+    [[methods]]\nmethod = \"ApproxPPR\"\nnum_hops = 5\n\
+    [[methods]]\nmethod = \"RandNE\"\n";
+
+/// Runs a spec and returns the parsed CSV lines (header first).
+fn run_to_rows(spec: SweepSpec) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    let records = SweepRunner::new(spec)
+        .run(&tiny_defaults(), &mut out)
+        .expect("sweep runs");
+    assert!(!records.is_empty());
+    let text = String::from_utf8(out).expect("CSV is UTF-8");
+    text.lines()
+        .map(|line| parse_csv_record(line).expect("every CSV line parses"))
+        .collect()
+}
+
+#[test]
+fn json_sweep_emits_parseable_csv_with_expected_grid() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("sweep.json");
+    std::fs::write(&path, SWEEP_JSON).unwrap();
+    let spec = SweepSpec::from_path(&path).expect("JSON spec loads");
+
+    let rows = run_to_rows(spec);
+    // Header + (1 dataset × 3 methods × 2 seeds × 1 thread budget × 1 repeat).
+    assert_eq!(rows.len(), 1 + 6);
+    let header = &rows[0];
+    let expected: Vec<String> = SweepRunner::csv_header()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(header, &expected);
+    for row in &rows[1..] {
+        assert_eq!(row.len(), header.len(), "row {row:?} is ragged");
+        assert_eq!(row[0], "sbm-directed (wiki-like)");
+        assert_eq!(*row.last().unwrap(), "ok");
+        // The config cell contains commas and quotes, so surviving the
+        // round trip proves the RFC-4180 escaping: it must parse back into
+        // a MethodConfig whose name and seed match the row's columns.
+        let config = MethodConfig::from_json(&row[3]).expect("config cell is valid JSON");
+        assert_eq!(config.method_name(), row[2]);
+        assert_eq!(config.seed().to_string(), row[4]);
+        assert_eq!(config.dimension(), 8);
+        // Per-stage wall clock: `name:secs@threads` entries.
+        assert!(!row[6].is_empty(), "stages cell empty in {row:?}");
+        for stage in row[6].split(';') {
+            let (name, rest) = stage.split_once(':').expect("stage has a name");
+            assert!(!name.is_empty());
+            let (secs, threads) = rest.split_once('@').expect("stage has a thread count");
+            assert!(secs.parse::<f64>().unwrap() >= 0.0);
+            assert!(threads.parse::<usize>().unwrap() >= 1);
+        }
+        assert!(row[7].parse::<f64>().unwrap() >= 0.0);
+    }
+    // Both seeds appear for every method.
+    let nrp_seeds: Vec<&str> = rows[1..]
+        .iter()
+        .filter(|r| r[2] == "NRP")
+        .map(|r| r[4].as_str())
+        .collect();
+    assert_eq!(nrp_seeds, ["7", "8"]);
+}
+
+#[test]
+fn toml_sweep_matches_the_json_sweep() {
+    let dir = tempfile::tempdir().unwrap();
+    let json_path = dir.path().join("sweep.json");
+    let toml_path = dir.path().join("sweep.toml");
+    std::fs::write(&json_path, SWEEP_JSON).unwrap();
+    std::fs::write(&toml_path, SWEEP_TOML).unwrap();
+    let json_spec = SweepSpec::from_path(&json_path).unwrap();
+    let toml_spec = SweepSpec::from_path(&toml_path).unwrap();
+    assert_eq!(json_spec, toml_spec);
+    // Same spec → same grid; embeddings are deterministic, so the emitted
+    // grids agree cell-for-cell outside the wall-clock columns.
+    let json_rows = run_to_rows(json_spec);
+    let toml_rows = run_to_rows(toml_spec);
+    assert_eq!(json_rows.len(), toml_rows.len());
+    for (a, b) in json_rows.iter().zip(&toml_rows) {
+        assert_eq!(a[..5], b[..5]);
+        assert_eq!(a.last(), b.last());
+    }
+}
+
+#[test]
+fn unsupported_extension_is_rejected() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("sweep.yaml");
+    std::fs::write(&path, SWEEP_JSON).unwrap();
+    let err = SweepSpec::from_path(&path).unwrap_err();
+    assert!(err.contains(".json") && err.contains(".toml"), "{err}");
+}
+
+#[test]
+fn failed_runs_keep_the_row_width_and_carry_the_error() {
+    // dimension 7 is rejected by the ApproxPPR builder, so every ApproxPPR
+    // cell fails while NRP... dimension must be even for NRP too.  Use a
+    // spec whose second method always fails to build.
+    let spec = SweepSpec::from_json(
+        r#"{
+            "scale": "tiny",
+            "datasets": ["ba-powerlaw"],
+            "methods": [
+                {"method": "RandNE", "dimension": 8},
+                {"method": "ApproxPPR", "dimension": 7, "num_hops": 5}
+            ]
+        }"#,
+    )
+    .unwrap();
+    let mut out = Vec::new();
+    let records = SweepRunner::new(spec)
+        .run(&tiny_defaults(), &mut out)
+        .expect("sweep completes despite per-run failures");
+    assert_eq!(records.len(), 2);
+    assert!(records[0].error.is_none());
+    let failure = records[1].error.as_ref().expect("ApproxPPR must fail");
+    assert!(failure.contains("even"), "{failure}");
+    let text = String::from_utf8(out).unwrap();
+    let rows: Vec<Vec<String>> = text.lines().map(|l| parse_csv_record(l).unwrap()).collect();
+    let header_len = rows[0].len();
+    for row in &rows[1..] {
+        assert_eq!(row.len(), header_len, "ragged row {row:?}");
+    }
+    let err_row = rows.last().unwrap();
+    assert!(err_row.last().unwrap().starts_with("err:"), "{err_row:?}");
+}
+
+fn repo_config(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../configs")
+        .join(name)
+}
+
+#[test]
+fn checked_in_fig7_config_reproduces_the_hard_coded_roster() {
+    for file in ["fig7.json", "fig7.toml"] {
+        let spec = SweepSpec::from_path(&repo_config(file)).expect(file);
+        assert_eq!(spec.scale, Some(Scale::Small), "{file}");
+        // Applying the harness dimension and seed uniformly (what
+        // HarnessArgs::roster_configs_at does) must give exactly the roster
+        // the bins hard-code, including the walk-budget reductions.
+        let applied: Vec<MethodConfig> = spec
+            .methods
+            .iter()
+            .cloned()
+            .map(|mut c| {
+                c.set_dimension(32);
+                c.set_seed(7);
+                c
+            })
+            .collect();
+        assert_eq!(applied, methods::roster_configs(32, 7), "{file}");
+    }
+    // The two flavours describe the same sweep.
+    assert_eq!(
+        SweepSpec::from_path(&repo_config("fig7.json")).unwrap(),
+        SweepSpec::from_path(&repo_config("fig7.toml")).unwrap()
+    );
+}
+
+#[test]
+fn checked_in_fig10_and_smoke_configs_load() {
+    let fig10 = SweepSpec::from_path(&repo_config("fig10.json")).unwrap();
+    assert_eq!(fig10.threads, vec![1, 2, 4, 8]);
+    assert_eq!(fig10.methods.len(), 1);
+    assert_eq!(fig10.methods[0].method_name(), "NRP");
+
+    let smoke = SweepSpec::from_path(&repo_config("smoke.json")).unwrap();
+    assert_eq!(smoke.scale, Some(Scale::Tiny));
+    assert!(smoke.methods.len() >= 3);
+}
+
+#[test]
+fn harness_args_resolve_sweep_level_fields_from_the_config() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("sweep.json");
+    std::fs::write(&path, SWEEP_JSON).unwrap();
+    let path_str = path.to_str().unwrap().to_string();
+
+    // Flags absent: spec fields fill in.
+    let args = HarnessArgs::parse(&["--config".to_string(), path_str.clone()])
+        .unwrap()
+        .unwrap();
+    assert_eq!(args.scale, Scale::Tiny);
+    assert_eq!(args.dimension, 8);
+    assert_eq!(args.seed, 7, "first spec seed");
+    // The roster comes from the spec, dimension/seed applied uniformly.
+    let configs = args.roster_configs_at(16);
+    assert_eq!(configs.len(), 3);
+    assert_eq!(configs[0].method_name(), "NRP");
+    assert!(configs.iter().all(|c| c.dimension() == 16));
+
+    // Explicit flags beat the spec — both in the resolved scalars and in
+    // the stored spec itself, so the SweepRunner (which iterates the spec's
+    // seed/thread lists) honours the same precedence.
+    let args = HarnessArgs::parse(&[
+        "--config".to_string(),
+        path_str,
+        "--scale".to_string(),
+        "small".to_string(),
+        "--dim".to_string(),
+        "64".to_string(),
+        "--seed".to_string(),
+        "99".to_string(),
+    ])
+    .unwrap()
+    .unwrap();
+    assert_eq!(args.scale, Scale::Small);
+    assert_eq!(args.dimension, 64);
+    assert_eq!(args.seed, 99);
+    let spec = args.config.as_ref().unwrap();
+    assert_eq!(spec.scale, Some(Scale::Small));
+    assert_eq!(spec.dimension, Some(64));
+    assert_eq!(spec.seeds, vec![99], "--seed replaces the spec's seed list");
+    assert_eq!(
+        spec.threads,
+        vec![1],
+        "unflagged fields keep the spec values"
+    );
+}

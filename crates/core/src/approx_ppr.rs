@@ -17,7 +17,8 @@
 
 use nrp_graph::Graph;
 use nrp_linalg::{
-    AdjacencyOperator, DenseMatrix, RandomizedSvd, RandomizedSvdMethod, TransitionOperator,
+    AdjacencyOperator, DanglingPolicy, DenseMatrix, RandomizedSvd, RandomizedSvdMethod,
+    TransitionOperator,
 };
 
 use crate::config::MethodConfig;
@@ -38,6 +39,9 @@ pub struct ApproxPprParams {
     pub epsilon: f64,
     /// Randomized SVD variant (block Krylov by default, per the paper).
     pub svd_method: RandomizedSvdMethod,
+    /// How the transition matrix treats dangling nodes (self-loop by
+    /// default, matching the paper's walk semantics).
+    pub dangling: DanglingPolicy,
     /// RNG seed.
     pub seed: u64,
 }
@@ -50,6 +54,7 @@ impl Default for ApproxPprParams {
             num_hops: 20,
             epsilon: 0.2,
             svd_method: RandomizedSvdMethod::BlockKrylov,
+            dangling: DanglingPolicy::SelfLoop,
             seed: 0,
         }
     }
@@ -145,7 +150,7 @@ impl ApproxPpr {
             .collect();
 
         // Step 2: X₁ = D⁻¹ U √Σ and Y = V √Σ.
-        let transition = TransitionOperator::new(graph);
+        let transition = TransitionOperator::with_policy(graph, p.dangling);
         let mut x1 = svd.u.clone();
         x1.scale_cols(&sqrt_sigma)?;
         x1.scale_rows(transition.inverse_out_degrees())?;
@@ -181,6 +186,7 @@ impl Embedder for ApproxPpr {
             num_hops: p.num_hops,
             epsilon: p.epsilon,
             svd_method: p.svd_method,
+            dangling: p.dangling,
             seed: p.seed,
         }
     }

@@ -27,7 +27,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 
-use nrp_linalg::RandomizedSvdMethod;
+use nrp_linalg::{DanglingPolicy, RandomizedSvdMethod};
 
 use crate::approx_ppr::{ApproxPpr, ApproxPprParams};
 use crate::embedding::Embedder;
@@ -190,6 +190,7 @@ method_configs! {
         lambda: f64 = 10.0,
         svd_method: RandomizedSvdMethod = RandomizedSvdMethod::BlockKrylov,
         exact_b1: bool = false,
+        dangling: DanglingPolicy = DanglingPolicy::SelfLoop,
         seed: u64 = 0,
     }
     "ApproxPPR" => ApproxPpr {
@@ -198,6 +199,7 @@ method_configs! {
         num_hops: usize = 20,
         epsilon: f64 = 0.2,
         svd_method: RandomizedSvdMethod = RandomizedSvdMethod::BlockKrylov,
+        dangling: DanglingPolicy = DanglingPolicy::SelfLoop,
         seed: u64 = 0,
     }
     "STRAP" => Strap {
@@ -321,24 +323,8 @@ impl MethodConfig {
     /// (comments with `#` and blank lines are allowed; missing fields take
     /// paper defaults).
     pub fn from_toml(text: &str) -> Result<Self> {
-        let mut object = serde::Map::new();
-        for (line_no, raw_line) in text.lines().enumerate() {
-            let line = strip_toml_comment(raw_line).trim();
-            if line.is_empty() {
-                continue;
-            }
-            let (key, value_text) = line.split_once('=').ok_or_else(|| {
-                NrpError::Serialization(format!(
-                    "TOML line {}: expected `key = value`",
-                    line_no + 1
-                ))
-            })?;
-            let value = parse_toml_value(value_text.trim())
-                .map_err(|e| NrpError::Serialization(format!("TOML line {}: {e}", line_no + 1)))?;
-            object.insert(key.trim(), value);
-        }
-        serde::Deserialize::from_value(&serde::Value::Object(object))
-            .map_err(|e| NrpError::Serialization(e.to_string()))
+        let object = flat_toml_to_value(text)?;
+        serde::Deserialize::from_value(&object).map_err(|e| NrpError::Serialization(e.to_string()))
     }
 
     /// Builds the configured embedder through the method registry.
@@ -358,6 +344,28 @@ impl MethodConfig {
             ))),
         }
     }
+}
+
+/// Parses a flat TOML table (`key = value` lines with scalar or array
+/// values; `#` comments and blank lines allowed) into a
+/// [`serde::Value::Object`].  This is the grammar [`MethodConfig::from_toml`]
+/// accepts; it is public so downstream crates (the bench sweep loader)
+/// can parse sweep-level TOML sections with the same rules.
+pub fn flat_toml_to_value(text: &str) -> Result<serde::Value> {
+    let mut object = serde::Map::new();
+    for (line_no, raw_line) in text.lines().enumerate() {
+        let line = strip_toml_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value_text) = line.split_once('=').ok_or_else(|| {
+            NrpError::Serialization(format!("TOML line {}: expected `key = value`", line_no + 1))
+        })?;
+        let value = parse_toml_value(value_text.trim())
+            .map_err(|e| NrpError::Serialization(format!("TOML line {}: {e}", line_no + 1)))?;
+        object.insert(key.trim(), value);
+    }
+    Ok(serde::Value::Object(object))
 }
 
 fn write_toml_value(out: &mut String, value: &serde::Value) {
@@ -510,6 +518,7 @@ fn build_nrp(config: &MethodConfig) -> Result<Box<dyn Embedder>> {
             lambda,
             svd_method,
             exact_b1,
+            dangling,
             seed,
         } => {
             let params = NrpParams {
@@ -521,6 +530,7 @@ fn build_nrp(config: &MethodConfig) -> Result<Box<dyn Embedder>> {
                 lambda: *lambda,
                 svd_method: *svd_method,
                 exact_b1: *exact_b1,
+                dangling: *dangling,
                 seed: *seed,
             };
             params.validate()?;
@@ -541,6 +551,7 @@ fn build_approx_ppr(config: &MethodConfig) -> Result<Box<dyn Embedder>> {
             num_hops,
             epsilon,
             svd_method,
+            dangling,
             seed,
         } => {
             // Reject rather than round: silently mapping e.g. dimension 0 or
@@ -557,6 +568,7 @@ fn build_approx_ppr(config: &MethodConfig) -> Result<Box<dyn Embedder>> {
                 num_hops: *num_hops,
                 epsilon: *epsilon,
                 svd_method: *svd_method,
+                dangling: *dangling,
                 seed: *seed,
             };
             params.validate()?;
@@ -696,6 +708,44 @@ mod tests {
         assert_eq!(order_weights, vec![1.0, 0.5]);
         assert_eq!(oversample, 8);
         assert!(MethodConfig::from_toml("method \"NRP\"").is_err());
+    }
+
+    #[test]
+    fn dangling_policy_round_trips_through_json_and_toml() {
+        for name in ["NRP", "ApproxPPR"] {
+            for policy in [
+                DanglingPolicy::SelfLoop,
+                DanglingPolicy::ZeroRow,
+                DanglingPolicy::Teleport,
+            ] {
+                let mut config = MethodConfig::default_for(name).unwrap();
+                match &mut config {
+                    MethodConfig::Nrp { dangling, .. }
+                    | MethodConfig::ApproxPpr { dangling, .. } => *dangling = policy,
+                    _ => unreachable!(),
+                }
+                let json = config.to_json().unwrap();
+                assert!(json.contains(policy.as_str()), "{json}");
+                assert_eq!(MethodConfig::from_json(&json).unwrap(), config);
+                let toml = config.to_toml();
+                assert!(toml.contains(policy.as_str()), "{toml}");
+                assert_eq!(MethodConfig::from_toml(&toml).unwrap(), config);
+                // The built embedder echoes the policy back.
+                let embedder = config.build().unwrap();
+                assert_eq!(embedder.config(), config, "{name} {policy:?}");
+            }
+        }
+        // Documents parse the policy by name, and bad names fail loudly.
+        let parsed =
+            MethodConfig::from_json(r#"{"method": "NRP", "dangling": "teleport"}"#).unwrap();
+        assert!(matches!(
+            parsed,
+            MethodConfig::Nrp {
+                dangling: DanglingPolicy::Teleport,
+                ..
+            }
+        ));
+        assert!(MethodConfig::from_json(r#"{"method": "NRP", "dangling": "uniform"}"#).is_err());
     }
 
     #[test]

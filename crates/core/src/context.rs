@@ -191,6 +191,45 @@ impl RunMetadata {
             .find(|s| s.name == name)
             .map(|s| s.duration)
     }
+
+    /// The column names of [`RunMetadata::csv_row`], in order.
+    pub fn csv_header() -> &'static [&'static str] {
+        &[
+            "method",
+            "config",
+            "seed",
+            "threads",
+            "stages",
+            "total_secs",
+        ]
+    }
+
+    /// Renders the run as one CSV record: the method name, the effective
+    /// configuration as compact JSON, the effective seed, the granted thread
+    /// budget, the per-stage wall clock (`name:secs@threads` entries joined
+    /// by `;`) and the total wall-clock seconds.
+    ///
+    /// Cells are returned *unescaped* — the `config` cell in particular
+    /// contains commas and double quotes, so writers must apply RFC-4180
+    /// quoting (as `nrp-bench`'s CSV layer does) before joining with `,`.
+    pub fn csv_row(&self) -> Vec<String> {
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| format!("{}:{:.6}@{}", s.name, s.duration.as_secs_f64(), s.threads))
+            .collect::<Vec<_>>()
+            .join(";");
+        vec![
+            self.config.method_name().to_string(),
+            self.config
+                .to_json()
+                .expect("method configs serialize to JSON"),
+            self.seed.to_string(),
+            self.threads.to_string(),
+            stages,
+            format!("{:.6}", self.total.as_secs_f64()),
+        ]
+    }
 }
 
 /// The result of a v2 [`Embedder::embed`](crate::embedding::Embedder::embed)
@@ -309,5 +348,38 @@ mod tests {
         };
         assert_eq!(meta.stage("x"), Some(Duration::from_millis(5)));
         assert_eq!(meta.stage("y"), None);
+    }
+
+    #[test]
+    fn csv_row_matches_header_and_encodes_stages() {
+        let meta = RunMetadata {
+            config: MethodConfig::default_for("NRP").expect("known method"),
+            seed: 9,
+            threads: 4,
+            stages: vec![
+                StageTiming {
+                    name: "approx_ppr",
+                    duration: Duration::from_millis(250),
+                    threads: 4,
+                },
+                StageTiming {
+                    name: "reweight",
+                    duration: Duration::from_millis(125),
+                    threads: 1,
+                },
+            ],
+            total: Duration::from_millis(400),
+        };
+        let row = meta.csv_row();
+        assert_eq!(row.len(), RunMetadata::csv_header().len());
+        assert_eq!(row[0], "NRP");
+        assert!(row[1].contains(r#""method": "NRP""#) || row[1].contains(r#""method":"NRP""#));
+        assert_eq!(row[2], "9");
+        assert_eq!(row[3], "4");
+        assert_eq!(row[4], "approx_ppr:0.250000@4;reweight:0.125000@1");
+        assert_eq!(row[5], "0.400000");
+        // The config cell round-trips back into the same configuration.
+        let parsed = MethodConfig::from_json(&row[1]).unwrap();
+        assert_eq!(parsed, meta.config);
     }
 }

@@ -57,7 +57,7 @@ pub mod reweight;
 pub use nrp_linalg::parallel;
 
 pub use approx_ppr::{ApproxPpr, ApproxPprParams};
-pub use config::{register_method, registered_methods, MethodConfig};
+pub use config::{flat_toml_to_value, register_method, registered_methods, MethodConfig};
 pub use context::{EmbedContext, EmbedOutput, RunMetadata, StageClock, StageTiming};
 pub use embedding::{Embedder, Embedding};
 pub use error::NrpError;

@@ -15,7 +15,7 @@
 //! Overall `O(k(m + kn) log n)` time and `O(m + nk)` space.
 
 use nrp_graph::Graph;
-use nrp_linalg::RandomizedSvdMethod;
+use nrp_linalg::{DanglingPolicy, RandomizedSvdMethod};
 
 use crate::approx_ppr::{ApproxPpr, ApproxPprParams};
 use crate::config::MethodConfig;
@@ -44,6 +44,9 @@ pub struct NrpParams {
     pub svd_method: RandomizedSvdMethod,
     /// Use the exact `b₁` term instead of the paper's Eq. (14) approximation.
     pub exact_b1: bool,
+    /// How the transition matrix treats dangling nodes (self-loop by
+    /// default, matching the paper's walk semantics).
+    pub dangling: DanglingPolicy,
     /// RNG seed for the SVD sketch and the coordinate-descent order.
     pub seed: u64,
 }
@@ -59,6 +62,7 @@ impl Default for NrpParams {
             lambda: 10.0,
             svd_method: RandomizedSvdMethod::BlockKrylov,
             exact_b1: false,
+            dangling: DanglingPolicy::SelfLoop,
             seed: 0,
         }
     }
@@ -119,6 +123,7 @@ impl NrpParams {
             num_hops: self.num_hops,
             epsilon: self.epsilon,
             svd_method: self.svd_method,
+            dangling: self.dangling,
             seed,
         }
     }
@@ -185,6 +190,12 @@ impl NrpParamsBuilder {
     /// Enables the exact-`b₁` ablation.
     pub fn exact_b1(mut self, exact: bool) -> Self {
         self.params.exact_b1 = exact;
+        self
+    }
+
+    /// Sets the dangling-node policy of the transition matrix.
+    pub fn dangling(mut self, policy: DanglingPolicy) -> Self {
+        self.params.dangling = policy;
         self
     }
 
@@ -270,6 +281,7 @@ impl Embedder for Nrp {
             lambda: p.lambda,
             svd_method: p.svd_method,
             exact_b1: p.exact_b1,
+            dangling: p.dangling,
             seed: p.seed,
         }
     }
@@ -373,6 +385,7 @@ mod tests {
             num_hops: params.num_hops,
             epsilon: params.epsilon,
             svd_method: params.svd_method,
+            dangling: params.dangling,
             seed: params.seed,
         })
         .embed_default(&g)

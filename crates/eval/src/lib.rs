@@ -31,7 +31,7 @@ pub mod split;
 pub use classification::{ClassificationConfig, ClassificationReport, NodeClassification};
 pub use error::EvalError;
 pub use link_prediction::{LinkPrediction, LinkPredictionConfig, ScoringStrategy};
-pub use reconstruction::{GraphReconstruction, ReconstructionConfig};
+pub use reconstruction::{GraphReconstruction, PrecisionAtK, ReconstructionConfig};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, EvalError>;

@@ -33,11 +33,38 @@ impl Default for ReconstructionConfig {
     }
 }
 
+/// One `precision@K` measurement.
+///
+/// When a requested `K` exceeds the number of scored candidate pairs the
+/// metric is necessarily computed over all candidates, i.e. at the smaller
+/// *effective* K.  Reporting the requested K in that case silently inflates
+/// small-graph numbers under the paper's `10…10⁶` labels, so both values are
+/// kept and [`PrecisionAtK::clamped`] flags the affected rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionAtK {
+    /// The K the caller asked for (one of `ReconstructionConfig::k_values`).
+    pub requested_k: usize,
+    /// The effective K the metric was computed at:
+    /// `min(requested_k, num_candidates)`.
+    pub k: usize,
+    /// `precision@k` — the fraction of the top-`k` scored pairs that are
+    /// actual edges.
+    pub precision: f64,
+}
+
+impl PrecisionAtK {
+    /// True if the requested K was clamped to the candidate count.
+    pub fn clamped(&self) -> bool {
+        self.k != self.requested_k
+    }
+}
+
 /// Result of one reconstruction run: `precision@K` per requested `K`.
 #[derive(Debug, Clone)]
 pub struct ReconstructionOutcome {
-    /// `(K, precision@K)` pairs in the order of the configured `k_values`.
-    pub precision: Vec<(usize, f64)>,
+    /// Per-K measurements in the order of the configured `k_values`, each
+    /// carrying the requested and the effective K.
+    pub precision: Vec<PrecisionAtK>,
     /// Number of candidate pairs scored.
     pub num_candidates: usize,
     /// Number of candidate pairs that are edges.
@@ -110,7 +137,11 @@ impl GraphReconstruction {
         }
         let mut precision = Vec::with_capacity(self.config.k_values.len());
         for &k in &self.config.k_values {
-            precision.push((k, precision_at_k(&scored, k)?));
+            precision.push(PrecisionAtK {
+                requested_k: k,
+                k: k.min(scored.len()),
+                precision: precision_at_k(&scored, k)?,
+            });
         }
         Ok(ReconstructionOutcome {
             precision,
@@ -155,7 +186,7 @@ mod tests {
         let outcome = GraphReconstruction::new(config(&[10, 100]))
             .evaluate(&g, &nrp(1))
             .unwrap();
-        let p10 = outcome.precision[0].1;
+        let p10 = outcome.precision[0].precision;
         assert!(p10 >= 0.8, "precision@10 = {p10}");
         assert!(outcome.num_edges_in_candidates > 0);
     }
@@ -168,8 +199,8 @@ mod tests {
         let outcome = GraphReconstruction::new(config(&[10, m, 5 * m]))
             .evaluate(&g, &nrp(2))
             .unwrap();
-        let p_small = outcome.precision[0].1;
-        let p_large = outcome.precision[2].1;
+        let p_small = outcome.precision[0].precision;
+        let p_large = outcome.precision[2].precision;
         assert!(
             p_small >= p_large,
             "precision should not increase with K: {p_small} vs {p_large}"
@@ -179,15 +210,39 @@ mod tests {
     }
 
     #[test]
+    fn clamped_k_is_reported_as_the_effective_k() {
+        // Regression: a K far beyond the candidate count used to be echoed
+        // back verbatim, silently attributing an all-candidates precision to
+        // the requested label.  6 nodes, all pairs = 15 candidates.
+        let (g, _) = stochastic_block_model(&[3, 3], 0.9, 0.5, GraphKind::Undirected, 8).unwrap();
+        let outcome = GraphReconstruction::new(config(&[5, 10_000]))
+            .evaluate(&g, &nrp(8))
+            .unwrap();
+        let honest = outcome.precision[0];
+        assert_eq!(honest.requested_k, 5);
+        assert_eq!(honest.k, 5);
+        assert!(!honest.clamped());
+        let clamped = outcome.precision[1];
+        assert_eq!(clamped.requested_k, 10_000);
+        assert_eq!(clamped.k, outcome.num_candidates);
+        assert!(clamped.k < clamped.requested_k);
+        assert!(clamped.clamped());
+        // The clamped precision is computed over every candidate: it equals
+        // the base rate of edges among the candidates.
+        let base_rate = outcome.num_edges_in_candidates as f64 / outcome.num_candidates as f64;
+        assert!((clamped.precision - base_rate).abs() < 1e-12);
+    }
+
+    #[test]
     fn works_on_directed_graphs_with_directed_scores() {
         let (g, _) = stochastic_block_model(&[30, 30], 0.15, 0.01, GraphKind::Directed, 3).unwrap();
         let outcome = GraphReconstruction::new(config(&[10, 100]))
             .evaluate(&g, &nrp(3))
             .unwrap();
         assert!(
-            outcome.precision[0].1 >= 0.6,
+            outcome.precision[0].precision >= 0.6,
             "precision@10 = {}",
-            outcome.precision[0].1
+            outcome.precision[0].precision
         );
     }
 
@@ -204,7 +259,7 @@ mod tests {
             .evaluate(&g, &nrp(4))
             .unwrap();
         assert_eq!(outcome.num_candidates, 1000);
-        assert!(outcome.precision[0].1 > 0.0);
+        assert!(outcome.precision[0].precision > 0.0);
     }
 
     #[test]
@@ -220,8 +275,8 @@ mod tests {
         .unwrap();
         let trained = nrp(5).embed_default(&g).unwrap();
         let task = GraphReconstruction::new(config(&[50]));
-        let p_random = task.evaluate_embedding(&g, &random).unwrap().precision[0].1;
-        let p_trained = task.evaluate_embedding(&g, &trained).unwrap().precision[0].1;
+        let p_random = task.evaluate_embedding(&g, &random).unwrap().precision[0].precision;
+        let p_trained = task.evaluate_embedding(&g, &trained).unwrap().precision[0].precision;
         assert!(
             p_trained > p_random,
             "trained {p_trained} should beat random {p_random}"

@@ -20,7 +20,10 @@
 //! random-walk semantics (an α-decaying walk at a node with no out-neighbours
 //! terminates *there*, it does not vanish) and the forward-push primitive in
 //! `nrp-core`.  [`DanglingPolicy::ZeroRow`] keeps the literal `D⁻¹A` matrix
-//! with all-zero dangling rows, under which mass leaks out of the series.
+//! with all-zero dangling rows, under which mass leaks out of the series, and
+//! [`DanglingPolicy::Teleport`] gives dangling nodes a uniform jump to any
+//! node (the PageRank classic) — still mass-conserving, but without pooling
+//! the surviving mass at the sink.
 
 use nrp_graph::Graph;
 
@@ -150,6 +153,54 @@ pub enum DanglingPolicy {
     /// a walk that reaches one vanishes from the series.  Kept for
     /// comparisons and for callers that want the raw matrix.
     ZeroRow,
+    /// The PageRank classic: a walk at a dangling node jumps to a uniformly
+    /// random node, so its row of `P` is `(1/n, …, 1/n)`.  Rows still sum to
+    /// 1 (mass-conserving), but the surviving mass spreads over the whole
+    /// graph instead of pooling at the sink.
+    Teleport,
+}
+
+impl DanglingPolicy {
+    /// The serialized name (used by declarative method configurations).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DanglingPolicy::SelfLoop => "self-loop",
+            DanglingPolicy::ZeroRow => "zero-row",
+            DanglingPolicy::Teleport => "teleport",
+        }
+    }
+
+    /// Parses the serialized name produced by [`DanglingPolicy::as_str`].
+    pub fn from_str_name(name: &str) -> Option<Self> {
+        match name {
+            "self-loop" => Some(DanglingPolicy::SelfLoop),
+            "zero-row" => Some(DanglingPolicy::ZeroRow),
+            "teleport" => Some(DanglingPolicy::Teleport),
+            _ => None,
+        }
+    }
+}
+
+impl serde::Serialize for DanglingPolicy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_owned())
+    }
+}
+
+impl serde::Deserialize for DanglingPolicy {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let name = value.as_str().ok_or_else(|| {
+            serde::Error::custom(format!(
+                "expected dangling-policy string, got {}",
+                value.kind()
+            ))
+        })?;
+        Self::from_str_name(name).ok_or_else(|| {
+            serde::Error::custom(format!(
+                "unknown dangling policy `{name}` (expected self-loop, zero-row or teleport)"
+            ))
+        })
+    }
 }
 
 /// The random-walk transition matrix `P` of a graph
@@ -159,6 +210,7 @@ pub enum DanglingPolicy {
 pub struct TransitionOperator<'g> {
     graph: &'g Graph,
     inv_out_degree: Vec<f64>,
+    dangling_nodes: Vec<u32>,
     policy: DanglingPolicy,
 }
 
@@ -171,19 +223,25 @@ impl<'g> TransitionOperator<'g> {
 
     /// Wraps a graph as its transition matrix under an explicit policy.
     pub fn with_policy(graph: &'g Graph, policy: DanglingPolicy) -> Self {
-        let inv_out_degree = (0..graph.num_nodes())
+        let n = graph.num_nodes();
+        let inv_out_degree = (0..n)
             .map(|u| {
                 let d = graph.out_degree(u as u32);
                 match (d, policy) {
                     (0, DanglingPolicy::SelfLoop) => 1.0,
                     (0, DanglingPolicy::ZeroRow) => 0.0,
+                    (0, DanglingPolicy::Teleport) => 1.0 / n as f64,
                     (d, _) => 1.0 / d as f64,
                 }
             })
             .collect();
+        let dangling_nodes = (0..n as u32)
+            .filter(|&u| graph.out_degree(u) == 0)
+            .collect();
         Self {
             graph,
             inv_out_degree,
+            dangling_nodes,
             policy,
         }
     }
@@ -193,9 +251,10 @@ impl<'g> TransitionOperator<'g> {
         self.policy
     }
 
-    /// The vector of `1/dout(u)` values.  Under [`DanglingPolicy::SelfLoop`]
-    /// a dangling node's entry is 1 (its implicit self-loop gives it degree
-    /// one); under [`DanglingPolicy::ZeroRow`] it is 0.
+    /// The vector of `1/dout(u)` values.  A dangling node's entry is its
+    /// policy-implied degree: 1 under [`DanglingPolicy::SelfLoop`] (the
+    /// implicit self-loop), 0 under [`DanglingPolicy::ZeroRow`] and `1/n`
+    /// under [`DanglingPolicy::Teleport`] (the uniform jump).
     pub fn inverse_out_degrees(&self) -> &[f64] {
         &self.inv_out_degree
     }
@@ -204,17 +263,68 @@ impl<'g> TransitionOperator<'g> {
         self.graph.out_degree(u as u32) == 0
     }
 
-    fn fill_apply_row(&self, x: &DenseMatrix, u: usize, out_row: &mut [f64]) {
-        let w = self.inv_out_degree[u];
-        if w == 0.0 {
-            return; // ZeroRow dangling node.
+    /// The row every Teleport-dangling node maps to under `P * x`: the column
+    /// means of `x`.  Computed once per product, sequentially over ascending
+    /// rows, so it is identical for every thread budget.  `None` when the
+    /// policy never needs it.
+    fn teleport_apply_row(&self, x: &DenseMatrix) -> Option<Vec<f64>> {
+        if self.policy != DanglingPolicy::Teleport || self.dangling_nodes.is_empty() {
+            return None;
         }
+        let n = self.graph.num_nodes();
+        let mut row = vec![0.0; x.cols()];
+        for u in 0..n {
+            for (acc, &xv) in row.iter_mut().zip(x.row(u)) {
+                *acc += xv;
+            }
+        }
+        let inv = 1.0 / n as f64;
+        for acc in &mut row {
+            *acc *= inv;
+        }
+        Some(row)
+    }
+
+    /// The contribution Teleport-dangling sources add to *every* row of
+    /// `Pᵀ * x`: `(1/n) Σ_{dangling u} x_u`, summed over ascending node ids.
+    fn teleport_transpose_row(&self, x: &DenseMatrix) -> Option<Vec<f64>> {
+        if self.policy != DanglingPolicy::Teleport || self.dangling_nodes.is_empty() {
+            return None;
+        }
+        let mut row = vec![0.0; x.cols()];
+        for &u in &self.dangling_nodes {
+            for (acc, &xv) in row.iter_mut().zip(x.row(u as usize)) {
+                *acc += xv;
+            }
+        }
+        let inv = 1.0 / self.graph.num_nodes() as f64;
+        for acc in &mut row {
+            *acc *= inv;
+        }
+        Some(row)
+    }
+
+    fn fill_apply_row(
+        &self,
+        x: &DenseMatrix,
+        u: usize,
+        uniform: Option<&[f64]>,
+        out_row: &mut [f64],
+    ) {
         let neighbors = self.graph.out_neighbors(u as u32);
         if neighbors.is_empty() {
-            // SelfLoop dangling node: row u of P is e_u.
-            out_row.copy_from_slice(x.row(u));
+            match self.policy {
+                // Row u of P is e_u.
+                DanglingPolicy::SelfLoop => out_row.copy_from_slice(x.row(u)),
+                DanglingPolicy::ZeroRow => {}
+                // Row u of P is (1/n, …, 1/n).
+                DanglingPolicy::Teleport => {
+                    out_row.copy_from_slice(uniform.expect("teleport row precomputed"))
+                }
+            }
             return;
         }
+        let w = self.inv_out_degree[u];
         for &v in neighbors {
             let x_row = x.row(v as usize);
             for (o, &xv) in out_row.iter_mut().zip(x_row) {
@@ -223,7 +333,13 @@ impl<'g> TransitionOperator<'g> {
         }
     }
 
-    fn fill_transpose_row(&self, x: &DenseMatrix, v: usize, out_row: &mut [f64]) {
+    fn fill_transpose_row(
+        &self,
+        x: &DenseMatrix,
+        v: usize,
+        teleport: Option<&[f64]>,
+        out_row: &mut [f64],
+    ) {
         // Row v of Pᵀ gathers from the in-neighbours of v (sorted ascending),
         // plus v itself when v is a dangling self-loop.  The self contribution
         // is merged at its sorted position so the summation order matches a
@@ -248,6 +364,15 @@ impl<'g> TransitionOperator<'g> {
         if self_pending {
             for (o, &xv) in out_row.iter_mut().zip(x.row(v)) {
                 *o += xv;
+            }
+        }
+        // Teleport-dangling sources scatter 1/n into every column of P, so
+        // every output row gains the same precomputed vector.  Added after
+        // the neighbour gathers — a fixed per-row order, hence still bitwise
+        // identical for every thread budget.
+        if let Some(teleport) = teleport {
+            for (o, &t) in out_row.iter_mut().zip(teleport) {
+                *o += t;
             }
         }
     }
@@ -281,8 +406,9 @@ impl LinearOperator for TransitionOperator<'_> {
     fn apply_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
         check_rows(self.ncols(), x, "transition * dense")?;
         let n = self.graph.num_nodes();
+        let uniform = self.teleport_apply_row(x);
         let data = parallel::par_fill_rows(n, x.cols(), threads, |u, out_row| {
-            self.fill_apply_row(x, u, out_row)
+            self.fill_apply_row(x, u, uniform.as_deref(), out_row)
         });
         DenseMatrix::from_vec(n, x.cols(), data)
     }
@@ -290,8 +416,9 @@ impl LinearOperator for TransitionOperator<'_> {
     fn apply_transpose_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
         check_rows(self.nrows(), x, "transitionᵀ * dense")?;
         let n = self.graph.num_nodes();
+        let teleport = self.teleport_transpose_row(x);
         let data = parallel::par_fill_rows(n, x.cols(), threads, |v, out_row| {
-            self.fill_transpose_row(x, v, out_row)
+            self.fill_transpose_row(x, v, teleport.as_deref(), out_row)
         });
         DenseMatrix::from_vec(n, x.cols(), data)
     }
@@ -479,8 +606,48 @@ mod tests {
     }
 
     #[test]
-    fn transition_transpose_matches_dense_for_both_policies() {
-        for policy in [DanglingPolicy::SelfLoop, DanglingPolicy::ZeroRow] {
+    fn transition_teleport_policy_spreads_dangling_mass_uniformly() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2)], GraphKind::Directed).unwrap();
+        let op = TransitionOperator::with_policy(&g, DanglingPolicy::Teleport);
+        let dense = to_dense(&op).unwrap();
+        for u in 0..4 {
+            let sum: f64 = dense.row(u).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row {u} sums to {sum}");
+        }
+        // Dangling rows are uniform, non-dangling rows untouched.
+        for v in 0..4 {
+            assert!((dense.get(1, v) - 0.25).abs() < 1e-15);
+            assert!((dense.get(3, v) - 0.25).abs() < 1e-15);
+        }
+        assert_eq!(dense.get(0, 1), 0.5);
+        assert_eq!(op.inverse_out_degrees(), &[0.5, 0.25, 0.25, 0.25]);
+        assert_eq!(op.policy(), DanglingPolicy::Teleport);
+    }
+
+    #[test]
+    fn dangling_policy_names_round_trip() {
+        for policy in [
+            DanglingPolicy::SelfLoop,
+            DanglingPolicy::ZeroRow,
+            DanglingPolicy::Teleport,
+        ] {
+            assert_eq!(DanglingPolicy::from_str_name(policy.as_str()), Some(policy));
+            let value = serde::Serialize::to_value(&policy);
+            let back: DanglingPolicy = serde::Deserialize::from_value(&value).unwrap();
+            assert_eq!(back, policy);
+        }
+        assert!(DanglingPolicy::from_str_name("uniform").is_none());
+        let bad = serde::Value::String("uniform".into());
+        assert!(<DanglingPolicy as serde::Deserialize>::from_value(&bad).is_err());
+    }
+
+    #[test]
+    fn transition_transpose_matches_dense_for_all_policies() {
+        for policy in [
+            DanglingPolicy::SelfLoop,
+            DanglingPolicy::ZeroRow,
+            DanglingPolicy::Teleport,
+        ] {
             for g in [toy(), dangling_graph()] {
                 let op = TransitionOperator::with_policy(&g, policy);
                 let dense = to_dense(&op).unwrap();
@@ -562,22 +729,28 @@ mod tests {
 
     #[test]
     fn parallel_transition_apply_matches_sequential() {
-        for g in [toy(), dangling_graph()] {
-            let op = TransitionOperator::new(&g);
-            let x = DenseMatrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 0.25 + 0.1);
-            let sequential = op.apply(&x).unwrap();
-            let sequential_t = op.apply_transpose(&x).unwrap();
-            for threads in [1usize, 2, 3, 8] {
-                assert_eq!(
-                    op.apply_parallel(&x, threads).unwrap(),
-                    sequential,
-                    "threads = {threads}"
-                );
-                assert_eq!(
-                    op.apply_transpose_with(&x, threads).unwrap(),
-                    sequential_t,
-                    "threads = {threads}"
-                );
+        for policy in [
+            DanglingPolicy::SelfLoop,
+            DanglingPolicy::ZeroRow,
+            DanglingPolicy::Teleport,
+        ] {
+            for g in [toy(), dangling_graph()] {
+                let op = TransitionOperator::with_policy(&g, policy);
+                let x = DenseMatrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 0.25 + 0.1);
+                let sequential = op.apply(&x).unwrap();
+                let sequential_t = op.apply_transpose(&x).unwrap();
+                for threads in [1usize, 2, 3, 8] {
+                    assert_eq!(
+                        op.apply_parallel(&x, threads).unwrap(),
+                        sequential,
+                        "{policy:?}, threads = {threads}"
+                    );
+                    assert_eq!(
+                        op.apply_transpose_with(&x, threads).unwrap(),
+                        sequential_t,
+                        "{policy:?}, threads = {threads}"
+                    );
+                }
             }
         }
     }

@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("ApproxPPR (l2 = 0)", &without_reweighting),
     ] {
         let outcome = task.evaluate(&graph, embedder)?;
-        let p: Vec<f64> = outcome.precision.iter().map(|&(_, v)| v).collect();
+        let p: Vec<f64> = outcome.precision.iter().map(|e| e.precision).collect();
         println!(
             "{:<22} {:>8.4} {:>8.4} {:>8.4} {:>10.4}",
             name, p[0], p[1], p[2], p[3]

@@ -76,7 +76,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "after reweighting, the well-connected pair must score higher"
     );
 
-    // 5. Persist the embedding for downstream use.
+    // 5. Scale up: the same declarative configs drive whole benchmark
+    //    sweeps.  A `configs/*.json` (or `.toml`) file lists sweep-level
+    //    fields (scale, datasets, seeds, repeats, thread budgets) plus a
+    //    `methods` array of documents like the one above, and every
+    //    `nrp-bench` binary accepts it via `--config`:
+    //
+    //        cargo run --release -p nrp-bench --bin fig7_running_time -- \
+    //            --scale tiny --config configs/fig7.json
+    //
+    //    streams one CSV record of RunMetadata (per-stage wall clock
+    //    included) per run.
+
+    // 6. Persist the embedding for downstream use.
     let path = std::env::temp_dir().join("nrp_quickstart_embedding.json");
     embedding.save(&path)?;
     let reloaded = Embedding::load(&path)?;

@@ -58,8 +58,38 @@
 //! [`DanglingPolicy`](nrp_core::DanglingPolicy): by default a random walk
 //! that reaches one terminates *there* (the node carries an implicit
 //! self-loop), so every PPR row sums to 1 and no probability mass leaks out
-//! of the truncated series; the literal zero-row matrix remains available as
-//! `DanglingPolicy::ZeroRow`.
+//! of the truncated series; `DanglingPolicy::Teleport` jumps to a uniformly
+//! random node instead (the PageRank classic, also mass-conserving), and the
+//! literal zero-row matrix remains available as `DanglingPolicy::ZeroRow`.
+//! The policy is part of the NRP/ApproxPPR configuration — a JSON or TOML
+//! document selects it with `"dangling": "self-loop" | "teleport" |
+//! "zero-row"`.
+//!
+//! ## Config-file-driven benchmark sweeps
+//!
+//! The paper's evaluation is a (method × dataset × hyper-parameter) grid;
+//! `nrp-bench` makes that grid a *data* change.  Every `fig*`/`table*`
+//! binary accepts `--config <file.json|file.toml>` pointing at a
+//! `SweepSpec` document: sweep-level fields (`name`, `scale`, `datasets`,
+//! `dimension`, `seeds`, `repeats`, `threads`) plus a `methods` list of
+//! [`MethodConfig`](nrp_core::MethodConfig) entries that replaces the bin's
+//! hard-coded roster.  `fig7_running_time --config …` runs the full grid
+//! through the shared `SweepRunner` and streams one
+//! [`RunMetadata`](nrp_core::RunMetadata) record per run as RFC-4180 CSV
+//! (method, effective config as JSON, seed, thread budget, per-stage wall
+//! clock, total).  Checked-in samples live under `configs/`:
+//! `fig7.json`/`fig7.toml` reproduce the Fig. 7 roster (including the
+//! reduced walk budgets of the sampling-based competitors), `fig10.json`
+//! the thread-budget ladder, and `smoke.json` the tiny sweep CI runs.
+//!
+//! ```text
+//! cargo run --release -p nrp-bench --bin fig7_running_time -- \
+//!     --scale tiny --config configs/fig7.json
+//! ```
+//!
+//! Explicit flags (`--scale`, `--dim`, `--seed`, `--threads`) win over the
+//! corresponding sweep-level fields; unknown or malformed flags print a
+//! usage message naming the flag and exit non-zero.
 //!
 //! **Cancellation** is cooperative and fine-grained: besides stage
 //! boundaries, the SGNS/NCE training loops (DeepWalk, node2vec, LINE, VERSE,

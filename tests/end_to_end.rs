@@ -76,9 +76,9 @@ fn reconstruction_precision_high_at_small_k() {
     .evaluate(&graph, &nrp(16, 3))
     .expect("reconstruction evaluation");
     assert!(
-        outcome.precision[0].1 >= 0.8,
+        outcome.precision[0].precision >= 0.8,
         "precision@10 {}",
-        outcome.precision[0].1
+        outcome.precision[0].precision
     );
 }
 
