@@ -106,7 +106,7 @@ impl Embedder for Arope {
             .iterations(p.iterations)
             .method(RandomizedSvdMethod::BlockKrylov)
             .seed(seed)
-            .threads(threads)
+            .exec(ctx.exec())
             .compute(&op)?;
         clock.lap_parallel("eigensolve", threads);
         ctx.ensure_active()?;

@@ -6,7 +6,7 @@ use nrp_core::{EmbedContext, EmbedOutput, Embedder, Embedding, MethodConfig, Res
 use nrp_graph::Graph;
 
 use crate::sgns::{train_sgns, walk_frequencies, SgnsConfig};
-use crate::walks::{uniform_walks, window_pairs};
+use crate::walks::{uniform_walks_exec, window_pairs};
 
 /// DeepWalk hyper-parameters.
 #[derive(Debug, Clone)]
@@ -89,7 +89,7 @@ impl Embedder for DeepWalk {
         let mut clock = StageClock::start();
         // Per-node RNG streams keep the walks bitwise identical for any
         // thread budget.
-        let walks = uniform_walks(graph, p.walks_per_node, p.walk_length, seed, threads);
+        let walks = uniform_walks_exec(graph, p.walks_per_node, p.walk_length, seed, &ctx.exec());
         let pairs = window_pairs(&walks, p.window);
         let freq = walk_frequencies(graph.num_nodes(), &walks);
         clock.lap_parallel("walks", threads);

@@ -133,12 +133,14 @@ fn build_strap(config: &MethodConfig) -> Result<Box<dyn Embedder>> {
             alpha,
             delta,
             iterations,
+            dangling,
             seed,
         } => Ok(Box::new(Strap::new(strap::StrapParams {
             dimension: *dimension,
             alpha: *alpha,
             delta: *delta,
             iterations: *iterations,
+            dangling: *dangling,
             seed: *seed,
         }))),
         other => Err(mismatch("STRAP", other)),

@@ -7,7 +7,7 @@ use nrp_core::{
 use nrp_graph::Graph;
 
 use crate::sgns::{train_sgns, walk_frequencies, SgnsConfig};
-use crate::walks::{node2vec_walks, window_pairs};
+use crate::walks::{node2vec_walks_exec, window_pairs};
 
 /// node2vec hyper-parameters.
 #[derive(Debug, Clone)]
@@ -104,14 +104,14 @@ impl Embedder for Node2Vec {
         let mut clock = StageClock::start();
         // Per-node RNG streams keep the walks bitwise identical for any
         // thread budget.
-        let walks = node2vec_walks(
+        let walks = node2vec_walks_exec(
             graph,
             p.walks_per_node,
             p.walk_length,
             p.p,
             p.q,
             seed,
-            threads,
+            &ctx.exec(),
         );
         let pairs = window_pairs(&walks, p.window);
         let freq = walk_frequencies(graph.num_nodes(), &walks);

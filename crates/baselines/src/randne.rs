@@ -13,7 +13,7 @@ use nrp_core::{
 use nrp_graph::Graph;
 use nrp_linalg::qr::orthonormalize;
 use nrp_linalg::random::gaussian_matrix;
-use nrp_linalg::TransitionOperator;
+use nrp_linalg::{LinearOperator, TransitionOperator};
 
 /// RandNE hyper-parameters.
 #[derive(Debug, Clone)]
@@ -91,11 +91,12 @@ impl Embedder for RandNe {
         let mut current = orthonormalize(&base)?;
         clock.lap("projection");
         let threads = ctx.thread_budget();
+        let exec = ctx.exec();
         let mut result = current.clone();
         result.scale(p.order_weights[0]);
         for &w in &p.order_weights[1..] {
             ctx.ensure_active()?;
-            current = transition.apply_parallel(&current, threads)?;
+            current = transition.apply_exec(&current, &exec)?;
             result.axpy(w, &current)?;
         }
         clock.lap_parallel("propagation", threads);

@@ -164,7 +164,7 @@ impl Embedder for SpectralEmbedding {
             .iterations(p.iterations)
             .method(RandomizedSvdMethod::BlockKrylov)
             .seed(seed)
-            .threads(threads)
+            .exec(ctx.exec())
             .compute(&op)?;
         clock.lap_parallel("range_finder", threads);
         ctx.ensure_active()?;

@@ -11,13 +11,25 @@
 //! threshold `δ` is a constant rather than `1/n`, which is what keeps the
 //! proximity matrix sparse at the price of discarding small PPR values.
 
-use nrp_core::push::forward_push;
+use std::cell::RefCell;
+
+use nrp_core::push::{forward_push_into, PushWorkspace};
 use nrp_core::{
     parallel, EmbedContext, EmbedOutput, Embedder, Embedding, MethodConfig, NrpError, Result,
     StageClock,
 };
 use nrp_graph::Graph;
-use nrp_linalg::{RandomizedSvd, RandomizedSvdMethod, SparseMatrix, SparseTransposePair};
+use nrp_linalg::{
+    DanglingPolicy, RandomizedSvd, RandomizedSvdMethod, SparseMatrix, SparseTransposePair,
+};
+
+std::thread_local! {
+    /// One push workspace per worker thread, reused across sources, chunks
+    /// and — when the context's persistent worker pool serves the fan-out —
+    /// across entire embeddings: after warm-up every push runs with zero
+    /// heap allocation (see `nrp_core::push`).
+    static PUSH_WORKSPACE: RefCell<PushWorkspace> = RefCell::new(PushWorkspace::new());
+}
 
 /// Source nodes per parallel push chunk.  Fixed (never derived from the
 /// thread budget) so the triplet order — and therefore the assembled
@@ -38,6 +50,10 @@ pub struct StrapParams {
     pub delta: f64,
     /// Power iterations for the randomized SVD.
     pub iterations: usize,
+    /// How the forward pushes treat dangling nodes (self-loop by default,
+    /// matching the workspace-wide walk semantics; the policy applies to the
+    /// pushes on both `G` and `Gᵀ`).
+    pub dangling: DanglingPolicy,
     /// RNG seed.
     pub seed: u64,
 }
@@ -49,6 +65,7 @@ impl Default for StrapParams {
             alpha: 0.15,
             delta: 1e-4,
             iterations: 6,
+            dangling: DanglingPolicy::SelfLoop,
             seed: 0,
         }
     }
@@ -80,38 +97,52 @@ impl Strap {
 
     /// [`Strap::proximity_matrix`] under an explicit execution context: the
     /// per-source forward pushes fan out across the context's thread budget
-    /// (the canonical parallel axis of the PPR literature) and cancellation
-    /// is honoured per source chunk.
+    /// (the canonical parallel axis of the PPR literature, served by the
+    /// context's persistent worker pool) and cancellation is honoured per
+    /// source chunk.
     ///
     /// Chunks of sources are fixed and their triplet lists are concatenated
     /// in source order, so the assembled matrix is bitwise identical for
-    /// every thread budget.
+    /// every thread budget and execution policy.  Each worker keeps one
+    /// [`PushWorkspace`] in thread-local storage, so per-source cost is
+    /// proportional to the push's locality with zero allocation after
+    /// warm-up — workspace reuse never changes a push's result.
     pub fn proximity_matrix_with(&self, graph: &Graph, ctx: &EmbedContext) -> Result<SparseMatrix> {
         let p = &self.params;
         let n = graph.num_nodes();
         let reverse = graph.reverse();
         let keep = p.delta / 2.0;
-        let chunked: Vec<Vec<(usize, usize, f64)>> = parallel::try_par_chunk_map(
+        let chunked: Vec<Vec<(usize, usize, f64)>> = parallel::try_par_chunk_map_exec(
             n,
             SOURCE_CHUNK,
-            ctx.thread_budget(),
+            &ctx.exec(),
             |range| -> Result<Vec<(usize, usize, f64)>> {
-                let mut triplets = Vec::new();
-                for source in range {
-                    // Per source, not per chunk: a single push is the unit of
-                    // unbounded work, so this bounds cancellation latency by
-                    // one push pair.
-                    ctx.ensure_active()?;
-                    for graph_ref in [graph, &reverse] {
-                        let push = forward_push(graph_ref, source as u32, p.alpha, p.delta)?;
-                        for (target, estimate) in push.estimates {
-                            if estimate >= keep {
-                                triplets.push((source, target as usize, estimate));
+                PUSH_WORKSPACE.with(|workspace| {
+                    let ws = &mut workspace.borrow_mut();
+                    let mut triplets = Vec::new();
+                    for source in range {
+                        // Per source, not per chunk: a single push is the
+                        // unit of unbounded work, so this bounds cancellation
+                        // latency by one push pair.
+                        ctx.ensure_active()?;
+                        for graph_ref in [graph, &reverse] {
+                            forward_push_into(
+                                graph_ref,
+                                source as u32,
+                                p.alpha,
+                                p.delta,
+                                p.dangling,
+                                ws,
+                            )?;
+                            for &(target, estimate) in ws.estimates() {
+                                if estimate >= keep {
+                                    triplets.push((source, target as usize, estimate));
+                                }
                             }
                         }
                     }
-                }
-                Ok(triplets)
+                    Ok(triplets)
+                })
             },
         )?;
         let triplets: Vec<(usize, usize, f64)> = chunked.into_iter().flatten().collect();
@@ -131,6 +162,7 @@ impl Embedder for Strap {
             alpha: p.alpha,
             delta: p.delta,
             iterations: p.iterations,
+            dangling: p.dangling,
             seed: p.seed,
         }
     }
@@ -169,7 +201,7 @@ impl Embedder for Strap {
             .iterations(p.iterations)
             .method(RandomizedSvdMethod::BlockKrylov)
             .seed(seed)
-            .threads(threads)
+            .exec(ctx.exec())
             .compute(&operator)?;
         clock.lap_parallel("svd", threads);
         let sqrt_sigma: Vec<f64> = svd

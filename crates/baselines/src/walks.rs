@@ -32,11 +32,8 @@ fn node_stream(seed: u64, node: NodeId) -> ChaCha8Rng {
 
 /// Generates `walks_per_node` uniform random walks of length `walk_length`
 /// from every node (walks stop early at dangling nodes), using up to
-/// `threads` worker threads.
-///
-/// Walks are returned grouped by start node in ascending order; each node's
-/// walks come from its own RNG stream, so the output is bitwise identical
-/// for every thread budget.
+/// `threads` scoped worker threads (see [`uniform_walks_exec`] for pooled
+/// execution).
 pub fn uniform_walks(
     graph: &Graph,
     walks_per_node: usize,
@@ -44,8 +41,31 @@ pub fn uniform_walks(
     seed: u64,
     threads: usize,
 ) -> Vec<Vec<NodeId>> {
+    uniform_walks_exec(
+        graph,
+        walks_per_node,
+        walk_length,
+        seed,
+        &parallel::Exec::scoped(threads),
+    )
+}
+
+/// Generates `walks_per_node` uniform random walks of length `walk_length`
+/// from every node (walks stop early at dangling nodes), under an
+/// [`parallel::Exec`] policy.
+///
+/// Walks are returned grouped by start node in ascending order; each node's
+/// walks come from its own RNG stream, so the output is bitwise identical
+/// for every thread budget and execution policy.
+pub fn uniform_walks_exec(
+    graph: &Graph,
+    walks_per_node: usize,
+    walk_length: usize,
+    seed: u64,
+    exec: &parallel::Exec,
+) -> Vec<Vec<NodeId>> {
     let n = graph.num_nodes();
-    parallel::par_chunk_map(n, NODE_CHUNK, threads, |range| {
+    parallel::par_chunk_map_exec(n, NODE_CHUNK, exec, |range| {
         let mut walks = Vec::with_capacity(range.len() * walks_per_node);
         for start in range {
             let start = start as NodeId;
@@ -73,16 +93,8 @@ pub fn uniform_walks(
 }
 
 /// Generates node2vec walks with return parameter `p` and in-out parameter
-/// `q` (Grover & Leskovec 2016), using up to `threads` worker threads.
-/// Transition weights from `prev -> current -> next` are `1/p` if `next ==
-/// prev`, `1` if `next` is a neighbour of `prev`, and `1/q` otherwise;
-/// weights are sampled by rejection-free normalization per step (the graphs
-/// here are small enough that building per-step weight vectors is cheaper
-/// than precomputing alias tables for every edge pair).
-///
-/// Ordering and determinism follow [`uniform_walks`]: per-node RNG streams,
-/// walks grouped by ascending start node, bitwise identical for every thread
-/// budget.
+/// `q` (Grover & Leskovec 2016), using up to `threads` scoped worker threads
+/// (see [`node2vec_walks_exec`] for pooled execution).
 pub fn node2vec_walks(
     graph: &Graph,
     walks_per_node: usize,
@@ -92,8 +104,39 @@ pub fn node2vec_walks(
     seed: u64,
     threads: usize,
 ) -> Vec<Vec<NodeId>> {
+    node2vec_walks_exec(
+        graph,
+        walks_per_node,
+        walk_length,
+        p,
+        q,
+        seed,
+        &parallel::Exec::scoped(threads),
+    )
+}
+
+/// Generates node2vec walks with return parameter `p` and in-out parameter
+/// `q` (Grover & Leskovec 2016), under an [`parallel::Exec`] policy.
+/// Transition weights from `prev -> current -> next` are `1/p` if `next ==
+/// prev`, `1` if `next` is a neighbour of `prev`, and `1/q` otherwise;
+/// weights are sampled by rejection-free normalization per step (the graphs
+/// here are small enough that building per-step weight vectors is cheaper
+/// than precomputing alias tables for every edge pair).
+///
+/// Ordering and determinism follow [`uniform_walks`]: per-node RNG streams,
+/// walks grouped by ascending start node, bitwise identical for every thread
+/// budget and execution policy.
+pub fn node2vec_walks_exec(
+    graph: &Graph,
+    walks_per_node: usize,
+    walk_length: usize,
+    p: f64,
+    q: f64,
+    seed: u64,
+    exec: &parallel::Exec,
+) -> Vec<Vec<NodeId>> {
     let n = graph.num_nodes();
-    parallel::par_chunk_map(n, NODE_CHUNK, threads, |range| {
+    parallel::par_chunk_map_exec(n, NODE_CHUNK, exec, |range| {
         let mut walks = Vec::with_capacity(range.len() * walks_per_node);
         let mut weights: Vec<f64> = Vec::new();
         for start in range {

@@ -1,0 +1,77 @@
+//! Shared workloads of the hot-path benchmarks, used by both the criterion
+//! bench (`benches/hotpaths.rs`) and the headless `bench_hotpaths` binary so
+//! the two always measure the same thing.
+
+use nrp_core::parallel::{self, Exec};
+use nrp_core::push::{forward_push_into, PushWorkspace};
+use nrp_core::DanglingPolicy;
+use nrp_graph::{Graph, NodeId};
+
+/// One micro-stage stream: `calls` chunk maps over `n` items with a small
+/// amount of real work per chunk — dispatch overhead dominates, which is
+/// exactly what the persistent pool amortizes.
+pub fn kernel_stream(exec: &Exec, calls: usize, n: usize) -> f64 {
+    let mut acc = 0.0;
+    for round in 0..calls {
+        let partials = parallel::par_chunk_map_exec(n, 64, exec, |range| {
+            range.map(|i| ((i * 31 + round) % 97) as f64).sum::<f64>()
+        });
+        acc += partials.into_iter().sum::<f64>();
+    }
+    acc
+}
+
+/// Forward pushes from the first `sources` nodes, either reusing the given
+/// workspace (the zero-allocation hot path) or allocating a fresh one per
+/// source (the historical behaviour).  Returns the total push count.
+pub fn push_sweep(graph: &Graph, sources: u32, reuse: Option<&mut PushWorkspace>) -> usize {
+    let mut total = 0usize;
+    match reuse {
+        Some(ws) => {
+            for source in 0..sources {
+                total += forward_push_into(
+                    graph,
+                    source as NodeId,
+                    0.15,
+                    1e-4,
+                    DanglingPolicy::SelfLoop,
+                    ws,
+                )
+                .expect("push succeeds")
+                .num_pushes;
+            }
+        }
+        None => {
+            for source in 0..sources {
+                let mut ws = PushWorkspace::new();
+                total += forward_push_into(
+                    graph,
+                    source as NodeId,
+                    0.15,
+                    1e-4,
+                    DanglingPolicy::SelfLoop,
+                    &mut ws,
+                )
+                .expect("push succeeds")
+                .num_pushes;
+            }
+        }
+    }
+    total
+}
+
+/// Deterministic pseudo-random triplets (xorshift stream) with a realistic
+/// duplicate rate, for the CSR-assembly scenarios.
+pub fn assembly_triplets(nnz: usize, rows: usize, cols: usize) -> Vec<(usize, usize, f64)> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    (0..nnz)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let r = (state % rows as u64) as usize;
+            let c = ((state >> 32) % cols as u64) as usize;
+            (r, c, (state % 1000) as f64 * 0.01 - 5.0)
+        })
+        .collect()
+}

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod datasets;
+pub mod hotpaths;
 pub mod methods;
 pub mod report;
 pub mod sweep;

@@ -17,8 +17,8 @@
 
 use nrp_graph::Graph;
 use nrp_linalg::{
-    AdjacencyOperator, DanglingPolicy, DenseMatrix, RandomizedSvd, RandomizedSvdMethod,
-    TransitionOperator,
+    AdjacencyOperator, DanglingPolicy, DenseMatrix, LinearOperator, RandomizedSvd,
+    RandomizedSvdMethod, TransitionOperator,
 };
 
 use crate::config::MethodConfig;
@@ -132,16 +132,17 @@ impl ApproxPpr {
         }
 
         // Step 1: randomized SVD of the adjacency matrix, spending the
-        // context's thread budget on the block matmuls and basis construction
-        // (bitwise identical for any budget).
-        let threads = ctx.thread_budget();
+        // context's thread budget (served by its persistent worker pool) on
+        // the block matmuls and basis construction (bitwise identical for
+        // any budget and execution policy).
+        let exec = ctx.exec();
         let adjacency = AdjacencyOperator::new(graph);
         let iterations = RandomizedSvd::iterations_for_epsilon(n, p.epsilon);
         let svd = RandomizedSvd::new(p.half_dimension)
             .iterations(iterations)
             .method(p.svd_method)
             .seed(ctx.seed_or(p.seed))
-            .threads(threads)
+            .exec(exec.clone())
             .compute(&adjacency)?;
         let sqrt_sigma: Vec<f64> = svd
             .singular_values
@@ -161,7 +162,7 @@ impl ApproxPpr {
         let mut x = x1.clone();
         for _ in 2..=p.num_hops {
             ctx.ensure_active()?;
-            let mut propagated = transition.apply_parallel(&x, threads)?;
+            let mut propagated = transition.apply_exec(&x, &exec)?;
             propagated.scale(1.0 - p.alpha);
             propagated.axpy(1.0, &x1)?;
             x = propagated;

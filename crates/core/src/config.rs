@@ -207,6 +207,7 @@ method_configs! {
         alpha: f64 = 0.15,
         delta: f64 = 1e-4,
         iterations: usize = 6,
+        dangling: DanglingPolicy = DanglingPolicy::SelfLoop,
         seed: u64 = 0,
     }
     "AROPE" => Arope {
@@ -708,6 +709,26 @@ mod tests {
         assert_eq!(order_weights, vec![1.0, 0.5]);
         assert_eq!(oversample, 8);
         assert!(MethodConfig::from_toml("method \"NRP\"").is_err());
+    }
+
+    #[test]
+    fn strap_dangling_policy_parses_and_round_trips() {
+        // STRAP's dangling knob reaches its forward pushes (the embedder
+        // echo is covered by the baselines crate, which owns the builder).
+        let parsed =
+            MethodConfig::from_json(r#"{"method": "STRAP", "dangling": "teleport"}"#).unwrap();
+        assert!(matches!(
+            parsed,
+            MethodConfig::Strap {
+                dangling: DanglingPolicy::Teleport,
+                ..
+            }
+        ));
+        let json = parsed.to_json().unwrap();
+        assert_eq!(MethodConfig::from_json(&json).unwrap(), parsed);
+        let toml = parsed.to_toml();
+        assert_eq!(MethodConfig::from_toml(&toml).unwrap(), parsed);
+        assert!(MethodConfig::from_json(r#"{"method": "STRAP", "dangling": "nope"}"#).is_err());
     }
 
     #[test]

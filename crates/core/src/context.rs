@@ -11,8 +11,10 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+use nrp_linalg::parallel::{Exec, WorkerPool};
 
 use crate::config::MethodConfig;
 use crate::embedding::Embedding;
@@ -23,11 +25,29 @@ use crate::{NrpError, Result};
 /// The default context (`EmbedContext::default()`) reproduces the method's
 /// configured behaviour exactly: no seed override, a single-thread budget and
 /// no cancellation.
+///
+/// ## Worker-pool ownership
+///
+/// A context with a multi-thread budget owns a persistent
+/// [`WorkerPool`], created lazily on the first [`EmbedContext::exec`] call
+/// and shared by every stage of every embedding run under this context (and
+/// its clones).  Thread-spawn cost is therefore paid **once per context**,
+/// not once per kernel invocation — an embedding issues thousands of small
+/// parallel stages (propagation hops × Krylov iterations × CGS2 passes), and
+/// under the historical scoped-thread policy each paid a spawn/join round
+/// trip.  Pooled and scoped execution are bitwise identical; choose scoped
+/// explicitly with [`EmbedContext::with_scoped_threads`] (e.g. to
+/// cross-check, or for one-shot runs where pool startup isn't worth it).
 #[derive(Debug, Clone, Default)]
 pub struct EmbedContext {
     seed: Option<u64>,
     threads: Option<NonZeroUsize>,
     cancel: Option<Arc<AtomicBool>>,
+    // The cell itself is behind an `Arc` so clones share the *lazily created*
+    // pool too: whichever context (original or clone) runs first initializes
+    // the one cell every sibling reads.
+    pool: Arc<OnceLock<Arc<WorkerPool>>>,
+    scoped_only: bool,
 }
 
 impl EmbedContext {
@@ -45,9 +65,70 @@ impl EmbedContext {
     /// Grants a thread budget (clamped to at least 1).  Methods use up to
     /// this many threads in their data-parallel stages; the result is
     /// bitwise independent of the budget.
+    ///
+    /// Multi-thread budgets run on a persistent [`WorkerPool`] owned by this
+    /// context (created lazily, reused across stages and runs, and shared
+    /// with clones of this context).  See
+    /// [`EmbedContext::with_scoped_threads`] for per-call scoped threads.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = NonZeroUsize::new(threads.max(1));
+        let threads = threads.max(1);
+        self.threads = NonZeroUsize::new(threads);
+        self.scoped_only = false;
+        // A pool created for a smaller previous budget would silently clamp
+        // the new one (dispatch caps workers at pool capacity), so detach
+        // from it and let the next run create a right-sized pool.  Clones
+        // holding the old cell keep their pool.
+        if self
+            .pool
+            .get()
+            .is_some_and(|pool| pool.capacity() < threads)
+        {
+            self.pool = Arc::new(OnceLock::new());
+        }
         self
+    }
+
+    /// Grants a thread budget served by fresh `std::thread::scope` workers
+    /// per kernel call instead of the context's persistent pool.  Results
+    /// are bitwise identical to pooled execution; this exists for one-shot
+    /// runs and for tests that cross-check the two policies.
+    pub fn with_scoped_threads(mut self, threads: usize) -> Self {
+        self.threads = NonZeroUsize::new(threads.max(1));
+        self.scoped_only = true;
+        self
+    }
+
+    /// Attaches an existing worker pool, sharing it with other contexts
+    /// (e.g. one pool across a whole benchmark sweep).  The thread budget is
+    /// still set separately via [`EmbedContext::with_threads`] and is
+    /// clamped to the pool's capacity at dispatch time.
+    pub fn with_worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Arc::new(OnceLock::from(pool));
+        self.scoped_only = false;
+        self
+    }
+
+    /// The context's worker pool, if one has been attached or lazily
+    /// created.
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.get()
+    }
+
+    /// The execution policy embedders hand to every parallel kernel: the
+    /// thread budget plus this context's persistent [`WorkerPool`] (created
+    /// on first use for multi-thread budgets, unless
+    /// [`EmbedContext::with_scoped_threads`] opted out).  The policy never
+    /// affects results — only where worker threads come from.
+    pub fn exec(&self) -> Exec {
+        let threads = self.thread_budget();
+        if threads <= 1 {
+            return Exec::sequential();
+        }
+        if self.scoped_only {
+            return Exec::scoped(threads);
+        }
+        let pool = self.pool.get_or_init(|| Arc::new(WorkerPool::new(threads)));
+        Exec::pooled(Arc::clone(pool), threads)
     }
 
     /// Attaches a cooperative cancellation flag.  Setting the flag to `true`
@@ -306,6 +387,68 @@ mod tests {
         assert_eq!(ctx.seed_or(9), 3);
         assert_eq!(ctx.thread_budget(), 4);
         assert_eq!(EmbedContext::new().with_threads(0).thread_budget(), 1);
+    }
+
+    #[test]
+    fn exec_policies_follow_the_context_configuration() {
+        // Single-thread budgets never create a pool.
+        let ctx = EmbedContext::new();
+        assert!(!ctx.exec().is_parallel());
+        assert!(ctx.worker_pool().is_none());
+        // Multi-thread budgets lazily create one pool and reuse it.
+        let ctx = EmbedContext::new().with_threads(3);
+        assert!(ctx.worker_pool().is_none(), "pool is lazy");
+        let first = ctx.exec();
+        assert_eq!(first.threads(), 3);
+        let pool = first.pool().expect("pooled exec").clone();
+        assert_eq!(pool.capacity(), 3);
+        let second = ctx.exec();
+        assert!(
+            Arc::ptr_eq(second.pool().expect("pooled exec"), &pool),
+            "same pool across exec() calls"
+        );
+        // Clones share the already-created pool.
+        let clone = ctx.clone();
+        assert!(
+            Arc::ptr_eq(clone.exec().pool().expect("pooled exec"), &pool),
+            "clone shares the pool"
+        );
+        // Clones taken *before* the pool exists share the lazy cell too:
+        // whichever side runs first creates the one pool both use.
+        let fresh = EmbedContext::new().with_threads(2);
+        let fresh_clone = fresh.clone();
+        let created = fresh_clone.exec().pool().expect("pooled exec").clone();
+        assert!(
+            Arc::ptr_eq(fresh.exec().pool().expect("pooled exec"), &created),
+            "pre-creation clones share one pool"
+        );
+        // Raising the budget past a stale pool's capacity detaches from it
+        // instead of silently clamping parallelism.
+        let raised = fresh.with_threads(6);
+        let raised_pool = raised.exec().pool().expect("pooled exec").clone();
+        assert!(!Arc::ptr_eq(&raised_pool, &created), "stale pool replaced");
+        assert_eq!(raised_pool.capacity(), 6);
+        // Lowering (or keeping) the budget reuses the existing pool.
+        let lowered = raised.with_threads(2);
+        assert!(
+            Arc::ptr_eq(lowered.exec().pool().expect("pooled exec"), &raised_pool),
+            "a large-enough pool is kept"
+        );
+        assert_eq!(lowered.exec().threads(), 2);
+        // Scoped opt-out produces a pool-less policy.
+        let scoped = EmbedContext::new().with_scoped_threads(4);
+        assert_eq!(scoped.exec().threads(), 4);
+        assert!(scoped.exec().pool().is_none());
+        assert!(scoped.worker_pool().is_none());
+        // An attached pool is used as-is.
+        let shared = Arc::new(WorkerPool::new(2));
+        let ctx = EmbedContext::new()
+            .with_threads(2)
+            .with_worker_pool(Arc::clone(&shared));
+        assert!(Arc::ptr_eq(
+            ctx.exec().pool().expect("pooled exec"),
+            &shared
+        ));
     }
 
     #[test]

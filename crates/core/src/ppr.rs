@@ -104,7 +104,23 @@ impl PprMatrix {
 /// Linear in `m` per iteration, so usable on larger graphs than
 /// [`PprMatrix::exact`].  Dangling nodes follow the default
 /// [`DanglingPolicy::SelfLoop`], so the returned row sums to 1 (up to `tol`).
+/// See [`single_source_ppr_with_policy`] for the other policies.
 pub fn single_source_ppr(graph: &Graph, source: NodeId, alpha: f64, tol: f64) -> Result<Vec<f64>> {
+    single_source_ppr_with_policy(graph, source, alpha, tol, DanglingPolicy::default())
+}
+
+/// [`single_source_ppr`] under an explicit dangling-node policy, matching
+/// [`PprMatrix::exact_with_policy`] row for row: `SelfLoop` keeps the
+/// surviving mass at the dangling node (rows sum to 1), `ZeroRow` lets it
+/// vanish (rows sum to < 1 when a sink is reachable) and `Teleport` spreads
+/// it uniformly over all nodes (rows sum to 1).
+pub fn single_source_ppr_with_policy(
+    graph: &Graph,
+    source: NodeId,
+    alpha: f64,
+    tol: f64,
+    policy: DanglingPolicy,
+) -> Result<Vec<f64>> {
     validate_alpha(alpha)?;
     let n = graph.num_nodes();
     if (source as usize) >= n {
@@ -125,8 +141,11 @@ pub fn single_source_ppr(graph: &Graph, source: NodeId, alpha: f64, tol: f64) ->
         for (p, pos) in ppr.iter_mut().zip(&position) {
             *p += alpha * pos;
         }
-        // Otherwise it survives (factor 1-α) and moves to a random out-neighbour.
+        // Otherwise it survives (factor 1-α) and moves per its row of P.
         let mut next = vec![0.0; n];
+        // Surviving mass at dangling nodes under Teleport, spread uniformly
+        // after the sparse scatter.
+        let mut teleporting = 0.0;
         for u in 0..n {
             let mass = position[u];
             if mass == 0.0 {
@@ -134,15 +153,26 @@ pub fn single_source_ppr(graph: &Graph, source: NodeId, alpha: f64, tol: f64) ->
             }
             let d = graph.out_degree(u as NodeId);
             if d == 0 {
-                // Dangling node: the walk halts *here* (implicit self-loop,
-                // matching `DanglingPolicy::SelfLoop`), so the surviving mass
-                // stays at u instead of leaving the system.
-                next[u] += (1.0 - alpha) * mass;
+                match policy {
+                    // The walk halts *here* (implicit self-loop): the
+                    // surviving mass stays at u instead of leaving the system.
+                    DanglingPolicy::SelfLoop => next[u] += (1.0 - alpha) * mass,
+                    // The literal D⁻¹A matrix: the surviving mass vanishes.
+                    DanglingPolicy::ZeroRow => {}
+                    // The PageRank classic: jump to a uniformly random node.
+                    DanglingPolicy::Teleport => teleporting += (1.0 - alpha) * mass,
+                }
                 continue;
             }
             let share = (1.0 - alpha) * mass / d as f64;
             for &v in graph.out_neighbors(u as NodeId) {
                 next[v as usize] += share;
+            }
+        }
+        if teleporting > 0.0 {
+            let share = teleporting / n as f64;
+            for slot in &mut next {
+                *slot += share;
             }
         }
         position = next;
@@ -242,6 +272,36 @@ mod tests {
                 (vec_sum - 1.0).abs() < 1e-9,
                 "vector row {u} sums to {vec_sum}"
             );
+        }
+    }
+
+    #[test]
+    fn single_source_policy_variants_match_matrix_rows() {
+        // Each policy's vector recurrence must agree with the matrix series
+        // under the same policy, on graphs with reachable dangling nodes.
+        let g = Graph::from_edges(
+            5,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (0, 4)],
+            GraphKind::Directed,
+        )
+        .unwrap();
+        for policy in [
+            DanglingPolicy::SelfLoop,
+            DanglingPolicy::ZeroRow,
+            DanglingPolicy::Teleport,
+        ] {
+            let matrix = PprMatrix::exact_with_policy(&g, ALPHA, TOL, policy).unwrap();
+            for u in 0..5 {
+                let row = single_source_ppr_with_policy(&g, u, ALPHA, TOL, policy).unwrap();
+                for v in 0..5usize {
+                    assert!(
+                        (row[v] - matrix.get(u, v as NodeId)).abs() < 1e-8,
+                        "{policy:?} ({u},{v}): {} vs {}",
+                        row[v],
+                        matrix.get(u, v as NodeId)
+                    );
+                }
+            }
         }
     }
 

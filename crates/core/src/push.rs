@@ -11,17 +11,41 @@
 //! practice the estimates are far tighter.  The cost is `O(1 / (α · r_max))`
 //! pushes independent of the graph size, which is what lets STRAP build its
 //! sparse proximity matrix on large graphs.
+//!
+//! ## Workspaces: sparse-local cost, zero allocation
+//!
+//! Forward push is a *local* algorithm — it touches only the nodes mass
+//! actually reaches — but a naive implementation allocates and zeroes three
+//! `O(n)` vectors per source, turning an all-pairs fan-out (STRAP pushes from
+//! every node) into `O(n²)` memory traffic.  [`PushWorkspace`] fixes this
+//! with epoch-stamped sparse resets: the `O(n)` buffers are allocated once,
+//! a per-call epoch counter invalidates stale entries for free, and only the
+//! nodes recorded on a *touched list* are ever read or written.  After the
+//! workspace has warmed up to the graph's size, [`forward_push_into`]
+//! performs **zero heap allocation per source** (asserted by a
+//! counting-allocator test).
+//!
+//! ## Dangling nodes
+//!
+//! Nodes with no out-neighbours follow the workspace-wide
+//! [`DanglingPolicy`]: under the default `SelfLoop` a walk holding residue at
+//! a dangling node terminates there with probability 1, so the entire
+//! residue converts to reserve *exactly* (no threshold applies); `ZeroRow`
+//! discards the residue (the mass leak of the literal `D⁻¹A` matrix); and
+//! `Teleport` spreads it uniformly over all `n` nodes (pushing once the
+//! residue clears the `r_max · n` threshold of its implicit degree-`n` row).
 
 use std::collections::VecDeque;
 
 use nrp_graph::{Graph, NodeId};
+use nrp_linalg::DanglingPolicy;
 
 use crate::{NrpError, Result};
 
 /// Sparse single-source PPR estimates produced by forward push.
 #[derive(Debug, Clone)]
 pub struct PushResult {
-    /// `(node, estimate)` pairs with non-zero reserve, unsorted.
+    /// `(node, estimate)` pairs with non-zero reserve, ascending by node.
     pub estimates: Vec<(NodeId, f64)>,
     /// Total residual probability mass left unconverted.
     pub residual_mass: f64,
@@ -29,9 +53,123 @@ pub struct PushResult {
     pub num_pushes: usize,
 }
 
-/// Runs forward push from `source` with decay `alpha` and residue threshold
-/// `r_max` (smaller `r_max` → more accurate, more work).
-pub fn forward_push(graph: &Graph, source: NodeId, alpha: f64, r_max: f64) -> Result<PushResult> {
+/// Summary of one [`forward_push_into`] run; the estimates stay in the
+/// workspace ([`PushWorkspace::estimates`]) so the hot path allocates
+/// nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct PushOutcome {
+    /// Total residual probability mass left unconverted.
+    pub residual_mass: f64,
+    /// Number of push operations performed.
+    pub num_pushes: usize,
+}
+
+/// Reusable buffers for [`forward_push_into`]: epoch-stamped reserve/residue
+/// vectors, the queue, the touched-node list and the output estimates.
+///
+/// A workspace adapts to any graph size (growing its buffers on first use
+/// per size) and resets in `O(nodes touched)` between sources via an epoch
+/// stamp — untouched entries are invalidated by bumping one counter, not by
+/// clearing memory.  Reusing one workspace across sources therefore makes
+/// the per-source cost proportional to the push's actual locality, with zero
+/// heap allocation once warm.
+#[derive(Debug, Clone, Default)]
+pub struct PushWorkspace {
+    len: usize,
+    epoch: u32,
+    reserve: Vec<f64>,
+    residue: Vec<f64>,
+    stamp: Vec<u32>,
+    in_queue: Vec<bool>,
+    touched: Vec<NodeId>,
+    queue: VecDeque<NodeId>,
+    estimates: Vec<(NodeId, f64)>,
+}
+
+impl PushWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for graphs of up to `n` nodes, so even the
+    /// first push performs no allocation.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut ws = Self::new();
+        ws.ensure(n);
+        ws
+    }
+
+    /// The estimates of the most recent [`forward_push_into`] run:
+    /// `(node, reserve)` pairs ascending by node.
+    pub fn estimates(&self) -> &[(NodeId, f64)] {
+        &self.estimates
+    }
+
+    /// The number of nodes the buffers are currently sized for.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Number of nodes touched by the most recent run (reserve *or* residue
+    /// became non-zero at some point).
+    pub fn touched(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Grows the `O(n)` buffers to `n` nodes.  Shrinking never happens, so a
+    /// workspace warmed on the largest graph stays allocation-free.
+    fn ensure(&mut self, n: usize) {
+        if n > self.len {
+            self.reserve.resize(n, 0.0);
+            self.residue.resize(n, 0.0);
+            // New entries carry stamp 0; the next `begin` bumps the epoch
+            // past it, so they read as untouched.
+            self.stamp.resize(n, 0);
+            self.in_queue.resize(n, false);
+            // `reserve(additional)` guarantees capacity >= len + additional,
+            // so reserving `n - len` (not `n - capacity`) is what ensures
+            // each buffer can hold all n nodes without reallocating.  The
+            // queue holds at most one entry per node (`in_queue` dedups) and
+            // touched/estimates at most one per node, so capacity n suffices
+            // for the zero-allocation contract.
+            self.touched.reserve(n.saturating_sub(self.touched.len()));
+            self.estimates
+                .reserve(n.saturating_sub(self.estimates.len()));
+            self.queue.reserve(n.saturating_sub(self.queue.len()));
+            self.len = n;
+        }
+    }
+
+    /// Starts a new push: O(1) unless the `u32` epoch wraps (every ~4·10⁹
+    /// pushes), which triggers one full stamp reset.
+    fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.touched.clear();
+        self.queue.clear();
+        self.estimates.clear();
+        // `in_queue` is self-cleaning: every enqueued node clears its flag
+        // when popped, and the run loop drains the queue completely.
+        debug_assert!(self.in_queue.iter().all(|&q| !q));
+    }
+
+    /// Marks `v` as touched this epoch, zeroing its stale reserve/residue.
+    #[inline]
+    fn touch(&mut self, v: usize) {
+        if self.stamp[v] != self.epoch {
+            self.stamp[v] = self.epoch;
+            self.reserve[v] = 0.0;
+            self.residue[v] = 0.0;
+            self.touched.push(v as NodeId);
+        }
+    }
+}
+
+fn validate(graph: &Graph, source: NodeId, alpha: f64, r_max: f64) -> Result<()> {
     if !(alpha > 0.0 && alpha < 1.0) {
         return Err(NrpError::InvalidParameter(format!(
             "alpha must be in (0,1), got {alpha}"
@@ -48,77 +186,184 @@ pub fn forward_push(graph: &Graph, source: NodeId, alpha: f64, r_max: f64) -> Re
             "source {source} out of bounds for {n} nodes"
         )));
     }
-    let mut reserve = vec![0.0_f64; n];
-    let mut residue = vec![0.0_f64; n];
-    let mut in_queue = vec![false; n];
-    residue[source as usize] = 1.0;
-    let mut queue: VecDeque<NodeId> = VecDeque::new();
-    queue.push_back(source);
-    in_queue[source as usize] = true;
-    let mut num_pushes = 0usize;
+    Ok(())
+}
 
-    while let Some(u) = queue.pop_front() {
-        in_queue[u as usize] = false;
-        let d = graph.out_degree(u);
-        let r_u = residue[u as usize];
+/// Runs forward push from `source` with decay `alpha` and residue threshold
+/// `r_max` (smaller `r_max` → more accurate, more work), under the default
+/// [`DanglingPolicy::SelfLoop`] and a fresh workspace.
+pub fn forward_push(graph: &Graph, source: NodeId, alpha: f64, r_max: f64) -> Result<PushResult> {
+    forward_push_with_policy(graph, source, alpha, r_max, DanglingPolicy::SelfLoop)
+}
+
+/// [`forward_push`] under an explicit dangling-node policy.
+pub fn forward_push_with_policy(
+    graph: &Graph,
+    source: NodeId,
+    alpha: f64,
+    r_max: f64,
+    policy: DanglingPolicy,
+) -> Result<PushResult> {
+    let mut ws = PushWorkspace::new();
+    let outcome = forward_push_into(graph, source, alpha, r_max, policy, &mut ws)?;
+    Ok(PushResult {
+        estimates: ws.estimates,
+        residual_mass: outcome.residual_mass,
+        num_pushes: outcome.num_pushes,
+    })
+}
+
+/// The allocation-free core: runs forward push from `source` into `ws`,
+/// returning the summary; read the estimates from
+/// [`PushWorkspace::estimates`].
+///
+/// Per-source cost is `O(nodes touched)` — not `O(n)` — and once `ws` has
+/// warmed up to the graph's size the call performs no heap allocation at
+/// all.  Results (estimates, residual mass, push count) are identical
+/// whether the workspace is fresh or reused, and identical to
+/// [`forward_push`].
+pub fn forward_push_into(
+    graph: &Graph,
+    source: NodeId,
+    alpha: f64,
+    r_max: f64,
+    policy: DanglingPolicy,
+    ws: &mut PushWorkspace,
+) -> Result<PushOutcome> {
+    validate(graph, source, alpha, r_max)?;
+    let n = graph.num_nodes();
+    ws.ensure(n);
+    ws.begin();
+    ws.touch(source as usize);
+    ws.residue[source as usize] = 1.0;
+    ws.queue.push_back(source);
+    ws.in_queue[source as usize] = true;
+    let mut num_pushes = 0usize;
+    // The push threshold of a dangling row under Teleport: its implicit row
+    // has n uniform entries, so it pushes once the residue clears r_max · n.
+    let teleport_threshold = r_max * n as f64;
+
+    while let Some(u) = ws.queue.pop_front() {
+        let u = u as usize;
+        ws.in_queue[u] = false;
+        let d = graph.out_degree(u as NodeId);
+        let r_u = ws.residue[u];
         if r_u <= 0.0 {
             continue;
         }
         if d == 0 {
-            // Dangling node: a walk holding this residue terminates here with
-            // probability 1, so converting it to reserve is *exact* — no
-            // threshold applies.  The residue is never spread (there is
-            // nothing to spread it over), which also rules out the
-            // non-terminating `r[u] > r_max · 0` pathology: a dangling pop
-            // always zeroes its residue and enqueues nothing.
-            num_pushes += 1;
-            residue[u as usize] = 0.0;
-            reserve[u as usize] += r_u;
+            match policy {
+                DanglingPolicy::SelfLoop => {
+                    // A walk holding this residue terminates here with
+                    // probability 1, so converting it to reserve is *exact* —
+                    // no threshold applies, and nothing is spread (which also
+                    // rules out the non-terminating `r > r_max · 0`
+                    // pathology).
+                    num_pushes += 1;
+                    ws.residue[u] = 0.0;
+                    ws.reserve[u] += r_u;
+                }
+                DanglingPolicy::ZeroRow => {
+                    // The literal D⁻¹A matrix: the surviving mass of a walk
+                    // at a dangling node vanishes from the system (rows of
+                    // the PPR matrix sum to < 1).  Discarding is exact under
+                    // this semantics, so again no threshold applies.
+                    num_pushes += 1;
+                    ws.residue[u] = 0.0;
+                }
+                DanglingPolicy::Teleport => {
+                    // Uniform jump: the implicit row has n entries of 1/n, so
+                    // the standard threshold applies with degree n, and a
+                    // push spreads (1-α)·r/n to *every* node — an O(n)
+                    // operation, the price of teleport semantics in a local
+                    // algorithm.
+                    if r_u < teleport_threshold {
+                        continue;
+                    }
+                    num_pushes += 1;
+                    ws.residue[u] = 0.0;
+                    ws.reserve[u] += alpha * r_u;
+                    let share = (1.0 - alpha) * r_u / n as f64;
+                    for v in 0..n {
+                        ws.touch(v);
+                        ws.residue[v] += share;
+                        let dv = graph.out_degree(v as NodeId);
+                        if admit(ws.residue[v], dv, policy, r_max, teleport_threshold)
+                            && !ws.in_queue[v]
+                        {
+                            ws.queue.push_back(v as NodeId);
+                            ws.in_queue[v] = true;
+                        }
+                    }
+                }
+            }
             continue;
         }
         if r_u < r_max * d as f64 {
             continue;
         }
         num_pushes += 1;
-        residue[u as usize] = 0.0;
-        reserve[u as usize] += alpha * r_u;
+        ws.residue[u] = 0.0;
+        ws.reserve[u] += alpha * r_u;
         let share = (1.0 - alpha) * r_u / d as f64;
-        for &v in graph.out_neighbors(u) {
-            residue[v as usize] += share;
-            let dv = graph.out_degree(v);
-            // Dangling neighbours are admitted for any positive residue — the
-            // conversion is free and exact; others use the standard
-            // `r ≥ r_max · dout` test.
-            let admit = if dv == 0 {
-                residue[v as usize] > 0.0
-            } else {
-                residue[v as usize] >= r_max * dv as f64
-            };
-            if admit && !in_queue[v as usize] {
-                queue.push_back(v);
-                in_queue[v as usize] = true;
+        for &v in graph.out_neighbors(u as NodeId) {
+            let v = v as usize;
+            ws.touch(v);
+            ws.residue[v] += share;
+            let dv = graph.out_degree(v as NodeId);
+            if admit(ws.residue[v], dv, policy, r_max, teleport_threshold) && !ws.in_queue[v] {
+                ws.queue.push_back(v as NodeId);
+                ws.in_queue[v] = true;
             }
         }
     }
 
-    let estimates: Vec<(NodeId, f64)> = reserve
-        .iter()
-        .enumerate()
-        .filter(|(_, &p)| p > 0.0)
-        .map(|(v, &p)| (v as NodeId, p))
-        .collect();
-    let residual_mass: f64 = residue.iter().sum();
-    Ok(PushResult {
-        estimates,
+    // Collect estimates and residual mass in ascending node order (the order
+    // a dense scan would produce).  Sorting the touched list is in-place;
+    // summing over it skips only exact zeros, so the residual sum is bitwise
+    // identical to a full dense scan.
+    ws.touched.sort_unstable();
+    let mut residual_mass = 0.0;
+    for i in 0..ws.touched.len() {
+        let v = ws.touched[i];
+        let p = ws.reserve[v as usize];
+        if p > 0.0 {
+            ws.estimates.push((v, p));
+        }
+        residual_mass += ws.residue[v as usize];
+    }
+    Ok(PushOutcome {
         residual_mass,
         num_pushes,
     })
 }
 
+/// The queue-admission test: non-dangling nodes use the standard
+/// `r ≥ r_max · dout` rule; dangling nodes depend on the policy — SelfLoop
+/// and ZeroRow convert (or discard) exactly, so any positive residue is
+/// admitted, while Teleport's implicit degree-`n` row uses its threshold.
+#[inline]
+fn admit(
+    residue: f64,
+    out_degree: usize,
+    policy: DanglingPolicy,
+    r_max: f64,
+    teleport_threshold: f64,
+) -> bool {
+    if out_degree > 0 {
+        residue >= r_max * out_degree as f64
+    } else {
+        match policy {
+            DanglingPolicy::SelfLoop | DanglingPolicy::ZeroRow => residue > 0.0,
+            DanglingPolicy::Teleport => residue >= teleport_threshold,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ppr::single_source_ppr;
+    use crate::ppr::{single_source_ppr, single_source_ppr_with_policy};
     use nrp_graph::generators::simple::{cycle, directed_path, star};
     use nrp_graph::generators::stochastic_block_model;
     use nrp_graph::GraphKind;
@@ -240,5 +485,150 @@ mod tests {
         assert!(forward_push(&g, 0, 0.0, 1e-3).is_err());
         assert!(forward_push(&g, 0, 0.15, 0.0).is_err());
         assert!(forward_push(&g, 9, 0.15, 1e-3).is_err());
+    }
+
+    #[test]
+    fn estimates_are_sorted_by_node() {
+        let (g, _) = stochastic_block_model(&[30, 30], 0.15, 0.02, GraphKind::Directed, 7).unwrap();
+        let push = forward_push(&g, 11, 0.15, 1e-4).unwrap();
+        assert!(push.estimates.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_workspace_across_many_sources() {
+        // The workspace-reuse equivalence contract: pushing from every node
+        // with ONE reused workspace gives results identical to a fresh
+        // workspace per source — estimates (values and order), residual mass
+        // bits, and push counts.
+        let (g, _) =
+            stochastic_block_model(&[40, 40], 0.12, 0.03, GraphKind::Directed, 13).unwrap();
+        for policy in [
+            DanglingPolicy::SelfLoop,
+            DanglingPolicy::ZeroRow,
+            DanglingPolicy::Teleport,
+        ] {
+            let mut reused = PushWorkspace::new();
+            for source in 0..g.num_nodes() as NodeId {
+                let outcome =
+                    forward_push_into(&g, source, 0.15, 1e-4, policy, &mut reused).unwrap();
+                let mut fresh = PushWorkspace::new();
+                let fresh_outcome =
+                    forward_push_into(&g, source, 0.15, 1e-4, policy, &mut fresh).unwrap();
+                assert_eq!(
+                    reused.estimates(),
+                    fresh.estimates(),
+                    "{policy:?} source {source}"
+                );
+                assert_eq!(
+                    outcome.residual_mass.to_bits(),
+                    fresh_outcome.residual_mass.to_bits(),
+                    "{policy:?} source {source}"
+                );
+                assert_eq!(outcome.num_pushes, fresh_outcome.num_pushes);
+            }
+        }
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_wrapper() {
+        let g = cycle(9).unwrap();
+        let wrapper = forward_push(&g, 4, 0.2, 1e-5).unwrap();
+        let mut ws = PushWorkspace::with_capacity(9);
+        let outcome =
+            forward_push_into(&g, 4, 0.2, 1e-5, DanglingPolicy::SelfLoop, &mut ws).unwrap();
+        assert_eq!(ws.estimates(), wrapper.estimates.as_slice());
+        assert_eq!(
+            outcome.residual_mass.to_bits(),
+            wrapper.residual_mass.to_bits()
+        );
+        assert_eq!(outcome.num_pushes, wrapper.num_pushes);
+        assert!(ws.capacity() >= 9);
+        assert!(ws.touched() > 0);
+    }
+
+    #[test]
+    fn zero_row_policy_leaks_the_dangling_mass() {
+        // 0 → 1 → 2 with 2 dangling: under ZeroRow the mass that reaches
+        // node 2 still *terminates* there with probability α per visit — but
+        // the surviving (1-α) share vanishes instead of pooling.
+        let g = directed_path(3).unwrap();
+        let push = forward_push_with_policy(&g, 0, 0.15, 1e-9, DanglingPolicy::ZeroRow).unwrap();
+        let exact =
+            single_source_ppr_with_policy(&g, 0, 0.15, 1e-12, DanglingPolicy::ZeroRow).unwrap();
+        let reserved: f64 = push.estimates.iter().map(|(_, p)| p).sum();
+        let exact_total: f64 = exact.iter().sum();
+        assert!(exact_total < 1.0 - 1e-3, "ZeroRow must leak mass");
+        assert!(
+            reserved <= exact_total + 1e-6,
+            "push reserve {reserved} above exact total {exact_total}"
+        );
+        for &(v, estimate) in &push.estimates {
+            assert!(
+                (estimate - exact[v as usize]).abs() < 1e-4,
+                "node {v}: {estimate} vs {}",
+                exact[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn teleport_policy_converges_to_exact_teleport_ppr() {
+        // Dangling node 2 jumps uniformly: push estimates must converge to
+        // the exact Teleport-policy PPR as r_max shrinks, and conserve mass.
+        let g = directed_path(3).unwrap();
+        let push = forward_push_with_policy(&g, 0, 0.15, 1e-8, DanglingPolicy::Teleport).unwrap();
+        let exact =
+            single_source_ppr_with_policy(&g, 0, 0.15, 1e-12, DanglingPolicy::Teleport).unwrap();
+        let reserved: f64 = push.estimates.iter().map(|(_, p)| p).sum();
+        assert!(
+            (reserved + push.residual_mass - 1.0).abs() < 1e-6,
+            "mass conserved"
+        );
+        for &(v, estimate) in &push.estimates {
+            assert!(
+                (estimate - exact[v as usize]).abs() < 1e-4,
+                "node {v}: {estimate} vs {}",
+                exact[v as usize]
+            );
+        }
+        // Teleport spreads mass everywhere, unlike SelfLoop which pools it
+        // at the sink.
+        let self_loop = forward_push(&g, 0, 0.15, 1e-8).unwrap();
+        let sl: std::collections::HashMap<_, _> = self_loop.estimates.iter().copied().collect();
+        let tp: std::collections::HashMap<_, _> = push.estimates.iter().copied().collect();
+        assert!(tp[&2] < sl[&2], "teleport must not pool mass at the sink");
+    }
+
+    #[test]
+    fn teleport_policy_terminates_on_all_dangling_graph() {
+        // Every node dangling: pure teleport dynamics must terminate.
+        let g = Graph::from_edges(4, &[], GraphKind::Directed).unwrap();
+        let push = forward_push_with_policy(&g, 0, 0.3, 1e-6, DanglingPolicy::Teleport).unwrap();
+        let exact =
+            single_source_ppr_with_policy(&g, 0, 0.3, 1e-12, DanglingPolicy::Teleport).unwrap();
+        for &(v, estimate) in &push.estimates {
+            assert!(
+                (estimate - exact[v as usize]).abs() < 1e-3,
+                "node {v}: {estimate} vs {}",
+                exact[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_grows_across_graphs_of_different_sizes() {
+        let small = cycle(5).unwrap();
+        let large = cycle(50).unwrap();
+        let mut ws = PushWorkspace::new();
+        forward_push_into(&small, 0, 0.15, 1e-4, DanglingPolicy::SelfLoop, &mut ws).unwrap();
+        assert_eq!(ws.capacity(), 5);
+        forward_push_into(&large, 0, 0.15, 1e-4, DanglingPolicy::SelfLoop, &mut ws).unwrap();
+        assert_eq!(ws.capacity(), 50);
+        // And going back to the small graph still works (buffers oversized).
+        let back =
+            forward_push_into(&small, 1, 0.15, 1e-4, DanglingPolicy::SelfLoop, &mut ws).unwrap();
+        let reference = forward_push(&small, 1, 0.15, 1e-4).unwrap();
+        assert_eq!(ws.estimates(), reference.estimates.as_slice());
+        assert_eq!(back.num_pushes, reference.num_pushes);
     }
 }

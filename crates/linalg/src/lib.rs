@@ -22,11 +22,16 @@
 //!   randomized SVD run directly on graph adjacency structures without
 //!   materializing them as matrices.
 //! * [`random`] — seeded Gaussian matrix generation (Box–Muller).
-//! * [`parallel`] — deterministic scoped-thread chunked map/reduce with
-//!   stable chunk ordering; every multi-threaded kernel in the workspace is
-//!   built on it and is bitwise identical for any thread budget.
+//! * [`parallel`] — deterministic chunked map/reduce with stable chunk
+//!   ordering; every multi-threaded kernel in the workspace is built on it
+//!   and is bitwise identical for any thread budget.  Work runs either on
+//!   per-call scoped threads or on a persistent [`WorkerPool`] selected by an
+//!   [`Exec`] policy — same chunk grid, same results, spawn cost paid once.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the two documented blocks in
+// `parallel` (lifetime erasure for pool jobs, disjoint row-block writes),
+// which carry their own `allow` and safety arguments.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod eig;
@@ -45,6 +50,7 @@ pub use matrix::DenseMatrix;
 pub use operator::{
     AdjacencyOperator, DanglingPolicy, LinearOperator, SparseTransposePair, TransitionOperator,
 };
+pub use parallel::{Exec, WorkerPool};
 pub use randomized::{RandomizedSvd, RandomizedSvdMethod, SvdResult};
 pub use sparse::SparseMatrix;
 

@@ -237,12 +237,18 @@ impl DenseMatrix {
             .expect("gram shapes always agree")
     }
 
-    /// [`DenseMatrix::matmul`] over up to `threads` worker threads.
+    /// [`DenseMatrix::matmul`] over up to `threads` scoped worker threads
+    /// (see [`DenseMatrix::matmul_exec`] for pooled execution).
+    pub fn matmul_with(&self, other: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        self.matmul_exec(other, &parallel::Exec::scoped(threads))
+    }
+
+    /// [`DenseMatrix::matmul`] under an [`parallel::Exec`] policy.
     ///
     /// Every output row is produced by one worker with the same inner loop as
     /// the sequential product, so the result is bitwise identical to
-    /// [`DenseMatrix::matmul`] for every thread budget.
-    pub fn matmul_with(&self, other: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+    /// [`DenseMatrix::matmul`] for every thread budget and execution policy.
+    pub fn matmul_exec(&self, other: &DenseMatrix, exec: &parallel::Exec) -> Result<DenseMatrix> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
                 operation: "matmul".into(),
@@ -250,10 +256,10 @@ impl DenseMatrix {
                 right: other.shape(),
             });
         }
-        if threads <= 1 {
+        if !exec.is_parallel() {
             return self.matmul(other);
         }
-        let data = parallel::par_fill_rows(self.rows, other.cols, threads, |i, out_row| {
+        let data = parallel::par_fill_rows_exec(self.rows, other.cols, exec, |i, out_row| {
             let a_row = self.row(i);
             for (k, &a_ik) in a_row.iter().enumerate() {
                 if a_ik == 0.0 {
@@ -268,7 +274,19 @@ impl DenseMatrix {
         DenseMatrix::from_vec(self.rows, other.cols, data)
     }
 
-    /// `selfᵀ * other` as a deterministic chunked map-reduce.
+    /// `selfᵀ * other` as a deterministic chunked map-reduce over up to
+    /// `threads` scoped worker threads (see
+    /// [`DenseMatrix::transpose_matmul_exec`] for pooled execution).
+    pub fn transpose_matmul_with(
+        &self,
+        other: &DenseMatrix,
+        threads: usize,
+    ) -> Result<DenseMatrix> {
+        self.transpose_matmul_exec(other, &parallel::Exec::scoped(threads))
+    }
+
+    /// `selfᵀ * other` as a deterministic chunked map-reduce under an
+    /// [`parallel::Exec`] policy.
     ///
     /// The accumulation over rows is grouped into fixed chunks
     /// ([`parallel::REDUCE_CHUNK`]) folded in order, so the result is bitwise
@@ -276,10 +294,10 @@ impl DenseMatrix {
     /// single-threaded path goes through the chunked grouping rather than
     /// falling back to [`DenseMatrix::transpose_matmul`] (whose row-by-row
     /// grouping differs in the last ulp).
-    pub fn transpose_matmul_with(
+    pub fn transpose_matmul_exec(
         &self,
         other: &DenseMatrix,
-        threads: usize,
+        exec: &parallel::Exec,
     ) -> Result<DenseMatrix> {
         if self.rows != other.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -305,10 +323,10 @@ impl DenseMatrix {
             }
             out
         };
-        let folded = parallel::par_reduce(
+        let folded = parallel::par_reduce_exec(
             self.rows,
             parallel::REDUCE_CHUNK,
-            threads,
+            exec,
             partial,
             |mut a, b| {
                 a.axpy(1.0, &b).expect("partials share a shape");
@@ -318,11 +336,18 @@ impl DenseMatrix {
         Ok(folded.unwrap_or_else(|| DenseMatrix::zeros(self.cols, other.cols)))
     }
 
-    /// Gram matrix `selfᵀ * self` over up to `threads` worker threads
+    /// Gram matrix `selfᵀ * self` over up to `threads` scoped worker threads
     /// (see [`DenseMatrix::transpose_matmul_with`] for the determinism
     /// contract).
     pub fn gram_with(&self, threads: usize) -> DenseMatrix {
         self.transpose_matmul_with(self, threads)
+            .expect("gram shapes always agree")
+    }
+
+    /// Gram matrix `selfᵀ * self` under an [`parallel::Exec`] policy (see
+    /// [`DenseMatrix::transpose_matmul_exec`] for the determinism contract).
+    pub fn gram_exec(&self, exec: &parallel::Exec) -> DenseMatrix {
+        self.transpose_matmul_exec(self, exec)
             .expect("gram shapes always agree")
     }
 

@@ -57,6 +57,21 @@ pub trait LinearOperator {
         let _ = threads;
         self.apply_transpose(x)
     }
+
+    /// Computes `A * x` under an [`parallel::Exec`] policy (thread budget
+    /// plus optional persistent [`crate::WorkerPool`]).  Same determinism
+    /// contract as [`LinearOperator::apply_with`]; the default falls back to
+    /// scoped threads via `apply_with`, and the operators in this crate
+    /// override it to hand the policy (pool included) to their kernels.
+    fn apply_exec(&self, x: &DenseMatrix, exec: &parallel::Exec) -> Result<DenseMatrix> {
+        self.apply_with(x, exec.threads())
+    }
+
+    /// Computes `Aᵀ * x` under an [`parallel::Exec`] policy (same contract
+    /// as [`LinearOperator::apply_exec`]).
+    fn apply_transpose_exec(&self, x: &DenseMatrix, exec: &parallel::Exec) -> Result<DenseMatrix> {
+        self.apply_transpose_with(x, exec.threads())
+    }
 }
 
 fn check_rows(expected: usize, x: &DenseMatrix, operation: &str) -> Result<()> {
@@ -121,18 +136,26 @@ impl LinearOperator for AdjacencyOperator<'_> {
     }
 
     fn apply_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        self.apply_exec(x, &parallel::Exec::scoped(threads))
+    }
+
+    fn apply_transpose_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        self.apply_transpose_exec(x, &parallel::Exec::scoped(threads))
+    }
+
+    fn apply_exec(&self, x: &DenseMatrix, exec: &parallel::Exec) -> Result<DenseMatrix> {
         check_rows(self.ncols(), x, "adjacency * dense")?;
         let n = self.graph.num_nodes();
-        let data = parallel::par_fill_rows(n, x.cols(), threads, |u, out_row| {
+        let data = parallel::par_fill_rows_exec(n, x.cols(), exec, |u, out_row| {
             self.fill_apply_row(x, u, out_row)
         });
         DenseMatrix::from_vec(n, x.cols(), data)
     }
 
-    fn apply_transpose_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+    fn apply_transpose_exec(&self, x: &DenseMatrix, exec: &parallel::Exec) -> Result<DenseMatrix> {
         check_rows(self.nrows(), x, "adjacencyᵀ * dense")?;
         let n = self.graph.num_nodes();
-        let data = parallel::par_fill_rows(n, x.cols(), threads, |u, out_row| {
+        let data = parallel::par_fill_rows_exec(n, x.cols(), exec, |u, out_row| {
             self.fill_transpose_row(x, u, out_row)
         });
         DenseMatrix::from_vec(n, x.cols(), data)
@@ -404,20 +427,28 @@ impl LinearOperator for TransitionOperator<'_> {
     }
 
     fn apply_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        self.apply_exec(x, &parallel::Exec::scoped(threads))
+    }
+
+    fn apply_transpose_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+        self.apply_transpose_exec(x, &parallel::Exec::scoped(threads))
+    }
+
+    fn apply_exec(&self, x: &DenseMatrix, exec: &parallel::Exec) -> Result<DenseMatrix> {
         check_rows(self.ncols(), x, "transition * dense")?;
         let n = self.graph.num_nodes();
         let uniform = self.teleport_apply_row(x);
-        let data = parallel::par_fill_rows(n, x.cols(), threads, |u, out_row| {
+        let data = parallel::par_fill_rows_exec(n, x.cols(), exec, |u, out_row| {
             self.fill_apply_row(x, u, uniform.as_deref(), out_row)
         });
         DenseMatrix::from_vec(n, x.cols(), data)
     }
 
-    fn apply_transpose_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+    fn apply_transpose_exec(&self, x: &DenseMatrix, exec: &parallel::Exec) -> Result<DenseMatrix> {
         check_rows(self.nrows(), x, "transitionᵀ * dense")?;
         let n = self.graph.num_nodes();
         let teleport = self.teleport_transpose_row(x);
-        let data = parallel::par_fill_rows(n, x.cols(), threads, |v, out_row| {
+        let data = parallel::par_fill_rows_exec(n, x.cols(), exec, |v, out_row| {
             self.fill_transpose_row(x, v, teleport.as_deref(), out_row)
         });
         DenseMatrix::from_vec(n, x.cols(), data)
@@ -444,10 +475,14 @@ impl LinearOperator for DenseMatrix {
     fn apply_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
         self.matmul_with(x, threads)
     }
-    // apply_transpose_with keeps the sequential default: the accumulation
-    // over rows would need the chunked-reduce grouping, which differs in the
-    // last ulp from `transpose_matmul`.  Dense operators only appear in tests
-    // and tiny problems, so there is nothing to win.
+
+    fn apply_exec(&self, x: &DenseMatrix, exec: &parallel::Exec) -> Result<DenseMatrix> {
+        self.matmul_exec(x, exec)
+    }
+    // apply_transpose_with/_exec keep the sequential default: the
+    // accumulation over rows would need the chunked-reduce grouping, which
+    // differs in the last ulp from `transpose_matmul`.  Dense operators only
+    // appear in tests and tiny problems, so there is nothing to win.
 }
 
 impl LinearOperator for SparseMatrix {
@@ -470,9 +505,13 @@ impl LinearOperator for SparseMatrix {
     fn apply_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
         self.matmul_dense_with(x, threads)
     }
-    // apply_transpose_with keeps the sequential default; callers that need a
-    // threaded transpose product wrap the matrix in a [`SparseTransposePair`]
-    // so both directions are row-parallel gathers.
+
+    fn apply_exec(&self, x: &DenseMatrix, exec: &parallel::Exec) -> Result<DenseMatrix> {
+        self.matmul_dense_exec(x, exec)
+    }
+    // apply_transpose_with/_exec keep the sequential default; callers that
+    // need a threaded transpose product wrap the matrix in a
+    // [`SparseTransposePair`] so both directions are row-parallel gathers.
 }
 
 /// A sparse matrix paired with its precomputed transpose, so that both
@@ -526,6 +565,14 @@ impl LinearOperator for SparseTransposePair {
 
     fn apply_transpose_with(&self, x: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
         self.transpose.matmul_dense_with(x, threads)
+    }
+
+    fn apply_exec(&self, x: &DenseMatrix, exec: &parallel::Exec) -> Result<DenseMatrix> {
+        self.forward.matmul_dense_exec(x, exec)
+    }
+
+    fn apply_transpose_exec(&self, x: &DenseMatrix, exec: &parallel::Exec) -> Result<DenseMatrix> {
+        self.transpose.matmul_dense_exec(x, exec)
     }
 }
 

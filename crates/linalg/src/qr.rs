@@ -80,7 +80,14 @@ pub fn orthonormalize(a: &DenseMatrix) -> Result<DenseMatrix> {
 }
 
 /// Returns an orthonormal basis of the column space of `a` using up to
-/// `threads` worker threads.
+/// `threads` scoped worker threads (see [`orthonormalize_exec`] for pooled
+/// execution).
+pub fn orthonormalize_with(a: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+    orthonormalize_exec(a, &parallel::Exec::scoped(threads))
+}
+
+/// Returns an orthonormal basis of the column space of `a` under an
+/// [`parallel::Exec`] policy.
 ///
 /// Uses classical Gram–Schmidt with one re-orthogonalization pass (CGS2,
 /// "twice is enough" — Giraud et al.), whose two kernels parallelize without
@@ -94,7 +101,7 @@ pub fn orthonormalize(a: &DenseMatrix) -> Result<DenseMatrix> {
 ///
 /// Columns numerically dependent on earlier columns are dropped, as in
 /// [`thin_qr`].
-pub fn orthonormalize_with(a: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+pub fn orthonormalize_exec(a: &DenseMatrix, exec: &parallel::Exec) -> Result<DenseMatrix> {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
         return Err(LinalgError::InvalidParameter("qr of empty matrix".into()));
@@ -109,10 +116,10 @@ pub fn orthonormalize_with(a: &DenseMatrix, threads: usize) -> Result<DenseMatri
             }
             // coeffs[i] = q_i · v — each dot is computed whole by one worker,
             // so the chunking over columns cannot affect any value.
-            let coeffs: Vec<f64> = if threads <= 1 {
+            let coeffs: Vec<f64> = if !exec.is_parallel() {
                 q_cols.iter().map(|qi| dot(qi, &v)).collect()
             } else {
-                parallel::par_chunk_map(q_cols.len(), 8, threads, |range| {
+                parallel::par_chunk_map_exec(q_cols.len(), 8, exec, |range| {
                     range.map(|i| dot(&q_cols[i], &v)).collect::<Vec<f64>>()
                 })
                 .into_iter()
@@ -123,14 +130,14 @@ pub fn orthonormalize_with(a: &DenseMatrix, threads: usize) -> Result<DenseMatri
             // ascending order, so the allocation-free column-streaming
             // sequential path and the row-parallel path perform the exact
             // same per-element operation chain — bitwise identical.
-            if threads <= 1 {
+            if !exec.is_parallel() {
                 for (qi, &c) in q_cols.iter().zip(&coeffs) {
                     for (vk, qk) in v.iter_mut().zip(qi) {
                         *vk -= c * qk;
                     }
                 }
             } else {
-                v = parallel::par_fill_rows(m, 1, threads, |row, out| {
+                v = parallel::par_fill_rows_exec(m, 1, exec, |row, out| {
                     let mut acc = v[row];
                     for (qi, &c) in q_cols.iter().zip(&coeffs) {
                         acc -= c * qi[row];

@@ -14,7 +14,8 @@
 //! never materialized.
 
 use crate::eig::symmetric_eigen;
-use crate::qr::orthonormalize_with;
+use crate::parallel::Exec;
+use crate::qr::orthonormalize_exec;
 use crate::random::gaussian_matrix;
 use crate::{DenseMatrix, LinalgError, LinearOperator, Result};
 
@@ -100,7 +101,7 @@ pub struct RandomizedSvd {
     iterations: usize,
     method: RandomizedSvdMethod,
     seed: u64,
-    threads: usize,
+    exec: Exec,
 }
 
 impl RandomizedSvd {
@@ -113,7 +114,7 @@ impl RandomizedSvd {
             iterations: 6,
             method: RandomizedSvdMethod::BlockKrylov,
             seed: 0,
-            threads: 1,
+            exec: Exec::sequential(),
         }
     }
 
@@ -145,11 +146,21 @@ impl RandomizedSvd {
     }
 
     /// Grants a thread budget (clamped to at least 1) for the block matmuls,
-    /// the Krylov basis construction and the final projection.  The result is
-    /// bitwise identical for every budget: all threaded kernels follow the
-    /// determinism contract of [`crate::parallel`].
+    /// the Krylov basis construction and the final projection, using fresh
+    /// scoped workers per kernel call.  The result is bitwise identical for
+    /// every budget: all threaded kernels follow the determinism contract of
+    /// [`crate::parallel`].  See [`RandomizedSvd::exec`] to reuse a
+    /// persistent [`crate::WorkerPool`] instead.
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.exec = Exec::scoped(threads);
+        self
+    }
+
+    /// Sets the full execution policy (thread budget plus optional persistent
+    /// [`crate::WorkerPool`]).  The policy never affects results — see the
+    /// contract on [`RandomizedSvd::threads`].
+    pub fn exec(mut self, exec: Exec) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -183,8 +194,8 @@ impl RandomizedSvd {
             RandomizedSvdMethod::BlockKrylov => self.krylov_basis(op, sketch)?,
         };
         // Project: W = Aᵀ Q, then the small Gram matrix C = Wᵀ W = Qᵀ A Aᵀ Q.
-        let w = op.apply_transpose_with(&q, self.threads)?;
-        let gram = w.gram_with(self.threads);
+        let w = op.apply_transpose_exec(&q, &self.exec)?;
+        let gram = w.gram_exec(&self.exec);
         let eig = symmetric_eigen(&gram)?;
         let keep = self.rank.min(eig.values.len());
         let basis = eig.vectors.truncate_cols(keep);
@@ -192,8 +203,8 @@ impl RandomizedSvd {
             .iter()
             .map(|&l| l.max(0.0).sqrt())
             .collect();
-        let u = q.matmul_with(&basis, self.threads)?;
-        let mut v = w.matmul_with(&basis, self.threads)?;
+        let u = q.matmul_exec(&basis, &self.exec)?;
+        let mut v = w.matmul_exec(&basis, &self.exec)?;
         let inv: Vec<f64> = singular_values
             .iter()
             .map(|&s| if s > 1e-300 { 1.0 / s } else { 0.0 })
@@ -208,28 +219,28 @@ impl RandomizedSvd {
 
     /// Subspace iteration range basis.
     fn subspace_basis<O: LinearOperator>(&self, op: &O, sketch: usize) -> Result<DenseMatrix> {
-        let t = self.threads;
+        let e = &self.exec;
         let omega = gaussian_matrix(op.ncols(), sketch, self.seed.wrapping_add(1));
-        let mut q = orthonormalize_with(&op.apply_with(&omega, t)?, t)?;
+        let mut q = orthonormalize_exec(&op.apply_exec(&omega, e)?, e)?;
         for _ in 0..self.iterations {
-            let z = orthonormalize_with(&op.apply_transpose_with(&q, t)?, t)?;
-            q = orthonormalize_with(&op.apply_with(&z, t)?, t)?;
+            let z = orthonormalize_exec(&op.apply_transpose_exec(&q, e)?, e)?;
+            q = orthonormalize_exec(&op.apply_exec(&z, e)?, e)?;
         }
         Ok(q)
     }
 
     /// Block Krylov range basis: `orth([A Ω, (A Aᵀ) A Ω, …, (A Aᵀ)^q A Ω])`.
     fn krylov_basis<O: LinearOperator>(&self, op: &O, sketch: usize) -> Result<DenseMatrix> {
-        let t = self.threads;
+        let e = &self.exec;
         let omega = gaussian_matrix(op.ncols(), sketch, self.seed.wrapping_add(1));
-        let mut block = orthonormalize_with(&op.apply_with(&omega, t)?, t)?;
+        let mut block = orthonormalize_exec(&op.apply_exec(&omega, e)?, e)?;
         let mut krylov = block.clone();
         for _ in 0..self.iterations {
-            let z = op.apply_transpose_with(&block, t)?;
-            block = orthonormalize_with(&op.apply_with(&z, t)?, t)?;
+            let z = op.apply_transpose_exec(&block, e)?;
+            block = orthonormalize_exec(&op.apply_exec(&z, e)?, e)?;
             krylov = krylov.hstack(&block)?;
         }
-        orthonormalize_with(&krylov, t)
+        orthonormalize_exec(&krylov, e)
     }
 }
 

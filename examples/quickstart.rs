@@ -34,9 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    thread budget is purely a performance knob: every parallel stage
     //    (SVD block matmuls, PPR propagations, STRAP pushes, walk
     //    generation) is bitwise deterministic, so any budget produces the
-    //    exact same embedding.
+    //    exact same embedding.  A multi-thread context owns a persistent
+    //    worker pool, created on the first parallel stage and reused by
+    //    every subsequent stage and run — keep the context around (or clone
+    //    it) across embeddings so thread spawning is paid only once.
     let embedder = config.build()?;
-    let output = embedder.embed(&graph, &EmbedContext::new().with_threads(2))?;
+    let ctx = EmbedContext::new().with_threads(2);
+    let output = embedder.embed(&graph, &ctx)?;
+    assert!(ctx.worker_pool().is_some(), "pool created and retained");
     let embedding = output.embedding();
     println!(
         "embedded {} nodes into {} dimensions ({} per side)",

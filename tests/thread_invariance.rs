@@ -69,6 +69,89 @@ fn embeddings_are_bitwise_identical_across_thread_budgets() {
 }
 
 #[test]
+fn pooled_and_scoped_execution_are_bitwise_identical() {
+    // The persistent worker pool only moves the wall clock: for every
+    // method, embedding under the context's pool (the `with_threads`
+    // default), under per-call scoped threads, and under a single thread
+    // must all be bitwise identical.
+    nrp::init();
+    let threads = test_threads();
+    let graph = test_graph(GraphKind::Directed, 31);
+    for json in parallel_method_configs() {
+        let embedder = MethodConfig::from_json(json)
+            .expect(json)
+            .build()
+            .expect(json);
+        let single = embedder
+            .embed(&graph, &EmbedContext::new().with_threads(1))
+            .expect(json);
+        let pooled_ctx = EmbedContext::new().with_threads(threads);
+        let pooled = embedder.embed(&graph, &pooled_ctx).expect(json);
+        assert!(
+            pooled_ctx.worker_pool().is_some(),
+            "{json}: a multi-thread run must create the context's pool"
+        );
+        let scoped = embedder
+            .embed(&graph, &EmbedContext::new().with_scoped_threads(threads))
+            .expect(json);
+        assert_eq!(
+            pooled.embedding(),
+            scoped.embedding(),
+            "{json}: pool vs scoped at {threads} threads"
+        );
+        assert_eq!(
+            pooled.embedding(),
+            single.embedding(),
+            "{json}: pool vs 1 thread"
+        );
+    }
+}
+
+#[test]
+fn one_pool_reused_across_embeddings_and_methods() {
+    // The pool's whole point: one set of threads across many runs.  Two
+    // different methods and two repeat runs all share the context's pool,
+    // and every result stays bitwise identical to the sequential reference.
+    nrp::init();
+    let threads = test_threads();
+    let graph = test_graph(GraphKind::Undirected, 37);
+    let ctx = EmbedContext::new().with_threads(threads);
+    for json in [
+        r#"{"method": "ApproxPPR", "dimension": 16, "seed": 3}"#,
+        r#"{"method": "STRAP", "dimension": 16, "delta": 0.001, "seed": 3}"#,
+    ] {
+        let embedder = MethodConfig::from_json(json)
+            .expect(json)
+            .build()
+            .expect(json);
+        let reference = embedder
+            .embed(&graph, &EmbedContext::new().with_threads(1))
+            .expect(json);
+        let first = embedder.embed(&graph, &ctx).expect(json);
+        let second = embedder.embed(&graph, &ctx).expect(json);
+        assert_eq!(first.embedding(), reference.embedding(), "{json} run 1");
+        assert_eq!(second.embedding(), reference.embedding(), "{json} run 2");
+    }
+    // The same pool instance served every run.
+    let pool = ctx.worker_pool().expect("pool created on first use");
+    assert_eq!(pool.capacity(), threads);
+    // An explicitly shared pool works across distinct contexts too.
+    let shared = std::sync::Arc::clone(pool);
+    let other_ctx = EmbedContext::new()
+        .with_threads(threads)
+        .with_worker_pool(shared);
+    let embedder = MethodConfig::from_json(r#"{"method": "RandNE", "dimension": 16, "seed": 3}"#)
+        .expect("valid config")
+        .build()
+        .expect("RandNE builds");
+    let pooled = embedder.embed(&graph, &other_ctx).expect("RandNE runs");
+    let reference = embedder
+        .embed(&graph, &EmbedContext::new().with_threads(1))
+        .expect("RandNE runs");
+    assert_eq!(pooled.embedding(), reference.embedding());
+}
+
+#[test]
 fn stage_metadata_records_the_granted_thread_budget() {
     nrp::init();
     let graph = test_graph(GraphKind::Undirected, 23);
