@@ -89,9 +89,12 @@ pub fn train_sgns(
     let total_steps = (config.epochs * pairs.len()).max(1);
     let mut step = 0usize;
     let mut grad = vec![0.0_f64; dim];
-    for _ in 0..config.epochs {
+    'training: for _ in 0..config.epochs {
         for &(u, v) in pairs {
             if step.is_multiple_of(CANCEL_CHECK_INTERVAL) {
+                if ctx.should_stop_early() {
+                    break 'training;
+                }
                 ctx.ensure_active()?;
             }
             let progress = step as f64 / total_steps as f64;

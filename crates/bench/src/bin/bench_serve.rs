@@ -1,0 +1,244 @@
+//! Serving-layer latency benchmark: starts the `nrp-serve` server in
+//! process on a fixture graph, drives it with the Zipf closed-loop load
+//! generator over real TCP, and emits `BENCH_serve.json` with p50/p99
+//! latency and throughput for every (server threads × cache regime) cell.
+//!
+//! ```text
+//! cargo run --release -p nrp-bench --bin bench_serve -- [--fast] [--out FILE]
+//! ```
+//!
+//! The grid is {1, 4} server threads × {cold, warm} cache:
+//!
+//! * **cold** — `cache_capacity = 0`, so every request recomputes its PPR
+//!   vector: the floor the cache is measured against.
+//! * **warm** — LRU enabled and pre-warmed with one pass over the hot keys,
+//!   so the measured run shows the steady-state hit path.
+//!
+//! The binary doubles as the CI serve smoke check: before any measurement
+//! it asserts that `/healthz`, `/ppr` and `/knn` all answer well-formed
+//! JSON, and it fails hard if any load request errors.
+
+use std::time::Instant;
+
+use nrp_bench::serveload::{run_load, LoadReport, LoadSpec};
+use nrp_serve::{fixture, HttpClient, ServeConfig, ServeState, Server};
+
+struct Options {
+    fast: bool,
+    out: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        fast: false,
+        out: "BENCH_serve.json".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => options.fast = true,
+            "--out" => {
+                options.out = args
+                    .next()
+                    .ok_or_else(|| "--out requires a file path".to_owned())?;
+            }
+            other => return Err(format!("unknown flag `{other}` (expected --fast, --out)")),
+        }
+    }
+    Ok(options)
+}
+
+fn json_number(value: f64) -> String {
+    format!("{value:.9}")
+}
+
+/// Asserts the smoke-level contract: `/healthz`, `/ppr` and `/knn` answer
+/// 200 with JSON of the documented shape.
+fn smoke_check(server: &Server) {
+    let mut client = HttpClient::new(server.addr());
+    let health = client.get_json("/healthz").expect("/healthz answers JSON");
+    assert_eq!(
+        health
+            .as_object()
+            .and_then(|o| o.get("status"))
+            .and_then(|v| v.as_str()),
+        Some("ok"),
+        "/healthz reports ok: {health:?}"
+    );
+    let ppr = client
+        .get_json("/ppr?source=0&top=8")
+        .expect("/ppr answers JSON");
+    let entries = ppr
+        .as_object()
+        .and_then(|o| o.get("entries"))
+        .and_then(|v| v.as_array())
+        .expect("/ppr has an entries array");
+    assert!(!entries.is_empty(), "/ppr returned entries");
+    let knn = client
+        .get_json("/knn?source=0&k=5")
+        .expect("/knn answers JSON");
+    let neighbors = knn
+        .as_object()
+        .and_then(|o| o.get("neighbors"))
+        .and_then(|v| v.as_array())
+        .expect("/knn has a neighbors array");
+    assert_eq!(neighbors.len(), 5, "/knn returned k neighbors");
+}
+
+struct Scenario {
+    threads: usize,
+    regime: &'static str,
+    report: LoadReport,
+    cache_hits: u64,
+    cache_misses: u64,
+    batches: u64,
+    coalesced: u64,
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("bench_serve: {message}");
+            std::process::exit(2);
+        }
+    };
+    let (nodes, workers, requests_per_worker) = if options.fast {
+        (300usize, 4usize, 40usize)
+    } else {
+        (1_500, 8, 400)
+    };
+    let zipf_exponent = 1.0;
+
+    eprintln!("building fixture: {nodes}-node Barabási–Albert graph + NRP embedding…");
+    let built = Instant::now();
+    let (graph, embedding) = fixture(nodes, 42);
+    eprintln!(
+        "fixture ready in {:.2}s ({} arcs)",
+        built.elapsed().as_secs_f64(),
+        graph.num_arcs()
+    );
+
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    for &threads in &[1usize, 4] {
+        for &(regime, capacity) in &[("cold", 0usize), ("warm", 4096usize)] {
+            let config = ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                threads,
+                cache_capacity: capacity,
+                ..ServeConfig::default()
+            };
+            let state = ServeState::new(graph.clone(), Some(embedding.clone()), config);
+            let server = Server::start(state).expect("server binds an ephemeral port");
+            smoke_check(&server);
+            let spec = LoadSpec {
+                addr: server.addr(),
+                workers,
+                requests_per_worker,
+                zipf_exponent,
+                num_sources: nodes as u32,
+                seed: 7,
+                query_suffix: "&top=16".into(),
+            };
+            if regime == "warm" {
+                // Fill the cache so the measured run sees steady state.
+                run_load(&LoadSpec {
+                    requests_per_worker: requests_per_worker / 2,
+                    ..spec.clone()
+                });
+            }
+            let report = run_load(&spec);
+            assert_eq!(
+                report.errors, 0,
+                "load errors against the {regime}/{threads}t server"
+            );
+            let stats =
+                nrp_serve::get_json_once(server.addr(), "/stats").expect("/stats answers JSON");
+            let counter = |section: &str, name: &str| -> u64 {
+                stats
+                    .as_object()
+                    .and_then(|o| o.get(section))
+                    .and_then(|v| v.as_object())
+                    .and_then(|o| o.get(name))
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0)
+            };
+            eprintln!(
+                "threads={threads} {regime}: p50 {:.1}µs  p99 {:.1}µs  {:.0} qps  \
+                 (cache {}h/{}m, {} batches, {} coalesced)",
+                report.p50() * 1e6,
+                report.p99() * 1e6,
+                report.qps(),
+                counter("cache", "hits"),
+                counter("cache", "misses"),
+                counter("batch", "batches"),
+                counter("batch", "coalesced"),
+            );
+            scenarios.push(Scenario {
+                threads,
+                regime,
+                cache_hits: counter("cache", "hits"),
+                cache_misses: counter("cache", "misses"),
+                batches: counter("batch", "batches"),
+                coalesced: counter("batch", "coalesced"),
+                report,
+            });
+            server.shutdown();
+        }
+    }
+
+    let scenario_json: Vec<String> = scenarios
+        .iter()
+        .map(|s| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"server_threads\": {threads},\n",
+                    "      \"cache\": \"{regime}\",\n",
+                    "      \"requests\": {requests},\n",
+                    "      \"errors\": {errors},\n",
+                    "      \"p50_secs\": {p50},\n",
+                    "      \"p99_secs\": {p99},\n",
+                    "      \"qps\": {qps},\n",
+                    "      \"cache_hits\": {hits},\n",
+                    "      \"cache_misses\": {misses},\n",
+                    "      \"batches\": {batches},\n",
+                    "      \"coalesced\": {coalesced}\n",
+                    "    }}",
+                ),
+                threads = s.threads,
+                regime = s.regime,
+                requests = s.report.ok,
+                errors = s.report.errors,
+                p50 = json_number(s.report.p50()),
+                p99 = json_number(s.report.p99()),
+                qps = json_number(s.report.qps()),
+                hits = s.cache_hits,
+                misses = s.cache_misses,
+                batches = s.batches,
+                coalesced = s.coalesced,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"fixture\": {{ \"nodes\": {nodes}, \"arcs\": {arcs} }},\n",
+            "  \"load\": {{ \"workers\": {workers}, \"requests_per_worker\": {rpw}, ",
+            "\"zipf_exponent\": {zipf} }},\n",
+            "  \"scenarios\": [\n{scenarios}\n  ]\n",
+            "}}\n",
+        ),
+        mode = if options.fast { "fast" } else { "full" },
+        nodes = nodes,
+        arcs = graph.num_arcs(),
+        workers = workers,
+        rpw = requests_per_worker,
+        zipf = json_number(zipf_exponent),
+        scenarios = scenario_json.join(",\n"),
+    );
+    std::fs::write(&options.out, &json).expect("writing the benchmark report");
+    eprintln!("wrote {}", options.out);
+}

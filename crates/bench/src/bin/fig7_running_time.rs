@@ -24,12 +24,25 @@ fn main() {
         if let Some(name) = &spec.name {
             eprintln!("# sweep: {name}");
         }
-        let mut stdout = std::io::stdout();
-        if let Err(message) = SweepRunner::new(spec).run(&args, &mut stdout) {
+        let runner = SweepRunner::new(spec);
+        let outcome = match &args.out {
+            // File mode is resumable: cells already recorded as `ok` in an
+            // existing file are skipped and new records appended, so an
+            // interrupted sweep picks up where it left off.
+            Some(path) => runner
+                .run_resumable(&args, std::path::Path::new(path))
+                .map(|records| eprintln!("# {} cell(s) executed -> {path}", records.len())),
+            None => {
+                let mut stdout = std::io::stdout();
+                let outcome = runner.run(&args, &mut stdout).map(|_| ());
+                stdout.flush().expect("flush stdout");
+                outcome
+            }
+        };
+        if let Err(message) = outcome {
             eprintln!("error: {message}");
             std::process::exit(1);
         }
-        stdout.flush().expect("flush stdout");
         return;
     }
 

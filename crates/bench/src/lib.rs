@@ -24,6 +24,7 @@ pub mod datasets;
 pub mod hotpaths;
 pub mod methods;
 pub mod report;
+pub mod serveload;
 pub mod sweep;
 
 pub use datasets::{BenchDataset, Scale};
@@ -52,6 +53,10 @@ pub struct HarnessArgs {
     /// reading `scale`/`dimension`/`seeds`/`threads` from here honours the
     /// flags-win precedence.
     pub config: Option<SweepSpec>,
+    /// Output CSV path for config-driven sweeps (`--out`).  When the file
+    /// already holds records from an interrupted run, the sweep resumes:
+    /// completed cells are skipped and new records are appended.
+    pub out: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -62,6 +67,7 @@ impl Default for HarnessArgs {
             seed: 7,
             threads: 1,
             config: None,
+            out: None,
         }
     }
 }
@@ -69,7 +75,8 @@ impl Default for HarnessArgs {
 impl HarnessArgs {
     /// The usage message shared by every harness binary.
     pub const USAGE: &'static str = "usage: <bin> [--scale tiny|small|medium|large] [--dim K] \
-                                     [--seed S] [--threads T] [--config FILE.json|FILE.toml]";
+                                     [--seed S] [--threads T] [--config FILE.json|FILE.toml] \
+                                     [--out FILE.csv]";
 
     /// Parses the process arguments.  On `--help`/`-h` the usage message is
     /// printed and the process exits 0; on any malformed or unknown flag an
@@ -100,6 +107,7 @@ impl HarnessArgs {
         let mut seed: Option<u64> = None;
         let mut threads: Option<usize> = None;
         let mut config_path: Option<String> = None;
+        let mut out_path: Option<String> = None;
         let mut iter = args.iter();
         while let Some(flag) = iter.next() {
             let mut value_of = |flag: &str| -> Result<&String, String> {
@@ -137,6 +145,9 @@ impl HarnessArgs {
                 }
                 "--config" => {
                     config_path = Some(value_of("--config")?.clone());
+                }
+                "--out" => {
+                    out_path = Some(value_of("--out")?.clone());
                 }
                 "--help" | "-h" => return Ok(None),
                 other => return Err(format!("unknown flag `{other}`")),
@@ -180,6 +191,7 @@ impl HarnessArgs {
                 .or_else(|| spec.and_then(|s| s.threads.first().copied()))
                 .unwrap_or(defaults.threads),
             config,
+            out: out_path,
         }))
     }
 

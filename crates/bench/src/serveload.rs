@@ -1,0 +1,239 @@
+//! Closed-loop load generator for the `nrp-serve` HTTP server.
+//!
+//! Serving benchmarks need three things the embedding harnesses don't:
+//! Zipf-skewed key popularity (real query traffic concentrates on hot
+//! sources, which is what makes the server's LRU cache earn its keep),
+//! latency *percentiles* rather than medians of means, and a closed loop —
+//! every worker keeps exactly one request in flight on a persistent
+//! connection, so reported latencies are uncontaminated by client-side
+//! queueing.
+//!
+//! Used by the `bench_serve` binary and the CI serve smoke job.
+
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use nrp_serve::HttpClient;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// A Zipf(`exponent`) distribution over `0..n` with a precomputed CDF;
+/// sampling is one uniform draw plus a binary search.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A distribution over `0..n` where item `i` has mass proportional to
+    /// `1 / (i + 1)^exponent`.  `exponent = 0` is uniform; the classic
+    /// web-traffic skew is around 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `exponent` is not finite.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(exponent.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for value in &mut cdf {
+            *value /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the distribution has no items (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one item.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index whose CDF value is >= u,
+        // i.e. the unique i with cdf[i-1] < u <= cdf[i].
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** slice; `p` in [0, 100].
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One load scenario: how many workers, how many requests each, how skewed.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Server to hammer.
+    pub addr: SocketAddr,
+    /// Concurrent closed-loop workers (each holds one persistent
+    /// connection with exactly one request in flight).
+    pub workers: usize,
+    /// Requests each worker issues.
+    pub requests_per_worker: usize,
+    /// Zipf exponent of the source-popularity distribution (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Sources are drawn from `0..num_sources`.
+    pub num_sources: u32,
+    /// Base RNG seed; each worker derives its own stream from it.
+    pub seed: u64,
+    /// Extra query-string suffix appended to every `/ppr` request
+    /// (e.g. `"&top=16"`); empty for full answers.
+    pub query_suffix: String,
+}
+
+/// The measured outcome of one [`run_load`] call.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Per-request latencies in seconds, ascending.
+    pub latencies: Vec<f64>,
+    /// Wall-clock seconds from first request to last response.
+    pub wall_secs: f64,
+    /// Requests that returned HTTP 200 with parseable JSON.
+    pub ok: usize,
+    /// Requests that failed (transport error, non-200, bad JSON).
+    pub errors: usize,
+}
+
+impl LoadReport {
+    /// Median latency, seconds.
+    pub fn p50(&self) -> f64 {
+        percentile(&self.latencies, 50.0)
+    }
+
+    /// 99th-percentile latency, seconds.
+    pub fn p99(&self) -> f64 {
+        percentile(&self.latencies, 99.0)
+    }
+
+    /// Completed requests per wall-clock second.
+    pub fn qps(&self) -> f64 {
+        self.ok as f64 / self.wall_secs.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Runs the closed loop: `workers` threads, each issuing
+/// `requests_per_worker` Zipf-distributed `/ppr` queries over one
+/// keep-alive connection, measuring each request end-to-end.
+pub fn run_load(spec: &LoadSpec) -> LoadReport {
+    let zipf = Zipf::new(spec.num_sources as usize, spec.zipf_exponent);
+    let start = Instant::now();
+    let outcomes: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.workers)
+            .map(|worker| {
+                let zipf = &zipf;
+                scope.spawn(move || {
+                    // splitmix-style odd multiplier decorrelates the
+                    // per-worker streams without a second seed parameter.
+                    let mut rng = ChaCha8Rng::seed_from_u64(
+                        spec.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut client = HttpClient::new(spec.addr);
+                    let mut latencies = Vec::with_capacity(spec.requests_per_worker);
+                    let mut errors = 0usize;
+                    for _ in 0..spec.requests_per_worker {
+                        let source = zipf.sample(&mut rng) as u32;
+                        let target = format!("/ppr?source={source}{}", spec.query_suffix);
+                        let sent = Instant::now();
+                        match client.get_json(&target) {
+                            Ok(_) => latencies.push(sent.elapsed().as_secs_f64()),
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    (latencies, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+    let mut latencies = Vec::new();
+    let mut errors = 0;
+    for (worker_latencies, worker_errors) in outcomes {
+        latencies.extend(worker_latencies);
+        errors += worker_errors;
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    LoadReport {
+        ok: latencies.len(),
+        latencies,
+        wall_secs,
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_a_distribution() {
+        let zipf = Zipf::new(100, 1.0);
+        assert_eq!(zipf.len(), 100);
+        assert!(zipf.cdf.windows(2).all(|w| w[0] <= w[1]), "CDF is monotone");
+        assert_eq!(*zipf.cdf.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn zipf_sampling_is_deterministic_and_in_range() {
+        let zipf = Zipf::new(50, 1.2);
+        let draw = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            (0..200).map(|_| zipf.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        let a = draw(9);
+        assert_eq!(a, draw(9));
+        assert_ne!(a, draw(10));
+        assert!(a.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_indices() {
+        let zipf = Zipf::new(1000, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let hot = (0..5_000).filter(|_| zipf.sample(&mut rng) < 10).count() as f64;
+        // Under Zipf(1) over 1000 items the top 10 carry ~39% of the mass;
+        // uniform would give 1%.
+        assert!(hot / 5_000.0 > 0.25, "top-10 share was {}", hot / 5_000.0);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        for (i, &c) in zipf.cdf.iter().enumerate() {
+            let expected = (i + 1) as f64 / 4.0;
+            assert!((c - expected).abs() < 1e-12, "cdf[{i}] = {c}");
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 50.0), 2.0);
+        assert_eq!(percentile(&sorted, 99.0), 4.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 100.0), 4.0);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
+    }
+}

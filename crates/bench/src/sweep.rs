@@ -34,14 +34,20 @@
 //! RFC-4180 CSV (dataset, repeat, method, config, seed, threads, per-stage
 //! wall clock, total, status).
 
+use std::collections::HashSet;
 use std::io::Write;
 use std::path::Path;
 
 use nrp_core::{flat_toml_to_value, EmbedContext, MethodConfig, RunMetadata};
 
 use crate::datasets::{suite, BenchDataset, Scale};
-use crate::report::csv_line;
+use crate::report::{csv_line, parse_csv_record};
 use crate::HarnessArgs;
+
+/// Identity of one sweep cell: (dataset, repeat, method, seed, threads).
+/// The `config` column is derived from (method, seed, dimension), so it is
+/// not part of the identity.
+pub type SweepCell = (String, usize, String, u64, usize);
 
 /// A declarative sweep: sweep-level execution fields plus the method roster.
 ///
@@ -300,6 +306,75 @@ impl SweepRunner {
         defaults: &HarnessArgs,
         out: &mut dyn Write,
     ) -> Result<Vec<SweepRecord>, String> {
+        self.run_with_skip(defaults, out, &HashSet::new(), true)
+    }
+
+    /// Parses the completed cells out of a previously written sweep CSV.
+    ///
+    /// A cell counts as completed only when its `status` column is exactly
+    /// `ok`: failed runs (`err:…`), the header line, and any truncated
+    /// trailing record (a sweep killed mid-write) are all ignored, so a
+    /// resumed sweep retries them.
+    pub fn completed_cells(text: &str) -> HashSet<SweepCell> {
+        let mut cells = HashSet::new();
+        for line in text.lines() {
+            let Ok(record) = parse_csv_record(line) else {
+                continue;
+            };
+            // dataset, repeat, method, config, seed, threads, stages, total, status
+            if record.len() != Self::csv_header().len() || record[8] != "ok" {
+                continue;
+            }
+            let (Ok(repeat), Ok(seed), Ok(threads)) = (
+                record[1].parse::<usize>(),
+                record[4].parse::<u64>(),
+                record[5].parse::<usize>(),
+            ) else {
+                continue;
+            };
+            cells.insert((record[0].clone(), repeat, record[2].clone(), seed, threads));
+        }
+        cells
+    }
+
+    /// Resumable variant of [`SweepRunner::run`] writing to a file: cells
+    /// already recorded as `ok` in an existing `path` are skipped, and new
+    /// records are appended after the existing ones.  A missing (or empty)
+    /// file behaves exactly like a fresh [`SweepRunner::run`].
+    ///
+    /// Returns the records actually executed in this call — resuming a
+    /// finished sweep returns an empty list and leaves the file untouched.
+    pub fn run_resumable(
+        &self,
+        defaults: &HarnessArgs,
+        path: &Path,
+    ) -> Result<Vec<SweepRecord>, String> {
+        let existing = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(format!("cannot read sweep CSV `{}`: {e}", path.display())),
+        };
+        let done = Self::completed_cells(&existing);
+        let mut out = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open sweep CSV `{}`: {e}", path.display()))?;
+        if !existing.is_empty() && !existing.ends_with('\n') {
+            // A truncated trailing record (no newline) must not have the
+            // first resumed record glued onto it.
+            writeln!(out).map_err(|e| format!("cannot write sweep CSV: {e}"))?;
+        }
+        self.run_with_skip(defaults, &mut out, &done, existing.is_empty())
+    }
+
+    fn run_with_skip(
+        &self,
+        defaults: &HarnessArgs,
+        out: &mut dyn Write,
+        skip: &HashSet<SweepCell>,
+        write_header: bool,
+    ) -> Result<Vec<SweepRecord>, String> {
         nrp_baselines::register_baselines();
         let spec = &self.spec;
         let scale = spec.scale.unwrap_or(defaults.scale);
@@ -328,13 +403,25 @@ impl SweepRunner {
             ));
         }
         let io_err = |e: std::io::Error| format!("cannot write sweep CSV: {e}");
-        writeln!(out, "{}", csv_line(&Self::csv_header())).map_err(io_err)?;
+        if write_header {
+            writeln!(out, "{}", csv_line(&Self::csv_header())).map_err(io_err)?;
+        }
         let mut records = Vec::new();
         for dataset in &selected {
             for method in &spec.methods {
                 for &seed in &seeds {
                     for &threads in &thread_budgets {
                         for repeat in 0..spec.repeats {
+                            let cell = (
+                                dataset.name.to_string(),
+                                repeat,
+                                method.method_name().to_string(),
+                                seed,
+                                threads,
+                            );
+                            if skip.contains(&cell) {
+                                continue;
+                            }
                             let mut config = method.clone();
                             if let Some(dimension) = spec.dimension {
                                 config.set_dimension(dimension);
@@ -474,6 +561,78 @@ mod tests {
         assert_eq!(header[1], "repeat");
         assert_eq!(&header[2..header.len() - 1], RunMetadata::csv_header());
         assert_eq!(*header.last().unwrap(), "status");
+    }
+
+    fn resumable_spec() -> SweepSpec {
+        SweepSpec::from_json(
+            r#"{
+                "scale": "tiny",
+                "datasets": ["sbm-directed"],
+                "seeds": [3],
+                "threads": [1],
+                "repeats": 2,
+                "dimension": 8,
+                "methods": [{"method": "ApproxPPR"}, {"method": "NRP"}]
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn resume_of_half_written_sweep_runs_only_missing_cells() {
+        let runner = SweepRunner::new(resumable_spec());
+        let defaults = HarnessArgs::default();
+
+        // Reference run: the full 4-cell grid (2 methods × 2 repeats).
+        let mut full = Vec::new();
+        let records = runner.run(&defaults, &mut full).unwrap();
+        assert_eq!(records.len(), 4);
+        let full_text = String::from_utf8(full).unwrap();
+        assert_eq!(SweepRunner::completed_cells(&full_text).len(), 4);
+
+        // Simulate a sweep killed mid-write: header, one complete record,
+        // and a second record truncated halfway through the line.
+        let lines: Vec<&str> = full_text.lines().collect();
+        let half_written = format!(
+            "{}\n{}\n{}",
+            lines[0],
+            lines[1],
+            &lines[2][..lines[2].len() / 2]
+        );
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("sweep.csv");
+        std::fs::write(&path, &half_written).unwrap();
+
+        // The resume must re-run everything but the one complete cell.
+        let resumed = runner.run_resumable(&defaults, &path).unwrap();
+        assert_eq!(resumed.len(), 3, "one cell was already complete");
+        let finished = std::fs::read_to_string(&path).unwrap();
+        assert!(finished.starts_with(&half_written), "resume appends");
+        assert_eq!(
+            SweepRunner::completed_cells(&finished).len(),
+            4,
+            "all cells complete after the resume"
+        );
+
+        // Resuming a finished sweep is a no-op.
+        let again = runner.run_resumable(&defaults, &path).unwrap();
+        assert!(again.is_empty());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), finished);
+    }
+
+    #[test]
+    fn completed_cells_ignores_errors_and_junk() {
+        let header = csv_line(&SweepRunner::csv_header());
+        let text = format!(
+            "{header}\n\
+             sbm-directed,0,NRP,cfg,3,1,,1.5,ok\n\
+             sbm-directed,1,NRP,cfg,3,1,,,err:boom\n\
+             not,a,valid,row\n\
+             sbm-directed,0,NRP,cfg,notanumber,1,,1.5,ok\n"
+        );
+        let cells = SweepRunner::completed_cells(&text);
+        assert_eq!(cells.len(), 1);
+        assert!(cells.contains(&("sbm-directed".to_string(), 0, "NRP".to_string(), 3, 1)));
     }
 
     #[test]

@@ -16,6 +16,7 @@ fn tiny_defaults() -> HarnessArgs {
         seed: 7,
         threads: 1,
         config: None,
+        out: None,
     }
 }
 

@@ -161,6 +161,11 @@ impl ApproxPpr {
         // Step 3: fold in higher-order hops: Xᵢ = (1-α) P Xᵢ₋₁ + X₁.
         let mut x = x1.clone();
         for _ in 2..=p.num_hops {
+            // A partial-results cancellation keeps the hops folded so far —
+            // a shorter truncated series is still a valid embedding.
+            if ctx.should_stop_early() {
+                break;
+            }
             ctx.ensure_active()?;
             let mut propagated = transition.apply_exec(&x, &exec)?;
             propagated.scale(1.0 - p.alpha);

@@ -48,6 +48,7 @@ pub struct EmbedContext {
     // the one cell every sibling reads.
     pool: Arc<OnceLock<Arc<WorkerPool>>>,
     scoped_only: bool,
+    partial_results: bool,
 }
 
 impl EmbedContext {
@@ -137,6 +138,35 @@ impl EmbedContext {
     pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
         self.cancel = Some(flag);
         self
+    }
+
+    /// Opts into **partial results** on cancellation: instead of failing
+    /// with [`NrpError::Cancelled`], iterative refinement stages stop early
+    /// and the run returns the best embedding computed so far.
+    ///
+    /// Concretely, a raised cancel flag makes the ApproxPPR propagation stop
+    /// at the current hop (a shorter truncated PPR series — still a valid
+    /// embedding), the NRP reweighting return the weights of the completed
+    /// epochs, and SGNS/NCE training (DeepWalk, node2vec, LINE, VERSE, APP)
+    /// end at the current SGD step.  Work cancelled *before* any embedding
+    /// exists (e.g. during the initial SVD sketch) still returns
+    /// [`NrpError::Cancelled`] — there is nothing partial to hand back.
+    pub fn with_partial_results(mut self) -> Self {
+        self.partial_results = true;
+        self
+    }
+
+    /// True if cancellation should yield the best result so far instead of
+    /// [`NrpError::Cancelled`] (see [`EmbedContext::with_partial_results`]).
+    pub fn allows_partial(&self) -> bool {
+        self.partial_results
+    }
+
+    /// True if the run was cancelled *and* the context asks for the best
+    /// result so far — the "stop refining now" signal iterative loops check
+    /// to break instead of erroring.
+    pub fn should_stop_early(&self) -> bool {
+        self.partial_results && self.is_cancelled()
     }
 
     /// The seed override, if any.

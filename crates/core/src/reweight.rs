@@ -99,7 +99,10 @@ pub fn learn_weights(
 
 /// [`learn_weights`] under an explicit execution context: cancellation is
 /// honoured between epochs (each epoch is `O(nk'²)`, so that is the natural
-/// responsiveness granularity).
+/// responsiveness granularity).  Under
+/// [`EmbedContext::with_partial_results`] a raised cancel flag stops the
+/// coordinate descent after the current epoch and returns the weights
+/// learned so far instead of erroring.
 pub fn learn_weights_with(
     graph: &Graph,
     x: &DenseMatrix,
@@ -111,6 +114,9 @@ pub fn learn_weights_with(
     let mut weights = NodeWeights::initialize(graph);
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     for epoch in 0..config.epochs {
+        if ctx.should_stop_early() {
+            break;
+        }
         ctx.ensure_active()?;
         update_backward_weights(graph, x, y, &mut weights, config, &mut rng)
             .map_err(|e| annotate(e, epoch))?;

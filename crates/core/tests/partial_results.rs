@@ -1,0 +1,128 @@
+//! Partial-result cancellation: `EmbedContext::with_partial_results` turns
+//! a raised cancel flag into "return the best embedding so far" instead of
+//! `Err(Cancelled)`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use nrp_core::reweight::{learn_weights_with, NodeWeights, ReweightConfig};
+use nrp_core::{ApproxPpr, ApproxPprParams, EmbedContext, Embedder, Nrp, NrpError, NrpParams};
+use nrp_graph::generators::stochastic_block_model;
+use nrp_graph::{Graph, GraphKind};
+
+fn test_graph() -> Graph {
+    let (graph, _labels) = stochastic_block_model(&[60, 60, 60], 0.2, 0.01, GraphKind::Directed, 5)
+        .expect("SBM generates");
+    graph
+}
+
+fn raised_flag() -> Arc<AtomicBool> {
+    Arc::new(AtomicBool::new(true))
+}
+
+#[test]
+fn default_context_still_fails_with_cancelled() {
+    let graph = test_graph();
+    let params = NrpParams::builder().dimension(8).seed(3).build().unwrap();
+    let ctx = EmbedContext::new().with_cancel_flag(raised_flag());
+    let outcome = Nrp::new(params).embed(&graph, &ctx);
+    assert!(matches!(outcome, Err(NrpError::Cancelled)));
+}
+
+#[test]
+fn cancellation_before_any_work_is_still_an_error_even_with_partial() {
+    // With the flag raised before the run starts there is nothing partial
+    // to hand back, so opting in must not change the entry-point error.
+    let graph = test_graph();
+    let params = NrpParams::builder().dimension(8).seed(3).build().unwrap();
+    let ctx = EmbedContext::new()
+        .with_cancel_flag(raised_flag())
+        .with_partial_results();
+    let outcome = Nrp::new(params).embed(&graph, &ctx);
+    assert!(matches!(outcome, Err(NrpError::Cancelled)));
+}
+
+#[test]
+fn partial_reweight_returns_the_weights_so_far() {
+    let graph = test_graph();
+    let approx = ApproxPpr::new(ApproxPprParams {
+        half_dimension: 4,
+        num_hops: 4,
+        seed: 3,
+        ..ApproxPprParams::default()
+    });
+    let ctx = EmbedContext::new();
+    let (x, y) = approx.factorize_with(&graph, &ctx).unwrap();
+    let config = ReweightConfig {
+        epochs: 5,
+        seed: 3,
+        ..ReweightConfig::default()
+    };
+
+    // Cancelled at epoch 0 with partial results: the epoch loop breaks
+    // before doing any work, handing back the initial weights.
+    let partial_ctx = EmbedContext::new()
+        .with_cancel_flag(raised_flag())
+        .with_partial_results();
+    let weights = learn_weights_with(&graph, &x, &y, &config, &partial_ctx)
+        .expect("partial results turn cancellation into an early return");
+    let initial = NodeWeights::initialize(&graph);
+    assert_eq!(weights.forward, initial.forward);
+    assert_eq!(weights.backward, initial.backward);
+
+    // Without the opt-in the same cancellation is an error.
+    let strict_ctx = EmbedContext::new().with_cancel_flag(raised_flag());
+    let outcome = learn_weights_with(&graph, &x, &y, &config, &strict_ctx);
+    assert!(matches!(outcome, Err(NrpError::Cancelled)));
+}
+
+#[test]
+fn mid_run_cancellation_with_partial_yields_a_usable_embedding() {
+    // Timing-based: the watcher raises the flag shortly after the run
+    // starts.  Whichever stage the flag lands in, the contract is the same
+    // — either the run had not produced anything yet (entry-point
+    // cancellation, an error) or it returns a well-formed, finite
+    // embedding.  On this graph the run takes long enough that the partial
+    // path is what actually executes.
+    let graph = test_graph();
+    let params = NrpParams::builder()
+        .dimension(16)
+        .num_hops(8)
+        .reweight_epochs(10)
+        .seed(3)
+        .build()
+        .unwrap();
+    let flag = Arc::new(AtomicBool::new(false));
+    let ctx = EmbedContext::new()
+        .with_cancel_flag(Arc::clone(&flag))
+        .with_partial_results();
+    let watcher = {
+        let flag = Arc::clone(&flag);
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            flag.store(true, Ordering::SeqCst);
+        })
+    };
+    let outcome = Nrp::new(params).embed(&graph, &ctx);
+    watcher.join().unwrap();
+    match outcome {
+        Ok(output) => {
+            let embedding = output.into_parts().0;
+            let n = graph.num_nodes();
+            assert_eq!(embedding.dimension(), 16);
+            for u in 0..n as u32 {
+                for v in [0u32, (n as u32) / 2, (n as u32) - 1] {
+                    assert!(
+                        embedding.score(u, v).is_finite(),
+                        "partial embedding has a non-finite score at ({u},{v})"
+                    );
+                }
+            }
+        }
+        Err(NrpError::Cancelled) => {
+            // The flag won the race to the entry check — legal, nothing
+            // partial existed yet.
+        }
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+}

@@ -159,11 +159,15 @@ pub fn barabasi_albert(
     }
     for u in (m_attach + 1)..num_nodes {
         let u = u as NodeId;
-        let mut targets = std::collections::HashSet::with_capacity(m_attach);
+        // A Vec with a linear dedup scan, not a HashSet: m_attach is tiny,
+        // and HashSet iteration order is randomized per process, which made
+        // the emitted edge order (and hence the graph) nondeterministic for
+        // a fixed seed.
+        let mut targets: Vec<NodeId> = Vec::with_capacity(m_attach);
         while targets.len() < m_attach {
             let t = endpoints[rng.gen_range(0..endpoints.len())];
-            if t != u {
-                targets.insert(t);
+            if t != u && !targets.contains(&t) {
+                targets.push(t);
             }
         }
         for &t in &targets {

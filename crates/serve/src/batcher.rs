@@ -1,0 +1,414 @@
+//! Request batching: concurrent PPR queries coalesce into one multi-source
+//! dispatch on the shared worker pool.
+//!
+//! Connection threads never compute PPR themselves — they submit a
+//! [`CacheKey`] to the batcher and block on a private reply channel.  A
+//! single dispatcher thread drains everything queued at that moment into
+//! one batch, deduplicates identical keys (two clients asking for the same
+//! hot source share one computation), answers what it can from the cache,
+//! and computes the remaining *unique* sources with a single
+//! `par_chunk_map_exec` dispatch over the context's persistent
+//! [`WorkerPool`](nrp_core::parallel::WorkerPool).  Each source's push runs
+//! sequentially inside one worker (reusing that worker's thread-local
+//! [`PushWorkspace`]), so every per-source result is bitwise identical to a
+//! standalone computation — batching moves wall-clock, never values.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use nrp_core::parallel::par_chunk_map_exec;
+use nrp_core::ppr::single_source_ppr_with_policy;
+use nrp_core::push::{forward_push_into, PushWorkspace};
+use nrp_core::{DanglingPolicy, EmbedContext};
+use nrp_graph::Graph;
+
+use crate::cache::{CacheKey, PprCache};
+
+std::thread_local! {
+    // One push workspace per worker thread (the pool's threads persist, so
+    // each warms up once and then pushes allocation-free).
+    static PUSH_WORKSPACE: RefCell<PushWorkspace> = RefCell::new(PushWorkspace::new());
+}
+
+/// One computed single-source PPR answer, shared between the cache and all
+/// waiters via `Arc`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PprAnswer {
+    /// Push mode: `(node, estimate)` pairs ascending by node (empty in
+    /// exact mode).
+    pub entries: Vec<(u32, f64)>,
+    /// Exact mode: the dense PPR vector (absent in push mode).
+    pub dense: Option<Vec<f64>>,
+    /// Residual probability mass left unconverted (0 in exact mode).
+    pub residual_mass: f64,
+    /// Push operations performed (0 in exact mode).
+    pub num_pushes: usize,
+}
+
+/// Counter snapshot of the batcher, as served by `/stats`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchSnapshot {
+    /// Dispatcher wake-ups that processed at least one job.
+    pub batches: u64,
+    /// Jobs submitted in total.
+    pub jobs: u64,
+    /// Jobs that shared a computation with another job of the same batch
+    /// (identical key submitted concurrently).
+    pub coalesced: u64,
+    /// Largest single batch seen.
+    pub max_batch: u64,
+    /// Unique keys actually computed (not answered by the cache).
+    pub computed: u64,
+}
+
+#[derive(Default)]
+struct BatchCounters {
+    batches: AtomicU64,
+    jobs: AtomicU64,
+    coalesced: AtomicU64,
+    max_batch: AtomicU64,
+    computed: AtomicU64,
+}
+
+type Reply = Result<Arc<PprAnswer>, String>;
+
+struct Job {
+    key: CacheKey,
+    reply: SyncSender<Reply>,
+}
+
+/// The batching dispatcher.  Owns one worker thread for its lifetime;
+/// [`Batcher::shutdown`] drains every queued job before the thread exits,
+/// so no submitted request is ever dropped unanswered.
+pub struct Batcher {
+    tx: Mutex<Option<Sender<Job>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    counters: Arc<BatchCounters>,
+}
+
+impl Batcher {
+    /// Spawns the dispatcher.  `ctx` supplies the execution policy (thread
+    /// budget plus persistent pool) every batch dispatches on; `max_batch`
+    /// caps how many queued jobs one dispatch drains.
+    pub fn new(
+        graph: Arc<Graph>,
+        policy: DanglingPolicy,
+        ctx: EmbedContext,
+        cache: Arc<Mutex<PprCache>>,
+        max_batch: usize,
+    ) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let counters = Arc::new(BatchCounters::default());
+        let worker_counters = Arc::clone(&counters);
+        let max_batch = max_batch.max(1);
+        let worker = std::thread::Builder::new()
+            .name("nrp-serve-batcher".into())
+            .spawn(move || dispatch_loop(rx, graph, policy, ctx, cache, worker_counters, max_batch))
+            .expect("spawning the batcher thread");
+        Self {
+            tx: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
+            counters,
+        }
+    }
+
+    /// Submits one PPR computation and blocks until its answer is ready
+    /// (from the cache, a coalesced neighbour, or a fresh dispatch).
+    pub fn submit(&self, key: CacheKey) -> Reply {
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        {
+            let guard = self.tx.lock().expect("batcher sender lock");
+            let tx = guard
+                .as_ref()
+                .ok_or_else(|| "server is shutting down".to_string())?;
+            tx.send(Job {
+                key,
+                reply: reply_tx,
+            })
+            .map_err(|_| "server is shutting down".to_string())?;
+        }
+        self.counters.jobs.fetch_add(1, Ordering::Relaxed);
+        reply_rx
+            .recv()
+            .unwrap_or_else(|_| Err("batch dispatcher exited".to_string()))
+    }
+
+    /// The current counters.
+    pub fn snapshot(&self) -> BatchSnapshot {
+        BatchSnapshot {
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            jobs: self.counters.jobs.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            max_batch: self.counters.max_batch.load(Ordering::Relaxed),
+            computed: self.counters.computed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the dispatcher: new submissions fail fast, every job already
+    /// queued is still answered, then the thread exits and is joined.
+    pub fn shutdown(&self) {
+        let tx = self.tx.lock().expect("batcher sender lock").take();
+        drop(tx); // Disconnects the channel once queued jobs drain.
+        if let Some(worker) = self.worker.lock().expect("batcher worker lock").take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn dispatch_loop(
+    rx: Receiver<Job>,
+    graph: Arc<Graph>,
+    policy: DanglingPolicy,
+    ctx: EmbedContext,
+    cache: Arc<Mutex<PprCache>>,
+    counters: Arc<BatchCounters>,
+    max_batch: usize,
+) {
+    // `recv` returns queued jobs even after every sender is dropped, so the
+    // shutdown path drains naturally: the loop ends only once the channel is
+    // both disconnected and empty.
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .max_batch
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+
+        // Group identical keys: first-seen order keeps the dispatch
+        // deterministic in batch composition (not that results depend on it).
+        let mut unique: Vec<CacheKey> = Vec::new();
+        let mut waiters: HashMap<CacheKey, Vec<SyncSender<Reply>>> = HashMap::new();
+        for job in batch {
+            let entry = waiters.entry(job.key).or_default();
+            if entry.is_empty() {
+                unique.push(job.key);
+            } else {
+                counters.coalesced.fetch_add(1, Ordering::Relaxed);
+            }
+            entry.push(job.reply);
+        }
+
+        // Answer what the cache already holds.
+        let mut missing: Vec<CacheKey> = Vec::new();
+        {
+            let mut cache = cache.lock().expect("ppr cache lock");
+            for key in unique {
+                match cache.get(&key) {
+                    Some(answer) => reply_all(&mut waiters, &key, Ok(answer)),
+                    None => missing.push(key),
+                }
+            }
+        }
+        if missing.is_empty() {
+            continue;
+        }
+
+        // One multi-source dispatch over the unique missing keys.  Chunk
+        // size 1: each source is one unit of work, claimed by exactly one
+        // pool worker, computed with that worker's thread-local workspace.
+        let exec = ctx.exec();
+        let answers: Vec<Reply> = par_chunk_map_exec(missing.len(), 1, &exec, |range| {
+            compute(&graph, policy, &missing[range.start])
+        });
+        counters
+            .computed
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+
+        let mut cache = cache.lock().expect("ppr cache lock");
+        for (key, answer) in missing.iter().zip(answers) {
+            if let Ok(answer) = &answer {
+                cache.insert(*key, Arc::clone(answer));
+            }
+            reply_all(&mut waiters, key, answer);
+        }
+    }
+}
+
+fn reply_all(
+    waiters: &mut HashMap<CacheKey, Vec<SyncSender<Reply>>>,
+    key: &CacheKey,
+    reply: Reply,
+) {
+    if let Some(senders) = waiters.remove(key) {
+        for sender in senders {
+            // A waiter that gave up (connection died) is not an error.
+            let _ = sender.send(reply.clone());
+        }
+    }
+}
+
+/// Computes one single-source answer.  Deterministic in the key alone:
+/// exact mode runs the power iteration, push mode runs forward push whose
+/// results are independent of workspace reuse by contract.
+fn compute(graph: &Graph, policy: DanglingPolicy, key: &CacheKey) -> Reply {
+    if key.exact {
+        let dense =
+            single_source_ppr_with_policy(graph, key.source, key.alpha(), key.r_max(), policy)
+                .map_err(|e| e.to_string())?;
+        return Ok(Arc::new(PprAnswer {
+            entries: Vec::new(),
+            dense: Some(dense),
+            residual_mass: 0.0,
+            num_pushes: 0,
+        }));
+    }
+    PUSH_WORKSPACE.with(|ws| {
+        let mut ws = ws.borrow_mut();
+        let outcome =
+            forward_push_into(graph, key.source, key.alpha(), key.r_max(), policy, &mut ws)
+                .map_err(|e| e.to_string())?;
+        Ok(Arc::new(PprAnswer {
+            entries: ws.estimates().to_vec(),
+            dense: None,
+            residual_mass: outcome.residual_mass,
+            num_pushes: outcome.num_pushes,
+        }))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrp_core::push::forward_push_with_policy;
+    use nrp_graph::generators::barabasi_albert;
+    use nrp_graph::GraphKind;
+
+    fn graph() -> Arc<Graph> {
+        Arc::new(barabasi_albert(200, 3, GraphKind::Undirected, 11).unwrap())
+    }
+
+    #[test]
+    fn batched_answers_match_direct_computation() {
+        let graph = graph();
+        let cache = Arc::new(Mutex::new(PprCache::new(16)));
+        let batcher = Batcher::new(
+            Arc::clone(&graph),
+            DanglingPolicy::SelfLoop,
+            EmbedContext::new().with_threads(4),
+            Arc::clone(&cache),
+            64,
+        );
+        for source in [0u32, 5, 17] {
+            let key = CacheKey::new(source, 0.15, 1e-4, false);
+            let answer = batcher.submit(key).unwrap();
+            let direct =
+                forward_push_with_policy(&graph, source, 0.15, 1e-4, DanglingPolicy::SelfLoop)
+                    .unwrap();
+            assert_eq!(answer.entries, direct.estimates, "source {source}");
+            assert_eq!(answer.residual_mass, direct.residual_mass);
+            assert_eq!(answer.num_pushes, direct.num_pushes);
+        }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn concurrent_identical_queries_coalesce() {
+        let graph = graph();
+        let cache = Arc::new(Mutex::new(PprCache::new(0))); // no cache: force coalescing to do the sharing
+        let batcher = Arc::new(Batcher::new(
+            Arc::clone(&graph),
+            DanglingPolicy::SelfLoop,
+            EmbedContext::new().with_threads(2),
+            cache,
+            64,
+        ));
+        let key = CacheKey::new(3, 0.15, 1e-4, false);
+        let expected = batcher.submit(key).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let batcher = Arc::clone(&batcher);
+                std::thread::spawn(move || batcher.submit(key).unwrap())
+            })
+            .collect();
+        for handle in handles {
+            let answer = handle.join().unwrap();
+            assert_eq!(answer.entries, expected.entries);
+        }
+        let snapshot = batcher.snapshot();
+        assert_eq!(snapshot.jobs, 9);
+        assert!(snapshot.batches >= 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn cache_hits_skip_computation() {
+        let graph = graph();
+        let cache = Arc::new(Mutex::new(PprCache::new(8)));
+        let batcher = Batcher::new(
+            Arc::clone(&graph),
+            DanglingPolicy::SelfLoop,
+            EmbedContext::new(),
+            Arc::clone(&cache),
+            64,
+        );
+        let key = CacheKey::new(9, 0.15, 1e-4, false);
+        let first = batcher.submit(key).unwrap();
+        let second = batcher.submit(key).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second answer came from the cache"
+        );
+        assert_eq!(batcher.snapshot().computed, 1);
+        assert_eq!(cache.lock().unwrap().snapshot().hits, 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_cleanly() {
+        let graph = graph();
+        let cache = Arc::new(Mutex::new(PprCache::new(8)));
+        let batcher = Batcher::new(
+            graph,
+            DanglingPolicy::SelfLoop,
+            EmbedContext::new(),
+            cache,
+            64,
+        );
+        batcher.shutdown();
+        let err = batcher
+            .submit(CacheKey::new(0, 0.15, 1e-4, false))
+            .unwrap_err();
+        assert!(err.contains("shutting down"), "{err}");
+    }
+
+    #[test]
+    fn exact_mode_returns_the_dense_vector() {
+        let graph = graph();
+        let cache = Arc::new(Mutex::new(PprCache::new(8)));
+        let batcher = Batcher::new(
+            Arc::clone(&graph),
+            DanglingPolicy::SelfLoop,
+            EmbedContext::new(),
+            cache,
+            64,
+        );
+        let key = CacheKey::new(4, 0.2, 1e-9, true);
+        let answer = batcher.submit(key).unwrap();
+        let direct = nrp_core::ppr::single_source_ppr_with_policy(
+            &graph,
+            4,
+            0.2,
+            1e-9,
+            DanglingPolicy::SelfLoop,
+        )
+        .unwrap();
+        assert_eq!(answer.dense.as_deref(), Some(direct.as_slice()));
+        batcher.shutdown();
+    }
+}

@@ -1,0 +1,327 @@
+//! Hot-source PPR cache: a slab-backed LRU with hit/miss counters.
+//!
+//! Power-law query traffic means a small cache absorbs most of the load —
+//! the whole premise of the serving layer's warm path.  Keys identify a PPR
+//! computation exactly (source node plus the *bit patterns* of `alpha` and
+//! `r_max`, plus the push/exact mode flag), so a hit returns a vector
+//! bitwise identical to recomputing: nothing about the entry is approximate
+//! or re-derived.
+//!
+//! The list is intrusive over a slab (`Vec` of nodes with prev/next
+//! indices), so `get`/`insert` are `O(1)` with no per-operation allocation
+//! once the slab is full.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::batcher::PprAnswer;
+
+/// Sentinel for "no neighbour" in the intrusive list.
+const NONE: usize = usize::MAX;
+
+/// Identity of one PPR computation.  Floats are keyed by bit pattern —
+/// `0.15_f64` and the nearest representable neighbour are different
+/// computations, and NaN never reaches a key (parameters are validated at
+/// the handler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Source node.
+    pub source: u32,
+    /// `alpha.to_bits()`.
+    pub alpha_bits: u64,
+    /// `r_max.to_bits()` (push mode) or the tolerance bits (exact mode).
+    pub r_max_bits: u64,
+    /// True for exact power iteration, false for forward push.
+    pub exact: bool,
+}
+
+impl CacheKey {
+    /// Builds a key from the run parameters.
+    pub fn new(source: u32, alpha: f64, r_max: f64, exact: bool) -> Self {
+        Self {
+            source,
+            alpha_bits: alpha.to_bits(),
+            r_max_bits: r_max.to_bits(),
+            exact,
+        }
+    }
+
+    /// The decay factor the key encodes.
+    pub fn alpha(&self) -> f64 {
+        f64::from_bits(self.alpha_bits)
+    }
+
+    /// The residue threshold (push) or tolerance (exact) the key encodes.
+    pub fn r_max(&self) -> f64 {
+        f64::from_bits(self.r_max_bits)
+    }
+}
+
+/// Counter snapshot of one cache, as served by `/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Live entries right now.
+    pub len: usize,
+    /// Maximum live entries.
+    pub capacity: usize,
+}
+
+struct Slot {
+    key: CacheKey,
+    value: Arc<PprAnswer>,
+    prev: usize,
+    next: usize,
+}
+
+/// The LRU cache.  Not internally synchronized — the server wraps it in a
+/// `Mutex` (hold times are `O(1)` pointer swaps, never a PPR computation).
+pub struct PprCache {
+    capacity: usize,
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl PprCache {
+    /// A cache holding up to `capacity` answers.  Capacity 0 disables
+    /// caching entirely (every lookup misses, inserts are dropped) — the
+    /// "cold" regime of the serve benchmarks.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Unlinks slot `i` from the recency list.
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NONE {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NONE {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    /// Links slot `i` at the most-recently-used end.
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NONE;
+        self.slots[i].next = self.head;
+        if self.head != NONE {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NONE {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.  Counts the lookup
+    /// either way.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<PprAnswer>> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                self.detach(i);
+                self.push_front(i);
+                Some(Arc::clone(&self.slots[i].value))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `key` without touching recency or counters (used by `/stats`
+    /// style introspection and tests).
+    pub fn peek(&self, key: &CacheKey) -> Option<Arc<PprAnswer>> {
+        self.map.get(key).map(|&i| Arc::clone(&self.slots[i].value))
+    }
+
+    /// Inserts `value` under `key`, evicting the least-recently-used entry
+    /// if the cache is full.  Re-inserting an existing key replaces its
+    /// value and refreshes recency.
+    pub fn insert(&mut self, key: CacheKey, value: Arc<PprAnswer>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            self.detach(i);
+            self.push_front(i);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NONE, "full cache has a tail");
+            self.detach(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.free.push(lru);
+            self.evictions += 1;
+        }
+        let slot = Slot {
+            key,
+            value,
+            prev: NONE,
+            next: NONE,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        self.insertions += 1;
+    }
+
+    /// The current counters and occupancy.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            len: self.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer(tag: usize) -> Arc<PprAnswer> {
+        Arc::new(PprAnswer {
+            entries: vec![(tag as u32, 1.0)],
+            dense: None,
+            residual_mass: 0.0,
+            num_pushes: tag,
+        })
+    }
+
+    fn key(source: u32) -> CacheKey {
+        CacheKey::new(source, 0.15, 1e-5, false)
+    }
+
+    #[test]
+    fn key_round_trips_float_bits() {
+        let k = CacheKey::new(3, 0.15, 1e-5, true);
+        assert_eq!(k.alpha(), 0.15);
+        assert_eq!(k.r_max(), 1e-5);
+        assert_ne!(key(3), CacheKey::new(3, 0.15, 1e-5, true), "mode is keyed");
+        assert_ne!(key(3), CacheKey::new(3, 0.150000001, 1e-5, false));
+    }
+
+    #[test]
+    fn inserts_and_hits() {
+        let mut cache = PprCache::new(2);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), answer(1));
+        let got = cache.get(&key(1)).unwrap();
+        assert_eq!(got.num_pushes, 1);
+        let snap = cache.snapshot();
+        assert_eq!((snap.hits, snap.misses, snap.insertions), (1, 1, 1));
+        assert_eq!(snap.len, 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = PprCache::new(2);
+        cache.insert(key(1), answer(1));
+        cache.insert(key(2), answer(2));
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), answer(3));
+        assert!(cache.peek(&key(2)).is_none(), "2 was evicted");
+        assert!(cache.peek(&key(1)).is_some());
+        assert!(cache.peek(&key(3)).is_some());
+        assert_eq!(cache.snapshot().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn eviction_reuses_slots() {
+        let mut cache = PprCache::new(3);
+        for round in 0..10u32 {
+            for s in 0..3u32 {
+                cache.insert(key(round * 3 + s), answer(s as usize));
+            }
+        }
+        assert_eq!(cache.len(), 3);
+        assert!(cache.slots.len() <= 4, "slab stays bounded by capacity");
+        assert_eq!(cache.snapshot().evictions, 27);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_refreshes() {
+        let mut cache = PprCache::new(2);
+        cache.insert(key(1), answer(1));
+        cache.insert(key(2), answer(2));
+        cache.insert(key(1), answer(7));
+        cache.insert(key(3), answer(3));
+        // 2 was the LRU entry after 1's refresh.
+        assert!(cache.peek(&key(2)).is_none());
+        assert_eq!(cache.peek(&key(1)).unwrap().num_pushes, 7);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = PprCache::new(0);
+        cache.insert(key(1), answer(1));
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.len(), 0);
+        let snap = cache.snapshot();
+        assert_eq!(snap.insertions, 0);
+        assert_eq!(snap.misses, 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! A minimal blocking HTTP client for the load generator, the CI smoke
+//! checks and the end-to-end tests.  Keep-alive by default: one
+//! [`HttpClient`] holds one persistent connection, mirroring how a real
+//! load generator amortises connection setup.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::http::{read_response, HttpLimits};
+
+/// A persistent connection to one server.
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl HttpClient {
+    /// A client for `addr`; connects lazily on the first request.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self { addr, stream: None }
+    }
+
+    fn connect(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(BufReader::new(stream));
+        }
+        Ok(self.stream.as_mut().expect("stream just connected"))
+    }
+
+    /// Issues `GET {target}` on the persistent connection and returns
+    /// `(status, body)`.  Reconnects once if the server closed the
+    /// keep-alive connection between requests.
+    pub fn get(&mut self, target: &str) -> std::io::Result<(u16, Vec<u8>)> {
+        match self.try_get(target) {
+            Ok(answer) => Ok(answer),
+            Err(_) => {
+                // Stale keep-alive connection (server restarted or timed the
+                // connection out): reconnect and retry once.
+                self.stream = None;
+                self.try_get(target)
+            }
+        }
+    }
+
+    fn try_get(&mut self, target: &str) -> std::io::Result<(u16, Vec<u8>)> {
+        let reader = self.connect()?;
+        let request = format!("GET {target} HTTP/1.1\r\nhost: nrp-serve\r\n\r\n");
+        reader.get_mut().write_all(request.as_bytes())?;
+        match read_response(reader, &HttpLimits::default()) {
+            Ok(answer) => Ok(answer),
+            Err(error) => {
+                self.stream = None;
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    error.to_string(),
+                ))
+            }
+        }
+    }
+
+    /// `get` + JSON parse, asserting a 200 status.  Used where the caller
+    /// wants a hard failure on any non-success answer.
+    pub fn get_json(&mut self, target: &str) -> Result<serde::Value, String> {
+        let (status, body) = self.get(target).map_err(|e| format!("GET {target}: {e}"))?;
+        let text = String::from_utf8(body).map_err(|e| format!("GET {target}: {e}"))?;
+        if status != 200 {
+            return Err(format!("GET {target}: status {status}: {text}"));
+        }
+        serde_json::from_str(&text).map_err(|e| format!("GET {target}: bad JSON: {e}"))
+    }
+}
+
+/// One-shot convenience: connect, `GET target`, parse JSON, close.
+pub fn get_json_once(addr: SocketAddr, target: &str) -> Result<serde::Value, String> {
+    HttpClient::new(addr).get_json(target)
+}

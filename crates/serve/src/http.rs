@@ -1,0 +1,602 @@
+//! Hand-rolled HTTP/1.1 message layer over `std::io`.
+//!
+//! The workspace vendors every external dependency, so the serving layer
+//! speaks HTTP the same way: a small, defensive parser on top of
+//! [`BufRead`] with explicit size limits, no allocations proportional to
+//! attacker-controlled numbers, and clean error values for every malformed
+//! input (the accept loop must never panic on wire data).
+//!
+//! Supported surface: `GET`/`POST`/`HEAD` request lines, `HTTP/1.0` and
+//! `HTTP/1.1`, `Content-Length` bodies (no chunked transfer coding),
+//! keep-alive with pipelining (the parser reads exactly one message per
+//! call, leaving the next pipelined request in the buffer).
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Size and count limits applied while parsing one request.
+#[derive(Debug, Clone)]
+pub struct HttpLimits {
+    /// Maximum request-line length in bytes (default 8 KiB).
+    pub max_request_line: usize,
+    /// Maximum number of header fields (default 64).
+    pub max_headers: usize,
+    /// Maximum length of one header line in bytes (default 8 KiB).
+    pub max_header_line: usize,
+    /// Maximum `Content-Length` accepted (default 1 MiB).
+    pub max_body: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        Self {
+            max_request_line: 8 * 1024,
+            max_headers: 64,
+            max_header_line: 8 * 1024,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// Everything that can go wrong reading one HTTP message.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically malformed request line, header or body framing.
+    BadRequest(String),
+    /// The request line or a header exceeds the configured limits.
+    TooLarge(&'static str),
+    /// `Content-Length` exceeds [`HttpLimits::max_body`].
+    BodyTooLarge {
+        /// The advertised length.
+        length: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// A method this server does not implement.
+    UnsupportedMethod(String),
+    /// An HTTP version other than 1.0/1.1.
+    UnsupportedVersion(String),
+    /// The peer closed the connection in the middle of a message.
+    UnexpectedEof,
+    /// The socket timed out with no bytes of a new message read yet — the
+    /// connection is merely idle, not broken (keep-alive loops poll on it).
+    Idle,
+    /// Transport error.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The response status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::TooLarge(_) => 431,
+            HttpError::BodyTooLarge { .. } => 413,
+            HttpError::UnsupportedMethod(_) => 405,
+            HttpError::UnsupportedVersion(_) => 505,
+            HttpError::UnexpectedEof | HttpError::Idle | HttpError::Io(_) => 400,
+        }
+    }
+
+    /// True if a response can still be written on the connection (the
+    /// request was framed well enough to answer; transport-level failures
+    /// cannot be answered).
+    pub fn respondable(&self) -> bool {
+        !matches!(
+            self,
+            HttpError::UnexpectedEof | HttpError::Idle | HttpError::Io(_)
+        )
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HttpError::TooLarge(what) => write!(f, "{what} exceeds the configured limit"),
+            HttpError::BodyTooLarge { length, limit } => {
+                write!(f, "content-length {length} exceeds the {limit}-byte limit")
+            }
+            HttpError::UnsupportedMethod(m) => write!(f, "method `{m}` not supported"),
+            HttpError::UnsupportedVersion(v) => write!(f, "version `{v}` not supported"),
+            HttpError::UnexpectedEof => write!(f, "connection closed mid-request"),
+            HttpError::Idle => write!(f, "connection idle"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method token (`GET`, `POST`, `HEAD`).
+    pub method: String,
+    /// Percent-decoded path component of the target (always starts with `/`).
+    pub path: String,
+    /// Decoded `key=value` query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header fields with lower-cased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+    /// True for HTTP/1.1, false for HTTP/1.0.
+    pub http11: bool,
+}
+
+impl Request {
+    /// The first header value under `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first query parameter under `name`, if any.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this exchange:
+    /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and an explicit
+    /// `Connection` header overrides either way.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Reads one line (terminated by `\n`; a trailing `\r` is stripped) of at
+/// most `limit` bytes.  Returns `Ok(None)` on EOF *before any byte*, and
+/// distinguishes an idle timeout (no bytes yet) from one mid-line.
+fn read_line_limited<R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+    what: &'static str,
+) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if line.is_empty() {
+                    return Err(HttpError::Idle);
+                }
+                return Err(HttpError::UnexpectedEof);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::ConnectionAborted
+                ) =>
+            {
+                // A reset with no bytes of a message is a clean-enough close;
+                // mid-message it is a truncated request.
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::UnexpectedEof);
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        if available.is_empty() {
+            // EOF.
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::UnexpectedEof);
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map(|i| i + 1).unwrap_or(available.len());
+        if line.len() + take > limit + 2 {
+            // +2 tolerates the CRLF itself on an exactly-limit-sized line.
+            return Err(HttpError::TooLarge(what));
+        }
+        line.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            line.pop(); // the \n
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(Some(line));
+        }
+    }
+}
+
+/// Decodes `%XX` escapes and `+`-as-space in a URL component.  Invalid
+/// escapes are passed through literally (never an error — query strings are
+/// attacker-controlled and handlers validate values anyway).
+fn percent_decode(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| std::str::from_utf8(h).ok()) {
+                    Some(h) => match u8::from_str_radix(h, 16) {
+                        Ok(byte) => {
+                            out.push(byte);
+                            i += 3;
+                        }
+                        Err(_) => {
+                            out.push(b'%');
+                            i += 1;
+                        }
+                    },
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a request target into the decoded path and query pairs.
+fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), HttpError> {
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "request target must start with `/`, got `{target}`"
+        )));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = raw_query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (percent_decode(k), percent_decode(v))
+        })
+        .collect();
+    Ok((percent_decode(raw_path), query))
+}
+
+/// Reads one request from `reader` under `limits`.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly before
+/// sending any byte (the normal end of a keep-alive session), and exactly
+/// one message per call otherwise — pipelined requests queued behind it stay
+/// buffered for the next call.
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    limits: &HttpLimits,
+) -> Result<Option<Request>, HttpError> {
+    let line = match read_line_limited(reader, limits.max_request_line, "request line")? {
+        None => return Ok(None),
+        Some(line) => line,
+    };
+    let line = String::from_utf8(line)
+        .map_err(|_| HttpError::BadRequest("request line is not UTF-8".into()))?;
+    let mut parts = line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line `{}`",
+                line.escape_default()
+            )))
+        }
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => return Err(HttpError::UnsupportedVersion(other.to_string())),
+    };
+    match method {
+        "GET" | "POST" | "HEAD" => {}
+        other if other.chars().all(|c| c.is_ascii_uppercase()) => {
+            return Err(HttpError::UnsupportedMethod(other.to_string()))
+        }
+        other => {
+            return Err(HttpError::BadRequest(format!(
+                "invalid method token `{}`",
+                other.escape_default()
+            )))
+        }
+    }
+    let (path, query) = parse_target(target)?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_limited(reader, limits.max_header_line, "header line")?
+            .ok_or(HttpError::UnexpectedEof)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() == limits.max_headers {
+            return Err(HttpError::TooLarge("header count"));
+        }
+        let line = String::from_utf8(line)
+            .map_err(|_| HttpError::BadRequest("header is not UTF-8".into()))?;
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            HttpError::BadRequest(format!("header without `:`: `{}`", line.escape_default()))
+        })?;
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Err(HttpError::BadRequest(format!(
+                "invalid header name `{}`",
+                name.escape_default()
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+        http11,
+    };
+    if let Some(te) = request.header("transfer-encoding") {
+        return Err(HttpError::BadRequest(format!(
+            "transfer-encoding `{te}` not supported (use content-length)"
+        )));
+    }
+    if let Some(raw) = request.header("content-length") {
+        let length: usize = raw.parse().map_err(|_| {
+            HttpError::BadRequest(format!("invalid content-length `{}`", raw.escape_default()))
+        })?;
+        if length > limits.max_body {
+            return Err(HttpError::BodyTooLarge {
+                length,
+                limit: limits.max_body,
+            });
+        }
+        let mut body = vec![0u8; length];
+        let mut read = 0;
+        while read < length {
+            match reader.read(&mut body[read..]) {
+                Ok(0) => return Err(HttpError::UnexpectedEof),
+                Ok(n) => read += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::ConnectionAborted
+                    ) =>
+                {
+                    return Err(HttpError::UnexpectedEof)
+                }
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        }
+        request.body = body;
+    }
+    Ok(Some(request))
+}
+
+/// An outgoing response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body bytes (JSON for every endpoint of this server).
+    pub body: Vec<u8>,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Whether the connection stays open after this response.
+    pub keep_alive: bool,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            body: body.into(),
+            content_type: "application/json",
+            keep_alive: true,
+        }
+    }
+}
+
+/// The canonical reason phrase of the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes `response` onto `writer` (HTTP/1.1, explicit content length
+/// and connection token).
+pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if response.keep_alive {
+            "keep-alive"
+        } else {
+            "close"
+        },
+    )?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+/// Reads one response (status code + body) from `reader` — the client half
+/// of the protocol, used by the load generator and the tests.
+pub fn read_response<R: BufRead>(
+    reader: &mut R,
+    limits: &HttpLimits,
+) -> Result<(u16, Vec<u8>), HttpError> {
+    let line = read_line_limited(reader, limits.max_request_line, "status line")?
+        .ok_or(HttpError::UnexpectedEof)?;
+    let line = String::from_utf8(line)
+        .map_err(|_| HttpError::BadRequest("status line is not UTF-8".into()))?;
+    let mut parts = line.split_ascii_whitespace();
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "malformed status line `{}`",
+            line.escape_default()
+        )));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::BadRequest(format!("missing status code in `{line}`")))?;
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line_limited(reader, limits.max_header_line, "header line")?
+            .ok_or(HttpError::UnexpectedEof)?;
+        if line.is_empty() {
+            break;
+        }
+        let line = String::from_utf8_lossy(&line).into_owned();
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    HttpError::BadRequest(format!("invalid content-length `{value}`"))
+                })?;
+                if content_length > limits.max_body {
+                    return Err(HttpError::BodyTooLarge {
+                        length: content_length,
+                        limit: limits.max_body,
+                    });
+                }
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    let mut read = 0;
+    while read < content_length {
+        match reader.read(&mut body[read..]) {
+            Ok(0) => return Err(HttpError::UnexpectedEof),
+            Ok(n) => read += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Option<Request>, HttpError> {
+        let mut reader = BufReader::new(text.as_bytes());
+        read_request(&mut reader, &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.query.is_empty());
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.keep_alive());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_query_parameters_with_percent_decoding() {
+        let req = parse("GET /ppr?source=42&mode=push&x=a%20b+c HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.query_param("source"), Some("42"));
+        assert_eq!(req.query_param("mode"), Some("push"));
+        assert_eq!(req.query_param("x"), Some("a b c"));
+        assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
+    fn clean_eof_returns_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive());
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive());
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn reads_content_length_bodies() {
+        let req = parse("POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut wire = Vec::new();
+        let resp = Response {
+            keep_alive: false,
+            ..Response::json(200, r#"{"ok":true}"#.as_bytes().to_vec())
+        };
+        write_response(&mut wire, &resp).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let (status, body) = read_response(&mut reader, &HttpLimits::default()).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, br#"{"ok":true}"#);
+    }
+}

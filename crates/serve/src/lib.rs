@@ -1,0 +1,50 @@
+//! # nrp-serve — online embedding/PPR serving
+//!
+//! The offline pipeline (`nrp-core`) produces embeddings; this crate is the
+//! *online* half: a long-lived process that loads a graph and a precomputed
+//! [`Embedding`](nrp_core::Embedding), keeps a warm worker pool, and
+//! answers queries over HTTP/1.1 — hand-rolled on `std::net`, zero
+//! external dependencies, matching the workspace's vendored-only policy.
+//!
+//! ## Endpoints
+//!
+//! - `GET /ppr?source=…[&alpha=…&r_max=…&mode=push|exact&top=…]` —
+//!   single-source PPR through the request batcher and hot-source cache.
+//! - `GET /knn?source=…&k=…` — top-K neighbours by embedding score.
+//! - `GET /recommend?source=…&k=…` — top-K *unlinked* candidates.
+//! - `GET /healthz`, `GET /stats` — liveness and counters.
+//!
+//! ## Production concerns reproduced here
+//!
+//! - **Request batching** ([`batcher`]): concurrent `/ppr` queries coalesce
+//!   into one multi-source dispatch over the shared
+//!   [`WorkerPool`](nrp_core::context::EmbedContext), reusing per-worker
+//!   push workspaces.
+//! - **Hot-source caching** ([`cache`]): slab-backed LRU keyed by the exact
+//!   bit patterns of the query parameters, with hit/miss counters.
+//! - **Graceful shutdown** ([`server`]): in-flight requests drain before
+//!   [`Server::shutdown`] returns.
+//! - **Determinism**: a `/ppr` answer is bitwise identical whether it came
+//!   from the cache, a coalesced batch, or a direct library call — floats
+//!   survive the JSON wire via shortest-round-trip formatting.
+//!
+//! The `bench_serve` binary in `nrp-bench` drives this server with a
+//! Zipf-skewed closed-loop load and reports p50/p99 latency and qps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cache;
+pub mod client;
+pub mod config;
+pub mod fixture;
+pub mod http;
+pub mod server;
+
+pub use batcher::{Batcher, PprAnswer};
+pub use cache::{CacheKey, CacheSnapshot, PprCache};
+pub use client::{get_json_once, HttpClient};
+pub use config::ServeConfig;
+pub use fixture::fixture;
+pub use server::{ServeState, Server};

@@ -1,0 +1,639 @@
+//! The long-lived server: shared state, the endpoint router and the
+//! accept loop with graceful drain-on-shutdown.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint     | Parameters | Answer |
+//! |--------------|------------|--------|
+//! | `GET /healthz` | — | liveness + graph size |
+//! | `GET /stats` | — | cache/batch/request counters, uptime |
+//! | `GET /ppr` | `source` (required), `alpha`, `r_max`, `mode=push\|exact`, `top` | single-source PPR through the batcher + cache |
+//! | `GET /knn` | `source` (required), `k` | top-K nearest neighbours by embedding score |
+//! | `GET /recommend` | `source` (required), `k` | top-K *unlinked* candidates (link prediction) |
+//!
+//! Every response is JSON.  `/ppr` answers are **bitwise identical** to
+//! calling [`forward_push`](nrp_core::push::forward_push) /
+//! [`single_source_ppr`](nrp_core::ppr::single_source_ppr) directly,
+//! whether they came from the cache, a coalesced batch or a fresh
+//! computation — the vendored JSON printer renders finite `f64`s with
+//! Rust's shortest-round-trip formatting, so the contract survives the
+//! wire.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nrp_core::{EmbedContext, Embedding};
+use nrp_graph::{Graph, GraphKind};
+
+use crate::batcher::Batcher;
+use crate::cache::{CacheKey, PprCache};
+use crate::config::ServeConfig;
+use crate::http::{read_request, write_response, HttpLimits, Request, Response};
+
+/// How often an idle keep-alive connection polls the shutdown flag.  The
+/// socket read timeout is this poll interval, not the configured idle
+/// timeout, so shutdown never waits longer than one tick on idle peers.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// Per-endpoint request counters.
+#[derive(Debug, Default)]
+pub struct RequestCounters {
+    /// Total requests parsed.
+    pub total: AtomicU64,
+    /// `/healthz` hits.
+    pub healthz: AtomicU64,
+    /// `/stats` hits.
+    pub stats: AtomicU64,
+    /// `/ppr` hits.
+    pub ppr: AtomicU64,
+    /// `/knn` hits.
+    pub knn: AtomicU64,
+    /// `/recommend` hits.
+    pub recommend: AtomicU64,
+    /// Responses with a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// Requests rejected at the HTTP layer (malformed, oversized, …).
+    pub bad_requests: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+/// Everything the handlers share: the graph, the (optional) embedding, the
+/// cache, the batching dispatcher and the counters.
+pub struct ServeState {
+    graph: Arc<Graph>,
+    embedding: Option<Arc<Embedding>>,
+    config: ServeConfig,
+    cache: Arc<Mutex<PprCache>>,
+    batcher: Batcher,
+    counters: RequestCounters,
+    started: Instant,
+}
+
+impl ServeState {
+    /// Assembles the state: builds the cache, spawns the batching
+    /// dispatcher on a warm [`EmbedContext`] worker pool sized by
+    /// `config.threads`.
+    pub fn new(graph: Graph, embedding: Option<Embedding>, config: ServeConfig) -> Self {
+        let graph = Arc::new(graph);
+        let cache = Arc::new(Mutex::new(PprCache::new(config.cache_capacity)));
+        let ctx = EmbedContext::new().with_threads(config.threads);
+        let batcher = Batcher::new(
+            Arc::clone(&graph),
+            config.dangling,
+            ctx,
+            Arc::clone(&cache),
+            config.max_batch,
+        );
+        Self {
+            graph,
+            embedding: embedding.map(Arc::new),
+            config,
+            cache,
+            batcher,
+            counters: RequestCounters::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The graph being served.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The HTTP parsing limits derived from the configuration.
+    pub fn limits(&self) -> HttpLimits {
+        HttpLimits {
+            max_body: self.config.max_body_bytes,
+            ..HttpLimits::default()
+        }
+    }
+
+    /// Routes one parsed request to its handler.
+    pub fn handle(&self, request: &Request) -> Response {
+        self.counters.total.fetch_add(1, Ordering::Relaxed);
+        let response = match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => {
+                self.counters.healthz.fetch_add(1, Ordering::Relaxed);
+                self.handle_healthz()
+            }
+            ("GET", "/stats") => {
+                self.counters.stats.fetch_add(1, Ordering::Relaxed);
+                self.handle_stats()
+            }
+            ("GET", "/ppr") => {
+                self.counters.ppr.fetch_add(1, Ordering::Relaxed);
+                self.handle_ppr(request)
+            }
+            ("GET", "/knn") => {
+                self.counters.knn.fetch_add(1, Ordering::Relaxed);
+                self.handle_topk(request, false)
+            }
+            ("GET", "/recommend") => {
+                self.counters.recommend.fetch_add(1, Ordering::Relaxed);
+                self.handle_topk(request, true)
+            }
+            (_, "/healthz" | "/stats" | "/ppr" | "/knn" | "/recommend") => {
+                error_response(405, "only GET is supported")
+            }
+            _ => error_response(404, &format!("no such endpoint `{}`", request.path)),
+        };
+        if response.status >= 400 {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        response
+    }
+
+    fn handle_healthz(&self) -> Response {
+        let mut object = serde::Map::new();
+        object.insert("status", serde::Value::String("ok".into()));
+        object.insert("nodes", serde::Serialize::to_value(&self.graph.num_nodes()));
+        object.insert(
+            "uptime_secs",
+            serde::Serialize::to_value(&self.started.elapsed().as_secs_f64()),
+        );
+        json_response(200, serde::Value::Object(object))
+    }
+
+    fn handle_stats(&self) -> Response {
+        let cache = self.cache.lock().expect("ppr cache lock").snapshot();
+        let batch = self.batcher.snapshot();
+        let c = &self.counters;
+        let mut cache_object = serde::Map::new();
+        cache_object.insert("hits", serde::Serialize::to_value(&cache.hits));
+        cache_object.insert("misses", serde::Serialize::to_value(&cache.misses));
+        cache_object.insert("insertions", serde::Serialize::to_value(&cache.insertions));
+        cache_object.insert("evictions", serde::Serialize::to_value(&cache.evictions));
+        cache_object.insert("len", serde::Serialize::to_value(&cache.len));
+        cache_object.insert("capacity", serde::Serialize::to_value(&cache.capacity));
+        let mut batch_object = serde::Map::new();
+        batch_object.insert("batches", serde::Serialize::to_value(&batch.batches));
+        batch_object.insert("jobs", serde::Serialize::to_value(&batch.jobs));
+        batch_object.insert("coalesced", serde::Serialize::to_value(&batch.coalesced));
+        batch_object.insert("max_batch", serde::Serialize::to_value(&batch.max_batch));
+        batch_object.insert("computed", serde::Serialize::to_value(&batch.computed));
+        let mut requests = serde::Map::new();
+        for (name, counter) in [
+            ("total", &c.total),
+            ("healthz", &c.healthz),
+            ("stats", &c.stats),
+            ("ppr", &c.ppr),
+            ("knn", &c.knn),
+            ("recommend", &c.recommend),
+            ("errors", &c.errors),
+            ("bad_requests", &c.bad_requests),
+            ("connections", &c.connections),
+        ] {
+            requests.insert(
+                name,
+                serde::Serialize::to_value(&counter.load(Ordering::Relaxed)),
+            );
+        }
+        let mut graph_object = serde::Map::new();
+        graph_object.insert("nodes", serde::Serialize::to_value(&self.graph.num_nodes()));
+        graph_object.insert("arcs", serde::Serialize::to_value(&self.graph.num_arcs()));
+        graph_object.insert(
+            "kind",
+            serde::Value::String(
+                match self.graph.kind() {
+                    GraphKind::Directed => "directed",
+                    GraphKind::Undirected => "undirected",
+                }
+                .into(),
+            ),
+        );
+        let mut embedding_object = serde::Map::new();
+        embedding_object.insert("loaded", serde::Value::Bool(self.embedding.is_some()));
+        if let Some(embedding) = &self.embedding {
+            embedding_object.insert("method", serde::Value::String(embedding.method().into()));
+            embedding_object.insert(
+                "dimension",
+                serde::Serialize::to_value(&embedding.dimension()),
+            );
+        }
+        let mut object = serde::Map::new();
+        object.insert(
+            "uptime_secs",
+            serde::Serialize::to_value(&self.started.elapsed().as_secs_f64()),
+        );
+        object.insert("threads", serde::Serialize::to_value(&self.config.threads));
+        object.insert("graph", serde::Value::Object(graph_object));
+        object.insert("embedding", serde::Value::Object(embedding_object));
+        object.insert("cache", serde::Value::Object(cache_object));
+        object.insert("batch", serde::Value::Object(batch_object));
+        object.insert("requests", serde::Value::Object(requests));
+        json_response(200, serde::Value::Object(object))
+    }
+
+    fn handle_ppr(&self, request: &Request) -> Response {
+        let source = match self.parse_source(request) {
+            Ok(source) => source,
+            Err(response) => return *response,
+        };
+        let alpha = match parse_float(request, "alpha", self.config.alpha) {
+            Ok(v) => v,
+            Err(response) => return *response,
+        };
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return error_response(400, &format!("`alpha` must be in (0,1), got {alpha}"));
+        }
+        let r_max = match parse_float(request, "r_max", self.config.r_max) {
+            Ok(v) => v,
+            Err(response) => return *response,
+        };
+        if r_max <= 0.0 {
+            return error_response(400, &format!("`r_max` must be positive, got {r_max}"));
+        }
+        let exact = match request.query_param("mode").unwrap_or("push") {
+            "push" => false,
+            "exact" => true,
+            other => {
+                return error_response(400, &format!("`mode` must be push|exact, got `{other}`"))
+            }
+        };
+        let top = match request.query_param("top") {
+            None => None,
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    return error_response(
+                        400,
+                        &format!("`top` must be a non-negative integer, got `{raw}`"),
+                    )
+                }
+            },
+        };
+
+        let key = CacheKey::new(source, alpha, r_max, exact);
+        let answer = match self.batcher.submit(key) {
+            Ok(answer) => answer,
+            Err(message) => return error_response(503, &message),
+        };
+
+        let mut object = serde::Map::new();
+        object.insert("source", serde::Serialize::to_value(&source));
+        object.insert("alpha", serde::Serialize::to_value(&alpha));
+        object.insert("r_max", serde::Serialize::to_value(&r_max));
+        object.insert(
+            "mode",
+            serde::Value::String(if exact { "exact" } else { "push" }.into()),
+        );
+        if exact {
+            let dense = answer.dense.as_deref().unwrap_or_default();
+            match top {
+                // The full dense vector: the shortest-round-trip float
+                // printer keeps this bitwise faithful.
+                None => object.insert("vector", serde::Serialize::to_value(&dense.to_vec())),
+                Some(k) => {
+                    let entries: Vec<(u32, f64)> = dense
+                        .iter()
+                        .enumerate()
+                        .map(|(v, &p)| (v as u32, p))
+                        .collect();
+                    object.insert("entries", entries_value(top_entries(entries, k)))
+                }
+            };
+        } else {
+            object.insert(
+                "residual_mass",
+                serde::Serialize::to_value(&answer.residual_mass),
+            );
+            object.insert("num_pushes", serde::Serialize::to_value(&answer.num_pushes));
+            let entries = match top {
+                None => entries_value(answer.entries.clone()),
+                Some(k) => entries_value(top_entries(answer.entries.clone(), k)),
+            };
+            object.insert("entries", entries);
+        }
+        json_response(200, serde::Value::Object(object))
+    }
+
+    /// `/knn` (`unlinked_only == false`) and `/recommend` (`true`): top-K by
+    /// forward·backward score, ties broken by ascending node id.
+    fn handle_topk(&self, request: &Request, unlinked_only: bool) -> Response {
+        let embedding = match &self.embedding {
+            Some(embedding) => embedding,
+            None => {
+                return error_response(
+                    409,
+                    "no embedding loaded (start the server with an `embedding` path)",
+                )
+            }
+        };
+        let source = match self.parse_source(request) {
+            Ok(source) => source,
+            Err(response) => return *response,
+        };
+        let k = match request.query_param("k") {
+            None => 10usize,
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(v) if v > 0 => v,
+                _ => {
+                    return error_response(
+                        400,
+                        &format!("`k` must be a positive integer, got `{raw}`"),
+                    )
+                }
+            },
+        };
+        let n = self.graph.num_nodes();
+        let mut scored: Vec<(u32, f64)> = Vec::with_capacity(n.saturating_sub(1));
+        for v in 0..n as u32 {
+            if v == source {
+                continue;
+            }
+            if unlinked_only && self.graph.has_arc(source, v) {
+                continue;
+            }
+            scored.push((v, embedding.score(source, v)));
+        }
+        let top = top_entries(scored, k);
+        let mut object = serde::Map::new();
+        object.insert("source", serde::Serialize::to_value(&source));
+        object.insert("k", serde::Serialize::to_value(&k));
+        object.insert(
+            if unlinked_only {
+                "recommendations"
+            } else {
+                "neighbors"
+            },
+            entries_value(top),
+        );
+        json_response(200, serde::Value::Object(object))
+    }
+
+    fn parse_source(&self, request: &Request) -> Result<u32, Box<Response>> {
+        let raw = request
+            .query_param("source")
+            .ok_or_else(|| Box::new(error_response(400, "missing required parameter `source`")))?;
+        let source: u32 = raw.parse().map_err(|_| {
+            Box::new(error_response(
+                400,
+                &format!("`source` must be a node id, got `{raw}`"),
+            ))
+        })?;
+        let n = self.graph.num_nodes();
+        if source as usize >= n {
+            return Err(Box::new(error_response(
+                400,
+                &format!("`source` {source} out of bounds for {n} nodes"),
+            )));
+        }
+        Ok(source)
+    }
+}
+
+/// Parses an optional float query parameter, falling back to `default`.
+/// Non-finite values are rejected (they would poison cache keys).
+fn parse_float(request: &Request, name: &str, default: f64) -> Result<f64, Box<Response>> {
+    match request.query_param(name) {
+        None => Ok(default),
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(v),
+            _ => Err(Box::new(error_response(
+                400,
+                &format!("`{name}` must be a finite number, got `{raw}`"),
+            ))),
+        },
+    }
+}
+
+/// Sorts `(node, score)` pairs by score descending, node ascending, and
+/// keeps the first `k`.  Scores are finite (embeddings and PPR vectors are
+/// finiteness-checked upstream), so `total_cmp` is a plain ordering here.
+fn top_entries(mut entries: Vec<(u32, f64)>, k: usize) -> Vec<(u32, f64)> {
+    entries.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    entries.truncate(k);
+    entries
+}
+
+fn entries_value(entries: Vec<(u32, f64)>) -> serde::Value {
+    serde::Value::Array(
+        entries
+            .into_iter()
+            .map(|(node, score)| {
+                serde::Value::Array(vec![
+                    serde::Serialize::to_value(&node),
+                    serde::Serialize::to_value(&score),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn json_response(status: u16, value: serde::Value) -> Response {
+    let body = serde_json::to_string(&value).expect("handler values serialize to JSON");
+    Response::json(status, body.into_bytes())
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    let mut object = serde::Map::new();
+    object.insert("error", serde::Value::String(message.to_string()));
+    json_response(status, serde::Value::Object(object))
+}
+
+/// The running server: an accept loop plus one thread per connection.
+///
+/// [`Server::shutdown`] is graceful: the listener stops accepting, every
+/// connection finishes the request it is currently serving (idle keep-alive
+/// peers are closed at the next [`IDLE_POLL`] tick), the batcher drains its
+/// queue, and only then does the call return.
+pub struct Server {
+    state: Arc<ServeState>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `state.config().addr` and starts accepting.
+    pub fn start(state: ServeState) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&state.config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(state);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Mutex::new(Vec::<JoinHandle<()>>::new()));
+
+        let accept_state = Arc::clone(&state);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_connections = Arc::clone(&connections);
+        let accept_thread = std::thread::Builder::new()
+            .name("nrp-serve-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match stream {
+                        Ok(stream) => stream,
+                        Err(_) => continue,
+                    };
+                    accept_state
+                        .counters
+                        .connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let conn_state = Arc::clone(&accept_state);
+                    let conn_shutdown = Arc::clone(&accept_shutdown);
+                    let handle = std::thread::Builder::new()
+                        .name("nrp-serve-conn".into())
+                        .spawn(move || handle_connection(conn_state, stream, conn_shutdown))
+                        .expect("spawning a connection thread");
+                    let mut guard = accept_connections.lock().expect("connection list lock");
+                    // Opportunistically reap finished threads so the list
+                    // does not grow with connection count.
+                    guard.retain(|h| !h.is_finished());
+                    guard.push(handle);
+                }
+            })?;
+
+        Ok(Self {
+            state,
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (counters, cache snapshots) for introspection.
+    pub fn state(&self) -> &ServeState {
+        &self.state
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests, stop
+    /// the batcher, join every thread.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.connections.lock().expect("connection list lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.state.batcher.shutdown();
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // `accept` blocks with no timeout; a self-connection wakes it so it
+        // can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped (not shut down) server still stops its threads, just
+        // without blocking on the joins it cannot perform here.
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// One connection: keep-alive loop reading requests (pipelining falls out
+/// of reading exactly one message per iteration) until close, error, idle
+/// timeout or shutdown.  Malformed input gets an error *response* where the
+/// framing allows one; the thread never panics on wire data.
+fn handle_connection(state: Arc<ServeState>, stream: TcpStream, shutdown: Arc<AtomicBool>) {
+    let limits = state.limits();
+    let idle_timeout = Duration::from_millis(state.config.read_timeout_ms.max(1));
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return;
+    }
+    // Without TCP_NODELAY, Nagle + the peer's delayed ACK turns every
+    // response into a ~40ms stall — it dominated p50 before this line.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut idle_deadline = Instant::now() + idle_timeout;
+    loop {
+        match read_request(&mut reader, &limits) {
+            Ok(None) => break,
+            Ok(Some(request)) => {
+                let mut response = state.handle(&request);
+                // Draining: answer the request in hand, then close.
+                response.keep_alive =
+                    response.keep_alive && request.keep_alive() && !shutdown.load(Ordering::SeqCst);
+                if write_response(&mut writer, &response).is_err() {
+                    break;
+                }
+                if !response.keep_alive {
+                    break;
+                }
+                idle_deadline = Instant::now() + idle_timeout;
+            }
+            Err(error) => {
+                if matches!(error, crate::http::HttpError::Idle) {
+                    if shutdown.load(Ordering::SeqCst) || Instant::now() >= idle_deadline {
+                        break;
+                    }
+                    continue;
+                }
+                state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                if error.respondable() {
+                    let mut response = error_response(error.status(), &error.to_string());
+                    response.keep_alive = false;
+                    if write_response(&mut writer, &response).is_ok() {
+                        // Lingering close: drain whatever the peer is still
+                        // sending (e.g. the rest of an oversized header)
+                        // before closing, so the kernel does not reset the
+                        // connection and destroy the error response in
+                        // flight.
+                        drain_to_eof(&mut reader);
+                    }
+                }
+                break;
+            }
+        }
+    }
+    let _ = writer.flush();
+}
+
+/// Reads and discards input until EOF, a hard error, a byte cap, or a short
+/// deadline — whichever comes first.  See the lingering-close comment at
+/// the call site.
+fn drain_to_eof<R: std::io::Read>(reader: &mut R) {
+    let mut buffer = [0u8; 4096];
+    let mut remaining: usize = 256 * 1024;
+    let deadline = Instant::now() + Duration::from_millis(500);
+    while remaining > 0 && Instant::now() < deadline {
+        match reader.read(&mut buffer) {
+            Ok(0) => break,
+            Ok(n) => remaining = remaining.saturating_sub(n),
+            // The socket has a short read timeout (IDLE_POLL); keep
+            // draining until the overall deadline.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! End-to-end tests over real TCP: HTTP parser abuse (the accept loop must
+//! survive anything a confused or hostile client sends), the bitwise
+//! determinism contract for `/ppr`, endpoint semantics, and graceful
+//! shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+
+use nrp_core::ppr::single_source_ppr_with_policy;
+use nrp_core::push::forward_push_with_policy;
+use nrp_serve::{fixture, HttpClient, ServeConfig, ServeState, Server};
+
+const FIXTURE_NODES: usize = 120;
+const FIXTURE_SEED: u64 = 11;
+
+fn fixture_parts() -> &'static (nrp_graph::Graph, nrp_core::Embedding) {
+    static FIXTURE: OnceLock<(nrp_graph::Graph, nrp_core::Embedding)> = OnceLock::new();
+    FIXTURE.get_or_init(|| fixture(FIXTURE_NODES, FIXTURE_SEED))
+}
+
+fn start_server(config: ServeConfig) -> Server {
+    let (graph, embedding) = fixture_parts().clone();
+    Server::start(ServeState::new(graph, Some(embedding), config)).expect("server starts")
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        // Short idle timeout so tests that wait for server-side closes
+        // finish quickly.
+        read_timeout_ms: 500,
+        ..ServeConfig::default()
+    }
+}
+
+/// Writes `payload` raw, then reads until the server closes the connection.
+fn raw_exchange(server: &Server, payload: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    // Writes and the half-close may race a server-side close (it stops
+    // reading as soon as it decides to reject); losing that race is fine —
+    // the response, if owed, is still readable below.
+    let _ = stream.write_all(payload);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response);
+    response
+}
+
+fn status_of(response: &[u8]) -> &str {
+    let text = std::str::from_utf8(response).expect("response is UTF-8");
+    let mut parts = text.split_ascii_whitespace();
+    assert_eq!(parts.next(), Some("HTTP/1.1"), "response: {text:?}");
+    parts.next().expect("status code")
+}
+
+#[test]
+fn malformed_input_never_kills_the_accept_loop() {
+    let server = start_server(test_config());
+
+    // 1. Garbage request line -> 400.
+    let response = raw_exchange(&server, b"COMPLETE NONSENSE\r\n\r\n");
+    assert_eq!(status_of(&response), "400");
+
+    // 2. Unsupported method -> 405.
+    let response = raw_exchange(&server, b"BREW /coffee HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&response), "405");
+
+    // 3. Oversized header line -> 431.
+    let huge = format!(
+        "GET /healthz HTTP/1.1\r\nx-padding: {}\r\n\r\n",
+        "a".repeat(32 * 1024)
+    );
+    let response = raw_exchange(&server, huge.as_bytes());
+    assert_eq!(status_of(&response), "431");
+
+    // 4. Too many headers -> 431.
+    let mut many = String::from("GET /healthz HTTP/1.1\r\n");
+    for i in 0..200 {
+        many.push_str(&format!("x-h{i}: v\r\n"));
+    }
+    many.push_str("\r\n");
+    let response = raw_exchange(&server, many.as_bytes());
+    assert_eq!(status_of(&response), "431");
+
+    // 5. Declared body larger than the cap -> 413.
+    let response = raw_exchange(
+        &server,
+        b"POST /ppr HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n",
+    );
+    assert_eq!(status_of(&response), "413");
+
+    // 6. Truncated body: the peer promises 50 bytes, sends 5 and closes.
+    // No response is owed on a half-delivered message; the server must
+    // just close without panicking.
+    let _ = raw_exchange(
+        &server,
+        b"POST /ppr HTTP/1.1\r\ncontent-length: 50\r\n\r\nhello",
+    );
+
+    // 7. Connection dropped mid-request-line.
+    {
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.write_all(b"GET /heal").expect("write");
+        drop(stream);
+    }
+
+    // 8. Pipelined requests: two messages in one write, two responses back.
+    let double = b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n";
+    let response = raw_exchange(&server, &double[..]);
+    let text = std::str::from_utf8(&response).unwrap();
+    assert_eq!(
+        text.matches("HTTP/1.1 200").count(),
+        2,
+        "both pipelined requests answered: {text:?}"
+    );
+
+    // After all of the abuse the server still serves normal traffic.
+    let health = nrp_serve::get_json_once(server.addr(), "/healthz").expect("healthz");
+    assert_eq!(
+        health
+            .as_object()
+            .and_then(|o| o.get("status"))
+            .and_then(|v| v.as_str()),
+        Some("ok")
+    );
+    server.shutdown();
+}
+
+/// The acceptance criterion: a cached `/ppr` answer is bitwise identical to
+/// an uncached direct `single_source_ppr` call, through the JSON wire.
+#[test]
+fn exact_ppr_is_bitwise_identical_to_direct_call_cached_or_not() {
+    let server = start_server(test_config());
+    let (graph, _) = fixture_parts();
+    let config = server.state().config().clone();
+    let mut client = HttpClient::new(server.addr());
+
+    for source in [0u32, 7, 63] {
+        let fetch = |client: &mut HttpClient| -> Vec<f64> {
+            let answer = client
+                .get_json(&format!("/ppr?source={source}&mode=exact"))
+                .expect("/ppr exact");
+            let vector = answer
+                .as_object()
+                .and_then(|o| o.get("vector"))
+                .and_then(|v| v.as_array())
+                .expect("exact answers carry the dense vector");
+            vector
+                .iter()
+                .map(|v| v.as_f64().expect("vector entries are numbers"))
+                .collect()
+        };
+        // First call computes and fills the cache; the second must hit it.
+        let uncached = fetch(&mut client);
+        let cached = fetch(&mut client);
+        let direct = single_source_ppr_with_policy(
+            graph,
+            source,
+            config.alpha,
+            config.r_max,
+            config.dangling,
+        )
+        .expect("direct PPR");
+        assert_eq!(direct.len(), uncached.len());
+        for v in 0..direct.len() {
+            assert_eq!(
+                direct[v].to_bits(),
+                uncached[v].to_bits(),
+                "uncached bitwise mismatch at source {source}, node {v}"
+            );
+            assert_eq!(
+                direct[v].to_bits(),
+                cached[v].to_bits(),
+                "cached bitwise mismatch at source {source}, node {v}"
+            );
+        }
+    }
+    let stats = client.get_json("/stats").expect("/stats");
+    let hits = stats
+        .as_object()
+        .and_then(|o| o.get("cache"))
+        .and_then(|v| v.as_object())
+        .and_then(|o| o.get("hits"))
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert!(hits >= 3, "second fetches were cache hits (hits = {hits})");
+    server.shutdown();
+}
+
+#[test]
+fn push_ppr_matches_forward_push_exactly() {
+    let server = start_server(test_config());
+    let (graph, _) = fixture_parts();
+    let config = server.state().config().clone();
+    let mut client = HttpClient::new(server.addr());
+
+    let source = 5u32;
+    let answer = client
+        .get_json(&format!("/ppr?source={source}"))
+        .expect("/ppr push");
+    let object = answer.as_object().unwrap();
+    let entries: Vec<(u32, f64)> = object
+        .get("entries")
+        .and_then(|v| v.as_array())
+        .expect("push answers carry entries")
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().expect("entry is a [node, value] pair");
+            (
+                pair[0].as_u64().expect("node id") as u32,
+                pair[1].as_f64().expect("estimate"),
+            )
+        })
+        .collect();
+    let direct =
+        forward_push_with_policy(graph, source, config.alpha, config.r_max, config.dangling)
+            .expect("direct push");
+    assert_eq!(entries.len(), direct.estimates.len());
+    for (served, expected) in entries.iter().zip(direct.estimates.iter()) {
+        assert_eq!(served.0, expected.0);
+        assert_eq!(served.1.to_bits(), expected.1.to_bits());
+    }
+    assert_eq!(
+        object.get("num_pushes").and_then(|v| v.as_u64()),
+        Some(direct.num_pushes as u64)
+    );
+    let served_residual = object
+        .get("residual_mass")
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    assert_eq!(served_residual.to_bits(), direct.residual_mass.to_bits());
+    server.shutdown();
+}
+
+#[test]
+fn knn_and_recommend_follow_the_embedding() {
+    let server = start_server(test_config());
+    let (graph, embedding) = fixture_parts();
+    let mut client = HttpClient::new(server.addr());
+
+    let source = 3u32;
+    let knn = client
+        .get_json(&format!("/knn?source={source}&k=5"))
+        .expect("/knn");
+    let neighbors: Vec<(u32, f64)> = knn
+        .as_object()
+        .and_then(|o| o.get("neighbors"))
+        .and_then(|v| v.as_array())
+        .unwrap()
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().unwrap();
+            (pair[0].as_u64().unwrap() as u32, pair[1].as_f64().unwrap())
+        })
+        .collect();
+    assert_eq!(neighbors.len(), 5);
+    assert!(
+        neighbors.windows(2).all(|w| w[0].1 >= w[1].1),
+        "scores descend: {neighbors:?}"
+    );
+    for &(v, score) in &neighbors {
+        assert_ne!(v, source);
+        assert_eq!(score.to_bits(), embedding.score(source, v).to_bits());
+    }
+
+    let rec = client
+        .get_json(&format!("/recommend?source={source}&k=5"))
+        .expect("/recommend");
+    let recommended: Vec<u32> = rec
+        .as_object()
+        .and_then(|o| o.get("recommendations"))
+        .and_then(|v| v.as_array())
+        .unwrap()
+        .iter()
+        .map(|pair| pair.as_array().unwrap()[0].as_u64().unwrap() as u32)
+        .collect();
+    for &v in &recommended {
+        assert!(
+            !graph.has_arc(source, v),
+            "recommendation {v} is already linked"
+        );
+    }
+
+    // Parameter validation surfaces as 4xx JSON errors, not panics.
+    for bad in [
+        "/ppr",
+        "/ppr?source=abc",
+        "/ppr?source=999999",
+        "/ppr?source=0&alpha=2.0",
+        "/ppr?source=0&mode=sideways",
+        "/knn?source=0&k=0",
+        "/nope",
+    ] {
+        let err = client.get_json(bad).expect_err("bad request is rejected");
+        assert!(err.contains("status 4"), "{bad}: {err}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn server_without_embedding_rejects_knn_but_serves_ppr() {
+    let (graph, _) = fixture_parts().clone();
+    let server = Server::start(ServeState::new(graph, None, test_config())).expect("server starts");
+    let mut client = HttpClient::new(server.addr());
+    let err = client.get_json("/knn?source=0").expect_err("no embedding");
+    assert!(err.contains("status 409"), "{err}");
+    client.get_json("/ppr?source=0&top=4").expect("ppr works");
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_stops_accepting() {
+    let server = start_server(test_config());
+    let addr = server.addr();
+    let mut client = HttpClient::new(addr);
+    client.get_json("/healthz").expect("pre-shutdown request");
+    server.shutdown();
+    // After shutdown() returns every thread has been joined; a fresh
+    // request must fail (refused, reset, or EOF — anything but an answer).
+    assert!(HttpClient::new(addr).get_json("/healthz").is_err());
+}
