@@ -235,6 +235,8 @@ pub struct StageClock {
 impl StageClock {
     /// Starts the clock.
     pub fn start() -> Self {
+        // nrp-lint: allow(D002) — StageClock IS the designated timing
+        // facility; it reports durations and never feeds embedding values.
         let now = Instant::now();
         Self {
             started: now,
@@ -252,6 +254,8 @@ impl StageClock {
     /// Closes the current stage under `name`, recording that it ran with
     /// `threads` worker threads, and starts the next one.
     pub fn lap_parallel(&mut self, name: &'static str, threads: usize) {
+        // nrp-lint: allow(D002) — stage timing is observability only; the
+        // recorded durations never influence any computed result.
         let now = Instant::now();
         self.stages.push(StageTiming {
             name,

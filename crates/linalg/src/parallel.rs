@@ -212,14 +212,16 @@ impl WorkerPool {
             return;
         }
         let next = AtomicUsize::new(0);
-        // SAFETY: lifetime erasure only.  The references handed to workers
-        // are valid for the whole dispatch because `DispatchGuard` (dropped
-        // below, also on unwind) clears the job slot and blocks until
-        // `outstanding == 0` — no worker can touch `f` or `next` after that.
         let job = Job {
+            // SAFETY: lifetime erasure only.  The reference handed to workers
+            // is valid for the whole dispatch because `DispatchGuard` (dropped
+            // below, also on unwind) clears the job slot and blocks until
+            // `outstanding == 0` — no worker can touch `f` after that.
             f: unsafe {
                 std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
             },
+            // SAFETY: same erasure, same guarantee — `next` lives on this
+            // stack frame until `DispatchGuard` has drained every worker.
             next: unsafe { std::mem::transmute::<&AtomicUsize, &'static AtomicUsize>(&next) },
             num_chunks,
         };
@@ -578,6 +580,9 @@ struct SendPtr(*mut f64);
 // sub-slices (one per chunk index), and the dispatching call blocks until all
 // workers finished — standard scoped-write discipline.
 unsafe impl Send for SendPtr {}
+// SAFETY: shared access is only ever the `Copy` of the base address itself;
+// every dereference goes through the per-chunk disjoint sub-slices described
+// above, so concurrent `&SendPtr` use cannot alias a write.
 unsafe impl Sync for SendPtr {}
 
 /// Fills a `rows x cols` row-major buffer where **each row is computed

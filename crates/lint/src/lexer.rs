@@ -1,0 +1,493 @@
+//! A hand-rolled Rust lexer, just deep enough for the rule engine.
+//!
+//! The rules in this crate are *token* rules: they need to know that an
+//! `unwrap` identifier is real code and not part of a string literal or a
+//! doc comment, and they need comments preserved (with line numbers) so the
+//! `// SAFETY:` and `// nrp-lint: allow(...)` conventions can be checked.
+//! Full parsing is deliberately out of scope — the workspace vendors every
+//! dependency, so there is no syn/proc-macro2 to lean on, and line/token
+//! scoped rules have proven precise enough for the contracts enforced here
+//! (see `CONTRIBUTING.md`, "Project lints").
+//!
+//! The lexer understands everything that could make a naive text scan lie:
+//! line and (nested) block comments, string/raw-string/byte-string/char
+//! literals, lifetimes vs. char literals, raw identifiers, and numeric
+//! literals (so `0..n` does not glue into a float).
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `[`, `:`, ...).
+    Punct,
+    /// String, char, byte or numeric literal.  `text` keeps the raw source
+    /// so integer literals can be recognised (`P003`).
+    Literal,
+    /// `// ...` comment, doc comments included.  `text` keeps the `//`.
+    LineComment,
+    /// `/* ... */` comment (possibly nested, possibly multi-line).
+    BlockComment,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Raw source text of the token (comments keep their markers; long
+    /// literals keep their quotes).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+
+    /// True for a comment of either flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True for an integer literal (digits with optional `_` separators and
+    /// a type suffix such as `0usize`; hex/octal/binary count too).
+    pub fn is_integer_literal(&self) -> bool {
+        if self.kind != TokKind::Literal {
+            return false;
+        }
+        let mut chars = self.text.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_digit() => {}
+            _ => return false,
+        }
+        // Anything with a decimal point or exponent is a float, not an
+        // index; `0x`/`0b`/`0o` and suffixes remain integers.
+        let text = self.text.as_str();
+        if text.starts_with("0x") || text.starts_with("0X") {
+            return true;
+        }
+        if text.contains('.') {
+            return false;
+        }
+        // An `e`/`E` is an exponent only when followed by a digit or sign;
+        // the `e` inside a type suffix (`0usize`) is not.
+        for (i, c) in text.char_indices() {
+            if c == 'e' || c == 'E' {
+                let next = text[i + 1..].chars().next();
+                if matches!(next, Some(d) if d.is_ascii_digit() || d == '+' || d == '-') {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `source` into tokens.  Never fails: unterminated constructs are
+/// closed at end of input (the rules only ever under-report on such files,
+/// and rustc itself will reject them anyway).
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        src: source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_literal(0),
+                b'\'' => self.char_or_lifetime(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => {
+                    // Multi-byte UTF-8 punctuation (em-dashes in comments
+                    // never reach here; in code it would be invalid Rust) is
+                    // consumed byte-wise; the rules only match ASCII punct.
+                    self.push_span(TokKind::Punct, self.pos, self.pos + 1, self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push_span(&mut self, kind: TokKind, start: usize, end: usize, line: u32) {
+        // Clamp to char boundaries defensively (punct fallback above may sit
+        // inside a multi-byte char; such files contain no rule-relevant
+        // tokens at that position).
+        let end = end.min(self.src.len());
+        if !self.src.is_char_boundary(start) || !self.src.is_char_boundary(end) {
+            return;
+        }
+        self.tokens.push(Token {
+            kind,
+            text: self.src[start..end].to_string(),
+            line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push_span(TokKind::LineComment, start, self.pos, self.line);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        let mut depth = 1usize;
+        self.pos += 2;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match self.bytes[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push_span(TokKind::BlockComment, start, self.pos, start_line);
+    }
+
+    /// A `"`-delimited string starting at `self.pos - prefix_len` (the
+    /// prefix being `b`, `c`, ... already consumed by the caller).
+    fn string_literal(&mut self, prefix_len: usize) {
+        let start = self.pos - prefix_len;
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push_span(TokKind::Literal, start, self.pos, start_line);
+    }
+
+    /// A raw string `r"..."` / `r#"..."#` (possibly with a `b` prefix);
+    /// `self.pos` sits on the `r`'s hashes-or-quote, `start` on the prefix.
+    fn raw_string(&mut self, start: usize) {
+        let start_line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.bytes[self.pos] == b'"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(1 + matched) == Some(b'#') {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    self.pos += 1 + hashes;
+                    break;
+                }
+            }
+            self.pos += 1;
+        }
+        self.push_span(TokKind::Literal, start, self.pos, start_line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        // `'a` followed by another `'` is the char literal `'a'`; `'a` (or
+        // `'abc`, `'_`) otherwise is a lifetime.  `'\...'` is always a char.
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(b'\\') => false,
+            Some(b) if is_ident_start(b) => {
+                let mut j = 2;
+                while self.peek(j).is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                self.peek(j) != Some(b'\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            self.pos += 1;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.pos += 1;
+            }
+            self.push_span(TokKind::Lifetime, start, self.pos, self.line);
+            return;
+        }
+        // Char (or byte-char) literal: scan to the closing quote.  Interior
+        // bytes of multi-byte chars are never 0x27, so byte scanning is safe.
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => break, // unterminated; don't eat the file
+                _ => self.pos += 1,
+            }
+        }
+        self.push_span(TokKind::Literal, start, self.pos, self.line);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // `e`/`E` exponent may carry a sign: `1e-3`.
+                if (b == b'e' || b == b'E')
+                    && !self.src[start..].starts_with("0x")
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.pos += 2;
+                    continue;
+                }
+                self.pos += 1;
+            } else if b == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // A digit after the dot means a float; `0..n` stays a range.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push_span(TokKind::Literal, start, self.pos, self.line);
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.pos;
+        let rest = &self.src[self.pos..];
+        // String-ish prefixes: r" r#" b" b' br" br#" c" and raw idents r#x.
+        for (prefix, raw) in [
+            ("r\"", true),
+            ("r#", true),
+            ("b\"", false),
+            ("br\"", true),
+            ("br#", true),
+            ("c\"", false),
+            ("b'", false),
+        ] {
+            if rest.starts_with(prefix) {
+                if prefix == "r#" {
+                    // Raw ident (`r#type`) unless hashes lead to a quote.
+                    let mut j = self.pos + 2;
+                    while self.bytes.get(j) == Some(&b'#') {
+                        j += 1;
+                    }
+                    if self.bytes.get(j) != Some(&b'"') {
+                        self.pos += 2;
+                        while self.peek(0).is_some_and(is_ident_continue) {
+                            self.pos += 1;
+                        }
+                        self.push_span(TokKind::Ident, start, self.pos, self.line);
+                        return;
+                    }
+                    self.pos += 1;
+                    self.raw_string(start);
+                    return;
+                }
+                if prefix == "b'" {
+                    self.pos += 1;
+                    self.char_or_lifetime();
+                    // Re-tag the span to include the `b` prefix.
+                    if let Some(last) = self.tokens.last_mut() {
+                        last.text.insert(0, 'b');
+                    }
+                    return;
+                }
+                if raw {
+                    // br" / br# / r": position on the hash-or-quote run.
+                    self.pos += prefix.len() - 1;
+                    if prefix.ends_with('"') {
+                        self.string_literal(prefix.len() - 1);
+                        return;
+                    }
+                    self.raw_string(start);
+                    return;
+                }
+                // b" / c": plain string with a one-byte prefix.
+                self.pos += 1;
+                self.string_literal(1);
+                return;
+            }
+        }
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        self.push_span(TokKind::Ident, start, self.pos, self.line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokKind, String)> {
+        lex(source).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_punct_and_numbers() {
+        let toks = kinds("let x = map.get(&k) + 0..n;");
+        assert!(toks.contains(&(TokKind::Ident, "map".into())));
+        assert!(toks.contains(&(TokKind::Ident, "get".into())));
+        assert!(toks.contains(&(TokKind::Literal, "0".into())));
+        assert!(toks.contains(&(TokKind::Ident, "n".into())));
+        // `0..n` must not swallow the range dots.
+        let dots = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Punct && t == ".")
+            .count();
+        assert_eq!(dots, 3, "{toks:?}");
+    }
+
+    #[test]
+    fn floats_and_exponents_stay_single_literals() {
+        let toks = kinds("a = 1.5e-3 + 0xff_usize;");
+        assert!(toks.contains(&(TokKind::Literal, "1.5e-3".into())));
+        assert!(toks.contains(&(TokKind::Literal, "0xff_usize".into())));
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let toks = kinds(r#"let s = "unsafe unwrap(). // SAFETY:"; s.len()"#);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Literal));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r##"let a = r#"has "quotes" and unwrap()"#; let b = b"unsafe";"##);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert!(toks.contains(&(TokKind::Literal, "'x'".into())));
+        assert!(toks.contains(&(TokKind::Literal, "'\\n'".into())));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_lines() {
+        let toks = lex("// one\nlet x = 1; /* two\nlines */ let y = 2;");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert_eq!(toks[0].line, 1);
+        let block = toks
+            .iter()
+            .find(|t| t.kind == TokKind::BlockComment)
+            .unwrap();
+        assert_eq!(block.line, 2);
+        let y = toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokKind::Ident, "code".into()));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokKind::Ident, "r#type".into())));
+    }
+
+    #[test]
+    fn integer_literal_classification() {
+        let toks = lex("a[0] b[1_000] c[0usize] d[1.5] e[0x10]");
+        let ints: Vec<bool> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(Token::is_integer_literal)
+            .collect();
+        assert_eq!(ints, vec![true, true, true, false, true]);
+    }
+}

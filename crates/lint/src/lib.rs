@@ -1,0 +1,268 @@
+//! `nrp-lint` — project-specific static analysis for the nrp workspace.
+//!
+//! `rustc` and clippy cannot see the contracts this repo's value rests on:
+//! bitwise thread-invariance of every embedding, documented-only `unsafe` in
+//! the parallel kernels, and a serving layer that must never panic on user
+//! input.  This crate is a self-contained analyzer (hand-rolled lexer, no
+//! crates.io dependencies, consistent with the `vendor/` shim policy) that
+//! walks every `.rs` file and enforces them:
+//!
+//! | rule | checks |
+//! |------|--------|
+//! | D001 | no `HashMap`/`HashSet` iteration in non-test code |
+//! | D002 | no `Instant::now`/`SystemTime` in kernel crates (`linalg`, `core`, `graph`) |
+//! | D003 | no unseeded RNG construction (`thread_rng`, `from_entropy`, `OsRng`, `rand::random`) |
+//! | U001 | every `unsafe` is immediately preceded by a `// SAFETY:` comment |
+//! | U002 | `unsafe` is denied outside the allowlisted modules (today: `linalg::parallel`) |
+//! | P001 | no `.unwrap()`/`.expect()` in `nrp-serve` request-path modules |
+//! | P002 | no `panic!`/`todo!`/`unimplemented!` in request-path modules |
+//! | P003 | no slice-index-by-literal in request-path modules |
+//! | A001 | every `pub fn *_exec` kernel has a sequential twin (`base` or `base_with`) |
+//! | A002 | every `*_exec` kernel appears in the `tests/thread_invariance.rs` roster |
+//! | L001 | `// nrp-lint: allow(rule)` directives must carry a reason |
+//!
+//! Findings print as `file:line: rule-id message`.  The escape hatch is a
+//! comment on (or directly above) the offending line:
+//!
+//! ```text
+//! // nrp-lint: allow(D002) — StageClock is the designated timing module
+//! ```
+//!
+//! The directive *requires* a reason after a `—`/`-`/`:` separator; without
+//! one it suppresses nothing and is itself flagged (L001).  See
+//! `CONTRIBUTING.md` § "Project lints" for the policy discussion.
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::{analyze, FileReport};
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule identifier (`D001`, `U002`, ...).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    pub(crate) fn new(file: &str, line: u32, rule: &str, message: String) -> Self {
+        Self {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One `unsafe` occurrence, for the machine-readable inventory artifact.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// `block` | `fn` | `impl` | `trait` | `extern` | `other`.
+    pub kind: String,
+    /// Whether a `// SAFETY:` comment immediately precedes it.
+    pub documented: bool,
+    /// Whether the file is on the `unsafe` allowlist.
+    pub allowlisted: bool,
+    /// Whether the site lives in test/bench/example code.
+    pub test_code: bool,
+}
+
+impl UnsafeSite {
+    fn to_value(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("file", serde::Value::String(self.file.clone()));
+        map.insert(
+            "line",
+            serde::Value::Number(serde::Number::PosInt(self.line as u64)),
+        );
+        map.insert("kind", serde::Value::String(self.kind.clone()));
+        map.insert("documented", serde::Value::Bool(self.documented));
+        map.insert("allowlisted", serde::Value::Bool(self.allowlisted));
+        map.insert("test", serde::Value::Bool(self.test_code));
+        serde::Value::Object(map)
+    }
+}
+
+/// Rule configuration.  The defaults encode today's policy; tests override
+/// individual fields to probe rule behavior.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Files (workspace-relative) where `unsafe` is permitted (U002).
+    pub unsafe_allowed: Vec<String>,
+    /// Path prefixes of the kernel crates where wall-clock reads are
+    /// banned (D002).
+    pub kernel_prefixes: Vec<String>,
+    /// Kernel-crate files exempt from D002 (designated timing modules).
+    /// Empty today: `core::context::StageClock` carries per-site
+    /// `allow(D002)` annotations instead, so every exemption states its
+    /// reason in the source.
+    pub timing_allowed: Vec<String>,
+    /// `nrp-serve` request-path modules covered by the P rules.
+    pub request_path: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            unsafe_allowed: vec!["crates/linalg/src/parallel.rs".into()],
+            kernel_prefixes: vec![
+                "crates/linalg/src/".into(),
+                "crates/core/src/".into(),
+                "crates/graph/src/".into(),
+            ],
+            timing_allowed: vec![],
+            request_path: vec![
+                "crates/serve/src/http.rs".into(),
+                "crates/serve/src/server.rs".into(),
+                "crates/serve/src/batcher.rs".into(),
+                "crates/serve/src/cache.rs".into(),
+                "crates/serve/src/client.rs".into(),
+            ],
+        }
+    }
+}
+
+/// Result of a full workspace run.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Every `unsafe` site in the tree, sorted by (file, line).
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Number of `.rs` files analyzed.
+    pub files_checked: usize,
+}
+
+/// Lints a single source text under a (possibly virtual) workspace-relative
+/// path.  Path-scoped rules (U002, D002, P) key off `relpath`, so fixture
+/// tests can probe them by lending a snippet a virtual location.
+///
+/// Rule A is cross-file and only runs in [`lint_workspace`].
+pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> FileReport {
+    analyze(relpath, source, cfg)
+}
+
+/// Walks every `.rs` file under `root` (skipping `target`, `vendor`,
+/// `.git`, `fixtures` and `node_modules` directories), runs the per-file
+/// rules, then the cross-file rule A checks against the
+/// `tests/thread_invariance.rs` roster.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<WorkspaceReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut report = WorkspaceReport::default();
+    // relpath -> (exec fns, pub fn names) for rule A.
+    let mut fn_maps: BTreeMap<String, (Vec<rules::ExecFn>, Vec<String>)> = BTreeMap::new();
+    let mut roster = String::new();
+
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if rel_str == "tests/thread_invariance.rs" {
+            roster = source.clone();
+        }
+        let file_report = analyze(&rel_str, &source, cfg);
+        report.findings.extend(file_report.findings);
+        report.unsafe_sites.extend(file_report.unsafe_sites);
+        if !file_report.exec_fns.is_empty() {
+            fn_maps.insert(rel_str, (file_report.exec_fns, file_report.pub_fn_names));
+        }
+        report.files_checked += 1;
+    }
+
+    // Rule A: every `pub fn *_exec` kernel needs a sequential twin in the
+    // same file (A001) and a mention in the thread-invariance roster (A002).
+    for (rel, (exec_fns, pub_fns)) in &fn_maps {
+        for exec in exec_fns {
+            let base = exec.name.strip_suffix("_exec").unwrap_or(&exec.name);
+            let with = format!("{base}_with");
+            if !pub_fns.iter().any(|n| n == base || *n == with) {
+                report.findings.push(Finding::new(
+                    rel,
+                    exec.line,
+                    "A001",
+                    format!(
+                        "`{}` has no sequential twin — export `pub fn {base}` or \
+                         `pub fn {with}` so callers can bypass the Exec policy",
+                        exec.name
+                    ),
+                ));
+            }
+            if !roster.contains(&exec.name) {
+                report.findings.push(Finding::new(
+                    rel,
+                    exec.line,
+                    "A002",
+                    format!(
+                        "`{}` is missing from the tests/thread_invariance.rs roster — every \
+                         Exec kernel must prove bitwise thread-invariance",
+                        exec.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    report
+        .unsafe_sites
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "node_modules"];
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders the unsafe inventory as pretty-printed JSON.
+pub fn unsafe_inventory_json(sites: &[UnsafeSite]) -> String {
+    let array = serde::Value::Array(sites.iter().map(|s| s.to_value()).collect());
+    serde_json::to_string_pretty(&array).unwrap_or_else(|_| "[]".into())
+}

@@ -1,0 +1,156 @@
+//! `nrp-lint` CLI.
+//!
+//! ```text
+//! nrp-lint --workspace [--deny] [--root DIR] [--unsafe-inventory PATH]
+//! nrp-lint [--deny] FILE[=VIRTUAL] ...
+//! ```
+//!
+//! `--workspace` walks every `.rs` file under the root (default: the
+//! current directory, or the nearest ancestor containing a workspace
+//! `Cargo.toml`) and runs all rules including the cross-file rule A pair.
+//! Explicit `FILE` arguments run the per-file rules only; `FILE=VIRTUAL`
+//! lints the contents of `FILE` as if it lived at the workspace-relative
+//! path `VIRTUAL`, which is how the fixture tests probe path-scoped rules
+//! (U002, D002, P) without planting files inside real crates.
+//!
+//! Exit status is 0 unless `--deny` is set and findings exist.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use nrp_lint::{lint_source, lint_workspace, unsafe_inventory_json, Config};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut inventory_path: Option<PathBuf> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => workspace = true,
+            "--deny" => deny = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => return usage("--root requires a directory"),
+                }
+            }
+            "--unsafe-inventory" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => inventory_path = Some(PathBuf::from(p)),
+                    None => return usage("--unsafe-inventory requires a path"),
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                return usage(&format!("unknown flag {flag}"));
+            }
+            file => files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    if !workspace && files.is_empty() {
+        return usage("pass --workspace or at least one FILE");
+    }
+
+    let cfg = Config::default();
+    let mut findings = Vec::new();
+    let mut files_checked = 0usize;
+
+    if workspace {
+        let root = root.unwrap_or_else(find_workspace_root);
+        match lint_workspace(&root, &cfg) {
+            Ok(report) => {
+                files_checked += report.files_checked;
+                findings.extend(report.findings);
+                if let Some(path) = &inventory_path {
+                    let json = unsafe_inventory_json(&report.unsafe_sites);
+                    if let Err(err) = std::fs::write(path, json) {
+                        eprintln!("nrp-lint: cannot write {}: {err}", path.display());
+                        return ExitCode::from(2);
+                    }
+                    eprintln!(
+                        "nrp-lint: unsafe inventory ({} sites) written to {}",
+                        report.unsafe_sites.len(),
+                        path.display()
+                    );
+                }
+            }
+            Err(err) => {
+                eprintln!("nrp-lint: workspace walk failed: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for spec in &files {
+        let (path, virtual_path) = match spec.split_once('=') {
+            Some((real, virt)) => (real, virt.to_string()),
+            None => (spec.as_str(), spec.replace('\\', "/")),
+        };
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("nrp-lint: cannot read {path}: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        findings.extend(lint_source(&virtual_path, &source, &cfg).findings);
+        files_checked += 1;
+    }
+
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        eprintln!("nrp-lint: {files_checked} file(s) checked, no findings");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "nrp-lint: {} finding(s) across {files_checked} file(s)",
+            findings.len()
+        );
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+const USAGE: &str = "usage: nrp-lint [--workspace] [--deny] [--root DIR] \
+                     [--unsafe-inventory PATH] [FILE[=VIRTUAL]]...";
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("nrp-lint: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the first ancestor whose
+/// `Cargo.toml` declares `[workspace]`; falls back to `.`.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = Path::new(parent).to_path_buf(),
+            None => return PathBuf::from("."),
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! CLI behavior: exact `file:line: rule-id` stdout, `--deny` exit codes,
+//! and the `FILE=VIRTUAL` path-mapping syntax.
+
+use std::process::Command;
+
+fn fixture_path(name: &str) -> String {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_nrp-lint"))
+        .args(args)
+        .output()
+        .expect("nrp-lint runs");
+    (
+        output.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn deny_exits_nonzero_on_violations_with_exact_output() {
+    let spec = format!("{}=crates/serve/src/http.rs", fixture_path("p_panics.rs"));
+    let (code, stdout, _) = run(&["--deny", &spec]);
+    assert_eq!(code, 1, "--deny turns findings into failure");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 6, "{stdout}");
+    assert!(
+        lines[0].starts_with("crates/serve/src/http.rs:5: P001 "),
+        "{stdout}"
+    );
+    assert!(
+        lines[5].starts_with("crates/serve/src/http.rs:21: P003 "),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn without_deny_findings_are_reported_but_exit_zero() {
+    let spec = format!("{}=crates/serve/src/http.rs", fixture_path("p_panics.rs"));
+    let (code, stdout, _) = run(&[&spec]);
+    assert_eq!(code, 0, "advisory mode");
+    assert!(stdout.contains("P001"), "{stdout}");
+}
+
+#[test]
+fn clean_file_exits_zero_under_deny() {
+    let spec = format!(
+        "{}=crates/graph/src/fixture.rs",
+        fixture_path("d001_lookup_clean.rs")
+    );
+    let (code, stdout, stderr) = run(&["--deny", &spec]);
+    assert_eq!(code, 0, "stdout: {stdout} stderr: {stderr}");
+    assert!(stdout.is_empty(), "{stdout}");
+    assert!(stderr.contains("no findings"), "{stderr}");
+}
+
+#[test]
+fn unknown_flags_and_missing_input_are_usage_errors() {
+    let (code, _, stderr) = run(&["--bogus"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage:"), "{stderr}");
+    let (code, _, stderr) = run(&[]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn workspace_run_writes_the_unsafe_inventory() {
+    let dir = tempfile::tempdir().expect("tempdir");
+    let inventory = dir.path().join("unsafe_inventory.json");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (code, _, stderr) = run(&[
+        "--workspace",
+        "--deny",
+        "--root",
+        &root.to_string_lossy(),
+        "--unsafe-inventory",
+        &inventory.to_string_lossy(),
+    ]);
+    assert_eq!(code, 0, "the tree is lint-clean: {stderr}");
+    let json = std::fs::read_to_string(&inventory).expect("inventory written");
+    assert!(json.trim_start().starts_with('['), "{json}");
+    assert!(json.contains("crates/linalg/src/parallel.rs"), "{json}");
+}

@@ -1,0 +1,18 @@
+// Fixture: the escape hatch.  A directive with a reason suppresses its
+// target line; a directive without a reason suppresses nothing and is
+// itself flagged (L001).
+use std::collections::HashMap;
+
+pub fn suppressed_trailing(map: &HashMap<u32, u32>) -> u32 {
+    map.values().sum() // nrp-lint: allow(D001) — summation is order-free
+}
+
+pub fn suppressed_standalone(map: &HashMap<u32, u32>) -> usize {
+    // nrp-lint: allow(D001) — counting does not observe iteration order
+    map.iter().count()
+}
+
+pub fn missing_reason(map: &HashMap<u32, u32>) -> u32 {
+    // nrp-lint: allow(D001)
+    map.values().sum()
+}

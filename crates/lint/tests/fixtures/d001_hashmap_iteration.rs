@@ -1,0 +1,32 @@
+// Fixture: every D001-violating iteration shape the rule must catch.
+use std::collections::{HashMap, HashSet};
+
+pub fn iterate_map(edges: &HashMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    for (a, b) in edges.iter() {
+        total += a + b;
+    }
+    total
+}
+
+pub fn for_loop_over_set(nodes: HashSet<u32>) -> u32 {
+    let mut total = 0;
+    for node in nodes {
+        total += node;
+    }
+    total
+}
+
+pub fn keys_and_values() {
+    let weights: HashMap<String, f64> = HashMap::new();
+    let _k: Vec<&String> = weights.keys().collect();
+    let _v: Vec<&f64> = weights.values().collect();
+}
+
+pub fn drain_a_set() {
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(3);
+    for item in seen.drain() {
+        let _ = item;
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: wall-clock reads, linted under a virtual kernel-crate path
+// (D002 fires) and under a non-kernel path (clean).
+use std::time::{Instant, SystemTime};
+
+pub fn measure() -> f64 {
+    let started = Instant::now();
+    started.elapsed().as_secs_f64()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

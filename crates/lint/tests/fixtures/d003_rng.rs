@@ -1,0 +1,15 @@
+// Fixture: every unseeded-RNG construction D003 must catch, plus the seeded
+// constructions it must leave alone.
+pub fn unseeded() -> u64 {
+    let mut rng = rand::thread_rng();
+    let from_entropy_rng = rand_chacha::ChaCha8Rng::from_entropy();
+    let _ = OsRng;
+    let lazy: f64 = rand::random();
+    let _ = (from_entropy_rng, lazy);
+    rng.next_u64()
+}
+
+pub fn seeded_is_fine() -> u64 {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+    rng.next_u64()
+}

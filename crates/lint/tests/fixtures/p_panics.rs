@@ -1,0 +1,27 @@
+// Fixture: panic-freedom violations, linted under a virtual request-path
+// module (crates/serve/src/http.rs) where P001/P002/P003 fire, and under a
+// virtual non-request-path module where the same code is clean.
+pub fn unwraps(input: Option<u32>, fallible: Result<u32, String>) -> u32 {
+    let a = input.unwrap();
+    let b = fallible.expect("fine elsewhere, fatal on the request path");
+    a + b
+}
+
+pub fn panics(mode: u8) {
+    if mode == 0 {
+        panic!("boom");
+    } else if mode == 1 {
+        todo!();
+    } else {
+        unimplemented!();
+    }
+}
+
+pub fn literal_index(headers: &[String]) -> &str {
+    &headers[0]
+}
+
+pub fn non_panicking_variants(input: Option<u32>) -> u32 {
+    // unwrap_or / unwrap_or_default never panic and must not be flagged.
+    input.unwrap_or(7) + input.unwrap_or_default()
+}

@@ -1,0 +1,16 @@
+// Fixture: unsafe hygiene.  Linted under the allowlisted virtual path
+// (crates/linalg/src/parallel.rs) only U001 applies — the documented block
+// passes, the undocumented block and fn fail.
+pub fn documented(data: &mut [f64]) -> f64 {
+    // SAFETY: index 0 exists — the caller guarantees a non-empty slice.
+    unsafe { *data.get_unchecked(0) }
+}
+
+pub fn undocumented(data: &mut [f64]) -> f64 {
+    unsafe { *data.get_unchecked(0) }
+}
+
+/// An undocumented unsafe fn.
+pub unsafe fn undocumented_fn(ptr: *mut f64) {
+    *ptr = 0.0;
+}

@@ -1,0 +1,56 @@
+//! The gate on the gate: `nrp-lint` must run clean over this workspace —
+//! every finding in the tree has been fixed or reason-annotated — and the
+//! unsafe inventory must show a fully documented, allowlist-respecting set
+//! of sites.
+
+use nrp_lint::{lint_workspace, unsafe_inventory_json, Config};
+
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = lint_workspace(&workspace_root(), &Config::default()).expect("walk");
+    assert!(report.files_checked > 50, "walk found the workspace");
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.findings.is_empty(),
+        "nrp-lint findings in the tree:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn unsafe_inventory_is_documented_and_allowlisted() {
+    let report = lint_workspace(&workspace_root(), &Config::default()).expect("walk");
+    assert!(
+        !report.unsafe_sites.is_empty(),
+        "the parallel kernels contain unsafe, the inventory must see it"
+    );
+    for site in &report.unsafe_sites {
+        assert!(
+            site.documented,
+            "undocumented unsafe at {}:{}",
+            site.file, site.line
+        );
+        assert!(
+            site.allowlisted || site.test_code,
+            "unsafe outside the allowlist at {}:{}",
+            site.file,
+            site.line
+        );
+    }
+    // The JSON artifact round-trips through the vendored serde_json.
+    let json = unsafe_inventory_json(&report.unsafe_sites);
+    let value: serde::Value = serde_json::from_str(&json).expect("inventory parses");
+    let entries = value.as_array().expect("inventory is an array");
+    assert_eq!(entries.len(), report.unsafe_sites.len());
+    let first = entries[0].as_object().expect("entry is an object");
+    for key in ["file", "line", "kind", "documented", "allowlisted", "test"] {
+        assert!(first.get(key).is_some(), "inventory entries carry `{key}`");
+    }
+}

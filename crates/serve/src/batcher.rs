@@ -24,6 +24,8 @@ use nrp_core::parallel::par_chunk_map_exec;
 use nrp_core::ppr::single_source_ppr_with_policy;
 use nrp_core::push::{forward_push_into, PushWorkspace};
 use nrp_core::{DanglingPolicy, EmbedContext};
+
+use crate::sync::lock_unpoisoned;
 use nrp_graph::Graph;
 
 use crate::cache::{CacheKey, PprCache};
@@ -108,6 +110,10 @@ impl Batcher {
         let worker = std::thread::Builder::new()
             .name("nrp-serve-batcher".into())
             .spawn(move || dispatch_loop(rx, graph, policy, ctx, cache, worker_counters, max_batch))
+            // nrp-lint: allow(P001) — startup path, not the request path:
+            // `Batcher::new` runs before the listener accepts its first
+            // connection, and a process that cannot spawn its one
+            // dispatcher thread has nothing to serve.
             .expect("spawning the batcher thread");
         Self {
             tx: Mutex::new(Some(tx)),
@@ -121,7 +127,7 @@ impl Batcher {
     pub fn submit(&self, key: CacheKey) -> Reply {
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         {
-            let guard = self.tx.lock().expect("batcher sender lock");
+            let guard = lock_unpoisoned(&self.tx);
             let tx = guard
                 .as_ref()
                 .ok_or_else(|| "server is shutting down".to_string())?;
@@ -151,9 +157,9 @@ impl Batcher {
     /// Stops the dispatcher: new submissions fail fast, every job already
     /// queued is still answered, then the thread exits and is joined.
     pub fn shutdown(&self) {
-        let tx = self.tx.lock().expect("batcher sender lock").take();
+        let tx = lock_unpoisoned(&self.tx).take();
         drop(tx); // Disconnects the channel once queued jobs drain.
-        if let Some(worker) = self.worker.lock().expect("batcher worker lock").take() {
+        if let Some(worker) = lock_unpoisoned(&self.worker).take() {
             let _ = worker.join();
         }
     }
@@ -207,7 +213,7 @@ fn dispatch_loop(
         // Answer what the cache already holds.
         let mut missing: Vec<CacheKey> = Vec::new();
         {
-            let mut cache = cache.lock().expect("ppr cache lock");
+            let mut cache = lock_unpoisoned(&cache);
             for key in unique {
                 match cache.get(&key) {
                     Some(answer) => reply_all(&mut waiters, &key, Ok(answer)),
@@ -230,7 +236,7 @@ fn dispatch_loop(
             .computed
             .fetch_add(missing.len() as u64, Ordering::Relaxed);
 
-        let mut cache = cache.lock().expect("ppr cache lock");
+        let mut cache = lock_unpoisoned(&cache);
         for (key, answer) in missing.iter().zip(answers) {
             if let Ok(answer) = &answer {
                 cache.insert(*key, Arc::clone(answer));

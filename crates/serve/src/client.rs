@@ -28,7 +28,12 @@ impl HttpClient {
             stream.set_nodelay(true)?;
             self.stream = Some(BufReader::new(stream));
         }
-        Ok(self.stream.as_mut().expect("stream just connected"))
+        self.stream.as_mut().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "connection was not established",
+            )
+        })
     }
 
     /// Issues `GET {target}` on the persistent connection and returns

@@ -41,6 +41,7 @@ pub mod config;
 pub mod fixture;
 pub mod http;
 pub mod server;
+pub mod sync;
 
 pub use batcher::{Batcher, PprAnswer};
 pub use cache::{CacheKey, CacheSnapshot, PprCache};

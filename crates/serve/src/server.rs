@@ -33,6 +33,7 @@ use crate::batcher::Batcher;
 use crate::cache::{CacheKey, PprCache};
 use crate::config::ServeConfig;
 use crate::http::{read_request, write_response, HttpLimits, Request, Response};
+use crate::sync::lock_unpoisoned;
 
 /// How often an idle keep-alive connection polls the shutdown flag.  The
 /// socket read timeout is this poll interval, not the configured idle
@@ -165,7 +166,7 @@ impl ServeState {
     }
 
     fn handle_stats(&self) -> Response {
-        let cache = self.cache.lock().expect("ppr cache lock").snapshot();
+        let cache = lock_unpoisoned(&self.cache).snapshot();
         let batch = self.batcher.snapshot();
         let c = &self.counters;
         let mut cache_object = serde::Map::new();
@@ -431,8 +432,16 @@ fn entries_value(entries: Vec<(u32, f64)>) -> serde::Value {
 }
 
 fn json_response(status: u16, value: serde::Value) -> Response {
-    let body = serde_json::to_string(&value).expect("handler values serialize to JSON");
-    Response::json(status, body.into_bytes())
+    // Handler-built values always serialize; if one ever does not (a NaN
+    // smuggled into a float field, say), answer 500 rather than panic the
+    // worker.
+    match serde_json::to_string(&value) {
+        Ok(body) => Response::json(status, body.into_bytes()),
+        Err(_) => Response::json(
+            500,
+            br#"{"error":"response serialization failed"}"#.to_vec(),
+        ),
+    }
 }
 
 fn error_response(status: u16, message: &str) -> Response {
@@ -484,11 +493,16 @@ impl Server {
                         .fetch_add(1, Ordering::Relaxed);
                     let conn_state = Arc::clone(&accept_state);
                     let conn_shutdown = Arc::clone(&accept_shutdown);
-                    let handle = std::thread::Builder::new()
+                    let handle = match std::thread::Builder::new()
                         .name("nrp-serve-conn".into())
                         .spawn(move || handle_connection(conn_state, stream, conn_shutdown))
-                        .expect("spawning a connection thread");
-                    let mut guard = accept_connections.lock().expect("connection list lock");
+                    {
+                        Ok(handle) => handle,
+                        // Thread exhaustion: shed this connection (the
+                        // stream drops and closes) and keep accepting.
+                        Err(_) => continue,
+                    };
+                    let mut guard = lock_unpoisoned(&accept_connections);
                     // Opportunistically reap finished threads so the list
                     // does not grow with connection count.
                     guard.retain(|h| !h.is_finished());
@@ -522,8 +536,7 @@ impl Server {
         if let Some(accept) = self.accept_thread.take() {
             let _ = accept.join();
         }
-        let handles: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.connections.lock().expect("connection list lock"));
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *lock_unpoisoned(&self.connections));
         for handle in handles {
             let _ = handle.join();
         }

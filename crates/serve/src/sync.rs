@@ -1,0 +1,45 @@
+//! Poison-tolerant locking for the serving request path.
+//!
+//! A `Mutex` is poisoned when a thread panics while holding it.  On the
+//! request path that must not cascade: the panicking request already got a
+//! 500, and the data under every lock here (cache slabs, counters, the
+//! connection registry) stays structurally valid because each critical
+//! section only becomes observable once complete.  Propagating the poison
+//! instead would turn one bad request into a dead worker — exactly the
+//! failure mode the panic-freedom contract (rule P001) exists to prevent.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let mutex = Mutex::new(7u32);
+        // Poison it: panic while holding the guard, on another thread.
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = mutex.lock().unwrap();
+                    panic!("poison the lock");
+                })
+                .join()
+        });
+        assert!(result.is_err(), "the poisoning thread panicked");
+        assert!(mutex.is_poisoned());
+        let mut guard = lock_unpoisoned(&mutex);
+        assert_eq!(*guard, 7);
+        *guard += 1;
+        drop(guard);
+        assert_eq!(*lock_unpoisoned(&mutex), 8);
+    }
+}

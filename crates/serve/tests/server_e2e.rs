@@ -128,6 +128,78 @@ fn malformed_input_never_kills_the_accept_loop() {
     server.shutdown();
 }
 
+#[test]
+fn hostile_payloads_and_connection_churn_survive() {
+    // Beyond protocol mistakes: actively hostile bytes.  None of these may
+    // panic a worker (the panic-freedom contract, nrp-lint rules P001-P003)
+    // and the server must answer real traffic afterwards.
+    let server = start_server(test_config());
+
+    // 1. Binary garbage flood — several KiB of non-UTF-8 noise.
+    let garbage: Vec<u8> = (0..8192u32)
+        .map(|i| (i.wrapping_mul(2_654_435_761) >> 7) as u8)
+        .collect();
+    let _ = raw_exchange(&server, &garbage);
+
+    // 2. NUL bytes inside the request line and headers.
+    let _ = raw_exchange(&server, b"GET /hea\x00lthz HTTP/1.1\r\nx\x00y: z\r\n\r\n");
+
+    // 3. A header line with no colon.
+    let response = raw_exchange(&server, b"GET /healthz HTTP/1.1\r\nnocolonhere\r\n\r\n");
+    assert_eq!(status_of(&response), "400");
+
+    // 4. Query-string abuse: duplicate, empty, overlong and numeric-edge
+    // parameters must come back as 4xx JSON, never a panic.
+    // Duplicate parameters are defined behavior (one of them wins), but the
+    // answer must still be a well-formed HTTP response.
+    let response = raw_exchange(
+        &server,
+        b"GET /ppr?source=0&source=1&source=2 HTTP/1.1\r\n\r\n",
+    );
+    assert!(!status_of(&response).is_empty());
+    for target in [
+        "/ppr?source=",
+        "/ppr?source=18446744073709551616", // u64::MAX + 1
+        "/ppr?source=-1",
+        "/ppr?source=0&alpha=NaN",
+        "/ppr?source=0&r_max=inf",
+        "/knn?source=0&k=99999999999999999999",
+    ] {
+        let request = format!("GET {target} HTTP/1.1\r\n\r\n");
+        let response = raw_exchange(&server, request.as_bytes());
+        let status = status_of(&response);
+        assert!(
+            status.starts_with('4'),
+            "{target} answered {status}, expected 4xx"
+        );
+    }
+
+    // 5. Connection churn: open-and-slam sockets interleaved with real
+    // requests, from several threads at once.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..25 {
+                    if let Ok(stream) = TcpStream::connect(server.addr()) {
+                        drop(stream);
+                    }
+                }
+            });
+        }
+        scope.spawn(|| {
+            let mut client = HttpClient::new(server.addr());
+            for _ in 0..10 {
+                client.get_json("/healthz").expect("healthz during churn");
+            }
+        });
+    });
+
+    // The server is still healthy and still computes correct answers.
+    let answer = nrp_serve::get_json_once(server.addr(), "/ppr?source=1&top=4").expect("ppr");
+    assert!(answer.as_object().and_then(|o| o.get("entries")).is_some());
+    server.shutdown();
+}
+
 /// The acceptance criterion: a cached `/ppr` answer is bitwise identical to
 /// an uncached direct `single_source_ppr` call, through the JSON wire.
 #[test]

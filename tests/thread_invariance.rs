@@ -179,6 +179,101 @@ fn stage_metadata_records_the_granted_thread_budget() {
 }
 
 #[test]
+fn every_exec_kernel_is_bitwise_thread_invariant() {
+    // The roster below is the contract `nrp-lint` rule A002 enforces: every
+    // `pub fn *_exec` kernel in the workspace must appear — and prove
+    // bitwise invariance — here.  Adding a kernel without extending this
+    // test fails `cargo run -p nrp-lint -- --workspace --deny`.
+    use nrp::baselines::walks::{node2vec_walks_exec, uniform_walks_exec};
+    use nrp::linalg::parallel::{
+        par_chunk_map_exec, par_fill_rows_exec, par_reduce_exec, try_par_chunk_map_exec, Exec,
+    };
+    use nrp::linalg::qr::orthonormalize_exec;
+    use nrp::linalg::SparseMatrix;
+
+    let threads = test_threads();
+    let sequential = Exec::sequential();
+    let parallel = Exec::scoped(threads);
+
+    // par_chunk_map_exec: chunk results concatenate in ascending order.
+    let seq = par_chunk_map_exec(97, 8, &sequential, |r| r.sum::<usize>());
+    let par = par_chunk_map_exec(97, 8, &parallel, |r| r.sum::<usize>());
+    assert_eq!(seq, par, "par_chunk_map_exec");
+
+    // try_par_chunk_map_exec: same contract through the fallible variant.
+    let seq = try_par_chunk_map_exec(97, 8, &sequential, |r| Ok::<_, String>(r.len()));
+    let par = try_par_chunk_map_exec(97, 8, &parallel, |r| Ok::<_, String>(r.len()));
+    assert_eq!(seq, par, "try_par_chunk_map_exec");
+
+    // par_reduce_exec: floats fold in ascending chunk order, so even a
+    // non-associative reduction is bitwise stable.
+    let map = |r: std::ops::Range<usize>| r.map(|i| 1.0 / (i as f64 + 1.0)).sum::<f64>();
+    let fold = |a: f64, b: f64| a + b;
+    let seq = par_reduce_exec(1003, 16, &sequential, map, fold).expect("non-empty");
+    let par = par_reduce_exec(1003, 16, &parallel, map, fold).expect("non-empty");
+    assert_eq!(seq.to_bits(), par.to_bits(), "par_reduce_exec");
+
+    // par_fill_rows_exec: disjoint row blocks of one output buffer.
+    let fill = |i: usize, row: &mut [f64]| {
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = ((i * 31 + j) as f64).sin();
+        }
+    };
+    let seq = par_fill_rows_exec(40, 7, &sequential, fill);
+    let par = par_fill_rows_exec(40, 7, &parallel, fill);
+    assert_eq!(seq, par, "par_fill_rows_exec");
+
+    // Dense kernels: matmul_exec / transpose_matmul_exec / gram_exec.
+    let a = nrp::linalg::random::gaussian_matrix(33, 12, 7);
+    let b = nrp::linalg::random::gaussian_matrix(12, 9, 8);
+    let seq = a.matmul_exec(&b, &sequential).expect("shapes agree");
+    let par = a.matmul_exec(&b, &parallel).expect("shapes agree");
+    assert_eq!(seq.data(), par.data(), "matmul_exec");
+    let c = nrp::linalg::random::gaussian_matrix(33, 9, 9);
+    let seq = a
+        .transpose_matmul_exec(&c, &sequential)
+        .expect("shapes agree");
+    let par = a
+        .transpose_matmul_exec(&c, &parallel)
+        .expect("shapes agree");
+    assert_eq!(seq.data(), par.data(), "transpose_matmul_exec");
+    assert_eq!(
+        a.gram_exec(&sequential).data(),
+        a.gram_exec(&parallel).data(),
+        "gram_exec"
+    );
+
+    // Sparse kernel: matmul_dense_exec.
+    let triplets: Vec<(usize, usize, f64)> = (0..200)
+        .map(|k| ((k * 7) % 25, (k * 11) % 12, (k as f64 + 1.0).recip()))
+        .collect();
+    let sparse = SparseMatrix::from_triplets(25, 12, &triplets).expect("valid triplets");
+    let dense = nrp::linalg::random::gaussian_matrix(12, 6, 10);
+    let seq = sparse
+        .matmul_dense_exec(&dense, &sequential)
+        .expect("shapes agree");
+    let par = sparse
+        .matmul_dense_exec(&dense, &parallel)
+        .expect("shapes agree");
+    assert_eq!(seq.data(), par.data(), "matmul_dense_exec");
+
+    // QR kernel: orthonormalize_exec.
+    let tall = nrp::linalg::random::gaussian_matrix(48, 6, 11);
+    let seq = orthonormalize_exec(&tall, &sequential).expect("full rank");
+    let par = orthonormalize_exec(&tall, &parallel).expect("full rank");
+    assert_eq!(seq.data(), par.data(), "orthonormalize_exec");
+
+    // Walk kernels: uniform_walks_exec / node2vec_walks_exec.
+    let graph = test_graph(GraphKind::Undirected, 41);
+    let seq = uniform_walks_exec(&graph, 3, 10, 13, &sequential);
+    let par = uniform_walks_exec(&graph, 3, 10, 13, &parallel);
+    assert_eq!(seq, par, "uniform_walks_exec");
+    let seq = node2vec_walks_exec(&graph, 3, 10, 0.5, 2.0, 13, &sequential);
+    let par = node2vec_walks_exec(&graph, 3, 10, 0.5, 2.0, 13, &parallel);
+    assert_eq!(seq, par, "node2vec_walks_exec");
+}
+
+#[test]
 fn strap_proximity_matrix_is_thread_invariant() {
     // Below the Embedder surface: the assembled sparse proximity matrix
     // itself (triplet order included) must not depend on the budget.
