@@ -331,11 +331,12 @@ impl MethodConfig {
     /// Builds the configured embedder through the method registry.
     pub fn build(&self) -> Result<Box<dyn Embedder>> {
         let name = self.method_name();
-        let builder = registry()
-            .lock()
-            .expect("method registry poisoned")
-            .get(name)
-            .copied();
+        // Bind the guard and drop it before invoking the builder (or the
+        // error path, which re-locks via `registered_methods`): only the
+        // map lookup itself happens under `REGISTRY`.
+        let map = registry().lock().expect("method registry poisoned");
+        let builder = map.get(name).copied();
+        drop(map);
         match builder {
             Some(builder) => builder(self),
             None => Err(NrpError::UnknownMethod(format!(

@@ -60,7 +60,7 @@ pub use approx_ppr::{ApproxPpr, ApproxPprParams};
 pub use config::{flat_toml_to_value, register_method, registered_methods, MethodConfig};
 pub use context::{EmbedContext, EmbedOutput, RunMetadata, StageClock, StageTiming};
 pub use embedding::{Embedder, Embedding};
-pub use error::NrpError;
+pub use error::{NrpError, PushParamError};
 pub use nrp::{Nrp, NrpParams};
 pub use nrp_linalg::DanglingPolicy;
 

@@ -40,7 +40,7 @@ use std::collections::VecDeque;
 use nrp_graph::{Graph, NodeId};
 use nrp_linalg::DanglingPolicy;
 
-use crate::{NrpError, Result};
+use crate::{PushParamError, Result};
 
 /// Sparse single-source PPR estimates produced by forward push.
 #[derive(Debug, Clone)]
@@ -170,21 +170,18 @@ impl PushWorkspace {
 }
 
 fn validate(graph: &Graph, source: NodeId, alpha: f64, r_max: f64) -> Result<()> {
+    // Typed `Copy` errors, not `format!`: this runs per push on the warm
+    // serving path, and the failure message is rendered only if the caller
+    // actually displays the error.
     if !(alpha > 0.0 && alpha < 1.0) {
-        return Err(NrpError::InvalidParameter(format!(
-            "alpha must be in (0,1), got {alpha}"
-        )));
+        return Err(PushParamError::Alpha(alpha).into());
     }
     if r_max <= 0.0 {
-        return Err(NrpError::InvalidParameter(format!(
-            "r_max must be positive, got {r_max}"
-        )));
+        return Err(PushParamError::RMax(r_max).into());
     }
     let n = graph.num_nodes();
     if (source as usize) >= n {
-        return Err(NrpError::InvalidParameter(format!(
-            "source {source} out of bounds for {n} nodes"
-        )));
+        return Err(PushParamError::SourceOutOfBounds { source, nodes: n }.into());
     }
     Ok(())
 }
@@ -481,10 +478,25 @@ mod tests {
 
     #[test]
     fn invalid_parameters_rejected() {
+        use crate::NrpError;
         let g = cycle(4).unwrap();
-        assert!(forward_push(&g, 0, 0.0, 1e-3).is_err());
-        assert!(forward_push(&g, 0, 0.15, 0.0).is_err());
-        assert!(forward_push(&g, 9, 0.15, 1e-3).is_err());
+        // Validation failures are typed (no `format!` on the warm path) and
+        // carry the offending value.
+        assert!(matches!(
+            forward_push(&g, 0, 0.0, 1e-3),
+            Err(NrpError::PushParam(PushParamError::Alpha(a))) if a == 0.0
+        ));
+        assert!(matches!(
+            forward_push(&g, 0, 0.15, 0.0),
+            Err(NrpError::PushParam(PushParamError::RMax(r))) if r == 0.0
+        ));
+        assert!(matches!(
+            forward_push(&g, 9, 0.15, 1e-3),
+            Err(NrpError::PushParam(PushParamError::SourceOutOfBounds {
+                source: 9,
+                nodes: 4
+            }))
+        ));
     }
 
     #[test]

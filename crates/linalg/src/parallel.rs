@@ -49,7 +49,7 @@
 use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 /// Chunk size used by the dense row-parallel kernels.  Any value works; this
@@ -122,6 +122,12 @@ struct Slot {
 }
 
 struct PoolShared {
+    /// Every acquisition recovers from poisoning via
+    /// `unwrap_or_else(PoisonError::into_inner)` rather than panicking: the
+    /// critical sections below touch only `Slot`'s plain integers and flags
+    /// (job closures run *outside* the lock, wrapped in `catch_unwind`), so
+    /// a poisoned mutex cannot leave `Slot` in a torn state and the serving
+    /// path must not die over one.
     slot: Mutex<Slot>,
     /// Workers wait here for a new job epoch.
     work: Condvar,
@@ -164,6 +170,11 @@ impl WorkerPool {
     /// Creates a pool with the given total parallelism (clamped to at least
     /// 1).  `capacity - 1` helper threads are spawned immediately; the
     /// dispatching thread supplies the final unit of parallelism.
+    ///
+    /// A helper thread that fails to spawn (resource exhaustion) is simply
+    /// not part of the pool: [`WorkerPool::capacity`] reports what was
+    /// actually obtained, and a smaller pool runs every job correctly —
+    /// results never depend on the worker count.
     pub fn new(capacity: usize) -> Self {
         let helpers = capacity.max(1) - 1;
         let shared = Arc::new(PoolShared {
@@ -181,12 +192,12 @@ impl WorkerPool {
             free: Condvar::new(),
         });
         let handles = (0..helpers)
-            .map(|i| {
+            .filter_map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("nrp-pool-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawning pool worker")
+                    .ok()
             })
             .collect();
         Self { shared, handles }
@@ -226,9 +237,17 @@ impl WorkerPool {
             num_chunks,
         };
         {
-            let mut slot = self.shared.slot.lock().expect("pool mutex poisoned");
+            let mut slot = self
+                .shared
+                .slot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             while slot.busy {
-                slot = self.shared.free.wait(slot).expect("pool mutex poisoned");
+                slot = self
+                    .shared
+                    .free
+                    .wait(slot)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             slot.busy = true;
             slot.panicked = false;
@@ -257,7 +276,11 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut slot = self.shared.slot.lock().expect("pool mutex poisoned");
+            let mut slot = self
+                .shared
+                .slot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             slot.shutdown = true;
             self.shared.work.notify_all();
         }
@@ -279,10 +302,18 @@ struct DispatchGuard<'p> {
 impl Drop for DispatchGuard<'_> {
     fn drop(&mut self) {
         IN_POOL_JOB.with(|flag| flag.set(false));
-        let mut slot = self.shared.slot.lock().expect("pool mutex poisoned");
+        let mut slot = self
+            .shared
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         slot.job = None;
         while slot.outstanding > 0 {
-            slot = self.shared.done.wait(slot).expect("pool mutex poisoned");
+            slot = self
+                .shared
+                .done
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         let panicked = slot.panicked;
         slot.busy = false;
@@ -298,7 +329,7 @@ fn worker_loop(shared: &PoolShared) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut slot = shared.slot.lock().expect("pool mutex poisoned");
+            let mut slot = shared.slot.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if slot.shutdown {
                     return;
@@ -315,7 +346,10 @@ fn worker_loop(shared: &PoolShared) {
                     // Job already cleared or fully staffed: skip this epoch.
                     continue;
                 }
-                slot = shared.work.wait(slot).expect("pool mutex poisoned");
+                slot = shared
+                    .work
+                    .wait(slot)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         // Catch panics so one bad chunk closure cannot kill the pool; the
@@ -331,7 +365,7 @@ fn worker_loop(shared: &PoolShared) {
             }
         }));
         IN_POOL_JOB.with(|flag| flag.set(false));
-        let mut slot = shared.slot.lock().expect("pool mutex poisoned");
+        let mut slot = shared.slot.lock().unwrap_or_else(PoisonError::into_inner);
         if result.is_err() {
             slot.panicked = true;
         }
@@ -485,6 +519,7 @@ where
     });
     slots
         .into_iter()
+        // nrp-lint: allow(P004) — cannot fire: run_chunks returns only after DispatchGuard drained every worker, and the atomic counter hands each chunk index to exactly one worker, which fills that slot
         .map(|slot| slot.into_inner().expect("every chunk produces a result"))
         .collect()
 }

@@ -1,0 +1,845 @@
+//! Name-resolution-lite call graph over the whole workspace.
+//!
+//! Calls are resolved by name and receiver heuristics, not by type
+//! checking, so the graph is an *over-approximation*: a call site may fan
+//! out to several same-named candidates.  Every multi-candidate resolution
+//! is recorded as an [`Ambiguity`] so the imprecision stays visible — the
+//! semantic rules (K/H/P004) accept the over-approximation because for
+//! deadlock and panic *freedom* a spurious edge can only add findings, never
+//! hide one.
+//!
+//! Receiver heuristics, in resolution order:
+//!
+//! 1. `self.m(…)` — the enclosing impl's type first, then every workspace
+//!    impl defining `m`.
+//! 2. `Type::m(…)` — the `(Type, m)` method index when `Type` is a
+//!    workspace impl type; otherwise `m` as a free function.
+//! 3. `recv.m(…)` where `recv` is a plain identifier — binding *events*
+//!    (`recv: Type`, `let recv = Type::…`, `let recv = ….lock()…`) type the
+//!    receiver.  The nearest event before the call site in the calling
+//!    function wins, so `let a = build(…)` *shadows* an earlier `a: f64`
+//!    back to "unknown"; with no in-scope event, file-wide typed events for
+//!    the name apply (naming conventions are stable within a file).  A
+//!    known non-workspace type (e.g. `Vec`, a lock guard) means the method
+//!    is external and no edge is drawn.
+//! 4. Anything else (chained calls, temporaries) falls back to every
+//!    workspace impl defining `m` (ambiguity when more than one).
+//!
+//! Known limitations (documented, deliberate): `drop(x)` is `std::mem::drop`
+//! and draws no edge to `Drop` impls (the lock analysis models guard drops
+//! itself); macro bodies are opaque (`name!(…)` is skipped); trait-object
+//! dispatch resolves like case 4.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::parser::{next_sig, parse_fns, prev_sig, FnDecl};
+use crate::rules::is_test_path;
+
+/// Keywords and binding forms that look like `ident (` but are never calls.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "in", "as", "fn", "let", "move", "else",
+    "unsafe", "where", "impl", "dyn", "pub", "crate", "super", "mut", "ref", "box", "async",
+    "await", "use", "mod", "const", "static", "type", "struct", "enum", "union", "trait",
+];
+
+/// One lexed + parsed file, the unit the graph is built from.
+#[derive(Debug)]
+pub struct FileIndex {
+    /// Workspace-relative path with forward slashes.
+    pub relpath: String,
+    /// The file's full token stream.
+    pub toks: Vec<Token>,
+    /// All `fn` items, in source order.
+    pub fns: Vec<FnDecl>,
+    /// The whole file is test/bench/example code.
+    pub is_test_file: bool,
+}
+
+impl FileIndex {
+    /// Lexes and parses one source text.
+    pub fn build(relpath: &str, source: &str) -> Self {
+        let toks = lex(source);
+        let mask = crate::rules::test_region_mask(&toks);
+        let fns = parse_fns(&toks, &mask);
+        Self {
+            relpath: relpath.to_string(),
+            toks,
+            fns,
+            is_test_file: is_test_path(relpath),
+        }
+    }
+}
+
+/// One function in the graph.  `file_idx`/`fn_idx` point back into the
+/// [`FileIndex`] list the graph was built from, so analyses can re-scan the
+/// body tokens.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    pub file: String,
+    pub file_idx: usize,
+    pub fn_idx: usize,
+    pub name: String,
+    pub impl_type: Option<String>,
+    pub is_pub: bool,
+    pub line: u32,
+    /// Test item, or any item inside a test-only file.
+    pub is_test: bool,
+}
+
+impl FnNode {
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A call site that resolved to more than one candidate.
+#[derive(Debug, Clone)]
+pub struct Ambiguity {
+    pub file: String,
+    pub line: u32,
+    /// Qualified name of the calling function.
+    pub caller: String,
+    /// The callee name as written.
+    pub callee: String,
+    /// Qualified names of every candidate the edge fans out to.
+    pub candidates: Vec<String>,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub nodes: Vec<FnNode>,
+    /// `edges[n]` = node ids `n` calls (deduplicated, ordered).
+    pub edges: Vec<BTreeSet<usize>>,
+    /// Call sites per edge: `(caller, callee) -> (file, line)` of the first
+    /// witnessing call.
+    pub witnesses: BTreeMap<(usize, usize), (String, u32)>,
+    /// Every resolved call site: `(caller, token index of the callee name)`
+    /// -> candidate callee ids.  Lets token-walking analyses (the lock
+    /// pass) ask "what does *this* call resolve to" without re-resolving.
+    pub call_sites: BTreeMap<(usize, usize), Vec<usize>>,
+    pub ambiguities: Vec<Ambiguity>,
+}
+
+impl CallGraph {
+    /// Builds the graph over all files.
+    pub fn build(files: &[FileIndex]) -> Self {
+        let mut g = CallGraph::default();
+        // -- node table ----------------------------------------------------
+        for (file_idx, fi) in files.iter().enumerate() {
+            for (fn_idx, d) in fi.fns.iter().enumerate() {
+                g.nodes.push(FnNode {
+                    file: fi.relpath.clone(),
+                    file_idx,
+                    fn_idx,
+                    name: d.name.clone(),
+                    impl_type: d.impl_type.clone(),
+                    is_pub: d.is_pub,
+                    line: d.line,
+                    is_test: d.is_test || fi.is_test_file,
+                });
+            }
+        }
+        g.edges = vec![BTreeSet::new(); g.nodes.len()];
+
+        // -- name indices (BTreeMaps: the linter obeys its own D001) -------
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut typed: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut impl_types: BTreeSet<&str> = BTreeSet::new();
+        for (id, n) in g.nodes.iter().enumerate() {
+            match &n.impl_type {
+                None => free.entry(&n.name).or_default().push(id),
+                Some(t) => {
+                    methods.entry(&n.name).or_default().push(id);
+                    typed.entry((t, &n.name)).or_default().push(id);
+                    impl_types.insert(t);
+                }
+            }
+        }
+
+        // -- per-node call-site resolution ---------------------------------
+        let events: Vec<Vec<BindingEvent>> =
+            files.iter().map(|fi| binding_events(&fi.toks)).collect();
+        let mut new_edges: Vec<(usize, BTreeSet<usize>)> = Vec::new();
+        let mut ambiguities = Vec::new();
+        for (id, node) in g.nodes.iter().enumerate() {
+            let fi = &files[node.file_idx];
+            let decl = &fi.fns[node.fn_idx];
+            let bindings = &events[node.file_idx];
+            let mut callees = BTreeSet::new();
+            resolve_body(
+                id,
+                node,
+                decl,
+                fi,
+                bindings,
+                &free,
+                &methods,
+                &typed,
+                &impl_types,
+                &g.nodes,
+                &mut callees,
+                &mut ambiguities,
+                &mut g.witnesses,
+                &mut g.call_sites,
+            );
+            new_edges.push((id, callees));
+        }
+        for (id, callees) in new_edges {
+            g.edges[id] = callees;
+        }
+        g.ambiguities = ambiguities;
+        g.ambiguities
+            .sort_by(|a, b| (&a.file, a.line, &a.callee).cmp(&(&b.file, b.line, &b.callee)));
+        g
+    }
+
+    /// Node ids reachable from `roots` (inclusive), following call edges.
+    pub fn reachable_from(&self, roots: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut seen = roots.clone();
+        let mut stack: Vec<usize> = roots.iter().copied().collect();
+        while let Some(n) = stack.pop() {
+            for &m in &self.edges[n] {
+                if seen.insert(m) {
+                    stack.push(m);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Node ids that can reach any of `targets` (inclusive) — reverse
+    /// reachability, for "which public APIs reach this unsafe block".
+    pub fn reaching(&self, targets: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut rev: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.nodes.len()];
+        for (n, outs) in self.edges.iter().enumerate() {
+            for &m in outs {
+                rev[m].insert(n);
+            }
+        }
+        let mut seen = targets.clone();
+        let mut stack: Vec<usize> = targets.iter().copied().collect();
+        while let Some(n) = stack.pop() {
+            for &m in &rev[n] {
+                if seen.insert(m) {
+                    stack.push(m);
+                }
+            }
+        }
+        seen
+    }
+
+    /// A shortest call chain `from → … → to`, as qualified names, for
+    /// human-readable finding messages.  Empty when unreachable.
+    pub fn chain(&self, from: usize, to: usize) -> Vec<String> {
+        if from == to {
+            return vec![self.nodes[from].qualified()];
+        }
+        let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([from]);
+        let mut seen = BTreeSet::from([from]);
+        while let Some(n) = queue.pop_front() {
+            for &m in &self.edges[n] {
+                if seen.insert(m) {
+                    prev.insert(m, n);
+                    if m == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(&p) = prev.get(&cur) {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return path.iter().map(|&i| self.nodes[i].qualified()).collect();
+                    }
+                    queue.push_back(m);
+                }
+            }
+        }
+        Vec::new()
+    }
+}
+
+/// One receiver-typing fact, in token order: at token `idx`, `name` was
+/// bound with type `ty` (`None` = bound to something the heuristics cannot
+/// type, which *shadows* any earlier typing of the same name).
+#[derive(Debug, Clone)]
+struct BindingEvent {
+    idx: usize,
+    name: String,
+    ty: Option<String>,
+}
+
+/// All binding events of one file, from `name: Type` (params, fields,
+/// lets), `let name = Type::…` / `Type {…}` constructions, and guard
+/// acquisitions (`let name = ….lock()…` types `name` as `MutexGuard`).  A
+/// `let name = <anything else>` records a `None` event so stale types from
+/// earlier in the function do not leak forward past a rebinding.
+fn binding_events(toks: &[Token]) -> Vec<BindingEvent> {
+    let mut events = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident || tok.is_comment() {
+            continue;
+        }
+        let Some(sep) = next_sig(toks, i + 1) else {
+            continue;
+        };
+        if toks[sep].is_punct(':') {
+            // `name : Type` — but not `name ::` (a path).
+            if next_sig(toks, sep + 1).is_some_and(|j| toks[j].is_punct(':')) {
+                continue;
+            }
+            if let Some(ty) = first_type_ident(toks, sep + 1) {
+                events.push(BindingEvent {
+                    idx: i,
+                    name: tok.text.clone(),
+                    ty: Some(ty),
+                });
+            }
+        } else if toks[sep].is_punct('=') {
+            // `let name = …` (skip `==`, `=>`).
+            if next_sig(toks, sep + 1)
+                .is_some_and(|j| toks[j].is_punct('=') || toks[j].is_punct('>'))
+            {
+                continue;
+            }
+            let is_let_binding = prev_sig(toks, i)
+                .is_some_and(|p| toks[p].is_ident("let") || toks[p].is_ident("mut"));
+            if !is_let_binding {
+                continue;
+            }
+            let mut ty = None;
+            if let Some(j) = next_sig(toks, sep + 1) {
+                let t = &toks[j];
+                let looks_like_type = t.kind == TokKind::Ident
+                    && t.text.chars().next().is_some_and(char::is_uppercase);
+                if looks_like_type
+                    && next_sig(toks, j + 1)
+                        .is_some_and(|k| toks[k].is_punct(':') || toks[k].is_punct('{'))
+                {
+                    ty = Some(t.text.clone());
+                }
+            }
+            if ty.is_none() && initializer_acquires_guard(toks, sep + 1) {
+                // `let g = ….lock()…` / `lock_unpoisoned(…)`: `g` is a lock
+                // guard.  Deref'd method calls on guards resolve like any
+                // external type (no edge) — the lock analysis models guard
+                // lifetimes itself from the token stream.
+                ty = Some("MutexGuard".to_string());
+            }
+            events.push(BindingEvent {
+                idx: i,
+                name: tok.text.clone(),
+                ty,
+            });
+        }
+    }
+    events
+}
+
+/// Whether a `let` initializer (tokens from just after `=` to the
+/// statement-ending `;`) acquires a lock guard: a `.lock(`/`.read(`/
+/// `.write(` adapter or a `lock_unpoisoned(…)` wrapper call.
+fn initializer_acquires_guard(toks: &[Token], start: usize) -> bool {
+    let mut paren = 0i64;
+    let mut brace = 0i64;
+    for j in start..toks.len() {
+        let t = &toks[j];
+        if t.is_comment() {
+            continue;
+        }
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if t.is_punct('{') {
+            brace += 1;
+        } else if t.is_punct('}') {
+            brace -= 1;
+            if brace < 0 {
+                return false;
+            }
+        } else if t.is_punct(';') && paren <= 0 && brace == 0 {
+            return false;
+        } else if t.kind == TokKind::Ident
+            && next_sig(toks, j + 1).is_some_and(|k| toks[k].is_punct('('))
+        {
+            let dotted = prev_sig(toks, j).is_some_and(|p| toks[p].is_punct('.'));
+            if (dotted && matches!(t.text.as_str(), "lock" | "read" | "write"))
+                || (!dotted && t.text == "lock_unpoisoned")
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The type of `name` at token `at`, per the nearest binding event before
+/// `at` within the scope `[scope_start, at)`.  `None` = no event in scope
+/// (fan out); `Some(None)` = rebound to unknown (fan out); `Some(Some(ty))`
+/// = typed.
+fn binding_at<'e>(
+    events: &'e [BindingEvent],
+    name: &str,
+    scope_start: usize,
+    at: usize,
+) -> Option<&'e Option<String>> {
+    events
+        .iter()
+        .rfind(|e| e.name == name && e.idx >= scope_start && e.idx < at)
+        .map(|e| &e.ty)
+}
+
+/// First type-name identifier after a `:` separator, skipping `&`, `mut`,
+/// lifetimes, `dyn` and `impl`.  Deref-transparent wrappers (`Arc<T>`,
+/// `Rc<T>`, `Box<T>`) are seen through: method calls on them dispatch to
+/// `T`, so `pool: Arc<WorkerPool>` types `pool` as `WorkerPool`.
+fn first_type_ident(toks: &[Token], mut i: usize) -> Option<String> {
+    for _ in 0..10 {
+        let j = next_sig(toks, i)?;
+        let t = &toks[j];
+        if t.is_punct('&')
+            || t.kind == TokKind::Lifetime
+            || t.is_ident("mut")
+            || t.is_ident("dyn")
+            || t.is_ident("impl")
+        {
+            i = j + 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            if matches!(t.text.as_str(), "Arc" | "Rc" | "Box") {
+                if let Some(k) = next_sig(toks, j + 1).filter(|&k| toks[k].is_punct('<')) {
+                    i = k + 1;
+                    continue;
+                }
+            }
+            return Some(t.text.clone());
+        }
+        return None;
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_body(
+    caller_id: usize,
+    caller: &FnNode,
+    decl: &FnDecl,
+    fi: &FileIndex,
+    bindings: &[BindingEvent],
+    free: &BTreeMap<&str, Vec<usize>>,
+    methods: &BTreeMap<&str, Vec<usize>>,
+    typed: &BTreeMap<(&str, &str), Vec<usize>>,
+    impl_types: &BTreeSet<&str>,
+    nodes: &[FnNode],
+    callees: &mut BTreeSet<usize>,
+    ambiguities: &mut Vec<Ambiguity>,
+    witnesses: &mut BTreeMap<(usize, usize), (String, u32)>,
+    call_sites: &mut BTreeMap<(usize, usize), Vec<usize>>,
+) {
+    let toks = &fi.toks;
+    for i in decl.body.clone() {
+        let tok = &toks[i];
+        if tok.kind != TokKind::Ident || NON_CALL_IDENTS.contains(&tok.text.as_str()) {
+            continue;
+        }
+        let Some(after) = next_sig(toks, i + 1) else {
+            continue;
+        };
+        if toks[after].is_punct('!') {
+            continue; // macro invocation — opaque
+        }
+        if !toks[after].is_punct('(') {
+            continue;
+        }
+        let name = tok.text.as_str();
+        let prev = prev_sig(toks, i);
+        let candidates: Vec<usize> = match prev {
+            // `recv . name (`
+            Some(p) if toks[p].is_punct('.') => {
+                let recv = prev_sig(toks, p);
+                match recv.map(|r| &toks[r]) {
+                    Some(r) if r.is_ident("self") => {
+                        // `self.name(…)` — enclosing impl first.
+                        let own = decl
+                            .impl_type
+                            .as_deref()
+                            .and_then(|t| typed.get(&(t, name)))
+                            .cloned()
+                            .unwrap_or_default();
+                        if own.is_empty() {
+                            methods.get(name).cloned().unwrap_or_default()
+                        } else {
+                            own
+                        }
+                    }
+                    Some(r) if r.kind == TokKind::Ident => {
+                        // Plain-ident receiver: the nearest in-scope binding
+                        // event before the call site wins; with no in-scope
+                        // event, fall back to the file-wide typed events for
+                        // the name (naming conventions like `pool:
+                        // &WorkerPool` are stable across a file's fns).
+                        let r_idx = recv.unwrap_or(i);
+                        let resolve_typed = |tys: &[&String]| -> Vec<usize> {
+                            // A known type without the method means the call
+                            // is inherited/derived (workspace type) or std's
+                            // (external type: Vec, Arc, a guard) — no edge.
+                            tys.iter()
+                                .flat_map(|t| {
+                                    typed.get(&(t.as_str(), name)).cloned().unwrap_or_default()
+                                })
+                                .collect()
+                        };
+                        match binding_at(bindings, &r.text, decl.sig_start, r_idx) {
+                            Some(Some(ty)) => resolve_typed(&[ty]),
+                            // Rebound to an untypable expression: fan out.
+                            Some(None) => methods.get(name).cloned().unwrap_or_default(),
+                            None => {
+                                let tys: Vec<&String> = bindings
+                                    .iter()
+                                    .filter(|e| e.name == r.text)
+                                    .filter_map(|e| e.ty.as_ref())
+                                    .collect();
+                                if tys.is_empty() {
+                                    methods.get(name).cloned().unwrap_or_default()
+                                } else {
+                                    resolve_typed(&tys)
+                                }
+                            }
+                        }
+                    }
+                    // Chained/complex receiver — fall back to all impls.
+                    _ => methods.get(name).cloned().unwrap_or_default(),
+                }
+            }
+            // `Seg :: name (`
+            Some(p) if toks[p].is_punct(':') => {
+                let seg = prev_sig(toks, p)
+                    .and_then(|q| prev_sig(toks, q))
+                    .map(|s| &toks[s]);
+                match seg {
+                    Some(s) if s.kind == TokKind::Ident && impl_types.contains(s.text.as_str()) => {
+                        typed
+                            .get(&(s.text.as_str(), name))
+                            .cloned()
+                            .unwrap_or_default()
+                    }
+                    _ => free.get(name).cloned().unwrap_or_default(),
+                }
+            }
+            // Bare `name (` — a free-function call (same-file preferred).
+            _ => {
+                let all = free.get(name).cloned().unwrap_or_default();
+                let local: Vec<usize> = all
+                    .iter()
+                    .copied()
+                    .filter(|&id| nodes[id].file_idx == caller.file_idx)
+                    .collect();
+                if local.is_empty() {
+                    all
+                } else {
+                    local
+                }
+            }
+        };
+        if candidates.is_empty() {
+            continue;
+        }
+        if candidates.len() > 1 {
+            ambiguities.push(Ambiguity {
+                file: fi.relpath.clone(),
+                line: tok.line,
+                caller: caller.qualified(),
+                callee: name.to_string(),
+                candidates: candidates.iter().map(|&id| nodes[id].qualified()).collect(),
+            });
+        }
+        call_sites.insert((caller_id, i), candidates.clone());
+        for id in candidates {
+            witnesses
+                .entry((caller_id, id))
+                .or_insert_with(|| (fi.relpath.clone(), tok.line));
+            callees.insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(sources: &[(&str, &str)]) -> (Vec<FileIndex>, CallGraph) {
+        let files: Vec<FileIndex> = sources
+            .iter()
+            .map(|(path, src)| FileIndex::build(path, src))
+            .collect();
+        let g = CallGraph::build(&files);
+        (files, g)
+    }
+
+    fn edge_names(g: &CallGraph) -> BTreeSet<(String, String)> {
+        let mut out = BTreeSet::new();
+        for (n, outs) in g.edges.iter().enumerate() {
+            for &m in outs {
+                out.insert((g.nodes[n].qualified(), g.nodes[m].qualified()));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn free_function_calls_resolve_across_files() {
+        let (_f, g) = graph(&[
+            ("crates/a/src/lib.rs", "pub fn entry() { helper(); }\n"),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn helper() { leaf(); }\npub fn leaf() {}\n",
+            ),
+        ]);
+        let edges = edge_names(&g);
+        assert!(
+            edges.contains(&("entry".into(), "helper".into())),
+            "{edges:?}"
+        );
+        assert!(
+            edges.contains(&("helper".into(), "leaf".into())),
+            "{edges:?}"
+        );
+        assert!(g.ambiguities.is_empty(), "{:?}", g.ambiguities);
+    }
+
+    #[test]
+    fn self_method_calls_prefer_the_enclosing_impl() {
+        let (_f, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct A;\nstruct B;\n\
+             impl A { pub fn run(&self) { self.step(); } fn step(&self) {} }\n\
+             impl B { fn step(&self) {} }\n",
+        )]);
+        let edges = edge_names(&g);
+        assert!(
+            edges.contains(&("A::run".into(), "A::step".into())),
+            "{edges:?}"
+        );
+        assert!(
+            !edges.contains(&("A::run".into(), "B::step".into())),
+            "{edges:?}"
+        );
+        assert!(g.ambiguities.is_empty(), "{:?}", g.ambiguities);
+    }
+
+    #[test]
+    fn typed_receivers_avoid_false_edges_to_std_methods() {
+        // `v.push(…)` on a Vec must NOT edge to `Stack::push`.
+        let (_f, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct Stack;\nimpl Stack { pub fn push(&mut self, x: u32) {} }\n\
+             pub fn uses_vec(v: &mut Vec<u32>) { v.push(1); }\n\
+             pub fn uses_stack(s: &mut Stack) { s.push(1); }\n",
+        )]);
+        let edges = edge_names(&g);
+        assert!(
+            !edges.contains(&("uses_vec".into(), "Stack::push".into())),
+            "{edges:?}"
+        );
+        assert!(
+            edges.contains(&("uses_stack".into(), "Stack::push".into())),
+            "{edges:?}"
+        );
+    }
+
+    #[test]
+    fn untyped_receivers_fan_out_and_report_ambiguity() {
+        let (_f, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct A;\nstruct B;\n\
+             impl A { pub fn work(&self) {} }\n\
+             impl B { pub fn work(&self) {} }\n\
+             pub fn dispatch() { make().work(); }\n",
+        )]);
+        let edges = edge_names(&g);
+        assert!(
+            edges.contains(&("dispatch".into(), "A::work".into())),
+            "{edges:?}"
+        );
+        assert!(
+            edges.contains(&("dispatch".into(), "B::work".into())),
+            "{edges:?}"
+        );
+        assert_eq!(g.ambiguities.len(), 1, "{:?}", g.ambiguities);
+        assert_eq!(g.ambiguities[0].callee, "work");
+        assert_eq!(g.ambiguities[0].candidates, vec!["A::work", "B::work"]);
+    }
+
+    #[test]
+    fn type_qualified_calls_use_the_method_index() {
+        let (_f, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct Pool;\nimpl Pool { pub fn new() -> Pool { Pool } }\n\
+             pub fn build() { let _p = Pool::new(); }\n\
+             pub fn external() { let _v = Vec::new(); }\n",
+        )]);
+        let edges = edge_names(&g);
+        assert!(
+            edges.contains(&("build".into(), "Pool::new".into())),
+            "{edges:?}"
+        );
+        // `Vec::new` is external — `external` must have no out-edges.
+        let ext = g.nodes.iter().position(|n| n.name == "external").unwrap();
+        assert!(g.edges[ext].is_empty(), "{:?}", g.edges[ext]);
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let (_f, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn noisy() { println!(\"x\"); if (1 > 0) { } while (false) { } }\n\
+             pub fn println() {} // same-named fn must not be hit by the macro\n",
+        )]);
+        let noisy = g.nodes.iter().position(|n| n.name == "noisy").unwrap();
+        assert!(g.edges[noisy].is_empty(), "{:?}", g.edges[noisy]);
+    }
+
+    #[test]
+    fn reachability_and_chains() {
+        let (_f, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn a() { b(); }\npub fn b() { c(); }\npub fn c() {}\npub fn lone() {}\n",
+        )]);
+        let id = |name: &str| g.nodes.iter().position(|n| n.name == name).unwrap();
+        let fwd = g.reachable_from(&BTreeSet::from([id("a")]));
+        assert!(fwd.contains(&id("c")) && !fwd.contains(&id("lone")));
+        let rev = g.reaching(&BTreeSet::from([id("c")]));
+        assert!(rev.contains(&id("a")) && !rev.contains(&id("lone")));
+        assert_eq!(g.chain(id("a"), id("c")), vec!["a", "b", "c"]);
+        assert!(g.chain(id("lone"), id("c")).is_empty());
+    }
+
+    #[test]
+    fn rebinding_shadows_an_earlier_type_back_to_unknown() {
+        // A closure param `|a: f64|` types `a`, but a later `let a = …`
+        // rebinding must shadow it so the method call still fans out.
+        let (_f, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct Matrix;\nimpl Matrix { pub fn matmul(&self) {} }\n\
+             pub fn roster() {\n\
+                 let fold = |a: f64, b: f64| a + b;\n\
+                 let a = make_matrix();\n\
+                 a.matmul();\n\
+                 let _ = fold;\n\
+             }\n",
+        )]);
+        let edges = edge_names(&g);
+        assert!(
+            edges.contains(&("roster".into(), "Matrix::matmul".into())),
+            "{edges:?}"
+        );
+    }
+
+    #[test]
+    fn untyped_lets_fan_out_within_their_fn() {
+        // `let s = obtain()` rebinds `s` to an untypable expression; the
+        // call fans out rather than inheriting `typed`'s `s: Stack`.
+        let (_f, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct Stack;\nimpl Stack { pub fn push(&mut self) {} }\n\
+             pub fn typed(s: &mut Stack) { s.push(); }\n\
+             pub fn other() { let s = obtain(); s.push(); }\n",
+        )]);
+        let edges = edge_names(&g);
+        assert!(
+            edges.contains(&("typed".into(), "Stack::push".into())),
+            "{edges:?}"
+        );
+        assert!(
+            edges.contains(&("other".into(), "Stack::push".into())),
+            "{edges:?}"
+        );
+    }
+
+    #[test]
+    fn file_wide_conventions_type_receivers_with_no_in_scope_binding() {
+        // `pool.run()` in a fn that never binds `pool` picks up the
+        // file-wide `pool: WorkerPool` convention from another fn, so the
+        // call does not fan out to every workspace `run`.
+        let (_f, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct WorkerPool;\nimpl WorkerPool { pub fn run(&self) {} }\n\
+             struct Sweep;\nimpl Sweep { pub fn run(&self) {} }\n\
+             pub fn sized(pool: &WorkerPool) { pool.run(); }\n\
+             pub fn unsized_caller() { with(|pool| { pool.run(); }); }\n",
+        )]);
+        let edges = edge_names(&g);
+        assert!(
+            edges.contains(&("unsized_caller".into(), "WorkerPool::run".into())),
+            "{edges:?}"
+        );
+        assert!(
+            !edges.contains(&("unsized_caller".into(), "Sweep::run".into())),
+            "{edges:?}"
+        );
+    }
+
+    #[test]
+    fn lock_guard_lets_type_the_binding_as_external() {
+        // `let map = registry().lock().expect(…); map.get(…)` — the guard
+        // derefs to a std map, so `get` must not edge to a workspace method.
+        let (_f, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct Client;\nimpl Client { pub fn get(&self) {} }\n\
+             pub fn lookup() {\n\
+                 let map = registry().lock().expect(\"poisoned\");\n\
+                 map.get();\n\
+             }\n",
+        )]);
+        let lookup = g.nodes.iter().position(|n| n.name == "lookup").unwrap();
+        assert!(g.edges[lookup].is_empty(), "{:?}", g.edges[lookup]);
+    }
+
+    #[test]
+    fn deref_transparent_wrappers_resolve_to_the_inner_type() {
+        // `pool: Arc<WorkerPool>` dispatches method calls on the inner type,
+        // so `pool.run(…)` must edge to `WorkerPool::run`, not fan out.
+        let (_f, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct WorkerPool;\nimpl WorkerPool { pub fn run(&self) {} }\n\
+             struct Sweep;\nimpl Sweep { pub fn run(&self) {} }\n\
+             pub fn dispatch(pool: &Arc<WorkerPool>) { pool.run(); }\n",
+        )]);
+        let edges = edge_names(&g);
+        assert!(
+            edges.contains(&("dispatch".into(), "WorkerPool::run".into())),
+            "{edges:?}"
+        );
+        assert!(
+            !edges.contains(&("dispatch".into(), "Sweep::run".into())),
+            "{edges:?}"
+        );
+    }
+
+    #[test]
+    fn same_file_free_fns_win_over_other_files() {
+        let (_f, g) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn init() {}\npub fn run() { init(); }\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn init() {}\n"),
+        ]);
+        let run = g.nodes.iter().position(|n| n.name == "run").unwrap();
+        let a_init = g
+            .nodes
+            .iter()
+            .position(|n| n.name == "init" && n.file.starts_with("crates/a"))
+            .unwrap();
+        assert_eq!(g.edges[run], BTreeSet::from([a_init]));
+        assert!(g.ambiguities.is_empty(), "{:?}", g.ambiguities);
+    }
+}

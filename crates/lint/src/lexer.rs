@@ -212,7 +212,16 @@ impl Lexer<'_> {
         self.pos += 1; // opening quote
         while self.pos < self.bytes.len() {
             match self.bytes[self.pos] {
-                b'\\' => self.pos += 2,
+                b'\\' => {
+                    // An escape consumes the next byte too — which may be a
+                    // newline (the line-continuation escape), so the line
+                    // counter must still advance or every token after the
+                    // string reports a stale line.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2;
+                }
                 b'\n' => {
                     self.line += 1;
                     self.pos += 1;
@@ -287,7 +296,14 @@ impl Lexer<'_> {
         self.pos += 1;
         while self.pos < self.bytes.len() {
             match self.bytes[self.pos] {
-                b'\\' => self.pos += 2,
+                b'\\' => {
+                    // `'\` + newline is malformed Rust, but keep the line
+                    // counter honest anyway (mirrors `string_literal`).
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2;
+                }
                 b'\'' => {
                     self.pos += 1;
                     break;
@@ -366,12 +382,12 @@ impl Lexer<'_> {
                     return;
                 }
                 if raw {
-                    // br" / br# / r": position on the hash-or-quote run.
+                    // br" / br# / r": position on the hash-or-quote run.  A
+                    // raw string NEVER honors `\` escapes, even with zero
+                    // hashes — `r"C:\"` ends at the quote, so routing it
+                    // through `string_literal` would swallow the rest of the
+                    // line (and every rule-relevant token on it).
                     self.pos += prefix.len() - 1;
-                    if prefix.ends_with('"') {
-                        self.string_literal(prefix.len() - 1);
-                        return;
-                    }
                     self.raw_string(start);
                     return;
                 }
@@ -472,6 +488,58 @@ mod tests {
         let toks = kinds("/* outer /* inner */ still comment */ code");
         assert_eq!(toks.len(), 2);
         assert_eq!(toks[1], (TokKind::Ident, "code".into()));
+    }
+
+    #[test]
+    fn zero_hash_raw_strings_ignore_escapes() {
+        // `r"C:\"` ends at the quote — the backslash is NOT an escape.  A
+        // lexer that treats it as one swallows `; x.unwrap()` into the
+        // literal and hides the unwrap from every rule.
+        let toks = kinds("let p = r\"C:\\\"; x.unwrap();");
+        assert!(
+            toks.contains(&(TokKind::Literal, "r\"C:\\\"".into())),
+            "{toks:?}"
+        );
+        assert!(
+            toks.iter()
+                .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"),
+            "code after the raw string must stay visible: {toks:?}"
+        );
+        // Same for byte raw strings.
+        let toks = kinds("let p = br\"a\\\"; y.unwrap();");
+        assert!(
+            toks.iter()
+                .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"),
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn backslash_newline_escapes_keep_line_numbers_honest() {
+        // The line-continuation escape `\` + newline is consumed as one
+        // escape; the newline must still count.
+        let toks = lex("let s = \"a\\\n   b\";\nlet after = 1;");
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3, "{toks:?}");
+    }
+
+    #[test]
+    fn multiline_raw_strings_count_their_lines() {
+        let toks = lex("let s = r#\"one\ntwo\nthree\"#;\nlet next = 2;");
+        let next = toks.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 4, "{toks:?}");
+    }
+
+    #[test]
+    fn lifetime_followed_by_comparison_is_not_a_char() {
+        // `'a>` in a generic list, and `'_` placeholders.
+        let toks = kinds("fn f<'a, '_>(x: &'a u32) -> bool { *x < 'b' as u32 }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            3,
+            "{toks:?}"
+        );
+        assert!(toks.contains(&(TokKind::Literal, "'b'".into())));
     }
 
     #[test]

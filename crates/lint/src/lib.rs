@@ -32,10 +32,13 @@
 //! one it suppresses nothing and is itself flagged (L001).  See
 //! `CONTRIBUTING.md` § "Project lints" for the policy discussion.
 
+pub mod callgraph;
 pub mod lexer;
+pub mod locks;
+pub mod parser;
 pub mod rules;
+pub mod semantic;
 
-use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -92,6 +95,10 @@ pub struct UnsafeSite {
     pub allowlisted: bool,
     /// Whether the site lives in test/bench/example code.
     pub test_code: bool,
+    /// Qualified names of public workspace functions that transitively
+    /// reach the function containing this site (call-graph facts; empty
+    /// for sites outside any function or before the semantic pass runs).
+    pub reachable_from: Vec<String>,
 }
 
 impl UnsafeSite {
@@ -106,6 +113,15 @@ impl UnsafeSite {
         map.insert("documented", serde::Value::Bool(self.documented));
         map.insert("allowlisted", serde::Value::Bool(self.allowlisted));
         map.insert("test", serde::Value::Bool(self.test_code));
+        map.insert(
+            "reachable_from",
+            serde::Value::Array(
+                self.reachable_from
+                    .iter()
+                    .map(|n| serde::Value::String(n.clone()))
+                    .collect(),
+            ),
+        );
         serde::Value::Object(map)
     }
 }
@@ -126,6 +142,17 @@ pub struct Config {
     pub timing_allowed: Vec<String>,
     /// `nrp-serve` request-path modules covered by the P rules.
     pub request_path: Vec<String>,
+    /// Warm-path roots for the H rules: function names and impl-type names
+    /// whose (transitively) reachable code must not allocate.
+    pub hot_roots: Vec<String>,
+    /// Files whose amortized growth ops (H002: `push`/`reserve`/…) are
+    /// proven allocation-free at steady state by a counting-allocator test
+    /// — H001 (unconditional allocation) still applies there.
+    pub warm_proven: Vec<String>,
+    /// Free functions that acquire a lock on behalf of their caller
+    /// (`lock_unpoisoned`): call sites count as direct acquisitions and the
+    /// wrapper body itself is excluded from the lock analysis.
+    pub lock_wrappers: Vec<String>,
 }
 
 impl Default for Config {
@@ -145,6 +172,9 @@ impl Default for Config {
                 "crates/serve/src/cache.rs".into(),
                 "crates/serve/src/client.rs".into(),
             ],
+            hot_roots: vec!["forward_push_into".into(), "PushWorkspace".into()],
+            warm_proven: vec!["crates/core/src/push.rs".into()],
+            lock_wrappers: vec!["lock_unpoisoned".into()],
         }
     }
 }
@@ -154,10 +184,20 @@ impl Default for Config {
 pub struct WorkspaceReport {
     /// All findings, sorted by (file, line, rule).
     pub findings: Vec<Finding>,
-    /// Every `unsafe` site in the tree, sorted by (file, line).
+    /// Every `unsafe` site in the tree, sorted by (file, line), with
+    /// call-graph reachability context filled in.
     pub unsafe_sites: Vec<UnsafeSite>,
     /// Number of `.rs` files analyzed.
     pub files_checked: usize,
+    /// Call sites the semantic pass could not resolve to one candidate.
+    pub ambiguities: Vec<callgraph::Ambiguity>,
+    /// The `lock-order.json` payload for this tree.
+    pub lock_order_json: String,
+    /// Coverage numbers behind the lock inventory: every
+    /// `Mutex`/`RwLock`/`Condvar` identifier seen, and how many named
+    /// declarations they yielded.
+    pub lock_type_sites: usize,
+    pub lock_decls: usize,
 }
 
 /// Lints a single source text under a (possibly virtual) workspace-relative
@@ -179,57 +219,35 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<WorkspaceReport> 
     files.sort();
 
     let mut report = WorkspaceReport::default();
-    // relpath -> (exec fns, pub fn names) for rule A.
-    let mut fn_maps: BTreeMap<String, (Vec<rules::ExecFn>, Vec<String>)> = BTreeMap::new();
-    let mut roster = String::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
 
     for rel in &files {
         let source = fs::read_to_string(root.join(rel))?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        if rel_str == "tests/thread_invariance.rs" {
-            roster = source.clone();
-        }
         let file_report = analyze(&rel_str, &source, cfg);
         report.findings.extend(file_report.findings);
         report.unsafe_sites.extend(file_report.unsafe_sites);
-        if !file_report.exec_fns.is_empty() {
-            fn_maps.insert(rel_str, (file_report.exec_fns, file_report.pub_fn_names));
-        }
+        sources.push((rel_str, source));
         report.files_checked += 1;
     }
 
-    // Rule A: every `pub fn *_exec` kernel needs a sequential twin in the
-    // same file (A001) and a mention in the thread-invariance roster (A002).
-    for (rel, (exec_fns, pub_fns)) in &fn_maps {
-        for exec in exec_fns {
-            let base = exec.name.strip_suffix("_exec").unwrap_or(&exec.name);
-            let with = format!("{base}_with");
-            if !pub_fns.iter().any(|n| n == base || *n == with) {
-                report.findings.push(Finding::new(
-                    rel,
-                    exec.line,
-                    "A001",
-                    format!(
-                        "`{}` has no sequential twin — export `pub fn {base}` or \
-                         `pub fn {with}` so callers can bypass the Exec policy",
-                        exec.name
-                    ),
-                ));
-            }
-            if !roster.contains(&exec.name) {
-                report.findings.push(Finding::new(
-                    rel,
-                    exec.line,
-                    "A002",
-                    format!(
-                        "`{}` is missing from the tests/thread_invariance.rs roster — every \
-                         Exec kernel must prove bitwise thread-invariance",
-                        exec.name
-                    ),
-                ));
-            }
+    // The semantic pass: call graph, lock analysis (K rules), warm-path
+    // allocation checking (H rules), transitive panic reachability (P004)
+    // and the call-graph-backed A rules.
+    let semantic = semantic::analyze_workspace(&sources, cfg);
+    report.findings.extend(semantic.findings);
+    for site in &mut report.unsafe_sites {
+        if let Some(reachers) = semantic
+            .unsafe_reachable
+            .get(&(site.file.clone(), site.line))
+        {
+            site.reachable_from = reachers.clone();
         }
     }
+    report.ambiguities = semantic.ambiguities;
+    report.lock_order_json = semantic.lock_order_json;
+    report.lock_type_sites = semantic.lock_type_sites;
+    report.lock_decls = semantic.lock_decls;
 
     report
         .findings
@@ -265,4 +283,47 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Resu
 pub fn unsafe_inventory_json(sites: &[UnsafeSite]) -> String {
     let array = serde::Value::Array(sites.iter().map(|s| s.to_value()).collect());
     serde_json::to_string_pretty(&array).unwrap_or_else(|_| "[]".into())
+}
+
+/// Renders findings (plus the semantic pass's ambiguity report) as the
+/// `--format json` payload: a single object with `findings`,
+/// `ambiguities` and `files_checked`.
+pub fn findings_json(
+    findings: &[Finding],
+    ambiguities: &[callgraph::Ambiguity],
+    files_checked: usize,
+) -> String {
+    let s = |v: &str| serde::Value::String(v.to_string());
+    let n = |v: u64| serde::Value::Number(serde::Number::PosInt(v));
+    let findings = findings
+        .iter()
+        .map(|f| {
+            let mut map = serde::Map::new();
+            map.insert("file", s(&f.file));
+            map.insert("line", n(f.line as u64));
+            map.insert("rule", s(&f.rule));
+            map.insert("message", s(&f.message));
+            serde::Value::Object(map)
+        })
+        .collect();
+    let ambiguities = ambiguities
+        .iter()
+        .map(|a| {
+            let mut map = serde::Map::new();
+            map.insert("file", s(&a.file));
+            map.insert("line", n(a.line as u64));
+            map.insert("caller", s(&a.caller));
+            map.insert("callee", s(&a.callee));
+            map.insert(
+                "candidates",
+                serde::Value::Array(a.candidates.iter().map(|c| s(c)).collect()),
+            );
+            serde::Value::Object(map)
+        })
+        .collect();
+    let mut root = serde::Map::new();
+    root.insert("findings", serde::Value::Array(findings));
+    root.insert("ambiguities", serde::Value::Array(ambiguities));
+    root.insert("files_checked", n(files_checked as u64));
+    serde_json::to_string_pretty(&serde::Value::Object(root)).unwrap_or_else(|_| "{}".into())
 }

@@ -1,0 +1,1002 @@
+//! K-rules: lock-order and blocking-under-lock analysis.
+//!
+//! The pass inventories every `Mutex`/`RwLock`/`Condvar` identifier in the
+//! workspace, tracks guard lifetimes through each function body with the
+//! pre-2024 temporary-lifetime rules, propagates "what does this call
+//! acquire / can it block" summaries through the call graph, and reports:
+//!
+//! * **K001** — a cycle in the lock-acquisition order graph (including the
+//!   length-1 cycle of calling into code that re-acquires a lock the caller
+//!   already holds; `std::sync::Mutex` is not re-entrant).
+//! * **K002** — `Condvar::wait` while holding a lock other than the one in
+//!   the wait guard, or one condvar waited on with two different locks.
+//! * **K003** — a potentially blocking operation (`join`, channel
+//!   `send`/`recv`, `accept`, `connect`, stream `read`/`write`/`flush`, or
+//!   a call whose callee transitively does any of those or waits on a
+//!   condvar) executed while holding a lock.
+//!
+//! Lock identity is by *name*: the last identifier before `.lock()` (or the
+//! last identifier inside a `lock_unpoisoned(…)`-style wrapper call),
+//! canonicalised against the declaration inventory case-insensitively and
+//! by `_`-separated suffix (`accept_connections` is a clone handle of the
+//! `connections` field).  Two unrelated locks sharing a field name would
+//! alias — acceptable for this workspace, where lock names are globally
+//! distinct by construction (and checked by the inventory being reviewed
+//! with `lock-order.json`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+use crate::callgraph::FileIndex;
+use crate::lexer::{TokKind, Token};
+use crate::parser::{matching_brace, next_sig, prev_sig};
+use crate::rules::test_region_mask;
+use crate::{Config, Finding};
+
+/// Method names that may block the calling thread (K003).  `wait` is
+/// excluded here — condvar waits are K002's domain at the direct site, but
+/// they do count as "blocking" in transitive summaries (a call that can
+/// park on a condvar must not run under an unrelated lock).
+const BLOCKING_METHODS: &[&str] = &[
+    "join",
+    "recv",
+    "recv_timeout",
+    "send",
+    "accept",
+    "connect",
+    "flush",
+    "read",
+    "write",
+    "read_exact",
+    "write_all",
+    "read_to_end",
+    "read_to_string",
+];
+
+/// Result-adapter methods that keep a `.lock()` chain a *guard* binding
+/// (`let g = m.lock().expect(…)`).  Any other trailing method consumes the
+/// guard into a plain value, making the acquisition a statement temporary.
+const GUARD_ADAPTERS: &[&str] = &["expect", "unwrap", "unwrap_or_else", "unwrap_or_default"];
+
+/// Idents that wrap a lock in a declaration (`Arc<Mutex<T>>`,
+/// `OnceLock<Mutex<T>>`, `Arc::new(Mutex::new(v))`) and are skipped when
+/// walking from the lock type back to its binder.
+const DECL_WRAPPERS: &[&str] = &[
+    "Arc", "Rc", "Box", "Option", "OnceLock", "LazyLock", "new", "mut",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockKind {
+    Mutex,
+    RwLock,
+    Condvar,
+}
+
+impl LockKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LockKind::Mutex => "Mutex",
+            LockKind::RwLock => "RwLock",
+            LockKind::Condvar => "Condvar",
+        }
+    }
+}
+
+/// A named lock declaration (field, static, param or let binding).
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    pub name: String,
+    pub kind: LockKind,
+    pub file: String,
+    pub line: u32,
+    pub test_code: bool,
+}
+
+/// One `held → acquired` pair observed at an acquisition or call site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OrderEdge {
+    pub held: String,
+    pub acquired: String,
+    pub file: String,
+    pub line: u32,
+    /// Qualified name of the function containing the witness site.
+    pub func: String,
+    /// Set when the acquisition happens inside a callee rather than
+    /// literally at the site (`via` = the callee's qualified name).
+    pub via: Option<String>,
+}
+
+/// One `Condvar::wait` site and the lock its guard belongs to.
+#[derive(Debug, Clone)]
+pub struct CondvarWait {
+    pub condvar: String,
+    pub lock: String,
+    pub file: String,
+    pub line: u32,
+    pub func: String,
+}
+
+/// Everything the lock pass produces.
+#[derive(Debug, Default)]
+pub struct LockAnalysis {
+    /// Deduplicated declarations, sorted by (name, file, line).
+    pub decls: Vec<LockDecl>,
+    /// Total count of `Mutex`/`RwLock`/`Condvar` identifier tokens outside
+    /// comments — the denominator of the 100%-coverage self-check.
+    pub type_sites: usize,
+    /// Deduplicated order edges, sorted.
+    pub edges: Vec<OrderEdge>,
+    /// All condvar wait sites.
+    pub waits: Vec<CondvarWait>,
+    /// K001/K002/K003 findings (suppressions NOT yet applied).
+    pub findings: Vec<Finding>,
+}
+
+/// Tracks one held guard during the body walk.
+#[derive(Debug, Clone)]
+struct Held {
+    lock: String,
+    /// Guard variable name, when let-bound (for `drop(g)` and K002).
+    var: Option<String>,
+    release: Release,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Release {
+    /// Released when the brace depth drops below this value.
+    Depth(i64),
+    /// Released at (or before) this token index.
+    Tok(usize),
+}
+
+pub fn analyze_locks(files: &[FileIndex], graph: &CallGraph, cfg: &Config) -> LockAnalysis {
+    let mut out = LockAnalysis::default();
+
+    // ---- inventory: every lock-type identifier, and the declarations ----
+    let mut decl_names: BTreeMap<String, LockKind> = BTreeMap::new();
+    for fi in files {
+        let mask = test_region_mask(&fi.toks);
+        for (i, tok) in fi.toks.iter().enumerate() {
+            let kind = match tok.text.as_str() {
+                "Mutex" => LockKind::Mutex,
+                "RwLock" => LockKind::RwLock,
+                "Condvar" => LockKind::Condvar,
+                _ => continue,
+            };
+            if tok.kind != TokKind::Ident {
+                continue;
+            }
+            out.type_sites += 1;
+            if let Some(binder) = decl_binder(&fi.toks, i) {
+                let test_code = fi.is_test_file || mask[i];
+                decl_names.entry(binder.clone()).or_insert(kind);
+                out.decls.push(LockDecl {
+                    name: binder,
+                    kind,
+                    file: fi.relpath.clone(),
+                    line: tok.line,
+                    test_code,
+                });
+            }
+        }
+    }
+    out.decls
+        .sort_by(|a, b| (&a.name, &a.file, a.line).cmp(&(&b.name, &b.file, b.line)));
+    out.decls
+        .dedup_by(|a, b| a.name == b.name && a.file == b.file && a.line == b.line);
+
+    let canon = |raw: &str| canonicalize(raw, &decl_names);
+
+    // ---- pass 1: per-function direct facts -----------------------------
+    let n = graph.nodes.len();
+    let is_wrapper = |id: usize| cfg.lock_wrappers.iter().any(|w| *w == graph.nodes[id].name);
+    let mut direct_acquires: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    let mut direct_blocks: Vec<bool> = vec![false; n];
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if is_wrapper(id) {
+            continue; // the wrapper body is the mechanism, not a user
+        }
+        let fi = &files[node.file_idx];
+        let body = fi.fns[node.fn_idx].body.clone();
+        for i in body {
+            if let Some(acq) = acquisition_at(&fi.toks, i, cfg, &decl_names) {
+                direct_acquires[id].insert(canon(&acq.name));
+            } else if blocking_at(&fi.toks, i, &decl_names).is_some()
+                || wait_at(&fi.toks, i).is_some()
+            {
+                direct_blocks[id] = true;
+            }
+        }
+    }
+
+    // ---- fixpoint: transitive summaries --------------------------------
+    let mut trans_acquires = direct_acquires.clone();
+    let mut trans_blocks = direct_blocks.clone();
+    loop {
+        let mut changed = false;
+        for id in 0..n {
+            for &callee in &graph.edges[id] {
+                if is_wrapper(callee) {
+                    continue;
+                }
+                if trans_blocks[callee] && !trans_blocks[id] {
+                    trans_blocks[id] = true;
+                    changed = true;
+                }
+                let add: Vec<String> = trans_acquires[callee]
+                    .difference(&trans_acquires[id])
+                    .cloned()
+                    .collect();
+                if !add.is_empty() {
+                    trans_acquires[id].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- pass 2: guard-tracking walk, findings and edges ---------------
+    let mut cv_locks: BTreeMap<String, (String, String, u32)> = BTreeMap::new();
+    let mut edges: BTreeSet<OrderEdge> = BTreeSet::new();
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if is_wrapper(id) || node.is_test {
+            continue;
+        }
+        let fi = &files[node.file_idx];
+        walk_fn(
+            id,
+            node,
+            fi,
+            graph,
+            cfg,
+            &decl_names,
+            &trans_acquires,
+            &trans_blocks,
+            &mut edges,
+            &mut cv_locks,
+            &mut out,
+        );
+    }
+    out.edges = edges.into_iter().collect();
+
+    // ---- K001: cycles in the order graph -------------------------------
+    report_cycles(&out.edges, &mut out.findings);
+
+    out.waits
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out.findings
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    out
+}
+
+/// Walks back from a lock-type token to its binder: over generic/grouping
+/// punctuation and known wrappers to a `:` or `=`, whose left-hand
+/// identifier is the lock's name.  `None` for use-statements, fn-pointer
+/// types, turbofish and other non-declaring positions.
+fn decl_binder(toks: &[Token], ty: usize) -> Option<String> {
+    let mut j = prev_sig(toks, ty)?;
+    for _ in 0..12 {
+        let t = &toks[j];
+        if t.is_punct('<')
+            || t.is_punct('(')
+            || t.is_punct('&')
+            || t.kind == TokKind::Lifetime
+            || (t.kind == TokKind::Ident && DECL_WRAPPERS.contains(&t.text.as_str()))
+            || t.is_punct(':') && prev_sig(toks, j).is_some_and(|p| toks[p].is_punct(':'))
+        {
+            // `::` is two `:` tokens — consume both.
+            if t.is_punct(':') {
+                j = prev_sig(toks, j)?;
+            }
+            j = prev_sig(toks, j)?;
+            continue;
+        }
+        if t.is_punct(':') || t.is_punct('=') {
+            let b = prev_sig(toks, j)?;
+            let binder = &toks[b];
+            if binder.kind == TokKind::Ident
+                && !matches!(binder.text.as_str(), "let" | "mut" | "pub" | "use")
+            {
+                return Some(binder.text.clone());
+            }
+            return None;
+        }
+        return None;
+    }
+    None
+}
+
+/// Canonical lock name for an acquisition-site name: exact declaration
+/// match, else case-insensitive, else `_`-suffix (`accept_connections` →
+/// `connections`).  Unknown names pass through unchanged.
+fn canonicalize(raw: &str, decls: &BTreeMap<String, LockKind>) -> String {
+    if decls.contains_key(raw) {
+        return raw.to_string();
+    }
+    let lower = raw.to_ascii_lowercase();
+    for name in decls.keys() {
+        if name.to_ascii_lowercase() == lower {
+            return name.clone();
+        }
+    }
+    for name in decls.keys() {
+        if let Some(prefix) = raw.strip_suffix(name.as_str()) {
+            if prefix.ends_with('_') {
+                return name.clone();
+            }
+        }
+    }
+    raw.to_string()
+}
+
+struct Acquisition {
+    /// Raw (un-canonicalised) lock name.
+    name: String,
+    /// Token index of the opening paren of the acquisition call.
+    open_paren: usize,
+    /// `lock` / `read` / `write` / the wrapper name.
+    method: String,
+}
+
+/// Recognises an acquisition whose *name token* is at `i`: `recv.lock(…)`,
+/// `recv.read(…)`/`recv.write(…)` on a declared `RwLock`, or
+/// `wrapper(&…lock…)` for configured wrapper fns.
+fn acquisition_at(
+    toks: &[Token],
+    i: usize,
+    cfg: &Config,
+    decls: &BTreeMap<String, LockKind>,
+) -> Option<Acquisition> {
+    let tok = &toks[i];
+    if tok.kind != TokKind::Ident {
+        return None;
+    }
+    let open = next_sig(toks, i + 1).filter(|&p| toks[p].is_punct('('))?;
+    if cfg.lock_wrappers.contains(&tok.text) {
+        // `lock_unpoisoned(&self.worker)` — the lock is the last identifier
+        // inside the argument parens.
+        let close = matching_paren(toks, open);
+        let name = toks[open + 1..close]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokKind::Ident)?
+            .text
+            .clone();
+        return Some(Acquisition {
+            name,
+            open_paren: open,
+            method: tok.text.clone(),
+        });
+    }
+    if !matches!(tok.text.as_str(), "lock" | "read" | "write") {
+        return None;
+    }
+    if !prev_sig(toks, i).is_some_and(|p| toks[p].is_punct('.')) {
+        return None;
+    }
+    let name = receiver_name(toks, i)?;
+    if tok.text != "lock" {
+        // `.read()`/`.write()` acquire only when the receiver resolves to a
+        // declared RwLock; otherwise it's stream I/O (K003's business).
+        let canon = canonicalize(&name, decls);
+        if decls.get(&canon) != Some(&LockKind::RwLock) {
+            return None;
+        }
+    }
+    Some(Acquisition {
+        name,
+        open_paren: open,
+        method: tok.text.clone(),
+    })
+}
+
+/// Last identifier of the receiver chain before the `.` that precedes the
+/// method token at `i`: `self.shared.slot.lock` → `slot`;
+/// `registry().lock` → `registry`.
+fn receiver_name(toks: &[Token], i: usize) -> Option<String> {
+    let dot = prev_sig(toks, i)?;
+    let r = prev_sig(toks, dot)?;
+    let t = &toks[r];
+    if t.kind == TokKind::Ident {
+        return Some(t.text.clone());
+    }
+    if t.is_punct(')') {
+        // `registry().lock()` — name the call, not the parens.
+        let mut depth = 0i64;
+        let mut j = r;
+        loop {
+            if toks[j].is_punct(')') {
+                depth += 1;
+            } else if toks[j].is_punct('(') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j = j.checked_sub(1)?;
+        }
+        let f = prev_sig(toks, j)?;
+        if toks[f].kind == TokKind::Ident {
+            return Some(toks[f].text.clone());
+        }
+    }
+    None
+}
+
+/// A blocking method call at token `i` (`.join(…)` etc.).  Lock
+/// acquisitions shaped like `.read(`/`.write(` on declared RwLocks are NOT
+/// blocking ops; everything else in [`BLOCKING_METHODS`] is.
+fn blocking_at(toks: &[Token], i: usize, decls: &BTreeMap<String, LockKind>) -> Option<String> {
+    let tok = &toks[i];
+    if tok.kind != TokKind::Ident || !BLOCKING_METHODS.contains(&tok.text.as_str()) {
+        return None;
+    }
+    if !prev_sig(toks, i).is_some_and(|p| toks[p].is_punct('.')) {
+        return None;
+    }
+    if !next_sig(toks, i + 1).is_some_and(|p| toks[p].is_punct('(')) {
+        return None;
+    }
+    if matches!(tok.text.as_str(), "read" | "write") {
+        if let Some(name) = receiver_name(toks, i) {
+            if decls.get(&canonicalize(&name, decls)) == Some(&LockKind::RwLock) {
+                return None;
+            }
+        }
+    }
+    Some(tok.text.clone())
+}
+
+/// A `cv.wait(guard)` / `wait_while` / `wait_timeout` site at token `i`:
+/// returns `(condvar name, guard argument ident)`.
+fn wait_at(toks: &[Token], i: usize) -> Option<(String, String)> {
+    let tok = &toks[i];
+    if tok.kind != TokKind::Ident
+        || !matches!(tok.text.as_str(), "wait" | "wait_while" | "wait_timeout")
+    {
+        return None;
+    }
+    if !prev_sig(toks, i).is_some_and(|p| toks[p].is_punct('.')) {
+        return None;
+    }
+    let open = next_sig(toks, i + 1).filter(|&p| toks[p].is_punct('('))?;
+    let cv = receiver_name(toks, i)?;
+    let close = matching_paren(toks, open);
+    let guard = toks[open + 1..close]
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && t.text != "mut")?
+        .text
+        .clone();
+    Some((cv, guard))
+}
+
+fn matching_paren(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('(') {
+            depth += 1;
+        } else if toks[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Classifies the statement context of an acquisition whose chain starts at
+/// `head` and whose call ends at `close`: a let-bound guard (held to end of
+/// block), a construct scrutinee (held through `if let`/`while let`/`match`)
+/// or a statement temporary (dead at the next `;` / block open).
+enum Span {
+    Guard { var: String },
+    Construct { end_tok: usize },
+    Temporary { end_tok: usize },
+}
+
+fn acquisition_span(toks: &[Token], head: usize, close: usize, body_end: usize) -> Span {
+    // -- look backwards from the chain head ------------------------------
+    let mut j = prev_sig(toks, head);
+    // Skip leading `&`, `&mut`, `*` of the acquisition expression.
+    while let Some(p) = j {
+        if toks[p].is_punct('&') || toks[p].is_punct('*') || toks[p].is_ident("mut") {
+            j = prev_sig(toks, p);
+        } else {
+            break;
+        }
+    }
+    if let Some(eq) = j {
+        if toks[eq].is_punct('=') && !prev_sig(toks, eq).is_some_and(|p| toks[p].is_punct('=')) {
+            // `… = ACQ`: find the pattern/binder to the left.
+            let mut k = prev_sig(toks, eq);
+            let var = k
+                .filter(|&p| toks[p].kind == TokKind::Ident)
+                .map(|p| toks[p].text.clone());
+            // Walk left over the pattern to a `let` (plus optional
+            // `if`/`while` in front of it).
+            let mut saw_let = false;
+            for _ in 0..24 {
+                let Some(p) = k else { break };
+                if toks[p].is_ident("let") {
+                    saw_let = true;
+                    k = prev_sig(toks, p);
+                    break;
+                }
+                if toks[p].is_punct(';') || toks[p].is_punct('{') || toks[p].is_punct('}') {
+                    break;
+                }
+                k = prev_sig(toks, p);
+            }
+            if saw_let {
+                let in_construct =
+                    k.is_some_and(|p| toks[p].is_ident("if") || toks[p].is_ident("while"));
+                if in_construct {
+                    // `if let P = ACQ { … }` — the scrutinee temporary
+                    // lives through the whole construct (else arm too).
+                    return Span::Construct {
+                        end_tok: construct_end(toks, close, body_end),
+                    };
+                }
+                // `let g = ACQ<adapters>;` — a guard iff every trailing
+                // method is a Result adapter.
+                if let Some(var) = var {
+                    match trailing_chain(toks, close, body_end) {
+                        Trailing::AdaptersThenSemi => return Span::Guard { var },
+                        Trailing::Other(end) => return Span::Temporary { end_tok: end },
+                    }
+                }
+            }
+        }
+        if let Some(p) = j {
+            if toks[p].is_ident("match") {
+                return Span::Construct {
+                    end_tok: construct_end(toks, close, body_end),
+                };
+            }
+        }
+    }
+    match trailing_chain(toks, close, body_end) {
+        Trailing::AdaptersThenSemi | Trailing::Other(_) => Span::Temporary {
+            end_tok: statement_end(toks, close, body_end),
+        },
+    }
+}
+
+enum Trailing {
+    /// Only `expect`/`unwrap`-family adapters (or nothing) up to the `;`.
+    AdaptersThenSemi,
+    /// A non-adapter method consumed the guard; value dies at this token.
+    Other(usize),
+}
+
+/// Scans the method chain after the acquisition call's closing paren.
+fn trailing_chain(toks: &[Token], close: usize, body_end: usize) -> Trailing {
+    let mut i = close;
+    loop {
+        let Some(next) = next_sig(toks, i + 1).filter(|&p| p < body_end) else {
+            return Trailing::AdaptersThenSemi;
+        };
+        let t = &toks[next];
+        if t.is_punct(';') {
+            return Trailing::AdaptersThenSemi;
+        }
+        if t.is_punct('?') {
+            i = next;
+            continue;
+        }
+        if t.is_punct('.') {
+            let Some(m) = next_sig(toks, next + 1).filter(|&p| p < body_end) else {
+                return Trailing::AdaptersThenSemi;
+            };
+            if toks[m].kind == TokKind::Ident && GUARD_ADAPTERS.contains(&toks[m].text.as_str()) {
+                let Some(open) = next_sig(toks, m + 1).filter(|&p| toks[p].is_punct('(')) else {
+                    return Trailing::Other(statement_end(toks, m, body_end));
+                };
+                i = matching_paren(toks, open);
+                continue;
+            }
+            return Trailing::Other(statement_end(toks, m, body_end));
+        }
+        // `)`/`}`/operator — the expression ends here without a `;` (tail
+        // expression or an argument): treat as adapters-only.
+        return Trailing::AdaptersThenSemi;
+    }
+}
+
+/// Token index of the next `;` at paren depth 0, or the next block-open
+/// `{` (an `if cond {` temporary dies before the block body runs).
+fn statement_end(toks: &[Token], from: usize, body_end: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = from + 1;
+    while i < body_end {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth <= 0 && (t.is_punct(';') || t.is_punct('{')) {
+            // `<= 0`: the acquisition may sit inside call arguments
+            // (`mem::take(&mut *lock_unpoisoned(&x))`), where the statement
+            // continues past closing parens we never saw open.
+            return i;
+        }
+        i += 1;
+    }
+    body_end
+}
+
+/// End of an `if let`/`while let`/`match` construct: the close of the brace
+/// block after `close`, extended over a trailing `else` arm.
+fn construct_end(toks: &[Token], close: usize, body_end: usize) -> usize {
+    let mut i = close;
+    while i < body_end && !toks[i].is_punct('{') {
+        i += 1;
+    }
+    if i >= body_end {
+        return body_end;
+    }
+    let mut end = matching_brace(toks, i);
+    // `else { … }` / `else if let … { … }` arms extend the span.
+    while let Some(e) = next_sig(toks, end + 1).filter(|&p| p < body_end) {
+        if !toks[e].is_ident("else") {
+            break;
+        }
+        let mut j = e;
+        while j < body_end && !toks[j].is_punct('{') {
+            j += 1;
+        }
+        if j >= body_end {
+            return body_end;
+        }
+        end = matching_brace(toks, j);
+    }
+    end.min(body_end)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_fn(
+    id: usize,
+    node: &crate::callgraph::FnNode,
+    fi: &FileIndex,
+    graph: &CallGraph,
+    cfg: &Config,
+    decls: &BTreeMap<String, LockKind>,
+    trans_acquires: &[BTreeSet<String>],
+    trans_blocks: &[bool],
+    edges: &mut BTreeSet<OrderEdge>,
+    cv_locks: &mut BTreeMap<String, (String, String, u32)>,
+    out: &mut LockAnalysis,
+) {
+    let toks = &fi.toks;
+    let body = fi.fns[node.fn_idx].body.clone();
+    let body_end = body.end;
+    let func = node.qualified();
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i64;
+    let mut i = body.start;
+    while i < body_end {
+        let tok = &toks[i];
+        if tok.is_comment() {
+            i += 1;
+            continue;
+        }
+        // Expire token-scoped and depth-scoped guards.
+        held.retain(|h| match h.release {
+            Release::Tok(t) => i <= t,
+            Release::Depth(d) => depth >= d,
+        });
+        if tok.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if tok.is_punct('}') {
+            depth -= 1;
+            held.retain(|h| match h.release {
+                Release::Depth(d) => depth >= d,
+                Release::Tok(_) => true,
+            });
+            i += 1;
+            continue;
+        }
+        // Explicit `drop(g)`.
+        if tok.is_ident("drop") {
+            if let Some(open) = next_sig(toks, i + 1).filter(|&p| toks[p].is_punct('(')) {
+                if let Some(arg) = next_sig(toks, open + 1) {
+                    if toks[arg].kind == TokKind::Ident {
+                        let name = &toks[arg].text;
+                        held.retain(|h| h.var.as_deref() != Some(name.as_str()));
+                    }
+                }
+                i = matching_paren(toks, open) + 1;
+                continue;
+            }
+        }
+        // Condvar waits (K002).
+        if let Some((cv_raw, guard_var)) = wait_at(toks, i) {
+            let cv = canonicalize(&cv_raw, decls);
+            let wait_lock = held
+                .iter()
+                .find(|h| h.var.as_deref() == Some(guard_var.as_str()))
+                .map(|h| h.lock.clone())
+                .unwrap_or_else(|| canonicalize(&guard_var, decls));
+            out.waits.push(CondvarWait {
+                condvar: cv.clone(),
+                lock: wait_lock.clone(),
+                file: fi.relpath.clone(),
+                line: tok.line,
+                func: func.clone(),
+            });
+            let others: Vec<&str> = held
+                .iter()
+                .filter(|h| h.lock != wait_lock)
+                .map(|h| h.lock.as_str())
+                .collect();
+            if !others.is_empty() {
+                out.findings.push(Finding::new(
+                    &fi.relpath,
+                    tok.line,
+                    "K002",
+                    format!(
+                        "`{cv}.wait({guard_var})` parks while still holding `{}` — every lock \
+                         except the wait guard must be released before a condvar wait",
+                        others.join("`, `")
+                    ),
+                ));
+            }
+            match cv_locks.get(&cv) {
+                None => {
+                    cv_locks.insert(cv, (wait_lock, fi.relpath.clone(), tok.line));
+                }
+                Some((first_lock, first_file, first_line)) => {
+                    if *first_lock != wait_lock {
+                        out.findings.push(Finding::new(
+                            &fi.relpath,
+                            tok.line,
+                            "K002",
+                            format!(
+                                "condvar `{cv}` waits with lock `{wait_lock}` here but with \
+                                 `{first_lock}` at {first_file}:{first_line} — a condvar must \
+                                 pair with exactly one mutex"
+                            ),
+                        ));
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Acquisitions.
+        if let Some(acq) = acquisition_at(toks, i, cfg, decls) {
+            let lock = canonicalize(&acq.name, decls);
+            for h in &held {
+                if h.lock == lock {
+                    out.findings.push(Finding::new(
+                        &fi.relpath,
+                        tok.line,
+                        "K001",
+                        format!(
+                            "`{}` is acquired while already held in `{func}` — \
+                             `std::sync` locks are not re-entrant, this deadlocks",
+                            lock
+                        ),
+                    ));
+                } else {
+                    edges.insert(OrderEdge {
+                        held: h.lock.clone(),
+                        acquired: lock.clone(),
+                        file: fi.relpath.clone(),
+                        line: tok.line,
+                        func: func.clone(),
+                        via: None,
+                    });
+                }
+            }
+            let close = matching_paren(toks, acq.open_paren);
+            let chain_head =
+                if acq.method == "lock" || acq.method == "read" || acq.method == "write" {
+                    chain_start(toks, i)
+                } else {
+                    i
+                };
+            let release = match acquisition_span(toks, chain_head, close, body_end) {
+                Span::Guard { var } => {
+                    held.push(Held {
+                        lock,
+                        var: Some(var),
+                        release: Release::Depth(depth),
+                    });
+                    i = close + 1;
+                    continue;
+                }
+                Span::Construct { end_tok } | Span::Temporary { end_tok } => end_tok,
+            };
+            held.push(Held {
+                lock,
+                var: None,
+                release: Release::Tok(release),
+            });
+            i = close + 1;
+            continue;
+        }
+        // Blocking ops under a held lock (K003).
+        if let Some(op) = blocking_at(toks, i, decls) {
+            if !held.is_empty() {
+                let locks: Vec<&str> = held.iter().map(|h| h.lock.as_str()).collect();
+                out.findings.push(Finding::new(
+                    &fi.relpath,
+                    tok.line,
+                    "K003",
+                    format!(
+                        "`.{op}(…)` can block while `{}` is held in `{func}` — release the \
+                         lock before the blocking call",
+                        locks.join("`, `")
+                    ),
+                ));
+            }
+            i += 1;
+            continue;
+        }
+        // Calls: transitive acquisition edges and blocking (K001/K003).
+        if tok.kind == TokKind::Ident && !held.is_empty() {
+            if let Some(callees) = graph.call_sites.get(&(id, i)) {
+                for &c in callees {
+                    let callee_name = graph.nodes[c].qualified();
+                    for lock in &trans_acquires[c] {
+                        if held.iter().any(|h| &h.lock == lock) {
+                            out.findings.push(Finding::new(
+                                &fi.relpath,
+                                tok.line,
+                                "K001",
+                                format!(
+                                    "call to `{callee_name}` (re)acquires `{lock}` which \
+                                     `{func}` already holds — `std::sync` locks are not \
+                                     re-entrant, this deadlocks"
+                                ),
+                            ));
+                        } else {
+                            for h in &held {
+                                edges.insert(OrderEdge {
+                                    held: h.lock.clone(),
+                                    acquired: lock.clone(),
+                                    file: fi.relpath.clone(),
+                                    line: tok.line,
+                                    func: func.clone(),
+                                    via: Some(callee_name.clone()),
+                                });
+                            }
+                        }
+                    }
+                    if trans_blocks[c] {
+                        let locks: Vec<&str> = held.iter().map(|h| h.lock.as_str()).collect();
+                        out.findings.push(Finding::new(
+                            &fi.relpath,
+                            tok.line,
+                            "K003",
+                            format!(
+                                "call to `{callee_name}` can block (channel/join/condvar \
+                                 inside) while `{}` is held in `{func}` — release the lock \
+                                 first",
+                                locks.join("`, `")
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// First token of the receiver chain ending at the method token `i`:
+/// `self.shared.slot.lock` → index of `self`.
+fn chain_start(toks: &[Token], i: usize) -> usize {
+    let mut head = i;
+    loop {
+        let Some(dot) = prev_sig(toks, head) else {
+            return head;
+        };
+        if !toks[dot].is_punct('.') {
+            return head;
+        }
+        let Some(r) = prev_sig(toks, dot) else {
+            return head;
+        };
+        if toks[r].kind == TokKind::Ident {
+            head = r;
+            continue;
+        }
+        if toks[r].is_punct(')') {
+            let mut depth = 0i64;
+            let mut j = r;
+            loop {
+                if toks[j].is_punct(')') {
+                    depth += 1;
+                } else if toks[j].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                match j.checked_sub(1) {
+                    Some(k) => j = k,
+                    None => return head,
+                }
+            }
+            match prev_sig(toks, j) {
+                Some(f) if toks[f].kind == TokKind::Ident => {
+                    head = f;
+                    continue;
+                }
+                _ => return head,
+            }
+        }
+        return head;
+    }
+}
+
+/// Finds every elementary cycle in the (small) lock-name order graph and
+/// reports each once, anchored at its first witness edge.
+fn report_cycles(edges: &[OrderEdge], findings: &mut Vec<Finding>) {
+    // Adjacency with one representative witness per (from, to).
+    let mut adj: BTreeMap<&str, BTreeMap<&str, &OrderEdge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.held)
+            .or_default()
+            .entry(&e.acquired)
+            .or_insert(e);
+    }
+    let names: Vec<&str> = adj.keys().copied().collect();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in &names {
+        // DFS bounded by the tiny graph size; collect simple cycles through
+        // `start` whose minimum element is `start` (canonical rotation →
+        // each cycle reported once).
+        let mut stack = vec![(start, vec![start])];
+        while let Some((at, path)) = stack.pop() {
+            let Some(nexts) = adj.get(at) else { continue };
+            for (&to, _) in nexts.iter() {
+                if to == start {
+                    let canon: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+                    if canon.iter().min() == canon.first() // rotation anchor
+                        && reported.insert(canon.clone())
+                    {
+                        let mut msg = String::from("lock-order cycle: ");
+                        for (k, name) in path.iter().enumerate() {
+                            let next = path.get(k + 1).copied().unwrap_or(start);
+                            let e = adj[name][next];
+                            msg.push_str(&format!(
+                                "`{}` → `{}` ({}:{} in `{}`{}); ",
+                                e.held,
+                                e.acquired,
+                                e.file,
+                                e.line,
+                                e.func,
+                                e.via
+                                    .as_deref()
+                                    .map(|v| format!(" via `{v}`"))
+                                    .unwrap_or_default()
+                            ));
+                        }
+                        msg.push_str(
+                            "threads taking these paths concurrently deadlock — \
+                                      acquire in one canonical order",
+                        );
+                        let first = adj[start][path.get(1).copied().unwrap_or(start)];
+                        findings.push(Finding::new(&first.file, first.line, "K001", msg));
+                    }
+                } else if !path.contains(&to) && to > start {
+                    let mut p = path.clone();
+                    p.push(to);
+                    stack.push((to, p));
+                }
+            }
+        }
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! nrp-lint --workspace [--deny] [--root DIR] [--unsafe-inventory PATH]
-//! nrp-lint [--deny] FILE[=VIRTUAL] ...
+//!          [--lock-order PATH] [--format text|json]
+//! nrp-lint [--deny] [--format text|json] FILE[=VIRTUAL] ...
 //! ```
 //!
 //! `--workspace` walks every `.rs` file under the root (default: the
@@ -13,19 +14,28 @@
 //! path `VIRTUAL`, which is how the fixture tests probe path-scoped rules
 //! (U002, D002, P) without planting files inside real crates.
 //!
+//! `--lock-order PATH` writes the semantic pass's lock inventory (every
+//! named `Mutex`/`RwLock`/`Condvar`, the observed acquisition-order edges
+//! and condvar pairings) as JSON — CI regenerates it and fails on drift
+//! against the checked-in `lock-order.json`.  `--format json` replaces the
+//! text findings on stdout with one JSON object carrying `findings`,
+//! `ambiguities` and `files_checked`.
+//!
 //! Exit status is 0 unless `--deny` is set and findings exist.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use nrp_lint::{lint_source, lint_workspace, unsafe_inventory_json, Config};
+use nrp_lint::{findings_json, lint_source, lint_workspace, unsafe_inventory_json, Config};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut workspace = false;
     let mut deny = false;
+    let mut json = false;
     let mut root: Option<PathBuf> = None;
     let mut inventory_path: Option<PathBuf> = None;
+    let mut lock_order_path: Option<PathBuf> = None;
     let mut files: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -47,6 +57,21 @@ fn main() -> ExitCode {
                     None => return usage("--unsafe-inventory requires a path"),
                 }
             }
+            "--lock-order" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => lock_order_path = Some(PathBuf::from(p)),
+                    None => return usage("--lock-order requires a path"),
+                }
+            }
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("text") => json = false,
+                    Some("json") => json = true,
+                    _ => return usage("--format requires `text` or `json`"),
+                }
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -64,6 +89,7 @@ fn main() -> ExitCode {
 
     let cfg = Config::default();
     let mut findings = Vec::new();
+    let mut ambiguities = Vec::new();
     let mut files_checked = 0usize;
 
     if workspace {
@@ -72,15 +98,28 @@ fn main() -> ExitCode {
             Ok(report) => {
                 files_checked += report.files_checked;
                 findings.extend(report.findings);
+                ambiguities = report.ambiguities;
                 if let Some(path) = &inventory_path {
-                    let json = unsafe_inventory_json(&report.unsafe_sites);
-                    if let Err(err) = std::fs::write(path, json) {
+                    let payload = unsafe_inventory_json(&report.unsafe_sites);
+                    if let Err(err) = std::fs::write(path, payload) {
                         eprintln!("nrp-lint: cannot write {}: {err}", path.display());
                         return ExitCode::from(2);
                     }
                     eprintln!(
                         "nrp-lint: unsafe inventory ({} sites) written to {}",
                         report.unsafe_sites.len(),
+                        path.display()
+                    );
+                }
+                if let Some(path) = &lock_order_path {
+                    if let Err(err) = std::fs::write(path, &report.lock_order_json) {
+                        eprintln!("nrp-lint: cannot write {}: {err}", path.display());
+                        return ExitCode::from(2);
+                    }
+                    eprintln!(
+                        "nrp-lint: lock order ({} declarations over {} type sites) written to {}",
+                        report.lock_decls,
+                        report.lock_type_sites,
                         path.display()
                     );
                 }
@@ -108,8 +147,12 @@ fn main() -> ExitCode {
         files_checked += 1;
     }
 
-    for finding in &findings {
-        println!("{finding}");
+    if json {
+        println!("{}", findings_json(&findings, &ambiguities, files_checked));
+    } else {
+        for finding in &findings {
+            println!("{finding}");
+        }
     }
     if findings.is_empty() {
         eprintln!("nrp-lint: {files_checked} file(s) checked, no findings");
@@ -128,7 +171,8 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: nrp-lint [--workspace] [--deny] [--root DIR] \
-                     [--unsafe-inventory PATH] [FILE[=VIRTUAL]]...";
+                     [--unsafe-inventory PATH] [--lock-order PATH] \
+                     [--format text|json] [FILE[=VIRTUAL]]...";
 
 fn usage(message: &str) -> ExitCode {
     eprintln!("nrp-lint: {message}\n{USAGE}");

@@ -1,0 +1,422 @@
+//! A lightweight item parser on top of the lexer: just enough structure for
+//! the semantic rules (call graph, lock analysis, reachability).
+//!
+//! The parser recognises `impl` blocks (to attribute methods to a self
+//! type) and `fn` items (name, visibility, body token range).  It is a
+//! single linear pass with a brace-depth counter — no expression grammar,
+//! no generics resolution — because the semantic rules only need to know
+//! *which function* a token belongs to and *what type* a method hangs off.
+//! Everything the pass cannot decide is reported, not guessed silently: see
+//! [`crate::callgraph`]'s ambiguity list.
+
+use crate::lexer::{TokKind, Token};
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// The function's name.
+    pub name: String,
+    /// Self type of the enclosing `impl` block, if the fn is a method or
+    /// associated function (`impl Batcher { fn submit … }` → `Batcher`).
+    pub impl_type: Option<String>,
+    /// Declared `pub` (any visibility qualifier counts).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` name.
+    pub line: u32,
+    /// Token index of the `fn` keyword — the start of the declaration's
+    /// scope, so per-fn analyses (receiver typing) see the parameter list.
+    pub sig_start: usize,
+    /// Token index range of the body, *excluding* the outer braces.
+    /// Empty for bodyless declarations (trait methods, extern fns).
+    pub body: std::ops::Range<usize>,
+    /// The fn lives in a `#[test]`/`#[cfg(test)]` region (the containing
+    /// file may additionally be test-only; callers combine both).
+    pub is_test: bool,
+}
+
+impl FnDecl {
+    /// `Type::name` for methods, plain `name` for free functions.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// All `fn` items of one file, in source order.
+pub fn parse_fns(toks: &[Token], test_mask: &[bool]) -> Vec<FnDecl> {
+    let mut fns = Vec::new();
+    // Stack of enclosing impl blocks: (self type, brace depth of the impl
+    // body).  A fn whose declaration sits at exactly that depth is a method
+    // of the impl; deeper fns are nested items and stay unattributed.
+    let mut impls: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_comment() {
+            i += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            while impls.last().is_some_and(|(_, d)| *d > depth) {
+                impls.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("impl") && impl_is_item(toks, i) {
+            if let Some((self_type, open)) = parse_impl_header(toks, i) {
+                impls.push((self_type, depth + 1));
+                depth += 1;
+                i = open + 1;
+                continue;
+            }
+        }
+        if t.is_ident("fn") {
+            if let Some(decl) = parse_fn(toks, i, test_mask, &impls, depth) {
+                // Continue scanning *inside* the body (for nested fns and
+                // closing braces) rather than skipping it; the depth counter
+                // keeps attribution straight.
+                i += 1;
+                fns.push(decl);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// `impl` starts an item (not an `impl Trait` type) when the previous
+/// significant token could end an item: nothing, `;`, `{`, `}`, a closing
+/// attribute `]`, or the `unsafe` qualifier.
+fn impl_is_item(toks: &[Token], i: usize) -> bool {
+    match prev_sig(toks, i) {
+        None => true,
+        Some(p) => {
+            let t = &toks[p];
+            t.is_punct(';')
+                || t.is_punct('{')
+                || t.is_punct('}')
+                || t.is_punct(']')
+                || t.is_ident("unsafe")
+        }
+    }
+}
+
+/// From an item `impl` token, returns `(self type name, index of the body
+/// open brace)`.  The self type is the last path segment before the body
+/// (or before any generic arguments): `impl fmt::Debug for WorkerPool` →
+/// `WorkerPool`; `impl<T> Foo<T>` → `Foo`.
+fn parse_impl_header(toks: &[Token], impl_idx: usize) -> Option<(String, usize)> {
+    let mut i = impl_idx + 1;
+    let mut angle = 0i64;
+    // The self type is the type after `for` if present, else the first type.
+    let mut after_for = false;
+    let mut candidate: Option<usize> = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') && angle == 0 {
+            let name = candidate.map(|c| toks[c].text.clone())?;
+            return Some((name, i));
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle == 0 {
+            if t.is_ident("for") {
+                after_for = true;
+                candidate = None;
+            } else if t.kind == TokKind::Ident && !t.is_ident("dyn") && !t.is_ident("where") {
+                // Keep the last ident seen at angle depth 0 — path segments
+                // overwrite each other, so `fmt::Debug` ends at `Debug` and a
+                // later `for WorkerPool` resets to `WorkerPool`.
+                candidate = Some(i);
+            } else if t.is_ident("where") {
+                // A where clause after the self type; candidate is final.
+                let _ = after_for;
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// From a `fn` token, parses one declaration.  Returns `None` when `fn` is
+/// part of a function-pointer type (`fn(usize)`) rather than an item.
+fn parse_fn(
+    toks: &[Token],
+    fn_idx: usize,
+    test_mask: &[bool],
+    impls: &[(String, usize)],
+    depth: usize,
+) -> Option<FnDecl> {
+    let name_idx = next_sig(toks, fn_idx + 1)?;
+    if toks[name_idx].kind != TokKind::Ident {
+        return None; // `fn(` — a function-pointer type.
+    }
+    let name = toks[name_idx].text.clone();
+    let impl_type = impls
+        .last()
+        .filter(|(_, d)| *d == depth)
+        .map(|(t, _)| t.clone());
+    let is_pub = fn_is_pub(toks, fn_idx);
+    let is_test = test_mask.get(fn_idx).copied().unwrap_or(false);
+
+    // Scan the signature for the body `{` (paren and angle depth 0) or a
+    // terminating `;` (bodyless declaration).
+    let mut i = name_idx + 1;
+    let mut paren = 0i64;
+    let mut angle = 0i64;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if t.is_punct('<') && paren == 0 {
+            angle += 1;
+        } else if t.is_punct('>') && paren == 0 {
+            // `->` must not close an angle bracket.
+            if !(i > 0 && toks[i - 1].is_punct('-')) {
+                angle = (angle - 1).max(0);
+            }
+        } else if t.is_punct(';') && paren == 0 {
+            return Some(FnDecl {
+                name,
+                impl_type,
+                is_pub,
+                line: toks[name_idx].line,
+                sig_start: fn_idx,
+                body: i..i,
+                is_test,
+            });
+        } else if t.is_punct('{') && paren == 0 && angle <= 0 {
+            let close = matching_brace(toks, i);
+            return Some(FnDecl {
+                name,
+                impl_type,
+                is_pub,
+                line: toks[name_idx].line,
+                sig_start: fn_idx,
+                body: i + 1..close,
+                is_test,
+            });
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Walks back from a `fn` token over qualifiers (`const`, `unsafe`,
+/// `async`, `extern "C"`, `pub(...)`) looking for `pub`.
+fn fn_is_pub(toks: &[Token], fn_idx: usize) -> bool {
+    let mut j = fn_idx;
+    for _ in 0..8 {
+        let Some(p) = prev_sig(toks, j) else {
+            return false;
+        };
+        let t = &toks[p];
+        if t.is_ident("pub") {
+            return true;
+        }
+        if t.is_ident("const") || t.is_ident("unsafe") || t.is_ident("async") {
+            j = p;
+            continue;
+        }
+        if t.kind == TokKind::Literal || t.is_ident("extern") {
+            // `extern "C" fn` — keep walking.
+            j = p;
+            continue;
+        }
+        if t.is_punct(')') {
+            // `pub(crate)` / `pub(in …)`: skip the group, then expect `pub`.
+            let mut depth = 0i64;
+            let mut k = p;
+            loop {
+                if toks[k].is_punct(')') {
+                    depth += 1;
+                } else if toks[k].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    return false;
+                }
+                k -= 1;
+            }
+            j = k;
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Index just past the `}` matching the `{` at `open`.  Returns `toks.len()`
+/// for unterminated bodies.
+pub fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('{') {
+            depth += 1;
+        } else if toks[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Index of the next non-comment token at or after `i`.
+pub fn next_sig(toks: &[Token], mut i: usize) -> Option<usize> {
+    while i < toks.len() {
+        if !toks[i].is_comment() {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the previous non-comment token strictly before `i`.
+pub fn prev_sig(toks: &[Token], i: usize) -> Option<usize> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !toks[j].is_comment() {
+            return Some(j);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(source: &str) -> Vec<FnDecl> {
+        let toks = lex(source);
+        let mask = vec![false; toks.len()];
+        parse_fns(&toks, &mask)
+    }
+
+    #[test]
+    fn free_fns_and_methods() {
+        let fns = parse(
+            "pub fn free(x: u32) -> u32 { x }\n\
+             struct S;\n\
+             impl S {\n\
+                 pub fn method(&self) -> u32 { helper() }\n\
+                 fn private(&self) {}\n\
+             }\n\
+             fn helper() -> u32 { 7 }\n",
+        );
+        let names: Vec<String> = fns.iter().map(FnDecl::qualified).collect();
+        assert_eq!(names, vec!["free", "S::method", "S::private", "helper"]);
+        assert!(fns[0].is_pub && fns[1].is_pub && !fns[2].is_pub && !fns[3].is_pub);
+    }
+
+    #[test]
+    fn trait_impls_attribute_to_the_self_type() {
+        let fns = parse(
+            "impl std::fmt::Debug for WorkerPool {\n\
+                 fn fmt(&self, f: &mut Formatter) -> Result { Ok(()) }\n\
+             }\n\
+             impl<T: Clone> Drop for Guard<'_, T> {\n\
+                 fn drop(&mut self) {}\n\
+             }\n",
+        );
+        let names: Vec<String> = fns.iter().map(FnDecl::qualified).collect();
+        assert_eq!(names, vec!["WorkerPool::fmt", "Guard::drop"]);
+    }
+
+    #[test]
+    fn impl_trait_in_signatures_is_not_an_item() {
+        let fns = parse(
+            "pub fn takes(f: impl Fn(usize) + Sync) -> impl Iterator<Item = u32> {\n\
+                 std::iter::empty()\n\
+             }\n",
+        );
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "takes");
+        assert!(fns[0].impl_type.is_none());
+    }
+
+    #[test]
+    fn nested_fns_are_not_methods() {
+        let fns = parse(
+            "impl S {\n\
+                 fn outer(&self) {\n\
+                     fn inner() {}\n\
+                     inner();\n\
+                 }\n\
+             }\n",
+        );
+        let names: Vec<String> = fns.iter().map(FnDecl::qualified).collect();
+        assert_eq!(names, vec!["S::outer", "inner"]);
+    }
+
+    #[test]
+    fn body_ranges_cover_the_body_only() {
+        let src = "fn a() { first(); }\nfn b() { second(); }\n";
+        let toks = lex(src);
+        let mask = vec![false; toks.len()];
+        let fns = parse_fns(&toks, &mask);
+        assert_eq!(fns.len(), 2);
+        let body_idents = |d: &FnDecl| -> Vec<String> {
+            toks[d.body.clone()]
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+                .collect()
+        };
+        assert_eq!(body_idents(&fns[0]), vec!["first"]);
+        assert_eq!(body_idents(&fns[1]), vec!["second"]);
+    }
+
+    #[test]
+    fn bodyless_and_pointer_fns() {
+        let fns = parse(
+            "trait T { fn required(&self); }\n\
+             type Callback = fn(usize) -> bool;\n\
+             extern \"C\" { fn c_side(x: u32); }\n",
+        );
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["required", "c_side"]);
+        assert!(fns.iter().all(|f| f.body.is_empty()));
+    }
+
+    #[test]
+    fn where_clauses_and_generic_returns() {
+        let fns = parse(
+            "pub fn generic<T, F>(n: usize, f: F) -> Vec<T>\n\
+             where\n\
+                 T: Send,\n\
+                 F: Fn(usize) -> T,\n\
+             {\n\
+                 body_marker();\n\
+                 Vec::new()\n\
+             }\n",
+        );
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "generic");
+        assert!(!fns[0].body.is_empty());
+    }
+}

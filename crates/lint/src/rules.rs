@@ -116,7 +116,7 @@ pub fn analyze(relpath: &str, source: &str, cfg: &Config) -> FileReport {
 /// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]`): the attribute
 /// itself, any stacked attributes after it, and the item body through its
 /// matching close brace (or terminating semicolon).
-fn test_region_mask(toks: &[Token]) -> Vec<bool> {
+pub fn test_region_mask(toks: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -235,6 +235,17 @@ fn prev_sig(toks: &[Token], i: usize) -> Option<usize> {
 struct Directive {
     rule: String,
     target_line: u32,
+}
+
+/// Well-formed (reasoned) `allow` directives of a file, as
+/// `(rule, target line)` pairs — the semantic pass applies these to the
+/// workspace-level findings (K/H/P004) the per-file engine never sees.
+pub fn suppressions(toks: &[Token]) -> Vec<(String, u32)> {
+    let mut sink = Vec::new();
+    collect_directives("", toks, &mut sink)
+        .into_iter()
+        .map(|d| (d.rule, d.target_line))
+        .collect()
 }
 
 /// Parses `// nrp-lint: allow(rule-id) — reason` comments.  A directive
@@ -530,6 +541,7 @@ fn rule_u(
             documented,
             allowlisted,
             test_code,
+            reachable_from: Vec::new(),
         });
         if !documented {
             findings.push(Finding::new(

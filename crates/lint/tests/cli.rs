@@ -71,6 +71,45 @@ fn unknown_flags_and_missing_input_are_usage_errors() {
 }
 
 #[test]
+fn format_json_emits_a_findings_object() {
+    let spec = format!("{}=crates/serve/src/http.rs", fixture_path("p_panics.rs"));
+    let (code, stdout, _) = run(&["--format", "json", &spec]);
+    assert_eq!(code, 0);
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"findings\""), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"P001\""), "{stdout}");
+    assert!(stdout.contains("\"ambiguities\""), "{stdout}");
+    assert!(stdout.contains("\"files_checked\": 1"), "{stdout}");
+    // No text findings mixed into the JSON stream.
+    assert!(!stdout.contains(":5: P001"), "{stdout}");
+    let (code, _, stderr) = run(&["--format", "xml", &spec]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("--format"), "{stderr}");
+}
+
+#[test]
+fn workspace_run_writes_the_lock_order_json() {
+    let dir = tempfile::tempdir().expect("tempdir");
+    let lock_order = dir.path().join("lock-order.json");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (code, _, stderr) = run(&[
+        "--workspace",
+        "--root",
+        &root.to_string_lossy(),
+        "--lock-order",
+        &lock_order.to_string_lossy(),
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stderr.contains("lock order ("), "{stderr}");
+    let json = std::fs::read_to_string(&lock_order).expect("lock order written");
+    assert!(json.contains("\"locks\""), "{json}");
+    assert!(json.contains("\"order_edges\""), "{json}");
+    assert!(json.contains("\"condvar_waits\""), "{json}");
+    assert!(json.contains("\"coverage\""), "{json}");
+    assert!(json.contains("REGISTRY"), "{json}");
+}
+
+#[test]
 fn workspace_run_writes_the_unsafe_inventory() {
     let dir = tempfile::tempdir().expect("tempdir");
     let inventory = dir.path().join("unsafe_inventory.json");
@@ -87,4 +126,8 @@ fn workspace_run_writes_the_unsafe_inventory() {
     let json = std::fs::read_to_string(&inventory).expect("inventory written");
     assert!(json.trim_start().starts_with('['), "{json}");
     assert!(json.contains("crates/linalg/src/parallel.rs"), "{json}");
+    // Call-graph context: the pool's unsafe sites name the public APIs
+    // that reach them.
+    assert!(json.contains("\"reachable_from\""), "{json}");
+    assert!(json.contains("par_chunk_map_exec"), "{json}");
 }

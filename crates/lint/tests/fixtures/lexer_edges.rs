@@ -1,0 +1,28 @@
+//! Lexer edge cases: every finding below is visible only if the lexer gets
+//! raw strings, lifetimes, nested comments and escape lines exactly right.
+
+pub fn raw_strings(x: Option<u32>) -> u32 {
+    let _path = r"C:\";
+    x.unwrap()
+}
+
+pub fn hidden_in_raw() -> &'static str {
+    r#"x.unwrap() and panic!() are just text in here"#
+}
+
+/* outer /* nested */ still a comment: x.unwrap() */
+pub fn after_nested_comment(v: &[u8]) -> u8 {
+    v[0]
+}
+
+pub fn lifetimes<'a>(s: &'a str, c: Option<char>) -> char {
+    let _nl = '\n';
+    c.expect("boom")
+}
+
+pub fn continuation() -> u32 {
+    let _s = "a\
+    b";
+    let v: Option<u32> = None;
+    v.unwrap()
+}

@@ -156,6 +156,31 @@ fn p_rules_guard_request_path_modules_only() {
 }
 
 #[test]
+fn lexer_edge_cases_keep_rules_and_line_numbers_exact() {
+    // Zero-hash raw strings must end at their quote (the `unwrap` after
+    // `r"C:\"` is real code), raw strings must hide their contents, nested
+    // block comments must close correctly, and `\`-newline escapes must not
+    // shift line numbers.  Linted under a request-path virtual path so the
+    // P rules probe all of it.
+    let report = lint_source(
+        "crates/serve/src/http.rs",
+        &fixture("lexer_edges.rs"),
+        &Config::default(),
+    );
+    assert_eq!(
+        line_rules(&report.findings),
+        vec![
+            (6, "P001"),  // after the r"C:\" literal
+            (15, "P003"), // after the nested block comment
+            (20, "P001"), // expect, past lifetimes and a char literal
+            (27, "P001"), // line number survives the \-newline escape
+        ],
+        "{:#?}",
+        report.findings
+    );
+}
+
+#[test]
 fn allow_directives_suppress_with_a_reason_and_flag_without() {
     let report = lint_source(
         "crates/graph/src/fixture.rs",
@@ -204,10 +229,13 @@ pub fn colsum_exec(n: usize, exec: &Exec) -> f64 { 0.0 }
 "#,
     )
     .expect("write kernels");
-    // The roster mentions rowsum_exec but not colsum_exec.
+    // The roster *calls* rowsum_exec but not colsum_exec — A002 is a
+    // call-graph fact, so a mere mention in a comment would not count.
     std::fs::write(
         root.join("tests/thread_invariance.rs"),
-        "// roster: rowsum_exec is exercised here\n",
+        "// roster: colsum_exec mentioned but never called\n\
+         #[test]\n\
+         fn roster() { let _ = rowsum_exec(3, &exec()); }\n",
     )
     .expect("write roster");
 

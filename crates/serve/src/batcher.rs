@@ -126,17 +126,18 @@ impl Batcher {
     /// (from the cache, a coalesced neighbour, or a fresh dispatch).
     pub fn submit(&self, key: CacheKey) -> Reply {
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-        {
-            let guard = lock_unpoisoned(&self.tx);
-            let tx = guard
-                .as_ref()
-                .ok_or_else(|| "server is shutting down".to_string())?;
-            tx.send(Job {
-                key,
-                reply: reply_tx,
-            })
-            .map_err(|_| "server is shutting down".to_string())?;
-        }
+        // Clone the sender out of the mutex so the channel send happens
+        // without holding `tx` — a send that blocked under the lock would
+        // stall `shutdown()` (K003).  An in-flight clone keeps the channel
+        // connected just long enough for this job to enqueue.
+        let tx = lock_unpoisoned(&self.tx)
+            .clone()
+            .ok_or_else(|| "server is shutting down".to_string())?;
+        tx.send(Job {
+            key,
+            reply: reply_tx,
+        })
+        .map_err(|_| "server is shutting down".to_string())?;
         self.counters.jobs.fetch_add(1, Ordering::Relaxed);
         reply_rx
             .recv()
@@ -159,7 +160,11 @@ impl Batcher {
     pub fn shutdown(&self) {
         let tx = lock_unpoisoned(&self.tx).take();
         drop(tx); // Disconnects the channel once queued jobs drain.
-        if let Some(worker) = lock_unpoisoned(&self.worker).take() {
+                  // Take the handle in one statement (the guard is a temporary) and
+                  // join *after* the lock is released: joining under `worker` would
+                  // block every concurrent shutdown for the full drain (K003).
+        let worker = lock_unpoisoned(&self.worker).take();
+        if let Some(worker) = worker {
             let _ = worker.join();
         }
     }
@@ -210,16 +215,23 @@ fn dispatch_loop(
             entry.push(job.reply);
         }
 
-        // Answer what the cache already holds.
+        // Answer what the cache already holds.  Replies go out only after
+        // the cache lock is back down: `reply_all` sends on (bounded)
+        // channels, and a blocking send under the lock would stall every
+        // request thread probing the cache (K003).
         let mut missing: Vec<CacheKey> = Vec::new();
+        let mut hits: Vec<(CacheKey, Reply)> = Vec::new();
         {
             let mut cache = lock_unpoisoned(&cache);
             for key in unique {
                 match cache.get(&key) {
-                    Some(answer) => reply_all(&mut waiters, &key, Ok(answer)),
+                    Some(answer) => hits.push((key, Ok(answer))),
                     None => missing.push(key),
                 }
             }
+        }
+        for (key, answer) in hits {
+            reply_all(&mut waiters, &key, answer);
         }
         if missing.is_empty() {
             continue;
@@ -236,11 +248,17 @@ fn dispatch_loop(
             .computed
             .fetch_add(missing.len() as u64, Ordering::Relaxed);
 
-        let mut cache = lock_unpoisoned(&cache);
-        for (key, answer) in missing.iter().zip(answers) {
-            if let Ok(answer) = &answer {
-                cache.insert(*key, Arc::clone(answer));
+        // Same split as above: fill the cache under the lock, answer the
+        // waiters after it is released.
+        {
+            let mut cache = lock_unpoisoned(&cache);
+            for (key, answer) in missing.iter().zip(answers.iter()) {
+                if let Ok(answer) = answer {
+                    cache.insert(*key, Arc::clone(answer));
+                }
             }
+        }
+        for (key, answer) in missing.iter().zip(answers) {
             reply_all(&mut waiters, key, answer);
         }
     }
