@@ -14,13 +14,22 @@
 //! * **warm** — LRU enabled and pre-warmed with one pass over the hot keys,
 //!   so the measured run shows the steady-state hit path.
 //!
+//! After the grid, one **overload** scenario runs open-loop: arrivals at
+//! ~1.35× the measured cold-cache capacity against a server with a small
+//! bounded queue and a per-request deadline.  It records the shed rate,
+//! the goodput (successful answers per second) and the p99 of successful
+//! requests — demonstrating that under sustained overload the server sheds
+//! the excess, keeps tail latency bounded by the deadline, and still
+//! delivers most of its capacity as goodput.
+//!
 //! The binary doubles as the CI serve smoke check: before any measurement
 //! it asserts that `/healthz`, `/ppr` and `/knn` all answer well-formed
 //! JSON, and it fails hard if any load request errors.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
-use nrp_bench::serveload::{run_load, LoadReport, LoadSpec};
+use nrp_bench::serveload::{run_load, run_open_loop, LoadReport, LoadSpec, OpenLoopSpec};
 use nrp_serve::{fixture, HttpClient, ServeConfig, ServeState, Server};
 
 struct Options {
@@ -50,6 +59,18 @@ fn parse_args() -> Result<Options, String> {
 
 fn json_number(value: f64) -> String {
     format!("{value:.9}")
+}
+
+/// `{"503": 12, "504": 3}` — non-200 responses keyed by status code.
+fn status_counts_json(counts: &BTreeMap<u16, usize>) -> String {
+    if counts.is_empty() {
+        return "{}".to_owned();
+    }
+    let parts: Vec<String> = counts
+        .iter()
+        .map(|(status, count)| format!("\"{status}\": {count}"))
+        .collect();
+    format!("{{ {} }}", parts.join(", "))
 }
 
 /// Asserts the smoke-level contract: `/healthz`, `/ppr` and `/knn` answer
@@ -187,6 +208,133 @@ fn main() {
         }
     }
 
+    // ---- Open-loop overload scenario -------------------------------------
+    // Reference capacity: the cold-cache closed loop on the widest server —
+    // every request computes, so its qps is the compute capacity the
+    // overload run must exceed.
+    let capacity_qps = scenarios
+        .iter()
+        .filter(|s| s.regime == "cold")
+        .map(|s| s.report.qps())
+        .fold(0.0f64, f64::max);
+    assert!(capacity_qps > 0.0, "grid produced no capacity measurement");
+    // Client concurrency must exceed the server's admission budget (queue
+    // plus one in-service batch), or the client's own in-flight cap becomes
+    // the queue and nothing is ever shed — the overload would then surface
+    // as client-side schedule lag instead of fast 503s.  It must also stay
+    // small enough that the load generator itself doesn't drown the server
+    // on a shared box: CI runners can be single-core, and client threads,
+    // connection threads and compute threads all share those cores.
+    let (overload_workers, deadline_ms, queue_capacity) = if options.fast {
+        (12usize, 300u64, 4usize)
+    } else {
+        (16, 500, 8)
+    };
+    let rate_per_sec = capacity_qps * 1.35;
+    let duration_secs = if options.fast { 2.0 } else { 4.0 };
+    let total_requests = (rate_per_sec * duration_secs).ceil() as usize;
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        cache_capacity: 0, // every request computes: arrivals > capacity is a true overload
+        queue_capacity,
+        deadline_ms,
+        ..ServeConfig::default()
+    };
+    let state = ServeState::new(graph.clone(), Some(embedding.clone()), config);
+    let server = Server::start(state).expect("overload server binds an ephemeral port");
+    eprintln!(
+        "overload: open loop at {rate_per_sec:.0}/s (1.35× capacity {capacity_qps:.0} qps), \
+         {total_requests} arrivals, queue {queue_capacity}, deadline {deadline_ms}ms…"
+    );
+    let overload = run_open_loop(&OpenLoopSpec {
+        addr: server.addr(),
+        workers: overload_workers,
+        rate_per_sec,
+        total_requests,
+        zipf_exponent,
+        num_sources: nodes as u32,
+        seed: 7,
+        query_suffix: "&top=16".into(),
+        deadline_ms,
+    });
+    let stats = nrp_serve::get_json_once(server.addr(), "/stats").expect("/stats answers JSON");
+    let resilience_counter = |name: &str| -> u64 {
+        stats
+            .as_object()
+            .and_then(|o| o.get("resilience"))
+            .and_then(|v| v.as_object())
+            .and_then(|o| o.get(name))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    let server_shed = resilience_counter("shed");
+    let server_timeouts = resilience_counter("timeouts");
+    let server_degraded = resilience_counter("degraded");
+    let server_escalations = resilience_counter("escalations");
+    server.shutdown();
+    let goodput = overload.goodput();
+    let goodput_ratio = goodput / capacity_qps;
+    let shed_rate = overload.shed() as f64 / overload.attempted.max(1) as f64;
+    eprintln!(
+        "overload: {} ok / {} shed / {} transport of {} attempted — goodput {:.0} qps \
+         ({:.0}% of capacity), p99 {:.1}ms",
+        overload.ok,
+        overload.shed(),
+        overload.transport_errors,
+        overload.attempted,
+        goodput,
+        goodput_ratio * 100.0,
+        overload.percentile(99.0) * 1e3,
+    );
+    eprintln!(
+        "overload: status {}  max schedule lag {:.0}ms  server shed {server_shed} \
+         / timeouts {server_timeouts} / degraded {server_degraded} \
+         / escalations {server_escalations}",
+        status_counts_json(&overload.status_counts),
+        overload.max_lag_secs * 1e3,
+    );
+    let overload_json = format!(
+        concat!(
+            "  \"overload\": {{\n",
+            "    \"rate_per_sec\": {rate},\n",
+            "    \"reference_capacity_qps\": {capacity},\n",
+            "    \"deadline_ms\": {deadline},\n",
+            "    \"queue_capacity\": {queue},\n",
+            "    \"attempted\": {attempted},\n",
+            "    \"ok\": {ok},\n",
+            "    \"shed\": {shed},\n",
+            "    \"shed_rate\": {shed_rate},\n",
+            "    \"transport_errors\": {transport},\n",
+            "    \"errors_by_status\": {by_status},\n",
+            "    \"server_shed\": {server_shed},\n",
+            "    \"server_timeouts\": {server_timeouts},\n",
+            "    \"goodput_qps\": {goodput},\n",
+            "    \"goodput_ratio\": {ratio},\n",
+            "    \"p50_secs\": {p50},\n",
+            "    \"p99_secs\": {p99},\n",
+            "    \"max_schedule_lag_secs\": {lag}\n",
+            "  }}",
+        ),
+        rate = json_number(rate_per_sec),
+        capacity = json_number(capacity_qps),
+        deadline = deadline_ms,
+        queue = queue_capacity,
+        attempted = overload.attempted,
+        ok = overload.ok,
+        shed = overload.shed(),
+        shed_rate = json_number(shed_rate),
+        transport = overload.transport_errors,
+        by_status = status_counts_json(&overload.status_counts),
+        server_shed = server_shed,
+        server_timeouts = server_timeouts,
+        goodput = json_number(goodput),
+        ratio = json_number(goodput_ratio),
+        p50 = json_number(overload.percentile(50.0)),
+        p99 = json_number(overload.percentile(99.0)),
+        lag = json_number(overload.max_lag_secs),
+    );
+
     let scenario_json: Vec<String> = scenarios
         .iter()
         .map(|s| {
@@ -197,6 +345,8 @@ fn main() {
                     "      \"cache\": \"{regime}\",\n",
                     "      \"requests\": {requests},\n",
                     "      \"errors\": {errors},\n",
+                    "      \"errors_by_status\": {by_status},\n",
+                    "      \"transport_errors\": {transport},\n",
                     "      \"p50_secs\": {p50},\n",
                     "      \"p99_secs\": {p99},\n",
                     "      \"qps\": {qps},\n",
@@ -210,6 +360,8 @@ fn main() {
                 regime = s.regime,
                 requests = s.report.ok,
                 errors = s.report.errors,
+                by_status = status_counts_json(&s.report.status_counts),
+                transport = s.report.transport_errors,
                 p50 = json_number(s.report.p50()),
                 p99 = json_number(s.report.p99()),
                 qps = json_number(s.report.qps()),
@@ -228,7 +380,8 @@ fn main() {
             "  \"fixture\": {{ \"nodes\": {nodes}, \"arcs\": {arcs} }},\n",
             "  \"load\": {{ \"workers\": {workers}, \"requests_per_worker\": {rpw}, ",
             "\"zipf_exponent\": {zipf} }},\n",
-            "  \"scenarios\": [\n{scenarios}\n  ]\n",
+            "  \"scenarios\": [\n{scenarios}\n  ],\n",
+            "{overload}\n",
             "}}\n",
         ),
         mode = if options.fast { "fast" } else { "full" },
@@ -238,7 +391,28 @@ fn main() {
         rpw = requests_per_worker,
         zipf = json_number(zipf_exponent),
         scenarios = scenario_json.join(",\n"),
+        overload = overload_json,
     );
     std::fs::write(&options.out, &json).expect("writing the benchmark report");
     eprintln!("wrote {}", options.out);
+
+    // The resilience contract, enforced at bench time: overload must
+    // actually shed (the queue is bounded), the tail must stay bounded by
+    // the deadline, and shedding must not collapse useful throughput.  The
+    // asserts run after the report is written so a failed gate still leaves
+    // the evidence on disk.  The in-binary floors are looser than the
+    // headline numbers so a noisy CI box does not flake.
+    assert!(
+        overload.shed() > 0,
+        "an open loop above capacity must shed something"
+    );
+    assert!(
+        overload.percentile(99.0) <= (deadline_ms as f64 / 1e3) * 2.0,
+        "p99 {:.3}s escaped the deadline bound",
+        overload.percentile(99.0)
+    );
+    assert!(
+        goodput_ratio >= 0.5,
+        "goodput collapsed under overload: {goodput:.0} qps vs capacity {capacity_qps:.0}"
+    );
 }

@@ -1,4 +1,5 @@
-//! Closed-loop load generator for the `nrp-serve` HTTP server.
+//! Load generators for the `nrp-serve` HTTP server: closed-loop
+//! ([`run_load`]) and open-loop ([`run_open_loop`]).
 //!
 //! Serving benchmarks need three things the embedding harnesses don't:
 //! Zipf-skewed key popularity (real query traffic concentrates on hot
@@ -8,10 +9,23 @@
 //! connection, so reported latencies are uncontaminated by client-side
 //! queueing.
 //!
+//! The *open* loop is the overload instrument: requests arrive on a fixed
+//! schedule regardless of how fast the server answers, so driving the
+//! arrival rate past measured capacity exercises the server's shedding and
+//! deadline paths.  Latencies are measured from the moment the request is
+//! *sent* and **only successful (200) requests enter the percentiles** — a
+//! shed request has no service latency, it has a shed count.  When a
+//! worker falls behind its schedule (on a small CI box the *client* often
+//! saturates before the server does) the slip is reported separately as
+//! [`OpenLoopReport::max_lag_secs`] instead of being folded into the
+//! latency distribution, where it would measure the load generator's host
+//! rather than the server under test.
+//!
 //! Used by the `bench_serve` binary and the CI serve smoke job.
 
+use std::collections::BTreeMap;
 use std::net::SocketAddr;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use nrp_serve::HttpClient;
 use rand::prelude::*;
@@ -101,25 +115,35 @@ pub struct LoadSpec {
 }
 
 /// The measured outcome of one [`run_load`] call.
+///
+/// `latencies` holds **successful requests only**: a failed request has no
+/// meaningful service time, and mixing transport timeouts or instant
+/// rejections into the distribution would corrupt the percentiles in
+/// whichever direction the failure mode leans.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
-    /// Per-request latencies in seconds, ascending.
+    /// Per-request latencies of *successful* requests, seconds, ascending.
     pub latencies: Vec<f64>,
     /// Wall-clock seconds from first request to last response.
     pub wall_secs: f64,
-    /// Requests that returned HTTP 200 with parseable JSON.
+    /// Requests that returned HTTP 200.
     pub ok: usize,
-    /// Requests that failed (transport error, non-200, bad JSON).
+    /// Requests that failed (transport error or non-200 status).
     pub errors: usize,
+    /// Non-200 responses by status code (`503` sheds, `504` deadline
+    /// expiries, …).
+    pub status_counts: BTreeMap<u16, usize>,
+    /// Failures that never produced a response (connect/read/write error).
+    pub transport_errors: usize,
 }
 
 impl LoadReport {
-    /// Median latency, seconds.
+    /// Median latency of successful requests, seconds.
     pub fn p50(&self) -> f64 {
         percentile(&self.latencies, 50.0)
     }
 
-    /// 99th-percentile latency, seconds.
+    /// 99th-percentile latency of successful requests, seconds.
     pub fn p99(&self) -> f64 {
         percentile(&self.latencies, 99.0)
     }
@@ -136,7 +160,7 @@ impl LoadReport {
 pub fn run_load(spec: &LoadSpec) -> LoadReport {
     let zipf = Zipf::new(spec.num_sources as usize, spec.zipf_exponent);
     let start = Instant::now();
-    let outcomes: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..spec.workers)
             .map(|worker| {
                 let zipf = &zipf;
@@ -147,18 +171,14 @@ pub fn run_load(spec: &LoadSpec) -> LoadReport {
                         spec.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                     );
                     let mut client = HttpClient::new(spec.addr);
-                    let mut latencies = Vec::with_capacity(spec.requests_per_worker);
-                    let mut errors = 0usize;
+                    let mut outcome = WorkerOutcome::default();
                     for _ in 0..spec.requests_per_worker {
                         let source = zipf.sample(&mut rng) as u32;
                         let target = format!("/ppr?source={source}{}", spec.query_suffix);
                         let sent = Instant::now();
-                        match client.get_json(&target) {
-                            Ok(_) => latencies.push(sent.elapsed().as_secs_f64()),
-                            Err(_) => errors += 1,
-                        }
+                        outcome.record(client.get_full(&target, &[]).map(|r| r.status), sent);
                     }
-                    (latencies, errors)
+                    outcome
                 })
             })
             .collect();
@@ -168,18 +188,186 @@ pub fn run_load(spec: &LoadSpec) -> LoadReport {
             .collect()
     });
     let wall_secs = start.elapsed().as_secs_f64();
-    let mut latencies = Vec::new();
-    let mut errors = 0;
-    for (worker_latencies, worker_errors) in outcomes {
-        latencies.extend(worker_latencies);
-        errors += worker_errors;
-    }
-    latencies.sort_by(|a, b| a.total_cmp(b));
+    let merged = WorkerOutcome::merge(outcomes);
     LoadReport {
-        ok: latencies.len(),
-        latencies,
+        ok: merged.latencies.len(),
+        errors: merged.status_counts.values().sum::<usize>() + merged.transport_errors,
+        latencies: merged.latencies,
         wall_secs,
-        errors,
+        status_counts: merged.status_counts,
+        transport_errors: merged.transport_errors,
+    }
+}
+
+/// Per-worker tally shared by both load loops.  Only 200s contribute a
+/// latency; every failure lands in a status bucket or the transport count.
+#[derive(Debug, Default)]
+struct WorkerOutcome {
+    latencies: Vec<f64>,
+    status_counts: BTreeMap<u16, usize>,
+    transport_errors: usize,
+    max_lag_secs: f64,
+}
+
+impl WorkerOutcome {
+    fn record(&mut self, status: std::io::Result<u16>, sent: Instant) {
+        match status {
+            Ok(200) => self.latencies.push(sent.elapsed().as_secs_f64()),
+            Ok(status) => *self.status_counts.entry(status).or_insert(0) += 1,
+            Err(_) => self.transport_errors += 1,
+        }
+    }
+
+    /// Merges per-worker outcomes, sorting the combined latencies.
+    fn merge(outcomes: Vec<WorkerOutcome>) -> WorkerOutcome {
+        let mut merged = WorkerOutcome::default();
+        for outcome in outcomes {
+            merged.latencies.extend(outcome.latencies);
+            for (status, count) in outcome.status_counts {
+                *merged.status_counts.entry(status).or_insert(0) += count;
+            }
+            merged.transport_errors += outcome.transport_errors;
+            merged.max_lag_secs = merged.max_lag_secs.max(outcome.max_lag_secs);
+        }
+        merged.latencies.sort_by(|a, b| a.total_cmp(b));
+        merged
+    }
+}
+
+/// One open-loop overload scenario: a fixed arrival schedule the server
+/// cannot slow down.
+#[derive(Debug, Clone)]
+pub struct OpenLoopSpec {
+    /// Server to hammer.
+    pub addr: SocketAddr,
+    /// Sender threads.  They bound client-side concurrency, so size them
+    /// well above `rate_per_sec × typical latency`.
+    pub workers: usize,
+    /// Total arrival rate, requests per second, across all workers.
+    pub rate_per_sec: f64,
+    /// Total requests to schedule (the run lasts `total / rate` seconds).
+    pub total_requests: usize,
+    /// Zipf exponent of the source-popularity distribution (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Sources are drawn from `0..num_sources`.
+    pub num_sources: u32,
+    /// Base RNG seed; each worker derives its own stream from it.
+    pub seed: u64,
+    /// Extra query-string suffix appended to every `/ppr` request.
+    pub query_suffix: String,
+    /// Sent as `x-deadline-ms` on every request when nonzero.
+    pub deadline_ms: u64,
+}
+
+/// The measured outcome of one [`run_open_loop`] call.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Latencies of *successful* requests, seconds, ascending — measured
+    /// from the moment each request was sent.
+    pub latencies: Vec<f64>,
+    /// Wall-clock seconds for the whole schedule.
+    pub wall_secs: f64,
+    /// Worst slip behind the arrival schedule across all workers, seconds.
+    /// Nonzero lag means the *client* could not sustain the nominal rate
+    /// (expected on small boxes); large lag means the achieved arrival
+    /// rate was below `rate_per_sec`.
+    pub max_lag_secs: f64,
+    /// Requests attempted (the full schedule).
+    pub attempted: usize,
+    /// Requests that returned HTTP 200.
+    pub ok: usize,
+    /// Non-200 responses by status code.
+    pub status_counts: BTreeMap<u16, usize>,
+    /// Failures that never produced a response.
+    pub transport_errors: usize,
+}
+
+impl OpenLoopReport {
+    /// Nearest-rank percentile of the successful-request latencies;
+    /// 0 when nothing succeeded.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        percentile(&self.latencies, p)
+    }
+
+    /// Successful answers per wall-clock second — the goodput.
+    pub fn goodput(&self) -> f64 {
+        self.ok as f64 / self.wall_secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// Requests shed by the server (`503`) plus deadline expiries (`504`).
+    pub fn shed(&self) -> usize {
+        self.status_counts.get(&503).copied().unwrap_or(0)
+            + self.status_counts.get(&504).copied().unwrap_or(0)
+    }
+}
+
+/// Runs the open loop: `total_requests` arrivals at `rate_per_sec`, spread
+/// round-robin over `workers` threads.  A worker sleeps until each
+/// request's scheduled time, then issues it; when the previous request ran
+/// long the next one fires immediately and the slip is tracked in
+/// [`OpenLoopReport::max_lag_secs`].  Failed requests contribute no
+/// latency (see [`OpenLoopReport::latencies`]).
+pub fn run_open_loop(spec: &OpenLoopSpec) -> OpenLoopReport {
+    assert!(spec.rate_per_sec > 0.0, "open loop needs a positive rate");
+    assert!(spec.workers > 0, "open loop needs at least one worker");
+    let zipf = Zipf::new(spec.num_sources as usize, spec.zipf_exponent);
+    let interval = Duration::from_secs_f64(1.0 / spec.rate_per_sec);
+    let deadline_header = spec.deadline_ms.to_string();
+    let start = Instant::now();
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.workers)
+            .map(|worker| {
+                let zipf = &zipf;
+                let deadline_header = deadline_header.as_str();
+                scope.spawn(move || {
+                    let mut rng = ChaCha8Rng::seed_from_u64(
+                        spec.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut client = HttpClient::new(spec.addr);
+                    let mut outcome = WorkerOutcome::default();
+                    let mut arrival = worker;
+                    while arrival < spec.total_requests {
+                        let scheduled = start + interval.mul_f64(arrival as f64);
+                        let now = Instant::now();
+                        if scheduled > now {
+                            std::thread::sleep(scheduled - now);
+                        }
+                        let source = zipf.sample(&mut rng) as u32;
+                        let target = format!("/ppr?source={source}{}", spec.query_suffix);
+                        let headers: &[(&str, &str)] = if spec.deadline_ms > 0 {
+                            &[("x-deadline-ms", deadline_header)]
+                        } else {
+                            &[]
+                        };
+                        let sent = Instant::now();
+                        let lag = sent.saturating_duration_since(scheduled);
+                        outcome.max_lag_secs = outcome.max_lag_secs.max(lag.as_secs_f64());
+                        let status = client.get_full(&target, headers).map(|r| r.status);
+                        outcome.record(status, sent);
+                        arrival += spec.workers;
+                    }
+                    outcome
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop worker panicked"))
+            .collect()
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+    let merged = WorkerOutcome::merge(outcomes);
+    OpenLoopReport {
+        attempted: spec.total_requests,
+        ok: merged.latencies.len(),
+        latencies: merged.latencies,
+        wall_secs,
+        max_lag_secs: merged.max_lag_secs,
+        status_counts: merged.status_counts,
+        transport_errors: merged.transport_errors,
     }
 }
 
@@ -235,5 +423,52 @@ mod tests {
         assert_eq!(percentile(&sorted, 0.0), 1.0);
         assert_eq!(percentile(&sorted, 100.0), 4.0);
         assert_eq!(percentile(&[7.5], 50.0), 7.5);
+    }
+
+    #[test]
+    fn failed_requests_stay_out_of_the_percentiles() {
+        // Regression: percentiles must be computed over successful requests
+        // only.  A worker that saw one fast success, one shed (503), one
+        // deadline expiry (504) and one dead socket reports exactly one
+        // latency — the failures land in their own buckets.
+        let epoch = Instant::now();
+        let mut outcome = WorkerOutcome::default();
+        outcome.record(Ok(200), epoch);
+        outcome.record(Ok(503), epoch);
+        outcome.record(Ok(504), epoch);
+        outcome.record(
+            Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "x",
+            )),
+            epoch,
+        );
+        let merged = WorkerOutcome::merge(vec![outcome]);
+        assert_eq!(merged.latencies.len(), 1);
+        assert_eq!(merged.status_counts.get(&503), Some(&1));
+        assert_eq!(merged.status_counts.get(&504), Some(&1));
+        assert_eq!(merged.transport_errors, 1);
+
+        let report = OpenLoopReport {
+            attempted: 4,
+            ok: merged.latencies.len(),
+            latencies: merged.latencies,
+            wall_secs: 1.0,
+            max_lag_secs: 0.0,
+            status_counts: merged.status_counts,
+            transport_errors: merged.transport_errors,
+        };
+        assert_eq!(report.shed(), 2);
+        assert!(report.percentile(99.0) >= 0.0, "p99 over ok-only latencies");
+        let empty = OpenLoopReport {
+            attempted: 2,
+            ok: 0,
+            latencies: Vec::new(),
+            wall_secs: 1.0,
+            max_lag_secs: 0.0,
+            status_counts: BTreeMap::from([(503, 2)]),
+            transport_errors: 0,
+        };
+        assert_eq!(empty.percentile(99.0), 0.0, "no successes, no percentile");
     }
 }

@@ -43,6 +43,7 @@ pub struct EmbedContext {
     seed: Option<u64>,
     threads: Option<NonZeroUsize>,
     cancel: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
     // The cell itself is behind an `Arc` so clones share the *lazily created*
     // pool too: whichever context (original or clone) runs first initializes
     // the one cell every sibling reads.
@@ -140,6 +141,30 @@ impl EmbedContext {
         self
     }
 
+    /// Attaches an absolute deadline.  Once the wall clock passes it, the
+    /// context reports itself cancelled — the same cooperative signal as
+    /// [`EmbedContext::with_cancel_flag`], so every kernel that already
+    /// checks [`EmbedContext::ensure_active`] at its loop boundaries honours
+    /// deadlines for free.  Like the cancel flag, an expired deadline only
+    /// ever *aborts* work (with [`NrpError::Cancelled`]); it never alters a
+    /// computed value, so the determinism contract is untouched.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The attached deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True if the attached deadline (if any) has passed.
+    pub fn deadline_expired(&self) -> bool {
+        // nrp-lint: allow(D002) — deadline checks abort work, they never
+        // feed a computed value; the cancellation contract documents this.
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
     /// Opts into **partial results** on cancellation: instead of failing
     /// with [`NrpError::Cancelled`], iterative refinement stages stop early
     /// and the run returns the best embedding computed so far.
@@ -184,11 +209,13 @@ impl EmbedContext {
         self.threads.map(NonZeroUsize::get).unwrap_or(1)
     }
 
-    /// True if the attached cancellation flag has been raised.
+    /// True if the attached cancellation flag has been raised or the
+    /// attached deadline has passed.
     pub fn is_cancelled(&self) -> bool {
         self.cancel
             .as_ref()
             .is_some_and(|flag| flag.load(Ordering::Relaxed))
+            || self.deadline_expired()
     }
 
     /// Errors with [`NrpError::Cancelled`] if the run has been cancelled —

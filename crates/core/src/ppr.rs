@@ -16,6 +16,7 @@
 use nrp_graph::{Graph, NodeId};
 use nrp_linalg::{DanglingPolicy, DenseMatrix, LinearOperator, TransitionOperator};
 
+use crate::context::EmbedContext;
 use crate::{NrpError, Result};
 
 /// A dense matrix of exact PPR values (`Π[u][v] = π(u, v)`).
@@ -121,6 +122,35 @@ pub fn single_source_ppr_with_policy(
     tol: f64,
     policy: DanglingPolicy,
 ) -> Result<Vec<f64>> {
+    single_source_ppr_impl(graph, source, alpha, tol, policy, None)
+}
+
+/// [`single_source_ppr_with_policy`] under an [`EmbedContext`]: the power
+/// iteration checks [`EmbedContext::ensure_active`] once per step, so a
+/// raised cancel flag or an expired [`EmbedContext::with_deadline`] aborts
+/// the run with [`NrpError::Cancelled`] instead of iterating to
+/// convergence.  Cancellation is abort-only — the function never returns a
+/// partially converged vector, so completed answers stay bitwise identical
+/// to a plain [`single_source_ppr_with_policy`] call.
+pub fn single_source_ppr_ctx(
+    graph: &Graph,
+    source: NodeId,
+    alpha: f64,
+    tol: f64,
+    policy: DanglingPolicy,
+    ctx: &EmbedContext,
+) -> Result<Vec<f64>> {
+    single_source_ppr_impl(graph, source, alpha, tol, policy, Some(ctx))
+}
+
+fn single_source_ppr_impl(
+    graph: &Graph,
+    source: NodeId,
+    alpha: f64,
+    tol: f64,
+    policy: DanglingPolicy,
+    ctx: Option<&EmbedContext>,
+) -> Result<Vec<f64>> {
     validate_alpha(alpha)?;
     let n = graph.num_nodes();
     if (source as usize) >= n {
@@ -133,6 +163,9 @@ pub fn single_source_ppr_with_policy(
     position[source as usize] = 1.0;
     let mut ppr = vec![0.0; n];
     loop {
+        if let Some(ctx) = ctx {
+            ctx.ensure_active()?;
+        }
         let alive: f64 = position.iter().sum();
         if alive <= tol {
             break;
@@ -390,5 +423,33 @@ mod tests {
         assert!(PprMatrix::exact(&g, 1.0, TOL).is_err());
         assert!(PprMatrix::exact(&g, 0.15, 0.0).is_err());
         assert!(single_source_ppr(&g, 10, 0.15, TOL).is_err());
+    }
+
+    #[test]
+    fn ctx_variant_is_bitwise_identical_when_uncancelled() {
+        let g = example_graph();
+        let plain = single_source_ppr(&g, V9, ALPHA, TOL).unwrap();
+        let ctx = EmbedContext::new();
+        let under_ctx =
+            single_source_ppr_ctx(&g, V9, ALPHA, TOL, DanglingPolicy::SelfLoop, &ctx).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&plain), bits(&under_ctx));
+    }
+
+    #[test]
+    fn ctx_variant_aborts_on_cancel_flag_and_expired_deadline() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let g = cycle(16).unwrap();
+        let flag = Arc::new(AtomicBool::new(true));
+        let cancelled = EmbedContext::new().with_cancel_flag(flag);
+        let err = single_source_ppr_ctx(&g, 0, ALPHA, TOL, DanglingPolicy::SelfLoop, &cancelled)
+            .unwrap_err();
+        assert!(matches!(err, NrpError::Cancelled), "{err:?}");
+        let expired = EmbedContext::new().with_deadline(std::time::Instant::now());
+        assert!(expired.deadline_expired());
+        let err = single_source_ppr_ctx(&g, 0, ALPHA, TOL, DanglingPolicy::SelfLoop, &expired)
+            .unwrap_err();
+        assert!(matches!(err, NrpError::Cancelled), "{err:?}");
     }
 }

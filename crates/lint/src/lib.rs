@@ -17,6 +17,7 @@
 //! | P001 | no `.unwrap()`/`.expect()` in `nrp-serve` request-path modules |
 //! | P002 | no `panic!`/`todo!`/`unimplemented!` in request-path modules |
 //! | P003 | no slice-index-by-literal in request-path modules |
+//! | R001 | every `push`/`push_back` in request-path modules targets a visibly bounded collection (`with_capacity` init or `len()` comparison) |
 //! | A001 | every `pub fn *_exec` kernel has a sequential twin (`base` or `base_with`) |
 //! | A002 | every `*_exec` kernel appears in the `tests/thread_invariance.rs` roster |
 //! | L001 | `// nrp-lint: allow(rule)` directives must carry a reason |
@@ -140,7 +141,9 @@ pub struct Config {
     /// `allow(D002)` annotations instead, so every exemption states its
     /// reason in the source.
     pub timing_allowed: Vec<String>,
-    /// `nrp-serve` request-path modules covered by the P rules.
+    /// `nrp-serve` request-path modules covered by the P and R rules.
+    /// `fault.rs` is deliberately absent: its `Panic` action panics by
+    /// design, and it is compiled out of release builds entirely.
     pub request_path: Vec<String>,
     /// Warm-path roots for the H rules: function names and impl-type names
     /// whose (transitively) reachable code must not allocate.
@@ -171,6 +174,7 @@ impl Default for Config {
                 "crates/serve/src/batcher.rs".into(),
                 "crates/serve/src/cache.rs".into(),
                 "crates/serve/src/client.rs".into(),
+                "crates/serve/src/degrade.rs".into(),
             ],
             hot_roots: vec!["forward_push_into".into(), "PushWorkspace".into()],
             warm_proven: vec!["crates/core/src/push.rs".into()],

@@ -1,5 +1,6 @@
 //! The rule engine: per-file token/line analysis for the D (determinism),
-//! U (unsafe hygiene), P (panic freedom) and L (lint discipline) rules.
+//! U (unsafe hygiene), P (panic freedom), R (resource bounds) and
+//! L (lint discipline) rules.
 //!
 //! Rule A (API discipline) needs cross-file information and lives in
 //! [`crate::lint_workspace`]; this module exposes the per-file pieces it
@@ -94,6 +95,7 @@ pub fn analyze(relpath: &str, source: &str, cfg: &Config) -> FileReport {
         &mut report.unsafe_sites,
     );
     rule_p(relpath, &toks, &in_test, cfg, &mut findings);
+    rule_r001(relpath, &toks, &in_test, cfg, &mut findings);
     collect_fns(&toks, &test_mask, file_is_test, &mut report);
 
     // Apply `// nrp-lint: allow(rule) — reason` suppressions last, so a
@@ -642,6 +644,178 @@ fn rule_p(
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule R001 — unbounded growth on the serving request path
+// ---------------------------------------------------------------------------
+
+/// Methods that grow a collection by one element.
+const GROWTH_METHODS: &[&str] = &["push", "push_back"];
+
+/// True when the token at `i` starts a comparison operator.  `forward`
+/// selects the reading direction: after a `.len()` call (`x.len() < cap`,
+/// `x.len() == cap`) or before the receiver (`cap > x.len()`,
+/// `cap >= x.len()`).  A bare `=` only counts as part of `==`/`<=`/`>=`/
+/// `!=` — plain assignment (`let n = x.len()`) is not a bound check.
+fn comparison_at(toks: &[Token], i: usize, forward: bool) -> bool {
+    let t = &toks[i];
+    if t.is_punct('<') || t.is_punct('>') {
+        return true;
+    }
+    if t.is_punct('=') {
+        return if forward {
+            next_sig(toks, i + 1).is_some_and(|n| toks[n].is_punct('='))
+        } else {
+            prev_sig(toks, i).is_some_and(|p| {
+                toks[p].is_punct('=')
+                    || toks[p].is_punct('<')
+                    || toks[p].is_punct('>')
+                    || toks[p].is_punct('!')
+            })
+        };
+    }
+    t.is_punct('!') && forward && next_sig(toks, i + 1).is_some_and(|n| toks[n].is_punct('='))
+}
+
+/// Collection names this file visibly bounds: bound to a
+/// `Type::with_capacity(…)` call (as a `let` binding or a struct-literal
+/// field), or compared through `.len()` against a limit somewhere in the
+/// file.  Purely syntactic, like [`tracked_hash_names`]: the point is to
+/// force every request-path growth site to carry *visible* evidence of its
+/// bound (or an `allow` stating it), not to prove the bound.
+fn bounded_collection_names(toks: &[Token]) -> Vec<String> {
+    let mut bounded = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        // `binder = Type::with_capacity(…)` / `field: Type::with_capacity(…)`.
+        if tok.is_ident("with_capacity") {
+            let name = prev_sig(toks, i)
+                .filter(|&a| toks[a].is_punct(':'))
+                .and_then(|a| prev_sig(toks, a))
+                .filter(|&b| toks[b].is_punct(':'))
+                .and_then(|b| prev_sig(toks, b))
+                .filter(|&t| toks[t].kind == TokKind::Ident)
+                .and_then(|t| binder_before(toks, t));
+            if let Some(name) = name {
+                bounded.push(name);
+            }
+        }
+        // `name.len()` adjacent to a comparison — a visible bound check.
+        if tok.is_ident("len") && prev_sig(toks, i).is_some_and(|d| toks[d].is_punct('.')) {
+            let receiver = prev_sig(toks, i)
+                .and_then(|d| prev_sig(toks, d))
+                .filter(|&r| toks[r].kind == TokKind::Ident);
+            let close = next_sig(toks, i + 1)
+                .filter(|&o| toks[o].is_punct('('))
+                .and_then(|o| next_sig(toks, o + 1))
+                .filter(|&c| toks[c].is_punct(')'));
+            let (Some(receiver), Some(close)) = (receiver, close) else {
+                continue;
+            };
+            // Walk `self.free` / `state.queue.inner` back to the start of
+            // the place expression, so a comparison before it is seen.
+            let mut expr_start = receiver;
+            while let Some(dot) = prev_sig(toks, expr_start).filter(|&d| toks[d].is_punct('.')) {
+                match prev_sig(toks, dot).filter(|&p| toks[p].kind == TokKind::Ident) {
+                    Some(p) => expr_start = p,
+                    None => break,
+                }
+            }
+            let cmp_after = next_sig(toks, close + 1).is_some_and(|n| comparison_at(toks, n, true));
+            let cmp_before =
+                prev_sig(toks, expr_start).is_some_and(|p| comparison_at(toks, p, false));
+            if cmp_after || cmp_before {
+                bounded.push(toks[receiver].text.clone());
+            }
+        }
+    }
+    bounded
+}
+
+/// The name bound by an initializer whose right-hand side is
+/// `Type::with_capacity(…)`, where `type_idx` is the `Type` token: either
+/// the field of a struct-literal `field: Type::with_capacity(…)` or the
+/// binding of `let [mut] name[: T] = Type::with_capacity(…)`.
+fn binder_before(toks: &[Token], type_idx: usize) -> Option<String> {
+    let sep = prev_sig(toks, type_idx)?;
+    if toks[sep].is_punct(':') {
+        let name = prev_sig(toks, sep)?;
+        // A second `:` means this was a path segment (`vec::Vec::…`), not a
+        // struct-literal field.
+        (toks[name].kind == TokKind::Ident).then(|| toks[name].text.clone())
+    } else if toks[sep].is_punct('=') {
+        // `let mut name: Vec<X> = Vec::with_capacity(…)` — scan back to the
+        // `let` of this statement and take its binding.
+        let mut j = sep;
+        loop {
+            j = prev_sig(toks, j)?;
+            let t = &toks[j];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                return None;
+            }
+            if t.is_ident("let") {
+                let mut n = next_sig(toks, j + 1)?;
+                if toks[n].is_ident("mut") {
+                    n = next_sig(toks, n + 1)?;
+                }
+                return (toks[n].kind == TokKind::Ident).then(|| toks[n].text.clone());
+            }
+        }
+    } else {
+        None
+    }
+}
+
+/// R001: every `.push(…)` / `.push_back(…)` in a request-path module must
+/// target a collection with visible evidence of a bound — a
+/// `with_capacity` initialization or a `len()` comparison somewhere in the
+/// file — or carry an `allow(R001)` directive stating the bound.  An
+/// overload-resilient server must not hold unbounded buffers on the paths
+/// attackers (or load spikes) feed.
+fn rule_r001(
+    relpath: &str,
+    toks: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    if !cfg.request_path.iter().any(|p| p == relpath) {
+        return;
+    }
+    let bounded = bounded_collection_names(toks);
+    for (i, tok) in toks.iter().enumerate() {
+        if in_test(i) || tok.kind != TokKind::Ident {
+            continue;
+        }
+        if !GROWTH_METHODS.contains(&tok.text.as_str()) {
+            continue;
+        }
+        let Some(dot) = prev_sig(toks, i).filter(|&d| toks[d].is_punct('.')) else {
+            continue;
+        };
+        if !next_sig(toks, i + 1).is_some_and(|n| toks[n].is_punct('(')) {
+            continue;
+        }
+        let receiver = prev_sig(toks, dot).filter(|&r| toks[r].kind == TokKind::Ident);
+        let name = match receiver {
+            Some(r) => toks[r].text.clone(),
+            None => "<expr>".to_string(),
+        };
+        if bounded.contains(&name) {
+            continue;
+        }
+        findings.push(Finding::new(
+            relpath,
+            tok.line,
+            "R001",
+            format!(
+                "`{name}.{}()` grows a collection on the serving request path with no \
+                 visible bound — initialize it `with_capacity`, guard it with a `len()` \
+                 comparison, or allow with a reason stating the bound",
+                tok.text
+            ),
+        ));
     }
 }
 

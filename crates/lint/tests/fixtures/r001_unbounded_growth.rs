@@ -1,0 +1,70 @@
+// Fixture: unbounded-growth violations, linted under a virtual
+// request-path module (where R001 fires) and under a non-request-path
+// module (where the same code is clean).
+use std::collections::VecDeque;
+
+pub fn unbounded(values: &[u64]) -> Vec<u64> {
+    let mut sink = Vec::new();
+    for &v in values {
+        sink.push(v);
+    }
+    sink
+}
+
+pub fn unbounded_deque(values: &[u64]) -> VecDeque<u64> {
+    let mut inbox = VecDeque::new();
+    for &v in values {
+        inbox.push_back(v);
+    }
+    inbox
+}
+
+pub fn with_capacity_is_bounded(values: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(values.len());
+    for &v in values {
+        out.push(v);
+    }
+    out
+}
+
+pub struct Pool {
+    slots: Vec<u64>,
+}
+
+impl Pool {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn add(&mut self, v: u64) {
+        self.slots.push(v);
+    }
+}
+
+pub fn len_guard_is_bounded(queue: &mut Vec<u64>, limit: usize, v: u64) {
+    if queue.len() < limit {
+        queue.push(v);
+    }
+}
+
+pub fn reversed_guard_is_bounded(ring: &mut VecDeque<u64>, limit: usize, v: u64) {
+    if limit > ring.len() {
+        ring.push_back(v);
+    }
+}
+
+pub fn allowed_with_reason(log: &mut Vec<u64>, v: u64) {
+    // nrp-lint: allow(R001) — drained every batch, bounded by max_batch
+    log.push(v);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_grow_freely() {
+        let mut scratch = Vec::new();
+        scratch.push(1u64);
+    }
+}

@@ -156,6 +156,27 @@ fn p_rules_guard_request_path_modules_only() {
 }
 
 #[test]
+fn r001_flags_unbounded_growth_on_the_request_path_only() {
+    let source = fixture("r001_unbounded_growth.rs");
+    let cfg = Config::default();
+    let on_path = lint_source("crates/serve/src/http.rs", &source, &cfg);
+    assert_eq!(
+        line_rules(&on_path.findings),
+        vec![
+            (9, "R001"),  // sink.push — Vec::new, no visible bound
+            (17, "R001"), // inbox.push_back — VecDeque::new, no visible bound
+        ],
+        "{:#?}",
+        on_path.findings
+    );
+    // `with_capacity` inits (let bindings and struct-literal fields), `len()`
+    // comparisons in either direction, reasoned allows and test code are all
+    // accepted bound evidence — none of those sites fire above.
+    let off_path = lint_source("crates/serve/src/config.rs", &source, &cfg);
+    assert!(off_path.findings.is_empty(), "{:#?}", off_path.findings);
+}
+
+#[test]
 fn lexer_edge_cases_keep_rules_and_line_numbers_exact() {
     // Zero-hash raw strings must end at their quote (the `unwrap` after
     // `r"C:\"` is real code), raw strings must hide their contents, nested

@@ -12,18 +12,38 @@
 //! sequentially inside one worker (reusing that worker's thread-local
 //! [`PushWorkspace`]), so every per-source result is bitwise identical to a
 //! standalone computation — batching moves wall-clock, never values.
+//!
+//! # Overload behaviour
+//!
+//! The submission queue is **bounded** ([`Batcher::new`] takes its
+//! capacity): when the dispatcher falls behind, [`Batcher::submit`] fails
+//! fast with [`SubmitError::QueueFull`] instead of queueing unboundedly —
+//! the server turns that into `503` + `Retry-After`.  A request may also
+//! carry a deadline ([`Batcher::submit_with_deadline`]): the waiter gives
+//! up with [`SubmitError::DeadlineExceeded`] when it expires (`504`), the
+//! dispatcher sheds queued jobs whose deadline already passed without
+//! computing them, and exact-mode batches propagate the waiters' deadline
+//! into the power iteration through [`EmbedContext::with_deadline`] so
+//! abandoned work stops early.  Aborting never alters values: a computation
+//! either completes bitwise-identically or returns no answer at all.
+//!
+//! Worker panics (real bugs, or injected via the `failpoints` registry at
+//! the `batcher.compute` site) are caught per source: the affected key
+//! answers [`SubmitError::WorkerPanic`], every other key in the batch is
+//! unaffected, and the dispatcher keeps serving.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use nrp_core::parallel::par_chunk_map_exec;
-use nrp_core::ppr::single_source_ppr_with_policy;
+use nrp_core::ppr::single_source_ppr_ctx;
 use nrp_core::push::{forward_push_into, PushWorkspace};
-use nrp_core::{DanglingPolicy, EmbedContext};
+use nrp_core::{DanglingPolicy, EmbedContext, NrpError};
 
 use crate::sync::lock_unpoisoned;
 use nrp_graph::Graph;
@@ -51,6 +71,37 @@ pub struct PprAnswer {
     pub num_pushes: usize,
 }
 
+/// Why a [`Batcher::submit`] returned no answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded submission queue was full — shed this request
+    /// (`503` + `Retry-After`).
+    QueueFull,
+    /// The request's deadline expired before the answer was ready (`504`).
+    DeadlineExceeded,
+    /// The batcher is shutting down (`503`).
+    ShuttingDown,
+    /// The computation for this key panicked; other keys were unaffected
+    /// (`500`).
+    WorkerPanic,
+    /// The computation failed (invalid source, injected I/O error, ...).
+    Failed(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "request queue is full"),
+            SubmitError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+            SubmitError::WorkerPanic => write!(f, "worker panicked during computation"),
+            SubmitError::Failed(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// Counter snapshot of the batcher, as served by `/stats`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BatchSnapshot {
@@ -65,6 +116,12 @@ pub struct BatchSnapshot {
     pub max_batch: u64,
     /// Unique keys actually computed (not answered by the cache).
     pub computed: u64,
+    /// Queued jobs shed by the dispatcher because their deadline had
+    /// already expired when the batch was drained.
+    pub expired: u64,
+    /// Per-key computations that panicked (caught; the dispatcher
+    /// survived).
+    pub panics: u64,
 }
 
 #[derive(Default)]
@@ -74,12 +131,15 @@ struct BatchCounters {
     coalesced: AtomicU64,
     max_batch: AtomicU64,
     computed: AtomicU64,
+    expired: AtomicU64,
+    panics: AtomicU64,
 }
 
-type Reply = Result<Arc<PprAnswer>, String>;
+type Reply = Result<Arc<PprAnswer>, SubmitError>;
 
 struct Job {
     key: CacheKey,
+    deadline: Option<Instant>,
     reply: SyncSender<Reply>,
 }
 
@@ -87,7 +147,7 @@ struct Job {
 /// [`Batcher::shutdown`] drains every queued job before the thread exits,
 /// so no submitted request is ever dropped unanswered.
 pub struct Batcher {
-    tx: Mutex<Option<Sender<Job>>>,
+    tx: Mutex<Option<SyncSender<Job>>>,
     worker: Mutex<Option<JoinHandle<()>>>,
     counters: Arc<BatchCounters>,
 }
@@ -95,15 +155,18 @@ pub struct Batcher {
 impl Batcher {
     /// Spawns the dispatcher.  `ctx` supplies the execution policy (thread
     /// budget plus persistent pool) every batch dispatches on; `max_batch`
-    /// caps how many queued jobs one dispatch drains.
+    /// caps how many queued jobs one dispatch drains; `queue_capacity`
+    /// bounds how many jobs may wait — submissions beyond it shed with
+    /// [`SubmitError::QueueFull`].
     pub fn new(
         graph: Arc<Graph>,
         policy: DanglingPolicy,
         ctx: EmbedContext,
         cache: Arc<Mutex<PprCache>>,
         max_batch: usize,
+        queue_capacity: usize,
     ) -> Self {
-        let (tx, rx) = mpsc::channel::<Job>();
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_capacity.max(1));
         let counters = Arc::new(BatchCounters::default());
         let worker_counters = Arc::clone(&counters);
         let max_batch = max_batch.max(1);
@@ -125,23 +188,44 @@ impl Batcher {
     /// Submits one PPR computation and blocks until its answer is ready
     /// (from the cache, a coalesced neighbour, or a fresh dispatch).
     pub fn submit(&self, key: CacheKey) -> Reply {
+        self.submit_with_deadline(key, None)
+    }
+
+    /// Like [`Batcher::submit`], but gives up with
+    /// [`SubmitError::DeadlineExceeded`] once `deadline` passes.  The
+    /// dispatcher may still finish (and cache) the computation; the answer
+    /// is simply no longer delivered to this waiter.
+    pub fn submit_with_deadline(&self, key: CacheKey, deadline: Option<Instant>) -> Reply {
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         // Clone the sender out of the mutex so the channel send happens
-        // without holding `tx` — a send that blocked under the lock would
-        // stall `shutdown()` (K003).  An in-flight clone keeps the channel
-        // connected just long enough for this job to enqueue.
+        // without holding `tx` (K003).  An in-flight clone keeps the
+        // channel connected just long enough for this job to enqueue.
         let tx = lock_unpoisoned(&self.tx)
             .clone()
-            .ok_or_else(|| "server is shutting down".to_string())?;
-        tx.send(Job {
+            .ok_or(SubmitError::ShuttingDown)?;
+        // `try_send` is the admission decision: a full queue sheds *now*
+        // instead of parking this connection thread behind unbounded work.
+        match tx.try_send(Job {
             key,
+            deadline,
             reply: reply_tx,
-        })
-        .map_err(|_| "server is shutting down".to_string())?;
+        }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => return Err(SubmitError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => return Err(SubmitError::ShuttingDown),
+        }
         self.counters.jobs.fetch_add(1, Ordering::Relaxed);
-        reply_rx
-            .recv()
-            .unwrap_or_else(|_| Err("batch dispatcher exited".to_string()))
+        match deadline {
+            None => reply_rx.recv().unwrap_or(Err(SubmitError::ShuttingDown)),
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match reply_rx.recv_timeout(remaining) {
+                    Ok(reply) => reply,
+                    Err(mpsc::RecvTimeoutError::Timeout) => Err(SubmitError::DeadlineExceeded),
+                    Err(mpsc::RecvTimeoutError::Disconnected) => Err(SubmitError::ShuttingDown),
+                }
+            }
+        }
     }
 
     /// The current counters.
@@ -152,6 +236,8 @@ impl Batcher {
             coalesced: self.counters.coalesced.load(Ordering::Relaxed),
             max_batch: self.counters.max_batch.load(Ordering::Relaxed),
             computed: self.counters.computed.load(Ordering::Relaxed),
+            expired: self.counters.expired.load(Ordering::Relaxed),
+            panics: self.counters.panics.load(Ordering::Relaxed),
         }
     }
 
@@ -174,6 +260,17 @@ impl Drop for Batcher {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Per-key bookkeeping while a batch is in flight.
+struct Pending {
+    replies: Vec<SyncSender<Reply>>,
+    /// Latest deadline among this key's waiters (the computation is useful
+    /// until the *last* waiter gives up).
+    deadline: Option<Instant>,
+    /// At least one waiter has no deadline, so the computation must run to
+    /// completion regardless.
+    unbounded: bool,
 }
 
 fn dispatch_loop(
@@ -201,26 +298,59 @@ fn dispatch_loop(
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
 
+        // Shed queued jobs that already missed their deadline: the waiter
+        // has (or is about to) time out on its own, and computing the
+        // answer would only delay the still-live jobs behind it.
+        let now = Instant::now();
+        let mut expired: Vec<SyncSender<Reply>> = Vec::with_capacity(batch.len());
+        batch.retain(|job| {
+            let dead = job.deadline.is_some_and(|d| now >= d);
+            if dead {
+                expired.push(job.reply.clone());
+            }
+            !dead
+        });
+        if !expired.is_empty() {
+            counters
+                .expired
+                .fetch_add(expired.len() as u64, Ordering::Relaxed);
+            for reply in expired {
+                let _ = reply.send(Err(SubmitError::DeadlineExceeded));
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+
         // Group identical keys: first-seen order keeps the dispatch
         // deterministic in batch composition (not that results depend on it).
-        let mut unique: Vec<CacheKey> = Vec::new();
-        let mut waiters: HashMap<CacheKey, Vec<SyncSender<Reply>>> = HashMap::new();
+        let mut unique: Vec<CacheKey> = Vec::with_capacity(batch.len());
+        let mut waiters: HashMap<CacheKey, Pending> = HashMap::new();
         for job in batch {
-            let entry = waiters.entry(job.key).or_default();
-            if entry.is_empty() {
+            let entry = waiters.entry(job.key).or_insert_with(|| Pending {
+                replies: Vec::new(),
+                deadline: None,
+                unbounded: false,
+            });
+            if entry.replies.is_empty() {
                 unique.push(job.key);
             } else {
                 counters.coalesced.fetch_add(1, Ordering::Relaxed);
             }
-            entry.push(job.reply);
+            match job.deadline {
+                Some(d) => entry.deadline = Some(entry.deadline.map_or(d, |cur| cur.max(d))),
+                None => entry.unbounded = true,
+            }
+            // nrp-lint: allow(R001) — one entry per job in the drained batch, ≤ max_batch
+            entry.replies.push(job.reply);
         }
 
         // Answer what the cache already holds.  Replies go out only after
         // the cache lock is back down: `reply_all` sends on (bounded)
         // channels, and a blocking send under the lock would stall every
         // request thread probing the cache (K003).
-        let mut missing: Vec<CacheKey> = Vec::new();
-        let mut hits: Vec<(CacheKey, Reply)> = Vec::new();
+        let mut missing: Vec<CacheKey> = Vec::with_capacity(unique.len());
+        let mut hits: Vec<(CacheKey, Reply)> = Vec::with_capacity(unique.len());
         {
             let mut cache = lock_unpoisoned(&cache);
             for key in unique {
@@ -237,12 +367,36 @@ fn dispatch_loop(
             continue;
         }
 
+        // Effective deadline per missing key: none if any waiter needs the
+        // full answer, otherwise the latest waiter deadline.
+        let deadlines: Vec<Option<Instant>> = missing
+            .iter()
+            .map(|key| {
+                waiters
+                    .get(key)
+                    .and_then(|p| if p.unbounded { None } else { p.deadline })
+            })
+            .collect();
+
         // One multi-source dispatch over the unique missing keys.  Chunk
         // size 1: each source is one unit of work, claimed by exactly one
         // pool worker, computed with that worker's thread-local workspace.
+        // Each unit is wrapped in `catch_unwind` so a panic (a bug, or the
+        // `batcher.compute` failpoint) fails that key alone instead of
+        // tearing down a pool worker or this dispatcher.
         let exec = ctx.exec();
         let answers: Vec<Reply> = par_chunk_map_exec(missing.len(), 1, &exec, |range| {
-            compute(&graph, policy, &missing[range.start])
+            let key = &missing[range.start];
+            let deadline = deadlines[range.start];
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                crate::fault::fire("batcher.compute")
+                    .map_err(|e| SubmitError::Failed(e.to_string()))?;
+                compute(&graph, policy, key, &ctx, deadline)
+            }))
+            .unwrap_or_else(|_| {
+                counters.panics.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::WorkerPanic)
+            })
         });
         counters
             .computed
@@ -264,14 +418,11 @@ fn dispatch_loop(
     }
 }
 
-fn reply_all(
-    waiters: &mut HashMap<CacheKey, Vec<SyncSender<Reply>>>,
-    key: &CacheKey,
-    reply: Reply,
-) {
-    if let Some(senders) = waiters.remove(key) {
-        for sender in senders {
-            // A waiter that gave up (connection died) is not an error.
+fn reply_all(waiters: &mut HashMap<CacheKey, Pending>, key: &CacheKey, reply: Reply) {
+    if let Some(pending) = waiters.remove(key) {
+        for sender in pending.replies {
+            // A waiter that gave up (connection died, deadline passed) is
+            // not an error.
             let _ = sender.send(reply.clone());
         }
     }
@@ -279,12 +430,35 @@ fn reply_all(
 
 /// Computes one single-source answer.  Deterministic in the key alone:
 /// exact mode runs the power iteration, push mode runs forward push whose
-/// results are independent of workspace reuse by contract.
-fn compute(graph: &Graph, policy: DanglingPolicy, key: &CacheKey) -> Reply {
+/// results are independent of workspace reuse by contract.  A deadline only
+/// ever *aborts* the exact iteration (mapping to
+/// [`SubmitError::DeadlineExceeded`]); it never changes a value that is
+/// returned.  Push runs to completion — a single push is the cheap mode and
+/// finishes well inside any sane deadline.
+fn compute(
+    graph: &Graph,
+    policy: DanglingPolicy,
+    key: &CacheKey,
+    ctx: &EmbedContext,
+    deadline: Option<Instant>,
+) -> Reply {
     if key.exact {
-        let dense =
-            single_source_ppr_with_policy(graph, key.source, key.alpha(), key.r_max(), policy)
-                .map_err(|e| e.to_string())?;
+        let key_ctx = match deadline {
+            Some(d) => ctx.clone().with_deadline(d),
+            None => ctx.clone(),
+        };
+        let dense = single_source_ppr_ctx(
+            graph,
+            key.source,
+            key.alpha(),
+            key.r_max(),
+            policy,
+            &key_ctx,
+        )
+        .map_err(|e| match e {
+            NrpError::Cancelled => SubmitError::DeadlineExceeded,
+            other => SubmitError::Failed(other.to_string()),
+        })?;
         return Ok(Arc::new(PprAnswer {
             entries: Vec::new(),
             dense: Some(dense),
@@ -296,7 +470,7 @@ fn compute(graph: &Graph, policy: DanglingPolicy, key: &CacheKey) -> Reply {
         let mut ws = ws.borrow_mut();
         let outcome =
             forward_push_into(graph, key.source, key.alpha(), key.r_max(), policy, &mut ws)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| SubmitError::Failed(e.to_string()))?;
         Ok(Arc::new(PprAnswer {
             entries: ws.estimates().to_vec(),
             dense: None,
@@ -317,6 +491,17 @@ mod tests {
         Arc::new(barabasi_albert(200, 3, GraphKind::Undirected, 11).unwrap())
     }
 
+    fn batcher_with(cache: Arc<Mutex<PprCache>>, threads: usize) -> Batcher {
+        Batcher::new(
+            graph(),
+            DanglingPolicy::SelfLoop,
+            EmbedContext::new().with_threads(threads),
+            cache,
+            64,
+            1024,
+        )
+    }
+
     #[test]
     fn batched_answers_match_direct_computation() {
         let graph = graph();
@@ -327,6 +512,7 @@ mod tests {
             EmbedContext::new().with_threads(4),
             Arc::clone(&cache),
             64,
+            1024,
         );
         for source in [0u32, 5, 17] {
             let key = CacheKey::new(source, 0.15, 1e-4, false);
@@ -343,15 +529,8 @@ mod tests {
 
     #[test]
     fn concurrent_identical_queries_coalesce() {
-        let graph = graph();
         let cache = Arc::new(Mutex::new(PprCache::new(0))); // no cache: force coalescing to do the sharing
-        let batcher = Arc::new(Batcher::new(
-            Arc::clone(&graph),
-            DanglingPolicy::SelfLoop,
-            EmbedContext::new().with_threads(2),
-            cache,
-            64,
-        ));
+        let batcher = Arc::new(batcher_with(cache, 2));
         let key = CacheKey::new(3, 0.15, 1e-4, false);
         let expected = batcher.submit(key).unwrap();
         let handles: Vec<_> = (0..8)
@@ -372,15 +551,8 @@ mod tests {
 
     #[test]
     fn cache_hits_skip_computation() {
-        let graph = graph();
         let cache = Arc::new(Mutex::new(PprCache::new(8)));
-        let batcher = Batcher::new(
-            Arc::clone(&graph),
-            DanglingPolicy::SelfLoop,
-            EmbedContext::new(),
-            Arc::clone(&cache),
-            64,
-        );
+        let batcher = batcher_with(Arc::clone(&cache), 1);
         let key = CacheKey::new(9, 0.15, 1e-4, false);
         let first = batcher.submit(key).unwrap();
         let second = batcher.submit(key).unwrap();
@@ -395,20 +567,13 @@ mod tests {
 
     #[test]
     fn submit_after_shutdown_fails_cleanly() {
-        let graph = graph();
         let cache = Arc::new(Mutex::new(PprCache::new(8)));
-        let batcher = Batcher::new(
-            graph,
-            DanglingPolicy::SelfLoop,
-            EmbedContext::new(),
-            cache,
-            64,
-        );
+        let batcher = batcher_with(cache, 1);
         batcher.shutdown();
         let err = batcher
             .submit(CacheKey::new(0, 0.15, 1e-4, false))
             .unwrap_err();
-        assert!(err.contains("shutting down"), "{err}");
+        assert_eq!(err, SubmitError::ShuttingDown);
     }
 
     #[test]
@@ -421,6 +586,7 @@ mod tests {
             EmbedContext::new(),
             cache,
             64,
+            1024,
         );
         let key = CacheKey::new(4, 0.2, 1e-9, true);
         let answer = batcher.submit(key).unwrap();
@@ -433,6 +599,52 @@ mod tests {
         )
         .unwrap();
         assert_eq!(answer.dense.as_deref(), Some(direct.as_slice()));
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn an_already_expired_deadline_fails_without_computing() {
+        let cache = Arc::new(Mutex::new(PprCache::new(8)));
+        let batcher = batcher_with(cache, 1);
+        let key = CacheKey::new(2, 0.15, 1e-4, false);
+        let err = batcher
+            .submit_with_deadline(key, Some(Instant::now()))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::DeadlineExceeded);
+        // A fresh submission with a generous deadline still works.
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        let answer = batcher.submit_with_deadline(key, Some(deadline)).unwrap();
+        assert!(!answer.entries.is_empty());
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn deadline_answers_are_bitwise_identical_to_unbounded_ones() {
+        let cache = Arc::new(Mutex::new(PprCache::new(0))); // no cache: both calls compute
+        let batcher = batcher_with(cache, 1);
+        let key = CacheKey::new(7, 0.15, 1e-5, false);
+        let unbounded = batcher.submit(key).unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        let bounded = batcher.submit_with_deadline(key, Some(deadline)).unwrap();
+        assert_eq!(*unbounded, *bounded, "deadlines must never change values");
+        batcher.shutdown();
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_worker_panics_fail_one_key_and_spare_the_dispatcher() {
+        let cache = Arc::new(Mutex::new(PprCache::new(8)));
+        let batcher = batcher_with(cache, 1);
+        crate::fault::configure("batcher.compute=panic:1.0:1", 42).unwrap();
+        let key = CacheKey::new(5, 0.15, 1e-4, false);
+        let err = batcher.submit(key).unwrap_err();
+        assert_eq!(err, SubmitError::WorkerPanic);
+        assert_eq!(batcher.snapshot().panics, 1);
+        // The failpoint's trigger limit is spent; the dispatcher survived
+        // and the same key now computes normally.
+        let answer = batcher.submit(key).unwrap();
+        assert!(!answer.entries.is_empty());
+        crate::fault::clear();
         batcher.shutdown();
     }
 }

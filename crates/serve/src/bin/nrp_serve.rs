@@ -111,6 +111,19 @@ fn run() -> Result<(), String> {
         if embedding.is_some() { "with" } else { "no" },
         config.threads,
     );
+    eprintln!(
+        "resilience: deadline {}ms, queue {}, max-conn {}, degrade {} (window {}ms, recover {}ms)",
+        config.deadline_ms,
+        config.queue_capacity,
+        config.max_connections,
+        if config.degrade_threshold > 0 {
+            format!("after {} sheds", config.degrade_threshold)
+        } else {
+            "off".into()
+        },
+        config.degrade_window_ms,
+        config.degrade_recover_ms,
+    );
     let server = Server::start(ServeState::new(graph, embedding, config))
         .map_err(|e| format!("cannot start server: {e}"))?;
     // The load generator and smoke scripts scrape this exact line for the

@@ -199,6 +199,7 @@ impl PprCache {
             debug_assert_ne!(lru, NONE, "full cache has a tail");
             self.detach(lru);
             self.map.remove(&self.slots[lru].key);
+            // nrp-lint: allow(R001) — every push pairs a map eviction, so len ≤ capacity
             self.free.push(lru);
             self.evictions += 1;
         }

@@ -1,13 +1,21 @@
-//! A minimal blocking HTTP client for the load generator, the CI smoke
-//! checks and the end-to-end tests.  Keep-alive by default: one
-//! [`HttpClient`] holds one persistent connection, mirroring how a real
-//! load generator amortises connection setup.
+//! Blocking HTTP clients for the load generator, the CI smoke checks and
+//! the end-to-end tests.
+//!
+//! [`HttpClient`] is the minimal keep-alive client: one persistent
+//! connection, transparent reconnect when the server dropped it between
+//! requests.  [`ResilientClient`] layers the overload-era policies on top:
+//! jittered exponential backoff with a retry budget (seeded, so chaos runs
+//! replay identically), `Retry-After` honoured on `503`, and a circuit
+//! breaker that fails fast while the server sheds.
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::http::{read_response, HttpLimits};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::http::{read_client_response, ClientResponse, HttpLimits};
 
 /// A persistent connection to one server.
 pub struct HttpClient {
@@ -36,35 +44,69 @@ impl HttpClient {
         })
     }
 
+    /// Drops the cached keep-alive connection; the next request dials
+    /// fresh.  Because the close is client-initiated, the *server's*
+    /// listening port stays immediately rebindable (no server-side
+    /// `TIME_WAIT`), which is what lets one client session span a server
+    /// restart on the same address.
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+    }
+
     /// Issues `GET {target}` on the persistent connection and returns
     /// `(status, body)`.  Reconnects once if the server closed the
     /// keep-alive connection between requests.
     pub fn get(&mut self, target: &str) -> std::io::Result<(u16, Vec<u8>)> {
-        match self.try_get(target) {
+        self.get_full(target, &[]).map(|r| (r.status, r.body))
+    }
+
+    /// Like [`HttpClient::get`], but returns the full [`ClientResponse`]
+    /// (status, body, `Retry-After`) and sends `extra_headers` as
+    /// `name: value` lines.
+    pub fn get_full(
+        &mut self,
+        target: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        match self.try_get(target, extra_headers) {
             Ok(answer) => Ok(answer),
             Err(_) => {
                 // Stale keep-alive connection (server restarted or timed the
-                // connection out): reconnect and retry once.
-                self.stream = None;
-                self.try_get(target)
+                // connection out): reconnect and retry once.  `try_get`
+                // evicted the dead socket already, so this attempt dials
+                // fresh.
+                self.try_get(target, extra_headers)
             }
         }
     }
 
-    fn try_get(&mut self, target: &str) -> std::io::Result<(u16, Vec<u8>)> {
-        let reader = self.connect()?;
-        let request = format!("GET {target} HTTP/1.1\r\nhost: nrp-serve\r\n\r\n");
-        reader.get_mut().write_all(request.as_bytes())?;
-        match read_response(reader, &HttpLimits::default()) {
-            Ok(answer) => Ok(answer),
-            Err(error) => {
-                self.stream = None;
-                Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    error.to_string(),
-                ))
+    fn try_get(
+        &mut self,
+        target: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        // Any failure from here on evicts the stream: a connection that
+        // failed a write is just as dead as one that failed a read, and
+        // keeping it would make the retry in `get_full` fail the same way.
+        let result = (|| {
+            let reader = self.connect()?;
+            let mut request = format!("GET {target} HTTP/1.1\r\nhost: nrp-serve\r\n");
+            for (name, value) in extra_headers {
+                request.push_str(name);
+                request.push_str(": ");
+                request.push_str(value);
+                request.push_str("\r\n");
             }
+            request.push_str("\r\n");
+            reader.get_mut().write_all(request.as_bytes())?;
+            read_client_response(reader, &HttpLimits::default()).map_err(|error| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, error.to_string())
+            })
+        })();
+        if result.is_err() {
+            self.stream = None;
         }
+        result
     }
 
     /// `get` + JSON parse, asserting a 200 status.  Used where the caller
@@ -82,4 +124,316 @@ impl HttpClient {
 /// One-shot convenience: connect, `GET target`, parse JSON, close.
 pub fn get_json_once(addr: SocketAddr, target: &str) -> Result<serde::Value, String> {
     HttpClient::new(addr).get_json(target)
+}
+
+/// Backoff and retry-budget knobs for [`ResilientClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = try once).
+    pub max_retries: u32,
+    /// Backoff cap for attempt `n` is `base_delay_ms << n`.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay_ms: u64,
+    /// Total milliseconds the client may spend *sleeping* across all
+    /// retries of one request; once spent, the next failure is final.
+    pub budget_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 4,
+            base_delay_ms: 10,
+            max_delay_ms: 1_000,
+            budget_ms: 5_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry number `attempt` (0-based): a
+    /// uniform draw from `[0, min(base << attempt, max)]` ("full jitter"),
+    /// so a retrying fleet decorrelates instead of stampeding in lockstep.
+    pub fn backoff_ms(&self, attempt: u32, rng: &mut ChaCha8Rng) -> u64 {
+        let cap = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.min(32))
+            .min(self.max_delay_ms);
+        if cap == 0 {
+            return 0;
+        }
+        rng.gen_range(0..cap + 1)
+    }
+}
+
+/// A consecutive-failure circuit breaker: closed → open after `threshold`
+/// straight failures, half-open (one probe allowed) after `open_ms` of
+/// cool-down, closed again on a successful probe.
+///
+/// Clock-free like [`crate::degrade::DegradeController`]: callers pass
+/// `now_ms` so tests drive transitions without sleeping.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    open_ms: u64,
+    consecutive_failures: u32,
+    /// When the breaker opened; `None` while closed.
+    opened_at: Option<u64>,
+    /// A half-open probe is in flight.
+    probing: bool,
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens after `threshold` consecutive failures and
+    /// cools down for `open_ms` before allowing a probe.  `threshold == 0`
+    /// disables the breaker (always allows).
+    pub fn new(threshold: u32, open_ms: u64) -> Self {
+        Self {
+            threshold,
+            open_ms,
+            consecutive_failures: 0,
+            opened_at: None,
+            probing: false,
+        }
+    }
+
+    /// Whether a request may go out at `now_ms`.  While open, returns
+    /// `true` exactly once per cool-down expiry (the half-open probe).
+    pub fn allow(&mut self, now_ms: u64) -> bool {
+        if self.threshold == 0 {
+            return true;
+        }
+        match self.opened_at {
+            None => true,
+            Some(opened) => {
+                if self.probing {
+                    return false; // A probe is already in flight.
+                }
+                if now_ms.saturating_sub(opened) >= self.open_ms {
+                    self.probing = true;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful request: closes the breaker.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+        self.probing = false;
+    }
+
+    /// Records a failed request at `now_ms`: re-opens after a failed probe,
+    /// opens after `threshold` straight failures.
+    pub fn record_failure(&mut self, now_ms: u64) {
+        if self.threshold == 0 {
+            return;
+        }
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.probing || self.consecutive_failures >= self.threshold {
+            self.opened_at = Some(now_ms);
+            self.probing = false;
+        }
+    }
+
+    /// `"closed"`, `"open"`, or `"half-open"` at `now_ms` (no state change).
+    pub fn state(&self, now_ms: u64) -> &'static str {
+        match self.opened_at {
+            None => "closed",
+            Some(opened) => {
+                if self.probing || now_ms.saturating_sub(opened) >= self.open_ms {
+                    "half-open"
+                } else {
+                    "open"
+                }
+            }
+        }
+    }
+}
+
+/// Cumulative counters of one [`ResilientClient`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResilientStats {
+    /// Requests that ultimately succeeded (2xx).
+    pub ok: u64,
+    /// Requests that ultimately failed after exhausting retries/budget.
+    pub failed: u64,
+    /// Individual retry attempts performed.
+    pub retries: u64,
+    /// Requests rejected locally by the open circuit breaker.
+    pub breaker_rejections: u64,
+}
+
+/// [`HttpClient`] wrapped in retry, backoff, and circuit-breaker policy.
+///
+/// Seeded: two clients built with the same seed replay the same jitter
+/// sequence, which keeps chaos e2e runs reproducible.
+pub struct ResilientClient {
+    client: HttpClient,
+    policy: RetryPolicy,
+    breaker: CircuitBreaker,
+    rng: ChaCha8Rng,
+    epoch: Instant,
+    stats: ResilientStats,
+}
+
+impl ResilientClient {
+    /// A resilient client for `addr` with the given policy and breaker,
+    /// drawing jitter from a ChaCha8 stream seeded with `seed`.
+    pub fn new(addr: SocketAddr, policy: RetryPolicy, breaker: CircuitBreaker, seed: u64) -> Self {
+        Self {
+            client: HttpClient::new(addr),
+            policy,
+            breaker,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            epoch: Instant::now(),
+            stats: ResilientStats::default(),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// `GET target` with retries.  Transport errors and `429`/`500`/`503`/
+    /// `504` answers are retried (GETs are idempotent here) with full-jitter
+    /// exponential backoff, sleeping at least the server's `Retry-After`
+    /// when one is sent, until the policy's retry count or sleep budget is
+    /// exhausted.  Returns the final response (success or not) — callers
+    /// decide what a terminal non-200 means — or `Err` on transport-level
+    /// failure / open breaker.
+    pub fn get(&mut self, target: &str) -> Result<ClientResponse, String> {
+        self.get_with_headers(target, &[])
+    }
+
+    /// [`ResilientClient::get`] with extra request headers (e.g.
+    /// `x-deadline-ms`).
+    pub fn get_with_headers(
+        &mut self,
+        target: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> Result<ClientResponse, String> {
+        let mut slept_ms: u64 = 0;
+        let mut attempt: u32 = 0;
+        loop {
+            if !self.breaker.allow(self.now_ms()) {
+                self.stats.breaker_rejections += 1;
+                return Err(format!("GET {target}: circuit breaker is open"));
+            }
+            let outcome = self.client.get_full(target, extra_headers);
+            let (retryable, retry_after) = match &outcome {
+                Ok(response) => (
+                    matches!(response.status, 429 | 500 | 503 | 504),
+                    response.retry_after,
+                ),
+                Err(_) => (true, None),
+            };
+            if !retryable {
+                self.breaker.record_success();
+                self.stats.ok += 1;
+                return outcome.map_err(|e| format!("GET {target}: {e}"));
+            }
+            self.breaker.record_failure(self.now_ms());
+            if attempt >= self.policy.max_retries || slept_ms >= self.policy.budget_ms {
+                self.stats.failed += 1;
+                return match outcome {
+                    Ok(response) => Ok(response), // Terminal over-capacity answer.
+                    Err(e) => Err(format!("GET {target}: {e}")),
+                };
+            }
+            let mut delay = self.policy.backoff_ms(attempt, &mut self.rng);
+            if let Some(secs) = retry_after {
+                // The server's explicit hint dominates the local schedule.
+                delay = delay.max(secs.saturating_mul(1_000));
+            }
+            let delay = delay.min(self.policy.budget_ms.saturating_sub(slept_ms));
+            if delay > 0 {
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            slept_ms += delay;
+            self.stats.retries += 1;
+            attempt += 1;
+        }
+    }
+
+    /// The client's cumulative counters.
+    pub fn stats(&self) -> ResilientStats {
+        self.stats
+    }
+
+    /// The breaker's current state name (for test assertions and reports).
+    pub fn breaker_state(&self) -> &'static str {
+        self.breaker.state(self.now_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let policy = RetryPolicy {
+            max_retries: 6,
+            base_delay_ms: 8,
+            max_delay_ms: 100,
+            budget_ms: 10_000,
+        };
+        let draws = |seed: u64| -> Vec<u64> {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            (0..8).map(|a| policy.backoff_ms(a, &mut rng)).collect()
+        };
+        assert_eq!(draws(5), draws(5), "same seed, same jitter");
+        for (attempt, &d) in draws(5).iter().enumerate() {
+            let cap = (8u64 << attempt).min(100);
+            assert!(d <= cap, "attempt {attempt}: {d} > cap {cap}");
+        }
+    }
+
+    #[test]
+    fn breaker_opens_probes_and_recloses() {
+        let mut b = CircuitBreaker::new(3, 100);
+        assert_eq!(b.state(0), "closed");
+        for t in [0, 1] {
+            assert!(b.allow(t));
+            b.record_failure(t);
+        }
+        assert!(b.allow(2), "two failures stay under the threshold");
+        b.record_failure(2);
+        assert_eq!(b.state(3), "open");
+        assert!(!b.allow(50), "open: fail fast");
+        assert!(b.allow(150), "cool-down over: one probe allowed");
+        assert!(!b.allow(151), "only one probe at a time");
+        b.record_failure(151);
+        assert!(!b.allow(200), "failed probe re-opens");
+        assert!(b.allow(260));
+        b.record_success();
+        assert_eq!(b.state(261), "closed");
+        assert!(b.allow(261));
+    }
+
+    #[test]
+    fn breaker_success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(2, 100);
+        b.record_failure(0);
+        b.record_success();
+        b.record_failure(1);
+        assert!(b.allow(2), "streak was broken, still closed");
+        b.record_failure(2);
+        assert!(!b.allow(3), "two consecutive failures open it");
+    }
+
+    #[test]
+    fn breaker_threshold_zero_is_disabled() {
+        let mut b = CircuitBreaker::new(0, 100);
+        for t in 0..10 {
+            b.record_failure(t);
+            assert!(b.allow(t));
+        }
+        assert_eq!(b.state(10), "closed");
+    }
 }

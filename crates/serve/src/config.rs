@@ -36,6 +36,24 @@ pub struct ServeConfig {
     pub read_timeout_ms: u64,
     /// Request body cap in bytes.
     pub max_body_bytes: usize,
+    /// Default `/ppr` deadline in milliseconds (0 = none); the
+    /// `x-deadline-ms` request header overrides it per request.  Expired
+    /// requests answer 504.
+    pub deadline_ms: u64,
+    /// Bounded batcher queue depth; a full queue sheds with 503.
+    pub queue_capacity: usize,
+    /// Maximum in-flight connections; excess accepts shed with 503.
+    pub max_connections: usize,
+    /// `Retry-After` seconds advertised on shed (503) answers.
+    pub retry_after_secs: u64,
+    /// Pressure events (sheds + timeouts) within one window that trigger a
+    /// degradation step (0 disables degradation entirely).
+    pub degrade_threshold: u64,
+    /// Width of the degradation pressure window, milliseconds.
+    pub degrade_window_ms: u64,
+    /// Quiet time after which the server recovers one degradation level,
+    /// milliseconds.
+    pub degrade_recover_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +71,13 @@ impl Default for ServeConfig {
             max_batch: 256,
             read_timeout_ms: 5_000,
             max_body_bytes: 1024 * 1024,
+            deadline_ms: 0,
+            queue_capacity: 1024,
+            max_connections: 256,
+            retry_after_secs: 1,
+            degrade_threshold: 32,
+            degrade_window_ms: 1_000,
+            degrade_recover_ms: 2_000,
         }
     }
 }
@@ -85,6 +110,13 @@ impl ServeConfig {
             "max_batch",
             "read_timeout_ms",
             "max_body_bytes",
+            "deadline_ms",
+            "queue_capacity",
+            "max_connections",
+            "retry_after_secs",
+            "degrade_threshold",
+            "degrade_window_ms",
+            "degrade_recover_ms",
         ];
         for (key, _) in object.iter() {
             if !FIELDS.contains(&key) {
@@ -148,6 +180,34 @@ impl ServeConfig {
             config.max_body_bytes =
                 serde::Deserialize::from_value(v).map_err(|e| format!("`max_body_bytes`: {e}"))?;
         }
+        if let Some(v) = object.get("deadline_ms") {
+            config.deadline_ms =
+                serde::Deserialize::from_value(v).map_err(|e| format!("`deadline_ms`: {e}"))?;
+        }
+        if let Some(v) = object.get("queue_capacity") {
+            config.queue_capacity =
+                serde::Deserialize::from_value(v).map_err(|e| format!("`queue_capacity`: {e}"))?;
+        }
+        if let Some(v) = object.get("max_connections") {
+            config.max_connections =
+                serde::Deserialize::from_value(v).map_err(|e| format!("`max_connections`: {e}"))?;
+        }
+        if let Some(v) = object.get("retry_after_secs") {
+            config.retry_after_secs = serde::Deserialize::from_value(v)
+                .map_err(|e| format!("`retry_after_secs`: {e}"))?;
+        }
+        if let Some(v) = object.get("degrade_threshold") {
+            config.degrade_threshold = serde::Deserialize::from_value(v)
+                .map_err(|e| format!("`degrade_threshold`: {e}"))?;
+        }
+        if let Some(v) = object.get("degrade_window_ms") {
+            config.degrade_window_ms = serde::Deserialize::from_value(v)
+                .map_err(|e| format!("`degrade_window_ms`: {e}"))?;
+        }
+        if let Some(v) = object.get("degrade_recover_ms") {
+            config.degrade_recover_ms = serde::Deserialize::from_value(v)
+                .map_err(|e| format!("`degrade_recover_ms`: {e}"))?;
+        }
         config.validate()?;
         Ok(config)
     }
@@ -165,6 +225,15 @@ impl ServeConfig {
         }
         if self.max_batch == 0 {
             return Err("`max_batch` must be at least 1".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("`queue_capacity` must be at least 1".into());
+        }
+        if self.max_connections == 0 {
+            return Err("`max_connections` must be at least 1".into());
+        }
+        if self.degrade_threshold > 0 && self.degrade_window_ms == 0 {
+            return Err("`degrade_window_ms` must be positive when degradation is enabled".into());
         }
         Ok(())
     }
@@ -206,6 +275,31 @@ impl ServeConfig {
             "max_body_bytes",
             serde::Serialize::to_value(&self.max_body_bytes),
         );
+        object.insert("deadline_ms", serde::Serialize::to_value(&self.deadline_ms));
+        object.insert(
+            "queue_capacity",
+            serde::Serialize::to_value(&self.queue_capacity),
+        );
+        object.insert(
+            "max_connections",
+            serde::Serialize::to_value(&self.max_connections),
+        );
+        object.insert(
+            "retry_after_secs",
+            serde::Serialize::to_value(&self.retry_after_secs),
+        );
+        object.insert(
+            "degrade_threshold",
+            serde::Serialize::to_value(&self.degrade_threshold),
+        );
+        object.insert(
+            "degrade_window_ms",
+            serde::Serialize::to_value(&self.degrade_window_ms),
+        );
+        object.insert(
+            "degrade_recover_ms",
+            serde::Serialize::to_value(&self.degrade_recover_ms),
+        );
         serde_json::to_string_pretty(&serde::Value::Object(object))
             .expect("serve configs serialize to JSON")
     }
@@ -245,7 +339,14 @@ mod tests {
                 "embedding": "data/embedding.json",
                 "max_batch": 32,
                 "read_timeout_ms": 250,
-                "max_body_bytes": 4096
+                "max_body_bytes": 4096,
+                "deadline_ms": 150,
+                "queue_capacity": 8,
+                "max_connections": 12,
+                "retry_after_secs": 3,
+                "degrade_threshold": 5,
+                "degrade_window_ms": 400,
+                "degrade_recover_ms": 900
             }"#,
         )
         .unwrap();
@@ -257,6 +358,13 @@ mod tests {
         assert_eq!(config.graph.as_deref(), Some("data/graph.txt"));
         assert_eq!(config.graph_kind, GraphKind::Undirected);
         assert_eq!(config.max_batch, 32);
+        assert_eq!(config.deadline_ms, 150);
+        assert_eq!(config.queue_capacity, 8);
+        assert_eq!(config.max_connections, 12);
+        assert_eq!(config.retry_after_secs, 3);
+        assert_eq!(config.degrade_threshold, 5);
+        assert_eq!(config.degrade_window_ms, 400);
+        assert_eq!(config.degrade_recover_ms, 900);
     }
 
     #[test]
@@ -289,6 +397,12 @@ mod tests {
         assert!(err.contains("sideways"), "{err}");
         let err = ServeConfig::from_json(r#"{"threads": 0}"#).unwrap_err();
         assert!(err.contains("threads"), "{err}");
+        let err = ServeConfig::from_json(r#"{"queue_capacity": 0}"#).unwrap_err();
+        assert!(err.contains("queue_capacity"), "{err}");
+        let err = ServeConfig::from_json(r#"{"max_connections": 0}"#).unwrap_err();
+        assert!(err.contains("max_connections"), "{err}");
+        let err = ServeConfig::from_json(r#"{"degrade_window_ms": 0}"#).unwrap_err();
+        assert!(err.contains("degrade_window_ms"), "{err}");
         assert!(ServeConfig::from_json("not json").is_err());
     }
 }

@@ -1,0 +1,290 @@
+//! Graceful degradation under sustained overload.
+//!
+//! The serving layer's response to *transient* overload is shedding (503)
+//! and deadlines (504).  When pressure is *sustained*, shedding alone wastes
+//! work: every shed request paid admission, parsing and a queue probe for
+//! nothing.  This module tracks shed/timeout pressure in a sliding window
+//! and steps the server down a cheaper ladder instead:
+//!
+//! 1. [`DegradeLevel::Normal`] — serve everything as asked.
+//! 2. [`DegradeLevel::Degraded`] — downgrade `/ppr?mode=exact` to forward
+//!    push.  Push is the paper's tunable accuracy/latency knob: orders of
+//!    magnitude cheaper per source, and the answer is still **bitwise
+//!    identical** to a direct `forward_push_with_policy` call (the
+//!    downgraded request takes the ordinary push path end to end).
+//! 3. [`DegradeLevel::CacheOnly`] — only answers already in the hot-source
+//!    cache are served; misses shed with 503 + `Retry-After`.
+//!
+//! The controller is deliberately clock-free inside: every method takes the
+//! caller's `now_ms` (milliseconds since an epoch the caller picks), so
+//! tests drive transitions with synthetic timestamps and never sleep.
+//!
+//! State is a few atomics — recording pressure on the request path costs no
+//! lock, and the controller cannot participate in any lock-order cycle.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// How much of the service ladder is currently switched off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeLevel {
+    /// Full service.
+    Normal = 0,
+    /// Exact-mode `/ppr` downgrades to forward push.
+    Degraded = 1,
+    /// Only cache hits are served; misses shed.
+    CacheOnly = 2,
+}
+
+impl DegradeLevel {
+    /// The `/healthz` / `/stats` wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradeLevel::Normal => "normal",
+            DegradeLevel::Degraded => "degraded",
+            DegradeLevel::CacheOnly => "cache-only",
+        }
+    }
+
+    fn from_u8(raw: u8) -> Self {
+        match raw {
+            0 => DegradeLevel::Normal,
+            1 => DegradeLevel::Degraded,
+            _ => DegradeLevel::CacheOnly,
+        }
+    }
+}
+
+/// Sliding-window pressure tracker driving the [`DegradeLevel`] ladder.
+///
+/// Escalation: when the events recorded in the current + previous window
+/// reach `threshold`, the level steps up one rung and the window counts
+/// reset (each rung must be earned by fresh pressure).  Recovery: when
+/// `recover_ms` elapses with no pressure event, the level steps down one
+/// rung per quiet period.  `threshold == 0` disables the controller.
+#[derive(Debug)]
+pub struct DegradeController {
+    threshold: u64,
+    window_ms: u64,
+    recover_ms: u64,
+    level: AtomicU8,
+    /// Start of the current bucket, ms.
+    bucket_start: AtomicU64,
+    /// Pressure events in the current bucket.
+    current: AtomicU64,
+    /// Pressure events in the previous (already rotated) bucket.
+    previous: AtomicU64,
+    /// Timestamp of the most recent pressure event, ms.
+    last_event: AtomicU64,
+    /// Cumulative escalations (for `/stats`).
+    escalations: AtomicU64,
+}
+
+impl DegradeController {
+    /// A controller that escalates after `threshold` pressure events within
+    /// a `window_ms` sliding window and recovers one level per `recover_ms`
+    /// of quiet.  `threshold == 0` pins the level to `Normal`.
+    pub fn new(threshold: u64, window_ms: u64, recover_ms: u64) -> Self {
+        Self {
+            threshold,
+            window_ms: window_ms.max(1),
+            recover_ms: recover_ms.max(1),
+            level: AtomicU8::new(DegradeLevel::Normal as u8),
+            bucket_start: AtomicU64::new(0),
+            current: AtomicU64::new(0),
+            previous: AtomicU64::new(0),
+            last_event: AtomicU64::new(0),
+            escalations: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one pressure event (a shed or a deadline expiry) at
+    /// `now_ms`, escalating if the window total reaches the threshold.
+    pub fn record_pressure(&self, now_ms: u64) {
+        if self.threshold == 0 {
+            return;
+        }
+        self.rotate(now_ms);
+        self.last_event.fetch_max(now_ms, Ordering::Relaxed);
+        let in_window = self.current.fetch_add(1, Ordering::Relaxed)
+            + 1
+            + self.previous.load(Ordering::Relaxed);
+        if in_window >= self.threshold {
+            // Each rung is earned by a fresh window of pressure: reset the
+            // counts so the next escalation needs `threshold` new events.
+            self.current.store(0, Ordering::Relaxed);
+            self.previous.store(0, Ordering::Relaxed);
+            let level = self.level.load(Ordering::Relaxed);
+            if level < DegradeLevel::CacheOnly as u8
+                && self
+                    .level
+                    .compare_exchange(level, level + 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.escalations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The level in effect at `now_ms`, applying lazy recovery: one rung
+    /// down per `recover_ms` elapsed since the last pressure event.
+    pub fn level(&self, now_ms: u64) -> DegradeLevel {
+        let level = self.level.load(Ordering::Relaxed);
+        if level == DegradeLevel::Normal as u8 {
+            return DegradeLevel::Normal;
+        }
+        let quiet = now_ms.saturating_sub(self.last_event.load(Ordering::Relaxed));
+        let rungs_down = (quiet / self.recover_ms).min(level as u64) as u8;
+        if rungs_down > 0 {
+            // Best-effort: a concurrent pressure event wins the race and
+            // keeps the level — exactly the conservative outcome we want.
+            let _ = self.level.compare_exchange(
+                level,
+                level - rungs_down,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            // Recovery consumes the quiet time: the next rung needs a fresh
+            // quiet period (otherwise one long lull would re-trigger).
+            self.last_event.fetch_max(now_ms, Ordering::Relaxed);
+        }
+        DegradeLevel::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    /// Pins the level (operator override and deterministic tests).
+    pub fn force(&self, level: DegradeLevel, now_ms: u64) {
+        self.level.store(level as u8, Ordering::Relaxed);
+        self.last_event.store(now_ms, Ordering::Relaxed);
+        self.current.store(0, Ordering::Relaxed);
+        self.previous.store(0, Ordering::Relaxed);
+    }
+
+    /// Cumulative escalations (each one-rung step up).
+    pub fn escalations(&self) -> u64 {
+        self.escalations.load(Ordering::Relaxed)
+    }
+
+    /// Rotates the window buckets so `current + previous` approximates the
+    /// events of the trailing `window_ms`.
+    fn rotate(&self, now_ms: u64) {
+        let start = self.bucket_start.load(Ordering::Relaxed);
+        let elapsed = now_ms.saturating_sub(start);
+        if elapsed < self.window_ms {
+            return;
+        }
+        if self
+            .bucket_start
+            .compare_exchange(start, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return; // Another thread rotated.
+        }
+        let rolled = self.current.swap(0, Ordering::Relaxed);
+        // A gap longer than two windows means the previous bucket's events
+        // are stale too.
+        self.previous.store(
+            if elapsed >= 2 * self.window_ms {
+                0
+            } else {
+                rolled
+            },
+            Ordering::Relaxed,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_normal_below_threshold() {
+        let c = DegradeController::new(5, 1_000, 2_000);
+        for t in 0..4 {
+            c.record_pressure(t * 10);
+        }
+        assert_eq!(c.level(50), DegradeLevel::Normal);
+    }
+
+    #[test]
+    fn escalates_one_rung_per_window_of_pressure() {
+        let c = DegradeController::new(3, 1_000, 10_000);
+        for t in 0..3 {
+            c.record_pressure(t);
+        }
+        assert_eq!(c.level(3), DegradeLevel::Degraded);
+        assert_eq!(c.escalations(), 1);
+        // The counts reset on escalation: two more events are not enough.
+        c.record_pressure(4);
+        c.record_pressure(5);
+        assert_eq!(c.level(6), DegradeLevel::Degraded);
+        c.record_pressure(6);
+        assert_eq!(c.level(7), DegradeLevel::CacheOnly);
+        assert_eq!(c.escalations(), 2);
+        // The ladder tops out at cache-only.
+        for t in 10..20 {
+            c.record_pressure(t);
+        }
+        assert_eq!(c.level(20), DegradeLevel::CacheOnly);
+    }
+
+    #[test]
+    fn recovers_one_rung_per_quiet_period() {
+        let c = DegradeController::new(2, 1_000, 2_000);
+        for t in [0, 1, 2, 3] {
+            c.record_pressure(t);
+        }
+        assert_eq!(c.level(4), DegradeLevel::CacheOnly);
+        // Not quiet for long enough yet.
+        assert_eq!(c.level(1_500), DegradeLevel::CacheOnly);
+        // One recover_ms of quiet: down one rung, not two.
+        assert_eq!(c.level(2_500), DegradeLevel::Degraded);
+        // The quiet clock restarts after a recovery step.
+        assert_eq!(c.level(3_000), DegradeLevel::Degraded);
+        assert_eq!(c.level(4_600), DegradeLevel::Normal);
+    }
+
+    #[test]
+    fn a_long_lull_recovers_all_the_way() {
+        let c = DegradeController::new(1, 100, 500);
+        c.record_pressure(0);
+        c.record_pressure(1);
+        assert_eq!(c.level(2), DegradeLevel::CacheOnly);
+        assert_eq!(c.level(10_000), DegradeLevel::Normal);
+    }
+
+    #[test]
+    fn stale_windows_do_not_accumulate() {
+        let c = DegradeController::new(3, 100, 1_000);
+        // Two events, then a long gap, then two more: never three in any
+        // trailing window, so never degraded.
+        c.record_pressure(0);
+        c.record_pressure(1);
+        c.record_pressure(5_000);
+        c.record_pressure(5_001);
+        assert_eq!(c.level(5_002), DegradeLevel::Normal);
+    }
+
+    #[test]
+    fn threshold_zero_disables_the_controller() {
+        let c = DegradeController::new(0, 100, 100);
+        for t in 0..100 {
+            c.record_pressure(t);
+        }
+        assert_eq!(c.level(100), DegradeLevel::Normal);
+        assert_eq!(c.escalations(), 0);
+    }
+
+    #[test]
+    fn force_pins_the_level() {
+        let c = DegradeController::new(2, 1_000, 1_000);
+        c.force(DegradeLevel::CacheOnly, 0);
+        assert_eq!(c.level(500), DegradeLevel::CacheOnly);
+        assert_eq!(
+            c.level(1_500),
+            DegradeLevel::Degraded,
+            "recovery still applies"
+        );
+        c.force(DegradeLevel::Normal, 2_000);
+        assert_eq!(c.level(2_000), DegradeLevel::Normal);
+    }
+}

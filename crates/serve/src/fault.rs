@@ -1,0 +1,364 @@
+//! Deterministic, seeded fault injection for chaos tests.
+//!
+//! A *failpoint* is a named site in the serving code (`conn.read`,
+//! `conn.write`, `batcher.compute`) where a test can inject a fault:
+//!
+//! - `delay(ms)` — sleep before proceeding (queue saturation, slowloris),
+//! - `io-error` — return a `ConnectionReset` I/O error (flaky socket),
+//! - `panic` — panic the current thread (worker crash).
+//!
+//! Specs use the syntax `site=action[:p][:limit]`, semicolon-separated:
+//!
+//! ```text
+//! conn.read=io-error:0.2;batcher.compute=panic:0.5:3
+//! ```
+//!
+//! means: each `conn.read` hit fails with probability 0.2; the first three
+//! `batcher.compute` hits panic with probability 0.5 each.
+//!
+//! # Determinism
+//!
+//! Whether a given hit triggers is a **pure function** of
+//! `(seed, site, hit_index)`: a fresh ChaCha8 stream is derived per hit, so
+//! the injection schedule does not depend on thread interleaving or on
+//! faults at other sites.  Running the same seed against the same request
+//! sequence reproduces the same schedule — the property the chaos e2e suite
+//! asserts.
+//!
+//! # Zero cost when disabled
+//!
+//! The real registry only exists under the `failpoints` cargo feature.
+//! Without it, [`fire`] and friends are inlineable no-ops and production
+//! builds carry no registry, no RNG, and no lock.  The module deliberately
+//! stays out of the lint `request_path` set: its whole purpose is to sleep,
+//! error, and panic on demand.
+
+/// The effect a failpoint applies when it triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Sleep for this many milliseconds, then proceed normally.
+    Delay(u64),
+    /// Fail with a `ConnectionReset` I/O error.
+    IoError,
+    /// Panic the current thread.
+    Panic,
+}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::FaultAction;
+    use crate::sync::lock_unpoisoned;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    #[derive(Debug)]
+    struct Point {
+        action: FaultAction,
+        /// Trigger probability per eligible hit, in `[0, 1]`.
+        prob: f64,
+        /// Only hits with index below this are eligible to trigger.
+        limit: u64,
+        /// Hits observed so far (the next hit gets this index).
+        hits: u64,
+        /// Hits that actually triggered.
+        triggered: u64,
+    }
+
+    #[derive(Debug, Default)]
+    struct Registry {
+        seed: u64,
+        points: HashMap<String, Point>,
+    }
+
+    static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+    /// FNV-1a, so the per-site stream offset is stable across runs.
+    fn site_hash(site: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in site.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h
+    }
+
+    /// Pure per-hit decision: derives a fresh ChaCha8 stream from
+    /// `(seed, site, hit_index)` so the outcome is independent of thread
+    /// interleaving and of other sites.
+    fn decide(seed: u64, site: &str, hit: u64, prob: f64, limit: u64) -> bool {
+        if hit >= limit {
+            return false;
+        }
+        if prob >= 1.0 {
+            return true;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            seed ^ site_hash(site) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        rng.gen_bool(prob)
+    }
+
+    fn parse_action(text: &str) -> Result<FaultAction, String> {
+        if let Some(ms) = text
+            .strip_prefix("delay(")
+            .and_then(|t| t.strip_suffix(')'))
+        {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("bad delay milliseconds: {ms:?}"))?;
+            return Ok(FaultAction::Delay(ms));
+        }
+        match text {
+            "io-error" => Ok(FaultAction::IoError),
+            "panic" => Ok(FaultAction::Panic),
+            other => Err(format!(
+                "unknown action {other:?} (expected delay(ms), io-error, or panic)"
+            )),
+        }
+    }
+
+    fn parse_point(entry: &str) -> Result<(String, Point), String> {
+        let (site, rest) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("missing '=' in failpoint {entry:?}"))?;
+        let site = site.trim();
+        if site.is_empty() {
+            return Err(format!("empty site in failpoint {entry:?}"));
+        }
+        let mut parts = rest.split(':');
+        let action = parse_action(parts.next().unwrap_or("").trim())?;
+        let mut prob = 1.0f64;
+        let mut limit = u64::MAX;
+        if let Some(p) = parts.next() {
+            prob = p
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad probability {p:?}"))?;
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(format!("probability {prob} out of [0, 1]"));
+            }
+        }
+        if let Some(l) = parts.next() {
+            limit = l.trim().parse().map_err(|_| format!("bad limit {l:?}"))?;
+        }
+        if let Some(extra) = parts.next() {
+            return Err(format!("trailing garbage {extra:?} in failpoint {entry:?}"));
+        }
+        Ok((
+            site.to_string(),
+            Point {
+                action,
+                prob,
+                limit,
+                hits: 0,
+                triggered: 0,
+            },
+        ))
+    }
+
+    /// Installs the failpoint spec `spec` with the given schedule seed,
+    /// replacing any previous configuration.
+    pub fn configure(spec: &str, seed: u64) -> Result<(), String> {
+        let mut reg = Registry {
+            seed,
+            points: HashMap::new(),
+        };
+        for entry in spec.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (site, point) = parse_point(entry)?;
+            reg.points.insert(site, point);
+        }
+        *lock_unpoisoned(&REGISTRY) = Some(reg);
+        Ok(())
+    }
+
+    /// Removes every configured failpoint.
+    pub fn clear() {
+        *lock_unpoisoned(&REGISTRY) = None;
+    }
+
+    /// Records a hit at `site` and returns the action to apply, if the hit
+    /// triggers.
+    pub fn evaluate(site: &str) -> Option<FaultAction> {
+        let mut guard = lock_unpoisoned(&REGISTRY);
+        let reg = guard.as_mut()?;
+        let seed = reg.seed;
+        let point = reg.points.get_mut(site)?;
+        let hit = point.hits;
+        point.hits += 1;
+        if decide(seed, site, hit, point.prob, point.limit) {
+            point.triggered += 1;
+            Some(point.action)
+        } else {
+            None
+        }
+    }
+
+    /// How many hits at `site` have triggered.
+    pub fn triggered(site: &str) -> u64 {
+        lock_unpoisoned(&REGISTRY)
+            .as_ref()
+            .and_then(|reg| reg.points.get(site))
+            .map_or(0, |p| p.triggered)
+    }
+
+    /// Records a hit at `site` and applies its action: sleeps on `Delay`,
+    /// returns `Err` on `IoError`, panics on `Panic`.
+    pub fn fire(site: &str) -> std::io::Result<()> {
+        // The action runs strictly outside the registry lock: a delay must
+        // never sleep under a mutex and a panic must never poison one.
+        match evaluate(site) {
+            None => Ok(()),
+            Some(FaultAction::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
+            Some(FaultAction::IoError) => Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                format!("failpoint io-error at {site}"),
+            )),
+            // nrp-lint: allow(P004) — injecting panics is this action's purpose; it exists
+            // only in `failpoints` builds and the dispatcher catches it per-source
+            Some(FaultAction::Panic) => panic!("failpoint panic at {site}"),
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        /// Serializes registry-touching tests: the registry is process-global.
+        static TEST_GATE: Mutex<()> = Mutex::new(());
+
+        #[test]
+        fn spec_parsing_accepts_the_documented_grammar() {
+            let (site, p) = parse_point("conn.read=io-error:0.25:7").unwrap();
+            assert_eq!(site, "conn.read");
+            assert_eq!(p.action, FaultAction::IoError);
+            assert!((p.prob - 0.25).abs() < 1e-12);
+            assert_eq!(p.limit, 7);
+
+            let (_, p) = parse_point("batcher.compute=delay(40)").unwrap();
+            assert_eq!(p.action, FaultAction::Delay(40));
+            assert!(p.prob >= 1.0);
+            assert_eq!(p.limit, u64::MAX);
+
+            let (_, p) = parse_point("x=panic:1.0").unwrap();
+            assert_eq!(p.action, FaultAction::Panic);
+        }
+
+        #[test]
+        fn spec_parsing_rejects_malformed_entries() {
+            for bad in [
+                "no-equals",
+                "=panic",
+                "s=explode",
+                "s=delay(abc)",
+                "s=panic:1.5",
+                "s=panic:0.5:x",
+                "s=panic:0.5:1:extra",
+            ] {
+                assert!(parse_point(bad).is_err(), "accepted {bad:?}");
+            }
+        }
+
+        #[test]
+        fn same_seed_reproduces_the_same_schedule() {
+            let _gate = lock_unpoisoned(&TEST_GATE);
+            let run = |seed: u64| -> Vec<bool> {
+                configure("site.a=io-error:0.3", seed).unwrap();
+                let schedule = (0..64).map(|_| evaluate("site.a").is_some()).collect();
+                clear();
+                schedule
+            };
+            let first = run(7);
+            assert_eq!(first, run(7), "same seed must replay identically");
+            assert!(
+                first.iter().any(|&t| t),
+                "p=0.3 over 64 hits should trigger"
+            );
+            assert!(!first.iter().all(|&t| t), "p=0.3 should also skip some");
+            assert_ne!(first, run(8), "different seed should differ");
+        }
+
+        #[test]
+        fn decisions_are_per_hit_index_not_per_arrival_order() {
+            // The decision is a pure function of (seed, site, hit): the same
+            // index always answers the same, whatever happened in between.
+            for hit in 0..32 {
+                let a = decide(99, "conn.write", hit, 0.4, u64::MAX);
+                let b = decide(99, "conn.write", hit, 0.4, u64::MAX);
+                assert_eq!(a, b);
+            }
+        }
+
+        #[test]
+        fn limit_bounds_eligible_hits() {
+            let _gate = lock_unpoisoned(&TEST_GATE);
+            configure("site.b=panic:1.0:2", 1).unwrap();
+            assert_eq!(evaluate("site.b"), Some(FaultAction::Panic));
+            assert_eq!(evaluate("site.b"), Some(FaultAction::Panic));
+            assert_eq!(evaluate("site.b"), None, "third hit exceeds limit");
+            assert_eq!(triggered("site.b"), 2);
+            clear();
+        }
+
+        #[test]
+        fn unconfigured_sites_never_fire() {
+            let _gate = lock_unpoisoned(&TEST_GATE);
+            configure("site.c=panic", 1).unwrap();
+            assert_eq!(evaluate("site.other"), None);
+            clear();
+            assert_eq!(evaluate("site.c"), None, "cleared registry is inert");
+            assert!(fire("site.c").is_ok());
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use imp::{clear, configure, evaluate, fire, triggered};
+
+/// Installs the failpoint spec `spec` with the given schedule seed,
+/// replacing any previous configuration.  No-op without the `failpoints`
+/// feature.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn configure(_spec: &str, _seed: u64) -> Result<(), String> {
+    Ok(())
+}
+
+/// Removes every configured failpoint.  No-op without the `failpoints`
+/// feature.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn clear() {}
+
+/// Records a hit at `site` and returns the action to apply, if the hit
+/// triggers.  Always `None` without the `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn evaluate(_site: &str) -> Option<FaultAction> {
+    None
+}
+
+/// How many hits at `site` have triggered.  Always zero without the
+/// `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn triggered(_site: &str) -> u64 {
+    0
+}
+
+/// Records a hit at `site` and applies its action: sleeps on `Delay`,
+/// returns `Err` on `IoError`, panics on `Panic`.  An inlineable
+/// `Ok(())` without the `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn fire(_site: &str) -> std::io::Result<()> {
+    Ok(())
+}

@@ -417,6 +417,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Whether the connection stays open after this response.
     pub keep_alive: bool,
+    /// When set, a `Retry-After: <secs>` header is written — overload
+    /// answers (503/504) tell well-behaved clients how long to back off.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -427,7 +430,14 @@ impl Response {
             body: body.into(),
             content_type: "application/json",
             keep_alive: true,
+            retry_after: None,
         }
+    }
+
+    /// Attaches a `Retry-After` header of `secs` seconds.
+    pub fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after = Some(secs);
+        self
     }
 }
 
@@ -440,9 +450,11 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }
@@ -453,7 +465,7 @@ pub fn reason(status: u16) -> &'static str {
 pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         response.status,
         reason(response.status),
         response.content_type,
@@ -464,8 +476,24 @@ pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io:
             "close"
         },
     )?;
+    if let Some(secs) = response.retry_after {
+        write!(writer, "retry-after: {secs}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(&response.body)?;
     writer.flush()
+}
+
+/// One response as seen by the client half of the protocol: the status, the
+/// body and the overload-relevant headers.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// The `Retry-After` header in whole seconds, when present and numeric.
+    pub retry_after: Option<u64>,
 }
 
 /// Reads one response (status code + body) from `reader` — the client half
@@ -474,6 +502,15 @@ pub fn read_response<R: BufRead>(
     reader: &mut R,
     limits: &HttpLimits,
 ) -> Result<(u16, Vec<u8>), HttpError> {
+    read_client_response(reader, limits).map(|r| (r.status, r.body))
+}
+
+/// [`read_response`] keeping the headers resilient clients act on
+/// (`Retry-After`).
+pub fn read_client_response<R: BufRead>(
+    reader: &mut R,
+    limits: &HttpLimits,
+) -> Result<ClientResponse, HttpError> {
     let line = read_line_limited(reader, limits.max_request_line, "status line")?
         .ok_or(HttpError::UnexpectedEof)?;
     let line = String::from_utf8(line)
@@ -491,6 +528,7 @@ pub fn read_response<R: BufRead>(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| HttpError::BadRequest(format!("missing status code in `{line}`")))?;
     let mut content_length = 0usize;
+    let mut retry_after = None;
     loop {
         let line = read_line_limited(reader, limits.max_header_line, "header line")?
             .ok_or(HttpError::UnexpectedEof)?;
@@ -509,6 +547,10 @@ pub fn read_response<R: BufRead>(
                         limit: limits.max_body,
                     });
                 }
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                // A malformed value is ignored, not an error: the header is
+                // advisory and servers in the wild send HTTP-dates here too.
+                retry_after = value.trim().parse().ok();
             }
         }
     }
@@ -522,7 +564,11 @@ pub fn read_response<R: BufRead>(
             Err(e) => return Err(HttpError::Io(e)),
         }
     }
-    Ok((status, body))
+    Ok(ClientResponse {
+        status,
+        body,
+        retry_after,
+    })
 }
 
 #[cfg(test)]
@@ -598,5 +644,40 @@ mod tests {
         let (status, body) = read_response(&mut reader, &HttpLimits::default()).unwrap();
         assert_eq!(status, 200);
         assert_eq!(body, br#"{"ok":true}"#);
+    }
+
+    #[test]
+    fn retry_after_round_trips() {
+        let mut wire = Vec::new();
+        let resp = Response::json(503, r#"{"error":"overloaded"}"#.as_bytes().to_vec())
+            .with_retry_after(2);
+        write_response(&mut wire, &resp).unwrap();
+        let text = String::from_utf8_lossy(&wire).into_owned();
+        assert!(text.contains("retry-after: 2\r\n"), "{text}");
+        let mut reader = BufReader::new(wire.as_slice());
+        let parsed = read_client_response(&mut reader, &HttpLimits::default()).unwrap();
+        assert_eq!(parsed.status, 503);
+        assert_eq!(parsed.retry_after, Some(2));
+        // Absent on plain responses, and malformed values are ignored.
+        let mut wire = Vec::new();
+        write_response(&mut wire, &Response::json(200, b"{}".to_vec())).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        assert_eq!(
+            read_client_response(&mut reader, &HttpLimits::default())
+                .unwrap()
+                .retry_after,
+            None
+        );
+        let raw =
+            b"HTTP/1.1 503 Service Unavailable\r\nretry-after: soon\r\ncontent-length: 0\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_slice());
+        let parsed = read_client_response(&mut reader, &HttpLimits::default()).unwrap();
+        assert_eq!(parsed.retry_after, None);
+    }
+
+    #[test]
+    fn gateway_timeout_has_a_reason_phrase() {
+        assert_eq!(reason(504), "Gateway Timeout");
+        assert_eq!(reason(429), "Too Many Requests");
     }
 }

@@ -24,12 +24,28 @@
 //!   bit patterns of the query parameters, with hit/miss counters.
 //! - **Graceful shutdown** ([`server`]): in-flight requests drain before
 //!   [`Server::shutdown`] returns.
+//! - **Overload resilience**: per-request deadlines answered with `504`
+//!   ([`batcher`]), bounded-queue and connection-limit load shedding with
+//!   `503` + `Retry-After` ([`server`]), and graceful degradation under
+//!   sustained pressure ([`degrade`]) — exact-mode `/ppr` downgrades to
+//!   forward push, then to cache-only answers, with the state visible in
+//!   `/healthz` and `/stats`.
+//! - **Fault injection** ([`fault`]): a deterministic, seeded failpoint
+//!   registry (behind the `failpoints` cargo feature) that the chaos e2e
+//!   suite uses to inject delays, I/O errors, and worker panics at named
+//!   sites with a reproducible schedule.
+//! - **Client resilience** ([`client`]): keep-alive reconnects, jittered
+//!   exponential backoff with a retry budget honouring `Retry-After`, and
+//!   a circuit breaker.
 //! - **Determinism**: a `/ppr` answer is bitwise identical whether it came
 //!   from the cache, a coalesced batch, or a direct library call — floats
-//!   survive the JSON wire via shortest-round-trip formatting.
+//!   survive the JSON wire via shortest-round-trip formatting.  Shedding,
+//!   deadlines, and degradation only ever *redirect or abort* work; they
+//!   never alter a value that is returned.
 //!
 //! The `bench_serve` binary in `nrp-bench` drives this server with a
-//! Zipf-skewed closed-loop load and reports p50/p99 latency and qps.
+//! Zipf-skewed closed-loop load (p50/p99 latency and qps) plus an
+//! open-loop overload scenario (shed rate, goodput, bounded p99).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,14 +54,17 @@ pub mod batcher;
 pub mod cache;
 pub mod client;
 pub mod config;
+pub mod degrade;
+pub mod fault;
 pub mod fixture;
 pub mod http;
 pub mod server;
 pub mod sync;
 
-pub use batcher::{Batcher, PprAnswer};
+pub use batcher::{Batcher, PprAnswer, SubmitError};
 pub use cache::{CacheKey, CacheSnapshot, PprCache};
-pub use client::{get_json_once, HttpClient};
+pub use client::{get_json_once, CircuitBreaker, HttpClient, ResilientClient, RetryPolicy};
 pub use config::ServeConfig;
+pub use degrade::{DegradeController, DegradeLevel};
 pub use fixture::fixture;
 pub use server::{ServeState, Server};

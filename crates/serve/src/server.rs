@@ -21,7 +21,7 @@
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -29,9 +29,10 @@ use std::time::{Duration, Instant};
 use nrp_core::{EmbedContext, Embedding};
 use nrp_graph::{Graph, GraphKind};
 
-use crate::batcher::Batcher;
+use crate::batcher::{Batcher, PprAnswer, SubmitError};
 use crate::cache::{CacheKey, PprCache};
 use crate::config::ServeConfig;
+use crate::degrade::{DegradeController, DegradeLevel};
 use crate::http::{read_request, write_response, HttpLimits, Request, Response};
 use crate::sync::lock_unpoisoned;
 
@@ -61,6 +62,16 @@ pub struct RequestCounters {
     pub bad_requests: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Requests shed with `503` (full queue, cache-only miss, shutdown).
+    pub shed: AtomicU64,
+    /// Requests answered `504` because their deadline expired.
+    pub timeouts: AtomicU64,
+    /// Exact-mode `/ppr` requests downgraded to forward push.
+    pub degraded: AtomicU64,
+    /// Responses that carried a `Retry-After` header.
+    pub retry_after: AtomicU64,
+    /// Connections rejected at the accept loop (in-flight limit).
+    pub conn_rejected: AtomicU64,
 }
 
 /// Everything the handlers share: the graph, the (optional) embedding, the
@@ -72,6 +83,9 @@ pub struct ServeState {
     cache: Arc<Mutex<PprCache>>,
     batcher: Batcher,
     counters: RequestCounters,
+    degrade: DegradeController,
+    /// Connections currently being served (the accept-loop admission gauge).
+    inflight: AtomicUsize,
     started: Instant,
 }
 
@@ -89,6 +103,12 @@ impl ServeState {
             ctx,
             Arc::clone(&cache),
             config.max_batch,
+            config.queue_capacity,
+        );
+        let degrade = DegradeController::new(
+            config.degrade_threshold,
+            config.degrade_window_ms,
+            config.degrade_recover_ms,
         );
         Self {
             graph,
@@ -97,8 +117,26 @@ impl ServeState {
             cache,
             batcher,
             counters: RequestCounters::default(),
+            degrade,
+            inflight: AtomicUsize::new(0),
             started: Instant::now(),
         }
+    }
+
+    /// Milliseconds since this state was built — the clock the degradation
+    /// controller runs on.
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// The degradation level currently in effect.
+    pub fn degrade_level(&self) -> DegradeLevel {
+        self.degrade.level(self.now_ms())
+    }
+
+    /// Pins the degradation level (tests and operator overrides).
+    pub fn force_degrade(&self, level: DegradeLevel) {
+        self.degrade.force(level, self.now_ms());
     }
 
     /// The graph being served.
@@ -157,7 +195,15 @@ impl ServeState {
     fn handle_healthz(&self) -> Response {
         let mut object = serde::Map::new();
         object.insert("status", serde::Value::String("ok".into()));
+        object.insert(
+            "state",
+            serde::Value::String(self.degrade_level().as_str().into()),
+        );
         object.insert("nodes", serde::Serialize::to_value(&self.graph.num_nodes()));
+        object.insert(
+            "inflight",
+            serde::Serialize::to_value(&self.inflight.load(Ordering::Relaxed)),
+        );
         object.insert(
             "uptime_secs",
             serde::Serialize::to_value(&self.started.elapsed().as_secs_f64()),
@@ -182,6 +228,8 @@ impl ServeState {
         batch_object.insert("coalesced", serde::Serialize::to_value(&batch.coalesced));
         batch_object.insert("max_batch", serde::Serialize::to_value(&batch.max_batch));
         batch_object.insert("computed", serde::Serialize::to_value(&batch.computed));
+        batch_object.insert("expired", serde::Serialize::to_value(&batch.expired));
+        batch_object.insert("panics", serde::Serialize::to_value(&batch.panics));
         let mut requests = serde::Map::new();
         for (name, counter) in [
             ("total", &c.total),
@@ -221,6 +269,39 @@ impl ServeState {
                 serde::Serialize::to_value(&embedding.dimension()),
             );
         }
+        let mut resilience = serde::Map::new();
+        resilience.insert(
+            "state",
+            serde::Value::String(self.degrade_level().as_str().into()),
+        );
+        for (name, counter) in [
+            ("shed", &c.shed),
+            ("timeouts", &c.timeouts),
+            ("degraded", &c.degraded),
+            ("retry_after", &c.retry_after),
+            ("conn_rejected", &c.conn_rejected),
+        ] {
+            resilience.insert(
+                name,
+                serde::Serialize::to_value(&counter.load(Ordering::Relaxed)),
+            );
+        }
+        resilience.insert(
+            "escalations",
+            serde::Serialize::to_value(&self.degrade.escalations()),
+        );
+        resilience.insert(
+            "inflight",
+            serde::Serialize::to_value(&self.inflight.load(Ordering::Relaxed)),
+        );
+        resilience.insert(
+            "queue_capacity",
+            serde::Serialize::to_value(&self.config.queue_capacity),
+        );
+        resilience.insert(
+            "max_connections",
+            serde::Serialize::to_value(&self.config.max_connections),
+        );
         let mut object = serde::Map::new();
         object.insert(
             "uptime_secs",
@@ -232,6 +313,7 @@ impl ServeState {
         object.insert("cache", serde::Value::Object(cache_object));
         object.insert("batch", serde::Value::Object(batch_object));
         object.insert("requests", serde::Value::Object(requests));
+        object.insert("resilience", serde::Value::Object(resilience));
         json_response(200, serde::Value::Object(object))
     }
 
@@ -274,12 +356,102 @@ impl ServeState {
             },
         };
 
+        // Deadline: the client's `x-deadline-ms` header wins, else the
+        // configured default; 0 (either way) means no deadline.
+        let deadline_ms = match request.header("x-deadline-ms") {
+            None => self.config.deadline_ms,
+            Some(raw) => match raw.trim().parse::<u64>() {
+                Ok(ms) => ms,
+                Err(_) => {
+                    return error_response(
+                        400,
+                        &format!("`x-deadline-ms` must be a non-negative integer, got `{raw}`"),
+                    )
+                }
+            },
+        };
+        let deadline =
+            (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
+
+        // Graceful degradation: under sustained pressure, exact mode
+        // downgrades to forward push (bitwise identical to a direct push
+        // call — it takes the ordinary push path end to end), and in
+        // cache-only mode uncached answers shed instead of computing.
+        let mut level = self.degrade_level();
+        if level >= DegradeLevel::CacheOnly && self.config.cache_capacity == 0 {
+            // Cache-only service without a cache would be a total outage,
+            // strictly worse than the rung below it; stop the ladder at
+            // the push downgrade and let the bounded queue do the shedding.
+            level = DegradeLevel::Degraded;
+        }
+        let mut exact = exact;
+        let mut downgraded = false;
+        if exact && level >= DegradeLevel::Degraded {
+            exact = false;
+            downgraded = true;
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+
         let key = CacheKey::new(source, alpha, r_max, exact);
-        let answer = match self.batcher.submit(key) {
-            Ok(answer) => answer,
-            Err(message) => return error_response(503, &message),
+        let answer = if level >= DegradeLevel::CacheOnly {
+            // Probe under the lock, answer after it is released (K003).
+            let cached = {
+                let mut cache = lock_unpoisoned(&self.cache);
+                cache.get(&key)
+            };
+            match cached {
+                Some(answer) => answer,
+                None => {
+                    self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    return self.overloaded_response("serving cached answers only");
+                }
+            }
+        } else {
+            match self.batcher.submit_with_deadline(key, deadline) {
+                Ok(answer) => answer,
+                Err(SubmitError::QueueFull) => {
+                    self.degrade.record_pressure(self.now_ms());
+                    self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    return self.overloaded_response("request queue is full");
+                }
+                Err(SubmitError::DeadlineExceeded) => {
+                    self.degrade.record_pressure(self.now_ms());
+                    self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                    return error_response(504, "deadline exceeded");
+                }
+                Err(SubmitError::ShuttingDown) => {
+                    self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    return error_response(503, "server is shutting down");
+                }
+                Err(error @ (SubmitError::WorkerPanic | SubmitError::Failed(_))) => {
+                    return error_response(500, &error.to_string());
+                }
+            }
         };
 
+        self.ppr_response(source, alpha, r_max, exact, top, downgraded, &answer)
+    }
+
+    /// `503` + `Retry-After`: the standard shape of every shed answer.
+    fn overloaded_response(&self, message: &str) -> Response {
+        self.counters.retry_after.fetch_add(1, Ordering::Relaxed);
+        error_response(503, message).with_retry_after(self.config.retry_after_secs)
+    }
+
+    /// Renders one `/ppr` answer.  Shared by the batcher path and the
+    /// cache-only path so degraded answers stay bitwise identical to
+    /// full-service push answers.
+    #[allow(clippy::too_many_arguments)]
+    fn ppr_response(
+        &self,
+        source: u32,
+        alpha: f64,
+        r_max: f64,
+        exact: bool,
+        top: Option<usize>,
+        downgraded: bool,
+        answer: &PprAnswer,
+    ) -> Response {
         let mut object = serde::Map::new();
         object.insert("source", serde::Serialize::to_value(&source));
         object.insert("alpha", serde::Serialize::to_value(&alpha));
@@ -288,6 +460,9 @@ impl ServeState {
             "mode",
             serde::Value::String(if exact { "exact" } else { "push" }.into()),
         );
+        if downgraded {
+            object.insert("degraded", serde::Value::Bool(true));
+        }
         if exact {
             let dense = answer.dense.as_deref().unwrap_or_default();
             match top {
@@ -491,21 +666,50 @@ impl Server {
                         .counters
                         .connections
                         .fetch_add(1, Ordering::Relaxed);
+                    // Admission control: at the in-flight limit, shed the
+                    // connection with a minimal 503 instead of spawning a
+                    // thread for it.  The accept loop itself never blocks
+                    // on a slow peer: the rejection write has a short
+                    // timeout and failure to deliver it is the peer's
+                    // problem, not ours.
+                    if accept_state.inflight.load(Ordering::Relaxed)
+                        >= accept_state.config.max_connections
+                    {
+                        accept_state
+                            .counters
+                            .conn_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        accept_state.degrade.record_pressure(accept_state.now_ms());
+                        reject_connection(stream, accept_state.config.retry_after_secs);
+                        continue;
+                    }
+                    accept_state.inflight.fetch_add(1, Ordering::Relaxed);
                     let conn_state = Arc::clone(&accept_state);
                     let conn_shutdown = Arc::clone(&accept_shutdown);
                     let handle = match std::thread::Builder::new()
                         .name("nrp-serve-conn".into())
-                        .spawn(move || handle_connection(conn_state, stream, conn_shutdown))
-                    {
+                        .spawn(move || {
+                            // The gauge drops on every exit path, panics
+                            // included — a leaked increment would eat the
+                            // admission budget forever.
+                            let _gauge = InflightGuard(&conn_state.inflight);
+                            handle_connection(&conn_state, stream, conn_shutdown);
+                        }) {
                         Ok(handle) => handle,
                         // Thread exhaustion: shed this connection (the
                         // stream drops and closes) and keep accepting.
-                        Err(_) => continue,
+                        // The guard inside the closure never ran, so the
+                        // increment is rolled back here.
+                        Err(_) => {
+                            accept_state.inflight.fetch_sub(1, Ordering::Relaxed);
+                            continue;
+                        }
                     };
                     let mut guard = lock_unpoisoned(&accept_connections);
                     // Opportunistically reap finished threads so the list
                     // does not grow with connection count.
                     guard.retain(|h| !h.is_finished());
+                    // nrp-lint: allow(R001) — live handles ≤ max_connections (inflight gate above)
                     guard.push(handle);
                 }
             })?;
@@ -563,11 +767,34 @@ impl Drop for Server {
     }
 }
 
+/// Decrements the in-flight connection gauge on drop (any exit path of a
+/// connection thread, panics included).
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Sheds one connection at the accept loop: best-effort minimal `503` with
+/// `Retry-After`, then close.  Short write timeout so a slow or dead peer
+/// cannot stall accepting.
+fn reject_connection(stream: TcpStream, retry_after_secs: u64) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream;
+    let mut response =
+        error_response(503, "too many connections").with_retry_after(retry_after_secs);
+    response.keep_alive = false;
+    let _ = write_response(&mut writer, &response);
+}
+
 /// One connection: keep-alive loop reading requests (pipelining falls out
 /// of reading exactly one message per iteration) until close, error, idle
 /// timeout or shutdown.  Malformed input gets an error *response* where the
 /// framing allows one; the thread never panics on wire data.
-fn handle_connection(state: Arc<ServeState>, stream: TcpStream, shutdown: Arc<AtomicBool>) {
+fn handle_connection(state: &ServeState, stream: TcpStream, shutdown: Arc<AtomicBool>) {
     let limits = state.limits();
     let idle_timeout = Duration::from_millis(state.config.read_timeout_ms.max(1));
     if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
@@ -586,10 +813,22 @@ fn handle_connection(state: Arc<ServeState>, stream: TcpStream, shutdown: Arc<At
         match read_request(&mut reader, &limits) {
             Ok(None) => break,
             Ok(Some(request)) => {
+                // Failpoint `conn.read`: a socket that dies right after
+                // delivering the request bytes.  The peer sees a closed
+                // connection and no response — exactly what a reset looks
+                // like from the client side.
+                if crate::fault::fire("conn.read").is_err() {
+                    break;
+                }
                 let mut response = state.handle(&request);
                 // Draining: answer the request in hand, then close.
                 response.keep_alive =
                     response.keep_alive && request.keep_alive() && !shutdown.load(Ordering::SeqCst);
+                // Failpoint `conn.write`: the socket dies before the
+                // response goes out (computed work, lost answer).
+                if crate::fault::fire("conn.write").is_err() {
+                    break;
+                }
                 if write_response(&mut writer, &response).is_err() {
                     break;
                 }
