@@ -13,8 +13,8 @@
 //! the median of its samples; the JSON also records the host parallelism so
 //! numbers from different containers are comparable.
 
+use nrp_obs::clock;
 use std::sync::Arc;
-use std::time::Instant;
 
 use nrp_bench::hotpaths::{assembly_triplets, kernel_stream, push_sweep};
 use nrp_core::parallel::{Exec, WorkerPool};
@@ -53,7 +53,7 @@ fn measure<F: FnMut()>(samples: usize, mut f: F) -> f64 {
     f();
     let mut times: Vec<f64> = (0..samples.max(1))
         .map(|_| {
-            let start = Instant::now();
+            let start = clock::now();
             f();
             start.elapsed().as_secs_f64()
         })

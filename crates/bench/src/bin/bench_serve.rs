@@ -22,12 +22,20 @@
 //! the excess, keeps tail latency bounded by the deadline, and still
 //! delivers most of its capacity as goodput.
 //!
+//! After the overload run the binary scrapes `/metrics` and folds the
+//! server-side latency attribution into the report: the mean queue-wait
+//! versus kernel-compute split from the batcher histograms (the
+//! server-side explanation of the client-observed tail).  A final
+//! **overhead** pair re-runs the single-thread warm cell with
+//! `metrics_enabled` on and off and records the throughput ratio,
+//! checking that telemetry costs no more than a few percent.
+//!
 //! The binary doubles as the CI serve smoke check: before any measurement
 //! it asserts that `/healthz`, `/ppr` and `/knn` all answer well-formed
 //! JSON, and it fails hard if any load request errors.
 
+use nrp_obs::clock;
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 use nrp_bench::serveload::{run_load, run_open_loop, LoadReport, LoadSpec, OpenLoopSpec};
 use nrp_serve::{fixture, HttpClient, ServeConfig, ServeState, Server};
@@ -71,6 +79,20 @@ fn status_counts_json(counts: &BTreeMap<u16, usize>) -> String {
         .map(|(status, count)| format!("\"{status}\": {count}"))
         .collect();
     format!("{{ {} }}", parts.join(", "))
+}
+
+/// The first sample of the unlabelled Prometheus series `name` in a
+/// `/metrics` exposition body, or 0.0 when absent.
+fn prom_sample(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find_map(|line| {
+            line.strip_prefix(name)?
+                .strip_prefix(' ')?
+                .trim()
+                .parse::<f64>()
+                .ok()
+        })
+        .unwrap_or(0.0)
 }
 
 /// Asserts the smoke-level contract: `/healthz`, `/ppr` and `/knn` answer
@@ -132,7 +154,7 @@ fn main() {
     let zipf_exponent = 1.0;
 
     eprintln!("building fixture: {nodes}-node Barabási–Albert graph + NRP embedding…");
-    let built = Instant::now();
+    let built = clock::now();
     let (graph, embedding) = fixture(nodes, 42);
     eprintln!(
         "fixture ready in {:.2}s ({} arcs)",
@@ -272,7 +294,24 @@ fn main() {
     let server_timeouts = resilience_counter("timeouts");
     let server_degraded = resilience_counter("degraded");
     let server_escalations = resilience_counter("escalations");
+    // Server-side latency attribution: the batcher's queue-wait vs
+    // kernel-compute histograms explain where the overloaded requests'
+    // time actually went.
+    let metrics_text =
+        nrp_serve::get_text_once(server.addr(), "/metrics").expect("/metrics answers text");
+    let queue_wait_sum = prom_sample(&metrics_text, "nrp_batch_queue_wait_us_sum");
+    let queue_wait_count = prom_sample(&metrics_text, "nrp_batch_queue_wait_us_count");
+    let compute_sum = prom_sample(&metrics_text, "nrp_batch_compute_us_sum");
+    let compute_count = prom_sample(&metrics_text, "nrp_batch_compute_us_count");
     server.shutdown();
+    let mean_queue_wait_us = queue_wait_sum / queue_wait_count.max(1.0);
+    let mean_compute_us = compute_sum / compute_count.max(1.0);
+    let queue_wait_share = queue_wait_sum / (queue_wait_sum + compute_sum).max(1.0);
+    eprintln!(
+        "overload: server-side split — mean queue wait {mean_queue_wait_us:.0}µs, \
+         mean compute {mean_compute_us:.0}µs ({:.0}% of attributed time waiting)",
+        queue_wait_share * 100.0,
+    );
     let goodput = overload.goodput();
     let goodput_ratio = goodput / capacity_qps;
     let shed_rate = overload.shed() as f64 / overload.attempted.max(1) as f64;
@@ -294,6 +333,72 @@ fn main() {
         status_counts_json(&overload.status_counts),
         overload.max_lag_secs * 1e3,
     );
+    // ---- Metrics overhead scenario ---------------------------------------
+    // The same single-thread warm-cache cell, telemetry on vs off.  The
+    // instruments are a handful of relaxed atomic adds per request, so the
+    // two runs should be within noise of each other; the in-binary gate is
+    // deliberately loose (1.5×) so a noisy shared box cannot flake it,
+    // while the recorded ratio documents the real (~≤5%) overhead.
+    let mut overhead_qps = [0.0f64; 2];
+    for (slot, metrics_enabled) in [(0usize, true), (1usize, false)] {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            cache_capacity: 4096,
+            metrics_enabled,
+            ..ServeConfig::default()
+        };
+        let state = ServeState::new(graph.clone(), Some(embedding.clone()), config);
+        let server = Server::start(state).expect("overhead server binds an ephemeral port");
+        let spec = LoadSpec {
+            addr: server.addr(),
+            workers,
+            requests_per_worker: requests_per_worker / 2,
+            zipf_exponent,
+            num_sources: nodes as u32,
+            seed: 7,
+            query_suffix: "&top=16".into(),
+        };
+        // Warm pass, then the measured pass.
+        run_load(&spec);
+        let report = run_load(&spec);
+        assert_eq!(report.errors, 0, "load errors in the overhead run");
+        overhead_qps[slot] = report.qps();
+        server.shutdown();
+    }
+    let overhead_ratio = overhead_qps[1] / overhead_qps[0].max(1e-9);
+    eprintln!(
+        "overhead: {:.0} qps with metrics, {:.0} qps without (off/on ratio {:.3})",
+        overhead_qps[0], overhead_qps[1], overhead_ratio,
+    );
+
+    let telemetry_json = format!(
+        concat!(
+            "  \"telemetry\": {{\n",
+            "    \"queue_wait_us_sum\": {qw_sum},\n",
+            "    \"queue_wait_count\": {qw_count},\n",
+            "    \"compute_us_sum\": {c_sum},\n",
+            "    \"compute_count\": {c_count},\n",
+            "    \"mean_queue_wait_us\": {qw_mean},\n",
+            "    \"mean_compute_us\": {c_mean},\n",
+            "    \"queue_wait_share\": {qw_share},\n",
+            "    \"overhead_qps_metrics_on\": {on},\n",
+            "    \"overhead_qps_metrics_off\": {off},\n",
+            "    \"overhead_ratio_off_over_on\": {ratio}\n",
+            "  }}",
+        ),
+        qw_sum = json_number(queue_wait_sum),
+        qw_count = json_number(queue_wait_count),
+        c_sum = json_number(compute_sum),
+        c_count = json_number(compute_count),
+        qw_mean = json_number(mean_queue_wait_us),
+        c_mean = json_number(mean_compute_us),
+        qw_share = json_number(queue_wait_share),
+        on = json_number(overhead_qps[0]),
+        off = json_number(overhead_qps[1]),
+        ratio = json_number(overhead_ratio),
+    );
+
     let overload_json = format!(
         concat!(
             "  \"overload\": {{\n",
@@ -381,6 +486,7 @@ fn main() {
             "  \"load\": {{ \"workers\": {workers}, \"requests_per_worker\": {rpw}, ",
             "\"zipf_exponent\": {zipf} }},\n",
             "  \"scenarios\": [\n{scenarios}\n  ],\n",
+            "{telemetry},\n",
             "{overload}\n",
             "}}\n",
         ),
@@ -391,6 +497,7 @@ fn main() {
         rpw = requests_per_worker,
         zipf = json_number(zipf_exponent),
         scenarios = scenario_json.join(",\n"),
+        telemetry = telemetry_json,
         overload = overload_json,
     );
     std::fs::write(&options.out, &json).expect("writing the benchmark report");
@@ -414,5 +521,13 @@ fn main() {
     assert!(
         goodput_ratio >= 0.5,
         "goodput collapsed under overload: {goodput:.0} qps vs capacity {capacity_qps:.0}"
+    );
+    assert!(
+        compute_count > 0.0,
+        "the overload run must leave kernel-compute samples in /metrics"
+    );
+    assert!(
+        overhead_ratio <= 1.5,
+        "metrics overhead escaped the loose gate: off/on qps ratio {overhead_ratio:.3}"
     );
 }

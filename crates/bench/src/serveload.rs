@@ -27,6 +27,8 @@ use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
+use nrp_obs::clock;
+
 use nrp_serve::HttpClient;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -159,7 +161,7 @@ impl LoadReport {
 /// keep-alive connection, measuring each request end-to-end.
 pub fn run_load(spec: &LoadSpec) -> LoadReport {
     let zipf = Zipf::new(spec.num_sources as usize, spec.zipf_exponent);
-    let start = Instant::now();
+    let start = clock::now();
     let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..spec.workers)
             .map(|worker| {
@@ -175,7 +177,7 @@ pub fn run_load(spec: &LoadSpec) -> LoadReport {
                     for _ in 0..spec.requests_per_worker {
                         let source = zipf.sample(&mut rng) as u32;
                         let target = format!("/ppr?source={source}{}", spec.query_suffix);
-                        let sent = Instant::now();
+                        let sent = clock::now();
                         outcome.record(client.get_full(&target, &[]).map(|r| r.status), sent);
                     }
                     outcome
@@ -316,7 +318,7 @@ pub fn run_open_loop(spec: &OpenLoopSpec) -> OpenLoopReport {
     let zipf = Zipf::new(spec.num_sources as usize, spec.zipf_exponent);
     let interval = Duration::from_secs_f64(1.0 / spec.rate_per_sec);
     let deadline_header = spec.deadline_ms.to_string();
-    let start = Instant::now();
+    let start = clock::now();
     let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..spec.workers)
             .map(|worker| {
@@ -331,7 +333,7 @@ pub fn run_open_loop(spec: &OpenLoopSpec) -> OpenLoopReport {
                     let mut arrival = worker;
                     while arrival < spec.total_requests {
                         let scheduled = start + interval.mul_f64(arrival as f64);
-                        let now = Instant::now();
+                        let now = clock::now();
                         if scheduled > now {
                             std::thread::sleep(scheduled - now);
                         }
@@ -342,7 +344,7 @@ pub fn run_open_loop(spec: &OpenLoopSpec) -> OpenLoopReport {
                         } else {
                             &[]
                         };
-                        let sent = Instant::now();
+                        let sent = clock::now();
                         let lag = sent.saturating_duration_since(scheduled);
                         outcome.max_lag_secs = outcome.max_lag_secs.max(lag.as_secs_f64());
                         let status = client.get_full(&target, headers).map(|r| r.status);
@@ -431,7 +433,7 @@ mod tests {
         // only.  A worker that saw one fast success, one shed (503), one
         // deadline expiry (504) and one dead socket reports exactly one
         // latency — the failures land in their own buckets.
-        let epoch = Instant::now();
+        let epoch = clock::now();
         let mut outcome = WorkerOutcome::default();
         outcome.record(Ok(200), epoch);
         outcome.record(Ok(503), epoch);

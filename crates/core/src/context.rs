@@ -15,6 +15,13 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use nrp_linalg::parallel::{Exec, WorkerPool};
+use nrp_obs::{clock, MetricsHandle};
+
+// `StageClock` lived here through PR 9; it migrated into `nrp-obs` when that
+// crate became the workspace's designated clock owner.  Re-exported so
+// `nrp_core::context::{StageClock, StageTiming}` paths (and the umbrella
+// prelude) keep working.
+pub use nrp_obs::clock::{StageClock, StageTiming};
 
 use crate::config::MethodConfig;
 use crate::embedding::Embedding;
@@ -50,6 +57,7 @@ pub struct EmbedContext {
     pool: Arc<OnceLock<Arc<WorkerPool>>>,
     scoped_only: bool,
     partial_results: bool,
+    metrics: MetricsHandle,
 }
 
 impl EmbedContext {
@@ -129,8 +137,33 @@ impl EmbedContext {
         if self.scoped_only {
             return Exec::scoped(threads);
         }
-        let pool = self.pool.get_or_init(|| Arc::new(WorkerPool::new(threads)));
+        let pool = self
+            .pool
+            .get_or_init(|| Arc::new(WorkerPool::new_with_metrics(threads, &self.metrics)));
         Exec::pooled(Arc::clone(pool), threads)
+    }
+
+    /// Attaches a telemetry handle: the context's lazily created
+    /// [`WorkerPool`] reports utilization/dispatch-wait metrics into it, and
+    /// embedders may record their own instruments through
+    /// [`EmbedContext::metrics`].  The default is a no-op handle — an
+    /// uninstrumented run pays one `None` branch per would-be record.
+    ///
+    /// Telemetry is write-only: nothing read from the handle ever feeds a
+    /// computed value, so the bitwise determinism contract is untouched.
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
+        // A pool created before the handle was attached would report
+        // nowhere; detach so the next run creates an instrumented one.
+        if self.pool.get().is_some() {
+            self.pool = Arc::new(OnceLock::new());
+        }
+        self.metrics = metrics;
+        self
+    }
+
+    /// The attached telemetry handle (a no-op handle by default).
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
     }
 
     /// Attaches a cooperative cancellation flag.  Setting the flag to `true`
@@ -158,11 +191,11 @@ impl EmbedContext {
         self.deadline
     }
 
-    /// True if the attached deadline (if any) has passed.
+    /// True if the attached deadline (if any) has passed.  The clock is
+    /// read through the designated owner (`nrp_obs::clock`); an expired
+    /// deadline only ever aborts work, it never feeds a computed value.
     pub fn deadline_expired(&self) -> bool {
-        // nrp-lint: allow(D002) — deadline checks abort work, they never
-        // feed a computed value; the cancellation contract documents this.
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.deadline.is_some_and(|d| clock::now() >= d)
     }
 
     /// Opts into **partial results** on cancellation: instead of failing
@@ -226,86 +259,6 @@ impl EmbedContext {
         } else {
             Ok(())
         }
-    }
-}
-
-/// Wall-clock duration of one named pipeline stage.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct StageTiming {
-    /// Stage name (e.g. `"approx_ppr"`, `"reweight"`).
-    pub name: &'static str,
-    /// Elapsed wall-clock time of the stage.
-    pub duration: Duration,
-    /// Number of worker threads the stage ran with (1 for sequential
-    /// stages).  Thanks to the workspace-wide determinism contract this is
-    /// purely a performance record: the stage's output never depends on it.
-    pub threads: usize,
-}
-
-/// Records stage boundaries during an embedding run.
-///
-/// ```
-/// use nrp_core::context::StageClock;
-/// let mut clock = StageClock::start();
-/// // ... stage one work ...
-/// clock.lap("stage_one");
-/// // ... stage two work ...
-/// clock.lap("stage_two");
-/// ```
-#[derive(Debug)]
-pub struct StageClock {
-    started: Instant,
-    last: Instant,
-    stages: Vec<StageTiming>,
-}
-
-impl StageClock {
-    /// Starts the clock.
-    pub fn start() -> Self {
-        // nrp-lint: allow(D002) — StageClock IS the designated timing
-        // facility; it reports durations and never feeds embedding values.
-        let now = Instant::now();
-        Self {
-            started: now,
-            last: now,
-            stages: Vec::new(),
-        }
-    }
-
-    /// Closes the current stage under `name` and starts the next one
-    /// (recorded as sequential; see [`StageClock::lap_parallel`]).
-    pub fn lap(&mut self, name: &'static str) {
-        self.lap_parallel(name, 1);
-    }
-
-    /// Closes the current stage under `name`, recording that it ran with
-    /// `threads` worker threads, and starts the next one.
-    pub fn lap_parallel(&mut self, name: &'static str, threads: usize) {
-        // nrp-lint: allow(D002) — stage timing is observability only; the
-        // recorded durations never influence any computed result.
-        let now = Instant::now();
-        self.stages.push(StageTiming {
-            name,
-            duration: now.duration_since(self.last),
-            threads: threads.max(1),
-        });
-        self.last = now;
-    }
-
-    /// Total elapsed time since the clock started.
-    pub fn elapsed(&self) -> Duration {
-        self.started.elapsed()
-    }
-
-    /// The recorded stages so far.
-    pub fn stages(&self) -> &[StageTiming] {
-        &self.stages
-    }
-}
-
-impl Default for StageClock {
-    fn default() -> Self {
-        Self::start()
     }
 }
 
@@ -401,7 +354,7 @@ impl EmbedOutput {
                 config,
                 seed,
                 threads: ctx.thread_budget(),
-                stages: clock.stages,
+                stages: clock.into_stages(),
                 total,
             },
         }

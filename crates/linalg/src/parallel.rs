@@ -52,6 +52,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
+use nrp_obs::{clock, Counter, Gauge, Histogram, MetricsHandle};
+
 /// Chunk size used by the dense row-parallel kernels.  Any value works; this
 /// one keeps scheduling overhead negligible while still splitting matrices of
 /// a few thousand rows across a typical core count.
@@ -121,6 +123,22 @@ struct Slot {
     shutdown: bool,
 }
 
+/// Pool telemetry, resolved once at construction (no-ops unless the pool
+/// was built via [`WorkerPool::new_with_metrics`] with an enabled handle).
+/// Durations flow one way — into the instruments — so the determinism
+/// contract is untouched.
+#[derive(Default)]
+struct PoolMetrics {
+    /// Workers engaged in the current job, dispatcher included (0 idle).
+    busy: Gauge,
+    /// The pool's maximum parallelism.
+    capacity: Gauge,
+    /// Total jobs dispatched through the pool.
+    dispatches: Counter,
+    /// Time a dispatcher spent waiting for the single job slot, in µs.
+    dispatch_wait_us: Histogram,
+}
+
 struct PoolShared {
     /// Every acquisition recovers from poisoning via
     /// `unwrap_or_else(PoisonError::into_inner)` rather than panicking: the
@@ -135,6 +153,7 @@ struct PoolShared {
     done: Condvar,
     /// Concurrent dispatchers wait here for the job slot to free up.
     free: Condvar,
+    metrics: PoolMetrics,
 }
 
 /// A persistent pool of worker threads executing deterministic chunk grids.
@@ -176,7 +195,35 @@ impl WorkerPool {
     /// actually obtained, and a smaller pool runs every job correctly —
     /// results never depend on the worker count.
     pub fn new(capacity: usize) -> Self {
+        Self::new_with_metrics(capacity, &MetricsHandle::noop())
+    }
+
+    /// Like [`WorkerPool::new`], but reporting utilization into `metrics`:
+    /// a `nrp_pool_workers_busy` gauge (workers engaged in the current job),
+    /// `nrp_pool_capacity`, a `nrp_pool_dispatches_total` counter, and a
+    /// `nrp_pool_dispatch_wait_us` histogram of the time dispatchers spend
+    /// queued on the single job slot.  With a disabled handle this is
+    /// exactly [`WorkerPool::new`].
+    pub fn new_with_metrics(capacity: usize, metrics: &MetricsHandle) -> Self {
         let helpers = capacity.max(1) - 1;
+        let pool_metrics = PoolMetrics {
+            busy: metrics.gauge(
+                "nrp_pool_workers_busy",
+                "Workers engaged in the current pool job (dispatcher included).",
+            ),
+            capacity: metrics.gauge(
+                "nrp_pool_capacity",
+                "Maximum parallelism of the worker pool.",
+            ),
+            dispatches: metrics.counter(
+                "nrp_pool_dispatches_total",
+                "Jobs dispatched through the worker pool.",
+            ),
+            dispatch_wait_us: metrics.histogram(
+                "nrp_pool_dispatch_wait_us",
+                "Time a dispatcher waited for the pool's job slot, in microseconds.",
+            ),
+        };
         let shared = Arc::new(PoolShared {
             slot: Mutex::new(Slot {
                 epoch: 0,
@@ -190,8 +237,9 @@ impl WorkerPool {
             work: Condvar::new(),
             done: Condvar::new(),
             free: Condvar::new(),
+            metrics: pool_metrics,
         });
-        let handles = (0..helpers)
+        let handles: Vec<JoinHandle<()>> = (0..helpers)
             .filter_map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -200,6 +248,7 @@ impl WorkerPool {
                     .ok()
             })
             .collect();
+        shared.metrics.capacity.set(handles.len() as u64 + 1);
         Self { shared, handles }
     }
 
@@ -236,6 +285,15 @@ impl WorkerPool {
             next: unsafe { std::mem::transmute::<&AtomicUsize, &'static AtomicUsize>(&next) },
             num_chunks,
         };
+        // Telemetry only: how long this dispatcher queued on the job slot.
+        // The clock is read through the designated owner (`nrp_obs::clock`)
+        // and the value flows one way into the histogram, never into results.
+        let wait_start = self
+            .shared
+            .metrics
+            .dispatch_wait_us
+            .is_active()
+            .then(clock::now);
         {
             let mut slot = self
                 .shared
@@ -256,6 +314,14 @@ impl WorkerPool {
             slot.job = Some(job);
             self.shared.work.notify_all();
         }
+        if let Some(started) = wait_start {
+            self.shared
+                .metrics
+                .dispatch_wait_us
+                .observe(clock::micros_since(started));
+        }
+        self.shared.metrics.dispatches.inc();
+        self.shared.metrics.busy.set(extra as u64 + 1);
         let guard = DispatchGuard {
             shared: &self.shared,
         };
@@ -319,6 +385,7 @@ impl Drop for DispatchGuard<'_> {
         slot.busy = false;
         self.shared.free.notify_one();
         drop(slot);
+        self.shared.metrics.busy.set(0);
         if panicked && !std::thread::panicking() {
             panic!("worker pool job panicked");
         }
@@ -869,6 +936,42 @@ mod tests {
         let exec = Exec::pooled(pool, 8);
         let got = par_chunk_map_exec(10, 3, &exec, |r| r.start);
         assert_eq!(got, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn pool_reports_utilization_metrics() {
+        use nrp_obs::SeriesValue;
+        let handle = MetricsHandle::enabled();
+        let pool = Arc::new(WorkerPool::new_with_metrics(3, &handle));
+        let exec = Exec::pooled(Arc::clone(&pool), 3);
+        for _ in 0..5 {
+            let got = par_chunk_map_exec(64, 4, &exec, |r| r.len());
+            assert_eq!(got.len(), 16);
+        }
+        let snap = handle.snapshot();
+        let value = |name: &str| {
+            let family = snap
+                .families
+                .iter()
+                .find(|f| f.name == name)
+                .unwrap_or_else(|| panic!("family {name} registered"));
+            match &family.series[0].value {
+                SeriesValue::Counter(v) | SeriesValue::Gauge(v) => *v,
+                SeriesValue::Histogram(h) => h.count(),
+            }
+        };
+        assert_eq!(value("nrp_pool_capacity"), 3);
+        assert_eq!(value("nrp_pool_workers_busy"), 0, "idle after the job");
+        assert_eq!(value("nrp_pool_dispatches_total"), 5);
+        assert_eq!(
+            value("nrp_pool_dispatch_wait_us"),
+            5,
+            "one wait observation per dispatch"
+        );
+        // A metrics-less pool still works and records nothing.
+        let plain = Arc::new(WorkerPool::new(2));
+        let got = par_chunk_map_exec(10, 2, &Exec::pooled(plain, 2), |r| r.start);
+        assert_eq!(got, vec![0, 2, 4, 6, 8]);
     }
 
     #[test]

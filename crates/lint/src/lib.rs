@@ -11,6 +11,7 @@
 //! |------|--------|
 //! | D001 | no `HashMap`/`HashSet` iteration in non-test code |
 //! | D002 | no `Instant::now`/`SystemTime` in kernel crates (`linalg`, `core`, `graph`) |
+//! | O001 | no `Instant::now`/`SystemTime` outside the clock-owning crate (`nrp-obs`) — non-kernel code routes timing through `nrp_obs::clock` |
 //! | D003 | no unseeded RNG construction (`thread_rng`, `from_entropy`, `OsRng`, `rand::random`) |
 //! | U001 | every `unsafe` is immediately preceded by a `// SAFETY:` comment |
 //! | U002 | `unsafe` is denied outside the allowlisted modules (today: `linalg::parallel`) |
@@ -137,10 +138,16 @@ pub struct Config {
     /// banned (D002).
     pub kernel_prefixes: Vec<String>,
     /// Kernel-crate files exempt from D002 (designated timing modules).
-    /// Empty today: `core::context::StageClock` carries per-site
-    /// `allow(D002)` annotations instead, so every exemption states its
-    /// reason in the source.
+    /// Empty today: since `StageClock` moved into `nrp-obs`, no kernel
+    /// file reads the wall clock at all — exemptions would carry per-site
+    /// `allow(D002)` annotations stating their reason in the source.
     pub timing_allowed: Vec<String>,
+    /// Path prefixes of the designated clock-owning crate (O001): the only
+    /// non-test code allowed to call `Instant::now`/`SystemTime::now`
+    /// directly.  Everything else routes timing through
+    /// `nrp_obs::clock::now()`, so the workspace has exactly one place
+    /// where wall-clock time enters.
+    pub clock_owner: Vec<String>,
     /// `nrp-serve` request-path modules covered by the P and R rules.
     /// `fault.rs` is deliberately absent: its `Panic` action panics by
     /// design, and it is compiled out of release builds entirely.
@@ -168,6 +175,7 @@ impl Default for Config {
                 "crates/graph/src/".into(),
             ],
             timing_allowed: vec![],
+            clock_owner: vec!["crates/obs/src/".into()],
             request_path: vec![
                 "crates/serve/src/http.rs".into(),
                 "crates/serve/src/server.rs".into(),

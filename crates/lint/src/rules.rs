@@ -423,7 +423,8 @@ fn rule_d001(
 }
 
 // ---------------------------------------------------------------------------
-// Rules D002 (wall-clock in kernel crates) and D003 (unseeded RNG)
+// Rules D002 (wall-clock in kernel crates), O001 (wall-clock outside the
+// clock-owning crate) and D003 (unseeded RNG)
 // ---------------------------------------------------------------------------
 
 fn rule_d002_d003(
@@ -433,11 +434,16 @@ fn rule_d002_d003(
     cfg: &Config,
     findings: &mut Vec<Finding>,
 ) {
-    let kernel = cfg
+    let in_kernel = cfg
         .kernel_prefixes
         .iter()
-        .any(|p| relpath.starts_with(p.as_str()))
-        && !cfg.timing_allowed.iter().any(|p| p == relpath);
+        .any(|p| relpath.starts_with(p.as_str()));
+    let timing_exempt = cfg.timing_allowed.iter().any(|p| p == relpath);
+    let kernel = in_kernel && !timing_exempt;
+    let clock_owner = cfg
+        .clock_owner
+        .iter()
+        .any(|p| relpath.starts_with(p.as_str()));
     for (i, tok) in toks.iter().enumerate() {
         if in_test(i) || tok.kind != TokKind::Ident {
             continue;
@@ -447,17 +453,30 @@ fn rule_d002_d003(
                 && next_sig(toks, i + 1).is_some_and(|a| toks[a].is_punct(':'))
                 && next_sig(toks, i + 2).is_some_and(|b| toks[b].is_punct(':'))
         };
-        if kernel && (path_call("Instant") || path_call("SystemTime")) {
-            findings.push(Finding::new(
-                relpath,
-                tok.line,
-                "D002",
-                format!(
-                    "`{}::…` reads the wall clock inside a kernel crate — timing belongs in \
-                     StageClock/bench code, or allow with a reason",
-                    tok.text
-                ),
-            ));
+        if path_call("Instant") || path_call("SystemTime") {
+            if kernel {
+                findings.push(Finding::new(
+                    relpath,
+                    tok.line,
+                    "D002",
+                    format!(
+                        "`{}::…` reads the wall clock inside a kernel crate — timing belongs to \
+                         the observability layer (`nrp_obs::clock`), or allow with a reason",
+                        tok.text
+                    ),
+                ));
+            } else if !in_kernel && !clock_owner && !timing_exempt {
+                findings.push(Finding::new(
+                    relpath,
+                    tok.line,
+                    "O001",
+                    format!(
+                        "`{}::…` reads the wall clock outside the clock-owning crate — route \
+                         timing through `nrp_obs::clock::now()`, or allow with a reason",
+                        tok.text
+                    ),
+                ));
+            }
         }
         if matches!(
             tok.text.as_str(),

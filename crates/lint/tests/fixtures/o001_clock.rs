@@ -1,0 +1,15 @@
+// Fixture: wall-clock reads outside the clock-owning crate: O001 under
+// ordinary virtual paths, clean under the obs crate and test paths.
+use std::time::{Instant, SystemTime};
+
+pub fn epoch() -> Instant {
+    Instant::now()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn sanctioned() -> Instant {
+    Instant::now() // nrp-lint: allow(O001) — a justified direct read
+}

@@ -64,8 +64,32 @@ fn d002_fires_only_under_kernel_paths() {
         "{:#?}",
         in_kernel.findings
     );
+    // Outside the kernel D002 stays quiet — the same sites are O001's
+    // territory (non-kernel code routes timing through `nrp_obs::clock`).
     let outside = lint_source("crates/bench/src/timing.rs", &source, &cfg);
-    assert!(outside.findings.is_empty(), "{:#?}", outside.findings);
+    assert_eq!(
+        line_rules(&outside.findings),
+        vec![(6, "O001"), (11, "O001")],
+        "{:#?}",
+        outside.findings
+    );
+}
+
+#[test]
+fn o001_fires_everywhere_but_the_clock_owner_and_tests() {
+    let source = fixture("o001_clock.rs");
+    let cfg = Config::default();
+    let in_serve = lint_source("crates/serve/src/timing.rs", &source, &cfg);
+    assert_eq!(
+        line_rules(&in_serve.findings),
+        vec![(6, "O001"), (10, "O001")], // the line-14 read carries an allow
+        "{:#?}",
+        in_serve.findings
+    );
+    let owner = lint_source("crates/obs/src/clock.rs", &source, &cfg);
+    assert!(owner.findings.is_empty(), "{:#?}", owner.findings);
+    let in_test = lint_source("crates/serve/tests/timing.rs", &source, &cfg);
+    assert!(in_test.findings.is_empty(), "{:#?}", in_test.findings);
 }
 
 #[test]

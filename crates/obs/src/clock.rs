@@ -1,0 +1,148 @@
+//! The workspace's designated wall-clock owner.
+//!
+//! Every non-test read of [`std::time::Instant`] / [`std::time::SystemTime`]
+//! in the workspace goes through this module (lint rule `O001` enforces it;
+//! `D002` covers the kernel crates).  Centralizing the clock keeps the
+//! determinism contract auditable: a wall-clock value obtained here may feed
+//! *timeouts, deadlines and telemetry* — never a computed result — and there
+//! is exactly one place to check that this stays true.
+//!
+//! [`StageClock`] (migrated from `nrp-core`) records named stage boundaries
+//! during an embedding run; `nrp_core::context` re-exports it so existing
+//! `nrp_core::context::StageClock` paths keep working.
+
+use std::time::{Duration, Instant};
+
+/// Reads the wall clock.
+///
+/// This is deliberately the only sanctioned `Instant::now()` call site in
+/// non-test workspace code (outside this crate, lint rule `O001` flags raw
+/// reads).  The returned [`Instant`] is an ordinary std instant — callers
+/// keep doing arithmetic (`+ Duration`, `duration_since`, `elapsed`) on it
+/// directly.
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+/// Microseconds elapsed since `earlier`, saturating at zero if the clock is
+/// non-monotonic across threads, and at `u64::MAX` on overflow.
+pub fn micros_since(earlier: Instant) -> u64 {
+    duration_as_micros(now().saturating_duration_since(earlier))
+}
+
+/// Converts a [`Duration`] to whole microseconds, saturating at `u64::MAX`.
+pub fn duration_as_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Wall-clock duration of one named pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage name (e.g. `"approx_ppr"`, `"reweight"`).
+    pub name: &'static str,
+    /// Elapsed wall-clock time of the stage.
+    pub duration: Duration,
+    /// Number of worker threads the stage ran with (1 for sequential
+    /// stages).  Thanks to the workspace-wide determinism contract this is
+    /// purely a performance record: the stage's output never depends on it.
+    pub threads: usize,
+}
+
+/// Records stage boundaries during an embedding run.
+///
+/// ```
+/// use nrp_obs::clock::StageClock;
+/// let mut clock = StageClock::start();
+/// // ... stage one work ...
+/// clock.lap("stage_one");
+/// // ... stage two work ...
+/// clock.lap("stage_two");
+/// ```
+#[derive(Debug)]
+pub struct StageClock {
+    started: Instant,
+    last: Instant,
+    stages: Vec<StageTiming>,
+}
+
+impl StageClock {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        let now = now();
+        Self {
+            started: now,
+            last: now,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Closes the current stage under `name` and starts the next one
+    /// (recorded as sequential; see [`StageClock::lap_parallel`]).
+    pub fn lap(&mut self, name: &'static str) {
+        self.lap_parallel(name, 1);
+    }
+
+    /// Closes the current stage under `name`, recording that it ran with
+    /// `threads` worker threads, and starts the next one.
+    pub fn lap_parallel(&mut self, name: &'static str, threads: usize) {
+        let now = now();
+        self.stages.push(StageTiming {
+            name,
+            duration: now.duration_since(self.last),
+            threads: threads.max(1),
+        });
+        self.last = now;
+    }
+
+    /// Total elapsed time since the clock started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The recorded stages so far.
+    pub fn stages(&self) -> &[StageTiming] {
+        &self.stages
+    }
+
+    /// Consumes the clock, returning the recorded stages (used when a run's
+    /// metadata takes ownership of the timings).
+    pub fn into_stages(self) -> Vec<StageTiming> {
+        self.stages
+    }
+}
+
+impl Default for StageClock {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_clock_records_laps_in_order() {
+        let mut clock = StageClock::start();
+        clock.lap("a");
+        clock.lap_parallel("b", 4);
+        clock.lap_parallel("c", 0);
+        assert_eq!(clock.stages().len(), 3);
+        assert_eq!(clock.stages()[0].name, "a");
+        assert_eq!(clock.stages()[0].threads, 1);
+        assert_eq!(clock.stages()[1].name, "b");
+        assert_eq!(clock.stages()[1].threads, 4);
+        assert_eq!(clock.stages()[2].threads, 1, "thread counts clamp to >= 1");
+        assert!(clock.elapsed() >= clock.stages()[0].duration);
+        let stages = clock.into_stages();
+        assert_eq!(stages.len(), 3);
+    }
+
+    #[test]
+    fn micros_conversions_saturate() {
+        assert_eq!(duration_as_micros(Duration::from_micros(250)), 250);
+        assert_eq!(duration_as_micros(Duration::MAX), u64::MAX);
+        let earlier = now();
+        assert!(micros_since(earlier) < 60_000_000, "sane elapsed reading");
+    }
+}

@@ -1,0 +1,43 @@
+//! # nrp-obs — telemetry substrate for the NRP workspace
+//!
+//! A zero-dependency (std-only) observability layer sitting **below** every
+//! other workspace crate, so the worker pool, the embedding context, the
+//! serving layer and the bench harness all report through one vocabulary:
+//!
+//! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges and
+//!   log-linear-bucket histograms.  The record path is a single relaxed
+//!   atomic op on a pre-resolved instrument; snapshots are plain data
+//!   rendered to Prometheus text (`GET /metrics`) or converted to JSON by
+//!   the server (`/stats`).  A disabled [`MetricsHandle`] turns every
+//!   instrument into a no-op, which is how the ≤-few-percent overhead
+//!   contract is enforced structurally.
+//! * [`trace`] — [`Span`]/[`TraceContext`] per-request latency attribution
+//!   with **deterministic IDs** (a per-process counter, no wall clock or RNG
+//!   in identity), completed into [`TraceEvent`]s retained by a bounded
+//!   [`TraceLog`] ring and dumped as JSONL (`GET /debug/traces`).
+//! * [`clock`] — the workspace's **single designated wall-clock owner**.
+//!   [`clock::now`] is the only sanctioned non-test `Instant::now()` call
+//!   site (lint rules D002/O001 enforce the boundary); [`StageClock`]
+//!   (migrated here from `nrp-core`) records per-stage timings for
+//!   embedding runs.
+//!
+//! ## Determinism contract
+//!
+//! Telemetry never feeds a computed value: durations, counts and gauges are
+//! write-only from kernel code's perspective.  Identity (trace IDs, metric
+//! names, label sets, export ordering) is fully deterministic — exports
+//! iterate `BTreeMap`s, never hash order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod metrics;
+pub mod trace;
+
+pub use clock::{StageClock, StageTiming};
+pub use metrics::{
+    Counter, FamilySnapshot, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricsHandle,
+    MetricsRegistry, MetricsSnapshot, SeriesSnapshot, SeriesValue,
+};
+pub use trace::{Span, TraceContext, TraceEvent, TraceIds, TraceLog};

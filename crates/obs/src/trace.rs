@@ -1,0 +1,376 @@
+//! Structured spans and per-request latency attribution.
+//!
+//! A [`TraceContext`] collects named stage durations for one request; a
+//! [`Span`] measures one stage.  Trace **identity is deterministic**: IDs
+//! come from a plain per-process counter ([`TraceIds`]), never from the wall
+//! clock or an RNG, so two runs that admit requests in the same order assign
+//! the same IDs (the D-rule contract extends to telemetry identity — only
+//! *durations* may vary between runs).
+//!
+//! Completed traces become [`TraceEvent`]s: plain data with a canonical
+//! one-line JSON rendering, retained in a bounded ring ([`TraceLog`]) that a
+//! server dumps as JSONL (`GET /debug/traces`).  The ring is a fixed-capacity
+//! `VecDeque` behind a mutex — the push path is O(1), allocation-free after
+//! the event itself, and the oldest event is dropped on overflow.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::clock;
+
+/// Hands out deterministic trace IDs: a monotonically increasing counter
+/// starting at 1 (so 0 can mean "untraced" in logs).
+#[derive(Debug, Default)]
+pub struct TraceIds(AtomicU64);
+
+impl TraceIds {
+    /// A generator starting at 1.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next trace ID.
+    pub fn next_id(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// A single timed stage.  Start it with [`Span::start`], then either read
+/// [`Span::elapsed_micros`] or close it into a [`TraceContext`] with
+/// [`Span::finish`].
+#[derive(Debug)]
+pub struct Span {
+    stage: &'static str,
+    started: Instant,
+}
+
+impl Span {
+    /// Starts timing `stage`.
+    pub fn start(stage: &'static str) -> Self {
+        Self {
+            stage,
+            started: clock::now(),
+        }
+    }
+
+    /// Microseconds elapsed since the span started.
+    pub fn elapsed_micros(&self) -> u64 {
+        clock::micros_since(self.started)
+    }
+
+    /// Records the span's elapsed time into `trace` under its stage name.
+    pub fn finish(self, trace: &mut TraceContext) {
+        let micros = self.elapsed_micros();
+        trace.record(self.stage, micros);
+    }
+}
+
+/// Per-request latency attribution: an ID plus named stage durations in
+/// recording order.
+#[derive(Debug)]
+pub struct TraceContext {
+    id: u64,
+    started: Instant,
+    stages: Vec<(&'static str, u64)>,
+}
+
+impl TraceContext {
+    /// A trace with the given (caller-assigned, deterministic) ID.
+    pub fn new(id: u64) -> Self {
+        Self {
+            id,
+            started: clock::now(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// The trace ID.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Records `micros` against `stage`.  Recording the same stage twice
+    /// accumulates (a request can wait in the queue, for instance, only
+    /// once today — but accumulation is the non-surprising merge).
+    pub fn record(&mut self, stage: &'static str, micros: u64) {
+        for entry in &mut self.stages {
+            if entry.0 == stage {
+                entry.1 = entry.1.saturating_add(micros);
+                return;
+            }
+        }
+        self.stages.push((stage, micros));
+    }
+
+    /// The recorded stages so far, in first-recording order.
+    pub fn stages(&self) -> &[(&'static str, u64)] {
+        &self.stages
+    }
+
+    /// Sum of all recorded stage durations.
+    pub fn stage_total_micros(&self) -> u64 {
+        self.stages
+            .iter()
+            .fold(0u64, |acc, (_, us)| acc.saturating_add(*us))
+    }
+
+    /// Microseconds since the trace was created.
+    pub fn elapsed_micros(&self) -> u64 {
+        clock::micros_since(self.started)
+    }
+
+    /// Closes the trace into an event ready for the ring log.
+    pub fn finish(self, endpoint: &str, status: u16) -> TraceEvent {
+        let total_us = self.elapsed_micros();
+        TraceEvent {
+            trace_id: self.id,
+            endpoint: endpoint.to_string(),
+            status,
+            total_us,
+            stages: self.stages,
+        }
+    }
+}
+
+/// A completed trace: plain data with a canonical JSONL rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Deterministic per-process trace ID.
+    pub trace_id: u64,
+    /// The endpoint that served the request (e.g. `/ppr`).
+    pub endpoint: String,
+    /// HTTP status of the response.
+    pub status: u16,
+    /// Total wall-clock duration of the request, in microseconds.
+    pub total_us: u64,
+    /// Stage durations in recording order, in microseconds.
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSON line (no trailing newline).  Key order
+    /// is fixed, so the output is byte-stable given the same measurements.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"trace_id\":");
+        out.push_str(&self.trace_id.to_string());
+        out.push_str(",\"endpoint\":\"");
+        out.push_str(&escape_json(&self.endpoint));
+        out.push_str("\",\"status\":");
+        out.push_str(&self.status.to_string());
+        out.push_str(",\"total_us\":");
+        out.push_str(&self.total_us.to_string());
+        out.push_str(",\"stages_us\":{");
+        let mut first = true;
+        for (stage, us) in &self.stages {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            out.push_str(&escape_json(stage));
+            out.push_str("\":");
+            out.push_str(&us.to_string());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Bounded ring buffer of completed [`TraceEvent`]s.
+///
+/// Capacity 0 disables the log entirely (pushes are dropped without taking
+/// the lock).  On overflow the **oldest** event is evicted, so a dump shows
+/// the most recent window of traffic.
+#[derive(Debug)]
+pub struct TraceLog {
+    capacity: usize,
+    ring: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl TraceLog {
+    /// A log retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.  No-op at
+    /// capacity 0.
+    pub fn push(&self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        // Bounded by the eviction above: len < capacity here.
+        ring.push_back(event);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            // nrp-lint: allow(K001) — `VecDeque::len` on the guard, not a re-entrant `TraceLog::len`
+            .len()
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders every retained event as JSONL, oldest first (one event per
+    /// line, trailing newline after each).
+    pub fn dump_jsonl(&self) -> String {
+        let ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = String::new();
+        for event in ring.iter() {
+            out.push_str(&event.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let b = c as u32;
+                for shift in [4u32, 0] {
+                    let nibble = (b >> shift) & 0xF;
+                    out.push(char::from_digit(nibble, 16).unwrap_or('0'));
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_sequential_from_one() {
+        let ids = TraceIds::new();
+        assert_eq!(ids.next_id(), 1);
+        assert_eq!(ids.next_id(), 2);
+        assert_eq!(ids.next_id(), 3);
+    }
+
+    #[test]
+    fn spans_record_into_the_trace() {
+        let mut trace = TraceContext::new(7);
+        let span = Span::start("parse");
+        span.finish(&mut trace);
+        trace.record("compute", 120);
+        trace.record("compute", 30);
+        assert_eq!(trace.id(), 7);
+        assert_eq!(trace.stages().len(), 2);
+        assert_eq!(trace.stages()[0].0, "parse");
+        assert_eq!(
+            trace.stages()[1],
+            ("compute", 150),
+            "same stage accumulates"
+        );
+        assert!(trace.stage_total_micros() >= 150);
+        assert!(trace.elapsed_micros() >= trace.stages()[0].1);
+    }
+
+    #[test]
+    fn event_json_line_is_canonical() {
+        let event = TraceEvent {
+            trace_id: 42,
+            endpoint: "/ppr".to_string(),
+            status: 200,
+            total_us: 950,
+            stages: vec![("parse", 10), ("kernel_compute", 900)],
+        };
+        assert_eq!(
+            event.to_json_line(),
+            "{\"trace_id\":42,\"endpoint\":\"/ppr\",\"status\":200,\"total_us\":950,\
+             \"stages_us\":{\"parse\":10,\"kernel_compute\":900}}"
+        );
+    }
+
+    #[test]
+    fn finish_produces_an_event_with_total_at_least_stage_sum_lower_bound() {
+        let mut trace = TraceContext::new(1);
+        trace.record("a", 0);
+        let event = trace.finish("/ppr", 200);
+        assert_eq!(event.trace_id, 1);
+        assert_eq!(event.endpoint, "/ppr");
+        assert_eq!(event.status, 200);
+        assert_eq!(event.stages, vec![("a", 0)]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_dumps_jsonl() {
+        let log = TraceLog::new(2);
+        for i in 1..=3u64 {
+            log.push(TraceEvent {
+                trace_id: i,
+                endpoint: "/ppr".to_string(),
+                status: 200,
+                total_us: i * 10,
+                stages: Vec::new(),
+            });
+        }
+        assert_eq!(log.len(), 2);
+        let dump = log.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"trace_id\":2"), "oldest retained is #2");
+        assert!(lines[1].contains("\"trace_id\":3"));
+    }
+
+    #[test]
+    fn zero_capacity_ring_is_disabled() {
+        let log = TraceLog::new(0);
+        log.push(TraceEvent {
+            trace_id: 1,
+            endpoint: "/x".to_string(),
+            status: 200,
+            total_us: 1,
+            stages: Vec::new(),
+        });
+        assert!(log.is_empty());
+        assert_eq!(log.dump_jsonl(), "");
+    }
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        let event = TraceEvent {
+            trace_id: 1,
+            endpoint: "a\"b\\c\nd\u{1}".to_string(),
+            status: 200,
+            total_us: 0,
+            stages: Vec::new(),
+        };
+        let line = event.to_json_line();
+        assert!(line.contains("a\\\"b\\\\c\\nd\\u0001"));
+    }
+}

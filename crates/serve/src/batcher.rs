@@ -31,6 +31,19 @@
 //! the `batcher.compute` site) are caught per source: the affected key
 //! answers [`SubmitError::WorkerPanic`], every other key in the batch is
 //! unaffected, and the dispatcher keeps serving.
+//!
+//! # Telemetry
+//!
+//! The dispatcher attributes every answered job's latency to three stages
+//! ([`JobTiming`]): time queued behind other work, time spent assembling
+//! the batch (dedup + cache probe), and time inside the PPR kernel.
+//! [`Batcher::submit_traced`] returns that breakdown alongside the answer;
+//! the plain submit paths discard it.  When the [`EmbedContext`] carries a
+//! live [`MetricsHandle`](nrp_obs::MetricsHandle), the same numbers feed
+//! the `nrp_batch_*` instrument families (queue depth, batch size,
+//! queue-wait and compute histograms).  Timing is observability only: it
+//! never enters [`PprAnswer`] or the cache, so answers stay bitwise
+//! identical with telemetry on, off, or absent.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -44,6 +57,7 @@ use nrp_core::parallel::par_chunk_map_exec;
 use nrp_core::ppr::single_source_ppr_ctx;
 use nrp_core::push::{forward_push_into, PushWorkspace};
 use nrp_core::{DanglingPolicy, EmbedContext, NrpError};
+use nrp_obs::{clock, Gauge, Histogram};
 
 use crate::sync::lock_unpoisoned;
 use nrp_graph::Graph;
@@ -102,6 +116,24 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Where one answered job's wall-clock went, in microseconds.
+///
+/// Returned by [`Batcher::submit_traced`] next to the answer.  The three
+/// stages are disjoint sub-intervals of the waiter's blocking time, so
+/// their sum is bounded by the latency the waiter itself measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobTiming {
+    /// From submission until the dispatcher drained this job into a batch.
+    pub queue_wait_us: u64,
+    /// Batch assembly: deadline shedding, dedup, and the cache probe for
+    /// the batch this job rode in (shared by every job of the batch).
+    pub assembly_us: u64,
+    /// Inside the PPR kernel for this job's key (0 for a cache hit).
+    /// Coalesced waiters report the shared computation's time: each of them
+    /// really did block for it.
+    pub compute_us: u64,
+}
+
 /// Counter snapshot of the batcher, as served by `/stats`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BatchSnapshot {
@@ -122,6 +154,8 @@ pub struct BatchSnapshot {
     /// Per-key computations that panicked (caught; the dispatcher
     /// survived).
     pub panics: u64,
+    /// Jobs currently queued, waiting for the dispatcher to drain them.
+    pub queue_depth: u64,
 }
 
 #[derive(Default)]
@@ -133,14 +167,30 @@ struct BatchCounters {
     computed: AtomicU64,
     expired: AtomicU64,
     panics: AtomicU64,
+    /// Jobs admitted but not yet drained into a batch (mirrors the
+    /// `nrp_batch_queue_depth` gauge so `/stats` works with metrics off).
+    depth: AtomicU64,
+}
+
+/// The batcher's obs instruments; every handle is a no-op when metrics are
+/// disabled, so the hot path pays one null check per update.
+#[derive(Clone, Default)]
+struct BatcherMetrics {
+    queue_depth: Gauge,
+    batch_size: Histogram,
+    queue_wait_us: Histogram,
+    compute_us: Histogram,
 }
 
 type Reply = Result<Arc<PprAnswer>, SubmitError>;
+type TracedReply = Result<(Arc<PprAnswer>, JobTiming), SubmitError>;
 
 struct Job {
     key: CacheKey,
     deadline: Option<Instant>,
-    reply: SyncSender<Reply>,
+    /// When the waiter enqueued this job (queue-wait attribution).
+    submitted: Instant,
+    reply: SyncSender<TracedReply>,
 }
 
 /// The batching dispatcher.  Owns one worker thread for its lifetime;
@@ -150,6 +200,7 @@ pub struct Batcher {
     tx: Mutex<Option<SyncSender<Job>>>,
     worker: Mutex<Option<JoinHandle<()>>>,
     counters: Arc<BatchCounters>,
+    metrics: BatcherMetrics,
 }
 
 impl Batcher {
@@ -170,9 +221,42 @@ impl Batcher {
         let counters = Arc::new(BatchCounters::default());
         let worker_counters = Arc::clone(&counters);
         let max_batch = max_batch.max(1);
+        // Register the batcher's instrument families on the context's
+        // metrics handle (no-op handles yield no-op instruments).
+        let obs = ctx.metrics();
+        let metrics = BatcherMetrics {
+            queue_depth: obs.gauge(
+                "nrp_batch_queue_depth",
+                "Jobs admitted to the batcher but not yet drained into a batch.",
+            ),
+            batch_size: obs.histogram(
+                "nrp_batch_batch_size",
+                "Jobs drained per dispatcher wake-up (before deadline shedding).",
+            ),
+            queue_wait_us: obs.histogram(
+                "nrp_batch_queue_wait_us",
+                "Microseconds a job waited in the queue before its batch was drained.",
+            ),
+            compute_us: obs.histogram(
+                "nrp_batch_compute_us",
+                "Microseconds one unique key spent inside the PPR kernel.",
+            ),
+        };
+        let worker_metrics = metrics.clone();
         let worker = std::thread::Builder::new()
             .name("nrp-serve-batcher".into())
-            .spawn(move || dispatch_loop(rx, graph, policy, ctx, cache, worker_counters, max_batch))
+            .spawn(move || {
+                dispatch_loop(
+                    rx,
+                    graph,
+                    policy,
+                    ctx,
+                    cache,
+                    worker_counters,
+                    worker_metrics,
+                    max_batch,
+                )
+            })
             // nrp-lint: allow(P001) — startup path, not the request path:
             // `Batcher::new` runs before the listener accepts its first
             // connection, and a process that cannot spawn its one
@@ -182,6 +266,7 @@ impl Batcher {
             tx: Mutex::new(Some(tx)),
             worker: Mutex::new(Some(worker)),
             counters,
+            metrics,
         }
     }
 
@@ -196,6 +281,14 @@ impl Batcher {
     /// dispatcher may still finish (and cache) the computation; the answer
     /// is simply no longer delivered to this waiter.
     pub fn submit_with_deadline(&self, key: CacheKey, deadline: Option<Instant>) -> Reply {
+        self.submit_traced(key, deadline).map(|(answer, _)| answer)
+    }
+
+    /// Like [`Batcher::submit_with_deadline`], but also returns where the
+    /// blocking time went ([`JobTiming`]).  The timing rides next to the
+    /// answer, never inside it: cached and traced answers stay bitwise
+    /// identical.
+    pub fn submit_traced(&self, key: CacheKey, deadline: Option<Instant>) -> TracedReply {
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         // Clone the sender out of the mutex so the channel send happens
         // without holding `tx` (K003).  An in-flight clone keeps the
@@ -208,6 +301,7 @@ impl Batcher {
         match tx.try_send(Job {
             key,
             deadline,
+            submitted: clock::now(),
             reply: reply_tx,
         }) {
             Ok(()) => {}
@@ -215,10 +309,12 @@ impl Batcher {
             Err(TrySendError::Disconnected(_)) => return Err(SubmitError::ShuttingDown),
         }
         self.counters.jobs.fetch_add(1, Ordering::Relaxed);
+        self.counters.depth.fetch_add(1, Ordering::Relaxed);
+        self.metrics.queue_depth.add(1);
         match deadline {
             None => reply_rx.recv().unwrap_or(Err(SubmitError::ShuttingDown)),
             Some(deadline) => {
-                let remaining = deadline.saturating_duration_since(Instant::now());
+                let remaining = deadline.saturating_duration_since(clock::now());
                 match reply_rx.recv_timeout(remaining) {
                     Ok(reply) => reply,
                     Err(mpsc::RecvTimeoutError::Timeout) => Err(SubmitError::DeadlineExceeded),
@@ -238,6 +334,7 @@ impl Batcher {
             computed: self.counters.computed.load(Ordering::Relaxed),
             expired: self.counters.expired.load(Ordering::Relaxed),
             panics: self.counters.panics.load(Ordering::Relaxed),
+            queue_depth: self.counters.depth.load(Ordering::Relaxed),
         }
     }
 
@@ -264,7 +361,10 @@ impl Drop for Batcher {
 
 /// Per-key bookkeeping while a batch is in flight.
 struct Pending {
-    replies: Vec<SyncSender<Reply>>,
+    /// Each waiter's reply channel, paired with the queue wait that waiter
+    /// accrued before the drain (per-waiter: two coalesced jobs for the
+    /// same key were enqueued at different moments).
+    replies: Vec<(SyncSender<TracedReply>, u64)>,
     /// Latest deadline among this key's waiters (the computation is useful
     /// until the *last* waiter gives up).
     deadline: Option<Instant>,
@@ -273,6 +373,7 @@ struct Pending {
     unbounded: bool,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dispatch_loop(
     rx: Receiver<Job>,
     graph: Arc<Graph>,
@@ -280,6 +381,7 @@ fn dispatch_loop(
     ctx: EmbedContext,
     cache: Arc<Mutex<PprCache>>,
     counters: Arc<BatchCounters>,
+    metrics: BatcherMetrics,
     max_batch: usize,
 ) {
     // `recv` returns queued jobs even after every sender is dropped, so the
@@ -297,14 +399,29 @@ fn dispatch_loop(
         counters
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        counters
+            .depth
+            .fetch_sub(batch.len() as u64, Ordering::Relaxed);
+        metrics.queue_depth.sub(batch.len() as u64);
+        metrics.batch_size.observe(batch.len() as u64);
+
+        // The drain instant ends every drained job's queue wait and starts
+        // the batch-assembly stage.
+        let drained_at = clock::now();
+        if metrics.queue_wait_us.is_active() {
+            for job in &batch {
+                metrics.queue_wait_us.observe(clock::duration_as_micros(
+                    drained_at.saturating_duration_since(job.submitted),
+                ));
+            }
+        }
 
         // Shed queued jobs that already missed their deadline: the waiter
         // has (or is about to) time out on its own, and computing the
         // answer would only delay the still-live jobs behind it.
-        let now = Instant::now();
-        let mut expired: Vec<SyncSender<Reply>> = Vec::with_capacity(batch.len());
+        let mut expired: Vec<SyncSender<TracedReply>> = Vec::with_capacity(batch.len());
         batch.retain(|job| {
-            let dead = job.deadline.is_some_and(|d| now >= d);
+            let dead = job.deadline.is_some_and(|d| drained_at >= d);
             if dead {
                 expired.push(job.reply.clone());
             }
@@ -341,8 +458,10 @@ fn dispatch_loop(
                 Some(d) => entry.deadline = Some(entry.deadline.map_or(d, |cur| cur.max(d))),
                 None => entry.unbounded = true,
             }
+            let queue_wait_us =
+                clock::duration_as_micros(drained_at.saturating_duration_since(job.submitted));
             // nrp-lint: allow(R001) — one entry per job in the drained batch, ≤ max_batch
-            entry.replies.push(job.reply);
+            entry.replies.push((job.reply, queue_wait_us));
         }
 
         // Answer what the cache already holds.  Replies go out only after
@@ -360,8 +479,10 @@ fn dispatch_loop(
                 }
             }
         }
+        // Assembly for cache hits ends here; their compute stage is empty.
+        let hit_assembly_us = clock::micros_since(drained_at);
         for (key, answer) in hits {
-            reply_all(&mut waiters, &key, answer);
+            reply_all(&mut waiters, &key, answer, hit_assembly_us, 0);
         }
         if missing.is_empty() {
             continue;
@@ -378,17 +499,23 @@ fn dispatch_loop(
             })
             .collect();
 
+        // Assembly for computed keys ends where the kernel dispatch starts.
+        let assembly_us = clock::micros_since(drained_at);
+
         // One multi-source dispatch over the unique missing keys.  Chunk
         // size 1: each source is one unit of work, claimed by exactly one
         // pool worker, computed with that worker's thread-local workspace.
         // Each unit is wrapped in `catch_unwind` so a panic (a bug, or the
         // `batcher.compute` failpoint) fails that key alone instead of
-        // tearing down a pool worker or this dispatcher.
+        // tearing down a pool worker or this dispatcher.  Each key's kernel
+        // time is measured inside its own unit (timing rides next to the
+        // answer and never into the cache).
         let exec = ctx.exec();
-        let answers: Vec<Reply> = par_chunk_map_exec(missing.len(), 1, &exec, |range| {
+        let answers: Vec<(Reply, u64)> = par_chunk_map_exec(missing.len(), 1, &exec, |range| {
             let key = &missing[range.start];
             let deadline = deadlines[range.start];
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let compute_start = clock::now();
+            let answer = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 crate::fault::fire("batcher.compute")
                     .map_err(|e| SubmitError::Failed(e.to_string()))?;
                 compute(&graph, policy, key, &ctx, deadline)
@@ -396,34 +523,56 @@ fn dispatch_loop(
             .unwrap_or_else(|_| {
                 counters.panics.fetch_add(1, Ordering::Relaxed);
                 Err(SubmitError::WorkerPanic)
-            })
+            });
+            (answer, clock::micros_since(compute_start))
         });
         counters
             .computed
             .fetch_add(missing.len() as u64, Ordering::Relaxed);
+        if metrics.compute_us.is_active() {
+            for (_, compute_us) in &answers {
+                metrics.compute_us.observe(*compute_us);
+            }
+        }
 
         // Same split as above: fill the cache under the lock, answer the
         // waiters after it is released.
         {
             let mut cache = lock_unpoisoned(&cache);
-            for (key, answer) in missing.iter().zip(answers.iter()) {
+            for (key, (answer, _)) in missing.iter().zip(answers.iter()) {
                 if let Ok(answer) = answer {
                     cache.insert(*key, Arc::clone(answer));
                 }
             }
         }
-        for (key, answer) in missing.iter().zip(answers) {
-            reply_all(&mut waiters, key, answer);
+        for (key, (answer, compute_us)) in missing.iter().zip(answers) {
+            reply_all(&mut waiters, key, answer, assembly_us, compute_us);
         }
     }
 }
 
-fn reply_all(waiters: &mut HashMap<CacheKey, Pending>, key: &CacheKey, reply: Reply) {
+fn reply_all(
+    waiters: &mut HashMap<CacheKey, Pending>,
+    key: &CacheKey,
+    reply: Reply,
+    assembly_us: u64,
+    compute_us: u64,
+) {
     if let Some(pending) = waiters.remove(key) {
-        for sender in pending.replies {
+        for (sender, queue_wait_us) in pending.replies {
+            let traced = reply.clone().map(|answer| {
+                (
+                    answer,
+                    JobTiming {
+                        queue_wait_us,
+                        assembly_us,
+                        compute_us,
+                    },
+                )
+            });
             // A waiter that gave up (connection died, deadline passed) is
             // not an error.
-            let _ = sender.send(reply.clone());
+            let _ = sender.send(traced);
         }
     }
 }
@@ -562,6 +711,35 @@ mod tests {
         );
         assert_eq!(batcher.snapshot().computed, 1);
         assert_eq!(cache.lock().unwrap().snapshot().hits, 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn traced_submissions_attribute_latency_to_stages() {
+        let cache = Arc::new(Mutex::new(PprCache::new(8)));
+        let batcher = Batcher::new(
+            graph(),
+            DanglingPolicy::SelfLoop,
+            EmbedContext::new().with_metrics(nrp_obs::MetricsHandle::enabled()),
+            Arc::clone(&cache),
+            64,
+            1024,
+        );
+        let key = CacheKey::new(6, 0.15, 1e-4, false);
+        let started = Instant::now();
+        let (answer, timing) = batcher.submit_traced(key, None).unwrap();
+        let total_us = started.elapsed().as_micros() as u64;
+        assert!(!answer.entries.is_empty());
+        assert!(timing.compute_us > 0, "a miss runs the kernel");
+        assert!(
+            timing.queue_wait_us + timing.assembly_us + timing.compute_us <= total_us,
+            "stages are sub-intervals of the waiter's blocking time: {timing:?} vs {total_us}"
+        );
+        // The second submission is a cache hit: no kernel time.
+        let (hit, hit_timing) = batcher.submit_traced(key, None).unwrap();
+        assert!(Arc::ptr_eq(&answer, &hit), "hit shares the cached answer");
+        assert_eq!(hit_timing.compute_us, 0);
+        assert_eq!(batcher.snapshot().queue_depth, 0, "queue drained");
         batcher.shutdown();
     }
 

@@ -12,6 +12,7 @@ use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
+use nrp_obs::clock;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -124,6 +125,19 @@ impl HttpClient {
 /// One-shot convenience: connect, `GET target`, parse JSON, close.
 pub fn get_json_once(addr: SocketAddr, target: &str) -> Result<serde::Value, String> {
     HttpClient::new(addr).get_json(target)
+}
+
+/// One-shot plain-text GET (for `/metrics` and `/debug/traces`, whose
+/// bodies are not JSON).  Asserts a 200 status.
+pub fn get_text_once(addr: SocketAddr, target: &str) -> Result<String, String> {
+    let (status, body) = HttpClient::new(addr)
+        .get(target)
+        .map_err(|e| format!("GET {target}: {e}"))?;
+    let text = String::from_utf8(body).map_err(|e| format!("GET {target}: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET {target}: status {status}: {text}"));
+    }
+    Ok(text)
 }
 
 /// Backoff and retry-budget knobs for [`ResilientClient`].
@@ -290,7 +304,7 @@ impl ResilientClient {
             policy,
             breaker,
             rng: ChaCha8Rng::seed_from_u64(seed),
-            epoch: Instant::now(),
+            epoch: clock::now(),
             stats: ResilientStats::default(),
         }
     }

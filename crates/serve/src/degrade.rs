@@ -75,8 +75,10 @@ pub struct DegradeController {
     previous: AtomicU64,
     /// Timestamp of the most recent pressure event, ms.
     last_event: AtomicU64,
-    /// Cumulative escalations (for `/stats`).
+    /// Cumulative escalations (for `/stats` and `/metrics`).
     escalations: AtomicU64,
+    /// Cumulative recovery rungs stepped down (for `/stats` and `/metrics`).
+    recoveries: AtomicU64,
 }
 
 impl DegradeController {
@@ -94,6 +96,7 @@ impl DegradeController {
             previous: AtomicU64::new(0),
             last_event: AtomicU64::new(0),
             escalations: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
         }
     }
 
@@ -137,12 +140,19 @@ impl DegradeController {
         if rungs_down > 0 {
             // Best-effort: a concurrent pressure event wins the race and
             // keeps the level — exactly the conservative outcome we want.
-            let _ = self.level.compare_exchange(
-                level,
-                level - rungs_down,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            );
+            if self
+                .level
+                .compare_exchange(
+                    level,
+                    level - rungs_down,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                self.recoveries
+                    .fetch_add(rungs_down as u64, Ordering::Relaxed);
+            }
             // Recovery consumes the quiet time: the next rung needs a fresh
             // quiet period (otherwise one long lull would re-trigger).
             self.last_event.fetch_max(now_ms, Ordering::Relaxed);
@@ -161,6 +171,12 @@ impl DegradeController {
     /// Cumulative escalations (each one-rung step up).
     pub fn escalations(&self) -> u64 {
         self.escalations.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative recovery rungs stepped down (lazy recovery only; operator
+    /// [`DegradeController::force`] calls are not counted).
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
     }
 
     /// Rotates the window buckets so `current + previous` approximates the
@@ -241,6 +257,7 @@ mod tests {
         // The quiet clock restarts after a recovery step.
         assert_eq!(c.level(3_000), DegradeLevel::Degraded);
         assert_eq!(c.level(4_600), DegradeLevel::Normal);
+        assert_eq!(c.recoveries(), 2, "one rung per quiet period, twice");
     }
 
     #[test]

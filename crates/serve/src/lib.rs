@@ -13,6 +13,8 @@
 //! - `GET /knn?source=…&k=…` — top-K neighbours by embedding score.
 //! - `GET /recommend?source=…&k=…` — top-K *unlinked* candidates.
 //! - `GET /healthz`, `GET /stats` — liveness and counters.
+//! - `GET /metrics` — Prometheus text exposition of every instrument.
+//! - `GET /debug/traces` — JSONL ring of recent per-request traces.
 //!
 //! ## Production concerns reproduced here
 //!
@@ -37,6 +39,15 @@
 //! - **Client resilience** ([`client`]): keep-alive reconnects, jittered
 //!   exponential backoff with a retry budget honouring `Retry-After`, and
 //!   a circuit breaker.
+//! - **Observability** ([`server`], `nrp-obs`): a process-wide metrics
+//!   registry (lock-free counters/gauges/histograms) exported at
+//!   `/metrics`, per-endpoint latency/shed/timeout attribution in
+//!   `/stats`, and structured per-request traces — `x-trace: 1` on
+//!   `/ppr` returns the stage breakdown (parse → admission → queue wait
+//!   → batch assembly → kernel compute → serialize) inline, and a
+//!   bounded ring of recent traces is served at `/debug/traces`.  Trace
+//!   IDs come from a counter, never a clock, and timing never feeds back
+//!   into answers, so determinism is untouched.
 //! - **Determinism**: a `/ppr` answer is bitwise identical whether it came
 //!   from the cache, a coalesced batch, or a direct library call — floats
 //!   survive the JSON wire via shortest-round-trip formatting.  Shedding,
@@ -61,9 +72,11 @@ pub mod http;
 pub mod server;
 pub mod sync;
 
-pub use batcher::{Batcher, PprAnswer, SubmitError};
+pub use batcher::{Batcher, JobTiming, PprAnswer, SubmitError};
 pub use cache::{CacheKey, CacheSnapshot, PprCache};
-pub use client::{get_json_once, CircuitBreaker, HttpClient, ResilientClient, RetryPolicy};
+pub use client::{
+    get_json_once, get_text_once, CircuitBreaker, HttpClient, ResilientClient, RetryPolicy,
+};
 pub use config::ServeConfig;
 pub use degrade::{DegradeController, DegradeLevel};
 pub use fixture::fixture;

@@ -10,6 +10,14 @@
 //! | `GET /ppr` | `source` (required), `alpha`, `r_max`, `mode=push\|exact`, `top` | single-source PPR through the batcher + cache |
 //! | `GET /knn` | `source` (required), `k` | top-K nearest neighbours by embedding score |
 //! | `GET /recommend` | `source` (required), `k` | top-K *unlinked* candidates (link prediction) |
+//! | `GET /metrics` | — | Prometheus text exposition of every instrument family |
+//! | `GET /debug/traces` | — | JSONL dump of the most recent per-request traces |
+//!
+//! `/ppr` also honours two telemetry headers: `x-trace: 1` adds a `trace`
+//! block (deterministic trace ID plus per-stage microseconds: parse,
+//! admission, queue_wait, batch_assembly, kernel_compute, serialize) to the
+//! response, and every `/ppr` request — traced or not — records its stage
+//! breakdown into the bounded ring served at `/debug/traces`.
 //!
 //! Every response is JSON.  `/ppr` answers are **bitwise identical** to
 //! calling [`forward_push`](nrp_core::push::forward_push) /
@@ -28,6 +36,10 @@ use std::time::{Duration, Instant};
 
 use nrp_core::{EmbedContext, Embedding};
 use nrp_graph::{Graph, GraphKind};
+use nrp_obs::{
+    clock, Counter, FamilySnapshot, Histogram, MetricKind, MetricsHandle, MetricsSnapshot,
+    SeriesSnapshot, SeriesValue, Span, TraceContext, TraceIds, TraceLog,
+};
 
 use crate::batcher::{Batcher, PprAnswer, SubmitError};
 use crate::cache::{CacheKey, PprCache};
@@ -72,6 +84,69 @@ pub struct RequestCounters {
     pub retry_after: AtomicU64,
     /// Connections rejected at the accept loop (in-flight limit).
     pub conn_rejected: AtomicU64,
+    /// `/metrics` hits.
+    pub metrics: AtomicU64,
+    /// `/debug/traces` hits.
+    pub traces: AtomicU64,
+}
+
+/// One endpoint's registry-backed instruments, resolved once at startup so
+/// the request path never touches the registry lock.
+struct EndpointMetrics {
+    /// This endpoint's wire name (the `endpoint` label value).
+    name: &'static str,
+    /// End-to-end handler latency, microseconds.
+    latency_us: Histogram,
+    /// Requests this endpoint answered `503`.
+    shed: Counter,
+    /// Requests this endpoint answered `504`.
+    timeouts: Counter,
+}
+
+impl EndpointMetrics {
+    fn new(metrics: &MetricsHandle, name: &'static str) -> Self {
+        let labels: &[(&str, &str)] = &[("endpoint", name)];
+        Self {
+            name,
+            latency_us: metrics.histogram_with(
+                "nrp_serve_request_latency_us",
+                "End-to-end handler latency per endpoint, microseconds.",
+                labels,
+            ),
+            shed: metrics.counter_with(
+                "nrp_serve_shed_total",
+                "Requests answered 503 (load shed), per endpoint.",
+                labels,
+            ),
+            timeouts: metrics.counter_with(
+                "nrp_serve_timeouts_total",
+                "Requests answered 504 (deadline exceeded), per endpoint.",
+                labels,
+            ),
+        }
+    }
+}
+
+/// The server's per-endpoint instruments.  Everything else on `/metrics`
+/// (cache, batch counters, degrade transitions, request totals) is derived
+/// at scrape time from the counters the subsystems already keep.
+struct ServeMetrics {
+    endpoints: Vec<EndpointMetrics>,
+}
+
+impl ServeMetrics {
+    fn new(metrics: &MetricsHandle) -> Self {
+        Self {
+            endpoints: ["/ppr", "/knn", "/recommend", "/healthz", "/stats"]
+                .iter()
+                .map(|name| EndpointMetrics::new(metrics, name))
+                .collect(),
+        }
+    }
+
+    fn endpoint(&self, path: &str) -> Option<&EndpointMetrics> {
+        self.endpoints.iter().find(|e| e.name == path)
+    }
 }
 
 /// Everything the handlers share: the graph, the (optional) embedding, the
@@ -87,16 +162,32 @@ pub struct ServeState {
     /// Connections currently being served (the accept-loop admission gauge).
     inflight: AtomicUsize,
     started: Instant,
+    /// The registry handle every subsystem resolved its instruments from
+    /// (a no-op handle when `config.metrics_enabled` is false).
+    metrics: MetricsHandle,
+    serve_metrics: ServeMetrics,
+    trace_ids: TraceIds,
+    trace_log: TraceLog,
 }
 
 impl ServeState {
     /// Assembles the state: builds the cache, spawns the batching
     /// dispatcher on a warm [`EmbedContext`] worker pool sized by
-    /// `config.threads`.
+    /// `config.threads`, and resolves every telemetry instrument from one
+    /// server-scoped registry (or a no-op handle when
+    /// `config.metrics_enabled` is off).
     pub fn new(graph: Graph, embedding: Option<Embedding>, config: ServeConfig) -> Self {
         let graph = Arc::new(graph);
         let cache = Arc::new(Mutex::new(PprCache::new(config.cache_capacity)));
-        let ctx = EmbedContext::new().with_threads(config.threads);
+        let metrics = if config.metrics_enabled {
+            MetricsHandle::enabled()
+        } else {
+            MetricsHandle::noop()
+        };
+        let serve_metrics = ServeMetrics::new(&metrics);
+        let ctx = EmbedContext::new()
+            .with_threads(config.threads)
+            .with_metrics(metrics.clone());
         let batcher = Batcher::new(
             Arc::clone(&graph),
             config.dangling,
@@ -110,6 +201,7 @@ impl ServeState {
             config.degrade_window_ms,
             config.degrade_recover_ms,
         );
+        let trace_log = TraceLog::new(config.trace_capacity);
         Self {
             graph,
             embedding: embedding.map(Arc::new),
@@ -119,7 +211,11 @@ impl ServeState {
             counters: RequestCounters::default(),
             degrade,
             inflight: AtomicUsize::new(0),
-            started: Instant::now(),
+            started: clock::now(),
+            metrics,
+            serve_metrics,
+            trace_ids: TraceIds::new(),
+            trace_log,
         }
     }
 
@@ -157,8 +253,10 @@ impl ServeState {
         }
     }
 
-    /// Routes one parsed request to its handler.
+    /// Routes one parsed request to its handler, attributing latency and
+    /// shed/timeout outcomes to the endpoint that produced them.
     pub fn handle(&self, request: &Request) -> Response {
+        let started = clock::now();
         self.counters.total.fetch_add(1, Ordering::Relaxed);
         let response = match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => {
@@ -181,13 +279,33 @@ impl ServeState {
                 self.counters.recommend.fetch_add(1, Ordering::Relaxed);
                 self.handle_topk(request, true)
             }
-            (_, "/healthz" | "/stats" | "/ppr" | "/knn" | "/recommend") => {
-                error_response(405, "only GET is supported")
+            ("GET", "/metrics") => {
+                self.counters.metrics.fetch_add(1, Ordering::Relaxed);
+                self.handle_metrics()
             }
+            ("GET", "/debug/traces") => {
+                self.counters.traces.fetch_add(1, Ordering::Relaxed);
+                self.handle_traces()
+            }
+            (
+                _,
+                "/healthz" | "/stats" | "/ppr" | "/knn" | "/recommend" | "/metrics"
+                | "/debug/traces",
+            ) => error_response(405, "only GET is supported"),
             _ => error_response(404, &format!("no such endpoint `{}`", request.path)),
         };
         if response.status >= 400 {
             self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        // Central attribution: one place classifies every outcome, so the
+        // per-endpoint shed/timeout split cannot drift from the handlers.
+        if let Some(endpoint) = self.serve_metrics.endpoint(request.path.as_str()) {
+            endpoint.latency_us.observe(clock::micros_since(started));
+            match response.status {
+                503 => endpoint.shed.inc(),
+                504 => endpoint.timeouts.inc(),
+                _ => {}
+            }
         }
         response
     }
@@ -211,7 +329,188 @@ impl ServeState {
         json_response(200, serde::Value::Object(object))
     }
 
+    /// `GET /metrics`: the registry's instrument families plus the derived
+    /// families (request totals, cache, batch, degrade, process gauges) in
+    /// the Prometheus text exposition format.
+    fn handle_metrics(&self) -> Response {
+        let mut snapshot = self.metrics.snapshot();
+        self.append_derived_families(&mut snapshot);
+        Response {
+            status: 200,
+            body: snapshot.render_prometheus().into_bytes(),
+            content_type: "text/plain; version=0.0.4",
+            keep_alive: true,
+            retry_after: None,
+        }
+    }
+
+    /// `GET /debug/traces`: the trace ring as JSONL, oldest first.
+    fn handle_traces(&self) -> Response {
+        Response {
+            status: 200,
+            body: self.trace_log.dump_jsonl().into_bytes(),
+            content_type: "application/x-ndjson",
+            keep_alive: true,
+            retry_after: None,
+        }
+    }
+
+    /// Families derived from counters that live outside the registry (the
+    /// request/cache/batch/degrade atomics predate it and `/stats` still
+    /// reads them directly); deriving at scrape time keeps one source of
+    /// truth per number.
+    fn append_derived_families(&self, snapshot: &mut MetricsSnapshot) {
+        let c = &self.counters;
+        let per_endpoint: Vec<(&str, u64)> = vec![
+            ("/healthz", c.healthz.load(Ordering::Relaxed)),
+            ("/stats", c.stats.load(Ordering::Relaxed)),
+            ("/ppr", c.ppr.load(Ordering::Relaxed)),
+            ("/knn", c.knn.load(Ordering::Relaxed)),
+            ("/recommend", c.recommend.load(Ordering::Relaxed)),
+            ("/metrics", c.metrics.load(Ordering::Relaxed)),
+            ("/debug/traces", c.traces.load(Ordering::Relaxed)),
+        ];
+        snapshot.push_family(FamilySnapshot {
+            name: "nrp_serve_requests_total".into(),
+            help: "Requests routed, per endpoint.".into(),
+            kind: MetricKind::Counter,
+            series: per_endpoint
+                .into_iter()
+                .map(|(endpoint, v)| SeriesSnapshot {
+                    labels: vec![("endpoint".into(), endpoint.into())],
+                    value: SeriesValue::Counter(v),
+                })
+                .collect(),
+        });
+        for (name, help, value) in [
+            (
+                "nrp_serve_errors_total",
+                "Responses with a 4xx/5xx status.",
+                c.errors.load(Ordering::Relaxed),
+            ),
+            (
+                "nrp_serve_bad_requests_total",
+                "Requests rejected at the HTTP layer.",
+                c.bad_requests.load(Ordering::Relaxed),
+            ),
+            (
+                "nrp_serve_connections_total",
+                "Connections accepted.",
+                c.connections.load(Ordering::Relaxed),
+            ),
+            (
+                "nrp_serve_conn_rejected_total",
+                "Connections rejected at the accept loop (in-flight limit).",
+                c.conn_rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "nrp_serve_degraded_total",
+                "Exact-mode /ppr requests downgraded to forward push.",
+                c.degraded.load(Ordering::Relaxed),
+            ),
+            (
+                "nrp_serve_retry_after_total",
+                "Responses that carried a Retry-After header.",
+                c.retry_after.load(Ordering::Relaxed),
+            ),
+            (
+                "nrp_degrade_escalations_total",
+                "Degrade-ladder rungs stepped up under pressure.",
+                self.degrade.escalations(),
+            ),
+            (
+                "nrp_degrade_recoveries_total",
+                "Degrade-ladder rungs stepped down after quiet periods.",
+                self.degrade.recoveries(),
+            ),
+        ] {
+            snapshot.push_family(unlabeled(name, help, MetricKind::Counter, value));
+        }
+        // nrp-lint: allow(K003) — resolves to `PprCache::snapshot`, which only copies counters under the cache lock
+        let cache = lock_unpoisoned(&self.cache).snapshot();
+        for (name, help, value) in [
+            ("nrp_cache_hits_total", "Hot-source cache hits.", cache.hits),
+            (
+                "nrp_cache_misses_total",
+                "Hot-source cache misses.",
+                cache.misses,
+            ),
+            (
+                "nrp_cache_insertions_total",
+                "Hot-source cache insertions.",
+                cache.insertions,
+            ),
+            (
+                "nrp_cache_evictions_total",
+                "Hot-source cache LRU evictions.",
+                cache.evictions,
+            ),
+        ] {
+            snapshot.push_family(unlabeled(name, help, MetricKind::Counter, value));
+        }
+        snapshot.push_family(unlabeled(
+            "nrp_cache_entries",
+            "Hot-source cache entries currently resident.",
+            MetricKind::Gauge,
+            cache.len as u64,
+        ));
+        let batch = self.batcher.snapshot();
+        for (name, help, value) in [
+            (
+                "nrp_batch_batches_total",
+                "Dispatcher wake-ups that processed at least one job.",
+                batch.batches,
+            ),
+            (
+                "nrp_batch_jobs_total",
+                "Jobs submitted to the batcher.",
+                batch.jobs,
+            ),
+            (
+                "nrp_batch_coalesced_total",
+                "Jobs that shared a computation with an identical concurrent key.",
+                batch.coalesced,
+            ),
+            (
+                "nrp_batch_computed_total",
+                "Unique keys computed (not answered by the cache).",
+                batch.computed,
+            ),
+            (
+                "nrp_batch_expired_total",
+                "Queued jobs shed because their deadline had already passed.",
+                batch.expired,
+            ),
+            (
+                "nrp_batch_panics_total",
+                "Per-key computations that panicked (caught).",
+                batch.panics,
+            ),
+        ] {
+            snapshot.push_family(unlabeled(name, help, MetricKind::Counter, value));
+        }
+        snapshot.push_family(unlabeled(
+            "nrp_degrade_state",
+            "Current degrade-ladder rung (0=normal, 1=degraded, 2=cache-only).",
+            MetricKind::Gauge,
+            self.degrade_level() as u64,
+        ));
+        snapshot.push_family(unlabeled(
+            "nrp_serve_inflight_connections",
+            "Connections currently being served.",
+            MetricKind::Gauge,
+            self.inflight.load(Ordering::Relaxed) as u64,
+        ));
+        snapshot.push_family(unlabeled(
+            "nrp_serve_uptime_seconds",
+            "Whole seconds since the server state was built.",
+            MetricKind::Gauge,
+            self.started.elapsed().as_secs(),
+        ));
+    }
+
     fn handle_stats(&self) -> Response {
+        // nrp-lint: allow(K003) — resolves to `PprCache::snapshot`, which only copies counters under the cache lock
         let cache = lock_unpoisoned(&self.cache).snapshot();
         let batch = self.batcher.snapshot();
         let c = &self.counters;
@@ -230,6 +529,10 @@ impl ServeState {
         batch_object.insert("computed", serde::Serialize::to_value(&batch.computed));
         batch_object.insert("expired", serde::Serialize::to_value(&batch.expired));
         batch_object.insert("panics", serde::Serialize::to_value(&batch.panics));
+        batch_object.insert(
+            "queue_depth",
+            serde::Serialize::to_value(&batch.queue_depth),
+        );
         let mut requests = serde::Map::new();
         for (name, counter) in [
             ("total", &c.total),
@@ -238,6 +541,8 @@ impl ServeState {
             ("ppr", &c.ppr),
             ("knn", &c.knn),
             ("recommend", &c.recommend),
+            ("metrics", &c.metrics),
+            ("traces", &c.traces),
             ("errors", &c.errors),
             ("bad_requests", &c.bad_requests),
             ("connections", &c.connections),
@@ -291,6 +596,23 @@ impl ServeState {
             serde::Serialize::to_value(&self.degrade.escalations()),
         );
         resilience.insert(
+            "recoveries",
+            serde::Serialize::to_value(&self.degrade.recoveries()),
+        );
+        // Per-endpoint shed/timeout split, read from the registry counters
+        // the router maintains (zeros with metrics disabled).
+        let mut by_endpoint = serde::Map::new();
+        for endpoint in &self.serve_metrics.endpoints {
+            let mut entry = serde::Map::new();
+            entry.insert("shed", serde::Serialize::to_value(&endpoint.shed.value()));
+            entry.insert(
+                "timeouts",
+                serde::Serialize::to_value(&endpoint.timeouts.value()),
+            );
+            by_endpoint.insert(endpoint.name, serde::Value::Object(entry));
+        }
+        resilience.insert("by_endpoint", serde::Value::Object(by_endpoint));
+        resilience.insert(
             "inflight",
             serde::Serialize::to_value(&self.inflight.load(Ordering::Relaxed)),
         );
@@ -301,6 +623,36 @@ impl ServeState {
         resilience.insert(
             "max_connections",
             serde::Serialize::to_value(&self.config.max_connections),
+        );
+        // Per-endpoint latency quantiles from the registry histograms
+        // (empty counts with metrics disabled).
+        let mut latency = serde::Map::new();
+        for endpoint in &self.serve_metrics.endpoints {
+            let snapshot = endpoint.latency_us.snapshot();
+            let mut entry = serde::Map::new();
+            entry.insert("count", serde::Serialize::to_value(&snapshot.count()));
+            entry.insert(
+                "p50_us",
+                serde::Serialize::to_value(&snapshot.quantile(0.5)),
+            );
+            entry.insert(
+                "p99_us",
+                serde::Serialize::to_value(&snapshot.quantile(0.99)),
+            );
+            latency.insert(endpoint.name, serde::Value::Object(entry));
+        }
+        let mut telemetry = serde::Map::new();
+        telemetry.insert(
+            "metrics_enabled",
+            serde::Value::Bool(self.metrics.is_enabled()),
+        );
+        telemetry.insert(
+            "trace_capacity",
+            serde::Serialize::to_value(&self.config.trace_capacity),
+        );
+        telemetry.insert(
+            "traces_retained",
+            serde::Serialize::to_value(&self.trace_log.len()),
         );
         let mut object = serde::Map::new();
         object.insert(
@@ -314,69 +666,57 @@ impl ServeState {
         object.insert("batch", serde::Value::Object(batch_object));
         object.insert("requests", serde::Value::Object(requests));
         object.insert("resilience", serde::Value::Object(resilience));
+        object.insert("latency", serde::Value::Object(latency));
+        object.insert("telemetry", serde::Value::Object(telemetry));
         json_response(200, serde::Value::Object(object))
     }
 
+    /// `/ppr` with per-request latency attribution: every request records a
+    /// stage breakdown (parse → admission → queue_wait → batch_assembly →
+    /// kernel_compute → serialize) into the trace ring, and `x-trace: 1`
+    /// additionally inlines it into the response.
     fn handle_ppr(&self, request: &Request) -> Response {
-        let source = match self.parse_source(request) {
-            Ok(source) => source,
-            Err(response) => return *response,
+        let mut trace = TraceContext::new(self.trace_ids.next_id());
+        let result = self.ppr_inner(request, &mut trace);
+        let status = match &result {
+            Ok(_) => 200,
+            Err(response) => response.status,
         };
-        let alpha = match parse_float(request, "alpha", self.config.alpha) {
-            Ok(v) => v,
-            Err(response) => return *response,
-        };
-        if !(alpha > 0.0 && alpha < 1.0) {
-            return error_response(400, &format!("`alpha` must be in (0,1), got {alpha}"));
-        }
-        let r_max = match parse_float(request, "r_max", self.config.r_max) {
-            Ok(v) => v,
-            Err(response) => return *response,
-        };
-        if r_max <= 0.0 {
-            return error_response(400, &format!("`r_max` must be positive, got {r_max}"));
-        }
-        let exact = match request.query_param("mode").unwrap_or("push") {
-            "push" => false,
-            "exact" => true,
-            other => {
-                return error_response(400, &format!("`mode` must be push|exact, got `{other}`"))
+        let event = trace.finish("/ppr", status);
+        let response = match result {
+            Ok(mut object) => {
+                if request.header("x-trace").map(str::trim) == Some("1") {
+                    object.insert("trace", trace_value(&event));
+                }
+                json_response(200, serde::Value::Object(object))
             }
+            Err(response) => response,
         };
-        let top = match request.query_param("top") {
-            None => None,
-            Some(raw) => match raw.parse::<usize>() {
-                Ok(v) => Some(v),
-                Err(_) => {
-                    return error_response(
-                        400,
-                        &format!("`top` must be a non-negative integer, got `{raw}`"),
-                    )
-                }
-            },
-        };
+        // nrp-lint: allow(R001) — `TraceLog::push` evicts oldest-first: the ring never exceeds its fixed capacity
+        self.trace_log.push(event);
+        response
+    }
 
-        // Deadline: the client's `x-deadline-ms` header wins, else the
-        // configured default; 0 (either way) means no deadline.
-        let deadline_ms = match request.header("x-deadline-ms") {
-            None => self.config.deadline_ms,
-            Some(raw) => match raw.trim().parse::<u64>() {
-                Ok(ms) => ms,
-                Err(_) => {
-                    return error_response(
-                        400,
-                        &format!("`x-deadline-ms` must be a non-negative integer, got `{raw}`"),
-                    )
-                }
-            },
-        };
-        let deadline =
-            (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
+    /// The `/ppr` pipeline proper; returns the response object on success
+    /// so [`ServeState::handle_ppr`] can inline the trace before
+    /// serializing.
+    fn ppr_inner(
+        &self,
+        request: &Request,
+        trace: &mut TraceContext,
+    ) -> Result<serde::Map, Response> {
+        let parse_span = Span::start("parse");
+        let params = self.parse_ppr_params(request);
+        parse_span.finish(trace);
+        let params = params.map_err(|response| *response)?;
+        let deadline = (params.deadline_ms > 0)
+            .then(|| clock::now() + Duration::from_millis(params.deadline_ms));
 
         // Graceful degradation: under sustained pressure, exact mode
         // downgrades to forward push (bitwise identical to a direct push
         // call — it takes the ordinary push path end to end), and in
         // cache-only mode uncached answers shed instead of computing.
+        let admission_span = Span::start("admission");
         let mut level = self.degrade_level();
         if level >= DegradeLevel::CacheOnly && self.config.cache_capacity == 0 {
             // Cache-only service without a cache would be a total outage,
@@ -384,7 +724,7 @@ impl ServeState {
             // the push downgrade and let the bounded queue do the shedding.
             level = DegradeLevel::Degraded;
         }
-        let mut exact = exact;
+        let mut exact = params.exact;
         let mut downgraded = false;
         if exact && level >= DegradeLevel::Degraded {
             exact = false;
@@ -392,44 +732,125 @@ impl ServeState {
             self.counters.degraded.fetch_add(1, Ordering::Relaxed);
         }
 
-        let key = CacheKey::new(source, alpha, r_max, exact);
+        let key = CacheKey::new(params.source, params.alpha, params.r_max, exact);
         let answer = if level >= DegradeLevel::CacheOnly {
             // Probe under the lock, answer after it is released (K003).
             let cached = {
                 let mut cache = lock_unpoisoned(&self.cache);
                 cache.get(&key)
             };
+            admission_span.finish(trace);
             match cached {
                 Some(answer) => answer,
                 None => {
                     self.counters.shed.fetch_add(1, Ordering::Relaxed);
-                    return self.overloaded_response("serving cached answers only");
+                    return Err(self.overloaded_response("serving cached answers only"));
                 }
             }
         } else {
-            match self.batcher.submit_with_deadline(key, deadline) {
-                Ok(answer) => answer,
+            admission_span.finish(trace);
+            match self.batcher.submit_traced(key, deadline) {
+                Ok((answer, timing)) => {
+                    trace.record("queue_wait", timing.queue_wait_us);
+                    trace.record("batch_assembly", timing.assembly_us);
+                    trace.record("kernel_compute", timing.compute_us);
+                    answer
+                }
                 Err(SubmitError::QueueFull) => {
                     self.degrade.record_pressure(self.now_ms());
                     self.counters.shed.fetch_add(1, Ordering::Relaxed);
-                    return self.overloaded_response("request queue is full");
+                    return Err(self.overloaded_response("request queue is full"));
                 }
                 Err(SubmitError::DeadlineExceeded) => {
                     self.degrade.record_pressure(self.now_ms());
                     self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
-                    return error_response(504, "deadline exceeded");
+                    return Err(error_response(504, "deadline exceeded"));
                 }
                 Err(SubmitError::ShuttingDown) => {
                     self.counters.shed.fetch_add(1, Ordering::Relaxed);
-                    return error_response(503, "server is shutting down");
+                    return Err(error_response(503, "server is shutting down"));
                 }
                 Err(error @ (SubmitError::WorkerPanic | SubmitError::Failed(_))) => {
-                    return error_response(500, &error.to_string());
+                    return Err(error_response(500, &error.to_string()));
                 }
             }
         };
 
-        self.ppr_response(source, alpha, r_max, exact, top, downgraded, &answer)
+        let serialize_span = Span::start("serialize");
+        let object = self.ppr_object(
+            params.source,
+            params.alpha,
+            params.r_max,
+            exact,
+            params.top,
+            downgraded,
+            &answer,
+        );
+        serialize_span.finish(trace);
+        Ok(object)
+    }
+
+    /// Parses and validates every `/ppr` parameter.
+    fn parse_ppr_params(&self, request: &Request) -> Result<PprParams, Box<Response>> {
+        let source = self.parse_source(request)?;
+        let alpha = parse_float(request, "alpha", self.config.alpha)?;
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(Box::new(error_response(
+                400,
+                &format!("`alpha` must be in (0,1), got {alpha}"),
+            )));
+        }
+        let r_max = parse_float(request, "r_max", self.config.r_max)?;
+        if r_max <= 0.0 {
+            return Err(Box::new(error_response(
+                400,
+                &format!("`r_max` must be positive, got {r_max}"),
+            )));
+        }
+        let exact = match request.query_param("mode").unwrap_or("push") {
+            "push" => false,
+            "exact" => true,
+            other => {
+                return Err(Box::new(error_response(
+                    400,
+                    &format!("`mode` must be push|exact, got `{other}`"),
+                )))
+            }
+        };
+        let top = match request.query_param("top") {
+            None => None,
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    return Err(Box::new(error_response(
+                        400,
+                        &format!("`top` must be a non-negative integer, got `{raw}`"),
+                    )))
+                }
+            },
+        };
+        // Deadline: the client's `x-deadline-ms` header wins, else the
+        // configured default; 0 (either way) means no deadline.
+        let deadline_ms = match request.header("x-deadline-ms") {
+            None => self.config.deadline_ms,
+            Some(raw) => match raw.trim().parse::<u64>() {
+                Ok(ms) => ms,
+                Err(_) => {
+                    return Err(Box::new(error_response(
+                        400,
+                        &format!("`x-deadline-ms` must be a non-negative integer, got `{raw}`"),
+                    )))
+                }
+            },
+        };
+        Ok(PprParams {
+            source,
+            alpha,
+            r_max,
+            exact,
+            top,
+            deadline_ms,
+        })
     }
 
     /// `503` + `Retry-After`: the standard shape of every shed answer.
@@ -438,11 +859,11 @@ impl ServeState {
         error_response(503, message).with_retry_after(self.config.retry_after_secs)
     }
 
-    /// Renders one `/ppr` answer.  Shared by the batcher path and the
+    /// Builds one `/ppr` answer object.  Shared by the batcher path and the
     /// cache-only path so degraded answers stay bitwise identical to
     /// full-service push answers.
     #[allow(clippy::too_many_arguments)]
-    fn ppr_response(
+    fn ppr_object(
         &self,
         source: u32,
         alpha: f64,
@@ -451,7 +872,7 @@ impl ServeState {
         top: Option<usize>,
         downgraded: bool,
         answer: &PprAnswer,
-    ) -> Response {
+    ) -> serde::Map {
         let mut object = serde::Map::new();
         object.insert("source", serde::Serialize::to_value(&source));
         object.insert("alpha", serde::Serialize::to_value(&alpha));
@@ -490,7 +911,7 @@ impl ServeState {
             };
             object.insert("entries", entries);
         }
-        json_response(200, serde::Value::Object(object))
+        object
     }
 
     /// `/knn` (`unlinked_only == false`) and `/recommend` (`true`): top-K by
@@ -568,6 +989,38 @@ impl ServeState {
     }
 }
 
+/// Validated `/ppr` query parameters.
+struct PprParams {
+    source: u32,
+    alpha: f64,
+    r_max: f64,
+    exact: bool,
+    top: Option<usize>,
+    deadline_ms: u64,
+}
+
+/// The inline `trace` block of an `x-trace: 1` response.
+fn trace_value(event: &nrp_obs::TraceEvent) -> serde::Value {
+    let mut stages = serde::Map::new();
+    for (stage, us) in &event.stages {
+        stages.insert(*stage, serde::Serialize::to_value(us));
+    }
+    let mut object = serde::Map::new();
+    object.insert("trace_id", serde::Serialize::to_value(&event.trace_id));
+    object.insert("total_us", serde::Serialize::to_value(&event.total_us));
+    object.insert("stages_us", serde::Value::Object(stages));
+    object.insert(
+        "stage_sum_us",
+        serde::Serialize::to_value(
+            &event
+                .stages
+                .iter()
+                .fold(0u64, |acc, (_, us)| acc.saturating_add(*us)),
+        ),
+    );
+    serde::Value::Object(object)
+}
+
 /// Parses an optional float query parameter, falling back to `default`.
 /// Non-finite values are rejected (they would poison cache keys).
 fn parse_float(request: &Request, name: &str, default: f64) -> Result<f64, Box<Response>> {
@@ -623,6 +1076,22 @@ fn error_response(status: u16, message: &str) -> Response {
     let mut object = serde::Map::new();
     object.insert("error", serde::Value::String(message.to_string()));
     json_response(status, serde::Value::Object(object))
+}
+
+/// One single-series unlabeled family for the scrape-time derivations.
+fn unlabeled(name: &str, help: &str, kind: MetricKind, value: u64) -> FamilySnapshot {
+    FamilySnapshot {
+        name: name.into(),
+        help: help.into(),
+        kind,
+        series: vec![SeriesSnapshot {
+            labels: Vec::new(),
+            value: match kind {
+                MetricKind::Gauge => SeriesValue::Gauge(value),
+                _ => SeriesValue::Counter(value),
+            },
+        }],
+    }
 }
 
 /// The running server: an accept loop plus one thread per connection.
@@ -808,7 +1277,7 @@ fn handle_connection(state: &ServeState, stream: TcpStream, shutdown: Arc<Atomic
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut idle_deadline = Instant::now() + idle_timeout;
+    let mut idle_deadline = clock::now() + idle_timeout;
     loop {
         match read_request(&mut reader, &limits) {
             Ok(None) => break,
@@ -835,11 +1304,11 @@ fn handle_connection(state: &ServeState, stream: TcpStream, shutdown: Arc<Atomic
                 if !response.keep_alive {
                     break;
                 }
-                idle_deadline = Instant::now() + idle_timeout;
+                idle_deadline = clock::now() + idle_timeout;
             }
             Err(error) => {
                 if matches!(error, crate::http::HttpError::Idle) {
-                    if shutdown.load(Ordering::SeqCst) || Instant::now() >= idle_deadline {
+                    if shutdown.load(Ordering::SeqCst) || clock::now() >= idle_deadline {
                         break;
                     }
                     continue;
@@ -870,8 +1339,8 @@ fn handle_connection(state: &ServeState, stream: TcpStream, shutdown: Arc<Atomic
 fn drain_to_eof<R: std::io::Read>(reader: &mut R) {
     let mut buffer = [0u8; 4096];
     let mut remaining: usize = 256 * 1024;
-    let deadline = Instant::now() + Duration::from_millis(500);
-    while remaining > 0 && Instant::now() < deadline {
+    let deadline = clock::now() + Duration::from_millis(500);
+    while remaining > 0 && clock::now() < deadline {
         match reader.read(&mut buffer) {
             Ok(0) => break,
             Ok(n) => remaining = remaining.saturating_sub(n),

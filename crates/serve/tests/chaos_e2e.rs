@@ -268,10 +268,7 @@ fn the_same_seed_reproduces_the_same_injection_schedule() {
     assert_eq!(first, second, "same seed, same schedule");
     assert_eq!(first_triggered, second_triggered);
     assert!(first_triggered > 0, "the schedule injected something");
-    assert!(
-        first.contains(&200),
-        "the schedule let something through"
-    );
+    assert!(first.contains(&200), "the schedule let something through");
 
     let (other, _) = run(0xFEED_FACE);
     assert_ne!(first, other, "a different seed reschedules");

@@ -655,3 +655,202 @@ fn graceful_shutdown_drains_and_stops_accepting() {
     // request must fail (refused, reset, or EOF — anything but an answer).
     assert!(HttpClient::new(addr).get_json("/healthz").is_err());
 }
+
+// ---- Telemetry end-to-end ---------------------------------------------
+
+#[test]
+fn traced_ppr_reports_stage_breakdown() {
+    let server = start_server(test_config());
+    let mut client = HttpClient::new(server.addr());
+
+    // Untraced requests carry no trace block.
+    let plain = client.get_json("/ppr?source=3&top=8").expect("plain /ppr");
+    assert!(plain.as_object().unwrap().get("trace").is_none());
+
+    // `x-trace: 1` adds the per-stage breakdown.
+    let traced = client
+        .get_full("/ppr?source=4&top=8", &[("x-trace", "1")])
+        .expect("traced /ppr");
+    assert_eq!(traced.status, 200);
+    let body: serde::Value =
+        serde_json::from_str(std::str::from_utf8(&traced.body).unwrap()).expect("JSON body");
+    let object = body.as_object().unwrap();
+    let trace = object
+        .get("trace")
+        .and_then(|v| v.as_object())
+        .expect("traced response has a trace block");
+    assert!(trace.get("trace_id").and_then(|v| v.as_u64()).unwrap() >= 1);
+    let total_us = trace.get("total_us").and_then(|v| v.as_u64()).unwrap();
+    let stage_sum_us = trace.get("stage_sum_us").and_then(|v| v.as_u64()).unwrap();
+    let stages = trace
+        .get("stages_us")
+        .and_then(|v| v.as_object())
+        .expect("stages_us object");
+    for stage in [
+        "parse",
+        "admission",
+        "queue_wait",
+        "batch_assembly",
+        "kernel_compute",
+        "serialize",
+    ] {
+        assert!(
+            stages.get(stage).and_then(|v| v.as_u64()).is_some(),
+            "stage {stage} missing from {stages:?}"
+        );
+    }
+    // The stages are disjoint sub-intervals of the handler, so their sum
+    // cannot exceed the handler-measured total.
+    assert!(
+        stage_sum_us <= total_us,
+        "stage sum {stage_sum_us}µs > total {total_us}µs"
+    );
+
+    // Tracing is observational only: the traced answer for a key is
+    // bitwise identical to the untraced one.
+    let again = client.get_json("/ppr?source=4&top=8").expect("same key");
+    let entries = |v: &serde::Value| {
+        serde_json::to_string(v.as_object().unwrap().get("entries").unwrap()).unwrap()
+    };
+    assert_eq!(entries(&body), entries(&again));
+    server.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_exposes_core_families() {
+    let server = start_server(test_config());
+    let mut client = HttpClient::new(server.addr());
+    // Force real work so the pool, batcher and cache all have samples.
+    for source in 0..4 {
+        client
+            .get_json(&format!("/ppr?source={source}&top=8"))
+            .expect("/ppr");
+    }
+    client.get_json("/knn?source=0&k=3").expect("/knn");
+
+    let text = nrp_serve::get_text_once(server.addr(), "/metrics").expect("/metrics");
+    for family in [
+        "# TYPE nrp_serve_request_latency_us histogram",
+        "# TYPE nrp_serve_requests_total counter",
+        "# TYPE nrp_batch_queue_wait_us histogram",
+        "# TYPE nrp_batch_compute_us histogram",
+        "# TYPE nrp_pool_dispatches_total counter",
+        "# TYPE nrp_cache_misses_total counter",
+        "# TYPE nrp_degrade_state gauge",
+        "nrp_serve_request_latency_us_count{endpoint=\"/ppr\"}",
+        "nrp_serve_requests_total{endpoint=\"/ppr\"} 4",
+    ] {
+        assert!(text.contains(family), "missing `{family}` in:\n{text}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn debug_traces_returns_recent_jsonl() {
+    let server = start_server(test_config());
+    let mut client = HttpClient::new(server.addr());
+    for source in 0..3 {
+        client
+            .get_json(&format!("/ppr?source={source}&top=4"))
+            .expect("/ppr");
+    }
+    let text = nrp_serve::get_text_once(server.addr(), "/debug/traces").expect("/debug/traces");
+    let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(lines.len(), 3, "one trace per /ppr request:\n{text}");
+    for line in lines {
+        let event: serde::Value = serde_json::from_str(line).expect("JSONL line parses");
+        let object = event.as_object().unwrap();
+        assert_eq!(
+            object.get("endpoint").and_then(|v| v.as_str()),
+            Some("/ppr")
+        );
+        assert_eq!(object.get("status").and_then(|v| v.as_u64()), Some(200));
+        assert!(object.get("trace_id").and_then(|v| v.as_u64()).unwrap() >= 1);
+        assert!(object.get("stages_us").is_some());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn stats_reports_queue_depth_latency_and_endpoint_split() {
+    let server = start_server(test_config());
+    let mut client = HttpClient::new(server.addr());
+    for source in 0..3 {
+        client
+            .get_json(&format!("/ppr?source={source}&top=4"))
+            .expect("/ppr");
+    }
+    let stats = client.get_json("/stats").expect("/stats");
+    let object = stats.as_object().unwrap();
+
+    let section = |name: &str| {
+        object
+            .get(name)
+            .and_then(|v| v.as_object())
+            .unwrap_or_else(|| panic!("/stats has a {name} object"))
+    };
+    assert_eq!(
+        section("batch").get("queue_depth").and_then(|v| v.as_u64()),
+        Some(0),
+        "queue drains between requests"
+    );
+    let ppr_latency = section("latency")
+        .get("/ppr")
+        .and_then(|v| v.as_object())
+        .expect("latency has a /ppr entry");
+    assert!(ppr_latency.get("count").and_then(|v| v.as_u64()).unwrap() >= 3);
+    let p50 = ppr_latency.get("p50_us").and_then(|v| v.as_u64()).unwrap();
+    let p99 = ppr_latency.get("p99_us").and_then(|v| v.as_u64()).unwrap();
+    assert!(p50 > 0 && p50 <= p99, "p50 {p50}µs, p99 {p99}µs");
+    let by_endpoint = section("resilience")
+        .get("by_endpoint")
+        .and_then(|v| v.as_object())
+        .expect("resilience has by_endpoint");
+    let ppr_split = by_endpoint
+        .get("/ppr")
+        .and_then(|v| v.as_object())
+        .expect("by_endpoint has /ppr");
+    assert_eq!(ppr_split.get("shed").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(ppr_split.get("timeouts").and_then(|v| v.as_u64()), Some(0));
+    let telemetry = section("telemetry");
+    assert_eq!(
+        telemetry.get("metrics_enabled").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    assert!(
+        telemetry
+            .get("traces_retained")
+            .and_then(|v| v.as_u64())
+            .unwrap()
+            >= 3
+    );
+    server.shutdown();
+}
+
+#[test]
+fn disabling_metrics_keeps_every_endpoint_serving() {
+    let server = start_server(ServeConfig {
+        metrics_enabled: false,
+        trace_capacity: 0,
+        ..test_config()
+    });
+    let mut client = HttpClient::new(server.addr());
+    client.get_json("/ppr?source=0&top=4").expect("/ppr");
+    // The scrape still answers (derived families only), traces are off.
+    let text = nrp_serve::get_text_once(server.addr(), "/metrics").expect("/metrics");
+    assert!(text.contains("nrp_serve_requests_total"));
+    assert!(!text.contains("nrp_serve_request_latency_us"));
+    let traces = nrp_serve::get_text_once(server.addr(), "/debug/traces").expect("/debug/traces");
+    assert!(traces.is_empty(), "trace_capacity 0 retains nothing");
+    let stats = client.get_json("/stats").expect("/stats");
+    let telemetry = stats
+        .as_object()
+        .and_then(|o| o.get("telemetry"))
+        .and_then(|v| v.as_object())
+        .unwrap();
+    assert_eq!(
+        telemetry.get("metrics_enabled").and_then(|v| v.as_bool()),
+        Some(false)
+    );
+    server.shutdown();
+}
